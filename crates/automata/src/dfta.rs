@@ -1,0 +1,491 @@
+//! Deterministic finite tree automata with a shared transition table.
+//!
+//! Definition 2 of the paper: a DFTA over `Σ_F` is `⟨S, Σ_F, S_F, Δ⟩` with
+//! transition rules `f(s₁, …, sₘ) → s` and no two rules sharing a
+//! left-hand side. [`Dfta`] holds `S` and `Δ`; the final-state component
+//! lives in [`crate::TupleAutomaton`], because `n`-automata share one
+//! transition table across all predicates (§4.2).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ringen_terms::{FuncId, GroundTerm, Signature, SortId, Term, VarId};
+
+/// A state of a [`Dfta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// Raw index, usable for dense per-state tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `StateId` from an index previously obtained from
+    /// [`StateId::index`].
+    pub fn from_index(i: usize) -> Self {
+        StateId(i as u32)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// The state set and transition relation of a deterministic finite tree
+/// automaton (without final states).
+///
+/// # Example
+///
+/// The `even` automaton of the paper's Example 1:
+///
+/// ```
+/// use ringen_automata::Dfta;
+/// use ringen_terms::{signature_helpers::nat_signature, GroundTerm};
+///
+/// let (sig, nat, z, s) = nat_signature();
+/// let mut a = Dfta::new();
+/// let s0 = a.add_state(nat);
+/// let s1 = a.add_state(nat);
+/// a.add_transition(z, vec![], s0);
+/// a.add_transition(s, vec![s0], s1);
+/// a.add_transition(s, vec![s1], s0);
+///
+/// let four = GroundTerm::iterate(s, GroundTerm::leaf(z), 4);
+/// assert_eq!(a.run(&four), Some(s0));
+/// let five = GroundTerm::iterate(s, GroundTerm::leaf(z), 5);
+/// assert_eq!(a.run(&five), Some(s1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dfta {
+    sorts: Vec<SortId>,
+    table: BTreeMap<(FuncId, Vec<StateId>), StateId>,
+}
+
+impl Dfta {
+    /// Creates an automaton with no states.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a state carrying the given sort.
+    pub fn add_state(&mut self, sort: SortId) -> StateId {
+        self.sorts.push(sort);
+        StateId((self.sorts.len() - 1) as u32)
+    }
+
+    /// Adds the rule `f(args…) → target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule with the same left-hand side exists (the automaton
+    /// would no longer be deterministic) or a state id is stale.
+    pub fn add_transition(&mut self, f: FuncId, args: Vec<StateId>, target: StateId) {
+        for s in args.iter().chain(Some(&target)) {
+            assert!(s.index() < self.sorts.len(), "stale state id {s}");
+        }
+        let prev = self.table.insert((f, args), target);
+        assert!(prev.is_none(), "duplicate transition left-hand side");
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.sorts.len()
+    }
+
+    /// All states.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.sorts.len() as u32).map(StateId)
+    }
+
+    /// The sort a state carries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this automaton.
+    pub fn sort_of(&self, s: StateId) -> SortId {
+        self.sorts[s.index()]
+    }
+
+    /// States carrying the given sort.
+    pub fn states_of_sort(&self, sort: SortId) -> impl Iterator<Item = StateId> + '_ {
+        self.states().filter(move |s| self.sort_of(*s) == sort)
+    }
+
+    /// The target of `f(args…)`, if a rule exists.
+    pub fn step(&self, f: FuncId, args: &[StateId]) -> Option<StateId> {
+        self.table.get(&(f, args.to_vec())).copied()
+    }
+
+    /// Iterates over all rules `(f, args) → target`.
+    pub fn transitions(&self) -> impl Iterator<Item = (FuncId, &[StateId], StateId)> + '_ {
+        self.table.iter().map(|((f, a), t)| (*f, a.as_slice(), *t))
+    }
+
+    /// Runs the automaton on a ground term (Definition 3's `A[t]`).
+    /// `None` is the paper's `⊥` — no applicable rule.
+    pub fn run(&self, t: &GroundTerm) -> Option<StateId> {
+        let mut args = Vec::with_capacity(t.args().len());
+        for a in t.args() {
+            args.push(self.run(a)?);
+        }
+        self.step(t.func(), &args)
+    }
+
+    /// Evaluates a term with variables under a state assignment. This is
+    /// the compositional evaluation used by the regular-inductiveness
+    /// check (every ground instance of `t` where variable `v` evaluates to
+    /// `env[v]` runs to the returned state).
+    pub fn eval(&self, t: &Term, env: &BTreeMap<VarId, StateId>) -> Option<StateId> {
+        match t {
+            Term::Var(v) => env.get(v).copied(),
+            Term::App(f, ts) => {
+                let mut args = Vec::with_capacity(ts.len());
+                for a in ts {
+                    args.push(self.eval(a, env)?);
+                }
+                self.step(*f, &args)
+            }
+        }
+    }
+
+    /// The set of *reachable* states: those `s` with `A[t] = s` for some
+    /// ground constructor term `t`.
+    pub fn reachable(&self) -> BTreeSet<StateId> {
+        let mut reach: BTreeSet<StateId> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for ((_, args), target) in &self.table {
+                if !reach.contains(target) && args.iter().all(|a| reach.contains(a)) {
+                    reach.insert(*target);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return reach;
+            }
+        }
+    }
+
+    /// For every state, a smallest-height witness term running to it
+    /// (`None` for unreachable states).
+    pub fn witnesses(&self) -> Vec<Option<GroundTerm>> {
+        let mut wit: Vec<Option<GroundTerm>> = vec![None; self.state_count()];
+        loop {
+            let mut changed = false;
+            for ((f, args), target) in &self.table {
+                if wit[target.index()].is_some() {
+                    continue;
+                }
+                let ws: Option<Vec<GroundTerm>> =
+                    args.iter().map(|a| wit[a.index()].clone()).collect();
+                if let Some(ws) = ws {
+                    wit[target.index()] = Some(GroundTerm::app(*f, ws));
+                    changed = true;
+                }
+            }
+            if !changed {
+                return wit;
+            }
+        }
+    }
+
+    /// Whether every constructor of `sig` has a rule for every sort-correct
+    /// argument combination — i.e. `run` is total on well-sorted terms.
+    pub fn is_complete(&self, sig: &Signature) -> bool {
+        self.missing_lhs(sig).is_empty()
+    }
+
+    fn missing_lhs(&self, sig: &Signature) -> Vec<(FuncId, Vec<StateId>)> {
+        let mut missing = Vec::new();
+        for c in sig.constructors() {
+            let domain = &sig.func(c).domain;
+            let choices: Vec<Vec<StateId>> = domain
+                .iter()
+                .map(|s| self.states_of_sort(*s).collect())
+                .collect();
+            for combo in cartesian(&choices) {
+                if self.step(c, &combo).is_none() {
+                    missing.push((c, combo));
+                }
+            }
+        }
+        missing
+    }
+
+    /// Completes the automaton over `sig`: adds one sink state per sort
+    /// (lazily) and routes every missing left-hand side to the sink of the
+    /// target sort. Returns the completed automaton; `run` on it is total
+    /// for well-sorted terms.
+    pub fn completed(&self, sig: &Signature) -> Dfta {
+        let mut out = self.clone();
+        let mut sinks: BTreeMap<SortId, StateId> = BTreeMap::new();
+        // Sinks must exist for every ADT sort before enumerating rules, as
+        // sink states themselves generate argument combinations.
+        for adt in sig.adts() {
+            let sink = out.add_state(adt.sort);
+            sinks.insert(adt.sort, sink);
+        }
+        loop {
+            let missing = out.missing_lhs(sig);
+            if missing.is_empty() {
+                return out;
+            }
+            for (f, args) in missing {
+                let target = sinks[&sig.func(f).range];
+                out.table.insert((f, args), target);
+            }
+        }
+    }
+
+    /// Product automaton: states are sort-compatible pairs. Returns the
+    /// product and the mapping `(left, right) → product state`.
+    pub fn product(&self, other: &Dfta) -> (Dfta, BTreeMap<(StateId, StateId), StateId>) {
+        let mut out = Dfta::new();
+        let mut map = BTreeMap::new();
+        for a in self.states() {
+            for b in other.states() {
+                if self.sort_of(a) == other.sort_of(b) {
+                    let p = out.add_state(self.sort_of(a));
+                    map.insert((a, b), p);
+                }
+            }
+        }
+        for ((f, args_a), ta) in &self.table {
+            'rules: for ((g, args_b), tb) in &other.table {
+                if f != g || args_a.len() != args_b.len() {
+                    continue;
+                }
+                let mut args_p = Vec::with_capacity(args_a.len());
+                for (a, b) in args_a.iter().zip(args_b) {
+                    match map.get(&(*a, *b)) {
+                        Some(p) => args_p.push(*p),
+                        None => continue 'rules,
+                    }
+                }
+                if let Some(tp) = map.get(&(*ta, *tb)) {
+                    out.table.insert((*f, args_p), *tp);
+                }
+            }
+        }
+        (out, map)
+    }
+
+    /// Restricts the automaton to the given states, renumbering them.
+    /// Rules mentioning removed states are dropped. Returns the restricted
+    /// automaton and the old-to-new state mapping.
+    pub fn restrict(&self, keep: &BTreeSet<StateId>) -> (Dfta, BTreeMap<StateId, StateId>) {
+        let mut out = Dfta::new();
+        let mut map = BTreeMap::new();
+        for s in self.states() {
+            if keep.contains(&s) {
+                let n = out.add_state(self.sort_of(s));
+                map.insert(s, n);
+            }
+        }
+        for ((f, args), t) in &self.table {
+            if !keep.contains(t) || args.iter().any(|a| !keep.contains(a)) {
+                continue;
+            }
+            let new_args = args.iter().map(|a| map[a]).collect();
+            out.table.insert((*f, new_args), map[t]);
+        }
+        (out, map)
+    }
+
+    /// Display adaptor printing rules with names from `sig`.
+    pub fn display<'a>(&'a self, sig: &'a Signature) -> DisplayDfta<'a> {
+        DisplayDfta { dfta: self, sig }
+    }
+}
+
+/// All combinations with one element from each choice list.
+pub(crate) fn cartesian<T: Clone>(choices: &[Vec<T>]) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = vec![Vec::new()];
+    for c in choices {
+        let mut next = Vec::with_capacity(out.len() * c.len());
+        for prefix in &out {
+            for x in c {
+                let mut row = prefix.clone();
+                row.push(x.clone());
+                next.push(row);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Displays a [`Dfta`] transition table. Returned by [`Dfta::display`].
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayDfta<'a> {
+    dfta: &'a Dfta,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for DisplayDfta<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (func, args, target) in self.dfta.transitions() {
+            let name = &self.sig.func(func).name;
+            if args.is_empty() {
+                writeln!(f, "{name} -> {target}")?;
+            } else {
+                let parts: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+                writeln!(f, "{name}({}) -> {target}", parts.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_terms::signature_helpers::{nat_signature, tree_signature};
+
+    fn even_dfta() -> (Signature, Dfta, StateId, StateId, FuncId, FuncId) {
+        let (sig, nat, z, s) = nat_signature();
+        let mut a = Dfta::new();
+        let s0 = a.add_state(nat);
+        let s1 = a.add_state(nat);
+        a.add_transition(z, vec![], s0);
+        a.add_transition(s, vec![s0], s1);
+        a.add_transition(s, vec![s1], s0);
+        (sig, a, s0, s1, z, s)
+    }
+
+    #[test]
+    fn run_flips_states_on_successor() {
+        let (_sig, a, s0, s1, z, s) = even_dfta();
+        for n in 0..10 {
+            let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+            let expect = if n % 2 == 0 { s0 } else { s1 };
+            assert_eq!(a.run(&t), Some(expect), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn run_is_none_without_rule() {
+        let (sig, nat, z, s) = nat_signature();
+        let mut a = Dfta::new();
+        let s0 = a.add_state(nat);
+        a.add_transition(z, vec![], s0);
+        // No rule for S at all.
+        assert_eq!(a.run(&GroundTerm::iterate(s, GroundTerm::leaf(z), 1)), None);
+        assert!(!a.is_complete(&sig));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate transition")]
+    fn duplicate_lhs_panics() {
+        let (_sig, mut a, s0, s1, z, _s) = even_dfta();
+        let _ = s1;
+        a.add_transition(z, vec![], s0);
+    }
+
+    #[test]
+    fn eval_term_with_variables() {
+        let (_sig, a, s0, s1, _z, s) = even_dfta();
+        let mut ctx = ringen_terms::VarContext::new();
+        let nat = a.sort_of(s0);
+        let x = ctx.fresh("x", nat);
+        let t = Term::iterate(s, Term::var(x), 2); // S(S(x))
+        let env: BTreeMap<_, _> = [(x, s1)].into();
+        assert_eq!(a.eval(&t, &env), Some(s1));
+        let empty = BTreeMap::new();
+        assert_eq!(a.eval(&t, &empty), None);
+    }
+
+    #[test]
+    fn reachability_and_witnesses() {
+        let (_sig, mut a, s0, s1, _z, s) = even_dfta();
+        let nat = a.sort_of(s0);
+        let dead = a.add_state(nat);
+        a.add_transition(s, vec![dead], dead);
+        let reach = a.reachable();
+        assert!(reach.contains(&s0) && reach.contains(&s1));
+        assert!(!reach.contains(&dead));
+        let wit = a.witnesses();
+        assert_eq!(wit[s0.index()].as_ref().map(GroundTerm::size), Some(1));
+        assert_eq!(wit[s1.index()].as_ref().map(GroundTerm::size), Some(2));
+        assert_eq!(wit[dead.index()], None);
+    }
+
+    #[test]
+    fn completion_makes_runs_total() {
+        let (sig, nat, z, s) = nat_signature();
+        let mut a = Dfta::new();
+        let s0 = a.add_state(nat);
+        a.add_transition(z, vec![], s0);
+        let c = a.completed(&sig);
+        assert!(c.is_complete(&sig));
+        // The original rule is preserved; new states absorb the rest.
+        assert_eq!(c.run(&GroundTerm::leaf(z)), Some(s0));
+        let t = GroundTerm::iterate(s, GroundTerm::leaf(z), 3);
+        let sink = c.run(&t).unwrap();
+        assert_ne!(sink, s0);
+        // Completing a complete automaton only adds unreachable sinks.
+        let (_sig2, full, ..) = even_dfta();
+        let c2 = full.completed(&sig);
+        assert_eq!(c2.run(&t), full.run(&t));
+    }
+
+    #[test]
+    fn product_tracks_both_runs() {
+        // Product of even-automaton with itself shifted: mod-3 automaton.
+        let (sig, nat, z, s) = nat_signature();
+        let mut b = Dfta::new();
+        let t0 = b.add_state(nat);
+        let t1 = b.add_state(nat);
+        let t2 = b.add_state(nat);
+        b.add_transition(z, vec![], t0);
+        b.add_transition(s, vec![t0], t1);
+        b.add_transition(s, vec![t1], t2);
+        b.add_transition(s, vec![t2], t0);
+        let (_sig_e, a, s0, _s1, ..) = even_dfta();
+        let (p, map) = a.product(&b);
+        assert_eq!(p.state_count(), 6);
+        for n in 0..12u32 {
+            let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n as usize);
+            let pa = a.run(&t).unwrap();
+            let pb = b.run(&t).unwrap();
+            assert_eq!(p.run(&t), Some(map[&(pa, pb)]));
+        }
+        let _ = (sig, s0, t0);
+    }
+
+    #[test]
+    fn restrict_drops_rules_of_removed_states() {
+        let (_sig, mut a, s0, s1, _z, s) = even_dfta();
+        let nat = a.sort_of(s0);
+        let dead = a.add_state(nat);
+        a.add_transition(s, vec![dead], dead);
+        let keep: BTreeSet<_> = [s0, s1].into();
+        let (r, map) = a.restrict(&keep);
+        assert_eq!(r.state_count(), 2);
+        assert_eq!(r.transitions().count(), 3);
+        assert!(map.contains_key(&s0) && !map.contains_key(&dead));
+    }
+
+    #[test]
+    fn display_names_constructors() {
+        let (sig, a, ..) = even_dfta();
+        let s = a.display(&sig).to_string();
+        assert!(s.contains("Z -> q0"));
+        assert!(s.contains("S(q0) -> q1"));
+    }
+
+    #[test]
+    fn states_of_sort_filters() {
+        let (sig, tree, leaf, node) = tree_signature();
+        let mut a = Dfta::new();
+        let q = a.add_state(tree);
+        a.add_transition(leaf, vec![], q);
+        a.add_transition(node, vec![q, q], q);
+        assert_eq!(a.states_of_sort(tree).count(), 1);
+        assert!(a.is_complete(&sig));
+        assert_eq!(a.run(&GroundTerm::leaf(leaf)), Some(q));
+    }
+}

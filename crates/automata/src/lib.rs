@@ -1,0 +1,39 @@
+//! Deterministic finite tree (tuple) automata — the `Reg` representation
+//! class of *"Beyond the Elementary Representations of Program Invariants
+//! over Algebraic Data Types"* (PLDI 2021).
+//!
+//! * [`Dfta`] — states and shared transition table (Definition 2);
+//! * [`TupleAutomaton`] — final state tuples and acceptance
+//!   (Definition 3), with intersection, union, complement, emptiness,
+//!   witnesses, trimming and 1-automaton minimization;
+//! * [`Nfta`] — nondeterministic automata with subset-construction
+//!   determinization (TATA [14]), the substrate for the regular
+//!   language extensions §7 lists as future work.
+//!
+//! # Example
+//!
+//! ```
+//! use ringen_automata::{Dfta, TupleAutomaton};
+//! use ringen_terms::{signature_helpers::nat_signature, GroundTerm};
+//!
+//! // The even-number automaton of the paper's Example 1.
+//! let (sig, nat, z, s) = nat_signature();
+//! let mut d = Dfta::new();
+//! let s0 = d.add_state(nat);
+//! let s1 = d.add_state(nat);
+//! d.add_transition(z, vec![], s0);
+//! d.add_transition(s, vec![s0], s1);
+//! d.add_transition(s, vec![s1], s0);
+//! let mut even = TupleAutomaton::new(d, vec![nat]);
+//! even.add_final(vec![s0]);
+//! assert!(even.accepts(&[GroundTerm::iterate(s, GroundTerm::leaf(z), 6)]));
+//! # let _ = sig;
+//! ```
+
+mod dfta;
+mod nfta;
+mod tuple;
+
+pub use dfta::{Dfta, DisplayDfta, StateId};
+pub use nfta::{NState, Nfta};
+pub use tuple::TupleAutomaton;

@@ -1,0 +1,499 @@
+//! Nondeterministic finite tree automata and their determinization.
+//!
+//! The paper's §7 points at extensions of regular tree languages as
+//! future work; the standard substrate for all of them is the
+//! *nondeterministic* automaton model (TATA [14], §1.1–1.2): the same
+//! left-hand side `f(q₁, …, qₘ)` may rewrite to several states, and a
+//! term is accepted when *some* run reaches a final state. NFTAs accept
+//! exactly the regular tree languages, but are exponentially more
+//! succinct and are closed under union by plain juxtaposition — which is
+//! what makes them the convenient intermediate form for the Boolean
+//! operations of [`crate::TupleAutomaton`] and the membership solver of
+//! the `ringen-regelem` crate.
+//!
+//! [`Nfta::determinize`] is the textbook subset construction, run
+//! bottom-up so that only *reachable* subset states are ever created
+//! (the resulting [`Dfta`] is trim by construction).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ringen_terms::{FuncId, GroundTerm, SortId};
+
+use crate::dfta::{cartesian, Dfta, StateId};
+use crate::tuple::TupleAutomaton;
+
+/// A state of an [`Nfta`]. Distinct from [`StateId`] so that
+/// nondeterministic and deterministic state spaces cannot be confused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NState(pub(crate) u32);
+
+impl NState {
+    /// Raw index, usable for dense per-state tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `NState` from an index previously obtained from
+    /// [`NState::index`].
+    pub fn from_index(i: usize) -> Self {
+        NState(i as u32)
+    }
+}
+
+impl fmt::Display for NState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A nondeterministic finite tree automaton recognizing a language of
+/// ground terms (a 1-language; tuple relations stay on the
+/// deterministic side, where the paper's Definition 2 needs them).
+///
+/// # Example
+///
+/// Numbers `≥ 1` by guessing where the witnessing `S` sits:
+///
+/// ```
+/// use ringen_automata::Nfta;
+/// use ringen_terms::{signature_helpers::nat_signature, GroundTerm};
+///
+/// let (_sig, nat, z, s) = nat_signature();
+/// let mut a = Nfta::new();
+/// let any = a.add_state(nat);
+/// let pos = a.add_state(nat);
+/// a.add_transition(z, vec![], &[any]);
+/// a.add_transition(s, vec![any], &[any, pos]);
+/// a.add_transition(s, vec![pos], &[pos]);
+/// a.add_final(pos);
+///
+/// let zero = GroundTerm::leaf(z);
+/// let two = GroundTerm::iterate(s, zero.clone(), 2);
+/// assert!(!a.accepts(&zero));
+/// assert!(a.accepts(&two));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Nfta {
+    sorts: Vec<SortId>,
+    /// `(f, args) → set of targets`; the set being non-singleton is what
+    /// makes the automaton nondeterministic.
+    rules: BTreeMap<(FuncId, Vec<NState>), BTreeSet<NState>>,
+    finals: BTreeSet<NState>,
+}
+
+impl Nfta {
+    /// Creates an automaton with no states.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a state carrying the given sort.
+    pub fn add_state(&mut self, sort: SortId) -> NState {
+        self.sorts.push(sort);
+        NState((self.sorts.len() - 1) as u32)
+    }
+
+    /// Adds the rules `f(args…) → t` for every `t` in `targets`.
+    /// Duplicate rules are ignored (the transition relation is a set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state id is stale.
+    pub fn add_transition(&mut self, f: FuncId, args: Vec<NState>, targets: &[NState]) {
+        for s in args.iter().chain(targets) {
+            assert!(s.index() < self.sorts.len(), "stale state id {s}");
+        }
+        self.rules
+            .entry((f, args))
+            .or_default()
+            .extend(targets.iter().copied());
+    }
+
+    /// Marks a state as final.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state id is stale.
+    pub fn add_final(&mut self, s: NState) {
+        assert!(s.index() < self.sorts.len(), "stale state id {s}");
+        self.finals.insert(s);
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.sorts.len()
+    }
+
+    /// All states.
+    pub fn states(&self) -> impl Iterator<Item = NState> + '_ {
+        (0..self.sorts.len() as u32).map(NState)
+    }
+
+    /// The sort a state carries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this automaton.
+    pub fn sort_of(&self, s: NState) -> SortId {
+        self.sorts[s.index()]
+    }
+
+    /// The final states.
+    pub fn finals(&self) -> impl Iterator<Item = NState> + '_ {
+        self.finals.iter().copied()
+    }
+
+    /// Iterates over all rules `(f, args) → target` (one item per
+    /// target).
+    pub fn transitions(&self) -> impl Iterator<Item = (FuncId, &[NState], NState)> + '_ {
+        self.rules
+            .iter()
+            .flat_map(|((f, a), ts)| ts.iter().map(move |t| (*f, a.as_slice(), *t)))
+    }
+
+    /// The set of states reachable by some run on `t` (the
+    /// nondeterministic analogue of Definition 3's `A[t]`; empty when no
+    /// run exists).
+    pub fn run(&self, t: &GroundTerm) -> BTreeSet<NState> {
+        let arg_sets: Vec<BTreeSet<NState>> = t.args().iter().map(|a| self.run(a)).collect();
+        let mut out = BTreeSet::new();
+        // A rule fires when every argument state is reachable in the
+        // corresponding subterm.
+        for ((f, args), targets) in &self.rules {
+            if *f == t.func()
+                && args.len() == arg_sets.len()
+                && args.iter().zip(&arg_sets).all(|(q, set)| set.contains(q))
+            {
+                out.extend(targets.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Whether some run on `t` ends in a final state.
+    pub fn accepts(&self, t: &GroundTerm) -> bool {
+        self.run(t).iter().any(|s| self.finals.contains(s))
+    }
+
+    /// Embeds a deterministic automaton: every [`Dfta`] rule becomes a
+    /// singleton-target NFTA rule, and `finals` transfer verbatim.
+    pub fn from_dfta(d: &Dfta, finals: impl IntoIterator<Item = StateId>) -> Nfta {
+        let mut out = Nfta::new();
+        let states: Vec<NState> = d.states().map(|s| out.add_state(d.sort_of(s))).collect();
+        for (f, args, t) in d.transitions() {
+            let nargs: Vec<NState> = args.iter().map(|a| states[a.index()]).collect();
+            out.add_transition(f, nargs, &[states[t.index()]]);
+        }
+        for s in finals {
+            out.add_final(states[s.index()]);
+        }
+        out
+    }
+
+    /// Language union by juxtaposition: copies both automata side by
+    /// side. Linear in the inputs — the payoff of nondeterminism over
+    /// the deterministic product of [`TupleAutomaton::union`].
+    pub fn union(&self, other: &Nfta) -> Nfta {
+        let mut out = self.clone();
+        let offset = out.state_count();
+        for s in other.states() {
+            out.add_state(other.sort_of(s));
+        }
+        let shift = |s: NState| NState((s.index() + offset) as u32);
+        for ((f, args), targets) in &other.rules {
+            let nargs: Vec<NState> = args.iter().map(|a| shift(*a)).collect();
+            let nts: Vec<NState> = targets.iter().map(|t| shift(*t)).collect();
+            out.add_transition(*f, nargs, &nts);
+        }
+        for s in &other.finals {
+            out.add_final(shift(*s));
+        }
+        out
+    }
+
+    /// Subset-construction determinization (TATA, Theorem 1.1.9). The
+    /// returned 1-automaton accepts exactly this automaton's language;
+    /// its [`Dfta`] is trim because the construction is bottom-up: only
+    /// subsets reachable by some ground term are materialized.
+    ///
+    /// The component sort is taken from the final states (or the first
+    /// state when there are none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the automaton has no states, or if its final states do
+    /// not all carry one sort (the language would not be single-sorted).
+    pub fn determinize(&self) -> TupleAutomaton {
+        assert!(self.state_count() > 0, "determinizing an empty automaton");
+        let lang_sort = match self.finals.iter().next() {
+            Some(f) => {
+                let sort = self.sort_of(*f);
+                assert!(
+                    self.finals.iter().all(|s| self.sort_of(*s) == sort),
+                    "final states of mixed sorts"
+                );
+                sort
+            }
+            None => self.sort_of(NState(0)),
+        };
+
+        let mut dfta = Dfta::new();
+        // Subset → deterministic state, discovered bottom-up.
+        let mut ids: BTreeMap<BTreeSet<NState>, StateId> = BTreeMap::new();
+        loop {
+            let mut changed = false;
+            // Group the currently discovered subsets by sort for argument
+            // enumeration.
+            let mut by_sort: BTreeMap<SortId, Vec<&BTreeSet<NState>>> = BTreeMap::new();
+            for set in ids.keys() {
+                let sort = self.sort_of(*set.iter().next().expect("subsets are nonempty"));
+                by_sort.entry(sort).or_default().push(set);
+            }
+            // For every function symbol with known argument sorts, try
+            // every combination of discovered subsets.
+            let mut sigs: BTreeMap<FuncId, Vec<SortId>> = BTreeMap::new();
+            for (f, args, _) in self.transitions() {
+                sigs.entry(f)
+                    .or_insert_with(|| args.iter().map(|a| self.sort_of(*a)).collect());
+            }
+            let mut additions: Vec<(FuncId, Vec<BTreeSet<NState>>, BTreeSet<NState>)> = Vec::new();
+            for (f, domain) in &sigs {
+                let empty = Vec::new();
+                let choices: Vec<Vec<&BTreeSet<NState>>> = domain
+                    .iter()
+                    .map(|s| by_sort.get(s).unwrap_or(&empty).clone())
+                    .collect();
+                for combo in cartesian(&choices) {
+                    let target: BTreeSet<NState> = self
+                        .rules
+                        .iter()
+                        .filter(|((g, args), _)| {
+                            g == f
+                                && args.len() == combo.len()
+                                && args.iter().zip(&combo).all(|(q, set)| set.contains(q))
+                        })
+                        .flat_map(|(_, ts)| ts.iter().copied())
+                        .collect();
+                    if !target.is_empty() {
+                        additions.push((*f, combo.into_iter().cloned().collect(), target));
+                    }
+                }
+            }
+            for (f, arg_sets, target) in additions {
+                let next = ids.len();
+                let target_id = match ids.get(&target) {
+                    Some(id) => *id,
+                    None => {
+                        let id = dfta.add_state(self.sort_of(*target.iter().next().unwrap()));
+                        debug_assert_eq!(id.index(), next);
+                        ids.insert(target.clone(), id);
+                        changed = true;
+                        id
+                    }
+                };
+                let args: Vec<StateId> = arg_sets.iter().map(|s| ids[s]).collect();
+                if dfta.step(f, &args).is_none() {
+                    dfta.add_transition(f, args, target_id);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut out = TupleAutomaton::new(dfta, vec![lang_sort]);
+        for (set, id) in &ids {
+            if self.sort_of(*set.iter().next().unwrap()) == lang_sort
+                && set.iter().any(|s| self.finals.contains(s))
+            {
+                out.add_final(vec![*id]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_terms::signature_helpers::{nat_signature, tree_signature};
+    use ringen_terms::Signature;
+
+    fn num(n: usize, z: FuncId, s: FuncId) -> GroundTerm {
+        GroundTerm::iterate(s, GroundTerm::leaf(z), n)
+    }
+
+    /// NFTA accepting numbers ≥ 1 by guessing the witnessing `S`.
+    fn positive_nfta() -> (Signature, Nfta, FuncId, FuncId) {
+        let (sig, nat, z, s) = nat_signature();
+        let mut a = Nfta::new();
+        let any = a.add_state(nat);
+        let pos = a.add_state(nat);
+        a.add_transition(z, vec![], &[any]);
+        a.add_transition(s, vec![any], &[any, pos]);
+        a.add_transition(s, vec![pos], &[pos]);
+        a.add_final(pos);
+        (sig, a, z, s)
+    }
+
+    #[test]
+    fn run_collects_all_reachable_states() {
+        let (_sig, a, z, s) = positive_nfta();
+        assert_eq!(a.run(&num(0, z, s)).len(), 1);
+        assert_eq!(a.run(&num(3, z, s)).len(), 2);
+    }
+
+    #[test]
+    fn accepts_iff_some_final_run() {
+        let (_sig, a, z, s) = positive_nfta();
+        for n in 0..8 {
+            assert_eq!(a.accepts(&num(n, z, s)), n >= 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn determinize_preserves_the_language() {
+        let (_sig, a, z, s) = positive_nfta();
+        let d = a.determinize();
+        for n in 0..10 {
+            assert_eq!(d.accepts(&[num(n, z, s)]), n >= 1, "n = {n}");
+        }
+        // Reachable subsets over Nat: {any} (only Z) and {any,pos}.
+        assert_eq!(d.dfta().state_count(), 2);
+    }
+
+    #[test]
+    fn determinize_handles_no_run_terms() {
+        // An automaton with no rule for Z at all: every term is rejected
+        // and the determinized automaton is empty.
+        let (_sig, nat, _z, s) = nat_signature();
+        let mut a = Nfta::new();
+        let q = a.add_state(nat);
+        a.add_transition(s, vec![q], &[q]);
+        a.add_final(q);
+        let d = a.determinize();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn union_is_language_union() {
+        let (_sig, nat, z, s) = nat_signature();
+        // even numbers
+        let mut even = Nfta::new();
+        let e0 = even.add_state(nat);
+        let e1 = even.add_state(nat);
+        even.add_transition(z, vec![], &[e0]);
+        even.add_transition(s, vec![e0], &[e1]);
+        even.add_transition(s, vec![e1], &[e0]);
+        even.add_final(e0);
+        // multiples of 3
+        let mut mult3 = Nfta::new();
+        let m: Vec<NState> = (0..3).map(|_| mult3.add_state(nat)).collect();
+        mult3.add_transition(z, vec![], &[m[0]]);
+        for i in 0..3 {
+            mult3.add_transition(s, vec![m[i]], &[m[(i + 1) % 3]]);
+        }
+        mult3.add_final(m[0]);
+
+        let u = even.union(&mult3);
+        let d = u.determinize();
+        for n in 0..24 {
+            let t = num(n, z, s);
+            let want = n % 2 == 0 || n % 3 == 0;
+            assert_eq!(u.accepts(&t), want, "nfta, n = {n}");
+            assert_eq!(d.accepts(&[t]), want, "dfta, n = {n}");
+        }
+        // The subset construction needs at most 6 states (ℤ/2 × ℤ/3
+        // residues); nondeterministic union stays at 5.
+        assert_eq!(u.state_count(), 5);
+        assert!(d.dfta().state_count() <= 6);
+    }
+
+    #[test]
+    fn genuinely_nondeterministic_pattern_search() {
+        // Trees containing node(leaf, leaf) as a subterm: the automaton
+        // guesses which leaf starts the pattern.
+        let (sig, tree, leaf, node) = tree_signature();
+        let mut a = Nfta::new();
+        let any = a.add_state(tree);
+        let l = a.add_state(tree);
+        let hit = a.add_state(tree);
+        a.add_transition(leaf, vec![], &[any, l]);
+        a.add_transition(node, vec![any, any], &[any]);
+        a.add_transition(node, vec![l, l], &[hit]);
+        a.add_transition(node, vec![hit, any], &[hit]);
+        a.add_transition(node, vec![any, hit], &[hit]);
+        a.add_final(hit);
+
+        fn contains_pattern(t: &GroundTerm, leaf: FuncId, node: FuncId) -> bool {
+            let args = t.args();
+            if t.func() == node
+                && args.iter().all(|a| a.func() == leaf && a.args().is_empty())
+            {
+                return true;
+            }
+            args.iter().any(|a| contains_pattern(a, leaf, node))
+        }
+
+        let d = a.determinize();
+        for t in ringen_terms::herbrand::terms_up_to_height(&sig, tree, 4) {
+            let want = contains_pattern(&t, leaf, node);
+            assert_eq!(a.accepts(&t), want, "nfta on {t:?}");
+            assert_eq!(d.accepts(std::slice::from_ref(&t)), want, "dfta on {t:?}");
+        }
+    }
+
+    #[test]
+    fn from_dfta_round_trips() {
+        let (_sig, nat, z, s) = nat_signature();
+        let mut d = Dfta::new();
+        let s0 = d.add_state(nat);
+        let s1 = d.add_state(nat);
+        d.add_transition(z, vec![], s0);
+        d.add_transition(s, vec![s0], s1);
+        d.add_transition(s, vec![s1], s0);
+        let n = Nfta::from_dfta(&d, [s0]);
+        let back = n.determinize();
+        for k in 0..10 {
+            assert_eq!(n.accepts(&num(k, z, s)), k % 2 == 0);
+            assert_eq!(back.accepts(&[num(k, z, s)]), k % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_rules_are_idempotent() {
+        let (_sig, a, z, s) = positive_nfta();
+        let mut b = a.clone();
+        // Re-adding existing rules changes nothing.
+        let any = NState(0);
+        let pos = NState(1);
+        b.add_transition(s, vec![any], &[pos]);
+        assert_eq!(a, b);
+        let _ = (z,);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale state id")]
+    fn stale_state_panics() {
+        let (_sig, nat, z, _s) = nat_signature();
+        let mut a = Nfta::new();
+        let _q = a.add_state(nat);
+        a.add_transition(z, vec![], &[NState(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed sorts")]
+    fn mixed_sort_finals_panic() {
+        let (_sig, nat, list, _z, _s, nil, _cons) =
+            ringen_terms::signature_helpers::nat_list_signature();
+        let mut a = Nfta::new();
+        let qn = a.add_state(nat);
+        let ql = a.add_state(list);
+        a.add_transition(nil, vec![], &[ql]);
+        a.add_final(qn);
+        a.add_final(ql);
+        let _ = a.determinize();
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests: the boolean operations on tuple automata agree with
+//! their set semantics on enumerated ground terms.
+
+use proptest::prelude::*;
+use ringen_automata::{Dfta, Nfta, TupleAutomaton};
+use ringen_terms::{signature_helpers::nat_signature, GroundTerm};
+
+/// A random complete 1-DFTA over the Nat signature with `n` states:
+/// pick the Z target and the S successor per state, plus a final set.
+fn automaton(n: usize, z_t: usize, s_t: &[usize], finals: &[bool]) -> TupleAutomaton {
+    let (sig, nat, z, s) = nat_signature();
+    let _ = sig;
+    let mut d = Dfta::new();
+    let states: Vec<_> = (0..n).map(|_| d.add_state(nat)).collect();
+    d.add_transition(z, vec![], states[z_t % n]);
+    for (i, &t) in s_t.iter().enumerate().take(n) {
+        d.add_transition(s, vec![states[i]], states[t % n]);
+    }
+    let mut a = TupleAutomaton::new(d, vec![nat]);
+    for (i, &f) in finals.iter().enumerate().take(n) {
+        if f {
+            a.add_final(vec![states[i]]);
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn boolean_ops_match_set_semantics(
+        za in 0usize..3, sa in prop::collection::vec(0usize..3, 3),
+        fa in prop::collection::vec(any::<bool>(), 3),
+        zb in 0usize..3, sb in prop::collection::vec(0usize..3, 3),
+        fb in prop::collection::vec(any::<bool>(), 3),
+        n in 0usize..24,
+    ) {
+        let (sig, _, z, s) = nat_signature();
+        let a = automaton(3, za, &sa, &fa);
+        let b = automaton(3, zb, &sb, &fb);
+        let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+        let ta = a.accepts(std::slice::from_ref(&t));
+        let tb = b.accepts(std::slice::from_ref(&t));
+        prop_assert_eq!(a.intersection(&b).accepts(std::slice::from_ref(&t)), ta && tb);
+        prop_assert_eq!(a.union(&b, &sig).accepts(std::slice::from_ref(&t)), ta || tb);
+        prop_assert_eq!(a.complement(&sig).accepts(std::slice::from_ref(&t)), !ta);
+        // Minimization preserves the language.
+        prop_assert_eq!(a.minimized(&sig).accepts(std::slice::from_ref(&t)), ta);
+    }
+
+    #[test]
+    fn emptiness_agrees_with_witnesses(
+        za in 0usize..3, sa in prop::collection::vec(0usize..3, 3),
+        fa in prop::collection::vec(any::<bool>(), 3),
+    ) {
+        let a = automaton(3, za, &sa, &fa);
+        match a.witness() {
+            Some(w) => prop_assert!(a.accepts(&w)),
+            None => prop_assert!(a.is_empty()),
+        }
+    }
+}
+
+/// A random NFTA over the Nat signature with 3 states: bitmask-encoded
+/// target sets for Z and for S from each state, plus a final bitmask.
+fn random_nfta(z_mask: u8, s_masks: &[u8], final_mask: u8) -> Nfta {
+    let (_sig, nat, z, s) = nat_signature();
+    let mut a = Nfta::new();
+    let states: Vec<_> = (0..3).map(|_| a.add_state(nat)).collect();
+    let targets = |mask: u8| -> Vec<_> {
+        states
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, q)| *q)
+            .collect()
+    };
+    a.add_transition(z, vec![], &targets(z_mask));
+    for (i, &m) in s_masks.iter().enumerate().take(3) {
+        a.add_transition(s, vec![states[i]], &targets(m));
+    }
+    for (i, q) in states.iter().enumerate() {
+        if final_mask & (1 << i) != 0 {
+            a.add_final(*q);
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Subset-construction determinization preserves the language: the
+    /// decisive NFTA-vs-DFTA equivalence, on random 3-state automata.
+    #[test]
+    fn determinization_preserves_language(
+        zm in 0u8..8, sm in prop::collection::vec(0u8..8, 3), fm in 0u8..8,
+        n in 0usize..24,
+    ) {
+        let (_sig, _, z, s) = nat_signature();
+        let a = random_nfta(zm, &sm, fm);
+        let d = a.determinize();
+        let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+        prop_assert_eq!(d.accepts(std::slice::from_ref(&t)), a.accepts(&t));
+    }
+
+    /// NFTA union by juxtaposition is language union, and determinizing
+    /// the union agrees with the deterministic union of determinizations.
+    #[test]
+    fn nfta_union_is_language_union(
+        zma in 0u8..8, sma in prop::collection::vec(0u8..8, 3), fma in 0u8..8,
+        zmb in 0u8..8, smb in prop::collection::vec(0u8..8, 3), fmb in 0u8..8,
+        n in 0usize..20,
+    ) {
+        let (_sig, _, z, s) = nat_signature();
+        let a = random_nfta(zma, &sma, fma);
+        let b = random_nfta(zmb, &smb, fmb);
+        let u = a.union(&b);
+        let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+        prop_assert_eq!(u.accepts(&t), a.accepts(&t) || b.accepts(&t));
+        let du = u.determinize();
+        prop_assert_eq!(du.accepts(std::slice::from_ref(&t)), a.accepts(&t) || b.accepts(&t));
+    }
+
+    /// A round trip through `from_dfta` changes nothing.
+    #[test]
+    fn dfta_embedding_round_trips(
+        za in 0usize..3, sa in prop::collection::vec(0usize..3, 3),
+        fa in prop::collection::vec(any::<bool>(), 3),
+        n in 0usize..20,
+    ) {
+        let (_sig, _, z, s) = nat_signature();
+        let a = automaton(3, za, &sa, &fa);
+        let finals: Vec<_> = a.finals().map(|f| f[0]).collect();
+        let nf = Nfta::from_dfta(a.dfta(), finals);
+        let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+        prop_assert_eq!(nf.accepts(&t), a.accepts(std::slice::from_ref(&t)));
+        prop_assert_eq!(
+            nf.determinize().accepts(std::slice::from_ref(&t)),
+            a.accepts(std::slice::from_ref(&t))
+        );
+    }
+}

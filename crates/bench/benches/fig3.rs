@@ -1,0 +1,38 @@
+//! Criterion bench behind Figure 3: the three invariant-class solvers
+//! on the five §7 programs (solvable combinations only; divergence is
+//! benchmarked in `ablations`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ringen_bench::{run_solver, SolverKind};
+use ringen_benchgen::programs;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let cases: Vec<(&str, ringen_chc::ChcSystem, Vec<SolverKind>)> = vec![
+        (
+            "IncDec",
+            programs::inc_dec(),
+            vec![SolverKind::RInGen, SolverKind::Eldarica, SolverKind::Spacer],
+        ),
+        ("Diag", programs::diag(), vec![SolverKind::Spacer, SolverKind::Eldarica]),
+        ("LtGt", programs::lt_gt(), vec![SolverKind::Eldarica]),
+        ("Even", programs::even(), vec![SolverKind::RInGen, SolverKind::Eldarica]),
+        ("EvenLeft", programs::even_left(), vec![SolverKind::RInGen]),
+    ];
+    for (name, sys, kinds) in &cases {
+        for kind in kinds {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), name),
+                sys,
+                |bench, sys| bench.iter(|| run_solver(*kind, std::hint::black_box(sys))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind Figures 4/5: head-to-head timing of RInGen vs
+//! each competitor on instances every profile answers, the data source
+//! for the scatter plots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ringen_bench::{run_solver, SolverKind};
+use ringen_benchgen::shapes;
+
+fn bench_fig45(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_fig5");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    // SAT instance all profiles with the relevant class solve, and an
+    // UNSAT instance every refuter finds.
+    let cases = [
+        ("incdec-sat", shapes::inc_dec_offset(1)),
+        ("unsat-depth-4", shapes::unsat_chain(4)),
+    ];
+    for (name, sys) in &cases {
+        for kind in SolverKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), name),
+                sys,
+                |bench, sys| bench.iter(|| run_solver(kind, std::hint::black_box(sys))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig45);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench behind Table 1: solver cost per suite family.
+//!
+//! One representative instance per designed family region, each solver.
+//! `cargo bench -p ringen-bench --bench table1`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ringen_bench::{run_solver, SolverKind};
+use ringen_benchgen::{diseq_suite, positive_eq_suite, tip_suite};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let mut picks = Vec::new();
+    let pos = positive_eq_suite();
+    let dis = diseq_suite();
+    let tip = tip_suite();
+    for name in [
+        "positive-eq/mod3-off1",
+        "positive-eq/incdec-1",
+        "positive-eq/parity-0",
+        "diseq/shallow-2-0",
+        "diseq/example3",
+        "tip/order-0",
+        "tip/diag-0",
+        "tip/unsat-depth-2",
+    ] {
+        let b = pos
+            .iter()
+            .chain(&dis)
+            .chain(&tip)
+            .find(|b| b.name == name)
+            .expect("known benchmark");
+        picks.push(b.clone());
+    }
+    for b in &picks {
+        for kind in SolverKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), &b.name),
+                &b.system,
+                |bench, sys| bench.iter(|| run_solver(kind, std::hint::black_box(sys))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

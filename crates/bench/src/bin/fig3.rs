@@ -1,0 +1,46 @@
+//! Regenerates Figure 3: the expressiveness Venn diagram of
+//! Elem / SizeElem / Reg on the five §7 programs — executed, with the
+//! negative results backed by bounded-model exhaustion and the pumping
+//! lemmas.
+
+use ringen_bench::{run_solver, RunAnswer, SolverKind};
+use ringen_benchgen::programs;
+use ringen_core::definability::no_regular_invariant_up_to;
+
+fn main() {
+    println!("Figure 3: definability of the five §7 programs\n");
+    println!(
+        "{:<10} {:>6} {:>9} {:>6}   evidence",
+        "program", "Elem", "SizeElem", "Reg"
+    );
+    let cases = [
+        ("IncDec", programs::inc_dec(), "all three classes (Prop. 4)"),
+        ("Diag", programs::diag(), "Elem only; no finite model (Prop. 11)"),
+        ("LtGt", programs::lt_gt(), "SizeElem only (Prop. 12)"),
+        ("Even", programs::even(), "Reg ∩ SizeElem, not Elem (Prop. 1/6/8)"),
+        ("EvenLeft", programs::even_left(), "Reg only (Prop. 2/9/10)"),
+    ];
+    for (name, sys, note) in cases {
+        let mark = |k: SolverKind| {
+            if run_solver(k, &sys).0 == RunAnswer::Sat {
+                "yes"
+            } else {
+                "-"
+            }
+        };
+        println!(
+            "{:<10} {:>6} {:>9} {:>6}   {}",
+            name,
+            mark(SolverKind::Spacer),
+            mark(SolverKind::Eldarica),
+            mark(SolverKind::RInGen),
+            note
+        );
+    }
+    println!();
+    println!("bounded negative evidence for Reg (no model up to total size 7):");
+    for (name, sys) in [("Diag", programs::diag()), ("LtGt", programs::lt_gt())] {
+        let none = no_regular_invariant_up_to(&sys, 7);
+        println!("  {name}: no regular invariant with ≤ 7 states: {none}");
+    }
+}

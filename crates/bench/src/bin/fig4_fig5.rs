@@ -1,0 +1,42 @@
+//! Regenerates Figures 4 and 5: per-instance timing scatter of RInGen
+//! vs each competitor (all results, then SAT-only). The sample covers
+//! the full PositiveEq and Diseq suites plus a slice of TIP; pass a
+//! limit to change the TIP slice.
+
+use ringen_bench::{render_scatter, run_suite, scatter, RunAnswer, SolverKind};
+use ringen_benchgen::{diseq_suite, positive_eq_suite, tip_suite};
+
+fn main() {
+    let tip_slice: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    let mut suite = positive_eq_suite();
+    suite.extend(diseq_suite());
+    let mut tip = tip_suite();
+    tip.truncate(tip_slice);
+    suite.extend(tip);
+    eprintln!("running {} benchmarks x 5 solvers ...", suite.len());
+    let ringen = run_suite(SolverKind::RInGen, &suite);
+    let border = ringen.iter().map(|r| r.micros).max().unwrap_or(1) * 10;
+    for other_kind in [
+        SolverKind::Eldarica,
+        SolverKind::Spacer,
+        SolverKind::Cvc4Ind,
+        SolverKind::VerimapIddt,
+    ] {
+        eprintln!("  {} ...", other_kind.name());
+        let other = run_suite(other_kind, &suite);
+        for (sat_only, figure) in [(false, "Figure 4"), (true, "Figure 5")] {
+            let pts = scatter(&ringen, &other, sat_only, border);
+            println!("\n{figure}: RInGen vs {} ({} points)", other_kind.name(), pts.len());
+            println!("{}", render_scatter(&pts, 64, 20));
+        }
+        let both_sat = ringen
+            .iter()
+            .zip(&other)
+            .filter(|(a, b)| a.answer == RunAnswer::Sat && b.answer == RunAnswer::Sat)
+            .count();
+        println!("instances SAT for both: {both_sat}");
+    }
+}

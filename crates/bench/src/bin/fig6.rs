@@ -1,0 +1,12 @@
+//! Regenerates Figure 6: the histogram of finite-model sizes (sum of
+//! sort cardinalities) over every successful RInGen run.
+
+use ringen_bench::{fig6_histogram, run_suite, SolverKind};
+use ringen_benchgen::full_evaluation;
+
+fn main() {
+    let suite = full_evaluation();
+    eprintln!("running RInGen on {} benchmarks ...", suite.len());
+    let results = run_suite(SolverKind::RInGen, &suite);
+    println!("{}", fig6_histogram(&results));
+}

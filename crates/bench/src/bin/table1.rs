@@ -1,0 +1,53 @@
+//! Regenerates Table 1: correct results per solver on the three suites.
+//!
+//! Usage: `cargo run -p ringen-bench --release --bin table1 [limit]`
+//! where the optional `limit` truncates each suite (for quick looks).
+//! Writes the full per-instance CSV next to the table.
+
+use ringen_bench::{
+    fig6_histogram, render_scatter, results_csv, run_suite, scatter, table1, SolverKind,
+};
+use ringen_benchgen::full_evaluation;
+
+fn main() {
+    let limit: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    let mut suite = full_evaluation();
+    suite.retain(|b| {
+        matches!(
+            b.family,
+            ringen_benchgen::Family::PositiveEq
+                | ringen_benchgen::Family::Diseq
+                | ringen_benchgen::Family::Tip
+        )
+    });
+    if let Some(n) = limit {
+        suite.truncate(n);
+    }
+    eprintln!("running {} benchmarks x 5 solvers ...", suite.len());
+    let mut results = Vec::new();
+    for kind in SolverKind::all() {
+        eprintln!("  {} ...", kind.name());
+        results.push((kind, run_suite(kind, &suite)));
+    }
+    println!("{}", table1(&results));
+    // Figures 4/5 from the same run.
+    let ringen = &results.iter().find(|(k, _)| *k == SolverKind::RInGen).unwrap().1;
+    let border = ringen.iter().map(|r| r.micros).max().unwrap_or(1) * 10;
+    for (kind, rs) in &results {
+        if *kind == SolverKind::RInGen {
+            continue;
+        }
+        for (sat_only, figure) in [(false, "Figure 4"), (true, "Figure 5")] {
+            let pts = scatter(ringen, rs, sat_only, border);
+            println!("\n{figure}: RInGen vs {} ({} points)", kind.name(), pts.len());
+            println!("{}", render_scatter(&pts, 64, 18));
+        }
+    }
+    // Figure 6 from the same run.
+    println!("\n{}", fig6_histogram(ringen));
+    let csv = results_csv(&results);
+    let path = "target/table1_results.csv";
+    if std::fs::write(path, &csv).is_ok() {
+        eprintln!("per-instance results written to {path}");
+    }
+}

@@ -1,0 +1,281 @@
+//! The five programs of §7 / Appendix C, exactly as the paper states
+//! them, plus the two `RegElem` separation programs of the §7
+//! future-work extension. Figure 3 (extended) places them in the
+//! representation-class Venn diagram:
+//!
+//! | program        | Elem | SizeElem | Reg | RegElem |
+//! |----------------|------|----------|-----|---------|
+//! | `IncDec`       | ✓    | ✓        | ✓   | ✓       |
+//! | `Diag`         | ✓    | ✓        | ✗   | ✓       |
+//! | `LtGt`         | ✗    | ✓        | ✗   | ✓*      |
+//! | `Even`         | ✗    | ✓        | ✓   | ✓       |
+//! | `EvenLeft`     | ✗    | ✗        | ✓   | ✓       |
+//! | `EvenDiag`     | ✗    | ✓        | ✗   | ✓       |
+//! | `EvenLeftDiag` | ✗    | ✗        | ✗   | ✓       |
+//!
+//! (*`LtGt` is solved by the hybrid portfolio's size phase; orderings
+//! themselves are not expressible by membership atoms.)
+
+use ringen_chc::{ChcSystem, SystemBuilder};
+
+/// Example 1: no two consecutive Peano numbers are both even.
+pub fn even() -> ChcSystem {
+    let mut b = SystemBuilder::new();
+    let nat = b.sort("Nat");
+    let z = b.ctor("Z", vec![], nat);
+    let s = b.ctor("S", vec![nat], nat);
+    let even = b.pred("even", vec![nat]);
+    b.clause(|c| {
+        c.head(even, vec![c.app0(z)]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        c.body(even, vec![c.v(x)]);
+        c.head(even, vec![c.app(s, vec![c.app(s, vec![c.v(x)])])]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        c.body(even, vec![c.v(x)]);
+        c.body(even, vec![c.app(s, vec![c.v(x)])]);
+    });
+    b.finish()
+}
+
+/// Example 4: `inc` and `dec` never agree.
+pub fn inc_dec() -> ChcSystem {
+    let mut b = SystemBuilder::new();
+    let nat = b.sort("Nat");
+    let z = b.ctor("Z", vec![], nat);
+    let s = b.ctor("S", vec![nat], nat);
+    let inc = b.pred("inc", vec![nat, nat]);
+    let dec = b.pred("dec", vec![nat, nat]);
+    b.clause(|c| {
+        c.head(inc, vec![c.app0(z), c.app(s, vec![c.app0(z)])]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        let y = c.var("y", nat);
+        c.body(inc, vec![c.v(x), c.v(y)]);
+        c.head(inc, vec![c.app(s, vec![c.v(x)]), c.app(s, vec![c.v(y)])]);
+    });
+    b.clause(|c| {
+        c.head(dec, vec![c.app(s, vec![c.app0(z)]), c.app0(z)]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        let y = c.var("y", nat);
+        c.body(dec, vec![c.v(x), c.v(y)]);
+        c.head(dec, vec![c.app(s, vec![c.v(x)]), c.app(s, vec![c.v(y)])]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        let y = c.var("y", nat);
+        c.body(inc, vec![c.v(x), c.v(y)]);
+        c.body(dec, vec![c.v(x), c.v(y)]);
+    });
+    b.finish()
+}
+
+/// Example 5/10: the leftmost branch has even length.
+pub fn even_left() -> ChcSystem {
+    let mut b = SystemBuilder::new();
+    let tree = b.sort("Tree");
+    let leaf = b.ctor("leaf", vec![], tree);
+    let node = b.ctor("node", vec![tree, tree], tree);
+    let el = b.pred("evenleft", vec![tree]);
+    b.clause(|c| {
+        c.head(el, vec![c.app0(leaf)]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", tree);
+        let y = c.var("y", tree);
+        let z = c.var("z", tree);
+        c.body(el, vec![c.v(x)]);
+        let inner = c.app(node, vec![c.v(x), c.v(y)]);
+        c.head(el, vec![c.app(node, vec![inner, c.v(z)])]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", tree);
+        let y = c.var("y", tree);
+        c.body(el, vec![c.v(x)]);
+        c.body(el, vec![c.app(node, vec![c.v(x), c.v(y)])]);
+    });
+    b.finish()
+}
+
+/// Example 11: recursive equality vs. disequality of Peano numbers.
+pub fn diag() -> ChcSystem {
+    let mut b = SystemBuilder::new();
+    let nat = b.sort("Nat");
+    let z = b.ctor("Z", vec![], nat);
+    let s = b.ctor("S", vec![nat], nat);
+    let eq = b.pred("eq", vec![nat, nat]);
+    let diseq = b.pred("diseq", vec![nat, nat]);
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        c.head(eq, vec![c.v(x), c.v(x)]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        c.head(diseq, vec![c.app(s, vec![c.v(x)]), c.app0(z)]);
+    });
+    b.clause(|c| {
+        let y = c.var("y", nat);
+        c.head(diseq, vec![c.app0(z), c.app(s, vec![c.v(y)])]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        let y = c.var("y", nat);
+        c.body(diseq, vec![c.v(x), c.v(y)]);
+        c.head(diseq, vec![c.app(s, vec![c.v(x)]), c.app(s, vec![c.v(y)])]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        let y = c.var("y", nat);
+        c.body(eq, vec![c.v(x), c.v(y)]);
+        c.body(diseq, vec![c.v(x), c.v(y)]);
+    });
+    b.finish()
+}
+
+/// Example 12: strict orderings `lt` and `gt` never agree.
+pub fn lt_gt() -> ChcSystem {
+    let mut b = SystemBuilder::new();
+    let nat = b.sort("Nat");
+    let z = b.ctor("Z", vec![], nat);
+    let s = b.ctor("S", vec![nat], nat);
+    let lt = b.pred("lt", vec![nat, nat]);
+    let gt = b.pred("gt", vec![nat, nat]);
+    b.clause(|c| {
+        let y = c.var("y", nat);
+        c.head(lt, vec![c.app0(z), c.app(s, vec![c.v(y)])]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        let y = c.var("y", nat);
+        c.body(lt, vec![c.v(x), c.v(y)]);
+        c.head(lt, vec![c.app(s, vec![c.v(x)]), c.app(s, vec![c.v(y)])]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        c.head(gt, vec![c.app(s, vec![c.v(x)]), c.app0(z)]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        let y = c.var("y", nat);
+        c.body(gt, vec![c.v(x), c.v(y)]);
+        c.head(gt, vec![c.app(s, vec![c.v(x)]), c.app(s, vec![c.v(y)])]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        let y = c.var("y", nat);
+        c.body(lt, vec![c.v(x), c.v(y)]);
+        c.body(gt, vec![c.v(x), c.v(y)]);
+    });
+    b.finish()
+}
+
+/// `EvenDiag`: even Peano numbers paired with themselves. The least
+/// model is `{(S²ⁿ(Z), S²ⁿ(Z))}`; every safe inductive invariant must
+/// keep both the diagonal (not regular, Prop. 11) and the parity (not
+/// elementary, Prop. 1), so the program separates `RegElem` from
+/// `Elem ∪ Reg` — the §7-future-work class of first-order formulas with
+/// regular membership predicates.
+pub fn even_diag() -> ChcSystem {
+    let mut b = SystemBuilder::new();
+    let nat = b.sort("Nat");
+    let z = b.ctor("Z", vec![], nat);
+    let s = b.ctor("S", vec![nat], nat);
+    let ep = b.pred("evenpair", vec![nat, nat]);
+    b.clause(|c| {
+        c.head(ep, vec![c.app0(z), c.app0(z)]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        let y = c.var("y", nat);
+        c.body(ep, vec![c.v(x), c.v(y)]);
+        let sx2 = c.app(s, vec![c.app(s, vec![c.v(x)])]);
+        let sy2 = c.app(s, vec![c.app(s, vec![c.v(y)])]);
+        c.head(ep, vec![sx2, sy2]);
+    });
+    // The diagonal query: components never differ.
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        let y = c.var("y", nat);
+        c.body(ep, vec![c.v(x), c.v(y)]);
+        c.neq(c.v(x), c.v(y));
+    });
+    // The parity query: a pair and its successor pair never coexist.
+    b.clause(|c| {
+        let x = c.var("x", nat);
+        let y = c.var("y", nat);
+        c.body(ep, vec![c.v(x), c.v(y)]);
+        c.body(ep, vec![c.app(s, vec![c.v(x)]), c.app(s, vec![c.v(y)])]);
+    });
+    b.finish()
+}
+
+/// `EvenLeftDiag`: trees with an even leftmost spine paired with
+/// themselves. Combines the `EvenLeft ∉ SizeElem` argument (Prop. 2)
+/// with the `Diag ∉ Reg` argument (Prop. 11): its safe inductive
+/// invariant lies outside *all three* of the paper's Figure 3 classes,
+/// but inside `RegElem`.
+pub fn even_left_diag() -> ChcSystem {
+    let mut b = SystemBuilder::new();
+    let tree = b.sort("Tree");
+    let leaf = b.ctor("leaf", vec![], tree);
+    let node = b.ctor("node", vec![tree, tree], tree);
+    let p = b.pred("evenleftpair", vec![tree, tree]);
+    b.clause(|c| {
+        c.head(p, vec![c.app0(leaf), c.app0(leaf)]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", tree);
+        let y = c.var("y", tree);
+        let u = c.var("u", tree);
+        let v = c.var("v", tree);
+        c.body(p, vec![c.v(x), c.v(y)]);
+        let lx = c.app(node, vec![c.app(node, vec![c.v(x), c.v(u)]), c.v(v)]);
+        let ly = c.app(node, vec![c.app(node, vec![c.v(y), c.v(u)]), c.v(v)]);
+        c.head(p, vec![lx, ly]);
+    });
+    // The diagonal query.
+    b.clause(|c| {
+        let x = c.var("x", tree);
+        let y = c.var("y", tree);
+        c.body(p, vec![c.v(x), c.v(y)]);
+        c.neq(c.v(x), c.v(y));
+    });
+    // The spine-parity query: a tree and its one-step extension never
+    // both have an even leftmost spine.
+    b.clause(|c| {
+        let x = c.var("x", tree);
+        let y = c.var("y", tree);
+        let u = c.var("u", tree);
+        let w = c.var("w", tree);
+        c.body(p, vec![c.v(x), c.v(y)]);
+        c.body(p, vec![c.app(node, vec![c.v(x), c.v(u)]), c.v(w)]);
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_are_well_sorted() {
+        for (name, sys) in [
+            ("Even", even()),
+            ("IncDec", inc_dec()),
+            ("EvenLeft", even_left()),
+            ("Diag", diag()),
+            ("LtGt", lt_gt()),
+            ("EvenDiag", even_diag()),
+            ("EvenLeftDiag", even_left_diag()),
+        ] {
+            assert!(sys.well_sorted().is_ok(), "{name} ill-sorted");
+            assert!(sys.queries().count() >= 1, "{name} has no query");
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The §5 case study: simply-typed lambda calculus inhabitation.
+//!
+//! [`type_check_system`] builds the verification conditions of Figure 2:
+//! the `typeCheck(Γ, e, t)` relation over the `Var`/`Type`/`Expr`/`Env`
+//! ADTs, with the ∀∃ query `∀e ∃ā. typeCheck(empty, e, goal(ā)) → ⊥`
+//! asserting that no closed term inhabits the *scheme* `goal` at every
+//! type instance. The paper's headline instance is `(a → b) → a`, whose
+//! regular invariant ℐ the finite-model finder discovers; Peirce's law
+//! `((a → b) → a) → a` is classically valid, ℐ is too weak, and the
+//! tool diverges.
+//!
+//! [`handwritten_suite`] regenerates the 23 hand-written type-theory
+//! problems of §8 "Other experiments".
+
+use ringen_chc::{ChcSystem, SystemBuilder};
+use ringen_terms::{Term, VarId};
+
+/// A simple type scheme over atomic type variables `0 … n-1` (which the
+/// query quantifies existentially) and primitive constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// The `i`-th quantified atomic type of the goal.
+    Atom(usize),
+    /// A fixed primitive type (one nullary constructor is generated per
+    /// distinct index used).
+    Prim(usize),
+    /// `arrow(domain, codomain)`.
+    Arrow(Box<TypeExpr>, Box<TypeExpr>),
+}
+
+impl TypeExpr {
+    /// `a → b`.
+    pub fn arrow(a: TypeExpr, b: TypeExpr) -> TypeExpr {
+        TypeExpr::Arrow(Box::new(a), Box::new(b))
+    }
+
+    /// Number of distinct [`TypeExpr::Atom`] indices.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            TypeExpr::Atom(i) => i + 1,
+            TypeExpr::Prim(_) => 0,
+            TypeExpr::Arrow(a, b) => a.atom_count().max(b.atom_count()),
+        }
+    }
+
+    /// Number of distinct [`TypeExpr::Prim`] indices.
+    pub fn prim_count(&self) -> usize {
+        match self {
+            TypeExpr::Atom(_) => 0,
+            TypeExpr::Prim(i) => i + 1,
+            TypeExpr::Arrow(a, b) => a.prim_count().max(b.prim_count()),
+        }
+    }
+
+    /// The paper's `(a → b) → a` — uninhabited, with a regular invariant.
+    pub fn paper_goal() -> TypeExpr {
+        TypeExpr::arrow(
+            TypeExpr::arrow(TypeExpr::Atom(0), TypeExpr::Atom(1)),
+            TypeExpr::Atom(0),
+        )
+    }
+
+    /// Peirce's law `((a → b) → a) → a` — classically valid, so the ℐ
+    /// invariant is too weak; the tool diverges (§5).
+    pub fn peirce() -> TypeExpr {
+        TypeExpr::arrow(
+            TypeExpr::arrow(
+                TypeExpr::arrow(TypeExpr::Atom(0), TypeExpr::Atom(1)),
+                TypeExpr::Atom(0),
+            ),
+            TypeExpr::Atom(0),
+        )
+    }
+}
+
+/// Builds the Figure 2 verification conditions with the query type
+/// scheme `goal`.
+pub fn type_check_system(goal: &TypeExpr) -> ChcSystem {
+    let mut b = SystemBuilder::new();
+    // Var ::= v0 | v1
+    let var_s = b.sort("Var");
+    let _v0 = b.ctor("v0", vec![], var_s);
+    let _v1 = b.ctor("v1", vec![], var_s);
+    // Type ::= prim_i | arrow(Type, Type)
+    let ty = b.sort("Type");
+    let prim_count = goal.prim_count().max(1);
+    let prims: Vec<_> = (0..prim_count)
+        .map(|i| b.ctor(format!("prim{i}"), vec![], ty))
+        .collect();
+    let arrow = b.ctor("arrow", vec![ty, ty], ty);
+    // Expr ::= evar(Var) | abs(Var, Expr) | app(Expr, Expr)
+    let expr = b.sort("Expr");
+    let _evar = b.ctor("evar", vec![var_s], expr);
+    let abs = b.ctor("abs", vec![var_s, expr], expr);
+    let eapp = b.ctor("app", vec![expr, expr], expr);
+    // Env ::= empty | cons(Var, Type, Env)
+    let env = b.sort("Env");
+    let empty = b.ctor("empty", vec![], env);
+    let cons = b.ctor("cons", vec![var_s, ty, env], env);
+
+    let tc = b.pred("typeCheck", vec![env, expr, ty]);
+    let evar = b.signature().func_by_name("evar").expect("declared");
+
+    // (1) Γ = cons(v, t, _) ∧ e = var(v) → typeCheck(Γ, e, t)
+    b.clause(|c| {
+        let v = c.var("v", var_s);
+        let t = c.var("t", ty);
+        let g = c.var("g", env);
+        let gamma = c.app(cons, vec![c.v(v), c.v(t), c.v(g)]);
+        let e = c.app(evar, vec![c.v(v)]);
+        c.head(tc, vec![gamma, e, c.v(t)]);
+    });
+    // (2) lookup skips the head binding (over-approximated without the
+    // v ≠ v' guard, which only weakens the premise — still sound VCs;
+    // the paper's ℐ ignores the bound variable anyway).
+    b.clause(|c| {
+        let v = c.var("v", var_s);
+        let v2 = c.var("v2", var_s);
+        let t = c.var("t", ty);
+        let t2 = c.var("t2", ty);
+        let g = c.var("g", env);
+        let e = c.app(evar, vec![c.v(v)]);
+        c.body(tc, vec![c.v(g), e.clone(), c.v(t)]);
+        let gamma = c.app(cons, vec![c.v(v2), c.v(t2), c.v(g)]);
+        c.head(tc, vec![gamma, e, c.v(t)]);
+    });
+    // (3) abstraction.
+    b.clause(|c| {
+        let v = c.var("v", var_s);
+        let e1 = c.var("e1", expr);
+        let t1 = c.var("t1", ty);
+        let u = c.var("u", ty);
+        let g = c.var("g", env);
+        let inner_env = c.app(cons, vec![c.v(v), c.v(t1), c.v(g)]);
+        c.body(tc, vec![inner_env, c.v(e1), c.v(u)]);
+        let e = c.app(abs, vec![c.v(v), c.v(e1)]);
+        let t = c.app(arrow, vec![c.v(t1), c.v(u)]);
+        c.head(tc, vec![c.v(g), e, t]);
+    });
+    // (4) application.
+    b.clause(|c| {
+        let e1 = c.var("e1", expr);
+        let e2 = c.var("e2", expr);
+        let t = c.var("t", ty);
+        let u = c.var("u", ty);
+        let g = c.var("g", env);
+        c.body(tc, vec![c.v(g), c.v(e2), c.v(u)]);
+        let arr = c.app(arrow, vec![c.v(u), c.v(t)]);
+        c.body(tc, vec![c.v(g), c.v(e1), arr]);
+        let e = c.app(eapp, vec![c.v(e1), c.v(e2)]);
+        c.head(tc, vec![c.v(g), e, c.v(t)]);
+    });
+    // (5) the ∀e ∃ā query.
+    let n_atoms = goal.atom_count();
+    b.clause(|c| {
+        let e = c.var("e", expr);
+        let atoms: Vec<VarId> = (0..n_atoms).map(|i| c.var(format!("a{i}"), ty)).collect();
+        let goal_term = build_type(goal, &atoms, &prims, arrow, c);
+        c.body(tc, vec![c.app0(empty), c.v(e), goal_term]);
+    });
+    let mut sys = b.finish();
+    // Mark the goal's atomic types existential.
+    let q = sys.clauses.len() - 1;
+    let exist: Vec<VarId> = sys.clauses[q]
+        .vars
+        .vars()
+        .skip(1) // `e` is universal
+        .take(n_atoms)
+        .collect();
+    sys.clauses[q].exist_vars = exist;
+    sys
+}
+
+fn build_type(
+    t: &TypeExpr,
+    atoms: &[VarId],
+    prims: &[ringen_terms::FuncId],
+    arrow: ringen_terms::FuncId,
+    c: &ringen_chc::ClauseBuilder,
+) -> Term {
+    match t {
+        TypeExpr::Atom(i) => Term::var(atoms[*i]),
+        TypeExpr::Prim(i) => Term::leaf(prims[*i]),
+        TypeExpr::Arrow(a, b) => {
+            let a = build_type(a, atoms, prims, arrow, c);
+            let b = build_type(b, atoms, prims, arrow, c);
+            Term::app(arrow, vec![a, b])
+        }
+    }
+}
+
+/// The 23 hand-written type-theory problems of §8 "Other experiments":
+/// inhabitation of various schemes plus small term-rewriting systems.
+/// The paper reports them "intractable for all the solvers except the
+/// finite model finder" (with the finder itself diverging on the
+/// classically-valid goals such as Peirce's law).
+pub fn handwritten_suite() -> Vec<(String, ChcSystem)> {
+    let a = || TypeExpr::Atom(0);
+    let bb = || TypeExpr::Atom(1);
+    let c3 = || TypeExpr::Atom(2);
+    let arr = TypeExpr::arrow;
+    let goals: Vec<(&str, TypeExpr)> = vec![
+        ("inhab-paper", TypeExpr::paper_goal()),
+        ("inhab-peirce", TypeExpr::peirce()),
+        ("inhab-atom", a()),
+        ("inhab-a-to-b", arr(a(), bb())),
+        ("inhab-b-to-a", arr(bb(), a())),
+        ("inhab-ab-to-a", arr(a(), arr(bb(), a()))),
+        ("inhab-double-neg", arr(arr(arr(a(), bb()), bb()), a())),
+        ("inhab-swap-args", arr(arr(a(), arr(bb(), c3())), arr(bb(), arr(a(), c3())))),
+        ("inhab-const3", arr(a(), arr(bb(), arr(c3(), a())))),
+        ("inhab-proj-mid", arr(a(), arr(bb(), arr(c3(), bb())))),
+        ("inhab-arrow-chain", arr(arr(a(), bb()), arr(arr(bb(), c3()), arr(a(), c3())))),
+        ("inhab-contraction", arr(arr(a(), arr(a(), bb())), arr(a(), bb()))),
+        ("inhab-weak-peirce", arr(arr(arr(a(), bb()), a()), arr(arr(a(), c3()), a()))),
+        ("inhab-prim-id", arr(TypeExpr::Prim(0), TypeExpr::Prim(0))),
+        ("inhab-prim-swap", arr(TypeExpr::Prim(0), TypeExpr::Prim(1))),
+        ("inhab-prim-goal", arr(arr(TypeExpr::Prim(0), TypeExpr::Prim(1)), TypeExpr::Prim(0))),
+        ("inhab-mixed", arr(arr(a(), TypeExpr::Prim(0)), a())),
+    ];
+    let mut out: Vec<(String, ChcSystem)> = goals
+        .into_iter()
+        .map(|(n, g)| (format!("handwritten/{n}"), type_check_system(&g)))
+        .collect();
+    // Term-rewriting-style systems: combinator reduction reachability.
+    for k in 0..6 {
+        out.push((format!("handwritten/trs-{k}"), rewrite_system(k)));
+    }
+    out
+}
+
+/// A small term-rewriting reachability problem: reach(x, y) closes a
+/// seeded rewrite step relation under reflexivity/transitivity and
+/// congruence; the query asserts a particular normal form is not
+/// reachable from a particular seed. All instances are safe but need
+/// reasoning none of the solvers' representations support — the
+/// "intractable" tail of §8.
+fn rewrite_system(k: usize) -> ChcSystem {
+    let mut b = SystemBuilder::new();
+    let t = b.sort("Tm");
+    let sc = b.ctor("Sc", vec![], t);
+    let kc = b.ctor("Kc", vec![], t);
+    let ap = b.ctor("Ap", vec![t, t], t);
+    let step = b.pred("step", vec![t, t]);
+    let reach = b.pred("reach", vec![t, t]);
+    // K x y → x.
+    b.clause(|c| {
+        let x = c.var("x", t);
+        let y = c.var("y", t);
+        let kx = c.app(ap, vec![c.app0(kc), c.v(x)]);
+        let kxy = c.app(ap, vec![kx, c.v(y)]);
+        c.head(step, vec![kxy, c.v(x)]);
+    });
+    // S x y z → (x z) (y z).
+    b.clause(|c| {
+        let x = c.var("x", t);
+        let y = c.var("y", t);
+        let z = c.var("z", t);
+        let sx = c.app(ap, vec![c.app0(sc), c.v(x)]);
+        let sxy = c.app(ap, vec![sx, c.v(y)]);
+        let sxyz = c.app(ap, vec![sxy, c.v(z)]);
+        let xz = c.app(ap, vec![c.v(x), c.v(z)]);
+        let yz = c.app(ap, vec![c.v(y), c.v(z)]);
+        c.head(step, vec![sxyz, c.app(ap, vec![xz, yz])]);
+    });
+    // Congruence on both application positions.
+    b.clause(|c| {
+        let x = c.var("x", t);
+        let y = c.var("y", t);
+        let z = c.var("z", t);
+        c.body(step, vec![c.v(x), c.v(y)]);
+        c.head(step, vec![c.app(ap, vec![c.v(x), c.v(z)]), c.app(ap, vec![c.v(y), c.v(z)])]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", t);
+        let y = c.var("y", t);
+        let z = c.var("z", t);
+        c.body(step, vec![c.v(x), c.v(y)]);
+        c.head(step, vec![c.app(ap, vec![c.v(z), c.v(x)]), c.app(ap, vec![c.v(z), c.v(y)])]);
+    });
+    // reach = reflexive-transitive closure.
+    b.clause(|c| {
+        let x = c.var("x", t);
+        c.head(reach, vec![c.v(x), c.v(x)]);
+    });
+    b.clause(|c| {
+        let x = c.var("x", t);
+        let y = c.var("y", t);
+        let z = c.var("z", t);
+        c.body(step, vec![c.v(x), c.v(y)]);
+        c.body(reach, vec![c.v(y), c.v(z)]);
+        c.head(reach, vec![c.v(x), c.v(z)]);
+    });
+    // Query: the k-fold application K (K … (K K)) does not reach S.
+    b.clause(|c| {
+        let mut seed = c.app0(kc);
+        for _ in 0..k {
+            seed = c.app(ap, vec![c.app0(kc), seed]);
+        }
+        c.body(reach, vec![seed, c.app0(sc)]);
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape() {
+        let sys = type_check_system(&TypeExpr::paper_goal());
+        assert!(sys.well_sorted().is_ok());
+        assert_eq!(sys.clauses.len(), 5);
+        let q = sys.queries().next().unwrap();
+        assert_eq!(q.exist_vars.len(), 2, "a and b are existential");
+    }
+
+    #[test]
+    fn handwritten_suite_has_23_problems() {
+        let suite = handwritten_suite();
+        assert_eq!(suite.len(), 23);
+        for (name, sys) in &suite {
+            assert!(sys.well_sorted().is_ok(), "{name} ill-sorted");
+        }
+    }
+
+    #[test]
+    fn paper_goal_has_two_atoms() {
+        assert_eq!(TypeExpr::paper_goal().atom_count(), 2);
+        assert_eq!(TypeExpr::peirce().atom_count(), 2);
+    }
+}

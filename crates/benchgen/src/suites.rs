@@ -1,0 +1,401 @@
+//! The three §8 benchmark suites, generated deterministically.
+//!
+//! The original artifacts (the modified De Angelis et al. set and the
+//! TIP conversion) are not shipped; these suites reproduce their
+//! *composition* — which solver profile should solve which fraction —
+//! as recorded in Table 1. Every instance is a genuine CHC system; the
+//! designed solver profile is an expectation the harness reports
+//! against, not a shortcut in the solvers.
+
+use ringen_chc::{ChcSystem, SystemBuilder};
+
+use crate::shapes;
+
+/// Which suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Equalities only in positive positions (35 systems).
+    PositiveEq,
+    /// Disequality constraints in clause bodies (26 systems).
+    Diseq,
+    /// The TIP-like suite (454 systems).
+    Tip,
+    /// The 23 hand-written type-theory problems.
+    Handwritten,
+    /// The five §7 programs.
+    Program,
+}
+
+/// The ground truth of an instance, known by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// The system is satisfiable (the program is safe).
+    Sat,
+    /// The system is unsatisfiable.
+    Unsat,
+}
+
+/// One generated benchmark.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Stable, human-readable identifier.
+    pub name: String,
+    /// The CHC system.
+    pub system: ChcSystem,
+    /// Which suite it belongs to.
+    pub family: Family,
+    /// Ground truth by construction.
+    pub expected: Expected,
+}
+
+impl Benchmark {
+    fn new(name: impl Into<String>, system: ChcSystem, family: Family, expected: Expected) -> Self {
+        let b = Benchmark { name: name.into(), system, family, expected };
+        debug_assert!(b.system.well_sorted().is_ok(), "{} ill-sorted", b.name);
+        b
+    }
+}
+
+/// The `PositiveEq` suite: 35 systems, equalities only positive.
+/// Composition: mostly regular-invariant problems (mod-k, tree-spine,
+/// evaluator), a few elementary ones, two parities, and a hard tail.
+pub fn positive_eq_suite() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    let f = Family::PositiveEq;
+    // 12 mod-k regularity problems, k = 3..5 (Reg; beyond the mod-2
+    // templates of the SizeElem engine).
+    for k in 3..=5 {
+        for j in 1..k.min(5) {
+            out.push(Benchmark::new(
+                format!("positive-eq/mod{k}-off{j}"),
+                shapes::mod_k_nat(k, 0, j),
+                f,
+                Expected::Sat,
+            ));
+        }
+    }
+    for (k, r, j) in [(3, 1, 1), (4, 1, 1), (5, 1, 2)] {
+        out.push(Benchmark::new(
+            format!("positive-eq/mod{k}-base{r}-off{j}"),
+            shapes::mod_k_nat(k, r, j),
+            f,
+            Expected::Sat,
+        ));
+    }
+    // 6 tree-spine problems (Reg only).
+    for (step, off) in [(2, 1), (3, 1), (3, 2), (4, 1), (4, 3), (5, 2)] {
+        out.push(Benchmark::new(
+            format!("positive-eq/tree-spine-{step}-{off}"),
+            shapes::even_left_tree(step, off),
+            f,
+            Expected::Sat,
+        ));
+    }
+    // 2 evaluator problems (Reg only).
+    out.push(Benchmark::new("positive-eq/bool-eval-2", shapes::bool_eval(2), f, Expected::Sat));
+    out.push(Benchmark::new("positive-eq/bool-eval-3", shapes::bool_eval(3), f, Expected::Sat));
+    // 4 IncDec variants (Elem ∩ Reg ∩ SizeElem — the problems Spacer
+    // also solves, all solved by RInGen too, as Table 1 notes).
+    for d in 1..=4 {
+        out.push(Benchmark::new(
+            format!("positive-eq/incdec-{d}"),
+            shapes::inc_dec_offset(d),
+            f,
+            Expected::Sat,
+        ));
+    }
+    // 2 parity problems (Reg ∩ SizeElem — the Eldarica row).
+    out.push(Benchmark::new("positive-eq/parity-0", shapes::mod_k_nat(2, 0, 1), f, Expected::Sat));
+    out.push(Benchmark::new("positive-eq/parity-1", shapes::mod_k_nat(2, 1, 1), f, Expected::Sat));
+    // 9 hard-tail problems (safe, lemma-hard; everyone diverges).
+    for seed in 0..5 {
+        out.push(Benchmark::new(
+            format!("positive-eq/plus-comm-{seed}"),
+            shapes::plus_comm(seed),
+            f,
+            Expected::Sat,
+        ));
+    }
+    for seed in 0..4 {
+        out.push(Benchmark::new(
+            format!("positive-eq/list-rel-{seed}"),
+            shapes::list_rel(seed),
+            f,
+            Expected::Sat,
+        ));
+    }
+    assert_eq!(out.len(), 35);
+    out
+}
+
+/// The `Diseq` suite: 26 systems with disequality constraints — 25
+/// whose satisfiability varies by §4.4's finite-model observation, plus
+/// one unsatisfiable instance.
+pub fn diseq_suite() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    let f = Family::Diseq;
+    // 4 shallow-diseq problems: small finite models survive (RInGen's
+    // 4 SAT answers).
+    for (k, r) in [(2, 0), (2, 1), (3, 0), (4, 0)] {
+        out.push(Benchmark::new(
+            format!("diseq/shallow-{k}-{r}"),
+            shapes::shallow_diseq(k, r),
+            f,
+            Expected::Sat,
+        ));
+    }
+    // 2 elementary diseq problems (Spacer's 2 SAT answers; no finite
+    // model, the invariant is x ≠ y itself).
+    for depth in 0..2 {
+        out.push(Benchmark::new(
+            format!("diseq/diag-{depth}"),
+            shapes::diag_ctx(depth),
+            f,
+            Expected::Sat,
+        ));
+    }
+    // 2 ordering problems whose safety survives dropping the
+    // disequality (the VeriMAP row).
+    for off in 0..2 {
+        out.push(Benchmark::new(
+            format!("diseq/order-guard-{off}"),
+            order_with_diseq(off),
+            f,
+            Expected::Sat,
+        ));
+    }
+    // 1 unsatisfiable instance: Example 3's `Z ≠ S(Z) → ⊥`.
+    out.push(Benchmark::new("diseq/example3", example3(), f, Expected::Unsat));
+    // 17 deep-diseq problems: every proof needs disequality of
+    // unboundedly many pairs, so no finite model — and no bounded
+    // template — exists. All engines diverge.
+    for k in 0..17 {
+        out.push(Benchmark::new(
+            format!("diseq/deep-{k}"),
+            rev_involution(k % 3),
+            f,
+            Expected::Sat,
+        ));
+    }
+    assert_eq!(out.len(), 26);
+    out
+}
+
+/// The TIP-like suite: 454 systems.
+pub fn tip_suite() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    let f = Family::Tip;
+    // 13 regular-only problems (RInGen's unique SATs: evenness-style
+    // regularity beyond mod-2).
+    for k in 0..13 {
+        let sys = match k % 3 {
+            0 => shapes::mod_k_nat(3 + k / 3, 0, 1 + k % 2),
+            1 => shapes::even_left_tree(2 + k / 3, 1),
+            _ => shapes::bool_eval(2 + k % 2),
+        };
+        out.push(Benchmark::new(format!("tip/reg-only-{k}"), sys, f, Expected::Sat));
+    }
+    // 11 parity problems (shared by RInGen and the SizeElem engine).
+    for k in 0..11 {
+        out.push(Benchmark::new(
+            format!("tip/parity-{k}"),
+            shapes::mod_k_nat(2, k % 2, 1),
+            f,
+            Expected::Sat,
+        ));
+    }
+    // 25 ordering problems (Eldarica's unique SATs: no finite model, no
+    // elementary invariant — Prop. 12).
+    for k in 0..25 {
+        out.push(Benchmark::new(
+            format!("tip/order-{k}"),
+            shapes::lt_gt_offset(k % 5),
+            f,
+            Expected::Sat,
+        ));
+    }
+    // 7 elementary-only problems (Spacer's unique SATs — Prop. 11).
+    for k in 0..7 {
+        out.push(Benchmark::new(
+            format!("tip/diag-{k}"),
+            shapes::diag_ctx(k % 3),
+            f,
+            Expected::Sat,
+        ));
+    }
+    // 6 easy-for-everyone problems.
+    for k in 0..6 {
+        out.push(Benchmark::new(
+            format!("tip/incdec-{k}"),
+            shapes::inc_dec_offset(1 + k),
+            f,
+            Expected::Sat,
+        ));
+    }
+    // 30 refutable problems with counterexample depths from trivial to
+    // deep — the refuter-budget differentiation behind the UNSAT rows.
+    for k in 0..30 {
+        let depth = 2 + 2 * k;
+        out.push(Benchmark::new(
+            format!("tip/unsat-depth-{depth}"),
+            shapes::unsat_chain(depth),
+            f,
+            Expected::Unsat,
+        ));
+    }
+    // 362 hard-tail problems: safe relational conjectures needing
+    // lemmas (plus/append commutativity and reverse involution
+    // variants). "The majority of interesting test cases in the TIP set
+    // is currently beyond the reach of state-of-the-art engines" (§8).
+    let mut k = 0;
+    while out.len() < 454 {
+        let sys = match k % 3 {
+            0 => shapes::plus_comm(k),
+            1 => shapes::list_rel(k),
+            _ => rev_involution(k % 5),
+        };
+        out.push(Benchmark::new(format!("tip/hard-{k}"), sys, f, Expected::Sat));
+        k += 1;
+    }
+    assert_eq!(out.len(), 454);
+    out
+}
+
+/// Example 3 of §4.4: `Z ≠ S(Z) → ⊥` (unsatisfiable over ADTs).
+fn example3() -> ChcSystem {
+    let mut b = SystemBuilder::new();
+    let nat = b.sort("Nat");
+    let z = b.ctor("Z", vec![], nat);
+    let s = b.ctor("S", vec![nat], nat);
+    b.clause(|c| {
+        let zt = c.app0(z);
+        let szt = c.app(s, vec![c.app0(z)]);
+        c.neq(zt, szt);
+    });
+    b.finish()
+}
+
+/// `lt(x, y) ∧ gt(x, y) ∧ x ≠ y → ⊥`: the disequality is redundant for
+/// safety, so the size abstraction (which drops it) still proves the
+/// property — the problems the VeriMAP role solves in the Diseq suite.
+fn order_with_diseq(off: usize) -> ChcSystem {
+    let mut sys = shapes::lt_gt_offset(off);
+    // Rebuild the query with an extra `x ≠ y` literal.
+    let query = sys
+        .clauses
+        .iter()
+        .position(|c| c.is_query())
+        .expect("shape has a query");
+    let clause = &mut sys.clauses[query];
+    let x = clause.vars.vars().next().expect("two query vars");
+    let y = clause.vars.vars().nth(1).expect("two query vars");
+    clause.constraints.push(ringen_chc::Constraint::Neq(
+        ringen_terms::Term::var(x),
+        ringen_terms::Term::var(y),
+    ));
+    sys
+}
+
+/// `rev(xs, ys) ∧ rev(ys, zs) ∧ xs ≠ zs → ⊥`: reverse is an involution.
+/// Safe, but the proof needs a non-regular, non-elementary relational
+/// lemma; with the disequality on top, no finite model exists either.
+fn rev_involution(pad: usize) -> ChcSystem {
+    let mut b = SystemBuilder::new();
+    let nat = b.sort("Nat");
+    let z = b.ctor("Z", vec![], nat);
+    let _s = b.ctor("S", vec![nat], nat);
+    let list = b.sort("List");
+    let nil = b.ctor("nil", vec![], list);
+    let cons = b.ctor("cons", vec![nat, list], list);
+    let snoc = b.pred("snoc", vec![list, nat, list]);
+    let rev = b.pred("rev", vec![list, list]);
+    // snoc(xs, a, xs ++ [a]).
+    b.clause(|c| {
+        let a = c.var("a", nat);
+        c.head(snoc, vec![c.app0(nil), c.v(a), c.app(cons, vec![c.v(a), c.app0(nil)])]);
+    });
+    b.clause(|c| {
+        let (h, xs, a, ys) = (
+            c.var("h", nat),
+            c.var("xs", list),
+            c.var("a", nat),
+            c.var("ys", list),
+        );
+        c.body(snoc, vec![c.v(xs), c.v(a), c.v(ys)]);
+        c.head(snoc, vec![
+            c.app(cons, vec![c.v(h), c.v(xs)]),
+            c.v(a),
+            c.app(cons, vec![c.v(h), c.v(ys)]),
+        ]);
+    });
+    // rev.
+    b.clause(|c| {
+        c.head(rev, vec![c.app0(nil), c.app0(nil)]);
+    });
+    b.clause(|c| {
+        let (h, xs, ys, zs) = (
+            c.var("h", nat),
+            c.var("xs", list),
+            c.var("ys", list),
+            c.var("zs", list),
+        );
+        c.body(rev, vec![c.v(xs), c.v(ys)]);
+        c.body(snoc, vec![c.v(ys), c.v(h), c.v(zs)]);
+        c.head(rev, vec![c.app(cons, vec![c.v(h), c.v(xs)]), c.v(zs)]);
+    });
+    // Query with `pad` extra cons cells to vary instances.
+    b.clause(|c| {
+        let (xs, ys, zs) = (c.var("xs", list), c.var("ys", list), c.var("zs", list));
+        let mut lhs = c.v(xs);
+        for i in 0..pad {
+            let h = c.var(format!("h{i}"), nat);
+            let _ = c.app0(z);
+            lhs = c.app(cons, vec![c.v(h), lhs]);
+        }
+        c.body(rev, vec![lhs.clone(), c.v(ys)]);
+        c.body(rev, vec![c.v(ys), c.v(zs)]);
+        c.neq(lhs, c.v(zs));
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_the_paper() {
+        assert_eq!(positive_eq_suite().len(), 35);
+        assert_eq!(diseq_suite().len(), 26);
+        assert_eq!(tip_suite().len(), 454);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = std::collections::BTreeSet::new();
+        for b in positive_eq_suite()
+            .into_iter()
+            .chain(diseq_suite())
+            .chain(tip_suite())
+        {
+            assert!(names.insert(b.name.clone()), "duplicate {}", b.name);
+        }
+    }
+
+    #[test]
+    fn diseq_family_really_has_disequalities() {
+        let suite = diseq_suite();
+        let with_neq = suite
+            .iter()
+            .filter(|b| b.system.has_disequalities())
+            .count();
+        assert!(with_neq >= 18, "only {with_neq} systems carry ≠");
+    }
+
+    #[test]
+    fn positive_eq_family_is_diseq_free() {
+        for b in positive_eq_suite() {
+            assert!(!b.system.has_disequalities(), "{} has ≠", b.name);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Ergonomic construction of CHC systems.
+//!
+//! Used pervasively by the benchmark generators and tests; see
+//! [`crate::ChcSystem`] for a complete example.
+
+use ringen_terms::{FuncId, Signature, SortId, Term, VarContext, VarId};
+
+use crate::system::{Atom, ChcSystem, Clause, Constraint, PredId, Relations};
+
+/// Builds a [`ChcSystem`] incrementally.
+#[derive(Debug, Default)]
+pub struct SystemBuilder {
+    sig: Signature,
+    rels: Relations,
+    clauses: Vec<Clause>,
+}
+
+impl SystemBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a sort.
+    pub fn sort(&mut self, name: impl Into<String>) -> SortId {
+        self.sig.add_sort(name)
+    }
+
+    /// Declares an ADT constructor.
+    pub fn ctor(&mut self, name: impl Into<String>, domain: Vec<SortId>, range: SortId) -> FuncId {
+        self.sig.add_constructor(name, domain, range)
+    }
+
+    /// Declares a selector for `ctor`'s `index`-th argument.
+    pub fn selector(&mut self, name: impl Into<String>, ctor: FuncId, index: usize) -> FuncId {
+        self.sig.add_selector(name, ctor, index)
+    }
+
+    /// Declares an uninterpreted relation symbol.
+    pub fn pred(&mut self, name: impl Into<String>, domain: Vec<SortId>) -> PredId {
+        self.rels.add(name, domain)
+    }
+
+    /// Adds a clause built by the closure.
+    pub fn clause(&mut self, build: impl FnOnce(&mut ClauseBuilder)) -> &mut Self {
+        let mut cb = ClauseBuilder::new();
+        build(&mut cb);
+        self.clauses.push(cb.finish());
+        self
+    }
+
+    /// Adds an already-built clause.
+    pub fn push_clause(&mut self, clause: Clause) -> &mut Self {
+        self.clauses.push(clause);
+        self
+    }
+
+    /// Read access to the signature while building.
+    pub fn signature(&self) -> &Signature {
+        &self.sig
+    }
+
+    /// Finishes the system.
+    pub fn finish(self) -> ChcSystem {
+        ChcSystem {
+            sig: self.sig,
+            rels: self.rels,
+            clauses: self.clauses,
+        }
+    }
+}
+
+/// Builds one [`Clause`]; obtained from [`SystemBuilder::clause`].
+#[derive(Debug, Default)]
+pub struct ClauseBuilder {
+    vars: VarContext,
+    constraints: Vec<Constraint>,
+    body: Vec<Atom>,
+    head: Option<Atom>,
+    name: Option<String>,
+}
+
+impl ClauseBuilder {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Introduces a clause variable.
+    pub fn var(&mut self, name: impl Into<String>, sort: SortId) -> VarId {
+        self.vars.fresh(name, sort)
+    }
+
+    /// A variable term.
+    pub fn v(&self, var: VarId) -> Term {
+        Term::var(var)
+    }
+
+    /// A function application term.
+    pub fn app(&self, f: FuncId, args: Vec<Term>) -> Term {
+        Term::app(f, args)
+    }
+
+    /// A nullary application term.
+    pub fn app0(&self, f: FuncId) -> Term {
+        Term::leaf(f)
+    }
+
+    /// Adds an equality constraint `a = b`.
+    pub fn eq(&mut self, a: Term, b: Term) -> &mut Self {
+        self.constraints.push(Constraint::Eq(a, b));
+        self
+    }
+
+    /// Adds a disequality constraint `a ≠ b`.
+    pub fn neq(&mut self, a: Term, b: Term) -> &mut Self {
+        self.constraints.push(Constraint::Neq(a, b));
+        self
+    }
+
+    /// Adds a tester constraint `c?(t)` or `¬c?(t)`.
+    pub fn tester(&mut self, ctor: FuncId, term: Term, positive: bool) -> &mut Self {
+        self.constraints.push(Constraint::Tester {
+            ctor,
+            term,
+            positive,
+        });
+        self
+    }
+
+    /// Adds a body atom `P(t̄)`.
+    pub fn body(&mut self, pred: PredId, args: Vec<Term>) -> &mut Self {
+        self.body.push(Atom::new(pred, args));
+        self
+    }
+
+    /// Sets the head atom `P(t̄)`. Omitting this leaves the clause a query.
+    pub fn head(&mut self, pred: PredId, args: Vec<Term>) -> &mut Self {
+        self.head = Some(Atom::new(pred, args));
+        self
+    }
+
+    /// Labels the clause.
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    fn finish(self) -> Clause {
+        let mut c = Clause::new(self.vars, self.constraints, self.body, self.head);
+        c.name = self.name;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_well_sorted_even_system() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        let even = b.pred("even", vec![nat]);
+        b.clause(|c| {
+            c.name("base");
+            c.head(even, vec![c.app0(z)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(even, vec![c.v(x)]);
+            c.head(even, vec![Term::iterate(s, c.v(x), 2)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(even, vec![c.v(x)]);
+            c.body(even, vec![c.app(s, vec![c.v(x)])]);
+        });
+        let sys = b.finish();
+        assert!(sys.well_sorted().is_ok());
+        assert_eq!(sys.clauses[0].name.as_deref(), Some("base"));
+        assert_eq!(sys.queries().count(), 1);
+    }
+
+    #[test]
+    fn builder_supports_constraints_and_selectors() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        let pre = b.selector("pre", s, 0);
+        let p = b.pred("p", vec![nat]);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.eq(c.app(pre, vec![c.v(x)]), c.app0(z));
+            c.neq(c.v(x), c.app0(z));
+            c.tester(s, c.v(x), true);
+            c.body(p, vec![c.v(x)]);
+        });
+        let sys = b.finish();
+        assert!(sys.well_sorted().is_ok());
+        assert!(sys.has_disequalities());
+        assert!(sys.has_testers_or_selectors());
+        let _ = p;
+    }
+}

@@ -1,0 +1,328 @@
+//! Boolean formula layer used when reading CHCs from files.
+//!
+//! SMT-LIB input allows arbitrary boolean structure inside an assertion.
+//! [`formula_to_clauses`] normalizes a universally-quantified formula to a
+//! set of Horn clauses: negation normal form, conjunctive normal form by
+//! distribution, then per-CNF-clause extraction of body atoms, constraints
+//! and at most one positive head atom.
+
+use std::error::Error;
+use std::fmt;
+
+use ringen_terms::{FuncId, Term, VarContext};
+
+use crate::system::{Atom, Clause, Constraint, PredId};
+
+/// An atomic formula as read from a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FAtom {
+    /// An applied uninterpreted relation.
+    Pred(PredId, Vec<Term>),
+    /// Equality of two terms.
+    Eq(Term, Term),
+    /// A constructor tester `(_ is c)`.
+    Tester(FuncId, Term),
+}
+
+/// A boolean combination of atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// ⊤.
+    True,
+    /// ⊥.
+    False,
+    /// An atom.
+    Atom(FAtom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// Implication `a → b`, encoded as `¬a ∨ b`.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Or(vec![Formula::Not(Box::new(a)), b])
+    }
+}
+
+/// A literal after NNF: an atom with a polarity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Literal {
+    atom: FAtom,
+    positive: bool,
+}
+
+/// Errors during clause extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClausifyError {
+    /// A CNF clause had two positive relation atoms, so it is not Horn.
+    NotHorn,
+    /// The distribution blew past the internal limit.
+    TooLarge,
+}
+
+impl fmt::Display for ClausifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClausifyError::NotHorn => write!(f, "assertion is not a Horn formula"),
+            ClausifyError::TooLarge => write!(f, "assertion expands to too many clauses"),
+        }
+    }
+}
+
+impl Error for ClausifyError {}
+
+/// Maximum number of CNF clauses one assertion may expand into.
+const MAX_CNF: usize = 4096;
+
+/// Converts a universally-quantified formula into Horn clauses.
+///
+/// The formula is the *matrix* of `∀ vars. F`; each resulting clause
+/// shares (a clone of) `vars`.
+///
+/// # Errors
+///
+/// Returns [`ClausifyError::NotHorn`] when some CNF clause has two
+/// positive relation atoms, and [`ClausifyError::TooLarge`] when CNF
+/// distribution exceeds an internal limit.
+pub fn formula_to_clauses(vars: &VarContext, f: &Formula) -> Result<Vec<Clause>, ClausifyError> {
+    let nnf = to_nnf(f, true);
+    let cnf = to_cnf(&nnf)?;
+    let mut out = Vec::new();
+    for disjuncts in cnf {
+        if let Some(clause) = disjunction_to_clause(vars, disjuncts)? {
+            out.push(clause);
+        }
+    }
+    Ok(out)
+}
+
+/// NNF with polarity tracking; the result contains `Not` only around atoms
+/// (represented via `Literal` in `to_cnf`).
+fn to_nnf(f: &Formula, positive: bool) -> Formula {
+    match (f, positive) {
+        (Formula::True, true) | (Formula::False, false) => Formula::True,
+        (Formula::True, false) | (Formula::False, true) => Formula::False,
+        (Formula::Atom(a), true) => Formula::Atom(a.clone()),
+        (Formula::Atom(a), false) => Formula::Not(Box::new(Formula::Atom(a.clone()))),
+        (Formula::Not(g), _) => to_nnf(g, !positive),
+        (Formula::And(gs), true) | (Formula::Or(gs), false) => {
+            Formula::And(gs.iter().map(|g| to_nnf(g, positive)).collect())
+        }
+        (Formula::Or(gs), true) | (Formula::And(gs), false) => {
+            Formula::Or(gs.iter().map(|g| to_nnf(g, positive)).collect())
+        }
+    }
+}
+
+/// CNF by distribution. Input must be in NNF.
+/// Each inner vec is a disjunction of literals.
+fn to_cnf(f: &Formula) -> Result<Vec<Vec<Literal>>, ClausifyError> {
+    match f {
+        Formula::True => Ok(vec![]),
+        Formula::False => Ok(vec![vec![]]),
+        Formula::Atom(a) => Ok(vec![vec![Literal {
+            atom: a.clone(),
+            positive: true,
+        }]]),
+        Formula::Not(g) => match g.as_ref() {
+            Formula::Atom(a) => Ok(vec![vec![Literal {
+                atom: a.clone(),
+                positive: false,
+            }]]),
+            _ => unreachable!("input to to_cnf must be in NNF"),
+        },
+        Formula::And(gs) => {
+            let mut out = Vec::new();
+            for g in gs {
+                out.extend(to_cnf(g)?);
+                if out.len() > MAX_CNF {
+                    return Err(ClausifyError::TooLarge);
+                }
+            }
+            Ok(out)
+        }
+        Formula::Or(gs) => {
+            let mut acc: Vec<Vec<Literal>> = vec![vec![]];
+            for g in gs {
+                let clauses = to_cnf(g)?;
+                let mut next = Vec::new();
+                for a in &acc {
+                    for c in &clauses {
+                        let mut merged = a.clone();
+                        merged.extend(c.iter().cloned());
+                        next.push(merged);
+                        if next.len() > MAX_CNF {
+                            return Err(ClausifyError::TooLarge);
+                        }
+                    }
+                }
+                acc = next;
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// Turns one CNF clause (a disjunction of literals) into a Horn clause.
+///
+/// Reading `L₁ ∨ … ∨ Lₖ` as `¬L₁ ∧ … → …`:
+/// * a negative relation literal contributes a body atom;
+/// * a positive relation literal is the head (at most one allowed);
+/// * a positive equality/tester contributes its *negation* to the body;
+/// * a negative equality/tester contributes itself to the body.
+///
+/// Returns `Ok(None)` for trivially-true clauses (`⊤` in the disjunction).
+fn disjunction_to_clause(
+    vars: &VarContext,
+    disjuncts: Vec<Literal>,
+) -> Result<Option<Clause>, ClausifyError> {
+    let mut constraints = Vec::new();
+    let mut body = Vec::new();
+    let mut head: Option<Atom> = None;
+    for lit in disjuncts {
+        match (lit.atom, lit.positive) {
+            (FAtom::Pred(p, args), true) => {
+                if head.is_some() {
+                    return Err(ClausifyError::NotHorn);
+                }
+                head = Some(Atom::new(p, args));
+            }
+            (FAtom::Pred(p, args), false) => body.push(Atom::new(p, args)),
+            (FAtom::Eq(a, b), true) => constraints.push(Constraint::Neq(a, b)),
+            (FAtom::Eq(a, b), false) => constraints.push(Constraint::Eq(a, b)),
+            (FAtom::Tester(c, t), true) => constraints.push(Constraint::Tester {
+                ctor: c,
+                term: t,
+                positive: false,
+            }),
+            (FAtom::Tester(c, t), false) => constraints.push(Constraint::Tester {
+                ctor: c,
+                term: t,
+                positive: true,
+            }),
+        }
+    }
+    Ok(Some(Clause::new(vars.clone(), constraints, body, head)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_terms::Signature;
+
+    fn setup() -> (VarContext, PredId, PredId, Term, Term) {
+        let mut sig = Signature::new();
+        let nat = sig.add_sort("Nat");
+        let z = sig.add_constructor("Z", vec![], nat);
+        let mut ctx = VarContext::new();
+        let x = ctx.fresh("x", nat);
+        (ctx, PredId(0), PredId(1), Term::var(x), Term::leaf(z))
+    }
+
+    #[test]
+    fn implication_becomes_one_clause() {
+        let (ctx, p, q, x, z) = setup();
+        // p(x) ∧ x = Z → q(x)
+        let f = Formula::implies(
+            Formula::And(vec![
+                Formula::Atom(FAtom::Pred(p, vec![x.clone()])),
+                Formula::Atom(FAtom::Eq(x.clone(), z.clone())),
+            ]),
+            Formula::Atom(FAtom::Pred(q, vec![x.clone()])),
+        );
+        let clauses = formula_to_clauses(&ctx, &f).unwrap();
+        assert_eq!(clauses.len(), 1);
+        let c = &clauses[0];
+        assert_eq!(c.body.len(), 1);
+        assert_eq!(c.constraints, vec![Constraint::Eq(x, z)]);
+        assert_eq!(c.head.as_ref().unwrap().pred, q);
+    }
+
+    #[test]
+    fn disjunctive_body_splits_into_clauses() {
+        let (ctx, p, q, x, z) = setup();
+        // (p(x) ∨ x = Z) → q(x) gives two clauses.
+        let f = Formula::implies(
+            Formula::Or(vec![
+                Formula::Atom(FAtom::Pred(p, vec![x.clone()])),
+                Formula::Atom(FAtom::Eq(x.clone(), z.clone())),
+            ]),
+            Formula::Atom(FAtom::Pred(q, vec![x.clone()])),
+        );
+        let clauses = formula_to_clauses(&ctx, &f).unwrap();
+        assert_eq!(clauses.len(), 2);
+        assert!(clauses.iter().all(|c| c.head.is_some()));
+    }
+
+    #[test]
+    fn negated_atom_head_is_query() {
+        let (ctx, p, _q, x, _z) = setup();
+        let f = Formula::Not(Box::new(Formula::Atom(FAtom::Pred(p, vec![x]))));
+        let clauses = formula_to_clauses(&ctx, &f).unwrap();
+        assert_eq!(clauses.len(), 1);
+        assert!(clauses[0].is_query());
+        assert_eq!(clauses[0].body.len(), 1);
+    }
+
+    #[test]
+    fn two_positive_preds_is_not_horn() {
+        let (ctx, p, q, x, _z) = setup();
+        let f = Formula::Or(vec![
+            Formula::Atom(FAtom::Pred(p, vec![x.clone()])),
+            Formula::Atom(FAtom::Pred(q, vec![x])),
+        ]);
+        assert_eq!(formula_to_clauses(&ctx, &f), Err(ClausifyError::NotHorn));
+    }
+
+    #[test]
+    fn true_assertion_yields_no_clauses() {
+        let (ctx, ..) = setup();
+        assert_eq!(formula_to_clauses(&ctx, &Formula::True).unwrap(), vec![]);
+        // ¬⊥ likewise.
+        let f = Formula::Not(Box::new(Formula::False));
+        assert_eq!(formula_to_clauses(&ctx, &f).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn false_assertion_yields_empty_query() {
+        let (ctx, ..) = setup();
+        let clauses = formula_to_clauses(&ctx, &Formula::False).unwrap();
+        assert_eq!(clauses.len(), 1);
+        assert!(clauses[0].is_query());
+        assert!(clauses[0].body.is_empty());
+        assert!(clauses[0].constraints.is_empty());
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let (ctx, p, _q, x, _z) = setup();
+        let f = Formula::Not(Box::new(Formula::Not(Box::new(Formula::Atom(FAtom::Pred(
+            p,
+            vec![x],
+        ))))));
+        let clauses = formula_to_clauses(&ctx, &f).unwrap();
+        assert_eq!(clauses.len(), 1);
+        assert!(clauses[0].head.is_some());
+    }
+
+    #[test]
+    fn testers_flip_polarity_into_body() {
+        let (ctx, p, _q, x, _z) = setup();
+        // c?(x) → p(x): disjunction ¬c?(x) ∨ p(x); ¬tester lands positive
+        // in the body.
+        let f = Formula::implies(
+            Formula::Atom(FAtom::Tester(ringen_terms::FuncId::from_index(0), x.clone())),
+            Formula::Atom(FAtom::Pred(p, vec![x])),
+        );
+        let clauses = formula_to_clauses(&ctx, &f).unwrap();
+        assert_eq!(clauses.len(), 1);
+        assert!(matches!(
+            clauses[0].constraints[0],
+            Constraint::Tester { positive: true, .. }
+        ));
+    }
+}

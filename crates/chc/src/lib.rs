@@ -1,0 +1,41 @@
+//! Constrained Horn clauses (CHCs) over algebraic data types.
+//!
+//! Implements §3 of *"Beyond the Elementary Representations of Program
+//! Invariants over Algebraic Data Types"* (PLDI 2021): the clause IR
+//! ([`Clause`], [`ChcSystem`]), uninterpreted relation symbols
+//! ([`Relations`]), an ergonomic [`SystemBuilder`], and an SMT-LIB2-subset
+//! parser ([`parse_str`]) and printer ([`to_smtlib`]) compatible with the
+//! input format of the original RInGen tool.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!   (set-logic HORN)
+//!   (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+//!   (declare-fun even (Nat) Bool)
+//!   (assert (even Z))
+//!   (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+//!   (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+//! "#;
+//! let sys = ringen_chc::parse_str(src)?;
+//! assert_eq!(sys.clauses.len(), 3);
+//! assert!(sys.well_sorted().is_ok());
+//! println!("{}", ringen_chc::to_smtlib(&sys));
+//! # Ok::<(), ringen_chc::ParseError>(())
+//! ```
+
+mod builder;
+pub mod formula;
+mod parser;
+mod printer;
+mod system;
+
+pub use builder::{ClauseBuilder, SystemBuilder};
+pub use formula::{formula_to_clauses, ClausifyError, FAtom, Formula};
+pub use parser::{parse_str, ParseError};
+pub use printer::{clause_to_smtlib, to_smtlib};
+pub use system::{
+    Atom, ChcSystem, Clause, Constraint, PredDecl, PredId, Relations, SystemError,
+    SystemErrorKind,
+};

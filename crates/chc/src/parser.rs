@@ -1,0 +1,835 @@
+//! Parser for the SMT-LIB2 CHC subset accepted by the original RInGen.
+//!
+//! Supported commands: `set-logic`, `set-info`, `set-option`,
+//! `declare-sort`, `declare-datatype`, `declare-datatypes` (SMT-LIB 2.6
+//! arity-list syntax), `declare-fun`, `declare-const`, `assert`,
+//! `check-sat`, `get-model`, `exit`. Assertions must be Horn:
+//! `(forall (...) (=> body head))`, `(forall (...) (not body))`,
+//! `(assert (not (exists (...) body)))` or quantifier-free variants.
+//!
+//! Terms may use constructors, previously declared free functions,
+//! selectors and `(_ is c)` testers.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ringen_terms::{Signature, SortId, Term, VarContext, VarId};
+
+use crate::formula::{formula_to_clauses, FAtom, Formula};
+use crate::system::{ChcSystem, Relations};
+
+/// A parse failure, with a 1-based line number when available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line where the error was detected (1-based, 0 when unknown).
+    pub line: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// An S-expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sexp {
+    Atom(String, usize),
+    List(Vec<Sexp>, usize),
+}
+
+impl Sexp {
+    fn line(&self) -> usize {
+        match self {
+            Sexp::Atom(_, l) | Sexp::List(_, l) => *l,
+        }
+    }
+
+    fn as_atom(&self) -> Option<&str> {
+        match self {
+            Sexp::Atom(s, _) => Some(s),
+            Sexp::List(..) => None,
+        }
+    }
+
+    fn as_list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::List(items, _) => Some(items),
+            Sexp::Atom(..) => None,
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<(String, usize)>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' | ')' => {
+                out.push((c.to_string(), line));
+                chars.next();
+            }
+            '|' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('|') => break,
+                        Some('\n') => {
+                            line += 1;
+                            s.push('\n');
+                        }
+                        Some(c) => s.push(c),
+                        None => return Err(ParseError::new(line, "unterminated |symbol|")),
+                    }
+                }
+                out.push((s, line));
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::from("\"");
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') => {
+                            line += 1;
+                            s.push('\n');
+                        }
+                        Some(c) => s.push(c),
+                        None => return Err(ParseError::new(line, "unterminated string")),
+                    }
+                }
+                out.push((s, line));
+            }
+            _ => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == '(' || c == ')' || c == ';' {
+                        break;
+                    }
+                    s.push(c);
+                    chars.next();
+                }
+                out.push((s, line));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_sexps(input: &str) -> Result<Vec<Sexp>, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut stack: Vec<(Vec<Sexp>, usize)> = Vec::new();
+    let mut top: Vec<Sexp> = Vec::new();
+    for (tok, line) in tokens {
+        match tok.as_str() {
+            "(" => stack.push((std::mem::take(&mut top), line)),
+            ")" => {
+                let (mut parent, open_line) = stack
+                    .pop()
+                    .ok_or_else(|| ParseError::new(line, "unbalanced ')'"))?;
+                let list = Sexp::List(std::mem::take(&mut top), open_line);
+                parent.push(list);
+                top = parent;
+            }
+            _ => top.push(Sexp::Atom(tok, line)),
+        }
+    }
+    if let Some((_, line)) = stack.pop() {
+        return Err(ParseError::new(line, "unbalanced '('"));
+    }
+    Ok(top)
+}
+
+/// Parses a full SMT-LIB CHC script into a [`ChcSystem`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending command.
+///
+/// # Example
+///
+/// ```
+/// let src = r#"
+///   (set-logic HORN)
+///   (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+///   (declare-fun even (Nat) Bool)
+///   (assert (even Z))
+///   (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+///   (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+///   (check-sat)
+/// "#;
+/// let sys = ringen_chc::parse_str(src)?;
+/// assert_eq!(sys.clauses.len(), 3);
+/// assert_eq!(sys.queries().count(), 1);
+/// # Ok::<(), ringen_chc::ParseError>(())
+/// ```
+pub fn parse_str(input: &str) -> Result<ChcSystem, ParseError> {
+    let sexps = parse_sexps(input)?;
+    let mut p = Parser::default();
+    for s in &sexps {
+        p.command(s)?;
+    }
+    let sys = ChcSystem {
+        sig: p.sig,
+        rels: p.rels,
+        clauses: p.clauses,
+    };
+    sys.well_sorted()
+        .map_err(|e| ParseError::new(0, e.to_string()))?;
+    Ok(sys)
+}
+
+#[derive(Default)]
+struct Parser {
+    sig: Signature,
+    rels: Relations,
+    clauses: Vec<crate::system::Clause>,
+    /// Free functions introduced by declare-fun with non-Bool range.
+    selectors_by_name: HashMap<String, ()>,
+}
+
+impl Parser {
+    fn command(&mut self, s: &Sexp) -> Result<(), ParseError> {
+        let items = s
+            .as_list()
+            .ok_or_else(|| ParseError::new(s.line(), "expected a command list"))?;
+        let head = items
+            .first()
+            .and_then(Sexp::as_atom)
+            .ok_or_else(|| ParseError::new(s.line(), "expected a command name"))?;
+        match head {
+            "set-logic" | "set-info" | "set-option" | "check-sat" | "get-model" | "exit"
+            | "get-info" => Ok(()),
+            "declare-sort" => self.declare_sort(items, s.line()),
+            "declare-datatype" => self.declare_datatype_single(items, s.line()),
+            "declare-datatypes" => self.declare_datatypes(items, s.line()),
+            "declare-fun" => self.declare_fun(items, s.line()),
+            "declare-const" => self.declare_const(items, s.line()),
+            "assert" => self.assert(items, s.line()),
+            other => Err(ParseError::new(
+                s.line(),
+                format!("unsupported command {other:?}"),
+            )),
+        }
+    }
+
+    fn declare_sort(&mut self, items: &[Sexp], line: usize) -> Result<(), ParseError> {
+        let name = items
+            .get(1)
+            .and_then(Sexp::as_atom)
+            .ok_or_else(|| ParseError::new(line, "declare-sort needs a name"))?;
+        if self.sig.sort_by_name(name).is_some() {
+            return Err(ParseError::new(line, format!("duplicate sort {name:?}")));
+        }
+        self.sig.add_sort(name);
+        Ok(())
+    }
+
+    fn sort_by_name(&mut self, name: &str, line: usize) -> Result<SortId, ParseError> {
+        self.sig
+            .sort_by_name(name)
+            .ok_or_else(|| ParseError::new(line, format!("unknown sort {name:?}")))
+    }
+
+    /// `(declare-datatype T ((c (sel S) ...) ...))`
+    fn declare_datatype_single(&mut self, items: &[Sexp], line: usize) -> Result<(), ParseError> {
+        let name = items
+            .get(1)
+            .and_then(Sexp::as_atom)
+            .ok_or_else(|| ParseError::new(line, "declare-datatype needs a name"))?;
+        let ctors = items
+            .get(2)
+            .and_then(Sexp::as_list)
+            .ok_or_else(|| ParseError::new(line, "declare-datatype needs constructors"))?;
+        if self.sig.sort_by_name(name).is_some() {
+            return Err(ParseError::new(line, format!("duplicate sort {name:?}")));
+        }
+        self.sig.add_sort(name);
+        let sort = self.sig.sort_by_name(name).expect("just added");
+        self.add_ctor_group(sort, ctors)
+    }
+
+    /// `(declare-datatypes ((T1 0) (T2 0)) ((ctors1...) (ctors2...)))`,
+    /// also accepting the pre-2.6 `((T1) (T2))` name list.
+    fn declare_datatypes(&mut self, items: &[Sexp], line: usize) -> Result<(), ParseError> {
+        let names = items
+            .get(1)
+            .and_then(Sexp::as_list)
+            .ok_or_else(|| ParseError::new(line, "declare-datatypes needs a sort list"))?;
+        let bodies = items
+            .get(2)
+            .and_then(Sexp::as_list)
+            .ok_or_else(|| ParseError::new(line, "declare-datatypes needs constructor lists"))?;
+        if names.len() != bodies.len() {
+            return Err(ParseError::new(
+                line,
+                "declare-datatypes: sort and constructor lists differ in length",
+            ));
+        }
+        // Declare all sorts first so mutually recursive ADTs resolve.
+        let mut sorts = Vec::new();
+        for n in names {
+            let name = match n {
+                Sexp::Atom(a, _) => a.as_str(),
+                Sexp::List(items, l) => items
+                    .first()
+                    .and_then(Sexp::as_atom)
+                    .ok_or_else(|| ParseError::new(*l, "bad sort declaration"))?,
+            };
+            if self.sig.sort_by_name(name).is_some() {
+                return Err(ParseError::new(line, format!("duplicate sort {name:?}")));
+            }
+            self.sig.add_sort(name);
+            sorts.push(self.sig.sort_by_name(name).expect("just added"));
+        }
+        for (sort, body) in sorts.into_iter().zip(bodies) {
+            let ctors = body
+                .as_list()
+                .ok_or_else(|| ParseError::new(body.line(), "expected constructor list"))?;
+            self.add_ctor_group(sort, ctors)?;
+        }
+        Ok(())
+    }
+
+    fn add_ctor_group(&mut self, sort: SortId, ctors: &[Sexp]) -> Result<(), ParseError> {
+        for c in ctors {
+            match c {
+                Sexp::Atom(name, _) => {
+                    self.sig.add_constructor(name, vec![], sort);
+                }
+                Sexp::List(items, l) => {
+                    let name = items
+                        .first()
+                        .and_then(Sexp::as_atom)
+                        .ok_or_else(|| ParseError::new(*l, "constructor needs a name"))?;
+                    let mut domain = Vec::new();
+                    let mut sel_names = Vec::new();
+                    for field in &items[1..] {
+                        let f = field
+                            .as_list()
+                            .ok_or_else(|| ParseError::new(*l, "field must be (sel Sort)"))?;
+                        let sel = f
+                            .first()
+                            .and_then(Sexp::as_atom)
+                            .ok_or_else(|| ParseError::new(*l, "field selector name"))?;
+                        let sort_name = f
+                            .get(1)
+                            .and_then(Sexp::as_atom)
+                            .ok_or_else(|| ParseError::new(*l, "field sort name"))?;
+                        domain.push(self.sort_by_name(sort_name, *l)?);
+                        sel_names.push(sel.to_owned());
+                    }
+                    let ctor = self.sig.add_constructor(name, domain, sort);
+                    for (i, sel) in sel_names.into_iter().enumerate() {
+                        self.sig.add_selector(&sel, ctor, i);
+                        self.selectors_by_name.insert(sel, ());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn declare_fun(&mut self, items: &[Sexp], line: usize) -> Result<(), ParseError> {
+        let name = items
+            .get(1)
+            .and_then(Sexp::as_atom)
+            .ok_or_else(|| ParseError::new(line, "declare-fun needs a name"))?
+            .to_owned();
+        let args = items
+            .get(2)
+            .and_then(Sexp::as_list)
+            .ok_or_else(|| ParseError::new(line, "declare-fun needs argument sorts"))?;
+        let ret = items
+            .get(3)
+            .and_then(Sexp::as_atom)
+            .ok_or_else(|| ParseError::new(line, "declare-fun needs a result sort"))?
+            .to_owned();
+        let mut domain = Vec::new();
+        for a in args {
+            let n = a
+                .as_atom()
+                .ok_or_else(|| ParseError::new(line, "argument sorts must be atoms"))?;
+            domain.push(self.sort_by_name(n, line)?);
+        }
+        if ret == "Bool" {
+            self.rels.add(name, domain);
+        } else {
+            let range = self.sort_by_name(&ret, line)?;
+            self.sig.add_free(name, domain, range);
+        }
+        Ok(())
+    }
+
+    fn declare_const(&mut self, items: &[Sexp], line: usize) -> Result<(), ParseError> {
+        let name = items
+            .get(1)
+            .and_then(Sexp::as_atom)
+            .ok_or_else(|| ParseError::new(line, "declare-const needs a name"))?
+            .to_owned();
+        let ret = items
+            .get(2)
+            .and_then(Sexp::as_atom)
+            .ok_or_else(|| ParseError::new(line, "declare-const needs a sort"))?;
+        let range = self.sort_by_name(ret, line)?;
+        self.sig.add_free(name, vec![], range);
+        Ok(())
+    }
+
+    fn assert(&mut self, items: &[Sexp], line: usize) -> Result<(), ParseError> {
+        let body = items
+            .get(1)
+            .ok_or_else(|| ParseError::new(line, "assert needs a formula"))?;
+        let mut vars = VarContext::new();
+        let mut scope: HashMap<String, VarId> = HashMap::new();
+        let mut exist_vars = Vec::new();
+        let f = self.assertion(body, &mut vars, &mut scope, true, &mut exist_vars)?;
+        let mut clauses = formula_to_clauses(&vars, &f)
+            .map_err(|e| ParseError::new(line, e.to_string()))?;
+        if !exist_vars.is_empty() {
+            // ∃ does not distribute over clause conjunction, so a ∀∃
+            // assertion must clausify to a single (query) clause.
+            if clauses.len() != 1 || !clauses[0].is_query() {
+                return Err(ParseError::new(
+                    line,
+                    "existential assertion must be a single query clause",
+                ));
+            }
+            clauses[0].exist_vars = exist_vars;
+        }
+        self.clauses.extend(clauses);
+        Ok(())
+    }
+
+    /// Parses the top-level quantifier structure of an assertion. `positive`
+    /// tracks whether we are under an even number of negations; `forall` is
+    /// accepted positively, `exists` under a negation.
+    fn assertion(
+        &mut self,
+        s: &Sexp,
+        vars: &mut VarContext,
+        scope: &mut HashMap<String, VarId>,
+        positive: bool,
+        exist_vars: &mut Vec<VarId>,
+    ) -> Result<Formula, ParseError> {
+        if let Some(items) = s.as_list() {
+            match items.first().and_then(Sexp::as_atom) {
+                Some("forall") if positive => {
+                    self.bind(items, vars, scope, s.line())?;
+                    return self.assertion(&items[2], vars, scope, positive, exist_vars);
+                }
+                Some("exists") if !positive => {
+                    self.bind(items, vars, scope, s.line())?;
+                    return self.assertion(&items[2], vars, scope, positive, exist_vars);
+                }
+                Some("exists") if positive => {
+                    // The §5 ∀∃ query shape: inner existentials become
+                    // Clause::exist_vars (validated in `assert`).
+                    let before: std::collections::BTreeSet<VarId> =
+                        scope.values().copied().collect();
+                    self.bind(items, vars, scope, s.line())?;
+                    for v in scope.values() {
+                        if !before.contains(v) && !exist_vars.contains(v) {
+                            exist_vars.push(*v);
+                        }
+                    }
+                    return self.assertion(&items[2], vars, scope, positive, exist_vars);
+                }
+                Some("forall" | "exists") => {
+                    return Err(ParseError::new(
+                        s.line(),
+                        "quantifier alternation is not expressible as Horn clauses",
+                    ));
+                }
+                Some("not") => {
+                    let inner =
+                        self.assertion(&items[1], vars, scope, !positive, exist_vars)?;
+                    return Ok(Formula::Not(Box::new(inner)));
+                }
+                _ => {}
+            }
+        }
+        self.formula(s, vars, scope)
+    }
+
+    fn bind(
+        &mut self,
+        items: &[Sexp],
+        vars: &mut VarContext,
+        scope: &mut HashMap<String, VarId>,
+        line: usize,
+    ) -> Result<(), ParseError> {
+        let binders = items
+            .get(1)
+            .and_then(Sexp::as_list)
+            .ok_or_else(|| ParseError::new(line, "quantifier needs a binder list"))?;
+        for b in binders {
+            let pair = b
+                .as_list()
+                .ok_or_else(|| ParseError::new(line, "binder must be (name Sort)"))?;
+            let name = pair
+                .first()
+                .and_then(Sexp::as_atom)
+                .ok_or_else(|| ParseError::new(line, "binder name"))?;
+            let sort_name = pair
+                .get(1)
+                .and_then(Sexp::as_atom)
+                .ok_or_else(|| ParseError::new(line, "binder sort"))?;
+            let sort = self.sort_by_name(sort_name, line)?;
+            let v = vars.fresh(name, sort);
+            scope.insert(name.to_owned(), v);
+        }
+        Ok(())
+    }
+
+    fn formula(
+        &mut self,
+        s: &Sexp,
+        vars: &mut VarContext,
+        scope: &mut HashMap<String, VarId>,
+    ) -> Result<Formula, ParseError> {
+        match s {
+            Sexp::Atom(a, line) => match a.as_str() {
+                "true" => Ok(Formula::True),
+                "false" => Ok(Formula::False),
+                name => {
+                    // A nullary predicate.
+                    let p = self
+                        .rels
+                        .by_name(name)
+                        .ok_or_else(|| ParseError::new(*line, format!("unknown atom {name:?}")))?;
+                    Ok(Formula::Atom(FAtom::Pred(p, vec![])))
+                }
+            },
+            Sexp::List(items, line) => {
+                let head = items
+                    .first()
+                    .ok_or_else(|| ParseError::new(*line, "empty formula"))?;
+                match head.as_atom() {
+                    Some("and") => Ok(Formula::And(
+                        items[1..]
+                            .iter()
+                            .map(|g| self.formula(g, vars, scope))
+                            .collect::<Result<_, _>>()?,
+                    )),
+                    Some("or") => Ok(Formula::Or(
+                        items[1..]
+                            .iter()
+                            .map(|g| self.formula(g, vars, scope))
+                            .collect::<Result<_, _>>()?,
+                    )),
+                    Some("not") => Ok(Formula::Not(Box::new(self.formula(
+                        &items[1],
+                        vars,
+                        scope,
+                    )?))),
+                    Some("=>") => {
+                        // Right-associate chains: (=> a b c) = a → (b → c).
+                        let parts: Vec<Formula> = items[1..]
+                            .iter()
+                            .map(|g| self.formula(g, vars, scope))
+                            .collect::<Result<_, _>>()?;
+                        let mut it = parts.into_iter().rev();
+                        let mut acc = it
+                            .next()
+                            .ok_or_else(|| ParseError::new(*line, "=> needs arguments"))?;
+                        for a in it {
+                            acc = Formula::implies(a, acc);
+                        }
+                        Ok(acc)
+                    }
+                    Some("=") => {
+                        let a = self.term(&items[1], vars, scope)?;
+                        let b = self.term(&items[2], vars, scope)?;
+                        Ok(Formula::Atom(FAtom::Eq(a, b)))
+                    }
+                    Some("distinct") => {
+                        let a = self.term(&items[1], vars, scope)?;
+                        let b = self.term(&items[2], vars, scope)?;
+                        Ok(Formula::Not(Box::new(Formula::Atom(FAtom::Eq(a, b)))))
+                    }
+                    Some(name) => {
+                        if let Some(p) = self.rels.by_name(name) {
+                            let args = items[1..]
+                                .iter()
+                                .map(|t| self.term(t, vars, scope))
+                                .collect::<Result<_, _>>()?;
+                            Ok(Formula::Atom(FAtom::Pred(p, args)))
+                        } else {
+                            Err(ParseError::new(
+                                *line,
+                                format!("unknown predicate {name:?}"),
+                            ))
+                        }
+                    }
+                    None => {
+                        // ((_ is c) t): a tester application.
+                        let tester = head
+                            .as_list()
+                            .filter(|l| {
+                                l.first().and_then(Sexp::as_atom) == Some("_")
+                                    && l.get(1).and_then(Sexp::as_atom) == Some("is")
+                            })
+                            .and_then(|l| l.get(2))
+                            .and_then(Sexp::as_atom);
+                        match tester {
+                            Some(ctor_name) => {
+                                let ctor = self.sig.func_by_name(ctor_name).ok_or_else(|| {
+                                    ParseError::new(
+                                        *line,
+                                        format!("unknown constructor {ctor_name:?}"),
+                                    )
+                                })?;
+                                let t = self.term(&items[1], vars, scope)?;
+                                Ok(Formula::Atom(FAtom::Tester(ctor, t)))
+                            }
+                            None => Err(ParseError::new(*line, "unsupported formula head")),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn term(
+        &mut self,
+        s: &Sexp,
+        vars: &mut VarContext,
+        scope: &mut HashMap<String, VarId>,
+    ) -> Result<Term, ParseError> {
+        match s {
+            Sexp::Atom(a, line) => {
+                if let Some(v) = scope.get(a) {
+                    return Ok(Term::var(*v));
+                }
+                if let Some(f) = self.sig.func_by_name(a) {
+                    if self.sig.func(f).arity() == 0 {
+                        return Ok(Term::leaf(f));
+                    }
+                }
+                Err(ParseError::new(*line, format!("unknown term {a:?}")))
+            }
+            Sexp::List(items, line) => {
+                let head = items
+                    .first()
+                    .and_then(Sexp::as_atom)
+                    .ok_or_else(|| ParseError::new(*line, "term head must be a symbol"))?;
+                let f = self
+                    .sig
+                    .func_by_name(head)
+                    .ok_or_else(|| ParseError::new(*line, format!("unknown function {head:?}")))?;
+                let args = items[1..]
+                    .iter()
+                    .map(|t| self.term(t, vars, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if args.len() != self.sig.func(f).arity() {
+                    return Err(ParseError::new(
+                        *line,
+                        format!("function {head:?} applied at the wrong arity"),
+                    ));
+                }
+                Ok(Term::app(f, args))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Constraint;
+
+    const EVEN: &str = r#"
+        (set-logic HORN)
+        (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+        (declare-fun even (Nat) Bool)
+        (assert (even Z))
+        (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+        (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+        (check-sat)
+    "#;
+
+    #[test]
+    fn parses_even_system() {
+        let sys = parse_str(EVEN).unwrap();
+        assert_eq!(sys.clauses.len(), 3);
+        assert_eq!(sys.queries().count(), 1);
+        assert_eq!(sys.rels.len(), 1);
+        let nat = sys.sig.sort_by_name("Nat").unwrap();
+        assert_eq!(sys.sig.constructors_of(nat).len(), 2);
+        // The selector `pre` was registered too.
+        assert!(sys.sig.func_by_name("pre").is_some());
+    }
+
+    #[test]
+    fn parses_not_exists_query() {
+        let src = r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun p (Nat) Bool)
+            (assert (forall ((x Nat)) (p x)))
+            (assert (not (exists ((x Nat)) (p (S x)))))
+        "#;
+        let sys = parse_str(src).unwrap();
+        assert_eq!(sys.clauses.len(), 2);
+        assert_eq!(sys.queries().count(), 1);
+    }
+
+    #[test]
+    fn parses_disequalities_and_testers() {
+        let src = r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun p (Nat Nat) Bool)
+            (assert (forall ((x Nat) (y Nat))
+              (=> (and (not (= x y)) ((_ is S) x)) (p x y))))
+            (assert (forall ((x Nat) (y Nat))
+              (=> (distinct x y) (p x y))))
+        "#;
+        let sys = parse_str(src).unwrap();
+        assert!(sys.has_disequalities());
+        assert!(sys.has_testers_or_selectors());
+        let c = &sys.clauses[0];
+        assert!(c
+            .constraints
+            .iter()
+            .any(|k| matches!(k, Constraint::Neq(..))));
+        assert!(c
+            .constraints
+            .iter()
+            .any(|k| matches!(k, Constraint::Tester { positive: true, .. })));
+    }
+
+    #[test]
+    fn parses_selector_terms() {
+        let src = r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun p (Nat) Bool)
+            (assert (forall ((x Nat)) (=> (= (pre x) Z) (p x))))
+        "#;
+        let sys = parse_str(src).unwrap();
+        assert!(sys.has_testers_or_selectors());
+    }
+
+    #[test]
+    fn parses_declare_datatype_and_const() {
+        let src = r#"
+            (declare-datatype Col ((red) (green)))
+            (declare-const c0 Col)
+            (declare-fun p (Col) Bool)
+            (assert (p c0))
+        "#;
+        let sys = parse_str(src).unwrap();
+        let col = sys.sig.sort_by_name("Col").unwrap();
+        assert_eq!(sys.sig.constructors_of(col).len(), 2);
+        assert!(sys.sig.func_by_name("c0").is_some());
+    }
+
+    #[test]
+    fn parses_mutually_recursive_datatypes() {
+        let src = r#"
+            (declare-datatypes ((Tree 0) (Forest 0))
+              (((leaf) (node (kids Forest)))
+               ((fnil) (fcons (head Tree) (tail Forest)))))
+            (declare-fun p (Tree) Bool)
+            (assert (p leaf))
+        "#;
+        let sys = parse_str(src).unwrap();
+        assert!(sys.well_sorted().is_ok());
+        assert_eq!(sys.sig.sort_count(), 2);
+    }
+
+    #[test]
+    fn forall_exists_is_a_query_only_shape() {
+        // A definite ∀∃ clause is not Horn-expressible …
+        let src = r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun p (Nat Nat) Bool)
+            (assert (forall ((x Nat)) (exists ((y Nat)) (p x y))))
+        "#;
+        let err = parse_str(src).unwrap_err();
+        assert!(err.message.contains("query"));
+        // … but the §5 ∀∃ *query* shape parses, with exist_vars set.
+        let src = r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun p (Nat Nat) Bool)
+            (assert (forall ((x Nat)) (exists ((y Nat)) (=> (p x y) false))))
+        "#;
+        let sys = parse_str(src).unwrap();
+        assert!(sys.well_sorted().is_ok());
+        assert_eq!(sys.clauses.len(), 1);
+        assert!(sys.clauses[0].is_query());
+        assert_eq!(sys.clauses[0].exist_vars.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknowns_with_line_numbers() {
+        let err = parse_str("(assert (foo))").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err2 = parse_str("(declare-fun p (Missing) Bool)").unwrap_err();
+        assert!(err2.message.contains("Missing"));
+        let err3 = parse_str("(bogus)").unwrap_err();
+        assert!(err3.message.contains("unsupported"));
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        assert!(parse_str("(assert").is_err());
+        assert!(parse_str("(assert))").is_err());
+    }
+
+    #[test]
+    fn comments_and_pipes_are_tolerated() {
+        let src = r#"
+            ; a comment
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun |my pred| (Nat) Bool)
+            (assert (|my pred| Z)) ; trailing comment
+        "#;
+        let sys = parse_str(src).unwrap();
+        assert!(sys.rels.by_name("my pred").is_some());
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let src = r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun p (Nat) Bool)
+            (assert (p (S Z Z)))
+        "#;
+        assert!(parse_str(src).is_err());
+    }
+}

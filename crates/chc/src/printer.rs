@@ -1,0 +1,309 @@
+//! SMT-LIB printer for CHC systems; inverse of [`crate::parse_str`].
+
+use std::fmt::Write as _;
+
+use ringen_terms::{FuncKind, Signature, Term, VarContext};
+
+use crate::system::{Atom, ChcSystem, Clause, Constraint};
+
+/// Renders a system as an SMT-LIB CHC script that [`crate::parse_str`]
+/// accepts (datatypes, predicate declarations, one `assert` per clause,
+/// `check-sat`).
+///
+/// # Example
+///
+/// ```
+/// # fn demo() -> Result<(), ringen_chc::ParseError> {
+/// let src = r#"
+///   (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+///   (declare-fun even (Nat) Bool)
+///   (assert (even Z))
+/// "#;
+/// let sys = ringen_chc::parse_str(src)?;
+/// let printed = ringen_chc::to_smtlib(&sys);
+/// let reparsed = ringen_chc::parse_str(&printed)?;
+/// assert_eq!(reparsed.clauses.len(), sys.clauses.len());
+/// # Ok(()) }
+/// # demo().unwrap();
+/// ```
+pub fn to_smtlib(sys: &ChcSystem) -> String {
+    let mut out = String::new();
+    out.push_str("(set-logic HORN)\n");
+    print_datatypes(&mut out, &sys.sig);
+    for f in sys.sig.funcs() {
+        let d = sys.sig.func(f);
+        if d.kind == FuncKind::Free {
+            let args: Vec<&str> = d.domain.iter().map(|s| sys.sig.sort(*s).name.as_str()).collect();
+            let _ = writeln!(
+                out,
+                "(declare-fun {} ({}) {})",
+                quote(&d.name),
+                args.join(" "),
+                sys.sig.sort(d.range).name
+            );
+        }
+    }
+    for p in sys.rels.iter() {
+        let d = sys.rels.decl(p);
+        let args: Vec<&str> = d.domain.iter().map(|s| sys.sig.sort(*s).name.as_str()).collect();
+        let _ = writeln!(
+            out,
+            "(declare-fun {} ({}) Bool)",
+            quote(&d.name),
+            args.join(" ")
+        );
+    }
+    for c in &sys.clauses {
+        out.push_str(&clause_to_smtlib(sys, c));
+        out.push('\n');
+    }
+    out.push_str("(check-sat)\n");
+    out
+}
+
+fn print_datatypes(out: &mut String, sig: &Signature) {
+    let adts: Vec<_> = sig.adts().collect();
+    // Sorts without constructors become declare-sort.
+    for s in sig.sorts() {
+        if sig.constructors_of(s).is_empty() {
+            let _ = writeln!(out, "(declare-sort {} 0)", sig.sort(s).name);
+        }
+    }
+    if adts.is_empty() {
+        return;
+    }
+    let names: Vec<String> = adts
+        .iter()
+        .map(|a| format!("({} 0)", sig.sort(a.sort).name))
+        .collect();
+    let mut bodies = Vec::new();
+    for a in &adts {
+        let mut ctors = Vec::new();
+        for &c in &a.constructors {
+            let d = sig.func(c);
+            if d.arity() == 0 {
+                ctors.push(format!("({})", quote(&d.name)));
+            } else {
+                let fields: Vec<String> = d
+                    .domain
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let sel = selector_name(sig, c, i);
+                        format!("({} {})", quote(&sel), sig.sort(*s).name)
+                    })
+                    .collect();
+                ctors.push(format!("({} {})", quote(&d.name), fields.join(" ")));
+            }
+        }
+        bodies.push(format!("({})", ctors.join(" ")));
+    }
+    let _ = writeln!(
+        out,
+        "(declare-datatypes ({}) ({}))",
+        names.join(" "),
+        bodies.join(" ")
+    );
+}
+
+/// The declared selector for `(ctor, index)`, or a generated stable name.
+fn selector_name(sig: &Signature, ctor: ringen_terms::FuncId, index: usize) -> String {
+    for f in sig.funcs() {
+        if sig.func(f).kind == (FuncKind::Selector { ctor, index }) {
+            return sig.func(f).name.clone();
+        }
+    }
+    format!("{}_{}", sig.func(ctor).name, index)
+}
+
+/// Renders one clause as an `assert`.
+pub fn clause_to_smtlib(sys: &ChcSystem, c: &Clause) -> String {
+    let mut body_parts: Vec<String> = Vec::new();
+    for k in &c.constraints {
+        body_parts.push(constraint_to_sexp(sys, &c.vars, k));
+    }
+    for a in &c.body {
+        body_parts.push(atom_to_sexp(sys, &c.vars, a));
+    }
+    let head = match &c.head {
+        Some(a) => atom_to_sexp(sys, &c.vars, a),
+        None => "false".to_owned(),
+    };
+    let mut matrix = match body_parts.len() {
+        0 => head,
+        1 => format!("(=> {} {})", body_parts[0], head),
+        _ => format!("(=> (and {}) {})", body_parts.join(" "), head),
+    };
+    if !c.exist_vars.is_empty() {
+        let binders: Vec<String> = c
+            .exist_vars
+            .iter()
+            .map(|&v| {
+                format!(
+                    "({} {})",
+                    quote(c.vars.name(v)),
+                    sys.sig.sort(c.vars.sort(v).expect("var in context")).name
+                )
+            })
+            .collect();
+        matrix = format!("(exists ({}) {matrix})", binders.join(" "));
+    }
+    if c.vars.is_empty() {
+        format!("(assert {matrix})")
+    } else {
+        let binders: Vec<String> = c
+            .vars
+            .vars()
+            .filter(|v| !c.exist_vars.contains(v))
+            .map(|v| {
+                format!(
+                    "({} {})",
+                    quote(c.vars.name(v)),
+                    sys.sig.sort(c.vars.sort(v).expect("var in context")).name
+                )
+            })
+            .collect();
+        if binders.is_empty() {
+            format!("(assert {matrix})")
+        } else {
+            format!("(assert (forall ({}) {matrix}))", binders.join(" "))
+        }
+    }
+}
+
+fn constraint_to_sexp(sys: &ChcSystem, vars: &VarContext, k: &Constraint) -> String {
+    match k {
+        Constraint::Eq(a, b) => format!(
+            "(= {} {})",
+            term_to_sexp(sys, vars, a),
+            term_to_sexp(sys, vars, b)
+        ),
+        Constraint::Neq(a, b) => format!(
+            "(not (= {} {}))",
+            term_to_sexp(sys, vars, a),
+            term_to_sexp(sys, vars, b)
+        ),
+        Constraint::Tester {
+            ctor,
+            term,
+            positive,
+        } => {
+            let t = format!(
+                "((_ is {}) {})",
+                quote(&sys.sig.func(*ctor).name),
+                term_to_sexp(sys, vars, term)
+            );
+            if *positive {
+                t
+            } else {
+                format!("(not {t})")
+            }
+        }
+    }
+}
+
+fn atom_to_sexp(sys: &ChcSystem, vars: &VarContext, a: &Atom) -> String {
+    let name = quote(&sys.rels.decl(a.pred).name);
+    if a.args.is_empty() {
+        name
+    } else {
+        let args: Vec<String> = a.args.iter().map(|t| term_to_sexp(sys, vars, t)).collect();
+        format!("({} {})", name, args.join(" "))
+    }
+}
+
+fn term_to_sexp(sys: &ChcSystem, vars: &VarContext, t: &Term) -> String {
+    match t {
+        Term::Var(v) => quote(vars.name(*v)),
+        Term::App(f, args) => {
+            let name = quote(&sys.sig.func(*f).name);
+            if args.is_empty() {
+                name
+            } else {
+                let parts: Vec<String> =
+                    args.iter().map(|a| term_to_sexp(sys, vars, a)).collect();
+                format!("({} {})", name, parts.join(" "))
+            }
+        }
+    }
+}
+
+/// Quotes a symbol with `|...|` when it contains SMT-LIB-special characters.
+fn quote(name: &str) -> String {
+    let simple = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "~!@$%^&*_-+=<>.?/".contains(c))
+        && !name.chars().next().is_some_and(|c| c.is_ascii_digit());
+    if simple {
+        name.to_owned()
+    } else {
+        format!("|{name}|")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_str;
+
+    const EVEN: &str = r#"
+        (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+        (declare-fun even (Nat) Bool)
+        (assert (even Z))
+        (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+        (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+    "#;
+
+    #[test]
+    fn round_trips_even() {
+        let sys = parse_str(EVEN).unwrap();
+        let printed = to_smtlib(&sys);
+        let again = parse_str(&printed).unwrap();
+        assert_eq!(again.clauses.len(), sys.clauses.len());
+        assert_eq!(again.rels.len(), sys.rels.len());
+        assert_eq!(again.sig.sort_count(), sys.sig.sort_count());
+        // Second round trip is a fixpoint.
+        assert_eq!(to_smtlib(&again), printed);
+    }
+
+    #[test]
+    fn round_trips_constraints() {
+        let src = r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun p (Nat Nat) Bool)
+            (assert (forall ((x Nat) (y Nat))
+              (=> (and (not (= x y)) ((_ is S) x) (= (pre x) y)) (p x y))))
+        "#;
+        let sys = parse_str(src).unwrap();
+        let printed = to_smtlib(&sys);
+        let again = parse_str(&printed).unwrap();
+        assert_eq!(again.clauses[0].constraints.len(), 3);
+        assert_eq!(to_smtlib(&again), printed);
+    }
+
+    #[test]
+    fn quoting_strange_names() {
+        assert_eq!(quote("even"), "even");
+        assert_eq!(quote("my pred"), "|my pred|");
+        assert_eq!(quote("3x"), "|3x|");
+        assert_eq!(quote("a.b+c"), "a.b+c");
+    }
+
+    #[test]
+    fn prints_free_functions_and_sorts() {
+        let src = r#"
+            (declare-sort U 0)
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun f (Nat) Nat)
+            (declare-fun p (Nat) Bool)
+            (assert (forall ((x Nat)) (p (f x))))
+        "#;
+        let sys = parse_str(src).unwrap();
+        let printed = to_smtlib(&sys);
+        assert!(printed.contains("(declare-sort U 0)"));
+        assert!(printed.contains("(declare-fun f (Nat) Nat)"));
+        let again = parse_str(&printed).unwrap();
+        assert_eq!(to_smtlib(&again), printed);
+    }
+}

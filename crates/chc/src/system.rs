@@ -1,0 +1,639 @@
+//! Constrained Horn clauses over ADTs (Definition 1).
+
+use std::fmt;
+
+use ringen_terms::{
+    FuncId, FuncKind, Signature, SortError, SortId, Substitution, Term, VarContext, VarId,
+};
+
+/// Identifier of an uninterpreted relation symbol `P ∈ ℛ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredId(pub(crate) u32);
+
+impl PredId {
+    /// Raw index, usable for dense tables indexed by predicate.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `PredId` from a raw index previously obtained from
+    /// [`PredId::index`].
+    pub fn from_index(i: usize) -> Self {
+        PredId(i as u32)
+    }
+}
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Declaration of an uninterpreted relation symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredDecl {
+    /// Unique name.
+    pub name: String,
+    /// Argument sorts `σ1 × … × σn`.
+    pub domain: Vec<SortId>,
+}
+
+impl PredDecl {
+    /// Arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.domain.len()
+    }
+}
+
+/// The finite set `ℛ = {P₁, …, Pₙ}` of uninterpreted relation symbols.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relations {
+    preds: Vec<PredDecl>,
+}
+
+impl Relations {
+    /// Creates an empty set of relations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a relation and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used.
+    pub fn add(&mut self, name: impl Into<String>, domain: Vec<SortId>) -> PredId {
+        let name = name.into();
+        assert!(
+            self.preds.iter().all(|p| p.name != name),
+            "duplicate predicate name {name:?}"
+        );
+        self.preds.push(PredDecl { name, domain });
+        PredId((self.preds.len() - 1) as u32)
+    }
+
+    /// Declaration of a relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this set.
+    pub fn decl(&self, id: PredId) -> &PredDecl {
+        &self.preds[id.index()]
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether no relation is declared.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// All relation ids.
+    pub fn iter(&self) -> impl Iterator<Item = PredId> + '_ {
+        (0..self.preds.len() as u32).map(PredId)
+    }
+
+    /// Looks a relation up by name.
+    pub fn by_name(&self, name: &str) -> Option<PredId> {
+        self.preds
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PredId(i as u32))
+    }
+}
+
+/// An applied relation symbol `P(t₁, …, tₙ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The relation symbol.
+    pub pred: PredId,
+    /// Its arguments.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(pred: PredId, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// Applies a substitution to every argument.
+    pub fn apply(&self, sub: &Substitution) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(|t| sub.apply(t)).collect(),
+        }
+    }
+}
+
+/// A literal of the assertion language appearing in a clause constraint:
+/// (dis)equalities between terms and (negated) constructor testers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    /// `t = u`.
+    Eq(Term, Term),
+    /// `t ≠ u`.
+    Neq(Term, Term),
+    /// `c?(t)` (positive) or `¬c?(t)` (negative).
+    Tester {
+        /// The constructor being tested for.
+        ctor: FuncId,
+        /// The tested term.
+        term: Term,
+        /// Polarity of the literal.
+        positive: bool,
+    },
+}
+
+impl Constraint {
+    /// Applies a substitution to the constrained terms.
+    pub fn apply(&self, sub: &Substitution) -> Constraint {
+        match self {
+            Constraint::Eq(a, b) => Constraint::Eq(sub.apply(a), sub.apply(b)),
+            Constraint::Neq(a, b) => Constraint::Neq(sub.apply(a), sub.apply(b)),
+            Constraint::Tester {
+                ctor,
+                term,
+                positive,
+            } => Constraint::Tester {
+                ctor: *ctor,
+                term: sub.apply(term),
+                positive: *positive,
+            },
+        }
+    }
+
+    /// The terms appearing in the constraint.
+    pub fn terms(&self) -> Vec<&Term> {
+        match self {
+            Constraint::Eq(a, b) | Constraint::Neq(a, b) => vec![a, b],
+            Constraint::Tester { term, .. } => vec![term],
+        }
+    }
+}
+
+/// A constrained Horn clause
+/// `φ ∧ R₁(t̄₁) ∧ … ∧ Rₘ(t̄ₘ) → H` (Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Sorts and names of the clause's variables.
+    pub vars: VarContext,
+    /// Variables quantified *existentially* inside the clause matrix
+    /// (the `∀e ∃a,b` query shape of the §5 STLC case study). Must be a
+    /// subset of `vars`, may only occur on query clauses, and may not
+    /// appear in constraints; all other clauses leave this empty.
+    pub exist_vars: Vec<VarId>,
+    /// The constraint `φ`, as a conjunction of literals.
+    pub constraints: Vec<Constraint>,
+    /// The uninterpreted body atoms `Rᵢ(t̄ᵢ)`.
+    pub body: Vec<Atom>,
+    /// The head `H`: an atom for definite clauses, `None` for queries (⊥).
+    pub head: Option<Atom>,
+    /// Optional label for diagnostics.
+    pub name: Option<String>,
+}
+
+impl Clause {
+    /// Creates a clause.
+    pub fn new(
+        vars: VarContext,
+        constraints: Vec<Constraint>,
+        body: Vec<Atom>,
+        head: Option<Atom>,
+    ) -> Self {
+        Clause {
+            vars,
+            exist_vars: Vec::new(),
+            constraints,
+            body,
+            head,
+            name: None,
+        }
+    }
+
+    /// Marks variables as existentially quantified (only meaningful on
+    /// query clauses; see [`Clause::exist_vars`]).
+    pub fn with_exists(mut self, vars: Vec<VarId>) -> Self {
+        self.exist_vars = vars;
+        self
+    }
+
+    /// Attaches a diagnostic label.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Whether this is a query clause (head ⊥).
+    pub fn is_query(&self) -> bool {
+        self.head.is_none()
+    }
+
+    /// Whether the clause has no constraint part (`φ = ⊤`).
+    pub fn is_constraint_free(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Every term of the clause, bodies and head alike.
+    pub fn terms(&self) -> Vec<&Term> {
+        let mut out: Vec<&Term> = Vec::new();
+        for c in &self.constraints {
+            out.extend(c.terms());
+        }
+        for a in self.body.iter().chain(&self.head) {
+            out.extend(a.args.iter());
+        }
+        out
+    }
+}
+
+/// A CHC system `𝒮` (Definition 1): a signature, relation symbols, and a
+/// finite set of clauses.
+///
+/// # Example
+///
+/// ```
+/// use ringen_chc::SystemBuilder;
+///
+/// // The Even system of the paper's Example 1.
+/// let mut b = SystemBuilder::new();
+/// let nat = b.sort("Nat");
+/// let z = b.ctor("Z", vec![], nat);
+/// let s = b.ctor("S", vec![nat], nat);
+/// let even = b.pred("even", vec![nat]);
+/// b.clause(|c| {
+///     c.head(even, vec![c.app0(z)]);
+/// });
+/// b.clause(|c| {
+///     let x = c.var("x", nat);
+///     c.body(even, vec![c.v(x)]);
+///     c.head(even, vec![c.app(s, vec![c.app(s, vec![c.v(x)])])]);
+/// });
+/// b.clause(|c| {
+///     let x = c.var("x", nat);
+///     c.body(even, vec![c.v(x)]);
+///     c.body(even, vec![c.app(s, vec![c.v(x)])]);
+///     // no head: a query clause
+/// });
+/// let sys = b.finish();
+/// assert_eq!(sys.clauses.len(), 3);
+/// assert!(sys.well_sorted().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChcSystem {
+    /// The assertion-language signature (ADT sorts and constructors).
+    pub sig: Signature,
+    /// The uninterpreted relation symbols `ℛ`.
+    pub rels: Relations,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl ChcSystem {
+    /// Creates an empty system over a signature.
+    pub fn new(sig: Signature) -> Self {
+        ChcSystem {
+            sig,
+            rels: Relations::new(),
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Checks every clause for well-sortedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first offending clause and the underlying
+    /// [`SortError`] or arity mismatch, as a [`SystemError`].
+    pub fn well_sorted(&self) -> Result<(), SystemError> {
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.check_clause(c)
+                .map_err(|kind| SystemError { clause: i, kind })?;
+        }
+        Ok(())
+    }
+
+    fn check_clause(&self, c: &Clause) -> Result<(), SystemErrorKind> {
+        if !c.exist_vars.is_empty() {
+            if c.head.is_some() {
+                return Err(SystemErrorKind::ExistentialInDefiniteClause);
+            }
+            for &v in &c.exist_vars {
+                if c.vars.sort(v).is_none() {
+                    return Err(SystemErrorKind::ExistentialNotDeclared);
+                }
+            }
+            for con in &c.constraints {
+                let touches = match con {
+                    Constraint::Eq(a, b) | Constraint::Neq(a, b) => {
+                        c.exist_vars.iter().any(|v| a.contains_var(*v) || b.contains_var(*v))
+                    }
+                    Constraint::Tester { term, .. } => {
+                        c.exist_vars.iter().any(|v| term.contains_var(*v))
+                    }
+                };
+                if touches {
+                    return Err(SystemErrorKind::ExistentialInConstraint);
+                }
+            }
+        }
+        for con in &c.constraints {
+            match con {
+                Constraint::Eq(a, b) | Constraint::Neq(a, b) => {
+                    let sa = a.sort(&self.sig, &c.vars)?;
+                    let sb = b.sort(&self.sig, &c.vars)?;
+                    if sa != sb {
+                        return Err(SystemErrorKind::EqualitySorts(sa, sb));
+                    }
+                }
+                Constraint::Tester { ctor, term, .. } => {
+                    let decl = self.sig.func(*ctor);
+                    if decl.kind != FuncKind::Constructor {
+                        return Err(SystemErrorKind::TesterOfNonConstructor(*ctor));
+                    }
+                    let st = term.sort(&self.sig, &c.vars)?;
+                    if st != decl.range {
+                        return Err(SystemErrorKind::EqualitySorts(st, decl.range));
+                    }
+                }
+            }
+        }
+        for a in c.body.iter().chain(&c.head) {
+            let d = self.rels.decl(a.pred);
+            if d.arity() != a.args.len() {
+                return Err(SystemErrorKind::AtomArity {
+                    pred: a.pred,
+                    expected: d.arity(),
+                    got: a.args.len(),
+                });
+            }
+            for (t, want) in a.args.iter().zip(&d.domain) {
+                let got = t.sort(&self.sig, &c.vars)?;
+                if got != *want {
+                    return Err(SystemErrorKind::EqualitySorts(got, *want));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The definite clauses (those with a head atom).
+    pub fn definite_clauses(&self) -> impl Iterator<Item = &Clause> + '_ {
+        self.clauses.iter().filter(|c| !c.is_query())
+    }
+
+    /// The query clauses (head ⊥).
+    pub fn queries(&self) -> impl Iterator<Item = &Clause> + '_ {
+        self.clauses.iter().filter(|c| c.is_query())
+    }
+
+    /// Whether any clause contains a disequality constraint (the `Diseq`
+    /// benchmark family marker, §4.4).
+    pub fn has_disequalities(&self) -> bool {
+        self.clauses
+            .iter()
+            .flat_map(|c| &c.constraints)
+            .any(|k| matches!(k, Constraint::Neq(..)))
+    }
+
+    /// Whether any clause mentions a tester or selector (removed by §4.5).
+    pub fn has_testers_or_selectors(&self) -> bool {
+        let tester = self
+            .clauses
+            .iter()
+            .flat_map(|c| &c.constraints)
+            .any(|k| matches!(k, Constraint::Tester { .. }));
+        let selector = self.clauses.iter().any(|c| {
+            c.terms().iter().any(|t| {
+                term_mentions_selector(&self.sig, t)
+            })
+        });
+        tester || selector
+    }
+}
+
+fn term_mentions_selector(sig: &Signature, t: &Term) -> bool {
+    match t {
+        Term::Var(_) => false,
+        Term::App(f, args) => {
+            matches!(sig.func(*f).kind, FuncKind::Selector { .. })
+                || args.iter().any(|a| term_mentions_selector(sig, a))
+        }
+    }
+}
+
+/// A sort or arity error in a clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemError {
+    /// Index of the offending clause.
+    pub clause: usize,
+    /// What went wrong.
+    pub kind: SystemErrorKind,
+}
+
+/// The kinds of [`SystemError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemErrorKind {
+    /// A term inside the clause failed to sort.
+    Term(SortError),
+    /// The two sides of an equality (or an atom argument and its declared
+    /// sort) disagree.
+    EqualitySorts(SortId, SortId),
+    /// An atom applied a relation at the wrong arity.
+    AtomArity {
+        /// The misapplied relation.
+        pred: PredId,
+        /// Declared arity.
+        expected: usize,
+        /// Supplied argument count.
+        got: usize,
+    },
+    /// A tester constraint names a symbol that is not a constructor.
+    TesterOfNonConstructor(FuncId),
+    /// Existential variables are only allowed on query clauses.
+    ExistentialInDefiniteClause,
+    /// An existential variable is not declared in the clause context.
+    ExistentialNotDeclared,
+    /// Existential variables may not occur in constraints.
+    ExistentialInConstraint,
+}
+
+impl From<SortError> for SystemErrorKind {
+    fn from(e: SortError) -> Self {
+        SystemErrorKind::Term(e)
+    }
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clause {}: ", self.clause)?;
+        match &self.kind {
+            SystemErrorKind::Term(e) => write!(f, "{e}"),
+            SystemErrorKind::EqualitySorts(a, b) => {
+                write!(f, "sort mismatch between {a} and {b}")
+            }
+            SystemErrorKind::AtomArity {
+                pred,
+                expected,
+                got,
+            } => write!(f, "{pred} expects {expected} arguments, got {got}"),
+            SystemErrorKind::TesterOfNonConstructor(c) => {
+                write!(f, "tester of non-constructor {c}")
+            }
+            SystemErrorKind::ExistentialInDefiniteClause => {
+                write!(f, "existential variables are only allowed on query clauses")
+            }
+            SystemErrorKind::ExistentialNotDeclared => {
+                write!(f, "existential variable is not in the clause context")
+            }
+            SystemErrorKind::ExistentialInConstraint => {
+                write!(f, "existential variables may not occur in constraints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SystemBuilder;
+
+    #[test]
+    fn relations_round_trip() {
+        let mut sig = Signature::new();
+        let nat = sig.add_sort("Nat");
+        let mut rels = Relations::new();
+        let p = rels.add("p", vec![nat, nat]);
+        assert_eq!(rels.decl(p).arity(), 2);
+        assert_eq!(rels.by_name("p"), Some(p));
+        assert_eq!(rels.by_name("q"), None);
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels.iter().collect::<Vec<_>>(), vec![p]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate predicate name")]
+    fn duplicate_predicate_panics() {
+        let mut rels = Relations::new();
+        rels.add("p", vec![]);
+        rels.add("p", vec![]);
+    }
+
+    #[test]
+    fn well_sorted_catches_atom_arity() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let p = b.pred("p", vec![nat]);
+        let mut sys = b.finish();
+        // Manually build an ill-formed clause: p applied to 2 args.
+        let vars = VarContext::new();
+        sys.clauses.push(Clause::new(
+            vars,
+            vec![],
+            vec![],
+            Some(Atom::new(p, vec![Term::leaf(z), Term::leaf(z)])),
+        ));
+        assert!(matches!(
+            sys.well_sorted(),
+            Err(SystemError {
+                clause: 0,
+                kind: SystemErrorKind::AtomArity { expected: 1, got: 2, .. }
+            })
+        ));
+    }
+
+    #[test]
+    fn well_sorted_catches_equality_sorts() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let list = b.sort("List");
+        let z = b.ctor("Z", vec![], nat);
+        let nil = b.ctor("nil", vec![], list);
+        let _p = b.pred("p", vec![]);
+        let mut sys = b.finish();
+        sys.clauses.push(Clause::new(
+            VarContext::new(),
+            vec![Constraint::Eq(Term::leaf(z), Term::leaf(nil))],
+            vec![],
+            None,
+        ));
+        assert!(matches!(
+            sys.well_sorted(),
+            Err(SystemError {
+                kind: SystemErrorKind::EqualitySorts(..),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn queries_and_definites_are_split() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let p = b.pred("p", vec![nat]);
+        b.clause(|c| {
+            c.head(p, vec![c.app0(z)]);
+        });
+        b.clause(|c| {
+            c.body(p, vec![c.app0(z)]);
+        });
+        let sys = b.finish();
+        assert_eq!(sys.definite_clauses().count(), 1);
+        assert_eq!(sys.queries().count(), 1);
+        assert!(!sys.has_disequalities());
+        assert!(!sys.has_testers_or_selectors());
+    }
+
+    #[test]
+    fn detects_diseq_and_testers() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let _p = b.pred("p", vec![]);
+        let mut sys = b.finish();
+        sys.clauses.push(Clause::new(
+            VarContext::new(),
+            vec![Constraint::Neq(Term::leaf(z), Term::leaf(z))],
+            vec![],
+            None,
+        ));
+        assert!(sys.has_disequalities());
+        sys.clauses.clear();
+        sys.clauses.push(Clause::new(
+            VarContext::new(),
+            vec![Constraint::Tester {
+                ctor: z,
+                term: Term::leaf(z),
+                positive: true,
+            }],
+            vec![],
+            None,
+        ));
+        assert!(sys.has_testers_or_selectors());
+    }
+
+    #[test]
+    fn clause_terms_lists_everything() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let p = b.pred("p", vec![nat]);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.eq(c.v(x), c.app0(z));
+            c.body(p, vec![c.v(x)]);
+            c.head(p, vec![c.app0(z)]);
+        });
+        let sys = b.finish();
+        assert_eq!(sys.clauses[0].terms().len(), 4);
+        assert!(!sys.clauses[0].is_query());
+        assert!(!sys.clauses[0].is_constraint_free());
+    }
+}

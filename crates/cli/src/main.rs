@@ -1,0 +1,173 @@
+//! `ringen` — command-line regular-invariant inference for CHCs over
+//! ADTs, in the spirit of the original tool: reads an SMT-LIB2-subset
+//! file, prints `sat` with the inferred tree-automaton invariant,
+//! `unsat` with a ground refutation, or `unknown`.
+//!
+//! ```text
+//! ringen [--quick] [--quiet] FILE.smt2
+//! ringen --solver elem|sizeelem|regelem|induction|verimap FILE.smt2
+//! ```
+//!
+//! The `regelem` solver is the hybrid portfolio: regular invariants by
+//! finite-model finding, then elementary templates, then the combined
+//! template-plus-membership search of `ringen-regelem`.
+
+use std::process::ExitCode;
+
+use ringen_chc::parse_str;
+use ringen_core::{solve, Answer, RingenConfig};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut quiet = false;
+    let mut solver = String::from("ringen");
+    let mut file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--quiet" => quiet = true,
+            "--solver" => match args.next() {
+                Some(s) => solver = s,
+                None => return usage("missing value for --solver"),
+            },
+            "-h" | "--help" => {
+                eprintln!("usage: ringen [--quick] [--quiet] [--solver NAME] FILE.smt2");
+                eprintln!(
+                    "solvers: ringen (default), elem, sizeelem, regelem, induction, verimap"
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if file.is_none() => file = Some(a),
+            _ => return usage("unexpected argument"),
+        }
+    }
+    let Some(file) = file else {
+        return usage("no input file");
+    };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ringen: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sys = match parse_str(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ringen: parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = sys.well_sorted() {
+        eprintln!("ringen: ill-sorted input: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    match solver.as_str() {
+        "ringen" => {
+            let cfg = if quick { RingenConfig::quick() } else { RingenConfig::default() };
+            let (answer, stats) = solve(&sys, &cfg);
+            match answer {
+                Answer::Sat(sat) => {
+                    println!("sat");
+                    if !quiet {
+                        println!("; finite model size {:?}", stats.model_size);
+                        print!("{}", sat.invariant.display(&sat.preprocessed.system));
+                    }
+                }
+                Answer::Unsat(r) => {
+                    println!("unsat");
+                    if !quiet {
+                        println!("; ground refutation with {} steps", r.len());
+                    }
+                }
+                Answer::Unknown(d) => {
+                    println!("unknown");
+                    if !quiet {
+                        println!("; {d:?}");
+                    }
+                }
+            }
+        }
+        "elem" => {
+            let cfg = if quick { ringen_elem::ElemConfig::quick() } else { Default::default() };
+            let (answer, _) = ringen_elem::solve_elem(&sys, &cfg);
+            report(answer.is_sat(), answer.is_unsat());
+        }
+        "sizeelem" => {
+            let cfg = if quick {
+                ringen_sizeelem::SizeElemConfig::quick()
+            } else {
+                Default::default()
+            };
+            let (answer, _) = ringen_sizeelem::solve_size_elem(&sys, &cfg);
+            report(answer.is_sat(), answer.is_unsat());
+        }
+        "regelem" => {
+            let cfg = if quick {
+                ringen_regelem::RegElemConfig::quick()
+            } else {
+                Default::default()
+            };
+            let (answer, _) = ringen_regelem::solve_regelem(&sys, &cfg);
+            match answer {
+                ringen_regelem::RegElemAnswer::Sat(inv, provenance) => {
+                    println!("sat");
+                    if !quiet {
+                        println!("; deciding phase: {provenance:?}");
+                        for (p, f) in &inv.formulas {
+                            println!(
+                                "; {}(#…) ≡ {}",
+                                sys.rels.decl(*p).name,
+                                f.display(&sys.sig)
+                            );
+                        }
+                    }
+                }
+                ringen_regelem::RegElemAnswer::Unsat(r) => {
+                    println!("unsat");
+                    if !quiet {
+                        println!("; ground refutation with {} steps", r.len());
+                    }
+                }
+                ringen_regelem::RegElemAnswer::Unknown => println!("unknown"),
+            }
+        }
+        "induction" => {
+            let cfg = if quick {
+                ringen_induction::InductionConfig::quick()
+            } else {
+                Default::default()
+            };
+            let (answer, _) = ringen_induction::solve_induction(&sys, &cfg);
+            report(answer.is_sat(), answer.is_unsat());
+        }
+        "verimap" => {
+            let cfg = if quick {
+                ringen_verimap::VerimapConfig::quick()
+            } else {
+                Default::default()
+            };
+            let (answer, _) = ringen_verimap::solve_verimap(&sys, &cfg);
+            report(answer.is_sat(), answer.is_unsat());
+        }
+        other => return usage(&format!("unknown solver {other}")),
+    }
+    ExitCode::SUCCESS
+}
+
+fn report(sat: bool, unsat: bool) {
+    if sat {
+        println!("sat");
+    } else if unsat {
+        println!("unsat");
+    } else {
+        println!("unknown");
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ringen: {msg}; try --help");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,289 @@
+//! Decidable inductiveness checking for regular invariants.
+//!
+//! For a *constraint-free* system (the output of
+//! [`crate::preprocess::preprocess`]) and a [`RegularInvariant`], clause
+//! validity is decidable: a deterministic complete automaton maps every
+//! ground term to exactly one state, so a clause `R₁(t̄₁) ∧ … → H` is
+//! violated iff some assignment of *reachable* states to its variables
+//! makes every body tuple final and the head tuple non-final. Reachable
+//! states all have ground witnesses, which turns any violating state
+//! assignment into a concrete ground counterexample.
+//!
+//! This check independently validates every SAT answer the solver
+//! produces — Theorem 5 is not trusted, it is re-verified.
+
+use std::collections::BTreeMap;
+
+use ringen_automata::StateId;
+use ringen_chc::{ChcSystem, Clause};
+use ringen_terms::{GroundTerm, VarId};
+
+use crate::invariant::RegularInvariant;
+
+/// Outcome of [`check_inductive`].
+#[derive(Debug, Clone)]
+pub enum InductiveCheck {
+    /// Every clause is satisfied by the invariant.
+    Inductive,
+    /// Some clause is violated; the witness is a ground counterexample.
+    Violated(Violation),
+    /// The system is not constraint-free, so the state-level check does
+    /// not apply (run preprocessing first).
+    Unsupported(&'static str),
+}
+
+impl InductiveCheck {
+    /// `true` iff the invariant was verified inductive.
+    pub fn is_inductive(&self) -> bool {
+        matches!(self, InductiveCheck::Inductive)
+    }
+}
+
+/// A concrete clause violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Index of the violated clause in [`ChcSystem::clauses`].
+    pub clause: usize,
+    /// A ground witness per clause variable.
+    pub assignment: Vec<(VarId, GroundTerm)>,
+}
+
+/// Checks that `inv` satisfies every clause of `sys` (which must be
+/// constraint-free). See the module docs for why this is exact.
+pub fn check_inductive(sys: &ChcSystem, inv: &RegularInvariant) -> InductiveCheck {
+    if sys.clauses.iter().any(|c| !c.is_constraint_free()) {
+        return InductiveCheck::Unsupported("system has constraints; preprocess first");
+    }
+    let dfta = inv.dfta();
+    let reachable = dfta.reachable();
+    let witnesses = dfta.witnesses();
+    // Reachable states per sort, in a stable order.
+    let mut per_sort: BTreeMap<ringen_terms::SortId, Vec<StateId>> = BTreeMap::new();
+    for s in dfta.states() {
+        if reachable.contains(&s) {
+            per_sort.entry(dfta.sort_of(s)).or_default().push(s);
+        }
+    }
+
+    for (ci, clause) in sys.clauses.iter().enumerate() {
+        if let Some(v) = violated(sys, inv, clause, &per_sort, &witnesses) {
+            return InductiveCheck::Violated(Violation { clause: ci, assignment: v });
+        }
+    }
+    InductiveCheck::Inductive
+}
+
+fn violated(
+    sys: &ChcSystem,
+    inv: &RegularInvariant,
+    clause: &Clause,
+    per_sort: &BTreeMap<ringen_terms::SortId, Vec<StateId>>,
+    witnesses: &[Option<GroundTerm>],
+) -> Option<Vec<(VarId, GroundTerm)>> {
+    let universals: Vec<VarId> = clause
+        .vars
+        .vars()
+        .filter(|v| !clause.exist_vars.contains(v))
+        .collect();
+    let mut u_choices: Vec<&[StateId]> = Vec::with_capacity(universals.len());
+    for &v in &universals {
+        let sort = clause.vars.sort(v).expect("var in context");
+        match per_sort.get(&sort) {
+            // A sort with no reachable state has no ground terms in the
+            // automaton's world; the clause is vacuously satisfied.
+            None => return None,
+            Some(states) => u_choices.push(states),
+        }
+    }
+    let mut e_choices: Vec<&[StateId]> = Vec::with_capacity(clause.exist_vars.len());
+    for &v in &clause.exist_vars {
+        let sort = clause.vars.sort(v).expect("var in context");
+        // A sort with no reachable state makes the ∃ unsatisfiable, which
+        // is an empty choice list below.
+        e_choices.push(per_sort.get(&sort).map(Vec::as_slice).unwrap_or(&[]));
+    }
+
+    let mut idx = vec![0usize; universals.len()];
+    loop {
+        let mut env: BTreeMap<VarId, StateId> = universals
+            .iter()
+            .zip(&idx)
+            .zip(&u_choices)
+            .map(|((&v, &i), states)| (v, states[i]))
+            .collect();
+        // ∀∃ semantics: the clause is violated at this universal
+        // assignment iff NO existential assignment satisfies the matrix
+        // (equivalently: every existential choice gives body ∧ ¬head).
+        let violated_here = !exists_satisfying(
+            sys,
+            inv,
+            clause,
+            &clause.exist_vars,
+            &e_choices,
+            0,
+            &mut env,
+        );
+        if violated_here {
+            let assignment = universals
+                .iter()
+                .map(|&v| {
+                    let s = env[&v];
+                    let w = witnesses[s.index()]
+                        .clone()
+                        .expect("reachable state has a witness");
+                    (v, w)
+                })
+                .collect();
+            return Some(assignment);
+        }
+        // Advance the mixed-radix counter.
+        let mut k = 0;
+        loop {
+            if k == universals.len() {
+                return None;
+            }
+            idx[k] += 1;
+            if idx[k] < u_choices[k].len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Whether some assignment of the existential variables makes the clause
+/// matrix `B → H` true under `env`. With no existential variables this
+/// degenerates to a single matrix evaluation.
+fn exists_satisfying(
+    sys: &ChcSystem,
+    inv: &RegularInvariant,
+    clause: &Clause,
+    exist: &[VarId],
+    e_choices: &[&[StateId]],
+    k: usize,
+    env: &mut BTreeMap<VarId, StateId>,
+) -> bool {
+    if k == exist.len() {
+        return !(body_holds(sys, inv, clause, env) && !head_holds(inv, clause, env));
+    }
+    let v = exist[k];
+    for &s in e_choices[k] {
+        env.insert(v, s);
+        let ok = exists_satisfying(sys, inv, clause, exist, e_choices, k + 1, env);
+        env.remove(&v);
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+fn body_holds(
+    sys: &ChcSystem,
+    inv: &RegularInvariant,
+    clause: &Clause,
+    env: &BTreeMap<VarId, StateId>,
+) -> bool {
+    let _ = sys;
+    clause.body.iter().all(|atom| {
+        let tuple: Option<Vec<StateId>> =
+            atom.args.iter().map(|t| inv.dfta().eval(t, env)).collect();
+        match tuple {
+            Some(tuple) => inv.finals(atom.pred).contains(&tuple),
+            // An undefined transition means the term denotes nothing the
+            // automaton can reach; treat the atom as false (the model
+            // automaton is total, so this only happens for foreign
+            // symbols).
+            None => false,
+        }
+    })
+}
+
+fn head_holds(inv: &RegularInvariant, clause: &Clause, env: &BTreeMap<VarId, StateId>) -> bool {
+    match &clause.head {
+        None => false,
+        Some(atom) => {
+            let tuple: Option<Vec<StateId>> =
+                atom.args.iter().map(|t| inv.dfta().eval(t, env)).collect();
+            match tuple {
+                Some(tuple) => inv.finals(atom.pred).contains(&tuple),
+                None => false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::preprocess;
+    use ringen_chc::parse_str;
+    use ringen_fmf::{find_model, FinderConfig};
+
+    #[test]
+    fn even_invariant_is_inductive() {
+        let sys = parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun even (Nat) Bool)
+            (assert (even Z))
+            (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+            (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+            "#,
+        )
+        .unwrap();
+        let pre = preprocess(&sys);
+        let (outcome, _) = find_model(&pre.system, &FinderConfig::default()).unwrap();
+        let model = outcome.model().unwrap();
+        let inv = RegularInvariant::from_model(&pre.system, &model);
+        assert!(check_inductive(&pre.system, &inv).is_inductive());
+    }
+
+    #[test]
+    fn corrupted_invariant_is_caught() {
+        let sys = parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun even (Nat) Bool)
+            (assert (even Z))
+            (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+            "#,
+        )
+        .unwrap();
+        let pre = preprocess(&sys);
+        let (outcome, _) = find_model(&pre.system, &FinderConfig::default()).unwrap();
+        let model = outcome.model().unwrap();
+        let mut inv = RegularInvariant::from_model(&pre.system, &model);
+        // Empty the finals of `even`: the fact clause `→ even(Z)` must now
+        // be reported violated.
+        let even = sys.rels.by_name("even").unwrap();
+        inv.finals_mut(even).clear();
+        match check_inductive(&pre.system, &inv) {
+            InductiveCheck::Violated(v) => {
+                // The violated clause derives even(Z) — no body needed.
+                assert!(pre.system.clauses[v.clause].body.is_empty());
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constrained_systems_are_rejected() {
+        let sys = parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun p (Nat) Bool)
+            (assert (forall ((x Nat)) (=> (= x Z) (p x))))
+            "#,
+        )
+        .unwrap();
+        let pre = preprocess(&sys);
+        let (outcome, _) = find_model(&pre.system, &FinderConfig::default()).unwrap();
+        let inv = RegularInvariant::from_model(&pre.system, &outcome.model().unwrap());
+        assert!(matches!(
+            check_inductive(&sys, &inv),
+            InductiveCheck::Unsupported(_)
+        ));
+    }
+}

@@ -1,0 +1,255 @@
+//! Disequality elimination (§4.4).
+//!
+//! A finite-model finder searches a completely free domain, so a clause
+//! with a disequality constraint `t ≠ u` can be satisfied by collapsing
+//! the whole sort to one point — which breaks the Herbrand reading.
+//! Following §4.4, every literal `¬(t =σ u)` is replaced by an atom
+//! `diseqσ(t, u)` over a fresh uninterpreted symbol, and the defining
+//! rules of `diseqσ` are added:
+//!
+//! * `⊤ → diseqσ(c(x̄), c'(x̄'))` for all distinct constructors `c, c'`;
+//! * `diseqσ'(x, y) → diseqσ(c(…, x, …), c(…, y, …))` for every
+//!   constructor `c` and argument position (all other positions are
+//!   pairwise-distinct fresh variables).
+//!
+//! Lemma 3: the least Herbrand model of these rules interprets `diseqσ`
+//! by true disequality `𝒟σ = {(x, y) | x ≠ y}`, so by Lemma 4 any model
+//! of the rewritten system yields a model of the original one.
+
+use std::collections::BTreeMap;
+
+use ringen_chc::{Atom, ChcSystem, Clause, Constraint, PredId};
+use ringen_terms::{SortId, Term, VarContext};
+
+/// Result of the §4.4 pass.
+#[derive(Debug, Clone)]
+pub struct DiseqElimination {
+    /// The rewritten system; no clause carries a [`Constraint::Neq`].
+    pub system: ChcSystem,
+    /// The fresh `diseqσ` predicate for every sort that needed one.
+    pub diseq_preds: BTreeMap<SortId, PredId>,
+}
+
+/// Runs the pass. Sorts that never occur under a disequality (directly or
+/// as a constructor argument of one that does) get no `diseq` predicate,
+/// keeping the model search small.
+///
+/// # Panics
+///
+/// Panics if a disequality compares terms whose sort cannot be computed
+/// (i.e. the input system is not well-sorted).
+pub fn eliminate_disequalities(sys: &ChcSystem) -> DiseqElimination {
+    let mut out = ChcSystem::new(sys.sig.clone());
+    out.rels = sys.rels.clone();
+
+    // Which sorts need a diseq predicate: sorts of Neq literals, closed
+    // under constructor argument sorts (the congruence rules recurse).
+    let mut needed: Vec<SortId> = Vec::new();
+    for clause in &sys.clauses {
+        for k in &clause.constraints {
+            if let Constraint::Neq(a, _) = k {
+                let sort = a
+                    .sort(&sys.sig, &clause.vars)
+                    .expect("well-sorted disequality");
+                if !needed.contains(&sort) {
+                    needed.push(sort);
+                }
+            }
+        }
+    }
+    let mut i = 0;
+    while i < needed.len() {
+        let sort = needed[i];
+        for &c in sys.sig.constructors_of(sort) {
+            for &arg in &sys.sig.func(c).domain {
+                if !needed.contains(&arg) {
+                    needed.push(arg);
+                }
+            }
+        }
+        i += 1;
+    }
+    needed.sort();
+
+    let mut diseq_preds = BTreeMap::new();
+    for &sort in &needed {
+        let name = format!("diseq-{}", sys.sig.sort(sort).name);
+        let p = out.rels.add(name, vec![sort, sort]);
+        diseq_preds.insert(sort, p);
+    }
+
+    // Rewrite the original clauses.
+    for clause in &sys.clauses {
+        let mut constraints = Vec::new();
+        let mut body = clause.body.clone();
+        for k in &clause.constraints {
+            match k {
+                Constraint::Neq(a, b) => {
+                    let sort = a
+                        .sort(&sys.sig, &clause.vars)
+                        .expect("well-sorted disequality");
+                    let p = diseq_preds[&sort];
+                    body.push(Atom::new(p, vec![a.clone(), b.clone()]));
+                }
+                other => constraints.push(other.clone()),
+            }
+        }
+        let mut c = Clause::new(clause.vars.clone(), constraints, body, clause.head.clone());
+        c.name = clause.name.clone();
+        c.exist_vars = clause.exist_vars.clone();
+        out.clauses.push(c);
+    }
+
+    // Defining rules.
+    for &sort in &needed {
+        let p = diseq_preds[&sort];
+        let ctors = sys.sig.constructors_of(sort).to_vec();
+        // Distinct top constructors (ordered pairs: diseq is not declared
+        // symmetric, the rules make it so).
+        for &c1 in &ctors {
+            for &c2 in &ctors {
+                if c1 == c2 {
+                    continue;
+                }
+                let mut vars = VarContext::new();
+                let args1: Vec<Term> = sys
+                    .sig
+                    .func(c1)
+                    .domain
+                    .iter()
+                    .map(|&s| Term::var(vars.fresh_anon(s)))
+                    .collect();
+                let args2: Vec<Term> = sys
+                    .sig
+                    .func(c2)
+                    .domain
+                    .iter()
+                    .map(|&s| Term::var(vars.fresh_anon(s)))
+                    .collect();
+                let head = Atom::new(p, vec![Term::app(c1, args1), Term::app(c2, args2)]);
+                out.clauses.push(
+                    Clause::new(vars, vec![], vec![], Some(head)).named(format!(
+                        "diseq-top-{}-{}",
+                        sys.sig.func(c1).name,
+                        sys.sig.func(c2).name
+                    )),
+                );
+            }
+        }
+        // Congruence: a difference at position i propagates upward. All
+        // other positions carry pairwise-distinct fresh variables (the
+        // conclusion is still a true disequality whatever they are).
+        for &c in &ctors {
+            let domain = sys.sig.func(c).domain.clone();
+            for (i, &arg_sort) in domain.iter().enumerate() {
+                let q = diseq_preds[&arg_sort];
+                let mut vars = VarContext::new();
+                let x = vars.fresh("x", arg_sort);
+                let y = vars.fresh("y", arg_sort);
+                let args1: Vec<Term> = domain
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &s)| {
+                        if j == i {
+                            Term::var(x)
+                        } else {
+                            Term::var(vars.fresh_anon(s))
+                        }
+                    })
+                    .collect();
+                let args2: Vec<Term> = domain
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &s)| {
+                        if j == i {
+                            Term::var(y)
+                        } else {
+                            Term::var(vars.fresh_anon(s))
+                        }
+                    })
+                    .collect();
+                let body = vec![Atom::new(q, vec![Term::var(x), Term::var(y)])];
+                let head = Atom::new(p, vec![Term::app(c, args1), Term::app(c, args2)]);
+                out.clauses.push(
+                    Clause::new(vars, vec![], body, Some(head))
+                        .named(format!("diseq-arg-{}-{}", sys.sig.func(c).name, i)),
+                );
+            }
+        }
+    }
+
+    DiseqElimination { system: out, diseq_preds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_chc::SystemBuilder;
+
+    /// The paper's Example 3 system: `Z ≠ S(Z) → ⊥`.
+    fn example3() -> ChcSystem {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        b.clause(|c| {
+            let zt = c.app0(z);
+            let szt = c.app(s, vec![c.app0(z)]);
+            c.neq(zt, szt);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn example3_shape() {
+        let sys = example3();
+        let res = eliminate_disequalities(&sys);
+        assert!(!res.system.has_disequalities());
+        assert!(res.system.well_sorted().is_ok());
+        // Query + 2 top rules (Z/S, S/Z) + 1 congruence rule (S position 0).
+        assert_eq!(res.system.clauses.len(), 4);
+        let p = res.diseq_preds.values().next().copied().unwrap();
+        let query = res.system.queries().next().unwrap();
+        assert_eq!(query.body.len(), 1);
+        assert_eq!(query.body[0].pred, p);
+    }
+
+    #[test]
+    fn untouched_sorts_get_no_diseq() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let _z = b.ctor("Z", vec![], nat);
+        let bool_sort = b.sort("B");
+        let _t = b.ctor("T", vec![], bool_sort);
+        let p = b.pred("p", vec![nat]);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.head(p, vec![c.v(x)]);
+        });
+        let sys = b.finish();
+        let res = eliminate_disequalities(&sys);
+        assert!(res.diseq_preds.is_empty());
+        assert_eq!(res.system.clauses.len(), 1);
+    }
+
+    #[test]
+    fn nested_sorts_are_closed_over() {
+        // diseq over List needs diseq over Nat (element position).
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let _z = b.ctor("Z", vec![], nat);
+        let _s = b.ctor("S", vec![nat], nat);
+        let list = b.sort("List");
+        let _nil = b.ctor("nil", vec![], list);
+        let _cons = b.ctor("cons", vec![nat, list], list);
+        b.clause(|c| {
+            let x = c.var("x", list);
+            let y = c.var("y", list);
+            c.neq(c.v(x), c.v(y));
+        });
+        let sys = b.finish();
+        let res = eliminate_disequalities(&sys);
+        assert_eq!(res.diseq_preds.len(), 2);
+        assert!(res.system.well_sorted().is_ok());
+    }
+}

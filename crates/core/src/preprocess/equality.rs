@@ -1,0 +1,248 @@
+//! Positive-equality elimination (the normalization step in the proof of
+//! Theorem 5).
+//!
+//! Over the Herbrand structure an equality `t = u` between terms with
+//! universally quantified variables is satisfiable iff `t` and `u` are
+//! unifiable, and then it is equivalent to applying their most general
+//! unifier to the rest of the clause. This pass
+//!
+//! * unifies all `Eq` constraints of each clause and substitutes the mgu
+//!   through body, head and remaining constraints;
+//! * drops clauses whose equalities are ununifiable (they are vacuously
+//!   true);
+//! * garbage-collects unused clause variables, which keeps the model
+//!   finder's grounding small.
+//!
+//! Combined with §4.4 (`diseq`) and §4.5 (testers/selectors) this leaves
+//! every clause with an empty constraint (`φ = ⊤`), the shape required by
+//! Lemma 2.
+
+use std::collections::BTreeMap;
+
+use ringen_chc::{Atom, ChcSystem, Clause, Constraint};
+use ringen_terms::{unify_all, Substitution, Term, VarContext, VarId};
+
+/// Statistics from [`eliminate_equalities`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EqualityStats {
+    /// Clauses removed because their equalities were ununifiable.
+    pub vacuous_clauses: usize,
+    /// Equality literals eliminated.
+    pub equalities_eliminated: usize,
+    /// Variables garbage-collected.
+    pub vars_removed: usize,
+}
+
+/// Runs the pass. The output system contains no [`Constraint::Eq`].
+pub fn eliminate_equalities(sys: &ChcSystem) -> (ChcSystem, EqualityStats) {
+    let mut out = ChcSystem::new(sys.sig.clone());
+    out.rels = sys.rels.clone();
+    let mut stats = EqualityStats::default();
+
+    for clause in &sys.clauses {
+        let mut eqs = Vec::new();
+        let mut rest = Vec::new();
+        for k in &clause.constraints {
+            match k {
+                Constraint::Eq(a, b) => eqs.push((a.clone(), b.clone())),
+                other => rest.push(other.clone()),
+            }
+        }
+        stats.equalities_eliminated += eqs.len();
+        let mgu = match unify_all(eqs) {
+            Ok(s) => s,
+            Err(_) => {
+                // Unsatisfiable constraint: the clause holds vacuously.
+                stats.vacuous_clauses += 1;
+                continue;
+            }
+        };
+        let constraints: Vec<Constraint> = rest.iter().map(|k| apply_deep_k(k, &mgu)).collect();
+        let body: Vec<Atom> = clause.body.iter().map(|a| apply_deep_atom(a, &mgu)).collect();
+        let head = clause.head.as_ref().map(|a| apply_deep_atom(a, &mgu));
+
+        let (vars, rename, removed) = compact_vars(&clause.vars, &constraints, &body, &head);
+        stats.vars_removed += removed;
+        let constraints = constraints.iter().map(|k| rename_k(k, &rename)).collect();
+        let body = body.iter().map(|a| rename_atom(a, &rename)).collect();
+        let head = head.as_ref().map(|a| rename_atom(a, &rename));
+
+        let mut c = Clause::new(vars, constraints, body, head);
+        c.name = clause.name.clone();
+        c.exist_vars = clause
+            .exist_vars
+            .iter()
+            .filter_map(|v| rename.get(v).copied())
+            .collect();
+        out.clauses.push(c);
+    }
+
+    (out, stats)
+}
+
+fn apply_deep_atom(a: &Atom, sub: &Substitution) -> Atom {
+    Atom::new(a.pred, a.args.iter().map(|t| sub.apply_deep(t)).collect())
+}
+
+fn apply_deep_k(k: &Constraint, sub: &Substitution) -> Constraint {
+    match k {
+        Constraint::Eq(a, b) => Constraint::Eq(sub.apply_deep(a), sub.apply_deep(b)),
+        Constraint::Neq(a, b) => Constraint::Neq(sub.apply_deep(a), sub.apply_deep(b)),
+        Constraint::Tester { ctor, term, positive } => Constraint::Tester {
+            ctor: *ctor,
+            term: sub.apply_deep(term),
+            positive: *positive,
+        },
+    }
+}
+
+fn rename_atom(a: &Atom, map: &BTreeMap<VarId, VarId>) -> Atom {
+    Atom::new(a.pred, a.args.iter().map(|t| t.rename(map)).collect())
+}
+
+fn rename_k(k: &Constraint, map: &BTreeMap<VarId, VarId>) -> Constraint {
+    match k {
+        Constraint::Eq(a, b) => Constraint::Eq(a.rename(map), b.rename(map)),
+        Constraint::Neq(a, b) => Constraint::Neq(a.rename(map), b.rename(map)),
+        Constraint::Tester { ctor, term, positive } => Constraint::Tester {
+            ctor: *ctor,
+            term: term.rename(map),
+            positive: *positive,
+        },
+    }
+}
+
+/// Builds a fresh [`VarContext`] containing only the variables still used
+/// by the clause parts, plus the renaming into it.
+fn compact_vars(
+    old: &VarContext,
+    constraints: &[Constraint],
+    body: &[Atom],
+    head: &Option<Atom>,
+) -> (VarContext, BTreeMap<VarId, VarId>, usize) {
+    let mut used: Vec<VarId> = Vec::new();
+    let mut mark = |t: &Term| {
+        for v in t.vars() {
+            if !used.contains(&v) {
+                used.push(v);
+            }
+        }
+    };
+    for k in constraints {
+        match k {
+            Constraint::Eq(a, b) | Constraint::Neq(a, b) => {
+                mark(a);
+                mark(b);
+            }
+            Constraint::Tester { term, .. } => mark(term),
+        }
+    }
+    for a in body.iter().chain(head.iter()) {
+        for t in &a.args {
+            mark(t);
+        }
+    }
+    used.sort();
+    let mut vars = VarContext::new();
+    let mut rename = BTreeMap::new();
+    for v in &used {
+        let sort = old.sort(*v).expect("used var is in context");
+        let nv = vars.fresh(old.name(*v).to_string(), sort);
+        rename.insert(*v, nv);
+    }
+    let removed = old.len() - used.len();
+    (vars, rename, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_chc::SystemBuilder;
+
+    #[test]
+    fn even_system_becomes_constraint_free() {
+        // x = Z → even(x); x = S(S(y)) ∧ even(y) → even(x).
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        let even = b.pred("even", vec![nat]);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.eq(c.v(x), c.app0(z));
+            c.head(even, vec![c.v(x)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            let y = c.var("y", nat);
+            c.eq(c.v(x), c.app(s, vec![c.app(s, vec![c.v(y)])]));
+            c.body(even, vec![c.v(y)]);
+            c.head(even, vec![c.v(x)]);
+        });
+        let sys = b.finish();
+        let (out, stats) = eliminate_equalities(&sys);
+        assert_eq!(stats.equalities_eliminated, 2);
+        assert!(out.clauses.iter().all(|c| c.is_constraint_free()));
+        assert!(out.well_sorted().is_ok());
+        // First clause head arg became the literal Z.
+        let h0 = out.clauses[0].head.as_ref().unwrap();
+        assert_eq!(h0.args[0], Term::leaf(z));
+        // Second clause head arg is S(S(y)); its variable count shrank to 1.
+        assert_eq!(out.clauses[1].vars.len(), 1);
+    }
+
+    #[test]
+    fn clashing_equality_drops_clause() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            let zt = c.app0(z);
+            let st = c.app(s, vec![c.v(x)]);
+            c.eq(zt, st);
+        });
+        let sys = b.finish();
+        let (out, stats) = eliminate_equalities(&sys);
+        assert_eq!(stats.vacuous_clauses, 1);
+        assert!(out.clauses.is_empty());
+    }
+
+    #[test]
+    fn occurs_check_drops_clause() {
+        // x = S(x) is unsatisfiable over finite trees.
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let _z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            let st = c.app(s, vec![c.v(x)]);
+            c.eq(c.v(x), st);
+        });
+        let sys = b.finish();
+        let (out, stats) = eliminate_equalities(&sys);
+        assert_eq!(stats.vacuous_clauses, 1);
+        assert!(out.clauses.is_empty());
+    }
+
+    #[test]
+    fn variable_variable_equality_merges() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let _z = b.ctor("Z", vec![], nat);
+        let p = b.pred("p", vec![nat, nat]);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            let y = c.var("y", nat);
+            c.eq(c.v(x), c.v(y));
+            c.head(p, vec![c.v(x), c.v(y)]);
+        });
+        let sys = b.finish();
+        let (out, _) = eliminate_equalities(&sys);
+        let h = out.clauses[0].head.as_ref().unwrap();
+        assert_eq!(h.args[0], h.args[1]);
+        assert_eq!(out.clauses[0].vars.len(), 1);
+    }
+}

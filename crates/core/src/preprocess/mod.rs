@@ -1,0 +1,145 @@
+//! The preprocessing pipeline of Figure 1.
+//!
+//! `CHCs over ADTs` → (§4.5 testers/selectors) → (§4.4 disequalities) →
+//! (Thm 5 equality elimination) → `CHCs over EUF without ≠, testers and
+//! selectors`, the shape the finite-model finder accepts. Theorem 5
+//! guarantees that a finite EUF model of the output induces a regular
+//! Herbrand model of the input.
+
+pub mod diseq;
+pub mod equality;
+pub mod skolemize;
+pub mod testers;
+
+use ringen_chc::{ChcSystem, PredId};
+use ringen_terms::SortId;
+use std::collections::BTreeMap;
+
+pub use diseq::{eliminate_disequalities, DiseqElimination};
+pub use equality::{eliminate_equalities, EqualityStats};
+pub use skolemize::{skolemize, Skolemization};
+pub use testers::{eliminate_testers_and_selectors, TesterElimination};
+
+/// Statistics accumulated over the whole pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreprocessStats {
+    /// `is-c` / `sel-c-i` predicates introduced by §4.5.
+    pub tester_preds: usize,
+    /// `diseqσ` predicates introduced by §4.4.
+    pub diseq_preds: usize,
+    /// Equality-elimination details.
+    pub equality: EqualityStats,
+    /// Clause count before/after.
+    pub clauses_in: usize,
+    /// Clause count after the pipeline.
+    pub clauses_out: usize,
+}
+
+/// A system ready for finite-model finding, with provenance.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// The constraint-free system over `ℛ ∪ {diseqσ} ∪ {is-c, sel-c-i}`,
+    /// with ∀∃ queries intact — the system the inductiveness checker
+    /// verifies invariants against.
+    pub system: ChcSystem,
+    /// The Skolemized (purely universal) version of [`Preprocessed::system`]
+    /// that the finite-model finder consumes. Identical to `system` when
+    /// no clause has existential variables.
+    pub skolemized: ChcSystem,
+    /// Skolem functions introduced for ∀∃ queries.
+    pub skolem_funcs: Vec<ringen_terms::FuncId>,
+    /// Predicates of the original system (ids are stable across passes).
+    pub original_preds: Vec<PredId>,
+    /// `diseqσ` predicates per sort.
+    pub diseq_preds: BTreeMap<SortId, PredId>,
+    /// Tester/selector predicates.
+    pub tester_preds: Vec<PredId>,
+    /// Pipeline statistics.
+    pub stats: PreprocessStats,
+}
+
+/// Runs the full Figure-1 preprocessing pipeline.
+///
+/// The output system is constraint-free: every clause is of the Lemma 2
+/// shape `R₁(t̄₁) ∧ … ∧ Rₘ(t̄ₘ) → H`.
+///
+/// # Panics
+///
+/// Panics if the input system is not well-sorted (callers should check
+/// [`ChcSystem::well_sorted`] first) or if a pass produces an ill-sorted
+/// system (a bug, guarded here because everything downstream relies on
+/// it).
+pub fn preprocess(sys: &ChcSystem) -> Preprocessed {
+    let original_preds: Vec<PredId> = sys.rels.iter().collect();
+    let mut stats = PreprocessStats {
+        clauses_in: sys.clauses.len(),
+        ..PreprocessStats::default()
+    };
+
+    let t = eliminate_testers_and_selectors(sys);
+    stats.tester_preds = t.aux_preds.len();
+
+    let d = eliminate_disequalities(&t.system);
+    stats.diseq_preds = d.diseq_preds.len();
+
+    let (system, eq_stats) = eliminate_equalities(&d.system);
+    stats.equality = eq_stats;
+    stats.clauses_out = system.clauses.len();
+
+    debug_assert!(system.clauses.iter().all(|c| c.is_constraint_free()));
+    if let Err(e) = system.well_sorted() {
+        panic!("preprocessing produced an ill-sorted system: {e}");
+    }
+    let sk = skolemize(&system);
+
+    Preprocessed {
+        system,
+        skolemized: sk.system,
+        skolem_funcs: sk.skolem_funcs,
+        original_preds,
+        diseq_preds: d.diseq_preds,
+        tester_preds: t.aux_preds,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_chc::parse_str;
+
+    #[test]
+    fn even_pipeline_is_identity_modulo_equalities() {
+        let sys = parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun even (Nat) Bool)
+            (assert (even Z))
+            (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+            (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+            "#,
+        )
+        .unwrap();
+        let p = preprocess(&sys);
+        assert_eq!(p.stats.diseq_preds, 0);
+        assert_eq!(p.stats.tester_preds, 0);
+        assert_eq!(p.system.clauses.len(), 3);
+        assert!(p.system.clauses.iter().all(|c| c.is_constraint_free()));
+    }
+
+    #[test]
+    fn diseq_query_gets_rules() {
+        let sys = parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (assert (forall ((x Nat)) (=> (distinct Z (S Z)) false)))
+            "#,
+        )
+        .unwrap();
+        let p = preprocess(&sys);
+        assert_eq!(p.stats.diseq_preds, 1);
+        // Query + 2 top rules + 1 congruence rule.
+        assert_eq!(p.system.clauses.len(), 4);
+        assert!(p.system.clauses.iter().all(|c| c.is_constraint_free()));
+    }
+}

@@ -1,0 +1,404 @@
+//! Tester and selector elimination (§4.5).
+//!
+//! Finite-model finders interpret their input over a completely free
+//! domain, which breaks the ADT axioms of testers and selectors. This pass
+//! replaces them relationally:
+//!
+//! * a selector occurrence `sel(t)` (for the `i`-th argument of
+//!   constructor `c`) becomes a fresh variable `a` plus a body atom
+//!   `sel_c_i(t, a)`, defined by `⊤ → sel_c_i(c(y₁…yₙ), yᵢ)`;
+//! * a positive tester `c?(t)` becomes the atom `is_c(t)`, defined by
+//!   `⊤ → is_c(c(y₁…yₙ))`;
+//! * a negative tester `¬c?(t)` splits the clause, one copy per other
+//!   constructor `c'` of the sort, with `is_c'(t)` in the body.
+
+use std::collections::HashMap;
+
+use ringen_chc::{Atom, ChcSystem, Clause, Constraint, PredId};
+use ringen_terms::{FuncId, FuncKind, Term, VarContext};
+
+/// Result of the pass: the rewritten system plus the auxiliary predicates
+/// it introduced (`is_c` and `sel_c_i` relations).
+#[derive(Debug, Clone)]
+pub struct TesterElimination {
+    /// The rewritten system (same signature; clauses tester/selector-free).
+    pub system: ChcSystem,
+    /// Auxiliary predicates introduced by the pass.
+    pub aux_preds: Vec<PredId>,
+}
+
+/// Runs the pass. The output system contains no [`Constraint::Tester`]
+/// and no selector applications inside any term.
+pub fn eliminate_testers_and_selectors(sys: &ChcSystem) -> TesterElimination {
+    let mut out = ChcSystem::new(sys.sig.clone());
+    out.rels = sys.rels.clone();
+    let mut aux = AuxPreds {
+        testers: HashMap::new(),
+        selectors: HashMap::new(),
+        aux_list: Vec::new(),
+    };
+
+    for clause in &sys.clauses {
+        // Phase 1: remove selector applications from all terms.
+        let mut vars = clause.vars.clone();
+        let mut extra_atoms: Vec<Atom> = Vec::new();
+        let strip = |t: &Term,
+                     vars: &mut VarContext,
+                     extra: &mut Vec<Atom>,
+                     aux: &mut AuxPreds,
+                     out: &mut ChcSystem| {
+            strip_selectors(sys, t, vars, extra, aux, out)
+        };
+        let mut constraints = Vec::new();
+        let mut split_testers: Vec<(Term, FuncId)> = Vec::new(); // negative testers
+        for k in &clause.constraints {
+            match k {
+                Constraint::Eq(a, b) => {
+                    let a = strip(a, &mut vars, &mut extra_atoms, &mut aux, &mut out);
+                    let b = strip(b, &mut vars, &mut extra_atoms, &mut aux, &mut out);
+                    constraints.push(Constraint::Eq(a, b));
+                }
+                Constraint::Neq(a, b) => {
+                    let a = strip(a, &mut vars, &mut extra_atoms, &mut aux, &mut out);
+                    let b = strip(b, &mut vars, &mut extra_atoms, &mut aux, &mut out);
+                    constraints.push(Constraint::Neq(a, b));
+                }
+                Constraint::Tester {
+                    ctor,
+                    term,
+                    positive,
+                } => {
+                    let t = strip(term, &mut vars, &mut extra_atoms, &mut aux, &mut out);
+                    if *positive {
+                        let p = aux.tester_pred(sys, &mut out, *ctor);
+                        extra_atoms.push(Atom::new(p, vec![t]));
+                    } else {
+                        split_testers.push((t, *ctor));
+                    }
+                }
+            }
+        }
+        let mut body: Vec<Atom> = Vec::new();
+        for a in &clause.body {
+            let args = a
+                .args
+                .iter()
+                .map(|t| strip(t, &mut vars, &mut extra_atoms, &mut aux, &mut out))
+                .collect();
+            body.push(Atom::new(a.pred, args));
+        }
+        body.extend(extra_atoms);
+        let head = clause.head.as_ref().map(|h| {
+            let args = h
+                .args
+                .iter()
+                .map(|t| strip(t, &mut vars, &mut body, &mut aux, &mut out))
+                .collect();
+            Atom::new(h.pred, args)
+        });
+
+        // Phase 2: expand negative testers into one clause per other
+        // constructor.
+        let mut variants: Vec<Vec<Atom>> = vec![Vec::new()];
+        for (t, ctor) in &split_testers {
+            let sort = sys.sig.func(*ctor).range;
+            let others: Vec<FuncId> = sys
+                .sig
+                .constructors_of(sort)
+                .iter()
+                .copied()
+                .filter(|c| c != ctor)
+                .collect();
+            let mut next = Vec::new();
+            for prefix in &variants {
+                for c in &others {
+                    let p = aux.tester_pred(sys, &mut out, *c);
+                    let mut row = prefix.clone();
+                    row.push(Atom::new(p, vec![t.clone()]));
+                    next.push(row);
+                }
+            }
+            variants = next;
+        }
+        for extra in variants {
+            let mut full_body = body.clone();
+            full_body.extend(extra);
+            let mut c =
+                Clause::new(vars.clone(), constraints.clone(), full_body, head.clone());
+            c.exist_vars = clause.exist_vars.clone();
+            c.name = clause.name.clone();
+            out.clauses.push(c);
+        }
+    }
+    TesterElimination {
+        system: out,
+        aux_preds: aux.aux_list,
+    }
+}
+
+struct AuxPreds {
+    testers: HashMap<FuncId, PredId>,
+    selectors: HashMap<FuncId, PredId>,
+    aux_list: Vec<PredId>,
+}
+
+impl AuxPreds {
+    /// The `is_c` predicate, with its defining clause, created on demand.
+    fn tester_pred(&mut self, sys: &ChcSystem, out: &mut ChcSystem, ctor: FuncId) -> PredId {
+        if let Some(&p) = self.testers.get(&ctor) {
+            return p;
+        }
+        let decl = sys.sig.func(ctor).clone();
+        let p = out
+            .rels
+            .add(format!("is-{}", decl.name), vec![decl.range]);
+        self.testers.insert(ctor, p);
+        self.aux_list.push(p);
+        // ⊤ → is_c(c(y₁…yₙ))
+        let mut vars = VarContext::new();
+        let args: Vec<Term> = decl
+            .domain
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Term::var(vars.fresh(format!("y{i}"), *s)))
+            .collect();
+        let head = Atom::new(p, vec![Term::app(ctor, args)]);
+        out.clauses
+            .push(Clause::new(vars, vec![], vec![], Some(head)).named(format!("def-is-{}", decl.name)));
+        p
+    }
+
+    /// The `sel_c_i` predicate for a selector symbol, with its defining
+    /// clause, created on demand.
+    fn selector_pred(&mut self, sys: &ChcSystem, out: &mut ChcSystem, sel: FuncId) -> PredId {
+        if let Some(&p) = self.selectors.get(&sel) {
+            return p;
+        }
+        let decl = sys.sig.func(sel).clone();
+        let FuncKind::Selector { ctor, index } = decl.kind else {
+            panic!("selector_pred on non-selector");
+        };
+        let p = out
+            .rels
+            .add(format!("sel-{}", decl.name), vec![decl.domain[0], decl.range]);
+        self.selectors.insert(sel, p);
+        self.aux_list.push(p);
+        // ⊤ → sel_c_i(c(y₁…yₙ), yᵢ)
+        let cdecl = sys.sig.func(ctor).clone();
+        let mut vars = VarContext::new();
+        let ys: Vec<Term> = cdecl
+            .domain
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Term::var(vars.fresh(format!("y{i}"), *s)))
+            .collect();
+        let head = Atom::new(p, vec![Term::app(ctor, ys.clone()), ys[index].clone()]);
+        out.clauses
+            .push(Clause::new(vars, vec![], vec![], Some(head)).named(format!("def-sel-{}", decl.name)));
+        p
+    }
+}
+
+/// Rewrites a term bottom-up, replacing each selector application with a
+/// fresh variable constrained by a `sel_c_i` body atom.
+fn strip_selectors(
+    sys: &ChcSystem,
+    t: &Term,
+    vars: &mut VarContext,
+    extra: &mut Vec<Atom>,
+    aux: &mut AuxPreds,
+    out: &mut ChcSystem,
+) -> Term {
+    match t {
+        Term::Var(v) => Term::var(*v),
+        Term::App(f, args) => {
+            let new_args: Vec<Term> = args
+                .iter()
+                .map(|a| strip_selectors(sys, a, vars, extra, aux, out))
+                .collect();
+            if matches!(sys.sig.func(*f).kind, FuncKind::Selector { .. }) {
+                let p = aux.selector_pred(sys, out, *f);
+                let result_sort = sys.sig.func(*f).range;
+                let fresh = vars.fresh_anon(result_sort);
+                extra.push(Atom::new(p, vec![new_args[0].clone(), Term::var(fresh)]));
+                Term::var(fresh)
+            } else {
+                Term::app(*f, new_args)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_chc::SystemBuilder;
+
+    /// Nat with a selector and a couple of test clauses.
+    fn nat_with_selector() -> (ChcSystem, FuncId, FuncId, FuncId) {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        let pre = b.selector("pre", s, 0);
+        let _p = b.pred("p", vec![nat]);
+        (b.finish(), z, s, pre)
+    }
+
+    #[test]
+    fn positive_tester_becomes_atom_with_rule() {
+        let (mut sys, _z, s, _pre) = nat_with_selector();
+        let p = sys.rels.by_name("p").unwrap();
+        let mut vars = VarContext::new();
+        let nat = sys.sig.sort_by_name("Nat").unwrap();
+        let x = vars.fresh("x", nat);
+        sys.clauses.push(Clause::new(
+            vars,
+            vec![Constraint::Tester {
+                ctor: s,
+                term: Term::var(x),
+                positive: true,
+            }],
+            vec![],
+            Some(Atom::new(p, vec![Term::var(x)])),
+        ));
+        let res = eliminate_testers_and_selectors(&sys);
+        assert!(!res.system.has_testers_or_selectors());
+        assert!(res.system.well_sorted().is_ok());
+        assert_eq!(res.aux_preds.len(), 1);
+        let is_s = res.system.rels.by_name("is-S").unwrap();
+        // The rewritten clause has is-S(x) in the body; the defining rule
+        // ⊤ → is-S(S(y0)) exists.
+        let main = res
+            .system
+            .clauses
+            .iter()
+            .find(|c| c.head.as_ref().is_some_and(|h| h.pred == p))
+            .unwrap();
+        assert!(main.body.iter().any(|a| a.pred == is_s));
+        assert!(res
+            .system
+            .clauses
+            .iter()
+            .any(|c| c.head.as_ref().is_some_and(|h| h.pred == is_s) && c.body.is_empty()));
+    }
+
+    #[test]
+    fn negative_tester_splits_per_constructor() {
+        let (mut sys, _z, s, _pre) = nat_with_selector();
+        let p = sys.rels.by_name("p").unwrap();
+        let nat = sys.sig.sort_by_name("Nat").unwrap();
+        let mut vars = VarContext::new();
+        let x = vars.fresh("x", nat);
+        sys.clauses.push(Clause::new(
+            vars,
+            vec![Constraint::Tester {
+                ctor: s,
+                term: Term::var(x),
+                positive: false,
+            }],
+            vec![],
+            Some(Atom::new(p, vec![Term::var(x)])),
+        ));
+        let res = eliminate_testers_and_selectors(&sys);
+        // ¬S?(x) ⇒ is-Z(x): one variant (Nat has two constructors).
+        let mains: Vec<_> = res
+            .system
+            .clauses
+            .iter()
+            .filter(|c| c.head.as_ref().is_some_and(|h| h.pred == p))
+            .collect();
+        assert_eq!(mains.len(), 1);
+        let is_z = res.system.rels.by_name("is-Z").unwrap();
+        assert!(mains[0].body.iter().any(|a| a.pred == is_z));
+    }
+
+    #[test]
+    fn selector_in_constraint_is_relationalized() {
+        // The paper's example: ¬(car(x) = cdr(y)) → P(x, y) becomes
+        // car(x,a) ∧ cdr(y,b) ∧ ¬(a = b) → P(x,y). Here with `pre`.
+        let (mut sys, z, _s, pre) = nat_with_selector();
+        let p = sys.rels.by_name("p").unwrap();
+        let nat = sys.sig.sort_by_name("Nat").unwrap();
+        let mut vars = VarContext::new();
+        let x = vars.fresh("x", nat);
+        sys.clauses.push(Clause::new(
+            vars,
+            vec![Constraint::Neq(
+                Term::app(pre, vec![Term::var(x)]),
+                Term::leaf(z),
+            )],
+            vec![],
+            Some(Atom::new(p, vec![Term::var(x)])),
+        ));
+        let res = eliminate_testers_and_selectors(&sys);
+        assert!(!res.system.has_testers_or_selectors());
+        assert!(res.system.well_sorted().is_ok());
+        let main = res
+            .system
+            .clauses
+            .iter()
+            .find(|c| c.head.as_ref().is_some_and(|h| h.pred == p))
+            .unwrap();
+        // Constraint is now between the fresh variable and Z.
+        assert!(matches!(
+            &main.constraints[0],
+            Constraint::Neq(Term::Var(_), t) if *t == Term::leaf(z)
+        ));
+        let sel = res.system.rels.by_name("sel-pre").unwrap();
+        assert!(main.body.iter().any(|a| a.pred == sel));
+        // Defining rule: head sel-pre(S(y0), y0).
+        let def = res
+            .system
+            .clauses
+            .iter()
+            .find(|c| c.head.as_ref().is_some_and(|h| h.pred == sel))
+            .unwrap();
+        let head = def.head.as_ref().unwrap();
+        assert_eq!(head.args[1], Term::Var(ringen_terms::VarId(0)));
+    }
+
+    #[test]
+    fn nested_selectors_unfold_bottom_up() {
+        let (mut sys, z, _s, pre) = nat_with_selector();
+        let p = sys.rels.by_name("p").unwrap();
+        let nat = sys.sig.sort_by_name("Nat").unwrap();
+        let mut vars = VarContext::new();
+        let x = vars.fresh("x", nat);
+        // pre(pre(x)) = Z
+        sys.clauses.push(Clause::new(
+            vars,
+            vec![Constraint::Eq(
+                Term::app(pre, vec![Term::app(pre, vec![Term::var(x)])]),
+                Term::leaf(z),
+            )],
+            vec![],
+            Some(Atom::new(p, vec![Term::var(x)])),
+        ));
+        let res = eliminate_testers_and_selectors(&sys);
+        let main = res
+            .system
+            .clauses
+            .iter()
+            .find(|c| c.head.as_ref().is_some_and(|h| h.pred == p))
+            .unwrap();
+        let sel = res.system.rels.by_name("sel-pre").unwrap();
+        assert_eq!(main.body.iter().filter(|a| a.pred == sel).count(), 2);
+        assert!(res.system.well_sorted().is_ok());
+    }
+
+    #[test]
+    fn clean_systems_pass_through() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let p = b.pred("p", vec![nat]);
+        b.clause(|c| {
+            c.head(p, vec![c.app0(z)]);
+        });
+        let sys = b.finish();
+        let res = eliminate_testers_and_selectors(&sys);
+        assert_eq!(res.system.clauses.len(), 1);
+        assert!(res.aux_preds.is_empty());
+    }
+}

@@ -1,0 +1,703 @@
+//! Bottom-up saturation: least-model computation and refutations.
+//!
+//! Finite-model finding only ever proves satisfiability. Unsatisfiability
+//! of a CHC system is witnessed by a *ground derivation of ⊥*: a forward
+//! chain of clause instances deriving facts until a query clause fires.
+//! This module computes the least Herbrand model bottom-up (with
+//! deterministic budgets) and, on refutation, returns a replayable
+//! [`Refutation`] object that [`check_refutation`] validates from scratch
+//! — UNSAT answers are certified, mirroring how SAT answers carry a
+//! checkable [`crate::RegularInvariant`].
+//!
+//! Constraints are evaluated natively on ground terms (`=`, `≠`, testers)
+//! so the refuter runs on the *original* system, independent of the
+//! preprocessing pipeline it cross-validates.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ringen_chc::{Atom, ChcSystem, Clause, Constraint, PredId};
+use ringen_terms::{
+    herbrand::terms_by_size, match_ground_into, GroundTerm, Substitution, Term, VarId,
+};
+
+/// Budgets for [`saturate`]. All limits are deterministic step counts,
+/// never wall time, so results are reproducible.
+#[derive(Debug, Clone)]
+pub struct SaturationConfig {
+    /// Stop after deriving this many facts.
+    pub max_facts: usize,
+    /// Stop after this many saturation rounds.
+    pub max_rounds: usize,
+    /// Discard derived facts containing a term higher than this.
+    pub max_term_height: usize,
+    /// How many candidate ground terms to enumerate per sort when a head
+    /// variable is not bound by the body (e.g. `⊤ → p(c(x))`).
+    pub free_var_candidates: usize,
+    /// Abort after this many body-match attempts.
+    pub max_steps: u64,
+}
+
+impl Default for SaturationConfig {
+    fn default() -> Self {
+        SaturationConfig {
+            max_facts: 20_000,
+            max_rounds: 64,
+            max_term_height: 24,
+            free_var_candidates: 8,
+            max_steps: 2_000_000,
+        }
+    }
+}
+
+/// A derived ground fact.
+pub type Fact = (PredId, Vec<GroundTerm>);
+
+/// One step of a ground derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefStep {
+    /// Index of the applied clause in [`ChcSystem::clauses`].
+    pub clause: usize,
+    /// Ground instantiation of every clause variable.
+    pub binding: Vec<(VarId, GroundTerm)>,
+    /// Indices (into the step list) of the facts matching the body atoms,
+    /// in body order.
+    pub premises: Vec<usize>,
+    /// The derived fact; `None` for the final ⊥ step of a query clause.
+    pub fact: Option<Fact>,
+}
+
+/// A ground derivation of ⊥ — the UNSAT certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refutation {
+    /// Derivation steps; the last step derives ⊥.
+    pub steps: Vec<RefStep>,
+}
+
+impl Refutation {
+    /// Number of clause applications in the derivation.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the derivation is empty (never true for real refutations).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// The facts derived by a (partial) saturation.
+#[derive(Debug, Clone, Default)]
+pub struct FactBase {
+    facts: Vec<Fact>,
+    index: HashMap<Fact, usize>,
+    by_pred: HashMap<PredId, Vec<usize>>,
+    /// For each fact: (clause index, binding, premise fact indices).
+    provenance: Vec<(usize, Vec<(VarId, GroundTerm)>, Vec<usize>)>,
+}
+
+impl FactBase {
+    /// All derived facts, in derivation order.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Whether a fact has been derived.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.index.contains_key(fact)
+    }
+
+    /// Facts of one predicate.
+    pub fn of_pred(&self, p: PredId) -> impl Iterator<Item = &Fact> + '_ {
+        self.by_pred
+            .get(&p)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.facts[i])
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether no fact was derived.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    fn insert(
+        &mut self,
+        fact: Fact,
+        clause: usize,
+        binding: Vec<(VarId, GroundTerm)>,
+        premises: Vec<usize>,
+    ) -> bool {
+        if self.index.contains_key(&fact) {
+            return false;
+        }
+        let i = self.facts.len();
+        self.index.insert(fact.clone(), i);
+        self.by_pred.entry(fact.0).or_default().push(i);
+        self.facts.push(fact);
+        self.provenance.push((clause, binding, premises));
+        true
+    }
+}
+
+/// Outcome of [`saturate`].
+#[derive(Debug, Clone)]
+pub enum SaturationOutcome {
+    /// A query clause fired: the system is unsatisfiable.
+    Refuted(Refutation),
+    /// A fixed point was reached below every budget: the fact base *is*
+    /// the least Herbrand model restricted to the explored space, and no
+    /// query fires in it. (If budgets clipped term heights this is still
+    /// only a half-answer; see [`SaturationOutcome::Budget`].)
+    Saturated(FactBase),
+    /// A budget was exhausted first; facts derived so far are returned.
+    Budget(FactBase),
+}
+
+/// Statistics from a [`saturate`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaturationStats {
+    /// Completed rounds.
+    pub rounds: usize,
+    /// Facts derived.
+    pub facts: usize,
+    /// Body-match attempts.
+    pub steps: u64,
+}
+
+/// Computes the least model bottom-up; reports a [`Refutation`] as soon
+/// as a query clause fires.
+pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, SaturationStats) {
+    let mut base = FactBase::default();
+    let mut stats = SaturationStats::default();
+    let mut pool: HashMap<ringen_terms::SortId, Vec<GroundTerm>> = HashMap::new();
+    let mut budget_hit = false;
+
+    for round in 0..cfg.max_rounds {
+        stats.rounds = round + 1;
+        let before = base.len();
+        for (ci, clause) in sys.clauses.iter().enumerate() {
+            // A query of the ∀∃ shape (§5) cannot be fired by a finite
+            // set of facts; the refuter conservatively skips it.
+            if !clause.exist_vars.is_empty() {
+                continue;
+            }
+            if std::env::var_os("RINGEN_SAT_DEBUG").is_some() {
+                eprintln!("round {round} clause {ci} facts={} steps={}", base.len(), stats.steps);
+            }
+            let mut matcher = Matcher {
+                sys,
+                cfg,
+                clause,
+                ci,
+                base: &mut base,
+                pool: &mut pool,
+                steps: &mut stats.steps,
+                refutation: None,
+                budget_hit: &mut budget_hit,
+                new_facts: Vec::new(),
+                new_index: std::collections::HashSet::new(),
+            };
+            matcher.run();
+            let new_facts = matcher.new_facts;
+            if let Some(r) = matcher.refutation {
+                stats.facts = base.len();
+                return (SaturationOutcome::Refuted(r), stats);
+            }
+            for (fact, binding, premises) in new_facts {
+                base.insert(fact, ci, binding, premises);
+            }
+            if base.len() >= cfg.max_facts || stats.steps >= cfg.max_steps {
+                budget_hit = true;
+            }
+            if budget_hit {
+                stats.facts = base.len();
+                return (SaturationOutcome::Budget(base), stats);
+            }
+        }
+        if base.len() == before {
+            stats.facts = base.len();
+            return (SaturationOutcome::Saturated(base), stats);
+        }
+    }
+    stats.facts = base.len();
+    (SaturationOutcome::Budget(base), stats)
+}
+
+struct Matcher<'a> {
+    sys: &'a ChcSystem,
+    cfg: &'a SaturationConfig,
+    clause: &'a Clause,
+    ci: usize,
+    base: &'a mut FactBase,
+    pool: &'a mut HashMap<ringen_terms::SortId, Vec<GroundTerm>>,
+    steps: &'a mut u64,
+    refutation: Option<Refutation>,
+    budget_hit: &'a mut bool,
+    #[allow(clippy::type_complexity)]
+    new_facts: Vec<(Fact, Vec<(VarId, GroundTerm)>, Vec<usize>)>,
+    /// Hash index over `new_facts` (the in-round dedup must not scan).
+    new_index: std::collections::HashSet<Fact>,
+}
+
+impl Matcher<'_> {
+    fn run(&mut self) {
+        let sub = Substitution::new();
+        self.match_body(0, sub, Vec::new());
+    }
+
+    /// Joins body atoms left to right against the fact base.
+    fn match_body(&mut self, k: usize, sub: Substitution, premises: Vec<usize>) {
+        if self.refutation.is_some() || *self.budget_hit {
+            return;
+        }
+        if k == self.clause.body.len() {
+            self.finish_constraints(sub, premises);
+            return;
+        }
+        let atom = &self.clause.body[k];
+        let candidates: Vec<usize> = self
+            .base
+            .by_pred
+            .get(&atom.pred)
+            .cloned()
+            .unwrap_or_default();
+        for fi in candidates {
+            *self.steps += 1;
+            if *self.steps >= self.cfg.max_steps {
+                *self.budget_hit = true;
+                return;
+            }
+            let fact_args: Vec<GroundTerm> = self.base.facts[fi].1.clone();
+            let mut sub2 = sub.clone();
+            let ok = atom
+                .args
+                .iter()
+                .zip(&fact_args)
+                .all(|(pat, g)| match_ground_into(&sub2.apply_deep(pat), g, &mut sub2));
+            if ok {
+                let mut premises2 = premises.clone();
+                premises2.push(fi);
+                self.match_body(k + 1, sub2, premises2);
+            }
+            if self.refutation.is_some() || *self.budget_hit {
+                return;
+            }
+        }
+    }
+
+    /// After the body is matched, evaluate constraints and bind leftover
+    /// variables.
+    fn finish_constraints(&mut self, mut sub: Substitution, premises: Vec<usize>) {
+        // Equalities may bind further variables (clauses of the form
+        // `x = S(y) ∧ … → …` carry definitions in constraints).
+        for c in &self.clause.constraints {
+            match c {
+                Constraint::Eq(a, b) => {
+                    let a = sub.apply_deep(a);
+                    let b = sub.apply_deep(b);
+                    match ringen_terms::unify(&a, &b) {
+                        Ok(u) => sub.compose(&u),
+                        Err(_) => return,
+                    }
+                }
+                Constraint::Neq(..) | Constraint::Tester { .. } => {}
+            }
+        }
+        // Bind any variable still free with enumerated ground terms.
+        let free: Vec<VarId> = self
+            .clause
+            .vars
+            .vars()
+            .filter(|&v| !sub.apply_deep(&Term::var(v)).is_ground())
+            .collect();
+        self.bind_free(&free, 0, sub, premises);
+    }
+
+    fn bind_free(
+        &mut self,
+        free: &[VarId],
+        k: usize,
+        sub: Substitution,
+        premises: Vec<usize>,
+    ) {
+        if self.refutation.is_some() || *self.budget_hit {
+            return;
+        }
+        if k == free.len() {
+            self.finish_ground(sub, premises);
+            return;
+        }
+        let v = free[k];
+        let sort = self.clause.vars.sort(v).expect("var in context");
+        let (sig, limit) = (&self.sys.sig, self.cfg.free_var_candidates);
+        let candidates = self
+            .pool
+            .entry(sort)
+            .or_insert_with(|| terms_by_size(sig, sort, limit))
+            .clone();
+        for t in candidates {
+            *self.steps += 1;
+            if *self.steps >= self.cfg.max_steps {
+                *self.budget_hit = true;
+                return;
+            }
+            let mut sub2 = sub.clone();
+            let mut single = Substitution::new();
+            single.bind(v, ground_to_term(&t));
+            sub2.compose(&single);
+            self.bind_free(free, k + 1, sub2, premises.clone());
+            if self.refutation.is_some() || *self.budget_hit {
+                return;
+            }
+        }
+    }
+
+    fn finish_ground(&mut self, sub: Substitution, premises: Vec<usize>) {
+        // Check remaining (now ground) constraints.
+        for c in &self.clause.constraints {
+            match c {
+                Constraint::Eq(a, b) => {
+                    // Already folded into the substitution; re-check
+                    // groundly for safety.
+                    let (Some(a), Some(b)) =
+                        (sub.apply_deep(a).to_ground(), sub.apply_deep(b).to_ground())
+                    else {
+                        return;
+                    };
+                    if a != b {
+                        return;
+                    }
+                }
+                Constraint::Neq(a, b) => {
+                    let (Some(a), Some(b)) =
+                        (sub.apply_deep(a).to_ground(), sub.apply_deep(b).to_ground())
+                    else {
+                        return;
+                    };
+                    if a == b {
+                        return;
+                    }
+                }
+                Constraint::Tester { ctor, term, positive } => {
+                    let Some(g) = sub.apply_deep(term).to_ground() else {
+                        return;
+                    };
+                    if (g.func() == *ctor) != *positive {
+                        return;
+                    }
+                }
+            }
+        }
+        let binding: Vec<(VarId, GroundTerm)> = self
+            .clause
+            .vars
+            .vars()
+            .filter_map(|v| sub.apply_deep(&Term::var(v)).to_ground().map(|g| (v, g)))
+            .collect();
+        match &self.clause.head {
+            None => {
+                // ⊥ derived: reconstruct the transitive premises.
+                self.refutation = Some(build_refutation(
+                    self.base,
+                    self.ci,
+                    binding,
+                    premises,
+                ));
+            }
+            Some(atom) => {
+                let args: Option<Vec<GroundTerm>> = atom
+                    .args
+                    .iter()
+                    .map(|t| sub.apply_deep(t).to_ground())
+                    .collect();
+                let Some(args) = args else { return };
+                if args.iter().any(|g| g.height() > self.cfg.max_term_height) {
+                    return;
+                }
+                let fact = (atom.pred, args);
+                if !self.base.contains(&fact) && !self.new_index.contains(&fact) {
+                    if self.base.len() + self.new_facts.len() >= self.cfg.max_facts {
+                        *self.budget_hit = true;
+                        return;
+                    }
+                    self.new_index.insert(fact.clone());
+                    self.new_facts.push((fact, binding, premises));
+                }
+            }
+        }
+    }
+}
+
+fn ground_to_term(g: &GroundTerm) -> Term {
+    Term::app(g.func(), g.args().iter().map(ground_to_term).collect())
+}
+
+/// Extracts the sub-derivation ending in the ⊥ step.
+fn build_refutation(
+    base: &FactBase,
+    query_clause: usize,
+    binding: Vec<(VarId, GroundTerm)>,
+    premises: Vec<usize>,
+) -> Refutation {
+    // Collect all transitively needed facts.
+    let mut needed: Vec<usize> = Vec::new();
+    let mut stack = premises.clone();
+    while let Some(i) = stack.pop() {
+        if !needed.contains(&i) {
+            needed.push(i);
+            stack.extend(base.provenance[i].2.iter().copied());
+        }
+    }
+    needed.sort();
+    let renumber: HashMap<usize, usize> =
+        needed.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+    let mut steps: Vec<RefStep> = needed
+        .iter()
+        .map(|&i| {
+            let (clause, binding, prem) = &base.provenance[i];
+            RefStep {
+                clause: *clause,
+                binding: binding.clone(),
+                premises: prem.iter().map(|p| renumber[p]).collect(),
+                fact: Some(base.facts[i].clone()),
+            }
+        })
+        .collect();
+    steps.push(RefStep {
+        clause: query_clause,
+        binding,
+        premises: premises.iter().map(|p| renumber[p]).collect(),
+        fact: None,
+    });
+    Refutation { steps }
+}
+
+/// Why a refutation failed to replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefutationError {
+    /// A step references a clause index outside the system.
+    BadClause(usize),
+    /// The binding does not ground every clause variable.
+    UnboundVariable(usize),
+    /// A ground constraint of the instantiated clause is false.
+    FalseConstraint(usize),
+    /// A premise index is out of range or derives the wrong fact.
+    BadPremise(usize),
+    /// The instantiated head disagrees with the recorded fact.
+    WrongFact(usize),
+    /// The final step does not apply a query clause.
+    NoQuery,
+}
+
+impl fmt::Display for RefutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefutationError::BadClause(i) => write!(f, "step {i}: clause index out of range"),
+            RefutationError::UnboundVariable(i) => {
+                write!(f, "step {i}: binding leaves a clause variable free")
+            }
+            RefutationError::FalseConstraint(i) => {
+                write!(f, "step {i}: instantiated constraint is false")
+            }
+            RefutationError::BadPremise(i) => write!(f, "step {i}: premise mismatch"),
+            RefutationError::WrongFact(i) => {
+                write!(f, "step {i}: instantiated head differs from recorded fact")
+            }
+            RefutationError::NoQuery => write!(f, "final step is not a query clause"),
+        }
+    }
+}
+
+impl Error for RefutationError {}
+
+/// Replays a refutation against the system from scratch. Every UNSAT
+/// answer the solver returns has passed this check.
+///
+/// # Errors
+///
+/// Returns the first [`RefutationError`] encountered.
+pub fn check_refutation(sys: &ChcSystem, r: &Refutation) -> Result<(), RefutationError> {
+    let mut derived: Vec<Fact> = Vec::with_capacity(r.steps.len());
+    for (si, step) in r.steps.iter().enumerate() {
+        let clause = sys
+            .clauses
+            .get(step.clause)
+            .ok_or(RefutationError::BadClause(si))?;
+        let bind: HashMap<VarId, &GroundTerm> =
+            step.binding.iter().map(|(v, g)| (*v, g)).collect();
+        let inst = |t: &Term| -> Option<GroundTerm> { instantiate(t, &bind) };
+        // Variables may be missing from the binding only if unused.
+        for c in &clause.constraints {
+            let ok = match c {
+                Constraint::Eq(a, b) => {
+                    let (a, b) = (inst(a), inst(b));
+                    match (a, b) {
+                        (Some(a), Some(b)) => a == b,
+                        _ => return Err(RefutationError::UnboundVariable(si)),
+                    }
+                }
+                Constraint::Neq(a, b) => {
+                    let (a, b) = (inst(a), inst(b));
+                    match (a, b) {
+                        (Some(a), Some(b)) => a != b,
+                        _ => return Err(RefutationError::UnboundVariable(si)),
+                    }
+                }
+                Constraint::Tester { ctor, term, positive } => match inst(term) {
+                    Some(g) => (g.func() == *ctor) == *positive,
+                    None => return Err(RefutationError::UnboundVariable(si)),
+                },
+            };
+            if !ok {
+                return Err(RefutationError::FalseConstraint(si));
+            }
+        }
+        if step.premises.len() != clause.body.len() {
+            return Err(RefutationError::BadPremise(si));
+        }
+        for (atom, &pi) in clause.body.iter().zip(&step.premises) {
+            if pi >= si {
+                return Err(RefutationError::BadPremise(si));
+            }
+            let expected = instantiate_atom(atom, &bind)
+                .ok_or(RefutationError::UnboundVariable(si))?;
+            if derived[pi] != expected {
+                return Err(RefutationError::BadPremise(si));
+            }
+        }
+        match (&clause.head, &step.fact) {
+            (None, None) => {
+                if si + 1 != r.steps.len() {
+                    return Err(RefutationError::NoQuery);
+                }
+                return Ok(());
+            }
+            (Some(atom), Some(fact)) => {
+                let expected = instantiate_atom(atom, &bind)
+                    .ok_or(RefutationError::UnboundVariable(si))?;
+                if &expected != fact {
+                    return Err(RefutationError::WrongFact(si));
+                }
+                derived.push(fact.clone());
+            }
+            _ => return Err(RefutationError::WrongFact(si)),
+        }
+    }
+    Err(RefutationError::NoQuery)
+}
+
+fn instantiate(t: &Term, bind: &HashMap<VarId, &GroundTerm>) -> Option<GroundTerm> {
+    match t {
+        Term::Var(v) => bind.get(v).map(|g| (*g).clone()),
+        Term::App(f, args) => {
+            let args: Option<Vec<GroundTerm>> =
+                args.iter().map(|a| instantiate(a, bind)).collect();
+            Some(GroundTerm::app(*f, args?))
+        }
+    }
+}
+
+fn instantiate_atom(atom: &Atom, bind: &HashMap<VarId, &GroundTerm>) -> Option<Fact> {
+    let args: Option<Vec<GroundTerm>> = atom.args.iter().map(|t| instantiate(t, bind)).collect();
+    Some((atom.pred, args?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_chc::parse_str;
+
+    fn unsat_even() -> ChcSystem {
+        // even(Z), even(x) → even(S(S(x))), even(S(S(Z))) → ⊥: unsat.
+        parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun even (Nat) Bool)
+            (assert (even Z))
+            (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+            (assert (=> (even (S (S Z))) false))
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn refutes_and_replays() {
+        let sys = unsat_even();
+        let (outcome, _) = saturate(&sys, &SaturationConfig::default());
+        let r = match outcome {
+            SaturationOutcome::Refuted(r) => r,
+            other => panic!("expected refutation, got {other:?}"),
+        };
+        assert!(check_refutation(&sys, &r).is_ok());
+        // Derivation: even(Z), even(S(S(Z))), ⊥.
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn tampered_refutation_is_rejected() {
+        let sys = unsat_even();
+        let (outcome, _) = saturate(&sys, &SaturationConfig::default());
+        let mut r = match outcome {
+            SaturationOutcome::Refuted(r) => r,
+            other => panic!("expected refutation, got {other:?}"),
+        };
+        // Point the final step's premise at the wrong fact.
+        let last = r.steps.len() - 1;
+        r.steps[last].premises[0] = 0;
+        assert!(check_refutation(&sys, &r).is_err());
+    }
+
+    #[test]
+    fn sat_system_saturates_or_budgets() {
+        let sys = parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun even (Nat) Bool)
+            (assert (even Z))
+            (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+            (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+            "#,
+        )
+        .unwrap();
+        let cfg = SaturationConfig { max_facts: 50, ..SaturationConfig::default() };
+        let (outcome, stats) = saturate(&sys, &cfg);
+        match outcome {
+            SaturationOutcome::Budget(base) | SaturationOutcome::Saturated(base) => {
+                assert!(!base.is_empty());
+                let even = sys.rels.by_name("even").unwrap();
+                assert!(base.of_pred(even).count() > 3);
+            }
+            SaturationOutcome::Refuted(_) => panic!("even system is satisfiable"),
+        }
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn diseq_constraints_filter_matches() {
+        // p(Z), p(x) ∧ x ≠ Z → ⊥ is satisfiable; with p(S(Z)) it's not.
+        let sys = parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun p (Nat) Bool)
+            (assert (p Z))
+            (assert (p (S Z)))
+            (assert (forall ((x Nat)) (=> (and (p x) (distinct x Z)) false)))
+            "#,
+        )
+        .unwrap();
+        let (outcome, _) = saturate(&sys, &SaturationConfig::default());
+        let r = match outcome {
+            SaturationOutcome::Refuted(r) => r,
+            other => panic!("expected refutation, got {other:?}"),
+        };
+        assert!(check_refutation(&sys, &r).is_ok());
+    }
+}

@@ -1,0 +1,526 @@
+//! An Oppen-style decision procedure for conjunctions of ADT literals.
+//!
+//! Decides satisfiability (modulo the theory of algebraic data types, in
+//! the Herbrand structure) of cubes over equalities, disequalities and
+//! testers: congruence closure with the ADT axioms layered on top —
+//!
+//! * **injectivity**: `c(ā) = c(b̄)` merges the argument classes;
+//! * **distinctness**: `c(ā) = c'(b̄)` with `c ≠ c'` is a clash;
+//! * **acyclicity**: a class reachable from itself through constructor
+//!   argument edges denotes no finite tree;
+//! * **testers**: positive testers label a class, negative testers
+//!   exclude constructors; excluding every constructor of the sort is a
+//!   clash, and pinning a class to a *nullary* constructor merges it
+//!   with that constant;
+//! * **exhaustive nullary sorts**: disequalities on one-point sorts
+//!   clash.
+//!
+//! The procedure is sound in both directions for the literal shapes the
+//! solver generates (variable-rooted terms, no selectors): `Unsat`
+//! answers come with the above axioms only, and on `Sat` the closure
+//! describes a consistent assignment extendable to ground terms because
+//! every infinite sort has unboundedly many terms to separate the
+//! remaining disequalities (cf. the expanding-sort argument of §6.3).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use ringen_terms::{FuncId, FuncKind, Signature, SortId, Term, VarContext};
+
+use crate::lit::{Cube, Literal};
+
+/// Verdict of the cube check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CubeSat {
+    /// The cube has a Herbrand model.
+    Sat,
+    /// The cube is contradictory modulo ADT axioms.
+    Unsat,
+}
+
+impl CubeSat {
+    /// `true` for [`CubeSat::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == CubeSat::Sat
+    }
+}
+
+/// Decides a cube. Variables take their sorts from `vars`; every term
+/// must be well-sorted (checked by construction in the solver).
+///
+/// # Panics
+///
+/// Panics if a term applies a non-constructor symbol (selector/tester
+/// elimination happens upstream) or uses a variable not in `vars`.
+pub fn check_cube(sig: &Signature, vars: &VarContext, cube: &Cube) -> CubeSat {
+    let mut cc = Closure::new(sig, vars);
+    let mut neqs: Vec<(usize, usize)> = Vec::new();
+    for lit in cube {
+        match lit {
+            Literal::Eq(a, b) => {
+                let (na, nb) = (cc.node(a), cc.node(b));
+                if cc.merge(na, nb).is_err() {
+                    return CubeSat::Unsat;
+                }
+            }
+            Literal::Neq(a, b) => {
+                let (na, nb) = (cc.node(a), cc.node(b));
+                neqs.push((na, nb));
+            }
+            Literal::Tester { ctor, term, positive } => {
+                let n = cc.node(term);
+                let r = if *positive {
+                    cc.require_ctor(n, *ctor)
+                } else {
+                    cc.exclude_ctor(n, *ctor)
+                };
+                if r.is_err() {
+                    return CubeSat::Unsat;
+                }
+            }
+        }
+    }
+    if cc.propagate().is_err() {
+        return CubeSat::Unsat;
+    }
+    if cc.has_constructor_cycle() {
+        return CubeSat::Unsat;
+    }
+    // Disequalities: clash if both sides ended up in one class, or the
+    // sort cannot hold two distinct values.
+    for (a, b) in neqs {
+        let (ra, rb) = (cc.find(a), cc.find(b));
+        if ra == rb {
+            return CubeSat::Unsat;
+        }
+        let sort = cc.sort_of[ra];
+        if let Some(card) = ringen_terms::herbrand::cardinality(sig, sort).finite() {
+            if card <= 1 {
+                return CubeSat::Unsat;
+            }
+        }
+    }
+    CubeSat::Sat
+}
+
+/// Congruence closure over the cube's term DAG.
+struct Closure<'a> {
+    sig: &'a Signature,
+    vars: &'a VarContext,
+    /// Hash-consed nodes.
+    ids: HashMap<Term, usize>,
+    terms: Vec<Term>,
+    parent: Vec<usize>,
+    /// Representative constructor application in the class, if any:
+    /// `(ctor, arg node ids)`.
+    app: Vec<Option<(FuncId, Vec<usize>)>>,
+    /// Tester labels.
+    must_be: Vec<Option<FuncId>>,
+    must_not: Vec<BTreeSet<FuncId>>,
+    sort_of: Vec<SortId>,
+    /// Pending merges from injectivity.
+    pending: Vec<(usize, usize)>,
+}
+
+struct Clash;
+
+impl<'a> Closure<'a> {
+    fn new(sig: &'a Signature, vars: &'a VarContext) -> Self {
+        Closure {
+            sig,
+            vars,
+            ids: HashMap::new(),
+            terms: Vec::new(),
+            parent: Vec::new(),
+            app: Vec::new(),
+            must_be: Vec::new(),
+            must_not: Vec::new(),
+            sort_of: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn node(&mut self, t: &Term) -> usize {
+        if let Some(&i) = self.ids.get(t) {
+            return i;
+        }
+        let (sort, app) = match t {
+            Term::Var(v) => (
+                self.vars.sort(*v).expect("variable has a sort"),
+                None,
+            ),
+            Term::App(f, args) => {
+                let decl = self.sig.func(*f);
+                assert_eq!(
+                    decl.kind,
+                    FuncKind::Constructor,
+                    "decision procedure only handles constructor terms"
+                );
+                let arg_ids: Vec<usize> = args.iter().map(|a| self.node(a)).collect();
+                (decl.range, Some((*f, arg_ids)))
+            }
+        };
+        let i = self.terms.len();
+        self.ids.insert(t.clone(), i);
+        self.terms.push(t.clone());
+        self.parent.push(i);
+        self.app.push(app);
+        self.must_be.push(None);
+        self.must_not.push(BTreeSet::new());
+        self.sort_of.push(sort);
+        i
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn merge(&mut self, a: usize, b: usize) -> Result<(), Clash> {
+        self.pending.push((a, b));
+        self.drain()
+    }
+
+    fn drain(&mut self) -> Result<(), Clash> {
+        while let Some((a, b)) = self.pending.pop() {
+            let (ra, rb) = (self.find(a), self.find(b));
+            if ra == rb {
+                continue;
+            }
+            // Union labels and the app witness into the new root `ra`.
+            self.parent[rb] = ra;
+            // Constructor witnesses: distinctness + injectivity.
+            match (self.app[ra].clone(), self.app[rb].clone()) {
+                (Some((f, fa)), Some((g, ga))) => {
+                    if f != g {
+                        return Err(Clash);
+                    }
+                    for (x, y) in fa.iter().zip(&ga) {
+                        self.pending.push((*x, *y));
+                    }
+                }
+                (None, Some(w)) => self.app[ra] = Some(w),
+                _ => {}
+            }
+            // Tester labels.
+            let mb = self.must_be[rb];
+            if let Some(c) = mb {
+                self.set_must_be(ra, c)?;
+            }
+            let mn = std::mem::take(&mut self.must_not[rb]);
+            for c in mn {
+                self.set_must_not(ra, c)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn set_must_be(&mut self, i: usize, c: FuncId) -> Result<(), Clash> {
+        let r = self.find(i);
+        if self.must_not[r].contains(&c) {
+            return Err(Clash);
+        }
+        if let Some((f, _)) = &self.app[r] {
+            if *f != c {
+                return Err(Clash);
+            }
+        }
+        match self.must_be[r] {
+            Some(d) if d != c => return Err(Clash),
+            _ => self.must_be[r] = Some(c),
+        }
+        // A nullary pin means the class *is* that constant.
+        if self.sig.func(c).arity() == 0 {
+            let leaf = self.node(&Term::leaf(c));
+            let r2 = self.find(i);
+            let rl = self.find(leaf);
+            if r2 != rl {
+                self.pending.push((r2, rl));
+            }
+        }
+        Ok(())
+    }
+
+    fn set_must_not(&mut self, i: usize, c: FuncId) -> Result<(), Clash> {
+        let r = self.find(i);
+        if self.must_be[r] == Some(c) {
+            return Err(Clash);
+        }
+        if let Some((f, _)) = &self.app[r] {
+            if *f == c {
+                return Err(Clash);
+            }
+        }
+        self.must_not[r].insert(c);
+        let ctors = self.sig.constructors_of(self.sort_of[r]);
+        let remaining: Vec<FuncId> = ctors
+            .iter()
+            .copied()
+            .filter(|d| !self.must_not[r].contains(d))
+            .collect();
+        match remaining.len() {
+            0 => return Err(Clash),
+            1 => {
+                // Exhaustiveness pins the last remaining constructor.
+                let d = remaining[0];
+                if self.must_be[r] != Some(d) {
+                    self.set_must_be(r, d)?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn require_ctor(&mut self, i: usize, c: FuncId) -> Result<(), Clash> {
+        self.set_must_be(i, c)?;
+        self.drain()
+    }
+
+    fn exclude_ctor(&mut self, i: usize, c: FuncId) -> Result<(), Clash> {
+        self.set_must_not(i, c)?;
+        self.drain()
+    }
+
+    /// Congruence: parents with congruent children merge. Quadratic but
+    /// cubes are tiny.
+    fn propagate(&mut self) -> Result<(), Clash> {
+        loop {
+            let mut to_merge: Vec<(usize, usize)> = Vec::new();
+            let n = self.terms.len();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (ri, rj) = (self.find(i), self.find(j));
+                    if ri == rj {
+                        continue;
+                    }
+                    let (Some((f, fa)), Some((g, ga))) =
+                        (self.app_of(i).clone(), self.app_of(j).clone())
+                    else {
+                        continue;
+                    };
+                    if f != g || fa.len() != ga.len() {
+                        continue;
+                    }
+                    let congruent = fa
+                        .iter()
+                        .zip(&ga)
+                        .all(|(&x, &y)| self.find(x) == self.find(y));
+                    if congruent {
+                        to_merge.push((i, j));
+                    }
+                }
+            }
+            if to_merge.is_empty() {
+                return Ok(());
+            }
+            for (a, b) in to_merge {
+                self.merge(a, b)?;
+            }
+        }
+    }
+
+    fn app_of(&mut self, i: usize) -> Option<(FuncId, Vec<usize>)> {
+        if let Term::App(f, _) = &self.terms[i] {
+            let args = match &self.terms[i] {
+                Term::App(_, a) => a.clone(),
+                Term::Var(_) => unreachable!(),
+            };
+            let f = *f;
+            let ids: Vec<usize> = args.iter().map(|t| self.ids[t]).collect();
+            Some((f, ids))
+        } else {
+            None
+        }
+    }
+
+    /// Detects a class reachable from itself through constructor
+    /// argument edges (the occurs-check / acyclicity axiom).
+    fn has_constructor_cycle(&mut self) -> bool {
+        let n = self.terms.len();
+        let mut edges: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for i in 0..n {
+            let r = self.find(i);
+            let witness = self.app[r].clone();
+            if let Some((_, args)) = witness {
+                for a in args {
+                    let ra = self.find(a);
+                    edges.entry(r).or_default().insert(ra);
+                }
+            }
+            // Also the witness stored on non-roots before union: use the
+            // term structure directly.
+            if let Some((_, args)) = self.app_of(i) {
+                for a in args {
+                    let ra = self.find(a);
+                    edges.entry(r).or_default().insert(ra);
+                }
+            }
+        }
+        // DFS cycle detection.
+        let mut color: BTreeMap<usize, u8> = BTreeMap::new();
+        let roots: Vec<usize> = (0..n).map(|i| self.find(i)).collect();
+        for &r in &roots {
+            if color.get(&r).copied().unwrap_or(0) == 0
+                && cycle_dfs(r, &edges, &mut color)
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn cycle_dfs(
+    u: usize,
+    edges: &BTreeMap<usize, BTreeSet<usize>>,
+    color: &mut BTreeMap<usize, u8>,
+) -> bool {
+    color.insert(u, 1);
+    if let Some(vs) = edges.get(&u) {
+        for &v in vs {
+            match color.get(&v).copied().unwrap_or(0) {
+                1 => return true,
+                0 => {
+                    if cycle_dfs(v, edges, color) {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    color.insert(u, 2);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_terms::signature_helpers::{nat_signature, tree_signature};
+    use ringen_terms::VarId;
+
+    fn nat_ctx(sig: &Signature) -> (VarContext, VarId, VarId) {
+        let nat = sig.sort_by_name("Nat").unwrap();
+        let mut vars = VarContext::new();
+        let x = vars.fresh("x", nat);
+        let y = vars.fresh("y", nat);
+        (vars, x, y)
+    }
+
+    #[test]
+    fn distinct_constructors_clash() {
+        let (sig, _, z, s) = nat_signature();
+        let (vars, x, _) = nat_ctx(&sig);
+        let cube = vec![
+            Literal::Eq(Term::var(x), Term::leaf(z)),
+            Literal::Eq(Term::var(x), Term::app(s, vec![Term::leaf(z)])),
+        ];
+        assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Unsat);
+    }
+
+    #[test]
+    fn injectivity_propagates() {
+        // S(x) = S(y) ∧ x ≠ y is unsat.
+        let (sig, _, _, s) = nat_signature();
+        let (vars, x, y) = nat_ctx(&sig);
+        let cube = vec![
+            Literal::Eq(
+                Term::app(s, vec![Term::var(x)]),
+                Term::app(s, vec![Term::var(y)]),
+            ),
+            Literal::Neq(Term::var(x), Term::var(y)),
+        ];
+        assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Unsat);
+    }
+
+    #[test]
+    fn acyclicity_detects_occurs() {
+        // x = S(x) is unsat over finite trees.
+        let (sig, _, _, s) = nat_signature();
+        let (vars, x, _) = nat_ctx(&sig);
+        let cube = vec![Literal::Eq(Term::var(x), Term::app(s, vec![Term::var(x)]))];
+        assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Unsat);
+    }
+
+    #[test]
+    fn deep_cycle_detected() {
+        // x = S(y) ∧ y = S(x).
+        let (sig, _, _, s) = nat_signature();
+        let (vars, x, y) = nat_ctx(&sig);
+        let cube = vec![
+            Literal::Eq(Term::var(x), Term::app(s, vec![Term::var(y)])),
+            Literal::Eq(Term::var(y), Term::app(s, vec![Term::var(x)])),
+        ];
+        assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Unsat);
+    }
+
+    #[test]
+    fn tester_exhaustiveness() {
+        // ¬Z?(x) ∧ ¬S?(x) is unsat.
+        let (sig, _, z, s) = nat_signature();
+        let (vars, x, _) = nat_ctx(&sig);
+        let cube = vec![
+            Literal::Tester { ctor: z, term: Term::var(x), positive: false },
+            Literal::Tester { ctor: s, term: Term::var(x), positive: false },
+        ];
+        assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Unsat);
+    }
+
+    #[test]
+    fn nullary_pin_merges_with_constant() {
+        // ¬S?(x) ∧ ¬S?(y) ∧ x ≠ y: both must be Z, so unsat.
+        let (sig, _, _, s) = nat_signature();
+        let (vars, x, y) = nat_ctx(&sig);
+        let cube = vec![
+            Literal::Tester { ctor: s, term: Term::var(x), positive: false },
+            Literal::Tester { ctor: s, term: Term::var(y), positive: false },
+            Literal::Neq(Term::var(x), Term::var(y)),
+        ];
+        assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_cubes_pass() {
+        let (sig, _, z, s) = nat_signature();
+        let (vars, x, y) = nat_ctx(&sig);
+        let cube = vec![
+            Literal::Eq(Term::var(y), Term::app(s, vec![Term::var(x)])),
+            Literal::Neq(Term::var(x), Term::leaf(z)),
+        ];
+        assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Sat);
+    }
+
+    #[test]
+    fn congruence_closes_over_parents() {
+        // x = y ∧ S(x) ≠ S(y) is unsat by congruence.
+        let (sig, _, _, s) = nat_signature();
+        let (vars, x, y) = nat_ctx(&sig);
+        let cube = vec![
+            Literal::Eq(Term::var(x), Term::var(y)),
+            Literal::Neq(
+                Term::app(s, vec![Term::var(x)]),
+                Term::app(s, vec![Term::var(y)]),
+            ),
+        ];
+        assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Unsat);
+    }
+
+    #[test]
+    fn tree_sort_works_too() {
+        let (sig, tree, leaf, node) = tree_signature();
+        let mut vars = VarContext::new();
+        let t = vars.fresh("t", tree);
+        // t = node(leaf, leaf) ∧ leaf?(t) is unsat.
+        let cube = vec![
+            Literal::Eq(
+                Term::var(t),
+                Term::app(node, vec![Term::leaf(leaf), Term::leaf(leaf)]),
+            ),
+            Literal::Tester { ctor: leaf, term: Term::var(t), positive: true },
+        ];
+        assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Unsat);
+    }
+}

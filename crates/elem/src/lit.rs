@@ -1,0 +1,366 @@
+//! Literals, cubes and DNF formulas of the `Elem` representation class.
+//!
+//! An elementary invariant for a predicate `P` with arity `σ₁ × … × σₙ`
+//! is a quantifier-free formula in DNF over parameters `#0 … #n-1`
+//! (represented as [`VarId`]`(0)…(n-1)`), built from equalities,
+//! disequalities and constructor testers — the normal form of
+//! Definition 6 without explicit selector paths (constructor equations
+//! express the same bounded-depth structure).
+
+use std::fmt;
+
+use ringen_terms::{FuncId, GroundTerm, Signature, Substitution, Term, VarId};
+
+/// An atomic constraint or its negation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Literal {
+    /// `t = u`.
+    Eq(Term, Term),
+    /// `t ≠ u`.
+    Neq(Term, Term),
+    /// `c?(t)` when `positive`, else `¬c?(t)`.
+    Tester {
+        /// Constructor tested for.
+        ctor: FuncId,
+        /// Tested term.
+        term: Term,
+        /// Polarity.
+        positive: bool,
+    },
+}
+
+impl Literal {
+    /// The negated literal.
+    pub fn negated(&self) -> Literal {
+        match self {
+            Literal::Eq(a, b) => Literal::Neq(a.clone(), b.clone()),
+            Literal::Neq(a, b) => Literal::Eq(a.clone(), b.clone()),
+            Literal::Tester { ctor, term, positive } => Literal::Tester {
+                ctor: *ctor,
+                term: term.clone(),
+                positive: !positive,
+            },
+        }
+    }
+
+    /// Applies a substitution to both sides *simultaneously* (one
+    /// pass). Parameter instantiation must not resolve chains: the
+    /// replacement terms live in a different variable namespace that may
+    /// reuse the parameter indices.
+    pub fn apply(&self, sub: &Substitution) -> Literal {
+        match self {
+            Literal::Eq(a, b) => Literal::Eq(sub.apply(a), sub.apply(b)),
+            Literal::Neq(a, b) => Literal::Neq(sub.apply(a), sub.apply(b)),
+            Literal::Tester { ctor, term, positive } => Literal::Tester {
+                ctor: *ctor,
+                term: sub.apply(term),
+                positive: *positive,
+            },
+        }
+    }
+
+    /// Evaluates the literal under a ground assignment of its variables.
+    /// Returns `None` if some variable is unassigned.
+    pub fn eval(&self, env: &dyn Fn(VarId) -> Option<GroundTerm>) -> Option<bool> {
+        match self {
+            Literal::Eq(a, b) => Some(ground(a, env)? == ground(b, env)?),
+            Literal::Neq(a, b) => Some(ground(a, env)? != ground(b, env)?),
+            Literal::Tester { ctor, term, positive } => {
+                Some((ground(term, env)?.func() == *ctor) == *positive)
+            }
+        }
+    }
+
+    /// Renders the literal with symbol names.
+    pub fn display<'a>(&'a self, sig: &'a Signature) -> DisplayLiteral<'a> {
+        DisplayLiteral { lit: self, sig }
+    }
+}
+
+fn ground(t: &Term, env: &dyn Fn(VarId) -> Option<GroundTerm>) -> Option<GroundTerm> {
+    match t {
+        Term::Var(v) => env(*v),
+        Term::App(f, args) => {
+            let args: Option<Vec<GroundTerm>> = args.iter().map(|a| ground(a, env)).collect();
+            Some(GroundTerm::app(*f, args?))
+        }
+    }
+}
+
+/// Rendering helper for [`Literal`].
+#[derive(Debug)]
+pub struct DisplayLiteral<'a> {
+    lit: &'a Literal,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for DisplayLiteral<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let term = |t: &Term, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "{}", TermDisplay { t: t.clone(), sig: self.sig })
+        };
+        match self.lit {
+            Literal::Eq(a, b) => {
+                term(a, f)?;
+                write!(f, " = ")?;
+                term(b, f)
+            }
+            Literal::Neq(a, b) => {
+                term(a, f)?;
+                write!(f, " ≠ ")?;
+                term(b, f)
+            }
+            Literal::Tester { ctor, term: t, positive } => {
+                if !positive {
+                    write!(f, "¬")?;
+                }
+                write!(f, "{}?(", self.sig.func(*ctor).name)?;
+                term(t, f)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+struct TermDisplay<'a> {
+    t: Term,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.t {
+            Term::Var(v) => write!(f, "#{}", v.index()),
+            Term::App(g, args) => {
+                write!(f, "{}", self.sig.func(*g).name)?;
+                if !args.is_empty() {
+                    write!(f, "(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", TermDisplay { t: a.clone(), sig: self.sig })?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A conjunction of literals.
+pub type Cube = Vec<Literal>;
+
+/// An elementary formula in DNF over predicate parameters
+/// `#0 … #(arity-1)`. The empty DNF is `⊥`; a DNF containing the empty
+/// cube is `⊤`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElemFormula {
+    /// The disjuncts.
+    pub cubes: Vec<Cube>,
+}
+
+impl ElemFormula {
+    /// `⊤` — accepts every tuple.
+    pub fn top() -> Self {
+        ElemFormula { cubes: vec![Vec::new()] }
+    }
+
+    /// `⊥` — accepts no tuple.
+    pub fn bottom() -> Self {
+        ElemFormula { cubes: Vec::new() }
+    }
+
+    /// A single-literal formula.
+    pub fn lit(l: Literal) -> Self {
+        ElemFormula { cubes: vec![vec![l]] }
+    }
+
+    /// A one-cube formula.
+    pub fn cube(c: Cube) -> Self {
+        ElemFormula { cubes: vec![c] }
+    }
+
+    /// Number of literal occurrences (complexity measure for template
+    /// ordering).
+    pub fn weight(&self) -> usize {
+        self.cubes.iter().map(|c| c.len().max(1)).sum()
+    }
+
+    /// Instantiates parameters with argument terms: parameter `#i` is
+    /// replaced by `args[i]`.
+    pub fn instantiate(&self, args: &[Term]) -> ElemFormula {
+        let mut sub = Substitution::new();
+        for (i, t) in args.iter().enumerate() {
+            sub.bind(VarId(i as u32), t.clone());
+        }
+        ElemFormula {
+            cubes: self
+                .cubes
+                .iter()
+                .map(|c| c.iter().map(|l| l.apply(&sub)).collect())
+                .collect(),
+        }
+    }
+
+    /// Negation, distributed back into DNF. Returns `None` if the
+    /// distribution would exceed `cap` cubes.
+    pub fn negated(&self, cap: usize) -> Option<ElemFormula> {
+        // ¬(C₁ ∨ … ∨ Cₖ) = ¬C₁ ∧ … ∧ ¬Cₖ; each ¬Cᵢ is a clause of negated
+        // literals; distribute the conjunction of clauses into DNF.
+        let mut cubes: Vec<Cube> = vec![Vec::new()];
+        for cube in &self.cubes {
+            let mut next: Vec<Cube> = Vec::new();
+            for existing in &cubes {
+                for l in cube {
+                    let mut c = existing.clone();
+                    c.push(l.negated());
+                    next.push(c);
+                    if next.len() > cap {
+                        return None;
+                    }
+                }
+            }
+            cubes = next;
+        }
+        Some(ElemFormula { cubes })
+    }
+
+    /// Conjunction, distributed into DNF. Returns `None` above `cap`.
+    pub fn and(&self, other: &ElemFormula, cap: usize) -> Option<ElemFormula> {
+        let mut cubes = Vec::new();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                let mut c = a.clone();
+                c.extend(b.iter().cloned());
+                cubes.push(c);
+                if cubes.len() > cap {
+                    return None;
+                }
+            }
+        }
+        Some(ElemFormula { cubes })
+    }
+
+    /// Evaluates the formula under a ground assignment.
+    pub fn eval(&self, env: &dyn Fn(VarId) -> Option<GroundTerm>) -> Option<bool> {
+        let mut any = false;
+        for cube in &self.cubes {
+            let mut all = true;
+            for l in cube {
+                match l.eval(env)? {
+                    true => {}
+                    false => {
+                        all = false;
+                        break;
+                    }
+                }
+            }
+            if all {
+                any = true;
+            }
+        }
+        Some(any)
+    }
+
+    /// Evaluates on a ground argument tuple (parameter `#i` ↦
+    /// `args[i]`).
+    pub fn eval_tuple(&self, args: &[GroundTerm]) -> bool {
+        let env = |v: VarId| args.get(v.index()).cloned();
+        self.eval(&env).unwrap_or(false)
+    }
+
+    /// Renders the formula with symbol names.
+    pub fn display<'a>(&'a self, sig: &'a Signature) -> DisplayElemFormula<'a> {
+        DisplayElemFormula { formula: self, sig }
+    }
+}
+
+/// Rendering helper for [`ElemFormula`].
+#[derive(Debug)]
+pub struct DisplayElemFormula<'a> {
+    formula: &'a ElemFormula,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for DisplayElemFormula<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.formula.cubes.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, cube) in self.formula.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            if cube.is_empty() {
+                write!(f, "⊤")?;
+            } else {
+                for (j, l) in cube.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{}", l.display(self.sig))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_terms::signature_helpers::nat_signature;
+
+    #[test]
+    fn negation_swaps_polarity() {
+        let (_, _, z, s) = nat_signature();
+        let l = Literal::Eq(Term::var(VarId(0)), Term::leaf(z));
+        assert_eq!(
+            l.negated(),
+            Literal::Neq(Term::var(VarId(0)), Term::leaf(z))
+        );
+        let t = Literal::Tester { ctor: s, term: Term::var(VarId(0)), positive: true };
+        assert!(matches!(t.negated(), Literal::Tester { positive: false, .. }));
+    }
+
+    #[test]
+    fn dnf_negation_distributes() {
+        let (_, _, z, _) = nat_signature();
+        let x = Term::var(VarId(0));
+        let y = Term::var(VarId(1));
+        // (x = Z ∧ y = Z) ∨ (x = y)
+        let f = ElemFormula {
+            cubes: vec![
+                vec![
+                    Literal::Eq(x.clone(), Term::leaf(z)),
+                    Literal::Eq(y.clone(), Term::leaf(z)),
+                ],
+                vec![Literal::Eq(x.clone(), y.clone())],
+            ],
+        };
+        let n = f.negated(16).unwrap();
+        // ¬f = (x≠Z ∨ y≠Z) ∧ x≠y → 2 cubes.
+        assert_eq!(n.cubes.len(), 2);
+        assert!(n.cubes.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn eval_tuple_matches_semantics() {
+        let (_, _, z, s) = nat_signature();
+        let x = Term::var(VarId(0));
+        // x = S(Z)
+        let f = ElemFormula::lit(Literal::Eq(x, Term::app(s, vec![Term::leaf(z)])));
+        let one = GroundTerm::app(s, vec![GroundTerm::leaf(z)]);
+        let zero = GroundTerm::leaf(z);
+        assert!(f.eval_tuple(&[one]));
+        assert!(!f.eval_tuple(&[zero]));
+    }
+
+    #[test]
+    fn top_and_bottom() {
+        assert!(ElemFormula::top().eval_tuple(&[]));
+        assert!(!ElemFormula::bottom().eval_tuple(&[]));
+    }
+}

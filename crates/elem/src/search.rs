@@ -1,0 +1,63 @@
+//! Shared combinatorial search helpers for template-based solvers.
+//!
+//! Both the `Elem` solver and the `SizeElem` solver (in
+//! `ringen-sizeelem`) sweep candidate-assignment index vectors in order
+//! of total index sum, mirroring the finite-model finder's size-vector
+//! sweep: cheap candidates everywhere first, then gradually more complex
+//! mixes.
+
+/// Enumerates all index vectors with component sum `total` (component
+/// `k` capped at `caps[k]`), calling `f` on each; stops early when `f`
+/// returns `Some`.
+pub fn for_each_composition<T>(
+    caps: &[usize],
+    total: usize,
+    idx: &mut Vec<usize>,
+    k: usize,
+    f: &mut impl FnMut(&[usize]) -> Option<T>,
+) -> Option<T> {
+    if k == caps.len() {
+        return if total == 0 { f(idx) } else { None };
+    }
+    let remaining_cap: usize = caps[k + 1..].iter().sum();
+    let lo = total.saturating_sub(remaining_cap);
+    let hi = total.min(caps[k]);
+    for v in lo..=hi {
+        idx[k] = v;
+        if let Some(t) = for_each_composition(caps, total - v, idx, k + 1, f) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compositions_cover_all_vectors_once() {
+        let caps = [2usize, 1, 3];
+        let mut seen = std::collections::BTreeSet::new();
+        for total in 0..=6 {
+            let mut idx = vec![0; 3];
+            let _: Option<()> = for_each_composition(&caps, total, &mut idx, 0, &mut |v| {
+                assert_eq!(v.iter().sum::<usize>(), total);
+                assert!(seen.insert(v.to_vec()), "duplicate {v:?}");
+                None
+            });
+        }
+        // (2+1)·(1+1)·(3+1) = 24 vectors in total.
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn early_stop_propagates() {
+        let caps = [5usize, 5];
+        let mut idx = vec![0; 2];
+        let hit = for_each_composition(&caps, 4, &mut idx, 0, &mut |v| {
+            (v[0] == 2).then_some(v.to_vec())
+        });
+        assert_eq!(hit, Some(vec![2, 2]));
+    }
+}

@@ -1,0 +1,186 @@
+//! Candidate enumeration for elementary invariants.
+//!
+//! The Spacer stand-in searches a template space of [`ElemFormula`]s per
+//! predicate, ordered by weight (simple candidates first): parameter
+//! equalities/disequalities, equalities with small ground terms,
+//! testers, and depth-1 constructor equations such as `#1 = S(#0)` —
+//! exactly the bounded-depth atoms the Elem normal form (Definition 6)
+//! can express. The pumping lemma for `Elem` (Lemma 6) is the proof that
+//! *no* extension of this space would help on programs like `Even`: the
+//! divergence the paper measures is inexpressibility, not a small
+//! template pool.
+
+use ringen_terms::{herbrand::terms_by_size, FuncKind, Signature, SortId, Term, VarId};
+
+use crate::lit::{ElemFormula, Literal};
+
+/// Knobs for [`candidates`].
+#[derive(Debug, Clone)]
+pub struct TemplateConfig {
+    /// Ground terms per sort used in `#i = t` atoms.
+    pub ground_terms_per_sort: usize,
+    /// Include two-literal cubes.
+    pub cubes2: bool,
+    /// Include two-cube disjunctions.
+    pub disjunctions2: bool,
+    /// Hard cap on the candidate list length.
+    pub max_candidates: usize,
+}
+
+impl Default for TemplateConfig {
+    fn default() -> Self {
+        TemplateConfig {
+            ground_terms_per_sort: 3,
+            cubes2: true,
+            disjunctions2: true,
+            max_candidates: 600,
+        }
+    }
+}
+
+/// Enumerates the atomic literals available for a predicate with the
+/// given parameter sorts.
+pub fn atoms(sig: &Signature, domain: &[SortId], cfg: &TemplateConfig) -> Vec<Literal> {
+    let mut out = Vec::new();
+    let param = |i: usize| Term::var(VarId(i as u32));
+    // Parameter/parameter (dis)equalities.
+    for i in 0..domain.len() {
+        for j in (i + 1)..domain.len() {
+            if domain[i] == domain[j] {
+                out.push(Literal::Eq(param(i), param(j)));
+                out.push(Literal::Neq(param(i), param(j)));
+            }
+        }
+    }
+    // Parameter = small ground term.
+    for (i, &s) in domain.iter().enumerate() {
+        for g in terms_by_size(sig, s, cfg.ground_terms_per_sort) {
+            let t = ground_to_term(&g);
+            out.push(Literal::Eq(param(i), t.clone()));
+            out.push(Literal::Neq(param(i), t));
+        }
+    }
+    // Testers.
+    for (i, &s) in domain.iter().enumerate() {
+        for &c in sig.constructors_of(s) {
+            out.push(Literal::Tester { ctor: c, term: param(i), positive: true });
+            out.push(Literal::Tester { ctor: c, term: param(i), positive: false });
+        }
+    }
+    // Depth-1 constructor equations: #i = c(#j, …) with arguments drawn
+    // from the other parameters (all sort-correct combinations).
+    for (i, &s) in domain.iter().enumerate() {
+        for c in sig.funcs() {
+            let decl = sig.func(c);
+            if decl.kind != FuncKind::Constructor || decl.range != s || decl.arity() == 0 {
+                continue;
+            }
+            let mut choices: Vec<Vec<Term>> = vec![Vec::new()];
+            for &arg_sort in &decl.domain {
+                let mut next = Vec::new();
+                for prefix in &choices {
+                    for (j, &sj) in domain.iter().enumerate() {
+                        if j != i && sj == arg_sort {
+                            let mut p = prefix.clone();
+                            p.push(param(j));
+                            next.push(p);
+                        }
+                    }
+                }
+                choices = next;
+                if choices.is_empty() {
+                    break;
+                }
+            }
+            for args in choices {
+                out.push(Literal::Eq(param(i), Term::app(c, args.clone())));
+                out.push(Literal::Neq(param(i), Term::app(c, args)));
+            }
+        }
+    }
+    out
+}
+
+fn ground_to_term(g: &ringen_terms::GroundTerm) -> Term {
+    Term::app(g.func(), g.args().iter().map(ground_to_term).collect())
+}
+
+/// Enumerates candidate invariants for one predicate, simple first.
+/// Always starts with `⊤` (the unconstrained invariant).
+pub fn candidates(sig: &Signature, domain: &[SortId], cfg: &TemplateConfig) -> Vec<ElemFormula> {
+    let atoms = atoms(sig, domain, cfg);
+    let mut out = vec![ElemFormula::top()];
+    for a in &atoms {
+        out.push(ElemFormula::lit(a.clone()));
+        if out.len() >= cfg.max_candidates {
+            return out;
+        }
+    }
+    if cfg.cubes2 {
+        for (i, a) in atoms.iter().enumerate() {
+            for b in atoms.iter().skip(i + 1) {
+                if a == &b.negated() {
+                    continue;
+                }
+                out.push(ElemFormula::cube(vec![a.clone(), b.clone()]));
+                if out.len() >= cfg.max_candidates {
+                    return out;
+                }
+            }
+        }
+    }
+    if cfg.disjunctions2 {
+        for (i, a) in atoms.iter().enumerate() {
+            for b in atoms.iter().skip(i + 1) {
+                if a == &b.negated() {
+                    continue;
+                }
+                out.push(ElemFormula { cubes: vec![vec![a.clone()], vec![b.clone()]] });
+                if out.len() >= cfg.max_candidates {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_terms::signature_helpers::nat_signature;
+
+    #[test]
+    fn binary_nat_pool_contains_the_incdec_invariants() {
+        let (sig, nat, _, s) = nat_signature();
+        let cfg = TemplateConfig::default();
+        let pool = atoms(&sig, &[nat, nat], &cfg);
+        // y = S(x), i.e. #1 = S(#0).
+        let want = Literal::Eq(
+            Term::var(VarId(1)),
+            Term::app(s, vec![Term::var(VarId(0))]),
+        );
+        assert!(pool.contains(&want), "pool misses the IncDec invariant");
+        // x = y and x ≠ y for Diag.
+        assert!(pool.contains(&Literal::Eq(
+            Term::var(VarId(0)),
+            Term::var(VarId(1))
+        )));
+        assert!(pool.contains(&Literal::Neq(
+            Term::var(VarId(0)),
+            Term::var(VarId(1))
+        )));
+    }
+
+    #[test]
+    fn candidates_start_simple() {
+        let (sig, nat, _, _) = nat_signature();
+        let cfg = TemplateConfig::default();
+        let cands = candidates(&sig, &[nat], &cfg);
+        assert_eq!(cands[0], ElemFormula::top());
+        assert!(cands.len() > 5);
+        assert!(cands.len() <= cfg.max_candidates);
+        // Weights are non-decreasing across the first/second blocks.
+        assert!(cands[1].weight() <= cands[cands.len() - 1].weight());
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the Oppen-style decision procedure: `Unsat`
+//! verdicts are never contradicted by an explicit small model, and
+//! ground-satisfiable cubes are never reported `Unsat`.
+
+use proptest::prelude::*;
+use ringen_elem::{check_cube, CubeSat, Literal};
+use ringen_terms::{
+    herbrand::terms_by_size, signature_helpers::nat_signature, GroundTerm, Term, VarContext,
+};
+
+fn ground_term(t: &Term, gx: &GroundTerm, gy: &GroundTerm, x: ringen_terms::VarId) -> GroundTerm {
+    match t {
+        Term::Var(v) => {
+            if *v == x {
+                gx.clone()
+            } else {
+                gy.clone()
+            }
+        }
+        Term::App(f, args) => GroundTerm::app(
+            *f,
+            args.iter().map(|a| ground_term(a, gx, gy, x)).collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn unsat_verdicts_have_no_small_model(lits_seed in prop::collection::vec(0usize..1, 0..1), cube_len in 1usize..4, seeds in prop::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..3, 0u8..3), 1..4)) {
+        let _ = (lits_seed, cube_len);
+        let (sig, nat, z, s) = nat_signature();
+        let mut vars = VarContext::new();
+        let x = vars.fresh("x", nat);
+        let y = vars.fresh("y", nat);
+        let term = |side: u8, wrap: u8| -> Term {
+            let base = if side == 0 { Term::var(x) } else if side == 1 { Term::var(y) } else { Term::leaf(z) };
+            (0..wrap).fold(base, |t, _| Term::app(s, vec![t]))
+        };
+        let cube: Vec<Literal> = seeds
+            .iter()
+            .map(|&(a, wa, b, wb, kind)| {
+                let (ta, tb) = (term(a, wa), term(b, wb));
+                match kind {
+                    0 => Literal::Eq(ta, tb),
+                    1 => Literal::Neq(ta, tb),
+                    _ => Literal::Tester { ctor: if wb % 2 == 0 { s } else { z }, term: ta, positive: a % 2 == 0 },
+                }
+            })
+            .collect();
+        let verdict = check_cube(&sig, &vars, &cube);
+        // Ground check over all pairs of small terms.
+        let pool = terms_by_size(&sig, nat, 6);
+        let mut ground_sat = false;
+        'outer: for gx in &pool {
+            for gy in &pool {
+                let holds = cube.iter().all(|l| {
+                    let eval = |t: &Term| ground_term(t, gx, gy, x);
+                    match l {
+                        Literal::Eq(a, b) => eval(a) == eval(b),
+                        Literal::Neq(a, b) => eval(a) != eval(b),
+                        Literal::Tester { ctor, term, positive } => {
+                            (eval(term).func() == *ctor) == *positive
+                        }
+                    }
+                });
+                if holds {
+                    ground_sat = true;
+                    break 'outer;
+                }
+            }
+        }
+        if verdict == CubeSat::Unsat {
+            prop_assert!(!ground_sat, "DP said Unsat but a small model exists: {cube:?}");
+        }
+        if ground_sat {
+            prop_assert_eq!(verdict, CubeSat::Sat);
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! The MACE-style model search: ground to SAT per domain-size vector.
+
+use ringen_chc::ChcSystem;
+use ringen_sat::{Lit, SatResult, Solver, Var};
+use ringen_terms::FuncKind;
+
+use crate::flatten::{flatten_system, FlatClause, FlattenError};
+use crate::model::FiniteModel;
+
+/// Tuning knobs for [`find_model`].
+#[derive(Debug, Clone)]
+pub struct FinderConfig {
+    /// Maximum total domain size (sum over sorts) to try.
+    pub max_total_size: usize,
+    /// SAT conflict budget per size vector.
+    pub max_conflicts: u64,
+    /// Skip a size vector if it would ground to more instances than this.
+    pub max_ground_instances: u64,
+    /// Enable constant-ordering symmetry breaking.
+    pub symmetry_breaking: bool,
+}
+
+impl Default for FinderConfig {
+    fn default() -> Self {
+        FinderConfig {
+            max_total_size: 10,
+            max_conflicts: 100_000,
+            max_ground_instances: 4_000_000,
+            symmetry_breaking: true,
+        }
+    }
+}
+
+/// Statistics from a [`find_model`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FinderStats {
+    /// Size vectors attempted.
+    pub vectors_tried: usize,
+    /// Total SAT conflicts over all attempts.
+    pub conflicts: u64,
+    /// Size vectors skipped because grounding would be too large.
+    pub skipped_too_large: usize,
+    /// Size vectors abandoned on conflict budget.
+    pub budget_exhausted: usize,
+}
+
+/// Outcome of the search.
+#[derive(Debug, Clone)]
+pub enum FmfOutcome {
+    /// A finite model was found.
+    Model(FiniteModel),
+    /// No model exists within the configured bounds (the system may still
+    /// have larger or infinite models — finite model existence is only
+    /// semidecidable, §9).
+    Exhausted,
+}
+
+impl FmfOutcome {
+    /// The model, if one was found.
+    pub fn model(self) -> Option<FiniteModel> {
+        match self {
+            FmfOutcome::Model(m) => Some(m),
+            FmfOutcome::Exhausted => None,
+        }
+    }
+}
+
+/// Searches for a finite model of an equality-only CHC system over EUF,
+/// iterating domain-size vectors in order of total size (§4.1–4.2).
+///
+/// # Errors
+///
+/// Returns [`FlattenError`] if the system still contains disequalities or
+/// testers (run the §4.4/§4.5 preprocessing first).
+pub fn find_model(
+    sys: &ChcSystem,
+    config: &FinderConfig,
+) -> Result<(FmfOutcome, FinderStats), FlattenError> {
+    let flat = flatten_system(sys)?;
+    let mut stats = FinderStats::default();
+    let num_sorts = sys.sig.sort_count();
+    if num_sorts == 0 {
+        // Degenerate: no sorts means no variables; treat as exhausted.
+        return Ok((FmfOutcome::Exhausted, stats));
+    }
+    for total in num_sorts..=config.max_total_size {
+        for sizes in compositions(total, num_sorts) {
+            match try_sizes(sys, &flat, &sizes, config, &mut stats) {
+                SizeOutcome::Model(m) => return Ok((FmfOutcome::Model(m), stats)),
+                SizeOutcome::Unsat | SizeOutcome::Skipped | SizeOutcome::Budget => {}
+            }
+        }
+    }
+    Ok((FmfOutcome::Exhausted, stats))
+}
+
+enum SizeOutcome {
+    Model(FiniteModel),
+    Unsat,
+    Budget,
+    Skipped,
+}
+
+/// All vectors of `parts` positive integers summing to `total`.
+fn compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
+    fn go(total: usize, parts: usize, acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if parts == 1 {
+            acc.push(total);
+            out.push(acc.clone());
+            acc.pop();
+            return;
+        }
+        for first in 1..=total - (parts - 1) {
+            acc.push(first);
+            go(total - first, parts - 1, acc, out);
+            acc.pop();
+        }
+    }
+    let mut out = Vec::new();
+    if total >= parts {
+        go(total, parts, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
+fn try_sizes(
+    sys: &ChcSystem,
+    flat: &[FlatClause],
+    sizes: &[usize],
+    config: &FinderConfig,
+    stats: &mut FinderStats,
+) -> SizeOutcome {
+    // Estimate the grounding size first.
+    let mut instances: u64 = 0;
+    for c in flat {
+        let mut rows: u64 = 1;
+        for s in &c.var_sorts {
+            rows = rows.saturating_mul(sizes[s.index()] as u64);
+        }
+        instances = instances.saturating_add(rows);
+    }
+    if instances > config.max_ground_instances {
+        stats.skipped_too_large += 1;
+        return SizeOutcome::Skipped;
+    }
+    stats.vectors_tried += 1;
+
+    let sig = &sys.sig;
+    let mut solver = Solver::new();
+
+    // Function-table variables e[f][row][result].
+    let func_vars: Vec<Vec<Vec<Var>>> = sig
+        .funcs()
+        .map(|f| {
+            let d = sig.func(f);
+            let rows: usize = d.domain.iter().map(|s| sizes[s.index()]).product();
+            let range = sizes[d.range.index()];
+            (0..rows)
+                .map(|_| (0..range).map(|_| solver.new_var()).collect())
+                .collect()
+        })
+        .collect();
+    // Predicate-table variables b[p][row].
+    let pred_vars: Vec<Vec<Var>> = sys
+        .rels
+        .iter()
+        .map(|p| {
+            let d = sys.rels.decl(p);
+            let rows: usize = d.domain.iter().map(|s| sizes[s.index()]).product();
+            (0..rows).map(|_| solver.new_var()).collect()
+        })
+        .collect();
+
+    // Totality and functionality: exactly one result per cell.
+    for table in &func_vars {
+        for cell in table {
+            let at_least: Vec<Lit> = cell.iter().map(|&v| Lit::pos(v)).collect();
+            solver.add_clause(&at_least);
+            for i in 0..cell.len() {
+                for j in i + 1..cell.len() {
+                    solver.add_clause(&[Lit::neg(cell[i]), Lit::neg(cell[j])]);
+                }
+            }
+        }
+    }
+
+    // Symmetry breaking: the i-th constant of each sort takes a value
+    // ≤ i (domains can always be permuted into this form).
+    if config.symmetry_breaking {
+        let mut seen_constants = vec![0usize; sizes.len()];
+        for f in sig.funcs() {
+            let d = sig.func(f);
+            if d.arity() != 0 {
+                continue;
+            }
+            let k = seen_constants[d.range.index()];
+            seen_constants[d.range.index()] += 1;
+            for r in (k + 1)..sizes[d.range.index()] {
+                solver.add_clause(&[Lit::neg(func_vars[f.index()][0][r])]);
+            }
+        }
+    }
+
+    // Ground every flattened clause.
+    for c in flat {
+        let dims: Vec<usize> = c.var_sorts.iter().map(|s| sizes[s.index()]).collect();
+        if dims.iter().any(|&d| d == 0) {
+            continue;
+        }
+        let mut assign = vec![0usize; dims.len()];
+        'assignments: loop {
+            // Equality literals are decided at grounding time.
+            let eq_ok = c.eqs.iter().all(|&(a, b)| assign[a] == assign[b]);
+            if eq_ok {
+                let mut lits: Vec<Lit> = Vec::new();
+                for (f, args, res) in &c.defs {
+                    let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
+                    let row = row_index(sig, *f, &vals, sizes);
+                    lits.push(Lit::neg(func_vars[f.index()][row][assign[*res]]));
+                }
+                for (p, args) in &c.body {
+                    let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
+                    let row = pred_row_index(sys, *p, &vals, sizes);
+                    lits.push(Lit::neg(pred_vars[p.index()][row]));
+                }
+                if let Some((p, args)) = &c.head {
+                    let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
+                    let row = pred_row_index(sys, *p, &vals, sizes);
+                    lits.push(Lit::pos(pred_vars[p.index()][row]));
+                }
+                if !solver.add_clause(&lits) {
+                    stats.conflicts += solver.conflict_count();
+                    return SizeOutcome::Unsat;
+                }
+            }
+            // Odometer.
+            let mut i = 0;
+            loop {
+                if i == assign.len() {
+                    break 'assignments;
+                }
+                assign[i] += 1;
+                if assign[i] < dims[i] {
+                    break;
+                }
+                assign[i] = 0;
+                i += 1;
+            }
+            if assign.iter().all(|&a| a == 0) {
+                break;
+            }
+        }
+    }
+
+    let result = solver.solve_with_budget(config.max_conflicts);
+    stats.conflicts += solver.conflict_count();
+    match result {
+        SatResult::Sat => {
+            let pred_domains: Vec<Vec<usize>> = sys
+                .rels
+                .iter()
+                .map(|p| {
+                    sys.rels
+                        .decl(p)
+                        .domain
+                        .iter()
+                        .map(|s| sizes[s.index()])
+                        .collect()
+                })
+                .collect();
+            let mut model = FiniteModel::new(sig, &pred_domains, sizes.to_vec());
+            for f in sig.funcs() {
+                let d = sig.func(f);
+                let dims: Vec<usize> = d.domain.iter().map(|s| sizes[s.index()]).collect();
+                for (row, cell) in func_vars[f.index()].iter().enumerate() {
+                    let value = cell
+                        .iter()
+                        .position(|&v| solver.value(v) == Some(true))
+                        .expect("exactly-one cell has a true value");
+                    let args = unrank(row, &dims);
+                    model.set_func(sig, f, &args, value);
+                }
+            }
+            for p in sys.rels.iter() {
+                let dims = &pred_domains[p.index()];
+                for (row, &v) in pred_vars[p.index()].iter().enumerate() {
+                    if solver.value(v) == Some(true) {
+                        model.add_pred(p, unrank(row, dims));
+                    }
+                }
+            }
+            SizeOutcome::Model(model)
+        }
+        SatResult::Unsat => SizeOutcome::Unsat,
+        SatResult::Unknown => {
+            stats.budget_exhausted += 1;
+            SizeOutcome::Budget
+        }
+    }
+}
+
+fn row_index(
+    sig: &ringen_terms::Signature,
+    f: ringen_terms::FuncId,
+    args: &[usize],
+    sizes: &[usize],
+) -> usize {
+    let d = sig.func(f);
+    let mut idx = 0;
+    for (a, s) in args.iter().zip(&d.domain) {
+        idx = idx * sizes[s.index()] + a;
+    }
+    idx
+}
+
+fn pred_row_index(sys: &ChcSystem, p: ringen_chc::PredId, args: &[usize], sizes: &[usize]) -> usize {
+    let d = sys.rels.decl(p);
+    let mut idx = 0;
+    for (a, s) in args.iter().zip(&d.domain) {
+        idx = idx * sizes[s.index()] + a;
+    }
+    idx
+}
+
+/// Inverse of the row-major ranking.
+fn unrank(mut row: usize, dims: &[usize]) -> Vec<usize> {
+    let mut out = vec![0; dims.len()];
+    for i in (0..dims.len()).rev() {
+        out[i] = row % dims[i];
+        row /= dims[i];
+    }
+    out
+}
+
+/// Convenience: whether the signature has any non-constructor function
+/// symbols (the EUF reduction keeps constructors as free symbols, so this
+/// is informational only).
+pub fn has_free_symbols(sys: &ChcSystem) -> bool {
+    sys.sig
+        .funcs()
+        .any(|f| sys.sig.func(f).kind == FuncKind::Free)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_chc::SystemBuilder;
+    use ringen_terms::Term;
+
+    fn even_system() -> ChcSystem {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        let even = b.pred("even", vec![nat]);
+        b.clause(|c| {
+            c.head(even, vec![c.app0(z)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(even, vec![c.v(x)]);
+            c.head(even, vec![Term::iterate(s, c.v(x), 2)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(even, vec![c.v(x)]);
+            c.body(even, vec![c.app(s, vec![c.v(x)])]);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn finds_the_two_element_even_model() {
+        let sys = even_system();
+        let (outcome, stats) = find_model(&sys, &FinderConfig::default()).unwrap();
+        let model = outcome.model().expect("even has a finite model");
+        assert_eq!(model.size(), 2, "paper's minimal model has 2 elements");
+        assert!(model.satisfies(&sys));
+        assert!(stats.vectors_tried >= 1);
+        // Z must be even, S(Z) must not.
+        let z = sys.sig.func_by_name("Z").unwrap();
+        let s = sys.sig.func_by_name("S").unwrap();
+        let even = sys.rels.by_name("even").unwrap();
+        let e0 = model.eval_ground(&sys.sig, &ringen_terms::GroundTerm::leaf(z));
+        assert!(model.holds(even, &[e0]));
+        let e1 = model.eval_ground(
+            &sys.sig,
+            &ringen_terms::GroundTerm::iterate(s, ringen_terms::GroundTerm::leaf(z), 1),
+        );
+        assert!(!model.holds(even, &[e1]));
+    }
+
+    #[test]
+    fn incdec_needs_three_elements() {
+        // The IncDec system of Example 4 / Proposition 4: minimal regular
+        // model is mod-3 counting.
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        let inc = b.pred("inc", vec![nat, nat]);
+        let dec = b.pred("dec", vec![nat, nat]);
+        b.clause(|c| {
+            c.head(inc, vec![c.app0(z), c.app(s, vec![c.app0(z)])]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            let y = c.var("y", nat);
+            c.body(inc, vec![c.v(x), c.v(y)]);
+            c.head(inc, vec![c.app(s, vec![c.v(x)]), c.app(s, vec![c.v(y)])]);
+        });
+        b.clause(|c| {
+            c.head(dec, vec![c.app(s, vec![c.app0(z)]), c.app0(z)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            let y = c.var("y", nat);
+            c.body(dec, vec![c.v(x), c.v(y)]);
+            c.head(dec, vec![c.app(s, vec![c.v(x)]), c.app(s, vec![c.v(y)])]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            let y = c.var("y", nat);
+            c.body(inc, vec![c.v(x), c.v(y)]);
+            c.body(dec, vec![c.v(x), c.v(y)]);
+        });
+        let sys = b.finish();
+        let (outcome, _) = find_model(&sys, &FinderConfig::default()).unwrap();
+        let model = outcome.model().expect("IncDec ∈ Reg (Proposition 4)");
+        assert!(model.satisfies(&sys));
+        assert!(model.size() >= 3, "no 1- or 2-element model can work");
+    }
+
+    #[test]
+    fn fo_unsat_system_exhausts() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let _z = b.ctor("Z", vec![], nat);
+        let p = b.pred("p", vec![nat]);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.head(p, vec![c.v(x)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(p, vec![c.v(x)]);
+        });
+        let sys = b.finish();
+        let config = FinderConfig {
+            max_total_size: 4,
+            ..FinderConfig::default()
+        };
+        let (outcome, stats) = find_model(&sys, &config).unwrap();
+        assert!(outcome.model().is_none());
+        assert_eq!(stats.vectors_tried, 4);
+    }
+
+    #[test]
+    fn equality_constraints_restrict_models() {
+        // p(x) for all x, query p(Z) with x = Z constraint forces UNSAT
+        // at every size.
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let p = b.pred("p", vec![nat]);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.head(p, vec![c.v(x)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.eq(c.v(x), c.app0(z));
+            c.body(p, vec![c.v(x)]);
+        });
+        let sys = b.finish();
+        let config = FinderConfig {
+            max_total_size: 3,
+            ..FinderConfig::default()
+        };
+        let (outcome, _) = find_model(&sys, &config).unwrap();
+        assert!(outcome.model().is_none());
+    }
+
+    #[test]
+    fn multi_sort_sizes_are_searched() {
+        // Two sorts; q over B needs 2 elements, Nat can stay at 1.
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let bs = b.sort("B");
+        let _z = b.ctor("Z", vec![], nat);
+        let t = b.ctor("T", vec![], bs);
+        let f = b.ctor("F", vec![], bs);
+        let q = b.pred("q", vec![bs]);
+        b.clause(|c| {
+            c.head(q, vec![c.app0(t)]);
+        });
+        b.clause(|c| {
+            c.body(q, vec![c.app0(f)]);
+        });
+        let sys = b.finish();
+        let (outcome, _) = find_model(&sys, &FinderConfig::default()).unwrap();
+        let model = outcome.model().expect("needs T ≠ F only");
+        assert!(model.satisfies(&sys));
+        assert_eq!(model.size(), 3); // 1 (Nat) + 2 (B)
+    }
+
+    #[test]
+    fn compositions_enumerate_all_vectors() {
+        let cs = compositions(4, 2);
+        assert_eq!(cs, vec![vec![1, 3], vec![2, 2], vec![3, 1]]);
+        assert_eq!(compositions(1, 2), Vec::<Vec<usize>>::new());
+        assert_eq!(compositions(3, 3), vec![vec![1, 1, 1]]);
+    }
+
+    #[test]
+    fn unrank_inverts_row_major() {
+        let dims = [2usize, 3, 2];
+        for row in 0..12 {
+            let t = unrank(row, &dims);
+            let mut back = 0;
+            for (v, d) in t.iter().zip(&dims) {
+                back = back * d + v;
+            }
+            assert_eq!(back, row);
+        }
+    }
+
+    #[test]
+    fn symmetry_breaking_preserves_satisfiability() {
+        let sys = even_system();
+        let plain = FinderConfig {
+            symmetry_breaking: false,
+            ..FinderConfig::default()
+        };
+        let (o1, _) = find_model(&sys, &FinderConfig::default()).unwrap();
+        let (o2, _) = find_model(&sys, &plain).unwrap();
+        let m1 = o1.model().unwrap();
+        let m2 = o2.model().unwrap();
+        assert_eq!(m1.size(), m2.size());
+        assert!(m1.satisfies(&sys) && m2.satisfies(&sys));
+    }
+}

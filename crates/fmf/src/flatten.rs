@@ -1,0 +1,261 @@
+//! Clause flattening: every literal becomes variable-shallow.
+//!
+//! The MACE-style grounding of §4.1–4.2 needs clauses whose literals are
+//! `f(v₁…vₙ) = v`, `v = w`, `P(v₁…vₙ)` (body) or `P(v₁…vₙ)` (head). Deep
+//! terms are decomposed by introducing one fresh variable per distinct
+//! subterm; the defining equations land in the clause body, which is sound
+//! because function symbols denote total functions.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ringen_chc::{ChcSystem, Clause, Constraint, PredId};
+use ringen_terms::{FuncId, SortId, Term};
+
+/// Index of a flat variable within its [`FlatClause`].
+pub type FlatVar = usize;
+
+/// A clause after flattening. All variable indices refer to
+/// [`FlatClause::var_sorts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatClause {
+    /// Sort of each flat variable (original clause variables first).
+    pub var_sorts: Vec<SortId>,
+    /// Function definitions `f(args…) = result` in the body.
+    pub defs: Vec<(FuncId, Vec<FlatVar>, FlatVar)>,
+    /// Variable equalities `v = w` in the body.
+    pub eqs: Vec<(FlatVar, FlatVar)>,
+    /// Uninterpreted body atoms.
+    pub body: Vec<(PredId, Vec<FlatVar>)>,
+    /// The head atom, `None` for queries.
+    pub head: Option<(PredId, Vec<FlatVar>)>,
+}
+
+impl FlatClause {
+    /// Number of flat variables.
+    pub fn var_count(&self) -> usize {
+        self.var_sorts.len()
+    }
+}
+
+/// Why a system could not be flattened for model finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlattenError {
+    /// A disequality constraint survived preprocessing (§4.4 must run
+    /// first).
+    Disequality,
+    /// A tester constraint survived preprocessing (§4.5 must run first).
+    Tester,
+}
+
+impl fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlattenError::Disequality => {
+                write!(f, "clause contains a disequality; run the diseq transformation first")
+            }
+            FlattenError::Tester => {
+                write!(f, "clause contains a tester; run tester/selector elimination first")
+            }
+        }
+    }
+}
+
+impl Error for FlattenError {}
+
+/// Flattens every clause of a system.
+///
+/// # Errors
+///
+/// Returns [`FlattenError`] if a clause still carries disequalities or
+/// testers.
+pub fn flatten_system(sys: &ChcSystem) -> Result<Vec<FlatClause>, FlattenError> {
+    sys.clauses.iter().map(|c| flatten_clause(sys, c)).collect()
+}
+
+/// Flattens one clause.
+///
+/// # Errors
+///
+/// Returns [`FlattenError`] if the clause carries disequalities or testers.
+pub fn flatten_clause(sys: &ChcSystem, clause: &Clause) -> Result<FlatClause, FlattenError> {
+    let mut fl = Flattener {
+        sys,
+        out: FlatClause {
+            var_sorts: clause
+                .vars
+                .vars()
+                .map(|v| clause.vars.sort(v).expect("var in context"))
+                .collect(),
+            defs: Vec::new(),
+            eqs: Vec::new(),
+            body: Vec::new(),
+            head: None,
+        },
+        cache: HashMap::new(),
+    };
+    for k in &clause.constraints {
+        match k {
+            Constraint::Eq(a, b) => {
+                let va = fl.term_var(a);
+                let vb = fl.term_var(b);
+                fl.out.eqs.push((va, vb));
+            }
+            Constraint::Neq(..) => return Err(FlattenError::Disequality),
+            Constraint::Tester { .. } => return Err(FlattenError::Tester),
+        }
+    }
+    for a in &clause.body {
+        let args = a.args.iter().map(|t| fl.term_var(t)).collect();
+        fl.out.body.push((a.pred, args));
+    }
+    if let Some(h) = &clause.head {
+        let args = h.args.iter().map(|t| fl.term_var(t)).collect();
+        fl.out.head = Some((h.pred, args));
+    }
+    Ok(fl.out)
+}
+
+struct Flattener<'a> {
+    sys: &'a ChcSystem,
+    out: FlatClause,
+    cache: HashMap<Term, FlatVar>,
+}
+
+impl Flattener<'_> {
+    /// The flat variable denoting `t`, introducing definitions as needed.
+    /// Equal subterms share one variable, keeping the grounding small.
+    fn term_var(&mut self, t: &Term) -> FlatVar {
+        match t {
+            Term::Var(v) => v.index(),
+            Term::App(f, args) => {
+                if let Some(&v) = self.cache.get(t) {
+                    return v;
+                }
+                let arg_vars: Vec<FlatVar> = args.iter().map(|a| self.term_var(a)).collect();
+                let sort = self.sys.sig.func(*f).range;
+                let fresh = self.out.var_sorts.len();
+                self.out.var_sorts.push(sort);
+                self.out.defs.push((*f, arg_vars, fresh));
+                self.cache.insert(t.clone(), fresh);
+                fresh
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_chc::SystemBuilder;
+
+    fn even_system() -> ChcSystem {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        let even = b.pred("even", vec![nat]);
+        b.clause(|c| {
+            c.head(even, vec![c.app0(z)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(even, vec![c.v(x)]);
+            c.head(even, vec![Term::iterate(s, c.v(x), 2)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(even, vec![c.v(x)]);
+            c.body(even, vec![c.app(s, vec![c.v(x)])]);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn flattens_deep_head() {
+        let sys = even_system();
+        let fl = flatten_clause(&sys, &sys.clauses[1]).unwrap();
+        // x plus two fresh vars for S(x) and S(S(x)).
+        assert_eq!(fl.var_count(), 3);
+        assert_eq!(fl.defs.len(), 2);
+        assert_eq!(fl.defs[0].1, vec![0]); // S(x) = v1
+        assert_eq!(fl.defs[0].2, 1);
+        assert_eq!(fl.defs[1].1, vec![1]); // S(v1) = v2
+        assert_eq!(fl.head, Some((sys.rels.by_name("even").unwrap(), vec![2])));
+    }
+
+    #[test]
+    fn shares_repeated_subterms() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let _z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        let p = b.pred("p", vec![nat, nat]);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            // p(S(x), S(x)): both arguments share the definition.
+            c.head(p, vec![c.app(s, vec![c.v(x)]), c.app(s, vec![c.v(x)])]);
+        });
+        let sys = b.finish();
+        let fl = flatten_clause(&sys, &sys.clauses[0]).unwrap();
+        assert_eq!(fl.defs.len(), 1);
+        assert_eq!(fl.head.as_ref().unwrap().1, vec![1, 1]);
+    }
+
+    #[test]
+    fn equalities_become_var_pairs() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let _p = b.pred("p", vec![]);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.eq(c.v(x), c.app0(z));
+        });
+        let sys = b.finish();
+        let fl = flatten_clause(&sys, &sys.clauses[0]).unwrap();
+        assert_eq!(fl.defs, vec![(z, vec![], 1)]);
+        assert_eq!(fl.eqs, vec![(0, 1)]);
+        assert!(fl.head.is_none());
+    }
+
+    #[test]
+    fn rejects_diseq_and_testers() {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let _p = b.pred("p", vec![]);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.neq(c.v(x), c.app0(z));
+        });
+        let sys = b.finish();
+        assert_eq!(
+            flatten_system(&sys),
+            Err(FlattenError::Disequality)
+        );
+
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let _p = b.pred("p", vec![]);
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.tester(z, c.v(x), true);
+        });
+        let sys = b.finish();
+        assert_eq!(flatten_system(&sys), Err(FlattenError::Tester));
+    }
+
+    #[test]
+    fn whole_even_system_flattens() {
+        let sys = even_system();
+        let fls = flatten_system(&sys).unwrap();
+        assert_eq!(fls.len(), 3);
+        // Query clause: x, S(x).
+        assert_eq!(fls[2].var_count(), 2);
+        assert_eq!(fls[2].body.len(), 2);
+        assert!(fls[2].head.is_none());
+    }
+}

@@ -1,0 +1,426 @@
+//! Finite first-order structures (the models found by the finder).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use ringen_chc::{ChcSystem, PredId};
+use ringen_terms::{FuncId, GroundTerm, Signature, Term, VarId};
+
+/// A finite many-sorted structure `ℳ`: per-sort domains `{0, …, n-1}`,
+/// total function tables and predicate tables.
+///
+/// This is the object a finite-model finder returns (§4.1's example model
+/// for `Even` is `|ℳ| = {0,1}, Z ↦ 0, S(x) ↦ 1-x, even = {0}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiniteModel {
+    /// Domain cardinality per sort (indexed by `SortId::index`).
+    sizes: Vec<usize>,
+    /// Function tables, indexed by `FuncId::index`; each table maps the
+    /// row-major argument tuple index to the result element.
+    funcs: Vec<Vec<usize>>,
+    /// Predicate tables, indexed by `PredId::index`.
+    preds: Vec<BTreeSet<Vec<usize>>>,
+}
+
+impl FiniteModel {
+    /// Creates a model skeleton with all-zero tables.
+    pub(crate) fn new(
+        sig: &Signature,
+        pred_arities: &[Vec<usize>],
+        sizes: Vec<usize>,
+    ) -> FiniteModel {
+        let funcs = sig
+            .funcs()
+            .map(|f| {
+                let d = sig.func(f);
+                let rows: usize = d.domain.iter().map(|s| sizes[s.index()]).product();
+                vec![0; rows]
+            })
+            .collect();
+        let preds = pred_arities.iter().map(|_| BTreeSet::new()).collect();
+        FiniteModel {
+            sizes,
+            funcs,
+            preds,
+        }
+    }
+
+    /// Domain cardinality of a sort.
+    pub fn size_of(&self, sort: ringen_terms::SortId) -> usize {
+        self.sizes[sort.index()]
+    }
+
+    /// The paper's Figure 6 metric: the sum of all sort cardinalities.
+    pub fn size(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+
+    /// Per-sort cardinalities.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Row-major index of an argument tuple, given the argument sorts.
+    fn row(&self, sig: &Signature, f: FuncId, args: &[usize]) -> usize {
+        let d = sig.func(f);
+        debug_assert_eq!(d.arity(), args.len());
+        let mut idx = 0;
+        for (a, s) in args.iter().zip(&d.domain) {
+            debug_assert!(*a < self.sizes[s.index()]);
+            idx = idx * self.sizes[s.index()] + a;
+        }
+        idx
+    }
+
+    /// Sets `f(args…) = value` in the table.
+    pub(crate) fn set_func(&mut self, sig: &Signature, f: FuncId, args: &[usize], value: usize) {
+        let row = self.row(sig, f, args);
+        self.funcs[f.index()][row] = value;
+    }
+
+    /// Adds a tuple to a predicate table.
+    pub(crate) fn add_pred(&mut self, p: PredId, tuple: Vec<usize>) {
+        self.preds[p.index()].insert(tuple);
+    }
+
+    /// `ℳ(f)(args…)`.
+    pub fn apply(&self, sig: &Signature, f: FuncId, args: &[usize]) -> usize {
+        self.funcs[f.index()][self.row(sig, f, args)]
+    }
+
+    /// Whether the tuple belongs to `ℳ(P)`.
+    pub fn holds(&self, p: PredId, tuple: &[usize]) -> bool {
+        self.preds[p.index()].contains(tuple)
+    }
+
+    /// The tuples of `ℳ(P)`.
+    pub fn pred_table(&self, p: PredId) -> impl Iterator<Item = &[usize]> + '_ {
+        self.preds[p.index()].iter().map(Vec::as_slice)
+    }
+
+    /// `ℳ⟦t⟧` for a ground term.
+    pub fn eval_ground(&self, sig: &Signature, t: &GroundTerm) -> usize {
+        let args: Vec<usize> = t.args().iter().map(|a| self.eval_ground(sig, a)).collect();
+        self.apply(sig, t.func(), &args)
+    }
+
+    /// Evaluates a term under an environment mapping variables to domain
+    /// elements; `None` if a variable is unbound.
+    pub fn eval(&self, sig: &Signature, t: &Term, env: &dyn Fn(VarId) -> Option<usize>) -> Option<usize> {
+        match t {
+            Term::Var(v) => env(*v),
+            Term::App(f, args) => {
+                let vals: Option<Vec<usize>> =
+                    args.iter().map(|a| self.eval(sig, a, env)).collect();
+                Some(self.apply(sig, *f, &vals?))
+            }
+        }
+    }
+
+    /// Checks that the model satisfies every clause of the (equality-only)
+    /// system, by exhaustive evaluation. Intended for tests and for the
+    /// soundness audit of the pipeline; cost is `Π|domains|^vars` per
+    /// clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a clause contains disequalities or testers (the model
+    /// finder's input never does).
+    pub fn satisfies(&self, sys: &ChcSystem) -> bool {
+        sys.clauses.iter().all(|c| self.satisfies_clause(sys, c))
+    }
+
+    fn satisfies_clause(&self, sys: &ChcSystem, clause: &ringen_chc::Clause) -> bool {
+        let var_sorts: Vec<usize> = clause
+            .vars
+            .vars()
+            .map(|v| self.sizes[clause.vars.sort(v).expect("sorted var").index()])
+            .collect();
+        // Universally iterate the non-existential positions; existential
+        // positions (the ∀∃ query shape of §5) are swept on the inside.
+        let universal: Vec<usize> = clause
+            .vars
+            .vars()
+            .enumerate()
+            .filter(|(_, v)| !clause.exist_vars.contains(v))
+            .map(|(i, _)| i)
+            .collect();
+        let existential: Vec<usize> = clause
+            .vars
+            .vars()
+            .enumerate()
+            .filter(|(_, v)| clause.exist_vars.contains(v))
+            .map(|(i, _)| i)
+            .collect();
+        let mut assign = vec![0usize; var_sorts.len()];
+        let mut holds_here = |assign: &mut Vec<usize>| -> bool {
+            if existential.is_empty() {
+                return self.clause_holds_under(sys, clause, assign);
+            }
+            // ∃: some inner assignment must satisfy the matrix.
+            sweep(&existential, &var_sorts, assign, &mut |a| {
+                self.clause_holds_under(sys, clause, a)
+            })
+        };
+        let universal_sorts = var_sorts.clone();
+        sweep_all(&universal, &universal_sorts, &mut assign, &mut holds_here)
+    }
+
+    /// Display adaptor helpers: exhaustive sweeps over selected
+    /// positions.
+    fn clause_holds_under(
+        &self,
+        sys: &ChcSystem,
+        clause: &ringen_chc::Clause,
+        assign: &[usize],
+    ) -> bool {
+        let env = |v: VarId| assign.get(v.index()).copied();
+        for k in &clause.constraints {
+            match k {
+                ringen_chc::Constraint::Eq(a, b) => {
+                    let va = self.eval(&sys.sig, a, &env).expect("closed clause");
+                    let vb = self.eval(&sys.sig, b, &env).expect("closed clause");
+                    if va != vb {
+                        return true; // body false, clause holds
+                    }
+                }
+                _ => panic!("model checking requires an equality-only system"),
+            }
+        }
+        for a in &clause.body {
+            let vals: Vec<usize> = a
+                .args
+                .iter()
+                .map(|t| self.eval(&sys.sig, t, &env).expect("closed clause"))
+                .collect();
+            if !self.holds(a.pred, &vals) {
+                return true;
+            }
+        }
+        match &clause.head {
+            None => false, // body true, head ⊥
+            Some(h) => {
+                let vals: Vec<usize> = h
+                    .args
+                    .iter()
+                    .map(|t| self.eval(&sys.sig, t, &env).expect("closed clause"))
+                    .collect();
+                self.holds(h.pred, &vals)
+            }
+        }
+    }
+
+    /// Display adaptor listing domains and tables with names.
+    pub fn display<'a>(&'a self, sys: &'a ChcSystem) -> DisplayModel<'a> {
+        DisplayModel { model: self, sys }
+    }
+
+}
+
+/// Displays a [`FiniteModel`]. Returned by [`FiniteModel::display`].
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayModel<'a> {
+    model: &'a FiniteModel,
+    sys: &'a ChcSystem,
+}
+
+impl fmt::Display for DisplayModel<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sig = &self.sys.sig;
+        for s in sig.sorts() {
+            writeln!(
+                f,
+                "|M|_{} = {{0..{}}}",
+                sig.sort(s).name,
+                self.model.sizes[s.index()].saturating_sub(1)
+            )?;
+        }
+        for func in sig.funcs() {
+            let d = sig.func(func);
+            if d.arity() == 0 {
+                writeln!(f, "{} = {}", d.name, self.model.funcs[func.index()][0])?;
+            } else {
+                let table = &self.model.funcs[func.index()];
+                let reprs: Vec<String> = table.iter().map(usize::to_string).collect();
+                writeln!(f, "{}(..) = [{}]", d.name, reprs.join(", "))?;
+            }
+        }
+        for p in self.sys.rels.iter() {
+            let rows: Vec<String> = self
+                .model
+                .pred_table(p)
+                .map(|t| {
+                    let cells: Vec<String> = t.iter().map(usize::to_string).collect();
+                    format!("({})", cells.join(","))
+                })
+                .collect();
+            writeln!(
+                f,
+                "{} = {{{}}}",
+                self.sys.rels.decl(p).name,
+                rows.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+
+/// Iterates all values of `positions` (bounded by `dims`); returns `true`
+/// iff `f` holds for *every* assignment.
+fn sweep_all(
+    positions: &[usize],
+    dims: &[usize],
+    assign: &mut Vec<usize>,
+    f: &mut impl FnMut(&mut Vec<usize>) -> bool,
+) -> bool {
+    fn go(
+        positions: &[usize],
+        dims: &[usize],
+        assign: &mut Vec<usize>,
+        k: usize,
+        f: &mut impl FnMut(&mut Vec<usize>) -> bool,
+    ) -> bool {
+        if k == positions.len() {
+            return f(assign);
+        }
+        let p = positions[k];
+        for v in 0..dims[p] {
+            assign[p] = v;
+            if !go(positions, dims, assign, k + 1, f) {
+                return false;
+            }
+        }
+        true
+    }
+    go(positions, dims, assign, 0, f)
+}
+
+/// Iterates all values of `positions`; returns `true` iff `f` holds for
+/// *some* assignment.
+fn sweep(
+    positions: &[usize],
+    dims: &[usize],
+    assign: &mut Vec<usize>,
+    f: &mut impl FnMut(&mut Vec<usize>) -> bool,
+) -> bool {
+    fn go(
+        positions: &[usize],
+        dims: &[usize],
+        assign: &mut Vec<usize>,
+        k: usize,
+        f: &mut impl FnMut(&mut Vec<usize>) -> bool,
+    ) -> bool {
+        if k == positions.len() {
+            return f(assign);
+        }
+        let p = positions[k];
+        for v in 0..dims[p] {
+            assign[p] = v;
+            if go(positions, dims, assign, k + 1, f) {
+                return true;
+            }
+        }
+        false
+    }
+    go(positions, dims, assign, 0, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_chc::SystemBuilder;
+    use ringen_terms::Term;
+
+    /// The paper's §4.1 model for Even: |M| = {0,1}, Z↦0, S(x)↦1-x,
+    /// even = {0}.
+    fn even_model() -> (ChcSystem, FiniteModel) {
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        let even = b.pred("even", vec![nat]);
+        b.clause(|c| {
+            c.head(even, vec![c.app0(z)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(even, vec![c.v(x)]);
+            c.head(even, vec![Term::iterate(s, c.v(x), 2)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(even, vec![c.v(x)]);
+            c.body(even, vec![c.app(s, vec![c.v(x)])]);
+        });
+        let sys = b.finish();
+        let mut m = FiniteModel::new(&sys.sig, &[vec![0]], vec![2]);
+        m.set_func(&sys.sig, z, &[], 0);
+        m.set_func(&sys.sig, s, &[0], 1);
+        m.set_func(&sys.sig, s, &[1], 0);
+        m.add_pred(even, vec![0]);
+        (sys, m)
+    }
+
+    #[test]
+    fn evaluates_ground_terms() {
+        let (sys, m) = even_model();
+        let z = sys.sig.func_by_name("Z").unwrap();
+        let s = sys.sig.func_by_name("S").unwrap();
+        for n in 0..6 {
+            let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+            assert_eq!(m.eval_ground(&sys.sig, &t), n % 2);
+        }
+    }
+
+    #[test]
+    fn paper_model_satisfies_even_system() {
+        let (sys, m) = even_model();
+        assert!(m.satisfies(&sys));
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn broken_model_fails_the_query() {
+        let (sys, mut m) = even_model();
+        let even = sys.rels.by_name("even").unwrap();
+        m.add_pred(even, vec![1]); // now even = {0,1}: query violated
+        assert!(!m.satisfies(&sys));
+    }
+
+    #[test]
+    fn broken_model_fails_a_definite_clause() {
+        let (sys, m) = even_model();
+        let even = sys.rels.by_name("even").unwrap();
+        let mut m2 = FiniteModel::new(&sys.sig, &[vec![0]], vec![2]);
+        // Same functions but empty `even`: base clause fails.
+        let z = sys.sig.func_by_name("Z").unwrap();
+        let s = sys.sig.func_by_name("S").unwrap();
+        m2.set_func(&sys.sig, z, &[], 0);
+        m2.set_func(&sys.sig, s, &[0], 1);
+        m2.set_func(&sys.sig, s, &[1], 0);
+        assert!(!m2.satisfies(&sys));
+        let _ = (even, m);
+    }
+
+    #[test]
+    fn eval_with_env_and_unbound() {
+        let (sys, m) = even_model();
+        let nat = sys.sig.sort_by_name("Nat").unwrap();
+        let s = sys.sig.func_by_name("S").unwrap();
+        let mut ctx = ringen_terms::VarContext::new();
+        let x = ctx.fresh("x", nat);
+        let t = Term::app(s, vec![Term::var(x)]);
+        assert_eq!(m.eval(&sys.sig, &t, &|_| Some(1)), Some(0));
+        assert_eq!(m.eval(&sys.sig, &t, &|_| None), None);
+    }
+
+    #[test]
+    fn display_mentions_tables() {
+        let (sys, m) = even_model();
+        let text = m.display(&sys).to_string();
+        assert!(text.contains("|M|_Nat = {0..1}"));
+        assert!(text.contains("Z = 0"));
+        assert!(text.contains("even = {(0)}"));
+    }
+}

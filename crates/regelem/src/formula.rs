@@ -1,0 +1,473 @@
+//! Literals, cubes and DNF formulas of the `RegElem` representation
+//! class.
+//!
+//! `RegElem` is the paper's §7 future-work language: first-order
+//! formulas over ADTs extended with regular-language membership
+//! predicates `t ∈ L(A)` (Comon and Delor [15]). It subsumes both
+//! `Elem` (formulas without membership atoms) and `Reg` (a regular
+//! relation is a disjunction over final tuples of per-component
+//! membership atoms — see `RegElemInvariant::from_regular`), and it is
+//! closed under the Boolean operations by construction.
+
+use std::fmt;
+
+use ringen_elem::Literal as ElemLiteral;
+use ringen_terms::{FuncId, GroundTerm, Signature, Substitution, Term, VarId};
+
+use crate::lang::Lang;
+
+/// An atomic `RegElem` constraint or its negation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegLiteral {
+    /// `t = u`.
+    Eq(Term, Term),
+    /// `t ≠ u`.
+    Neq(Term, Term),
+    /// `c?(t)` when `positive`, else `¬c?(t)`.
+    Tester {
+        /// Constructor tested for.
+        ctor: FuncId,
+        /// Tested term.
+        term: Term,
+        /// Polarity.
+        positive: bool,
+    },
+    /// `t ∈ L` when `positive`, else `t ∉ L`.
+    Member {
+        /// Constrained term.
+        term: Term,
+        /// The regular language.
+        lang: Lang,
+        /// Polarity.
+        positive: bool,
+    },
+}
+
+impl RegLiteral {
+    /// A positive membership atom `t ∈ L`.
+    pub fn member(term: Term, lang: Lang) -> RegLiteral {
+        RegLiteral::Member { term, lang, positive: true }
+    }
+
+    /// The negated literal.
+    pub fn negated(&self) -> RegLiteral {
+        match self {
+            RegLiteral::Eq(a, b) => RegLiteral::Neq(a.clone(), b.clone()),
+            RegLiteral::Neq(a, b) => RegLiteral::Eq(a.clone(), b.clone()),
+            RegLiteral::Tester { ctor, term, positive } => RegLiteral::Tester {
+                ctor: *ctor,
+                term: term.clone(),
+                positive: !positive,
+            },
+            RegLiteral::Member { term, lang, positive } => RegLiteral::Member {
+                term: term.clone(),
+                lang: lang.clone(),
+                positive: !positive,
+            },
+        }
+    }
+
+    /// Applies a substitution to the literal's terms (one simultaneous
+    /// pass, as in parameter instantiation).
+    pub fn apply(&self, sub: &Substitution) -> RegLiteral {
+        match self {
+            RegLiteral::Eq(a, b) => RegLiteral::Eq(sub.apply(a), sub.apply(b)),
+            RegLiteral::Neq(a, b) => RegLiteral::Neq(sub.apply(a), sub.apply(b)),
+            RegLiteral::Tester { ctor, term, positive } => RegLiteral::Tester {
+                ctor: *ctor,
+                term: sub.apply(term),
+                positive: *positive,
+            },
+            RegLiteral::Member { term, lang, positive } => RegLiteral::Member {
+                term: sub.apply(term),
+                lang: lang.clone(),
+                positive: *positive,
+            },
+        }
+    }
+
+    /// Evaluates the literal under a ground assignment of its
+    /// variables. Returns `None` if some variable is unassigned.
+    pub fn eval(&self, env: &dyn Fn(VarId) -> Option<GroundTerm>) -> Option<bool> {
+        match self {
+            RegLiteral::Eq(a, b) => Some(ground(a, env)? == ground(b, env)?),
+            RegLiteral::Neq(a, b) => Some(ground(a, env)? != ground(b, env)?),
+            RegLiteral::Tester { ctor, term, positive } => {
+                Some((ground(term, env)?.func() == *ctor) == *positive)
+            }
+            RegLiteral::Member { term, lang, positive } => {
+                Some(lang.accepts(&ground(term, env)?) == *positive)
+            }
+        }
+    }
+
+    /// The elementary part of the literal, if it has no membership
+    /// atom.
+    pub fn as_elem(&self) -> Option<ElemLiteral> {
+        match self {
+            RegLiteral::Eq(a, b) => Some(ElemLiteral::Eq(a.clone(), b.clone())),
+            RegLiteral::Neq(a, b) => Some(ElemLiteral::Neq(a.clone(), b.clone())),
+            RegLiteral::Tester { ctor, term, positive } => Some(ElemLiteral::Tester {
+                ctor: *ctor,
+                term: term.clone(),
+                positive: *positive,
+            }),
+            RegLiteral::Member { .. } => None,
+        }
+    }
+
+    /// Renders the literal with symbol names.
+    pub fn display<'a>(&'a self, sig: &'a Signature) -> DisplayRegLiteral<'a> {
+        DisplayRegLiteral { lit: self, sig }
+    }
+}
+
+impl From<ElemLiteral> for RegLiteral {
+    fn from(l: ElemLiteral) -> RegLiteral {
+        match l {
+            ElemLiteral::Eq(a, b) => RegLiteral::Eq(a, b),
+            ElemLiteral::Neq(a, b) => RegLiteral::Neq(a, b),
+            ElemLiteral::Tester { ctor, term, positive } => {
+                RegLiteral::Tester { ctor, term, positive }
+            }
+        }
+    }
+}
+
+fn ground(t: &Term, env: &dyn Fn(VarId) -> Option<GroundTerm>) -> Option<GroundTerm> {
+    match t {
+        Term::Var(v) => env(*v),
+        Term::App(f, args) => {
+            let args: Option<Vec<GroundTerm>> = args.iter().map(|a| ground(a, env)).collect();
+            Some(GroundTerm::app(*f, args?))
+        }
+    }
+}
+
+/// Rendering helper for [`RegLiteral`].
+#[derive(Debug)]
+pub struct DisplayRegLiteral<'a> {
+    lit: &'a RegLiteral,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for DisplayRegLiteral<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lit {
+            RegLiteral::Member { term, lang, positive } => {
+                write_term(f, self.sig, term)?;
+                let op = if *positive { "∈" } else { "∉" };
+                write!(f, " {op} {lang}")
+            }
+            other => {
+                let elem = other
+                    .as_elem()
+                    .expect("non-membership literals have an elementary view");
+                write!(f, "{}", elem.display(self.sig))
+            }
+        }
+    }
+}
+
+/// Prints a term with parameter variables as `#i`, matching the
+/// elementary literal renderer.
+fn write_term(f: &mut fmt::Formatter<'_>, sig: &Signature, t: &Term) -> fmt::Result {
+    match t {
+        Term::Var(v) => write!(f, "#{}", v.index()),
+        Term::App(g, args) => {
+            write!(f, "{}", sig.func(*g).name)?;
+            if !args.is_empty() {
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_term(f, sig, a)?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A conjunction of `RegElem` literals.
+pub type RegCube = Vec<RegLiteral>;
+
+/// A `RegElem` formula in DNF over predicate parameters
+/// `#0 … #(arity-1)`. The empty DNF is `⊥`; a DNF containing the empty
+/// cube is `⊤`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegElemFormula {
+    /// The disjuncts.
+    pub cubes: Vec<RegCube>,
+}
+
+impl RegElemFormula {
+    /// `⊤` — accepts every tuple.
+    pub fn top() -> Self {
+        RegElemFormula { cubes: vec![Vec::new()] }
+    }
+
+    /// `⊥` — accepts no tuple.
+    pub fn bottom() -> Self {
+        RegElemFormula { cubes: Vec::new() }
+    }
+
+    /// A single-literal formula.
+    pub fn lit(l: RegLiteral) -> Self {
+        RegElemFormula { cubes: vec![vec![l]] }
+    }
+
+    /// A one-cube formula.
+    pub fn cube(c: RegCube) -> Self {
+        RegElemFormula { cubes: vec![c] }
+    }
+
+    /// Embeds an `Elem` DNF formula (no membership atoms).
+    pub fn from_elem(f: &ringen_elem::ElemFormula) -> Self {
+        RegElemFormula {
+            cubes: f
+                .cubes
+                .iter()
+                .map(|c| c.iter().cloned().map(RegLiteral::from).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of literal occurrences (complexity measure for candidate
+    /// ordering).
+    pub fn weight(&self) -> usize {
+        self.cubes.iter().map(|c| c.len().max(1)).sum()
+    }
+
+    /// Instantiates parameters with argument terms: parameter `#i` is
+    /// replaced by `args[i]`.
+    pub fn instantiate(&self, args: &[Term]) -> RegElemFormula {
+        let mut sub = Substitution::new();
+        for (i, t) in args.iter().enumerate() {
+            sub.bind(VarId(i as u32), t.clone());
+        }
+        RegElemFormula {
+            cubes: self
+                .cubes
+                .iter()
+                .map(|c| c.iter().map(|l| l.apply(&sub)).collect())
+                .collect(),
+        }
+    }
+
+    /// Negation, distributed back into DNF. Returns `None` if the
+    /// distribution would exceed `cap` cubes.
+    pub fn negated(&self, cap: usize) -> Option<RegElemFormula> {
+        let mut cubes: Vec<RegCube> = vec![Vec::new()];
+        for cube in &self.cubes {
+            let mut next: Vec<RegCube> = Vec::new();
+            for existing in &cubes {
+                for l in cube {
+                    let mut c = existing.clone();
+                    c.push(l.negated());
+                    next.push(c);
+                    if next.len() > cap {
+                        return None;
+                    }
+                }
+            }
+            cubes = next;
+        }
+        Some(RegElemFormula { cubes })
+    }
+
+    /// Disjunction: DNFs concatenate, witnessing closure under union
+    /// (together with [`RegElemFormula::and`] and
+    /// [`RegElemFormula::negated`], the Boolean closure §7 cites
+    /// from [15]).
+    pub fn or(&self, other: &RegElemFormula) -> RegElemFormula {
+        let mut cubes = self.cubes.clone();
+        cubes.extend(other.cubes.iter().cloned());
+        RegElemFormula { cubes }
+    }
+
+    /// Conjunction, distributed into DNF. Returns `None` above `cap`.
+    pub fn and(&self, other: &RegElemFormula, cap: usize) -> Option<RegElemFormula> {
+        let mut cubes = Vec::new();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                let mut c = a.clone();
+                c.extend(b.iter().cloned());
+                cubes.push(c);
+                if cubes.len() > cap {
+                    return None;
+                }
+            }
+        }
+        Some(RegElemFormula { cubes })
+    }
+
+    /// Evaluates the formula under a ground assignment.
+    pub fn eval(&self, env: &dyn Fn(VarId) -> Option<GroundTerm>) -> Option<bool> {
+        let mut any = false;
+        for cube in &self.cubes {
+            let mut all = true;
+            for l in cube {
+                if !(l.eval(env)?) {
+                    all = false;
+                    break;
+                }
+            }
+            if all {
+                any = true;
+            }
+        }
+        Some(any)
+    }
+
+    /// Evaluates on a ground argument tuple (parameter `#i` ↦
+    /// `args[i]`).
+    pub fn eval_tuple(&self, args: &[GroundTerm]) -> bool {
+        let env = |v: VarId| args.get(v.index()).cloned();
+        self.eval(&env).unwrap_or(false)
+    }
+
+    /// Renders the formula with symbol names.
+    pub fn display<'a>(&'a self, sig: &'a Signature) -> DisplayRegElemFormula<'a> {
+        DisplayRegElemFormula { formula: self, sig }
+    }
+}
+
+/// Rendering helper for [`RegElemFormula`].
+#[derive(Debug)]
+pub struct DisplayRegElemFormula<'a> {
+    formula: &'a RegElemFormula,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for DisplayRegElemFormula<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.formula.cubes.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, cube) in self.formula.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            if cube.is_empty() {
+                write!(f, "⊤")?;
+            } else {
+                for (j, l) in cube.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{}", l.display(self.sig))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_automata::Dfta;
+    use ringen_terms::signature_helpers::nat_signature;
+
+    fn even_lang() -> (Signature, Lang, FuncId, FuncId) {
+        let (sig, nat, z, s) = nat_signature();
+        let mut d = Dfta::new();
+        let s0 = d.add_state(nat);
+        let s1 = d.add_state(nat);
+        d.add_transition(z, vec![], s0);
+        d.add_transition(s, vec![s0], s1);
+        d.add_transition(s, vec![s1], s0);
+        let lang = Lang::new("Even", &sig, d, [s0]);
+        (sig, lang, z, s)
+    }
+
+    #[test]
+    fn membership_literal_evaluates_by_acceptance() {
+        let (_sig, even, z, s) = even_lang();
+        let l = RegLiteral::member(Term::var(VarId(0)), even);
+        for n in 0..8 {
+            let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+            let env = move |_| Some(t.clone());
+            assert_eq!(l.eval(&env), Some(n % 2 == 0), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn negation_flips_membership() {
+        let (_sig, even, z, _s) = even_lang();
+        let l = RegLiteral::member(Term::var(VarId(0)), even);
+        let n = l.negated();
+        let zero = GroundTerm::leaf(z);
+        let env = move |_| Some(zero.clone());
+        assert_eq!(l.eval(&env), Some(true));
+        assert_eq!(n.eval(&env), Some(false));
+        assert_eq!(n.negated(), l);
+    }
+
+    #[test]
+    fn diagonal_and_parity_combine() {
+        // #0 = #1 ∧ #0 ∈ Even: the EvenDiag invariant shape.
+        let (_sig, even, z, s) = even_lang();
+        let f = RegElemFormula::cube(vec![
+            RegLiteral::Eq(Term::var(VarId(0)), Term::var(VarId(1))),
+            RegLiteral::member(Term::var(VarId(0)), even),
+        ]);
+        let num = |n| GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+        assert!(f.eval_tuple(&[num(4), num(4)]));
+        assert!(!f.eval_tuple(&[num(3), num(3)]), "odd diagonal rejected");
+        assert!(!f.eval_tuple(&[num(4), num(2)]), "off-diagonal rejected");
+    }
+
+    #[test]
+    fn instantiation_substitutes_parameters() {
+        let (_sig, even, _z, s) = even_lang();
+        let f = RegElemFormula::lit(RegLiteral::member(Term::var(VarId(0)), even));
+        let g = f.instantiate(&[Term::app(s, vec![Term::var(VarId(0))])]);
+        match &g.cubes[0][0] {
+            RegLiteral::Member { term, .. } => {
+                assert_eq!(term, &Term::app(s, vec![Term::var(VarId(0))]));
+            }
+            other => panic!("unexpected literal {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dnf_negation_distributes_membership() {
+        let (_sig, even, ..) = even_lang();
+        let f = RegElemFormula::cube(vec![
+            RegLiteral::Eq(Term::var(VarId(0)), Term::var(VarId(1))),
+            RegLiteral::member(Term::var(VarId(0)), even),
+        ]);
+        let n = f.negated(8).unwrap();
+        assert_eq!(n.cubes.len(), 2);
+        assert!(n.cubes.iter().any(|c| matches!(
+            c[0],
+            RegLiteral::Member { positive: false, .. }
+        )));
+    }
+
+    #[test]
+    fn elem_embedding_preserves_semantics() {
+        let (_sig, _even, z, s) = even_lang();
+        let e = ringen_elem::ElemFormula::lit(ringen_elem::Literal::Eq(
+            Term::var(VarId(0)),
+            Term::leaf(z),
+        ));
+        let r = RegElemFormula::from_elem(&e);
+        let zero = GroundTerm::leaf(z);
+        let one = GroundTerm::app(s, vec![zero.clone()]);
+        assert_eq!(r.eval_tuple(&[zero.clone()]), e.eval_tuple(&[zero]));
+        assert_eq!(r.eval_tuple(&[one.clone()]), e.eval_tuple(&[one]));
+    }
+
+    #[test]
+    fn display_renders_membership() {
+        let (sig, even, ..) = even_lang();
+        let f = RegElemFormula::lit(RegLiteral::member(Term::var(VarId(0)), even));
+        let printed = f.display(&sig).to_string();
+        assert!(printed.contains("∈ Even"), "got {printed}");
+    }
+}

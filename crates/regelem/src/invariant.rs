@@ -1,0 +1,296 @@
+//! `RegElem` invariants and their certified inductiveness check.
+//!
+//! A [`RegElemInvariant`] assigns one [`RegElemFormula`] to every
+//! uninterpreted predicate. [`check_inductive`] reduces the validity of
+//! each clause to the unsatisfiability of violation cubes — exactly the
+//! reduction `ringen-elem` uses — and discharges the cubes with the
+//! sound-for-UNSAT procedure of [`crate::dp`]. An `Inductive` verdict
+//! is therefore a *certificate*; `NotProved` only means the check could
+//! not certify the clause (the candidate may or may not be inductive).
+//!
+//! The two embeddings realize the subsumption claims of §7's future
+//! work: [`RegElemInvariant::from_elem`] (no membership atoms) and
+//! [`RegElemInvariant::from_regular`] (a regular relation is the
+//! disjunction over its final tuples of per-component membership
+//! atoms).
+
+use std::collections::BTreeMap;
+
+use ringen_chc::{ChcSystem, Clause, Constraint, PredId};
+use ringen_core::invariant::RegularInvariant;
+use ringen_elem::ElemInvariant;
+use ringen_terms::{GroundTerm, Term, VarId};
+
+use crate::dp::{check_cube, DpBudget, RegCubeSat};
+use crate::formula::{RegCube, RegElemFormula, RegLiteral};
+use crate::lang::Lang;
+
+/// A `RegElem` interpretation of every uninterpreted predicate.
+#[derive(Debug, Clone)]
+pub struct RegElemInvariant {
+    /// Formula per predicate, over parameters `#0 … #(arity-1)`.
+    pub formulas: BTreeMap<PredId, RegElemFormula>,
+}
+
+impl RegElemInvariant {
+    /// Evaluates the invariant on a ground tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` has no formula.
+    pub fn holds(&self, p: PredId, args: &[GroundTerm]) -> bool {
+        self.formulas[&p].eval_tuple(args)
+    }
+
+    /// Embeds an elementary invariant: `Elem ⊆ RegElem`.
+    pub fn from_elem(inv: &ElemInvariant) -> RegElemInvariant {
+        RegElemInvariant {
+            formulas: inv
+                .formulas
+                .iter()
+                .map(|(&p, f)| (p, RegElemFormula::from_elem(f)))
+                .collect(),
+        }
+    }
+
+    /// Embeds a regular invariant: `Reg ⊆ RegElem`. For each predicate
+    /// with final tuples `S_F`, the formula is
+    /// `⋁_{⟨s₁…sₙ⟩ ∈ S_F} ⋀ᵢ #i ∈ L(A, sᵢ)` over the invariant's shared
+    /// transition table.
+    pub fn from_regular(sys: &ChcSystem, inv: &RegularInvariant) -> RegElemInvariant {
+        let mut formulas = BTreeMap::new();
+        for p in inv.preds() {
+            let decl = sys.rels.decl(p);
+            let mut cubes: Vec<RegCube> = Vec::new();
+            for tuple in inv.finals(p) {
+                let cube: RegCube = tuple
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &state)| {
+                        let lang = Lang::new(
+                            format!("{}[{state}]", decl.name),
+                            &sys.sig,
+                            inv.dfta().clone(),
+                            [state],
+                        );
+                        RegLiteral::member(Term::var(VarId(i as u32)), lang)
+                    })
+                    .collect();
+                cubes.push(cube);
+            }
+            formulas.insert(p, RegElemFormula { cubes });
+        }
+        RegElemInvariant { formulas }
+    }
+}
+
+/// Outcome of [`check_inductive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegElemCheck {
+    /// Every clause is certified valid under the candidate.
+    Inductive,
+    /// The named clause could not be certified (distribution overflow,
+    /// an unsupported ∀∃ clause, or a violation cube the procedure
+    /// cannot refute — including genuinely satisfiable ones).
+    NotProved {
+        /// Index into `sys.clauses`.
+        clause: usize,
+    },
+}
+
+impl RegElemCheck {
+    /// `true` for [`RegElemCheck::Inductive`].
+    pub fn is_inductive(&self) -> bool {
+        matches!(self, RegElemCheck::Inductive)
+    }
+}
+
+/// Checks that a candidate invariant makes every clause valid, by
+/// refuting each violation cube `φ ∧ ⋀ inv(t̄ᵢ) ∧ ¬inv(t̄_H)`.
+///
+/// Sound: an [`RegElemCheck::Inductive`] answer certifies safety
+/// (together with the candidate satisfying the queries, which is part
+/// of the same reduction). Incomplete: `NotProved` rejects candidates
+/// the underlying procedure cannot certify.
+///
+/// # Panics
+///
+/// Panics if `sys` is not well-sorted or the candidate misses a
+/// predicate.
+pub fn check_inductive(
+    sys: &ChcSystem,
+    inv: &RegElemInvariant,
+    dnf_cap: usize,
+    budget: &DpBudget,
+) -> RegElemCheck {
+    if let Err(e) = sys.well_sorted() {
+        panic!("input system is not well-sorted: {e}");
+    }
+    for (i, clause) in sys.clauses.iter().enumerate() {
+        if !clause_certified(sys, clause, inv, dnf_cap, budget) {
+            return RegElemCheck::NotProved { clause: i };
+        }
+    }
+    RegElemCheck::Inductive
+}
+
+fn clause_certified(
+    sys: &ChcSystem,
+    clause: &Clause,
+    inv: &RegElemInvariant,
+    dnf_cap: usize,
+    budget: &DpBudget,
+) -> bool {
+    // The reduction is universal-only; a ∀∃ clause cannot be certified.
+    if !clause.exist_vars.is_empty() {
+        return false;
+    }
+    let mut constraint_cube: RegCube = Vec::new();
+    for k in &clause.constraints {
+        constraint_cube.push(match k {
+            Constraint::Eq(a, b) => RegLiteral::Eq(a.clone(), b.clone()),
+            Constraint::Neq(a, b) => RegLiteral::Neq(a.clone(), b.clone()),
+            Constraint::Tester { ctor, term, positive } => {
+                RegLiteral::Tester { ctor: *ctor, term: term.clone(), positive: *positive }
+            }
+        });
+    }
+    let mut violation = RegElemFormula::cube(constraint_cube);
+    for atom in &clause.body {
+        let inst = inv.formulas[&atom.pred].instantiate(&atom.args);
+        match violation.and(&inst, dnf_cap) {
+            Some(v) => violation = v,
+            None => return false,
+        }
+    }
+    if let Some(head) = &clause.head {
+        let inst = inv.formulas[&head.pred].instantiate(&head.args);
+        let Some(neg) = inst.negated(dnf_cap) else {
+            return false;
+        };
+        match violation.and(&neg, dnf_cap) {
+            Some(v) => violation = v,
+            None => return false,
+        }
+    }
+    violation
+        .cubes
+        .iter()
+        .all(|cube| check_cube(&sys.sig, &clause.vars, cube, budget) == RegCubeSat::Unsat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_automata::Dfta;
+    use ringen_terms::Signature;
+
+    /// The EvenDiag program, built inline to keep this crate free of a
+    /// dev-dependency cycle (integration tests use `ringen-benchgen`).
+    fn even_diag() -> ChcSystem {
+        ringen_chc::parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun evenpair (Nat Nat) Bool)
+            (assert (evenpair Z Z))
+            (assert (forall ((x Nat) (y Nat))
+              (=> (evenpair x y) (evenpair (S (S x)) (S (S y))))))
+            (assert (forall ((x Nat) (y Nat))
+              (=> (and (evenpair x y) (distinct x y)) false)))
+            (assert (forall ((x Nat) (y Nat))
+              (=> (and (evenpair x y) (evenpair (S x) (S y))) false)))
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn even_lang(sig: &Signature) -> Lang {
+        let nat = sig.sort_by_name("Nat").unwrap();
+        let z = sig.func_by_name("Z").unwrap();
+        let s = sig.func_by_name("S").unwrap();
+        let mut d = Dfta::new();
+        let s0 = d.add_state(nat);
+        let s1 = d.add_state(nat);
+        d.add_transition(z, vec![], s0);
+        d.add_transition(s, vec![s0], s1);
+        d.add_transition(s, vec![s1], s0);
+        Lang::new("Even", sig, d, [s0])
+    }
+
+    fn diagonal_even(sys: &ChcSystem) -> RegElemInvariant {
+        let p = sys.rels.by_name("evenpair").unwrap();
+        let even = even_lang(&sys.sig);
+        let formula = RegElemFormula::cube(vec![
+            RegLiteral::Eq(Term::var(VarId(0)), Term::var(VarId(1))),
+            RegLiteral::member(Term::var(VarId(0)), even),
+        ]);
+        RegElemInvariant { formulas: [(p, formula)].into() }
+    }
+
+    #[test]
+    fn evendiag_combined_invariant_is_certified() {
+        let sys = even_diag();
+        let inv = diagonal_even(&sys);
+        assert_eq!(
+            check_inductive(&sys, &inv, 64, &DpBudget::default()),
+            RegElemCheck::Inductive
+        );
+    }
+
+    #[test]
+    fn evendiag_pure_diagonal_fails_the_parity_query() {
+        let sys = even_diag();
+        let p = sys.rels.by_name("evenpair").unwrap();
+        let formula = RegElemFormula::lit(RegLiteral::Eq(
+            Term::var(VarId(0)),
+            Term::var(VarId(1)),
+        ));
+        let inv = RegElemInvariant { formulas: [(p, formula)].into() };
+        // The diagonal alone satisfies clauses 1–3 but not the parity
+        // query (clause index 3).
+        assert_eq!(
+            check_inductive(&sys, &inv, 64, &DpBudget::default()),
+            RegElemCheck::NotProved { clause: 3 }
+        );
+    }
+
+    #[test]
+    fn evendiag_pure_membership_fails_the_diagonal_query() {
+        let sys = even_diag();
+        let p = sys.rels.by_name("evenpair").unwrap();
+        let even = even_lang(&sys.sig);
+        let formula = RegElemFormula::cube(vec![
+            RegLiteral::member(Term::var(VarId(0)), even.clone()),
+            RegLiteral::member(Term::var(VarId(1)), even),
+        ]);
+        let inv = RegElemInvariant { formulas: [(p, formula)].into() };
+        // Both-even is regular and satisfies every clause except the
+        // disequality query (clause index 2).
+        assert_eq!(
+            check_inductive(&sys, &inv, 64, &DpBudget::default()),
+            RegElemCheck::NotProved { clause: 2 }
+        );
+    }
+
+    #[test]
+    fn certified_invariant_agrees_with_ground_semantics() {
+        let sys = even_diag();
+        let inv = diagonal_even(&sys);
+        let p = sys.rels.by_name("evenpair").unwrap();
+        let z = sys.sig.func_by_name("Z").unwrap();
+        let s = sys.sig.func_by_name("S").unwrap();
+        let n = |k| GroundTerm::iterate(s, GroundTerm::leaf(z), k);
+        assert!(inv.holds(p, &[n(6), n(6)]));
+        assert!(!inv.holds(p, &[n(5), n(5)]));
+        assert!(!inv.holds(p, &[n(4), n(6)]));
+    }
+
+    #[test]
+    fn holds_on_missing_predicate_panics() {
+        let sys = even_diag();
+        let inv = RegElemInvariant { formulas: BTreeMap::new() };
+        let p = sys.rels.by_name("evenpair").unwrap();
+        let result = std::panic::catch_unwind(|| inv.holds(p, &[]));
+        assert!(result.is_err());
+    }
+}

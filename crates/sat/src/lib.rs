@@ -1,0 +1,31 @@
+//! A CDCL SAT solver.
+//!
+//! Substrate for `ringen-fmf`, the MACE-style finite-model finder of §4 of
+//! *"Beyond the Elementary Representations of Program Invariants over
+//! Algebraic Data Types"* (PLDI 2021). Implements conflict-driven clause
+//! learning with two-watched literals, first-UIP conflict analysis, VSIDS
+//! branching, phase saving and Luby restarts. Solving is budgeted by
+//! conflict count so that callers get deterministic "timeouts".
+//!
+//! # Example
+//!
+//! ```
+//! use ringen_sat::{Lit, SatResult, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::neg(a)]);
+//! match s.solve() {
+//!     SatResult::Sat => {
+//!         assert_eq!(s.value(a), Some(false));
+//!         assert_eq!(s.value(b), Some(true));
+//!     }
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! ```
+
+mod solver;
+
+pub use solver::{Lit, SatResult, Solver, Var};

@@ -1,0 +1,338 @@
+//! Formulas of the `SizeElem` representation class (§6.3).
+//!
+//! `SizeElem` extends the elementary language with an `Int` sort,
+//! Presburger operations and `sizeσ : σ → Int` symbols counting
+//! constructors. A [`SizeElemFormula`] is a DNF whose literals are
+//! either elementary [`Literal`]s or size constraints over term sizes:
+//! linear (in)equalities and congruences — the fragment Eldarica infers
+//! invariants in.
+
+use ringen_elem::Literal;
+use ringen_terms::{GroundTerm, Signature, Substitution, Term, VarId};
+
+use crate::lia::LinOp;
+
+/// A size polynomial: `Σ coeff · size(term)`.
+pub type SizeTerms = Vec<(i64, Term)>;
+
+/// One literal of the `SizeElem` language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeLit {
+    /// An elementary literal.
+    Elem(Literal),
+    /// `Σ coeff·size(term) (op) k`.
+    Lin {
+        /// The size polynomial.
+        terms: SizeTerms,
+        /// Comparison.
+        op: LinOp,
+        /// Right-hand side.
+        k: i64,
+    },
+    /// `Σ coeff·size(term) ≡ r (mod m)`.
+    Mod {
+        /// The size polynomial.
+        terms: SizeTerms,
+        /// Modulus (≥ 2).
+        m: u64,
+        /// Residue.
+        r: u64,
+    },
+}
+
+impl SizeLit {
+    /// `size(a) = size(b)` — the coupling Restriction 2 of the normal
+    /// form derives from every elementary equality.
+    pub fn size_eq(a: Term, b: Term) -> SizeLit {
+        SizeLit::Lin { terms: vec![(1, a), (-1, b)], op: LinOp::Eq, k: 0 }
+    }
+
+    /// Applies a substitution (simultaneous, like
+    /// [`Literal::apply`]).
+    pub fn apply(&self, sub: &Substitution) -> SizeLit {
+        match self {
+            SizeLit::Elem(l) => SizeLit::Elem(l.apply(sub)),
+            SizeLit::Lin { terms, op, k } => SizeLit::Lin {
+                terms: terms.iter().map(|(c, t)| (*c, sub.apply(t))).collect(),
+                op: *op,
+                k: *k,
+            },
+            SizeLit::Mod { terms, m, r } => SizeLit::Mod {
+                terms: terms.iter().map(|(c, t)| (*c, sub.apply(t))).collect(),
+                m: *m,
+                r: *r,
+            },
+        }
+    }
+
+    /// The literal's negation as a *disjunction* of literals (equality
+    /// and congruence negations split).
+    pub fn negations(&self) -> Vec<SizeLit> {
+        match self {
+            SizeLit::Elem(l) => vec![SizeLit::Elem(l.negated())],
+            SizeLit::Lin { terms, op: LinOp::Le, k } => {
+                // ¬(Σ ≤ k) ⇔ -Σ ≤ -k-1.
+                vec![SizeLit::Lin {
+                    terms: terms.iter().map(|(c, t)| (-c, t.clone())).collect(),
+                    op: LinOp::Le,
+                    k: -k - 1,
+                }]
+            }
+            SizeLit::Lin { terms, op: LinOp::Eq, k } => vec![
+                SizeLit::Lin { terms: terms.clone(), op: LinOp::Le, k: k - 1 },
+                SizeLit::Lin {
+                    terms: terms.iter().map(|(c, t)| (-c, t.clone())).collect(),
+                    op: LinOp::Le,
+                    k: -k - 1,
+                },
+            ],
+            SizeLit::Mod { terms, m, r } => (0..*m)
+                .filter(|r2| r2 != r)
+                .map(|r2| SizeLit::Mod { terms: terms.clone(), m: *m, r: r2 })
+                .collect(),
+        }
+    }
+
+    /// Evaluates the literal on ground terms bound to its variables.
+    pub fn eval(&self, env: &dyn Fn(VarId) -> Option<GroundTerm>) -> Option<bool> {
+        match self {
+            SizeLit::Elem(l) => l.eval(env),
+            SizeLit::Lin { terms, op, k } => {
+                let v = eval_poly(terms, env)?;
+                Some(match op {
+                    LinOp::Le => v <= *k as i128,
+                    LinOp::Eq => v == *k as i128,
+                })
+            }
+            SizeLit::Mod { terms, m, r } => {
+                let v = eval_poly(terms, env)?;
+                let m = *m as i128;
+                Some((v - *r as i128).rem_euclid(m) == 0)
+            }
+        }
+    }
+}
+
+fn eval_poly(terms: &SizeTerms, env: &dyn Fn(VarId) -> Option<GroundTerm>) -> Option<i128> {
+    let mut sum = 0i128;
+    for (c, t) in terms {
+        sum += *c as i128 * ground_size(t, env)? as i128;
+    }
+    Some(sum)
+}
+
+fn ground_size(t: &Term, env: &dyn Fn(VarId) -> Option<GroundTerm>) -> Option<u64> {
+    match t {
+        Term::Var(v) => Some(env(*v)?.size()),
+        Term::App(_, args) => {
+            let mut s = 1u64;
+            for a in args {
+                s += ground_size(a, env)?;
+            }
+            Some(s)
+        }
+    }
+}
+
+/// A `SizeElem` formula in DNF over predicate parameters `#0 …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeElemFormula {
+    /// The disjuncts.
+    pub cubes: Vec<Vec<SizeLit>>,
+}
+
+impl SizeElemFormula {
+    /// `⊤`.
+    pub fn top() -> Self {
+        SizeElemFormula { cubes: vec![Vec::new()] }
+    }
+
+    /// A single-literal formula.
+    pub fn lit(l: SizeLit) -> Self {
+        SizeElemFormula { cubes: vec![vec![l]] }
+    }
+
+    /// A one-cube formula.
+    pub fn cube(c: Vec<SizeLit>) -> Self {
+        SizeElemFormula { cubes: vec![c] }
+    }
+
+    /// Complexity measure for the template ordering.
+    pub fn weight(&self) -> usize {
+        self.cubes.iter().map(|c| c.len().max(1)).sum()
+    }
+
+    /// Instantiates parameters `#i ↦ args[i]`.
+    pub fn instantiate(&self, args: &[Term]) -> SizeElemFormula {
+        let mut sub = Substitution::new();
+        for (i, t) in args.iter().enumerate() {
+            sub.bind(VarId(i as u32), t.clone());
+        }
+        SizeElemFormula {
+            cubes: self
+                .cubes
+                .iter()
+                .map(|c| c.iter().map(|l| l.apply(&sub)).collect())
+                .collect(),
+        }
+    }
+
+    /// Conjunction in DNF, capped.
+    pub fn and(&self, other: &SizeElemFormula, cap: usize) -> Option<SizeElemFormula> {
+        let mut cubes = Vec::new();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                let mut c = a.clone();
+                c.extend(b.iter().cloned());
+                cubes.push(c);
+                if cubes.len() > cap {
+                    return None;
+                }
+            }
+        }
+        Some(SizeElemFormula { cubes })
+    }
+
+    /// Negation in DNF, capped.
+    pub fn negated(&self, cap: usize) -> Option<SizeElemFormula> {
+        let mut cubes: Vec<Vec<SizeLit>> = vec![Vec::new()];
+        for cube in &self.cubes {
+            let mut next = Vec::new();
+            for existing in &cubes {
+                for l in cube {
+                    for n in l.negations() {
+                        let mut c = existing.clone();
+                        c.push(n);
+                        next.push(c);
+                        if next.len() > cap {
+                            return None;
+                        }
+                    }
+                }
+            }
+            cubes = next;
+        }
+        Some(SizeElemFormula { cubes })
+    }
+
+    /// Evaluates on a ground tuple.
+    pub fn eval_tuple(&self, args: &[GroundTerm]) -> bool {
+        let env = |v: VarId| args.get(v.index()).cloned();
+        self.cubes.iter().any(|cube| {
+            cube.iter()
+                .all(|l| l.eval(&env).unwrap_or(false))
+        })
+    }
+
+    /// Renders the formula (sizes as `|t|`).
+    pub fn describe(&self, sig: &Signature) -> String {
+        if self.cubes.is_empty() {
+            return "⊥".to_string();
+        }
+        self.cubes
+            .iter()
+            .map(|cube| {
+                if cube.is_empty() {
+                    "⊤".to_string()
+                } else {
+                    cube.iter()
+                        .map(|l| describe_lit(l, sig))
+                        .collect::<Vec<_>>()
+                        .join(" ∧ ")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ∨ ")
+    }
+}
+
+fn describe_lit(l: &SizeLit, sig: &Signature) -> String {
+    match l {
+        SizeLit::Elem(e) => format!("{}", e.display(sig)),
+        SizeLit::Lin { terms, op, k } => {
+            let lhs = describe_poly(terms, sig);
+            let op = match op {
+                LinOp::Le => "≤",
+                LinOp::Eq => "=",
+            };
+            format!("{lhs} {op} {k}")
+        }
+        SizeLit::Mod { terms, m, r } => {
+            format!("{} ≡ {r} (mod {m})", describe_poly(terms, sig))
+        }
+    }
+}
+
+fn describe_poly(terms: &SizeTerms, sig: &Signature) -> String {
+    let _ = sig;
+    terms
+        .iter()
+        .map(|(c, t)| {
+            let t = match t {
+                Term::Var(v) => format!("|#{}|", v.index()),
+                Term::App(..) => "|·|".to_string(),
+            };
+            if *c == 1 {
+                t
+            } else if *c == -1 {
+                format!("-{t}")
+            } else {
+                format!("{c}·{t}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" + ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_terms::signature_helpers::nat_signature;
+
+    #[test]
+    fn parity_literal_evaluates() {
+        let (_, _, z, s) = nat_signature();
+        // size(#0) ≡ 1 (mod 2): true of S^{2n}(Z) (size 2n+1).
+        let l = SizeLit::Mod { terms: vec![(1, Term::var(VarId(0)))], m: 2, r: 1 };
+        let f = SizeElemFormula::lit(l);
+        let four = GroundTerm::iterate(s, GroundTerm::leaf(z), 4);
+        let three = GroundTerm::iterate(s, GroundTerm::leaf(z), 3);
+        assert!(f.eval_tuple(&[four]));
+        assert!(!f.eval_tuple(&[three]));
+    }
+
+    #[test]
+    fn compound_term_sizes() {
+        let (_, _, z, s) = nat_signature();
+        // size(S(S(#0))) = 5 ⇔ size(#0) = 3 ⇔ #0 = S(S(Z)).
+        let t = Term::app(s, vec![Term::app(s, vec![Term::var(VarId(0))])]);
+        let l = SizeLit::Lin { terms: vec![(1, t)], op: LinOp::Eq, k: 5 };
+        let two = GroundTerm::iterate(s, GroundTerm::leaf(z), 2);
+        let one = GroundTerm::iterate(s, GroundTerm::leaf(z), 1);
+        assert_eq!(SizeElemFormula::lit(l.clone()).eval_tuple(&[two]), true);
+        assert_eq!(SizeElemFormula::lit(l).eval_tuple(&[one]), false);
+    }
+
+    #[test]
+    fn negations_split_equalities() {
+        let l = SizeLit::Lin { terms: vec![(1, Term::var(VarId(0)))], op: LinOp::Eq, k: 3 };
+        assert_eq!(l.negations().len(), 2);
+        let m = SizeLit::Mod { terms: vec![(1, Term::var(VarId(0)))], m: 3, r: 1 };
+        assert_eq!(m.negations().len(), 2);
+    }
+
+    #[test]
+    fn size_ordering_invariant_for_ltgt() {
+        let (_, _, z, s) = nat_signature();
+        // lt ≡ size(#0) - size(#1) ≤ -1.
+        let lt = SizeElemFormula::lit(SizeLit::Lin {
+            terms: vec![(1, Term::var(VarId(0))), (-1, Term::var(VarId(1)))],
+            op: LinOp::Le,
+            k: -1,
+        });
+        let n = |k| GroundTerm::iterate(s, GroundTerm::leaf(z), k);
+        assert!(lt.eval_tuple(&[n(2), n(5)]));
+        assert!(!lt.eval_tuple(&[n(5), n(2)]));
+        assert!(!lt.eval_tuple(&[n(3), n(3)]));
+    }
+}

@@ -1,0 +1,390 @@
+//! A decision procedure for the size fragment: linear inequalities plus
+//! congruences over term-size variables.
+//!
+//! Checks satisfiability of conjunctions of
+//!
+//! * `Σ aᵢ·xᵢ ≤ c` and `Σ aᵢ·xᵢ = c` (small integer coefficients),
+//! * `Σ aᵢ·xᵢ ≡ r (mod m)`,
+//!
+//! by enumerating residue vectors for the variables that occur in
+//! congruences (modulo the lcm of all moduli), rewriting `x = M·x̂ + ρ`,
+//! and running Fourier–Motzkin elimination over the rationals on the
+//! rest.
+//!
+//! **Soundness contract**: [`LiaSat::Unsat`] is always correct (rational
+//! infeasibility implies integer infeasibility, and the residue sweep is
+//! exhaustive). [`LiaSat::Sat`] may over-approximate in non-totally-
+//! unimodular corner cases; the invariant search treats that as "cannot
+//! prove the clause", which only costs completeness — precisely the
+//! right failure mode for a verifier.
+
+use std::collections::BTreeSet;
+
+/// Comparison operator of a linear atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinOp {
+    /// `Σ aᵢxᵢ ≤ c`.
+    Le,
+    /// `Σ aᵢxᵢ = c`.
+    Eq,
+}
+
+/// A linear constraint `Σ coeffs · vars (op) constant`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinAtom {
+    /// `(coefficient, variable index)` pairs; indices may repeat.
+    pub terms: Vec<(i64, usize)>,
+    /// The comparison.
+    pub op: LinOp,
+    /// The right-hand side.
+    pub k: i64,
+}
+
+impl LinAtom {
+    /// `Σ terms ≤ k`.
+    pub fn le(terms: Vec<(i64, usize)>, k: i64) -> Self {
+        LinAtom { terms, op: LinOp::Le, k }
+    }
+
+    /// `Σ terms = k`.
+    pub fn eq(terms: Vec<(i64, usize)>, k: i64) -> Self {
+        LinAtom { terms, op: LinOp::Eq, k }
+    }
+}
+
+/// A congruence `Σ coeffs · vars ≡ r (mod m)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModAtom {
+    /// `(coefficient, variable index)` pairs.
+    pub terms: Vec<(i64, usize)>,
+    /// Modulus (≥ 2).
+    pub m: u64,
+    /// Residue in `[0, m)`.
+    pub r: u64,
+}
+
+/// A conjunction of size constraints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LiaProblem {
+    /// Linear atoms.
+    pub lin: Vec<LinAtom>,
+    /// Congruence atoms.
+    pub mods: Vec<ModAtom>,
+    /// Number of variables (indices `0..n_vars`).
+    pub n_vars: usize,
+}
+
+/// The verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiaSat {
+    /// A rational model exists for some residue branch (integer model in
+    /// the totally-unimodular cases the solver generates).
+    Sat,
+    /// No model over the integers.
+    Unsat,
+    /// The residue sweep exceeded its budget; treated as `Sat` by
+    /// callers (never claim unsatisfiability without proof).
+    Unknown,
+}
+
+/// Budgets.
+#[derive(Debug, Clone)]
+pub struct LiaConfig {
+    /// Cap on residue branches.
+    pub max_branches: u64,
+    /// Cap on Fourier–Motzkin intermediate atoms.
+    pub max_fm_atoms: usize,
+}
+
+impl Default for LiaConfig {
+    fn default() -> Self {
+        LiaConfig { max_branches: 4_096, max_fm_atoms: 2_000 }
+    }
+}
+
+/// Decides a problem. See the module docs for the soundness contract.
+pub fn check_lia(problem: &LiaProblem, cfg: &LiaConfig) -> LiaSat {
+    // Normalize equalities into pairs of ≤.
+    let mut lin: Vec<(Vec<(i64, usize)>, i64)> = Vec::new();
+    for a in &problem.lin {
+        let canon = canon_terms(&a.terms);
+        match a.op {
+            LinOp::Le => lin.push((canon.clone(), a.k)),
+            LinOp::Eq => {
+                lin.push((canon.clone(), a.k));
+                lin.push((negate(&canon), -a.k));
+            }
+        }
+    }
+
+    // Variables constrained by congruences.
+    let mod_vars: BTreeSet<usize> = problem
+        .mods
+        .iter()
+        .flat_map(|m| m.terms.iter().map(|&(_, v)| v))
+        .collect();
+    if problem.mods.is_empty() {
+        return fm_check(&lin, problem.n_vars, cfg);
+    }
+    let m_lcm = problem.mods.iter().map(|m| m.m).fold(1u64, lcm);
+    let n_mod = mod_vars.len() as u32;
+    let branches = m_lcm.checked_pow(n_mod).unwrap_or(u64::MAX);
+    if branches > cfg.max_branches {
+        return LiaSat::Unknown;
+    }
+    let mod_vars: Vec<usize> = mod_vars.into_iter().collect();
+
+    // Sweep residue vectors ρ ∈ [0, M)^{mod_vars}.
+    let mut rho = vec![0u64; mod_vars.len()];
+    loop {
+        if residues_ok(problem, &mod_vars, &rho, m_lcm) {
+            // Rewrite x = M·x̂ + ρ_x for modular variables.
+            let rewritten: Vec<(Vec<(i64, usize)>, i64)> = lin
+                .iter()
+                .map(|(terms, k)| rewrite(terms, *k, &mod_vars, &rho, m_lcm))
+                .collect();
+            if fm_check(&rewritten, problem.n_vars, cfg) != LiaSat::Unsat {
+                return LiaSat::Sat;
+            }
+        }
+        // Next vector.
+        let mut i = 0;
+        loop {
+            if i == rho.len() {
+                return LiaSat::Unsat;
+            }
+            rho[i] += 1;
+            if rho[i] < m_lcm {
+                break;
+            }
+            rho[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn canon_terms(terms: &[(i64, usize)]) -> Vec<(i64, usize)> {
+    let mut by_var: std::collections::BTreeMap<usize, i64> = std::collections::BTreeMap::new();
+    for &(a, v) in terms {
+        *by_var.entry(v).or_insert(0) += a;
+    }
+    by_var
+        .into_iter()
+        .filter(|&(_, a)| a != 0)
+        .map(|(v, a)| (a, v))
+        .collect()
+}
+
+fn negate(terms: &[(i64, usize)]) -> Vec<(i64, usize)> {
+    terms.iter().map(|&(a, v)| (-a, v)).collect()
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 { a } else { gcd(b, a % b) }
+}
+
+/// Checks every congruence under the residue assignment (all moduli
+/// divide `m_lcm`, so congruences are decided by the residues alone).
+fn residues_ok(problem: &LiaProblem, mod_vars: &[usize], rho: &[u64], m_lcm: u64) -> bool {
+    let _ = m_lcm;
+    problem.mods.iter().all(|m| {
+        let mut sum: i128 = 0;
+        for &(a, v) in &m.terms {
+            let i = mod_vars.iter().position(|&w| w == v).expect("modular var");
+            sum += a as i128 * rho[i] as i128;
+        }
+        let md = m.m as i128;
+        ((sum - m.r as i128) % md + md) % md == 0
+    })
+}
+
+/// Substitutes `x = M·x̂ + ρ_x` for modular variables and tightens the
+/// constant by integer division where possible.
+fn rewrite(
+    terms: &[(i64, usize)],
+    k: i64,
+    mod_vars: &[usize],
+    rho: &[u64],
+    m_lcm: u64,
+) -> (Vec<(i64, usize)>, i64) {
+    let mut out = Vec::with_capacity(terms.len());
+    let mut k = k as i128;
+    let mut all_scaled = true;
+    for &(a, v) in terms {
+        if let Some(i) = mod_vars.iter().position(|&w| w == v) {
+            k -= a as i128 * rho[i] as i128;
+            out.push((a * m_lcm as i64, v));
+        } else {
+            all_scaled = false;
+            out.push((a, v));
+        }
+    }
+    // If every coefficient is a multiple of M, divide through and floor.
+    if all_scaled && !out.is_empty() {
+        let m = m_lcm as i128;
+        let divided: Vec<(i64, usize)> =
+            out.iter().map(|&(a, v)| ((a as i128 / m) as i64, v)).collect();
+        let kd = k.div_euclid(m);
+        return (divided, kd as i64);
+    }
+    (out, k.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+}
+
+/// Fourier–Motzkin elimination over the rationals. `Unsat` is sound.
+fn fm_check(atoms: &[(Vec<(i64, usize)>, i64)], n_vars: usize, cfg: &LiaConfig) -> LiaSat {
+    // Represent each atom as dense rational rows (i128 to dodge
+    // overflow; coefficients stay small in practice).
+    let mut rows: Vec<(Vec<i128>, i128)> = atoms
+        .iter()
+        .map(|(terms, k)| {
+            let mut coeffs = vec![0i128; n_vars];
+            for &(a, v) in terms {
+                coeffs[v] += a as i128;
+            }
+            (coeffs, *k as i128)
+        })
+        .collect();
+
+    for v in 0..n_vars {
+        let mut pos: Vec<(Vec<i128>, i128)> = Vec::new();
+        let mut neg: Vec<(Vec<i128>, i128)> = Vec::new();
+        let mut rest: Vec<(Vec<i128>, i128)> = Vec::new();
+        for row in rows.drain(..) {
+            match row.0[v].cmp(&0) {
+                std::cmp::Ordering::Greater => pos.push(row),
+                std::cmp::Ordering::Less => neg.push(row),
+                std::cmp::Ordering::Equal => rest.push(row),
+            }
+        }
+        for p in &pos {
+            for n in &neg {
+                // p: a·v + P ≤ kp (a > 0); n: -b·v + N ≤ kn (b > 0)
+                // ⇒ b·P + a·N ≤ b·kp + a·kn.
+                let a = p.0[v];
+                let b = -n.0[v];
+                let mut coeffs = vec![0i128; n_vars];
+                for i in 0..n_vars {
+                    coeffs[i] = b * p.0[i] + a * n.0[i];
+                }
+                coeffs[v] = 0;
+                let k = b * p.1 + a * n.1;
+                rest.push((coeffs, k));
+                if rest.len() > cfg.max_fm_atoms {
+                    // Give up: treat as satisfiable (sound direction).
+                    return LiaSat::Unknown;
+                }
+            }
+        }
+        rows = rest;
+    }
+    // All variables eliminated: rows are `0 ≤ k`.
+    if rows.iter().any(|(_, k)| *k < 0) {
+        LiaSat::Unsat
+    } else {
+        LiaSat::Sat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LiaConfig {
+        LiaConfig::default()
+    }
+
+    #[test]
+    fn simple_bounds() {
+        // x ≤ 3 ∧ -x ≤ -5 (x ≥ 5) is unsat.
+        let p = LiaProblem {
+            lin: vec![LinAtom::le(vec![(1, 0)], 3), LinAtom::le(vec![(-1, 0)], -5)],
+            mods: vec![],
+            n_vars: 1,
+        };
+        assert_eq!(check_lia(&p, &cfg()), LiaSat::Unsat);
+    }
+
+    #[test]
+    fn difference_chain() {
+        // x - y ≤ -1 ∧ y - z ≤ -1 ∧ z - x ≤ -1 is unsat (cycle sums to -3).
+        let p = LiaProblem {
+            lin: vec![
+                LinAtom::le(vec![(1, 0), (-1, 1)], -1),
+                LinAtom::le(vec![(1, 1), (-1, 2)], -1),
+                LinAtom::le(vec![(1, 2), (-1, 0)], -1),
+            ],
+            mods: vec![],
+            n_vars: 3,
+        };
+        assert_eq!(check_lia(&p, &cfg()), LiaSat::Unsat);
+    }
+
+    #[test]
+    fn parity_conflict() {
+        // x ≡ 0 (mod 2) ∧ x ≡ 1 (mod 2) is unsat.
+        let p = LiaProblem {
+            lin: vec![],
+            mods: vec![
+                ModAtom { terms: vec![(1, 0)], m: 2, r: 0 },
+                ModAtom { terms: vec![(1, 0)], m: 2, r: 1 },
+            ],
+            n_vars: 1,
+        };
+        assert_eq!(check_lia(&p, &cfg()), LiaSat::Unsat);
+    }
+
+    #[test]
+    fn parity_with_offset() {
+        // y = x + 2 ∧ x ≡ 1 (mod 2) ∧ y ≡ 0 (mod 2) is unsat — the Even
+        // inductiveness core.
+        let p = LiaProblem {
+            lin: vec![LinAtom::eq(vec![(1, 1), (-1, 0)], 2)],
+            mods: vec![
+                ModAtom { terms: vec![(1, 0)], m: 2, r: 1 },
+                ModAtom { terms: vec![(1, 1)], m: 2, r: 0 },
+            ],
+            n_vars: 2,
+        };
+        assert_eq!(check_lia(&p, &cfg()), LiaSat::Unsat);
+    }
+
+    #[test]
+    fn parity_consistent_is_sat() {
+        // y = x + 2 ∧ x ≡ 1 ∧ y ≡ 1 (mod 2) is sat.
+        let p = LiaProblem {
+            lin: vec![LinAtom::eq(vec![(1, 1), (-1, 0)], 2)],
+            mods: vec![
+                ModAtom { terms: vec![(1, 0)], m: 2, r: 1 },
+                ModAtom { terms: vec![(1, 1)], m: 2, r: 1 },
+            ],
+            n_vars: 2,
+        };
+        assert_eq!(check_lia(&p, &cfg()), LiaSat::Sat);
+    }
+
+    #[test]
+    fn mixed_mod_and_bounds() {
+        // x ≡ 0 (mod 3) ∧ 1 ≤ x ≤ 2 is unsat.
+        let p = LiaProblem {
+            lin: vec![LinAtom::le(vec![(-1, 0)], -1), LinAtom::le(vec![(1, 0)], 2)],
+            mods: vec![ModAtom { terms: vec![(1, 0)], m: 3, r: 0 }],
+            n_vars: 1,
+        };
+        assert_eq!(check_lia(&p, &cfg()), LiaSat::Unsat);
+    }
+
+    #[test]
+    fn multivar_congruence() {
+        // x + y ≡ 1 (mod 2) ∧ x = y is unsat (2x is even).
+        let p = LiaProblem {
+            lin: vec![LinAtom::eq(vec![(1, 0), (-1, 1)], 0)],
+            mods: vec![ModAtom { terms: vec![(1, 0), (1, 1)], m: 2, r: 1 }],
+            n_vars: 2,
+        };
+        assert_eq!(check_lia(&p, &cfg()), LiaSat::Unsat);
+    }
+}

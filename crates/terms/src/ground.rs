@@ -1,0 +1,177 @@
+//! Ground terms: elements of the Herbrand universe.
+
+use crate::ids::FuncId;
+use crate::signature::Signature;
+
+/// A ground term — a variable-free constructor application.
+///
+/// Ground terms are the elements of the Herbrand universe `|ℋ|_σ` (§3).
+/// The paper's `Height` and `size` functions (§6.2, §6.3) are provided as
+/// methods.
+///
+/// # Example
+///
+/// ```
+/// use ringen_terms::{signature_helpers::nat_signature, GroundTerm};
+///
+/// let (_sig, _nat, z, s) = nat_signature();
+/// let three = GroundTerm::iterate(s, GroundTerm::leaf(z), 3);
+/// assert_eq!(three.height(), 4);
+/// assert_eq!(three.size(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroundTerm {
+    func: FuncId,
+    args: Vec<GroundTerm>,
+}
+
+impl GroundTerm {
+    /// Applies a function symbol to ground arguments.
+    pub fn app(func: FuncId, args: Vec<GroundTerm>) -> Self {
+        GroundTerm { func, args }
+    }
+
+    /// A nullary application (base constructor).
+    pub fn leaf(func: FuncId) -> Self {
+        GroundTerm {
+            func,
+            args: Vec::new(),
+        }
+    }
+
+    /// Applies the unary symbol `f` to `t`, `n` times (e.g. `Sⁿ(Z)`).
+    pub fn iterate(f: FuncId, t: GroundTerm, n: usize) -> Self {
+        let mut out = t;
+        for _ in 0..n {
+            out = GroundTerm::app(f, vec![out]);
+        }
+        out
+    }
+
+    /// The root function symbol.
+    pub fn func(&self) -> FuncId {
+        self.func
+    }
+
+    /// The immediate subterms.
+    pub fn args(&self) -> &[GroundTerm] {
+        &self.args
+    }
+
+    /// Height of the term (paper §6.2): `Height(c) = 1`,
+    /// `Height(c(t₁…tₙ)) = 1 + max Height(tᵢ)`.
+    pub fn height(&self) -> usize {
+        1 + self.args.iter().map(GroundTerm::height).max().unwrap_or(0)
+    }
+
+    /// Size of the term (§6.3): the number of constructor occurrences.
+    pub fn size(&self) -> u64 {
+        1 + self.args.iter().map(GroundTerm::size).sum::<u64>()
+    }
+
+    /// The sort of the term under a signature.
+    pub fn sort(&self, sig: &Signature) -> crate::ids::SortId {
+        sig.func(self.func).range
+    }
+
+    /// Iterates over all subterms (including `self`), pre-order.
+    pub fn subterms(&self) -> Subterms<'_> {
+        Subterms { stack: vec![self] }
+    }
+
+    /// Whether `other` occurs in `self` as a subterm (reflexive).
+    pub fn contains(&self, other: &GroundTerm) -> bool {
+        self.subterms().any(|t| t == other)
+    }
+
+    /// Checks that every application respects the signature's arities and
+    /// argument sorts.
+    pub fn well_sorted(&self, sig: &Signature) -> bool {
+        let d = sig.func(self.func);
+        d.arity() == self.args.len()
+            && self
+                .args
+                .iter()
+                .zip(&d.domain)
+                .all(|(a, s)| a.sort(sig) == *s && a.well_sorted(sig))
+    }
+}
+
+/// Pre-order iterator over subterms. Returned by [`GroundTerm::subterms`].
+#[derive(Debug)]
+pub struct Subterms<'a> {
+    stack: Vec<&'a GroundTerm>,
+}
+
+impl<'a> Iterator for Subterms<'a> {
+    type Item = &'a GroundTerm;
+
+    fn next(&mut self) -> Option<&'a GroundTerm> {
+        let t = self.stack.pop()?;
+        self.stack.extend(t.args.iter().rev());
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{nat_list_signature, nat_signature};
+
+    #[test]
+    fn height_and_size_of_nats() {
+        let (_sig, _nat, z, s) = nat_signature();
+        let zero = GroundTerm::leaf(z);
+        assert_eq!(zero.height(), 1);
+        assert_eq!(zero.size(), 1);
+        let five = GroundTerm::iterate(s, zero, 5);
+        assert_eq!(five.height(), 6);
+        assert_eq!(five.size(), 6);
+    }
+
+    #[test]
+    fn size_counts_all_constructors() {
+        // Paper §6.3: size(cons(Z, cons(S(Z), nil))) = 6.
+        let (_sig, _nat, _list, z, s, nil, cons) = nat_list_signature();
+        let t = GroundTerm::app(
+            cons,
+            vec![
+                GroundTerm::leaf(z),
+                GroundTerm::app(
+                    cons,
+                    vec![
+                        GroundTerm::app(s, vec![GroundTerm::leaf(z)]),
+                        GroundTerm::leaf(nil),
+                    ],
+                ),
+            ],
+        );
+        assert_eq!(t.size(), 6);
+    }
+
+    #[test]
+    fn subterms_preorder() {
+        let (_sig, _nat, _list, z, s, nil, cons) = nat_list_signature();
+        let one = GroundTerm::app(s, vec![GroundTerm::leaf(z)]);
+        let t = GroundTerm::app(cons, vec![one.clone(), GroundTerm::leaf(nil)]);
+        let subs: Vec<_> = t.subterms().collect();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0], &t);
+        assert_eq!(subs[1], &one);
+        assert!(t.contains(&one));
+        assert!(!one.contains(&t));
+    }
+
+    #[test]
+    fn well_sortedness() {
+        let (sig, _nat, _list, z, _s, _nil, cons) = nat_list_signature();
+        let ok = GroundTerm::leaf(z);
+        assert!(ok.well_sorted(&sig));
+        // cons(Z, Z) is ill-sorted: second argument must be a list.
+        let bad = GroundTerm::app(cons, vec![GroundTerm::leaf(z), GroundTerm::leaf(z)]);
+        assert!(!bad.well_sorted(&sig));
+        // wrong arity
+        let bad2 = GroundTerm::app(cons, vec![GroundTerm::leaf(z)]);
+        assert!(!bad2.well_sorted(&sig));
+    }
+}

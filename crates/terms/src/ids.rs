@@ -1,0 +1,91 @@
+//! Interned identifiers for sorts, function symbols and variables.
+
+use std::fmt;
+
+/// Identifier of a sort in a [`crate::Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SortId(pub(crate) u32);
+
+/// Identifier of a function symbol (constructor, selector or free symbol)
+/// in a [`crate::Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub(crate) u32);
+
+/// Identifier of a variable. Variables are scoped by a [`crate::VarContext`]
+/// (typically one per clause), not by the signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl SortId {
+    /// Raw index, usable for dense tables indexed by sort.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `SortId` from a raw index.
+    ///
+    /// Only meaningful for indices previously obtained from [`SortId::index`]
+    /// of the same signature.
+    pub fn from_index(i: usize) -> Self {
+        SortId(i as u32)
+    }
+}
+
+impl FuncId {
+    /// Raw index, usable for dense tables indexed by function symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `FuncId` from a raw index.
+    ///
+    /// Only meaningful for indices previously obtained from [`FuncId::index`]
+    /// of the same signature.
+    pub fn from_index(i: usize) -> Self {
+        FuncId(i as u32)
+    }
+}
+
+impl VarId {
+    /// Raw index of the variable within its context.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_indices() {
+        assert_eq!(SortId::from_index(3).index(), 3);
+        assert_eq!(FuncId::from_index(7).index(), 7);
+        assert_eq!(VarId(5).index(), 5);
+    }
+
+    #[test]
+    fn ids_display_is_nonempty() {
+        assert_eq!(SortId(1).to_string(), "s1");
+        assert_eq!(FuncId(2).to_string(), "f2");
+        assert_eq!(VarId(3).to_string(), "x3");
+    }
+}

@@ -1,0 +1,55 @@
+//! Many-sorted first-order terms over algebraic data types.
+//!
+//! This crate is the foundation of the `ringen` workspace, a reproduction of
+//! *"Beyond the Elementary Representations of Program Invariants over
+//! Algebraic Data Types"* (PLDI 2021). It provides:
+//!
+//! * [`Signature`] — many-sorted signatures whose function symbols are ADT
+//!   constructors, selectors, or free (uninterpreted) symbols;
+//! * [`Term`] — first-order terms with variables, plus matching,
+//!   unification ([`unify`]) and substitution ([`Substitution`]);
+//! * [`GroundTerm`] — elements of the Herbrand universe, with the height,
+//!   size, path and pumping operations of the paper (§6);
+//! * [`Path`] — positions `s = S1…Sn` with simultaneous replacement
+//!   `g[P ← t]` (the core of the pumping lemmas);
+//! * [`herbrand`] — enumeration and counting of ground terms (`Tᵏ_σ`,
+//!   `S_σ`, expanding-sort checks of Def. 5).
+//!
+//! # Example
+//!
+//! ```
+//! use ringen_terms::{Signature, GroundTerm};
+//!
+//! let mut sig = Signature::new();
+//! let nat = sig.add_sort("Nat");
+//! let z = sig.add_constructor("Z", vec![], nat);
+//! let s = sig.add_constructor("S", vec![nat], nat);
+//!
+//! let two = GroundTerm::app(s, vec![GroundTerm::app(s, vec![GroundTerm::leaf(z)])]);
+//! assert_eq!(two.height(), 3);
+//! assert_eq!(two.size(), 3);
+//! assert_eq!(sig.display_ground(&two).to_string(), "S(S(Z))");
+//! # let _ = nat;
+//! ```
+
+mod ground;
+pub mod herbrand;
+mod ids;
+pub mod path;
+pub mod signature;
+mod term;
+mod unify;
+
+pub use ground::{GroundTerm, Subterms};
+pub use herbrand::{SizeSet, SortCardinality};
+pub use ids::{FuncId, SortId, VarId};
+pub use path::{is_leaf_term, leaves, replace_all, replace_each, Path, Step};
+pub use signature::{AdtInfo, DisplayGround, FuncDecl, FuncKind, Signature, SortDecl};
+pub use term::{DisplayTerm, SortError, Substitution, Term, VarContext};
+pub use unify::{match_ground, match_ground_into, unify, unify_all, UnifyError};
+
+/// Convenience re-exports of the example signatures used throughout the
+/// paper (`Nat`, `Tree`, `Nat + NatList`).
+pub mod signature_helpers {
+    pub use crate::signature::{nat_list_signature, nat_signature, tree_signature};
+}

@@ -1,0 +1,382 @@
+//! Paths into terms and the term surgery of the pumping lemmas.
+//!
+//! The paper (§6.2) works with *selector paths* `s = S1 … Sn`, applied
+//! innermost-first: `s(t) = S1(…(Sn(t))…)`, so `Sn` descends from the root
+//! first. We represent a path by its **navigation order from the root**
+//! (the reverse of the selector string), as a sequence of child indices.
+//! Under this encoding:
+//!
+//! * the paper's `‖s‖` is [`Path::len`];
+//! * "`q` is a suffix of `p`" (as selector strings) becomes "`q` is a
+//!   navigation *prefix* of `p`" — see [`Path::is_selector_suffix_of`];
+//! * two paths *overlap* (one is a suffix of the other) iff one navigation
+//!   sequence is a prefix of the other — see [`Path::overlaps`].
+
+use std::fmt;
+
+use crate::ground::GroundTerm;
+use crate::ids::SortId;
+use crate::signature::Signature;
+
+/// One navigation step: the index of the child to descend into.
+pub type Step = usize;
+
+/// A position in a term, as root-to-subterm child indices.
+///
+/// # Example
+///
+/// ```
+/// use ringen_terms::{signature::nat_signature, GroundTerm, Path};
+///
+/// let (_sig, _nat, z, s) = nat_signature();
+/// let three = GroundTerm::iterate(s, GroundTerm::leaf(z), 3); // S(S(S(Z)))
+/// let p = Path::descend(0, 2); // two steps down the S-chain
+/// assert_eq!(p.subterm(&three), Some(&GroundTerm::iterate(s, GroundTerm::leaf(z), 1)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Path(Vec<Step>);
+
+impl Path {
+    /// The empty path (the root position).
+    pub fn root() -> Self {
+        Path(Vec::new())
+    }
+
+    /// Builds a path from navigation steps (root first).
+    pub fn from_steps(steps: Vec<Step>) -> Self {
+        Path(steps)
+    }
+
+    /// A path that descends `n` times into child `index` (e.g. `Sⁿ` or
+    /// `Leftⁿ`).
+    pub fn descend(index: Step, n: usize) -> Self {
+        Path(vec![index; n])
+    }
+
+    /// The navigation steps, root first.
+    pub fn steps(&self) -> &[Step] {
+        &self.0
+    }
+
+    /// Length of the path — the paper's `‖s‖`.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the root position.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Extends the path by one more step at the bottom.
+    pub fn child(&self, index: Step) -> Path {
+        let mut steps = self.0.clone();
+        steps.push(index);
+        Path(steps)
+    }
+
+    /// Concatenation: first navigate `self`, then `below`.
+    ///
+    /// In selector-string terms this is `below · self` (selector strings
+    /// compose right-to-left with navigation order).
+    pub fn join(&self, below: &Path) -> Path {
+        let mut steps = self.0.clone();
+        steps.extend_from_slice(&below.0);
+        Path(steps)
+    }
+
+    /// Whether `self` is a *selector-string suffix* of `other`, i.e. `self`
+    /// navigates a prefix of `other`'s route from the root (§6.2's suffix
+    /// relation on paths).
+    pub fn is_selector_suffix_of(&self, other: &Path) -> bool {
+        other.0.starts_with(&self.0)
+    }
+
+    /// Whether the two paths overlap: one is a selector-string suffix of
+    /// the other. Simultaneous replacement requires pairwise
+    /// non-overlapping paths.
+    pub fn overlaps(&self, other: &Path) -> bool {
+        self.is_selector_suffix_of(other) || other.is_selector_suffix_of(self)
+    }
+
+    /// The subterm of `g` at this position, or `None` if the path leaves
+    /// the term.
+    pub fn subterm<'a>(&self, g: &'a GroundTerm) -> Option<&'a GroundTerm> {
+        let mut cur = g;
+        for &i in &self.0 {
+            cur = cur.args().get(i)?;
+        }
+        Some(cur)
+    }
+
+    /// `g[self ← t]`: replaces the subterm at this position.
+    ///
+    /// Returns `None` if the path leaves the term.
+    pub fn replace(&self, g: &GroundTerm, t: &GroundTerm) -> Option<GroundTerm> {
+        fn go(steps: &[Step], g: &GroundTerm, t: &GroundTerm) -> Option<GroundTerm> {
+            match steps.split_first() {
+                None => Some(t.clone()),
+                Some((&i, rest)) => {
+                    if i >= g.args().len() {
+                        return None;
+                    }
+                    let mut args = g.args().to_vec();
+                    args[i] = go(rest, &args[i], t)?;
+                    Some(GroundTerm::app(g.func(), args))
+                }
+            }
+        }
+        go(&self.0, g, t)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `g[p₁ ← t, …, pₙ ← t]`: simultaneous replacement of the subterms at
+/// pairwise non-overlapping positions (the `g[P ← t]` of Lemma 6).
+///
+/// Returns `None` if any path leaves the term or two paths overlap.
+pub fn replace_all(g: &GroundTerm, paths: &[Path], t: &GroundTerm) -> Option<GroundTerm> {
+    for (i, p) in paths.iter().enumerate() {
+        if p.subterm(g).is_none() {
+            return None;
+        }
+        for q in &paths[i + 1..] {
+            if p.overlaps(q) {
+                return None;
+            }
+        }
+    }
+    let mut out = g.clone();
+    for p in paths {
+        out = p.replace(&out, t)?;
+    }
+    Some(out)
+}
+
+/// Pairwise replacement `g[p₁ ← u₁, …, pₙ ← uₙ]` with non-overlapping
+/// positions (the `g[P ← U]` of Lemma 7).
+///
+/// Returns `None` if `paths` and `terms` have different lengths, a path
+/// leaves the term, or two paths overlap.
+pub fn replace_each(
+    g: &GroundTerm,
+    paths: &[Path],
+    terms: &[GroundTerm],
+) -> Option<GroundTerm> {
+    if paths.len() != terms.len() {
+        return None;
+    }
+    for (i, p) in paths.iter().enumerate() {
+        if p.subterm(g).is_none() {
+            return None;
+        }
+        for q in &paths[i + 1..] {
+            if p.overlaps(q) {
+                return None;
+            }
+        }
+    }
+    let mut out = g.clone();
+    for (p, u) in paths.iter().zip(terms) {
+        out = p.replace(&out, u)?;
+    }
+    Some(out)
+}
+
+/// Whether `t` is a *leaf term* of its own sort (Definition 4): it has no
+/// proper subterm of sort `sort(t)` and all its arguments are themselves
+/// leaf terms.
+pub fn is_leaf_term(sig: &Signature, t: &GroundTerm) -> bool {
+    let sort = t.sort(sig);
+    let no_proper_same_sort = t
+        .subterms()
+        .skip(1)
+        .all(|u| u.sort(sig) != sort);
+    no_proper_same_sort && t.args().iter().all(|a| is_leaf_term(sig, a))
+}
+
+/// `leaves_σ(g)` (Definition 4): all positions of `g` holding a leaf term
+/// of sort `σ`, in document order.
+pub fn leaves(sig: &Signature, g: &GroundTerm, sort: SortId) -> Vec<Path> {
+    let mut out = Vec::new();
+    collect_leaves(sig, g, sort, Path::root(), &mut out);
+    out
+}
+
+fn collect_leaves(sig: &Signature, g: &GroundTerm, sort: SortId, at: Path, out: &mut Vec<Path>) {
+    if g.sort(sig) == sort && is_leaf_term(sig, g) {
+        out.push(at.clone());
+        // A leaf term of sort σ contains no proper subterm of sort σ, so
+        // there is nothing further down this branch.
+        return;
+    }
+    for (i, a) in g.args().iter().enumerate() {
+        collect_leaves(sig, a, sort, at.child(i), out);
+    }
+}
+
+/// All positions of `g` whose subterm has sort `σ`, in document order.
+/// A coarser variant of [`leaves`] used by the pumping demonstrations.
+pub fn positions_of_sort(sig: &Signature, g: &GroundTerm, sort: SortId) -> Vec<Path> {
+    let mut out = Vec::new();
+    fn go(
+        sig: &Signature,
+        g: &GroundTerm,
+        sort: SortId,
+        at: Path,
+        out: &mut Vec<Path>,
+    ) {
+        if g.sort(sig) == sort {
+            out.push(at.clone());
+        }
+        for (i, a) in g.args().iter().enumerate() {
+            go(sig, a, sort, at.child(i), out);
+        }
+    }
+    go(sig, g, sort, Path::root(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{nat_list_signature, nat_signature, tree_signature};
+
+    fn nat_term(n: usize) -> (Signature, SortId, GroundTerm) {
+        let (sig, nat, z, s) = nat_signature();
+        (sig, nat, GroundTerm::iterate(s, GroundTerm::leaf(z), n))
+    }
+
+    #[test]
+    fn subterm_navigation() {
+        let (_sig, _nat, g) = nat_term(4);
+        assert_eq!(Path::root().subterm(&g), Some(&g));
+        let p = Path::descend(0, 4);
+        assert_eq!(p.subterm(&g).unwrap().size(), 1);
+        assert_eq!(Path::descend(0, 5).subterm(&g), None);
+        assert_eq!(Path::from_steps(vec![1]).subterm(&g), None);
+    }
+
+    #[test]
+    fn replace_at_path() {
+        let (_sig, _nat, g) = nat_term(2); // S(S(Z))
+        let (_s2, _n2, one) = nat_term(1); // S(Z)
+        let p = Path::descend(0, 2); // the Z
+        let out = p.replace(&g, &one).unwrap();
+        assert_eq!(out.size(), 4); // S(S(S(Z)))
+        assert_eq!(Path::descend(0, 9).replace(&g, &one), None);
+    }
+
+    #[test]
+    fn selector_suffix_is_navigation_prefix() {
+        // p = Left² (navigate [0,0]), q = Left (navigate [0]).
+        let p = Path::descend(0, 2);
+        let q = Path::descend(0, 1);
+        assert!(q.is_selector_suffix_of(&p));
+        assert!(!p.is_selector_suffix_of(&q));
+        assert!(p.overlaps(&q));
+        let r = Path::from_steps(vec![1]);
+        assert!(!r.overlaps(&p));
+        // The root overlaps everything.
+        assert!(Path::root().overlaps(&r));
+    }
+
+    #[test]
+    fn simultaneous_replace_all() {
+        let (_sig, _tree, leaf, node) = tree_signature();
+        let l = GroundTerm::leaf(leaf);
+        let g = GroundTerm::app(node, vec![l.clone(), l.clone()]);
+        let big = GroundTerm::app(node, vec![l.clone(), GroundTerm::app(node, vec![l.clone(), l.clone()])]);
+        let paths = [Path::from_steps(vec![0]), Path::from_steps(vec![1])];
+        let out = replace_all(&g, &paths, &big).unwrap();
+        assert_eq!(out.size(), 1 + 2 * big.size());
+        // Overlapping paths are rejected.
+        let bad = [Path::root(), Path::from_steps(vec![0])];
+        assert_eq!(replace_all(&g, &bad, &big), None);
+    }
+
+    #[test]
+    fn replace_each_pairs_paths_with_terms() {
+        let (_sig, _tree, leaf, node) = tree_signature();
+        let l = GroundTerm::leaf(leaf);
+        let g = GroundTerm::app(node, vec![l.clone(), l.clone()]);
+        let n1 = GroundTerm::app(node, vec![l.clone(), l.clone()]);
+        let out = replace_each(
+            &g,
+            &[Path::from_steps(vec![0]), Path::from_steps(vec![1])],
+            &[n1.clone(), l.clone()],
+        )
+        .unwrap();
+        assert_eq!(out.args()[0], n1);
+        assert_eq!(out.args()[1], l);
+        assert_eq!(replace_each(&g, &[Path::root()], &[]), None);
+    }
+
+    #[test]
+    fn leaf_terms_of_nat() {
+        let (sig, nat, g) = nat_term(3);
+        // Z is the only leaf term of sort Nat inside S³(Z).
+        let ls = leaves(&sig, &g, nat);
+        assert_eq!(ls, vec![Path::descend(0, 3)]);
+        assert!(is_leaf_term(&sig, ls[0].subterm(&g).unwrap()));
+        assert!(!is_leaf_term(&sig, &g));
+    }
+
+    #[test]
+    fn leaf_terms_of_tree() {
+        let (sig, tree, leaf, node) = tree_signature();
+        let l = GroundTerm::leaf(leaf);
+        let g = GroundTerm::app(node, vec![GroundTerm::app(node, vec![l.clone(), l.clone()]), l.clone()]);
+        let ls = leaves(&sig, &g, tree);
+        assert_eq!(
+            ls,
+            vec![
+                Path::from_steps(vec![0, 0]),
+                Path::from_steps(vec![0, 1]),
+                Path::from_steps(vec![1]),
+            ]
+        );
+    }
+
+    #[test]
+    fn leaf_terms_across_sorts() {
+        // cons(S(Z), nil): nil is a List leaf; the whole term is not (it
+        // contains nil, a proper List subterm). S(Z) is not a Nat leaf.
+        let (sig, nat, list, z, s, nil, cons) = nat_list_signature();
+        let one = GroundTerm::app(s, vec![GroundTerm::leaf(z)]);
+        let g = GroundTerm::app(cons, vec![one, GroundTerm::leaf(nil)]);
+        assert_eq!(leaves(&sig, &g, list), vec![Path::from_steps(vec![1])]);
+        assert_eq!(leaves(&sig, &g, nat), vec![Path::from_steps(vec![0, 0])]);
+        // mixed-sort leaf terms: cons(Z, nil) has a proper List subterm, so
+        // it is not a leaf term, but Z and nil are.
+        let g2 = GroundTerm::app(cons, vec![GroundTerm::leaf(z), GroundTerm::leaf(nil)]);
+        assert!(!is_leaf_term(&sig, &g2));
+    }
+
+    #[test]
+    fn positions_of_sort_lists_every_occurrence() {
+        let (sig, nat, g) = nat_term(2);
+        let ps = positions_of_sort(&sig, &g, nat);
+        assert_eq!(ps.len(), 3); // S(S(Z)), S(Z), Z
+    }
+
+    #[test]
+    fn path_display() {
+        assert_eq!(Path::root().to_string(), "ε");
+        assert_eq!(Path::from_steps(vec![0, 1, 0]).to_string(), "0.1.0");
+    }
+}

@@ -1,0 +1,561 @@
+//! Many-sorted signatures with algebraic data types.
+//!
+//! Following §3 of the paper, a signature `Σ = ⟨Σ_S, Σ_F, Σ_P⟩` fixes a set
+//! of ADTs `⟨C_i, σ_i⟩` whose constructors make up `Σ_F`. We additionally
+//! track the *selectors* and *testers* of the extended language of
+//! Appendix B (used by the `Elem` normal form and by the tester/selector
+//! elimination pass of §4.5), and allow *free* function symbols (used after
+//! the EUF reduction of §4.1).
+
+use std::fmt;
+
+use crate::ground::GroundTerm;
+use crate::ids::{FuncId, SortId};
+
+/// The role a function symbol plays in the signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuncKind {
+    /// ADT constructor (an element of some `C_i`).
+    Constructor,
+    /// Selector `g_i : σ → σ_i` for the `index`-th argument of `ctor`.
+    ///
+    /// Selectors are *not* part of the core assertion-language signature
+    /// (paper footnote 1); they exist for the extended language of
+    /// Appendix B and are removed by preprocessing before model finding.
+    Selector {
+        /// The constructor this selector projects from.
+        ctor: FuncId,
+        /// Which argument of the constructor it projects.
+        index: usize,
+    },
+    /// Free (uninterpreted) function symbol, as used after the EUF
+    /// reduction of §4.1.
+    Free,
+}
+
+/// Declaration of a function symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Human-readable name (unique within the signature).
+    pub name: String,
+    /// Argument sorts `σ1 × … × σn`.
+    pub domain: Vec<SortId>,
+    /// Result sort `σ`.
+    pub range: SortId,
+    /// Role of the symbol.
+    pub kind: FuncKind,
+}
+
+impl FuncDecl {
+    /// Arity of the symbol.
+    pub fn arity(&self) -> usize {
+        self.domain.len()
+    }
+}
+
+/// Declaration of a sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortDecl {
+    /// Human-readable name (unique within the signature).
+    pub name: String,
+    /// Constructors returning this sort, in declaration order.
+    /// Empty iff the sort is not (yet) an ADT sort.
+    pub constructors: Vec<FuncId>,
+}
+
+/// Aggregate information about one ADT `⟨C, σ⟩`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdtInfo {
+    /// The ADT sort `σ`.
+    pub sort: SortId,
+    /// Its constructors `C`.
+    pub constructors: Vec<FuncId>,
+}
+
+/// A many-sorted signature fixing a family of ADTs.
+///
+/// # Example
+///
+/// ```
+/// use ringen_terms::{Signature, FuncKind};
+///
+/// let mut sig = Signature::new();
+/// let nat = sig.add_sort("Nat");
+/// let list = sig.add_sort("List");
+/// let z = sig.add_constructor("Z", vec![], nat);
+/// let s = sig.add_constructor("S", vec![nat], nat);
+/// let nil = sig.add_constructor("nil", vec![], list);
+/// let cons = sig.add_constructor("cons", vec![nat, list], list);
+///
+/// assert_eq!(sig.constructors_of(list), &[nil, cons]);
+/// assert_eq!(sig.func(cons).arity(), 2);
+/// assert_eq!(sig.func(z).kind, FuncKind::Constructor);
+/// assert!(sig.sort_is_infinite(nat));
+/// # let _ = (z, s);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Signature {
+    sorts: Vec<SortDecl>,
+    funcs: Vec<FuncDecl>,
+}
+
+impl Signature {
+    /// Creates an empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sort and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sort with the same name exists.
+    pub fn add_sort(&mut self, name: impl Into<String>) -> SortId {
+        let name = name.into();
+        assert!(
+            self.sorts.iter().all(|s| s.name != name),
+            "duplicate sort name {name:?}"
+        );
+        self.sorts.push(SortDecl {
+            name,
+            constructors: Vec::new(),
+        });
+        SortId((self.sorts.len() - 1) as u32)
+    }
+
+    /// Adds an ADT constructor with the given argument sorts and result sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name exists or a sort id is stale.
+    pub fn add_constructor(
+        &mut self,
+        name: impl Into<String>,
+        domain: Vec<SortId>,
+        range: SortId,
+    ) -> FuncId {
+        let id = self.add_func(name, domain, range, FuncKind::Constructor);
+        self.sorts[range.index()].constructors.push(id);
+        id
+    }
+
+    /// Adds a free (uninterpreted) function symbol.
+    pub fn add_free(
+        &mut self,
+        name: impl Into<String>,
+        domain: Vec<SortId>,
+        range: SortId,
+    ) -> FuncId {
+        self.add_func(name, domain, range, FuncKind::Free)
+    }
+
+    /// Declares the selector for `ctor`'s `index`-th argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctor` is not a constructor or `index` is out of bounds.
+    pub fn add_selector(&mut self, name: impl Into<String>, ctor: FuncId, index: usize) -> FuncId {
+        let decl = self.func(ctor).clone();
+        assert_eq!(
+            decl.kind,
+            FuncKind::Constructor,
+            "selector target must be a constructor"
+        );
+        assert!(index < decl.arity(), "selector index out of bounds");
+        self.add_func(
+            name,
+            vec![decl.range],
+            decl.domain[index],
+            FuncKind::Selector { ctor, index },
+        )
+    }
+
+    fn add_func(
+        &mut self,
+        name: impl Into<String>,
+        domain: Vec<SortId>,
+        range: SortId,
+    kind: FuncKind,
+    ) -> FuncId {
+        let name = name.into();
+        assert!(
+            self.funcs.iter().all(|f| f.name != name),
+            "duplicate function name {name:?}"
+        );
+        for s in domain.iter().chain(Some(&range)) {
+            assert!(s.index() < self.sorts.len(), "stale sort id {s:?}");
+        }
+        self.funcs.push(FuncDecl {
+            name,
+            domain,
+            range,
+            kind,
+        });
+        FuncId((self.funcs.len() - 1) as u32)
+    }
+
+    /// Number of sorts.
+    pub fn sort_count(&self) -> usize {
+        self.sorts.len()
+    }
+
+    /// Number of function symbols (of all kinds).
+    pub fn func_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// All sort ids.
+    pub fn sorts(&self) -> impl Iterator<Item = SortId> + '_ {
+        (0..self.sorts.len() as u32).map(SortId)
+    }
+
+    /// All function ids.
+    pub fn funcs(&self) -> impl Iterator<Item = FuncId> + '_ {
+        (0..self.funcs.len() as u32).map(FuncId)
+    }
+
+    /// All constructor ids, across all sorts.
+    pub fn constructors(&self) -> impl Iterator<Item = FuncId> + '_ {
+        self.funcs()
+            .filter(|f| self.func(*f).kind == FuncKind::Constructor)
+    }
+
+    /// Declaration of a sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this signature.
+    pub fn sort(&self, id: SortId) -> &SortDecl {
+        &self.sorts[id.index()]
+    }
+
+    /// Declaration of a function symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this signature.
+    pub fn func(&self, id: FuncId) -> &FuncDecl {
+        &self.funcs[id.index()]
+    }
+
+    /// Looks a sort up by name.
+    pub fn sort_by_name(&self, name: &str) -> Option<SortId> {
+        self.sorts
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SortId(i as u32))
+    }
+
+    /// Looks a function symbol up by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// The constructors of an ADT sort, in declaration order.
+    pub fn constructors_of(&self, sort: SortId) -> &[FuncId] {
+        &self.sort(sort).constructors
+    }
+
+    /// All ADTs declared in this signature (sorts with ≥1 constructor).
+    pub fn adts(&self) -> impl Iterator<Item = AdtInfo> + '_ {
+        self.sorts().filter_map(|s| {
+            let ctors = self.constructors_of(s);
+            if ctors.is_empty() {
+                None
+            } else {
+                Some(AdtInfo {
+                    sort: s,
+                    constructors: ctors.to_vec(),
+                })
+            }
+        })
+    }
+
+    /// Whether the sort is inhabited, i.e. whether its Herbrand universe is
+    /// non-empty. Mutually-recursive ADTs with no base case are uninhabited.
+    pub fn sort_is_inhabited(&self, sort: SortId) -> bool {
+        self.min_heights()[sort.index()].is_some()
+    }
+
+    /// Whether the Herbrand universe of `sort` is infinite (§3: an *infinite
+    /// sort*).
+    pub fn sort_is_infinite(&self, sort: SortId) -> bool {
+        // A sort is infinite iff it is inhabited and it reaches, through
+        // constructor arguments, a constructor cycle of inhabited sorts.
+        if !self.sort_is_inhabited(sort) {
+            return false;
+        }
+        // `grows[s]`: s has unboundedly many terms. Computed as a fixpoint:
+        // s grows if some constructor of s has an argument sort that grows,
+        // or s is part of a constructor cycle among inhabited sorts.
+        let n = self.sorts.len();
+        let inhabited: Vec<bool> = (0..n)
+            .map(|i| self.sort_is_inhabited(SortId(i as u32)))
+            .collect();
+        // Edge s -> t when some constructor of s takes an inhabited argument
+        // of sort t.
+        let mut reach: Vec<Vec<bool>> = vec![vec![false; n]; n];
+        for (i, r) in reach.iter_mut().enumerate() {
+            if !inhabited[i] {
+                continue;
+            }
+            for &c in &self.sorts[i].constructors {
+                for a in &self.func(c).domain {
+                    if inhabited[a.index()] {
+                        r[a.index()] = true;
+                    }
+                }
+            }
+        }
+        // Transitive closure (Floyd-Warshall on booleans); n is tiny.
+        for k in 0..n {
+            for i in 0..n {
+                if reach[i][k] {
+                    for j in 0..n {
+                        if reach[k][j] {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let on_cycle = |s: usize| reach[s][s];
+        (0..n).any(|t| on_cycle(t) && (t == sort.index() || reach[sort.index()][t]))
+    }
+
+    /// For each sort, the minimal height of a ground term of that sort
+    /// (`None` if uninhabited).
+    pub fn min_heights(&self) -> Vec<Option<usize>> {
+        let n = self.sorts.len();
+        let mut h: Vec<Option<usize>> = vec![None; n];
+        loop {
+            let mut changed = false;
+            for f in self.funcs() {
+                let d = self.func(f);
+                if d.kind != FuncKind::Constructor {
+                    continue;
+                }
+                let args: Option<Vec<usize>> =
+                    d.domain.iter().map(|s| h[s.index()]).collect();
+                if let Some(args) = args {
+                    let mine = 1 + args.iter().copied().max().unwrap_or(0);
+                    let slot = &mut h[d.range.index()];
+                    if slot.map_or(true, |old| mine < old) {
+                        *slot = Some(mine);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return h;
+            }
+        }
+    }
+
+    /// A minimal-height ground term of the given sort, if the sort is
+    /// inhabited. Useful as a default witness.
+    pub fn some_ground_term(&self, sort: SortId) -> Option<GroundTerm> {
+        let heights = self.min_heights();
+        self.some_ground_term_rec(sort, &heights)
+    }
+
+    fn some_ground_term_rec(
+        &self,
+        sort: SortId,
+        heights: &[Option<usize>],
+    ) -> Option<GroundTerm> {
+        let _my = heights[sort.index()]?;
+        // Pick the constructor whose max argument min-height is smallest.
+        let mut best: Option<(usize, FuncId)> = None;
+        for &c in self.constructors_of(sort) {
+            let d = self.func(c);
+            let worst = d
+                .domain
+                .iter()
+                .map(|s| heights[s.index()])
+                .try_fold(0usize, |acc, h| h.map(|h| acc.max(h)));
+            if let Some(w) = worst {
+                if best.map_or(true, |(b, _)| w < b) {
+                    best = Some((w, c));
+                }
+            }
+        }
+        let (_, c) = best?;
+        let args = self
+            .func(c)
+            .domain
+            .clone()
+            .into_iter()
+            .map(|s| self.some_ground_term_rec(s, heights))
+            .collect::<Option<Vec<_>>>()?;
+        Some(GroundTerm::app(c, args))
+    }
+
+    /// Display adaptor for a ground term, printing constructor names.
+    pub fn display_ground<'a>(&'a self, t: &'a GroundTerm) -> DisplayGround<'a> {
+        DisplayGround { sig: self, t }
+    }
+}
+
+/// Displays a [`GroundTerm`] with the names from a [`Signature`].
+///
+/// Returned by [`Signature::display_ground`].
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayGround<'a> {
+    sig: &'a Signature,
+    t: &'a GroundTerm,
+}
+
+impl fmt::Display for DisplayGround<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(sig: &Signature, t: &GroundTerm, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", sig.func(t.func()).name)?;
+            if !t.args().is_empty() {
+                write!(f, "(")?;
+                for (i, a) in t.args().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    go(sig, a, f)?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        go(self.sig, self.t, f)
+    }
+}
+
+/// Builds the `Nat ::= Z | S Nat` signature used throughout the paper's
+/// examples. Returns `(signature, nat, z, s)`.
+pub fn nat_signature() -> (Signature, SortId, FuncId, FuncId) {
+    let mut sig = Signature::new();
+    let nat = sig.add_sort("Nat");
+    let z = sig.add_constructor("Z", vec![], nat);
+    let s = sig.add_constructor("S", vec![nat], nat);
+    (sig, nat, z, s)
+}
+
+/// Builds the `Tree ::= leaf | node(Tree, Tree)` signature of Example 5.
+/// Returns `(signature, tree, leaf, node)`.
+pub fn tree_signature() -> (Signature, SortId, FuncId, FuncId) {
+    let mut sig = Signature::new();
+    let tree = sig.add_sort("Tree");
+    let leaf = sig.add_constructor("leaf", vec![], tree);
+    let node = sig.add_constructor("node", vec![tree, tree], tree);
+    (sig, tree, leaf, node)
+}
+
+/// Builds `Nat` plus `NatList ::= nil | cons(Nat, NatList)` (§6.3).
+/// Returns `(signature, nat, list, z, s, nil, cons)`.
+#[allow(clippy::type_complexity)]
+pub fn nat_list_signature() -> (Signature, SortId, SortId, FuncId, FuncId, FuncId, FuncId) {
+    let mut sig = Signature::new();
+    let nat = sig.add_sort("Nat");
+    let list = sig.add_sort("NatList");
+    let z = sig.add_constructor("Z", vec![], nat);
+    let s = sig.add_constructor("S", vec![nat], nat);
+    let nil = sig.add_constructor("nil", vec![], list);
+    let cons = sig.add_constructor("cons", vec![nat, list], list);
+    (sig, nat, list, z, s, nil, cons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nat_signature_shape() {
+        let (sig, nat, z, s) = nat_signature();
+        assert_eq!(sig.sort_count(), 1);
+        assert_eq!(sig.func_count(), 2);
+        assert_eq!(sig.constructors_of(nat), &[z, s]);
+        assert_eq!(sig.func(s).domain, vec![nat]);
+        assert_eq!(sig.sort_by_name("Nat"), Some(nat));
+        assert_eq!(sig.func_by_name("S"), Some(s));
+        assert_eq!(sig.func_by_name("missing"), None);
+    }
+
+    #[test]
+    fn infinite_and_inhabited_sorts() {
+        let (sig, nat, _, _) = nat_signature();
+        assert!(sig.sort_is_inhabited(nat));
+        assert!(sig.sort_is_infinite(nat));
+
+        let mut sig2 = Signature::new();
+        let fin = sig2.add_sort("Bool3");
+        sig2.add_constructor("a", vec![], fin);
+        sig2.add_constructor("b", vec![], fin);
+        assert!(sig2.sort_is_inhabited(fin));
+        assert!(!sig2.sort_is_infinite(fin));
+
+        let mut sig3 = Signature::new();
+        let empty = sig3.add_sort("Empty");
+        sig3.add_constructor("loop", vec![empty], empty);
+        assert!(!sig3.sort_is_inhabited(empty));
+        assert!(!sig3.sort_is_infinite(empty));
+    }
+
+    #[test]
+    fn infinite_via_reachability() {
+        // Pair ::= mk(Nat, Nat): Pair itself has no cycle, but reaches Nat.
+        let mut sig = Signature::new();
+        let nat = sig.add_sort("Nat");
+        let pair = sig.add_sort("Pair");
+        sig.add_constructor("Z", vec![], nat);
+        sig.add_constructor("S", vec![nat], nat);
+        sig.add_constructor("mk", vec![nat, nat], pair);
+        assert!(sig.sort_is_infinite(pair));
+    }
+
+    #[test]
+    fn min_heights_and_witnesses() {
+        let (sig, nat, list, ..) = nat_list_signature();
+        let h = sig.min_heights();
+        assert_eq!(h[nat.index()], Some(1));
+        assert_eq!(h[list.index()], Some(1));
+        let w = sig.some_ground_term(list).unwrap();
+        assert_eq!(sig.display_ground(&w).to_string(), "nil");
+    }
+
+    #[test]
+    fn selectors_are_typed() {
+        let (mut sig, nat, _z, s) = nat_signature();
+        let p = sig.add_selector("pred", s, 0);
+        let d = sig.func(p);
+        assert_eq!(d.domain, vec![nat]);
+        assert_eq!(d.range, nat);
+        assert_eq!(d.kind, FuncKind::Selector { ctor: s, index: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sort name")]
+    fn duplicate_sort_panics() {
+        let mut sig = Signature::new();
+        sig.add_sort("A");
+        sig.add_sort("A");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_func_panics() {
+        let mut sig = Signature::new();
+        let a = sig.add_sort("A");
+        sig.add_constructor("c", vec![], a);
+        sig.add_constructor("c", vec![], a);
+    }
+
+    #[test]
+    fn adts_lists_only_constructor_sorts() {
+        let mut sig = Signature::new();
+        let a = sig.add_sort("A");
+        let _b = sig.add_sort("B"); // no constructors
+        sig.add_constructor("c", vec![], a);
+        let adts: Vec<_> = sig.adts().collect();
+        assert_eq!(adts.len(), 1);
+        assert_eq!(adts[0].sort, a);
+    }
+}

@@ -1,0 +1,572 @@
+//! First-order terms with variables.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::ground::GroundTerm;
+use crate::ids::{FuncId, SortId, VarId};
+use crate::signature::Signature;
+
+/// A first-order term: a variable or a function application.
+///
+/// Variables are identified by [`VarId`] and sorted by a [`VarContext`]
+/// (typically one per clause).
+///
+/// # Example
+///
+/// ```
+/// use ringen_terms::{signature::nat_signature, Term, VarContext};
+///
+/// let (sig, nat, _z, s) = nat_signature();
+/// let mut ctx = VarContext::new();
+/// let x = ctx.fresh("x", nat);
+/// let t = Term::app(s, vec![Term::var(x)]); // S(x)
+/// assert_eq!(t.sort(&sig, &ctx).unwrap(), nat);
+/// assert!(!t.is_ground());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable.
+    Var(VarId),
+    /// Application of a function symbol to argument terms.
+    App(FuncId, Vec<Term>),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(v: VarId) -> Self {
+        Term::Var(v)
+    }
+
+    /// A function application.
+    pub fn app(f: FuncId, args: Vec<Term>) -> Self {
+        Term::App(f, args)
+    }
+
+    /// A nullary application.
+    pub fn leaf(f: FuncId) -> Self {
+        Term::App(f, Vec::new())
+    }
+
+    /// Applies the unary symbol `f` to `t`, `n` times.
+    pub fn iterate(f: FuncId, t: Term, n: usize) -> Self {
+        let mut out = t;
+        for _ in 0..n {
+            out = Term::app(f, vec![out]);
+        }
+        out
+    }
+
+    /// Whether the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::App(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Whether the term is a single variable.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::App(..) => None,
+        }
+    }
+
+    /// Converts to a [`GroundTerm`] if the term is ground.
+    pub fn to_ground(&self) -> Option<GroundTerm> {
+        match self {
+            Term::Var(_) => None,
+            Term::App(f, args) => {
+                let args = args.iter().map(Term::to_ground).collect::<Option<Vec<_>>>()?;
+                Some(GroundTerm::app(*f, args))
+            }
+        }
+    }
+
+    /// Height of the term: variables have height 1, like base constructors.
+    pub fn height(&self) -> usize {
+        match self {
+            Term::Var(_) => 1,
+            Term::App(_, args) => 1 + args.iter().map(Term::height).max().unwrap_or(0),
+        }
+    }
+
+    /// Number of function-symbol occurrences (variables count 0).
+    pub fn symbol_count(&self) -> usize {
+        match self {
+            Term::Var(_) => 0,
+            Term::App(_, args) => 1 + args.iter().map(Term::symbol_count).sum::<usize>(),
+        }
+    }
+
+    /// Collects the variables occurring in the term, in first-occurrence
+    /// order and without duplicates.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the variable occurs in the term.
+    pub fn contains_var(&self, v: VarId) -> bool {
+        match self {
+            Term::Var(w) => *w == v,
+            Term::App(_, args) => args.iter().any(|a| a.contains_var(v)),
+        }
+    }
+
+    /// The sort of the term.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SortError`] if an application has the wrong arity or an
+    /// argument of the wrong sort, or a variable is unknown to `ctx`.
+    pub fn sort(&self, sig: &Signature, ctx: &VarContext) -> Result<SortId, SortError> {
+        match self {
+            Term::Var(v) => ctx.sort(*v).ok_or(SortError::UnknownVar(*v)),
+            Term::App(f, args) => {
+                let d = sig.func(*f);
+                if d.arity() != args.len() {
+                    return Err(SortError::Arity {
+                        func: *f,
+                        expected: d.arity(),
+                        got: args.len(),
+                    });
+                }
+                for (i, (a, want)) in args.iter().zip(&d.domain).enumerate() {
+                    let got = a.sort(sig, ctx)?;
+                    if got != *want {
+                        return Err(SortError::ArgSort {
+                            func: *f,
+                            index: i,
+                            expected: *want,
+                            got,
+                        });
+                    }
+                }
+                Ok(d.range)
+            }
+        }
+    }
+
+    /// Renames every variable through `map`; variables absent from `map`
+    /// are kept as-is.
+    pub fn rename(&self, map: &BTreeMap<VarId, VarId>) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(*map.get(v).unwrap_or(v)),
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| a.rename(map)).collect()),
+        }
+    }
+}
+
+impl From<GroundTerm> for Term {
+    fn from(g: GroundTerm) -> Term {
+        Term::App(g.func(), g.args().iter().cloned().map(Term::from).collect())
+    }
+}
+
+impl From<&GroundTerm> for Term {
+    fn from(g: &GroundTerm) -> Term {
+        Term::App(g.func(), g.args().iter().map(Term::from).collect())
+    }
+}
+
+/// Sorting (type-checking) failure for a [`Term`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortError {
+    /// A variable has no sort in the context.
+    UnknownVar(VarId),
+    /// A function applied to the wrong number of arguments.
+    Arity {
+        /// The misapplied symbol.
+        func: FuncId,
+        /// Its declared arity.
+        expected: usize,
+        /// The number of arguments supplied.
+        got: usize,
+    },
+    /// An argument has the wrong sort.
+    ArgSort {
+        /// The applied symbol.
+        func: FuncId,
+        /// Position of the offending argument.
+        index: usize,
+        /// The declared argument sort.
+        expected: SortId,
+        /// The actual argument sort.
+        got: SortId,
+    },
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::UnknownVar(v) => write!(f, "variable {v} has no sort in the context"),
+            SortError::Arity {
+                func,
+                expected,
+                got,
+            } => write!(f, "function {func} expects {expected} arguments, got {got}"),
+            SortError::ArgSort {
+                func,
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "argument {index} of {func} has sort {got}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for SortError {}
+
+/// Sorts (and display names) of the variables of a clause or formula.
+///
+/// # Example
+///
+/// ```
+/// use ringen_terms::{signature::nat_signature, VarContext};
+///
+/// let (_sig, nat, ..) = nat_signature();
+/// let mut ctx = VarContext::new();
+/// let x = ctx.fresh("x", nat);
+/// assert_eq!(ctx.sort(x), Some(nat));
+/// assert_eq!(ctx.name(x), "x");
+/// assert_eq!(ctx.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarContext {
+    sorts: Vec<SortId>,
+    names: Vec<String>,
+}
+
+impl VarContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Introduces a fresh variable with a display name and sort.
+    pub fn fresh(&mut self, name: impl Into<String>, sort: SortId) -> VarId {
+        self.sorts.push(sort);
+        self.names.push(name.into());
+        VarId((self.sorts.len() - 1) as u32)
+    }
+
+    /// Introduces a fresh variable with an automatically generated name.
+    pub fn fresh_anon(&mut self, sort: SortId) -> VarId {
+        let name = format!("_v{}", self.sorts.len());
+        self.fresh(name, sort)
+    }
+
+    /// The sort of a variable, if it belongs to this context.
+    pub fn sort(&self, v: VarId) -> Option<SortId> {
+        self.sorts.get(v.index()).copied()
+    }
+
+    /// The display name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this context.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of variables in the context.
+    pub fn len(&self) -> usize {
+        self.sorts.len()
+    }
+
+    /// Whether the context has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.sorts.is_empty()
+    }
+
+    /// All variables of the context.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.sorts.len() as u32).map(VarId)
+    }
+
+    /// Copies every variable of `other` into `self`, returning the renaming
+    /// from `other`'s ids to the fresh ids. Used to give clauses disjoint
+    /// variables before resolution or unification.
+    pub fn import(&mut self, other: &VarContext) -> BTreeMap<VarId, VarId> {
+        other
+            .vars()
+            .map(|v| (v, self.fresh(other.name(v).to_owned(), other.sorts[v.index()])))
+            .collect()
+    }
+}
+
+/// A substitution mapping variables to terms.
+///
+/// # Example
+///
+/// ```
+/// use ringen_terms::{signature::nat_signature, Substitution, Term, VarContext};
+///
+/// let (_sig, nat, z, s) = nat_signature();
+/// let mut ctx = VarContext::new();
+/// let x = ctx.fresh("x", nat);
+/// let mut sub = Substitution::new();
+/// sub.bind(x, Term::leaf(z));
+/// let t = Term::app(s, vec![Term::var(x)]);
+/// assert_eq!(sub.apply(&t), Term::app(s, vec![Term::leaf(z)]));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    map: BTreeMap<VarId, Term>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `v` to `t`, replacing any previous binding.
+    pub fn bind(&mut self, v: VarId, t: Term) {
+        self.map.insert(v, t);
+    }
+
+    /// The binding of `v`, if any.
+    pub fn get(&self, v: VarId) -> Option<&Term> {
+        self.map.get(&v)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Term)> + '_ {
+        self.map.iter().map(|(v, t)| (*v, t))
+    }
+
+    /// Applies the substitution to a term (simultaneously, not iterated).
+    pub fn apply(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => self.map.get(v).cloned().unwrap_or_else(|| t.clone()),
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| self.apply(a)).collect()),
+        }
+    }
+
+    /// Applies the substitution repeatedly until a fixpoint, resolving
+    /// chains such as `x ↦ y, y ↦ Z`. Used to read back unifiers built
+    /// incrementally.
+    ///
+    /// # Panics
+    ///
+    /// Panics (after `self.len() + 1` rounds) if the substitution is cyclic,
+    /// which [`crate::unify`] never produces.
+    pub fn apply_deep(&self, t: &Term) -> Term {
+        let mut cur = self.apply(t);
+        for _ in 0..=self.map.len() {
+            let next = self.apply(&cur);
+            if next == cur {
+                return cur;
+            }
+            cur = next;
+        }
+        panic!("cyclic substitution");
+    }
+
+    /// Composes in place: afterwards, `self.apply(t)` behaves like
+    /// `other.apply(&old_self.apply(t))` on fully-resolved reads.
+    pub fn compose(&mut self, other: &Substitution) {
+        for t in self.map.values_mut() {
+            *t = other.apply(t);
+        }
+        for (v, t) in &other.map {
+            self.map.entry(*v).or_insert_with(|| t.clone());
+        }
+    }
+}
+
+impl FromIterator<(VarId, Term)> for Substitution {
+    fn from_iter<I: IntoIterator<Item = (VarId, Term)>>(iter: I) -> Self {
+        Substitution {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Display adaptor for a [`Term`] under a signature and variable context.
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayTerm<'a> {
+    sig: &'a Signature,
+    ctx: &'a VarContext,
+    t: &'a Term,
+}
+
+impl<'a> DisplayTerm<'a> {
+    /// Creates the adaptor.
+    pub fn new(sig: &'a Signature, ctx: &'a VarContext, t: &'a Term) -> Self {
+        DisplayTerm { sig, ctx, t }
+    }
+}
+
+impl fmt::Display for DisplayTerm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(
+            sig: &Signature,
+            ctx: &VarContext,
+            t: &Term,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            match t {
+                Term::Var(v) => write!(f, "{}", ctx.name(*v)),
+                Term::App(func, args) => {
+                    write!(f, "{}", sig.func(*func).name)?;
+                    if !args.is_empty() {
+                        write!(f, "(")?;
+                        for (i, a) in args.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            go(sig, ctx, a, f)?;
+                        }
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        go(self.sig, self.ctx, self.t, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{nat_list_signature, nat_signature};
+
+    #[test]
+    fn sorting_accepts_well_sorted_terms() {
+        let (sig, nat, list, z, s, _nil, cons) = nat_list_signature();
+        let mut ctx = VarContext::new();
+        let xs = ctx.fresh("xs", list);
+        let t = Term::app(cons, vec![Term::app(s, vec![Term::leaf(z)]), Term::var(xs)]);
+        assert_eq!(t.sort(&sig, &ctx), Ok(list));
+        assert_eq!(Term::leaf(z).sort(&sig, &ctx), Ok(nat));
+    }
+
+    #[test]
+    fn sorting_rejects_bad_arity_and_sorts() {
+        let (sig, _nat, _list, z, _s, _nil, cons) = nat_list_signature();
+        let ctx = VarContext::new();
+        let bad_arity = Term::app(cons, vec![Term::leaf(z)]);
+        assert!(matches!(
+            bad_arity.sort(&sig, &ctx),
+            Err(SortError::Arity { expected: 2, got: 1, .. })
+        ));
+        let bad_sort = Term::app(cons, vec![Term::leaf(z), Term::leaf(z)]);
+        assert!(matches!(
+            bad_sort.sort(&sig, &ctx),
+            Err(SortError::ArgSort { index: 1, .. })
+        ));
+        let unknown = Term::var(VarId(7));
+        assert_eq!(unknown.sort(&sig, &ctx), Err(SortError::UnknownVar(VarId(7))));
+    }
+
+    #[test]
+    fn ground_round_trip() {
+        let (_sig, _nat, z, s) = nat_signature();
+        let t = Term::iterate(s, Term::leaf(z), 3);
+        assert!(t.is_ground());
+        let g = t.to_ground().unwrap();
+        assert_eq!(Term::from(&g), t);
+        assert_eq!(g.size(), 4);
+    }
+
+    #[test]
+    fn vars_are_deduplicated_in_order() {
+        let (_sig, nat, _z, s) = nat_signature();
+        let mut ctx = VarContext::new();
+        let x = ctx.fresh("x", nat);
+        let y = ctx.fresh("y", nat);
+        let t = Term::app(s, vec![Term::app(s, vec![Term::var(y)])]);
+        let t2 = Term::app(s, vec![t.clone()]);
+        assert_eq!(t2.vars(), vec![y]);
+        let mixed = Term::app(s, vec![Term::var(y)]);
+        assert!(mixed.contains_var(y));
+        assert!(!mixed.contains_var(x));
+    }
+
+    #[test]
+    fn substitution_apply_and_compose() {
+        let (_sig, nat, z, s) = nat_signature();
+        let mut ctx = VarContext::new();
+        let x = ctx.fresh("x", nat);
+        let y = ctx.fresh("y", nat);
+        let mut s1 = Substitution::new();
+        s1.bind(x, Term::var(y));
+        let mut s2 = Substitution::new();
+        s2.bind(y, Term::leaf(z));
+        s1.compose(&s2);
+        let t = Term::app(s, vec![Term::var(x)]);
+        assert_eq!(s1.apply(&t), Term::app(s, vec![Term::leaf(z)]));
+        // y itself is also bound after composition.
+        assert_eq!(s1.apply(&Term::var(y)), Term::leaf(z));
+    }
+
+    #[test]
+    fn apply_deep_resolves_chains() {
+        let (_sig, nat, z, _s) = nat_signature();
+        let mut ctx = VarContext::new();
+        let x = ctx.fresh("x", nat);
+        let y = ctx.fresh("y", nat);
+        let mut sub = Substitution::new();
+        sub.bind(x, Term::var(y));
+        sub.bind(y, Term::leaf(z));
+        assert_eq!(sub.apply_deep(&Term::var(x)), Term::leaf(z));
+    }
+
+    #[test]
+    fn import_renames_disjointly() {
+        let (_sig, nat, ..) = nat_signature();
+        let mut a = VarContext::new();
+        let x = a.fresh("x", nat);
+        let mut b = VarContext::new();
+        let _w = b.fresh("w", nat);
+        let map = b.import(&a);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.name(map[&x]), "x");
+        assert_ne!(map[&x], x);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let (sig, nat, _z, s) = nat_signature();
+        let mut ctx = VarContext::new();
+        let x = ctx.fresh("x", nat);
+        let t = Term::app(s, vec![Term::var(x)]);
+        assert_eq!(DisplayTerm::new(&sig, &ctx, &t).to_string(), "S(x)");
+    }
+}

@@ -1,0 +1,236 @@
+//! Syntactic unification and one-sided matching.
+//!
+//! Unification implements the equality-elimination step of Theorem 5's
+//! proof ("eliminate all equality atoms by unification and substitution")
+//! and is also used by the bottom-up saturation refuter.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ground::GroundTerm;
+use crate::ids::VarId;
+use crate::term::{Substitution, Term};
+
+/// Unification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnifyError {
+    /// Two different function symbols clash at the same position.
+    Clash(Term, Term),
+    /// The occurs check failed: a variable would have to contain itself.
+    Occurs(VarId, Term),
+}
+
+impl fmt::Display for UnifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnifyError::Clash(_, _) => write!(f, "function symbols clash"),
+            UnifyError::Occurs(v, _) => write!(f, "occurs check failed for {v}"),
+        }
+    }
+}
+
+impl Error for UnifyError {}
+
+/// Computes a most general unifier of `a` and `b`.
+///
+/// The returned substitution is idempotent: applying it once fully
+/// instantiates both terms to the common instance.
+///
+/// # Errors
+///
+/// Returns [`UnifyError::Clash`] on constructor mismatch and
+/// [`UnifyError::Occurs`] when unification would build an infinite term.
+///
+/// # Example
+///
+/// ```
+/// use ringen_terms::{signature::nat_signature, unify, Term, VarContext};
+///
+/// let (_sig, nat, z, s) = nat_signature();
+/// let mut ctx = VarContext::new();
+/// let x = ctx.fresh("x", nat);
+/// let y = ctx.fresh("y", nat);
+/// // S(x) ≐ S(S(y))  ⇒  x ↦ S(y)
+/// let a = Term::app(s, vec![Term::var(x)]);
+/// let b = Term::iterate(s, Term::var(y), 2);
+/// let mgu = unify(&a, &b)?;
+/// assert_eq!(mgu.apply(&Term::var(x)), Term::app(s, vec![Term::var(y)]));
+/// # let _ = z;
+/// # Ok::<(), ringen_terms::UnifyError>(())
+/// ```
+pub fn unify(a: &Term, b: &Term) -> Result<Substitution, UnifyError> {
+    unify_all(std::iter::once((a.clone(), b.clone())))
+}
+
+/// Unifies a sequence of term pairs simultaneously.
+///
+/// # Errors
+///
+/// Same failure modes as [`unify`].
+pub fn unify_all(
+    pairs: impl IntoIterator<Item = (Term, Term)>,
+) -> Result<Substitution, UnifyError> {
+    let mut work: Vec<(Term, Term)> = pairs.into_iter().collect();
+    let mut out = Substitution::new();
+    while let Some((a, b)) = work.pop() {
+        let a = out.apply_deep(&a);
+        let b = out.apply_deep(&b);
+        match (a, b) {
+            (Term::Var(x), Term::Var(y)) if x == y => {}
+            (Term::Var(x), t) | (t, Term::Var(x)) => {
+                if t.contains_var(x) {
+                    return Err(UnifyError::Occurs(x, t));
+                }
+                // Keep the substitution idempotent by folding the new
+                // binding into existing ones.
+                let mut single = Substitution::new();
+                single.bind(x, t);
+                out.compose(&single);
+            }
+            (Term::App(f, fa), Term::App(g, ga)) => {
+                if f != g || fa.len() != ga.len() {
+                    return Err(UnifyError::Clash(Term::App(f, fa), Term::App(g, ga)));
+                }
+                work.extend(fa.into_iter().zip(ga));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One-sided matching: finds `θ` with `θ(pattern) = ground`, if any.
+///
+/// Unlike unification the ground side is never instantiated; repeated
+/// variables in the pattern must match equal subterms.
+pub fn match_ground(pattern: &Term, ground: &GroundTerm) -> Option<Substitution> {
+    let mut sub = Substitution::new();
+    match_ground_into(pattern, ground, &mut sub).then_some(sub)
+}
+
+/// Matching that extends an existing binding set; used when matching the
+/// atoms of a clause body left to right.
+pub fn match_ground_into(pattern: &Term, ground: &GroundTerm, sub: &mut Substitution) -> bool {
+    match pattern {
+        Term::Var(v) => match sub.get(*v) {
+            Some(bound) => bound.to_ground().as_ref() == Some(ground),
+            None => {
+                sub.bind(*v, Term::from(ground));
+                true
+            }
+        },
+        Term::App(f, args) => {
+            *f == ground.func()
+                && args.len() == ground.args().len()
+                && args
+                    .iter()
+                    .zip(ground.args())
+                    .all(|(p, g)| match_ground_into(p, g, sub))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{nat_list_signature, nat_signature};
+    use crate::term::VarContext;
+
+    #[test]
+    fn unify_var_with_term() {
+        let (_sig, nat, z, s) = nat_signature();
+        let mut ctx = VarContext::new();
+        let x = ctx.fresh("x", nat);
+        let mgu = unify(&Term::var(x), &Term::iterate(s, Term::leaf(z), 2)).unwrap();
+        assert_eq!(mgu.apply(&Term::var(x)), Term::iterate(s, Term::leaf(z), 2));
+    }
+
+    #[test]
+    fn unify_clash_and_occurs() {
+        let (_sig, nat, z, s) = nat_signature();
+        let mut ctx = VarContext::new();
+        let x = ctx.fresh("x", nat);
+        assert!(matches!(
+            unify(&Term::leaf(z), &Term::app(s, vec![Term::leaf(z)])),
+            Err(UnifyError::Clash(..))
+        ));
+        assert!(matches!(
+            unify(&Term::var(x), &Term::app(s, vec![Term::var(x)])),
+            Err(UnifyError::Occurs(..))
+        ));
+    }
+
+    #[test]
+    fn unifier_is_idempotent_and_most_general() {
+        let (_sig, _nat, _z, s) = nat_signature();
+        let nat = _nat;
+        let mut ctx = VarContext::new();
+        let x = ctx.fresh("x", nat);
+        let y = ctx.fresh("y", nat);
+        let w = ctx.fresh("w", nat);
+        // S(x) ≐ S(S(y)), x ≐ w  ⇒ x ↦ S(y), w ↦ S(y)
+        let mgu = unify_all(vec![
+            (Term::app(s, vec![Term::var(x)]), Term::iterate(s, Term::var(y), 2)),
+            (Term::var(x), Term::var(w)),
+        ])
+        .unwrap();
+        let sx = mgu.apply(&Term::var(x));
+        let sw = mgu.apply(&Term::var(w));
+        assert_eq!(sx, sw);
+        assert_eq!(sx, Term::app(s, vec![Term::var(y)]));
+        // Idempotence: applying twice changes nothing.
+        assert_eq!(mgu.apply(&sx), sx);
+    }
+
+    #[test]
+    fn unify_across_shared_variables() {
+        // cons(x, xs) ≐ cons(S(y), nil) with x also equated to y must fail
+        // the second pair only when inconsistent.
+        let (_sig, nat, list, z, s, nil, cons) = nat_list_signature();
+        let mut ctx = VarContext::new();
+        let x = ctx.fresh("x", nat);
+        let xs = ctx.fresh("xs", list);
+        let a = Term::app(cons, vec![Term::var(x), Term::var(xs)]);
+        let b = Term::app(
+            cons,
+            vec![Term::app(s, vec![Term::leaf(z)]), Term::leaf(nil)],
+        );
+        let mgu = unify(&a, &b).unwrap();
+        assert_eq!(mgu.apply(&a), b);
+        // x is now S(Z); unifying it with Z must clash.
+        assert!(unify_all(vec![(a, b), (Term::var(x), Term::leaf(z))])
+            .map(|u| u.apply_deep(&Term::var(x)))
+            .is_err());
+    }
+
+    #[test]
+    fn matching_is_one_sided() {
+        let (_sig, nat, z, s) = nat_signature();
+        let mut ctx = VarContext::new();
+        let x = ctx.fresh("x", nat);
+        let pat = Term::app(s, vec![Term::var(x)]);
+        let g = GroundTerm::iterate(s, GroundTerm::leaf(z), 2);
+        let sub = match_ground(&pat, &g).unwrap();
+        assert_eq!(
+            sub.apply(&Term::var(x)),
+            Term::app(s, vec![Term::leaf(z)])
+        );
+        // Ground side is never instantiated: a bare variable pattern always
+        // matches, a constructor pattern never matches a different root.
+        assert!(match_ground(&Term::var(x), &g).is_some());
+        assert!(match_ground(&Term::leaf(z), &g).is_none());
+    }
+
+    #[test]
+    fn matching_respects_repeated_variables() {
+        let (_sig, _nat, z, s) = nat_signature();
+        let nat = _nat;
+        let mut ctx = VarContext::new();
+        let x = ctx.fresh("x", nat);
+        // pattern S(x) matched twice against different terms must fail.
+        let mut sub = Substitution::new();
+        let one = GroundTerm::app(s, vec![GroundTerm::leaf(z)]);
+        let two = GroundTerm::app(s, vec![one.clone()]);
+        assert!(match_ground_into(&Term::app(s, vec![Term::var(x)]), &one, &mut sub));
+        assert!(!match_ground_into(&Term::app(s, vec![Term::var(x)]), &two, &mut sub));
+    }
+}

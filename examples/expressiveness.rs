@@ -1,0 +1,29 @@
+//! Figure 3, executed: which of the three invariant representation
+//! classes can express a safe inductive invariant for each of the five
+//! §7 programs?
+//!
+//! ```text
+//! cargo run --release --example expressiveness
+//! ```
+
+use ringen::benchgen::programs;
+use ringen::core::{solve, RingenConfig};
+use ringen::elem::{solve_elem, ElemConfig};
+use ringen::sizeelem::{solve_size_elem, SizeElemConfig};
+
+fn main() {
+    println!("{:<10} {:>6} {:>9} {:>6}", "program", "Elem", "SizeElem", "Reg");
+    for (name, sys) in [
+        ("IncDec", programs::inc_dec()),
+        ("Diag", programs::diag()),
+        ("LtGt", programs::lt_gt()),
+        ("Even", programs::even()),
+        ("EvenLeft", programs::even_left()),
+    ] {
+        let elem = solve_elem(&sys, &ElemConfig::quick()).0.is_sat();
+        let size = solve_size_elem(&sys, &SizeElemConfig::quick()).0.is_sat();
+        let reg = solve(&sys, &RingenConfig::quick()).0.is_sat();
+        let mark = |b: bool| if b { "yes" } else { "-" };
+        println!("{:<10} {:>6} {:>9} {:>6}", name, mark(elem), mark(size), mark(reg));
+    }
+}

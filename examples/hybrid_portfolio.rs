@@ -1,0 +1,48 @@
+//! The hybrid portfolio of §8's concluding conjecture:
+//!
+//! > "a hybrid approach to infer invariants in parts by automata and
+//! > in parts by FOL should exhibit the best performance."
+//!
+//! `solve_regelem` chains the paper's tool (regular invariants by
+//! finite-model finding), the elementary template solver, and a
+//! genuinely combined template-plus-membership search. This example
+//! runs it on one program per representation class and reports which
+//! phase decided.
+//!
+//! ```text
+//! cargo run --release --example hybrid_portfolio
+//! ```
+
+use ringen::benchgen::programs;
+use ringen::regelem::{solve_regelem, RegElemAnswer, RegElemConfig};
+
+fn main() {
+    println!(
+        "{:<14} {:>8}   deciding phase (invariant class)",
+        "program", "verdict"
+    );
+    let cases = [
+        ("Even", programs::even()),          // Reg: the paper's tool wins
+        ("IncDec", programs::inc_dec()),     // everyone's favourite
+        ("Diag", programs::diag()),          // Elem only
+        ("EvenDiag", programs::even_diag()), // needs the combination
+    ];
+    for (name, sys) in cases {
+        let (answer, stats) = solve_regelem(&sys, &RegElemConfig::quick());
+        match answer {
+            RegElemAnswer::Sat(_, provenance) => {
+                println!(
+                    "{name:<14} {:>8}   {provenance:?} ({} combined assignments swept)",
+                    "SAT", stats.assignments
+                );
+            }
+            RegElemAnswer::Unsat(_) => println!("{name:<14} {:>8}   refuted", "UNSAT"),
+            RegElemAnswer::Unknown => println!("{name:<14} {:>8}   diverged", "?"),
+        }
+    }
+    println!(
+        "\nLtGt is deliberately absent: orderings live in SizeElem \\ (Reg ∪ Elem),\n\
+         outside this portfolio's classes — the full four-phase race (including\n\
+         the SizeElem engine) is `cargo run --release -p ringen-bench --bin hybrid`."
+    );
+}

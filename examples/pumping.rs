@@ -1,0 +1,66 @@
+//! The pumping lemmas, executed: Prop. 1 (`Even ∉ Elem`) and the
+//! Lemma 7 ingredients behind Prop. 2 (`EvenLeft ∉ SizeElem`).
+//!
+//! ```text
+//! cargo run --example pumping
+//! ```
+
+use ringen::benchgen::programs;
+use ringen::core::definability::pumping_refutes_elem;
+use ringen::sizeelem::{size_elem_pump, term_of_size, LinearSet, PeriodicSet};
+use ringen::terms::{GroundTerm, Path, SizeSet};
+
+fn main() {
+    // Prop. 1: pump g = S^{2K}(Z) with an odd t; the pumped term plus a
+    // least-model fact fires the query — no elementary invariant exists.
+    let sys = programs::even();
+    let even = sys.rels.by_name("even").unwrap();
+    let z = sys.sig.func_by_name("Z").unwrap();
+    let s = sys.sig.func_by_name("S").unwrap();
+    let nat = sys.sig.sort_by_name("Nat").unwrap();
+    let (k, n) = (4usize, 3usize);
+    let g = GroundTerm::iterate(s, GroundTerm::leaf(z), 2 * k);
+    let t = GroundTerm::iterate(s, GroundTerm::leaf(z), 2 * n + 1);
+    let ctx = vec![(even, vec![GroundTerm::iterate(s, GroundTerm::leaf(z), 2 * (k + n))])];
+    match pumping_refutes_elem(&sys, even, &[g], 0, nat, &t, &ctx) {
+        Some(r) => println!(
+            "Prop. 1: pumped S^{}(Z) fires query clause {} — Even ∉ Elem",
+            2 * (k + n) + 1,
+            r.query_clause
+        ),
+        None => println!("Prop. 1 demonstration failed?!"),
+    }
+
+    // Lemma 7 ingredients on the Tree sort: the infinite linear set
+    // T ⊆ S_Tree and a pumping replacement of a prescribed size.
+    let tree_sys = programs::even_left();
+    let tree = tree_sys.sig.sort_by_name("Tree").unwrap();
+    let sizes = PeriodicSet::from_size_set(&SizeSet::of_sort(&tree_sys.sig, tree));
+    let t_set: LinearSet = sizes.infinite_linear_subset().unwrap();
+    println!(
+        "Lemma 7: S_Tree has the infinite linear subset {{{} + {}k}}",
+        t_set.base,
+        t_set.periods[0]
+    );
+    let n = t_set.iter().find(|&k| k > 2).unwrap();
+    let t = term_of_size(&tree_sys.sig, tree, n).unwrap();
+    println!("replacement term of size {n} built: height {}", t.height());
+    // Pump the leftmost leaf of a small full tree: the leftmost path
+    // length flips parity, violating EvenLeft — Prop. 2's contradiction.
+    let leaf = tree_sys.sig.func_by_name("leaf").unwrap();
+    let node = tree_sys.sig.func_by_name("node").unwrap();
+    let full = GroundTerm::app(
+        node,
+        vec![
+            GroundTerm::app(node, vec![GroundTerm::leaf(leaf), GroundTerm::leaf(leaf)]),
+            GroundTerm::leaf(leaf),
+        ],
+    );
+    let p = Path::descend(0, 2);
+    let pumped = size_elem_pump(&full, &p, &t).unwrap();
+    println!(
+        "pumped leftmost leaf: tree size {} -> {} (leftmost path parity flipped)",
+        full.size(),
+        pumped.size()
+    );
+}

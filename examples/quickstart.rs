@@ -1,0 +1,37 @@
+//! Quickstart: infer a regular invariant for the paper's Example 1.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ringen::chc::parse_str;
+use ringen::core::{solve, Answer, RingenConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `even` over Peano numbers: the assertion says no two consecutive
+    // numbers are both even.
+    let sys = parse_str(
+        r#"
+        (set-logic HORN)
+        (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+        (declare-fun even (Nat) Bool)
+        (assert (even Z))
+        (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+        (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+        (check-sat)
+        "#,
+    )?;
+
+    let (answer, stats) = solve(&sys, &RingenConfig::default());
+    match answer {
+        Answer::Sat(sat) => {
+            println!("sat — the program is safe");
+            println!("finite model size: {:?}", stats.model_size);
+            println!("regular invariant (the paper's two-state automaton):");
+            print!("{}", sat.invariant.display(&sat.preprocessed.system));
+        }
+        Answer::Unsat(r) => println!("unsat — refutation with {} steps", r.len()),
+        Answer::Unknown(d) => println!("unknown: {d:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! `ringen` — regular invariants for constrained Horn clauses over
+//! algebraic data types.
+//!
+//! A from-scratch Rust reproduction of *"Beyond the Elementary
+//! Representations of Program Invariants over Algebraic Data Types"*
+//! (Kostyukov, Mordvinov, Fedyukovich; PLDI 2021). This facade crate
+//! re-exports the whole workspace:
+//!
+//! * [`terms`] — many-sorted first-order terms, ADT signatures, the
+//!   Herbrand universe, paths and pumping substitutions (§3, §6);
+//! * [`chc`] — constrained Horn clauses, SMT-LIB parser/printer (§3);
+//! * [`automata`] — deterministic finite tree (tuple) automata, the
+//!   `Reg` representation class (Definitions 2–3);
+//! * [`sat`] — a CDCL SAT solver (substrate);
+//! * [`fmf`] — a MACE-style finite-model finder over EUF (§4.1–4.2);
+//! * [`core`] — the RInGen pipeline: preprocessing (§4.4–4.5),
+//!   model → automaton (Theorem 1), certified SAT/UNSAT answers, and
+//!   the executable pumping lemmas (§6);
+//! * [`elem`], [`sizeelem`] — the `Elem` and `SizeElem` representation
+//!   classes with their own solvers (the Spacer/Eldarica roles, §8);
+//! * [`regelem`] — the §7-future-work class of first-order formulas
+//!   with regular membership predicates, subsuming `Reg ∪ Elem`, with
+//!   a three-phase hybrid solver (§8's concluding conjecture);
+//! * [`induction`], [`verimap`] — the remaining evaluation baselines;
+//! * [`benchgen`] — generators for every workload of §8.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ringen::core::{solve, Answer, RingenConfig};
+//!
+//! // Example 1 of the paper: no two consecutive Peano numbers are even.
+//! let sys = ringen::chc::parse_str(r#"
+//!   (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+//!   (declare-fun even (Nat) Bool)
+//!   (assert (even Z))
+//!   (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+//!   (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+//! "#)?;
+//! let (answer, _) = solve(&sys, &RingenConfig::default());
+//! match answer {
+//!     Answer::Sat(sat) => assert_eq!(sat.invariant.state_count(), 2),
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! # Ok::<(), ringen::chc::ParseError>(())
+//! ```
+
+pub use ringen_automata as automata;
+pub use ringen_benchgen as benchgen;
+pub use ringen_chc as chc;
+pub use ringen_core as core;
+pub use ringen_elem as elem;
+pub use ringen_fmf as fmf;
+pub use ringen_induction as induction;
+pub use ringen_regelem as regelem;
+pub use ringen_sat as sat;
+pub use ringen_sizeelem as sizeelem;
+pub use ringen_terms as terms;
+pub use ringen_verimap as verimap;

@@ -1,0 +1,129 @@
+//! Cross-solver consistency over suite samples: no solver may ever
+//! contradict the ground truth or another solver, every RInGen SAT
+//! carries a verified invariant, and template invariants must contain
+//! the least model while excluding query violations.
+
+use ringen::benchgen::{diseq_suite, positive_eq_suite, tip_suite, Expected};
+use ringen::core::definability::LfpOracle;
+use ringen::core::saturation::SaturationConfig;
+use ringen::core::{solve, Answer, RingenConfig};
+use ringen::elem::{solve_elem, ElemAnswer, ElemConfig};
+use ringen::sizeelem::{solve_size_elem, SizeElemAnswer, SizeElemConfig};
+
+fn sample() -> Vec<ringen::benchgen::Benchmark> {
+    let mut out = Vec::new();
+    out.extend(positive_eq_suite().into_iter().take(8));
+    out.extend(diseq_suite().into_iter().take(7));
+    let tip = tip_suite();
+    // A slice from each designed region.
+    for name in [
+        "tip/reg-only-0",
+        "tip/parity-0",
+        "tip/order-0",
+        "tip/diag-0",
+        "tip/incdec-0",
+        "tip/unsat-depth-2",
+        "tip/hard-0",
+    ] {
+        out.push(tip.iter().find(|b| b.name == name).unwrap().clone());
+    }
+    out
+}
+
+#[test]
+fn no_solver_contradicts_ground_truth() {
+    use ringen::regelem::{solve_regelem, RegElemConfig};
+    // The combined phase alone: the regular and elementary phases are
+    // covered by their own solvers on the previous lines.
+    let regelem_cfg =
+        RegElemConfig { regular: None, elementary: None, ..RegElemConfig::quick() };
+    for b in sample() {
+        let (core_ans, _) = solve(&b.system, &RingenConfig::quick());
+        let (elem_ans, _) = solve_elem(&b.system, &ElemConfig::quick());
+        let (size_ans, _) = solve_size_elem(&b.system, &SizeElemConfig::quick());
+        let (regelem_ans, _) = solve_regelem(&b.system, &regelem_cfg);
+        let verdicts = [
+            ("ringen", core_ans.is_sat(), core_ans.is_unsat()),
+            ("elem", elem_ans.is_sat(), elem_ans.is_unsat()),
+            ("sizeelem", size_ans.is_sat(), size_ans.is_unsat()),
+            ("regelem", regelem_ans.is_sat(), regelem_ans.is_unsat()),
+        ];
+        for (who, sat, unsat) in verdicts {
+            match b.expected {
+                Expected::Sat => assert!(!unsat, "{who} refuted satisfiable {}", b.name),
+                Expected::Unsat => assert!(!sat, "{who} proved unsatisfiable {}", b.name),
+            }
+        }
+    }
+}
+
+#[test]
+fn template_invariants_contain_the_least_model() {
+    // On SAT answers, the inferred invariant must contain every
+    // saturation-derived fact (it over-approximates the least model) and
+    // never make a query body true.
+    let cfg = SaturationConfig {
+        max_facts: 200,
+        max_rounds: 12,
+        max_term_height: 10,
+        free_var_candidates: 4,
+        max_steps: 50_000,
+    };
+    for b in sample() {
+        if b.expected != Expected::Sat {
+            continue;
+        }
+        let oracle = LfpOracle::new(&b.system, &cfg);
+        if let (ElemAnswer::Sat(inv), _) = solve_elem(&b.system, &ElemConfig::quick()) {
+            for p in b.system.rels.iter() {
+                for fact in oracle.members(p) {
+                    assert!(
+                        inv.holds(p, fact),
+                        "elem invariant of {} misses a least-model fact",
+                        b.name
+                    );
+                }
+            }
+        }
+        if let (SizeElemAnswer::Sat(inv), _) = solve_size_elem(&b.system, &SizeElemConfig::quick())
+        {
+            for p in b.system.rels.iter() {
+                for fact in oracle.members(p) {
+                    assert!(
+                        inv.holds(p, fact),
+                        "sizeelem invariant of {} misses a least-model fact",
+                        b.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn regular_invariants_contain_the_least_model() {
+    let cfg = SaturationConfig {
+        max_facts: 200,
+        max_rounds: 12,
+        max_term_height: 10,
+        free_var_candidates: 4,
+        max_steps: 50_000,
+    };
+    for b in sample() {
+        if b.expected != Expected::Sat {
+            continue;
+        }
+        if let (Answer::Sat(sat), _) = solve(&b.system, &RingenConfig::quick()) {
+            let oracle = LfpOracle::new(&b.system, &cfg);
+            for p in b.system.rels.iter() {
+                for fact in oracle.members(p) {
+                    assert!(
+                        sat.invariant.holds(p, fact),
+                        "regular invariant of {} misses a least-model fact",
+                        b.name
+                    );
+                }
+            }
+        }
+    }
+}
