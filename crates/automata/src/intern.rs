@@ -1,0 +1,126 @@
+//! Open-addressing intern table used by the automata kernels.
+//!
+//! The transition tables of [`crate::Dfta`] and [`crate::Nfta`] store
+//! rule left-hand sides `(f, q₁…qₘ)` in a flat arena and key them
+//! through this table: a power-of-two, linear-probing map from a
+//! 64-bit Fx hash to a `u32` payload (the rule index). Equality is
+//! delegated to the caller, which compares against the arena slice —
+//! so a lookup needs **no allocation and no key materialization**,
+//! unlike `HashMap<(FuncId, Vec<StateId>), _>`.
+
+const EMPTY: u32 = u32::MAX;
+
+/// The probe table. Values are `u32` payloads; `u32::MAX` is reserved
+/// as the empty marker.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InternTable {
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl InternTable {
+    /// Index of the first slot for `hash`.
+    #[inline]
+    fn start(&self, hash: u64) -> usize {
+        // High bits: FxHash concentrates entropy there.
+        (hash >> 32) as usize & (self.slots.len() - 1)
+    }
+
+    /// Looks up the payload whose key matches, where `eq(payload)`
+    /// decides a match. Zero-allocation.
+    #[inline]
+    pub(crate) fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.start(hash);
+        loop {
+            let v = self.slots[i];
+            if v == EMPTY {
+                return None;
+            }
+            if eq(v) {
+                return Some(v);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts a payload the caller has verified to be absent.
+    /// `rehash` recomputes the hash of a stored payload when the table
+    /// grows.
+    pub(crate) fn insert_new(&mut self, hash: u64, value: u32, mut rehash: impl FnMut(u32) -> u64) {
+        debug_assert_ne!(value, EMPTY, "payload u32::MAX is reserved");
+        if self.slots.is_empty() || (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow(&mut rehash);
+        }
+        self.place(hash, value);
+        self.len += 1;
+    }
+
+    fn place(&mut self, hash: u64, value: u32) {
+        let mask = self.slots.len() - 1;
+        let mut i = self.start(hash);
+        while self.slots[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = value;
+    }
+
+    fn grow(&mut self, rehash: &mut impl FnMut(u32) -> u64) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        for v in old {
+            if v != EMPTY {
+                let h = rehash(v);
+                self.place(h, v);
+            }
+        }
+    }
+
+    /// Number of stored payloads.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hasher;
+
+    fn lhs_hash(func: u32, args: &[u32]) -> u64 {
+        let mut h = rustc_hash::FxHasher::default();
+        h.write_u32(func);
+        h.write_u32(args.len() as u32);
+        for &a in args {
+            h.write_u32(a);
+        }
+        h.finish()
+    }
+
+    #[test]
+    fn find_and_insert_over_growth() {
+        // Keys are the payloads themselves; hash is deliberately lumpy
+        // to exercise probing.
+        let mut t = InternTable::default();
+        let hash = |v: u32| lhs_hash(v % 7, &[v]);
+        for v in 0..1000 {
+            assert_eq!(t.find(hash(v), |p| p == v), None);
+            t.insert_new(hash(v), v, hash);
+        }
+        assert_eq!(t.len(), 1000);
+        for v in 0..1000 {
+            assert_eq!(t.find(hash(v), |p| p == v), Some(v));
+        }
+        assert_eq!(t.find(hash(1000), |p| p == 1000), None);
+    }
+
+    #[test]
+    fn arity_is_part_of_the_hash() {
+        assert_ne!(lhs_hash(3, &[1]), lhs_hash(3, &[1, 0]));
+        assert_ne!(lhs_hash(3, &[]), lhs_hash(4, &[]));
+    }
+}

@@ -8,7 +8,40 @@
 //!   witnesses, trimming and 1-automaton minimization;
 //! * [`Nfta`] — nondeterministic automata with subset-construction
 //!   determinization (TATA [14]), the substrate for the regular
-//!   language extensions §7 lists as future work.
+//!   language extensions §7 lists as future work;
+//! * [`reference`] — the original ordered-map kernel, kept as the
+//!   executable specification for differential tests and as the
+//!   baseline the micro-benchmarks measure speedups against.
+//!
+//! # The interned kernel
+//!
+//! Everything above a DFTA in this workspace — invariant inference, the
+//! inductiveness check, the Boolean closure operations — bottoms out in
+//! millions of `step`/`run`/fixpoint calls, so the kernel is built
+//! around *interned transitions and dense tables*:
+//!
+//! * every rule left-hand side `(f, q₁…qₘ)` is stored once in a flat
+//!   argument arena (`Vec<StateId>`), with fixed-size rule records
+//!   pointing into it, grouped by function symbol and discoverable
+//!   through an open-addressing Fx-hashed intern table
+//!   ([`Dfta::step`] is a single hash probe, **zero heap
+//!   allocations** — the paper's shared-table `n`-automata of §4.2
+//!   make every predicate share this one structure);
+//! * [`Dfta::run`] / [`Dfta::eval`] are iterative post-order
+//!   evaluations with an explicit frame stack (no recursion — deep
+//!   counterexample terms cannot overflow the call stack), and
+//!   [`Dfta::run_cached`] adds hash-consed memoization of shared
+//!   ground subterms for bulk workloads;
+//! * [`Dfta::reachable`] and [`Dfta::witnesses`] are worklist fixpoints
+//!   with per-rule pending-argument counters — `O(|Δ|·arity)` total
+//!   instead of a full table rescan per round — and `witnesses`
+//!   discovers states in breadth-first order so every witness has
+//!   minimum height;
+//! * [`Dfta::product`] interns only *product-reachable* state pairs via
+//!   a worklist over rule pairs, so intersection/union never
+//!   materialize the `|S₁|·|S₂|` square, and
+//!   [`TupleAutomaton::minimized`] refines partitions with single
+//!   passes over the flat rule table.
 //!
 //! # Example
 //!
@@ -31,9 +64,11 @@
 //! ```
 
 mod dfta;
+mod intern;
 mod nfta;
+pub mod reference;
 mod tuple;
 
-pub use dfta::{Dfta, DisplayDfta, StateId};
+pub use dfta::{Dfta, DisplayDfta, RunCache, StateId};
 pub use nfta::{NState, Nfta};
 pub use tuple::TupleAutomaton;

@@ -11,12 +11,22 @@
 //! operations of [`crate::TupleAutomaton`] and the membership solver of
 //! the `ringen-regelem` crate.
 //!
-//! [`Nfta::determinize`] is the textbook subset construction, run
-//! bottom-up so that only *reachable* subset states are ever created
-//! (the resulting [`Dfta`] is trim by construction).
+//! Like [`crate::Dfta`], rules are interned: argument tuples live in a
+//! flat arena, rule records are grouped by function symbol, and
+//! [`Nfta::run`] is an iterative post-order evaluation that consults
+//! only the rules of the symbol at hand.
+//!
+//! [`Nfta::determinize`] is the subset construction (TATA, Theorem
+//! 1.1.9) driven by a worklist of newly discovered subset states: a
+//! combination of argument subsets is (re-)examined only when one of its
+//! members is new, instead of the whole combination space being rescanned
+//! every round. Only *reachable* subset states are ever created, so the
+//! resulting [`Dfta`] is trim by construction.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
+
+use rustc_hash::FxHashMap;
 
 use ringen_terms::{FuncId, GroundTerm, SortId};
 
@@ -36,8 +46,16 @@ impl NState {
 
     /// Builds an `NState` from an index previously obtained from
     /// [`NState::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds `u32::MAX` (instead of silently
+    /// truncating, which would alias an unrelated state).
     pub fn from_index(i: usize) -> Self {
-        NState(i as u32)
+        match u32::try_from(i) {
+            Ok(raw) => NState(raw),
+            Err(_) => panic!("state index {i} exceeds u32::MAX"),
+        }
     }
 }
 
@@ -45,6 +63,16 @@ impl fmt::Display for NState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)
     }
+}
+
+/// One nondeterministic rule `f(args…) → {targets}`; `start/len` index
+/// the shared argument arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct NRule {
+    func: FuncId,
+    start: u32,
+    len: u32,
+    targets: BTreeSet<NState>,
 }
 
 /// A nondeterministic finite tree automaton recognizing a language of
@@ -73,12 +101,15 @@ impl fmt::Display for NState {
 /// assert!(!a.accepts(&zero));
 /// assert!(a.accepts(&two));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Nfta {
     sorts: Vec<SortId>,
-    /// `(f, args) → set of targets`; the set being non-singleton is what
-    /// makes the automaton nondeterministic.
-    rules: BTreeMap<(FuncId, Vec<NState>), BTreeSet<NState>>,
+    /// Flat arena holding every rule's argument tuple back to back.
+    lhs_args: Vec<NState>,
+    /// Rule records, in first-insertion order of their left-hand side.
+    rules: Vec<NRule>,
+    /// Rule indices grouped by function symbol.
+    by_func: Vec<Vec<u32>>,
     finals: BTreeSet<NState>,
 }
 
@@ -90,8 +121,9 @@ impl Nfta {
 
     /// Adds a state carrying the given sort.
     pub fn add_state(&mut self, sort: SortId) -> NState {
+        let id = NState::from_index(self.sorts.len());
         self.sorts.push(sort);
-        NState((self.sorts.len() - 1) as u32)
+        id
     }
 
     /// Adds the rules `f(args…) → t` for every `t` in `targets`.
@@ -104,10 +136,35 @@ impl Nfta {
         for s in args.iter().chain(targets) {
             assert!(s.index() < self.sorts.len(), "stale state id {s}");
         }
-        self.rules
-            .entry((f, args))
-            .or_default()
-            .extend(targets.iter().copied());
+        // NFTAs have few rules per symbol; a scan of the symbol's group
+        // replaces a keyed lookup without allocating a key.
+        if f.index() >= self.by_func.len() {
+            self.by_func.resize_with(f.index() + 1, Vec::new);
+        }
+        for &ri in &self.by_func[f.index()] {
+            let r = &self.rules[ri as usize];
+            if self.lhs_args[r.start as usize..(r.start + r.len) as usize] == args[..] {
+                self.rules[ri as usize]
+                    .targets
+                    .extend(targets.iter().copied());
+                return;
+            }
+        }
+        let ri = u32::try_from(self.rules.len()).expect("rule count fits u32");
+        let start = u32::try_from(self.lhs_args.len()).expect("arena offset fits u32");
+        self.lhs_args.extend_from_slice(&args);
+        self.rules.push(NRule {
+            func: f,
+            start,
+            len: args.len() as u32,
+            targets: targets.iter().copied().collect(),
+        });
+        self.by_func[f.index()].push(ri);
+    }
+
+    #[inline]
+    fn rule_args(&self, r: &NRule) -> &[NState] {
+        &self.lhs_args[r.start as usize..(r.start + r.len) as usize]
     }
 
     /// Marks a state as final.
@@ -147,28 +204,59 @@ impl Nfta {
     /// Iterates over all rules `(f, args) → target` (one item per
     /// target).
     pub fn transitions(&self) -> impl Iterator<Item = (FuncId, &[NState], NState)> + '_ {
-        self.rules
-            .iter()
-            .flat_map(|((f, a), ts)| ts.iter().map(move |t| (*f, a.as_slice(), *t)))
+        self.rules.iter().flat_map(move |r| {
+            r.targets
+                .iter()
+                .map(move |t| (r.func, self.rule_args(r), *t))
+        })
     }
 
     /// The set of states reachable by some run on `t` (the
     /// nondeterministic analogue of Definition 3's `A[t]`; empty when no
     /// run exists).
+    ///
+    /// Iterative post-order evaluation consulting only the rules of the
+    /// symbol at each node.
     pub fn run(&self, t: &GroundTerm) -> BTreeSet<NState> {
-        let arg_sets: Vec<BTreeSet<NState>> = t.args().iter().map(|a| self.run(a)).collect();
-        let mut out = BTreeSet::new();
-        // A rule fires when every argument state is reachable in the
-        // corresponding subterm.
-        for ((f, args), targets) in &self.rules {
-            if *f == t.func()
-                && args.len() == arg_sets.len()
-                && args.iter().zip(&arg_sets).all(|(q, set)| set.contains(q))
-            {
-                out.extend(targets.iter().copied());
+        let mut frames: Vec<(&GroundTerm, usize)> = vec![(t, 0)];
+        let mut values: Vec<BTreeSet<NState>> = Vec::new();
+        while let Some(frame) = frames.last_mut() {
+            let (term, next) = *frame;
+            let args = term.args();
+            if next < args.len() {
+                frame.1 += 1;
+                frames.push((&args[next], 0));
+            } else {
+                frames.pop();
+                let base = values.len() - args.len();
+                let mut out = BTreeSet::new();
+                for &ri in self.rules_of(term.func()) {
+                    let r = &self.rules[ri as usize];
+                    // A rule fires when every argument state is
+                    // reachable in the corresponding subterm.
+                    if r.len as usize == args.len()
+                        && self
+                            .rule_args(r)
+                            .iter()
+                            .zip(&values[base..])
+                            .all(|(q, set)| set.contains(q))
+                    {
+                        out.extend(r.targets.iter().copied());
+                    }
+                }
+                values.truncate(base);
+                values.push(out);
             }
         }
-        out
+        values.pop().unwrap_or_default()
+    }
+
+    #[inline]
+    fn rules_of(&self, f: FuncId) -> &[u32] {
+        self.by_func
+            .get(f.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Whether some run on `t` ends in a final state.
@@ -200,11 +288,11 @@ impl Nfta {
         for s in other.states() {
             out.add_state(other.sort_of(s));
         }
-        let shift = |s: NState| NState((s.index() + offset) as u32);
-        for ((f, args), targets) in &other.rules {
-            let nargs: Vec<NState> = args.iter().map(|a| shift(*a)).collect();
-            let nts: Vec<NState> = targets.iter().map(|t| shift(*t)).collect();
-            out.add_transition(*f, nargs, &nts);
+        let shift = |s: NState| NState::from_index(s.index() + offset);
+        for r in &other.rules {
+            let nargs: Vec<NState> = other.rule_args(r).iter().map(|a| shift(*a)).collect();
+            let nts: Vec<NState> = r.targets.iter().map(|t| shift(*t)).collect();
+            out.add_transition(r.func, nargs, &nts);
         }
         for s in &other.finals {
             out.add_final(shift(*s));
@@ -238,82 +326,165 @@ impl Nfta {
             None => self.sort_of(NState(0)),
         };
 
+        // Argument sorts per function symbol, read off the rules.
+        let mut func_domains: Vec<(FuncId, Vec<SortId>)> = Vec::new();
+        let mut seen_funcs: FxHashMap<FuncId, ()> = FxHashMap::default();
+        for r in &self.rules {
+            if seen_funcs.insert(r.func, ()).is_none() {
+                let domain = self.rule_args(r).iter().map(|a| self.sort_of(*a)).collect();
+                func_domains.push((r.func, domain));
+            }
+        }
+
         let mut dfta = Dfta::new();
-        // Subset → deterministic state, discovered bottom-up.
-        let mut ids: BTreeMap<BTreeSet<NState>, StateId> = BTreeMap::new();
-        loop {
-            let mut changed = false;
-            // Group the currently discovered subsets by sort for argument
-            // enumeration.
-            let mut by_sort: BTreeMap<SortId, Vec<&BTreeSet<NState>>> = BTreeMap::new();
-            for set in ids.keys() {
-                let sort = self.sort_of(*set.iter().next().expect("subsets are nonempty"));
-                by_sort.entry(sort).or_default().push(set);
-            }
-            // For every function symbol with known argument sorts, try
-            // every combination of discovered subsets.
-            let mut sigs: BTreeMap<FuncId, Vec<SortId>> = BTreeMap::new();
-            for (f, args, _) in self.transitions() {
-                sigs.entry(f)
-                    .or_insert_with(|| args.iter().map(|a| self.sort_of(*a)).collect());
-            }
-            let mut additions: Vec<(FuncId, Vec<BTreeSet<NState>>, BTreeSet<NState>)> = Vec::new();
-            for (f, domain) in &sigs {
-                let empty = Vec::new();
-                let choices: Vec<Vec<&BTreeSet<NState>>> = domain
-                    .iter()
-                    .map(|s| by_sort.get(s).unwrap_or(&empty).clone())
-                    .collect();
-                for combo in cartesian(&choices) {
-                    let target: BTreeSet<NState> = self
-                        .rules
+        // Subset → deterministic state. The per-sort grouping needed for
+        // combination enumeration is `dfta.states_of_sort` — the kernel's
+        // own index, not a second copy.
+        let mut ids: FxHashMap<BTreeSet<NState>, StateId> = FxHashMap::default();
+        let mut subset_of: Vec<BTreeSet<NState>> = Vec::new();
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+
+        // The target subset of `f` applied to the given argument subsets
+        // (empty = no transition).
+        let target_of = |f: FuncId, combo: &[StateId], subset_of: &[BTreeSet<NState>]| {
+            let mut target: BTreeSet<NState> = BTreeSet::new();
+            for &ri in self.rules_of(f) {
+                let r = &self.rules[ri as usize];
+                if r.len as usize == combo.len()
+                    && self
+                        .rule_args(r)
                         .iter()
-                        .filter(|((g, args), _)| {
-                            g == f
-                                && args.len() == combo.len()
-                                && args.iter().zip(&combo).all(|(q, set)| set.contains(q))
+                        .zip(combo)
+                        .all(|(q, s)| subset_of[s.index()].contains(q))
+                {
+                    target.extend(r.targets.iter().copied());
+                }
+            }
+            target
+        };
+
+        // Seed with the nullary symbols, then propagate: a combination
+        // is examined when its newest member comes off the worklist.
+        for (f, domain) in &func_domains {
+            if !domain.is_empty() {
+                continue;
+            }
+            let target = target_of(*f, &[], &subset_of);
+            if target.is_empty() {
+                continue;
+            }
+            let id = intern_subset(
+                target,
+                self,
+                &mut dfta,
+                &mut ids,
+                &mut subset_of,
+                &mut queue,
+            );
+            if dfta.step(*f, &[]).is_none() {
+                dfta.add_transition_slice(*f, &[], id);
+            }
+        }
+        while let Some(new_state) = queue.pop_front() {
+            let new_sort = dfta.sort_of(new_state);
+            for (f, domain) in &func_domains {
+                for j in 0..domain.len() {
+                    if domain[j] != new_sort {
+                        continue;
+                    }
+                    let choices: Vec<Vec<StateId>> = domain
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            if i == j {
+                                vec![new_state]
+                            } else {
+                                dfta.states_of_sort(*s).collect()
+                            }
                         })
-                        .flat_map(|(_, ts)| ts.iter().copied())
                         .collect();
-                    if !target.is_empty() {
-                        additions.push((*f, combo.into_iter().cloned().collect(), target));
+                    for combo in cartesian(&choices) {
+                        if dfta.step(*f, &combo).is_some() {
+                            continue;
+                        }
+                        let target = target_of(*f, &combo, &subset_of);
+                        if target.is_empty() {
+                            continue;
+                        }
+                        let id = intern_subset(
+                            target,
+                            self,
+                            &mut dfta,
+                            &mut ids,
+                            &mut subset_of,
+                            &mut queue,
+                        );
+                        dfta.add_transition_slice(*f, &combo, id);
                     }
                 }
-            }
-            for (f, arg_sets, target) in additions {
-                let next = ids.len();
-                let target_id = match ids.get(&target) {
-                    Some(id) => *id,
-                    None => {
-                        let id = dfta.add_state(self.sort_of(*target.iter().next().unwrap()));
-                        debug_assert_eq!(id.index(), next);
-                        ids.insert(target.clone(), id);
-                        changed = true;
-                        id
-                    }
-                };
-                let args: Vec<StateId> = arg_sets.iter().map(|s| ids[s]).collect();
-                if dfta.step(f, &args).is_none() {
-                    dfta.add_transition(f, args, target_id);
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
             }
         }
 
         let mut out = TupleAutomaton::new(dfta, vec![lang_sort]);
-        for (set, id) in &ids {
-            if self.sort_of(*set.iter().next().unwrap()) == lang_sort
-                && set.iter().any(|s| self.finals.contains(s))
-            {
-                out.add_final(vec![*id]);
-            }
+        let mut final_ids: Vec<StateId> = ids
+            .iter()
+            .filter(|(set, _)| {
+                self.sort_of(*set.iter().next().expect("subsets are nonempty")) == lang_sort
+                    && set.iter().any(|s| self.finals.contains(s))
+            })
+            .map(|(_, id)| *id)
+            .collect();
+        final_ids.sort();
+        for id in final_ids {
+            out.add_final(vec![id]);
         }
         out
     }
 }
+
+/// Interns a subset state in the determinized automaton, enqueuing it
+/// for combination processing when new.
+fn intern_subset(
+    target: BTreeSet<NState>,
+    nfta: &Nfta,
+    dfta: &mut Dfta,
+    ids: &mut FxHashMap<BTreeSet<NState>, StateId>,
+    subset_of: &mut Vec<BTreeSet<NState>>,
+    queue: &mut VecDeque<StateId>,
+) -> StateId {
+    if let Some(id) = ids.get(&target) {
+        return *id;
+    }
+    let sort = nfta.sort_of(*target.iter().next().expect("subsets are nonempty"));
+    let id = dfta.add_state(sort);
+    debug_assert_eq!(id.index(), subset_of.len());
+    subset_of.push(target.clone());
+    ids.insert(target, id);
+    queue.push_back(id);
+    id
+}
+
+/// Rule-set equality: insertion order of rules is irrelevant, matching
+/// the old ordered-map representation.
+impl PartialEq for Nfta {
+    fn eq(&self, other: &Self) -> bool {
+        if self.sorts != other.sorts
+            || self.finals != other.finals
+            || self.rules.len() != other.rules.len()
+        {
+            return false;
+        }
+        self.rules.iter().all(|r| {
+            let args = self.rule_args(r);
+            other.rules_of(r.func).iter().any(|&ri| {
+                let o = &other.rules[ri as usize];
+                other.rule_args(o) == args && o.targets == r.targets
+            })
+        })
+    }
+}
+
+impl Eq for Nfta {}
 
 #[cfg(test)]
 mod tests {
@@ -429,9 +600,7 @@ mod tests {
 
         fn contains_pattern(t: &GroundTerm, leaf: FuncId, node: FuncId) -> bool {
             let args = t.args();
-            if t.func() == node
-                && args.iter().all(|a| a.func() == leaf && a.args().is_empty())
-            {
+            if t.func() == node && args.iter().all(|a| a.func() == leaf && a.args().is_empty()) {
                 return true;
             }
             args.iter().any(|a| contains_pattern(a, leaf, node))
@@ -472,6 +641,21 @@ mod tests {
         b.add_transition(s, vec![any], &[pos]);
         assert_eq!(a, b);
         let _ = (z,);
+    }
+
+    #[test]
+    fn run_survives_very_deep_terms() {
+        // Big stack only for the term's recursive drop glue; `run` is
+        // iterative.
+        std::thread::Builder::new()
+            .stack_size(64 << 20)
+            .spawn(|| {
+                let (_sig, a, z, s) = positive_nfta();
+                assert!(a.accepts(&num(100_000, z, s)));
+            })
+            .expect("spawn test thread")
+            .join()
+            .expect("deep-term run");
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! The pre-interning automata kernel, kept verbatim as an *executable
+//! specification*.
+//!
+//! This is the original ordered-map representation the interned kernel
+//! replaced: `BTreeMap<(FuncId, Vec<StateId>), StateId>` transition
+//! tables (a `Vec` key allocation on every lookup), recursive `run`,
+//! and rescan-everything fixpoints. It exists for two jobs:
+//!
+//! 1. **Differential testing** — the property tests in
+//!    `tests/prop.rs` pin the interned kernel to this one: `run`,
+//!    `eval`, product, complement and minimization must agree on
+//!    randomly generated automata and ground terms.
+//! 2. **Benchmark baseline** — the kernel micro-benches report their
+//!    speedups against this implementation, so the perf trajectory has
+//!    a fixed, in-tree reference point.
+//!
+//! Do not use it from production code paths; it is deliberately the
+//! slow, obviously-correct version.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ringen_terms::{FuncId, GroundTerm, Signature, SortId, Term, VarId};
+
+use crate::dfta::{cartesian, StateId};
+use crate::{Dfta, TupleAutomaton};
+
+/// The ordered-map twin of [`Dfta`] (reference semantics).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefDfta {
+    sorts: Vec<SortId>,
+    table: BTreeMap<(FuncId, Vec<StateId>), StateId>,
+}
+
+impl RefDfta {
+    /// Creates an automaton with no states.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a state carrying the given sort.
+    pub fn add_state(&mut self, sort: SortId) -> StateId {
+        self.sorts.push(sort);
+        StateId::from_index(self.sorts.len() - 1)
+    }
+
+    /// Adds the rule `f(args…) → target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate left-hand side or a stale state id.
+    pub fn add_transition(&mut self, f: FuncId, args: Vec<StateId>, target: StateId) {
+        for s in args.iter().chain(Some(&target)) {
+            assert!(s.index() < self.sorts.len(), "stale state id {s}");
+        }
+        let prev = self.table.insert((f, args), target);
+        assert!(prev.is_none(), "duplicate transition left-hand side");
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.sorts.len()
+    }
+
+    /// All states.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.sorts.len()).map(StateId::from_index)
+    }
+
+    /// The sort a state carries.
+    pub fn sort_of(&self, s: StateId) -> SortId {
+        self.sorts[s.index()]
+    }
+
+    /// States carrying the given sort (O(n) scan — reference behavior).
+    pub fn states_of_sort(&self, sort: SortId) -> impl Iterator<Item = StateId> + '_ {
+        self.states().filter(move |s| self.sort_of(*s) == sort)
+    }
+
+    /// The target of `f(args…)`, if a rule exists. Allocates an owned
+    /// key per call — the cost the interned kernel removes.
+    pub fn step(&self, f: FuncId, args: &[StateId]) -> Option<StateId> {
+        self.table.get(&(f, args.to_vec())).copied()
+    }
+
+    /// Iterates over all rules.
+    pub fn transitions(&self) -> impl Iterator<Item = (FuncId, &[StateId], StateId)> + '_ {
+        self.table.iter().map(|((f, a), t)| (*f, a.as_slice(), *t))
+    }
+
+    /// Recursive `A[t]` (Definition 3).
+    pub fn run(&self, t: &GroundTerm) -> Option<StateId> {
+        let mut args = Vec::with_capacity(t.args().len());
+        for a in t.args() {
+            args.push(self.run(a)?);
+        }
+        self.step(t.func(), &args)
+    }
+
+    /// Recursive compositional evaluation of a term with variables.
+    pub fn eval(&self, t: &Term, env: &BTreeMap<VarId, StateId>) -> Option<StateId> {
+        match t {
+            Term::Var(v) => env.get(v).copied(),
+            Term::App(f, ts) => {
+                let mut args = Vec::with_capacity(ts.len());
+                for a in ts {
+                    args.push(self.eval(a, env)?);
+                }
+                self.step(*f, &args)
+            }
+        }
+    }
+
+    /// Reachable states by round-based rescanning.
+    pub fn reachable(&self) -> BTreeSet<StateId> {
+        let mut reach: BTreeSet<StateId> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for ((_, args), target) in &self.table {
+                if !reach.contains(target) && args.iter().all(|a| reach.contains(a)) {
+                    reach.insert(*target);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return reach;
+            }
+        }
+    }
+
+    /// Smallest-height witnesses by round-based rescanning.
+    pub fn witnesses(&self) -> Vec<Option<GroundTerm>> {
+        let mut wit: Vec<Option<GroundTerm>> = vec![None; self.state_count()];
+        loop {
+            let mut changed = false;
+            for ((f, args), target) in &self.table {
+                if wit[target.index()].is_some() {
+                    continue;
+                }
+                let ws: Option<Vec<GroundTerm>> =
+                    args.iter().map(|a| wit[a.index()].clone()).collect();
+                if let Some(ws) = ws {
+                    wit[target.index()] = Some(GroundTerm::app(*f, ws));
+                    changed = true;
+                }
+            }
+            if !changed {
+                return wit;
+            }
+        }
+    }
+
+    /// Whether `run` is total on well-sorted terms over `sig`.
+    pub fn is_complete(&self, sig: &Signature) -> bool {
+        self.missing_lhs(sig).is_empty()
+    }
+
+    fn missing_lhs(&self, sig: &Signature) -> Vec<(FuncId, Vec<StateId>)> {
+        let mut missing = Vec::new();
+        for c in sig.constructors() {
+            let domain = &sig.func(c).domain;
+            let choices: Vec<Vec<StateId>> = domain
+                .iter()
+                .map(|s| self.states_of_sort(*s).collect())
+                .collect();
+            for combo in cartesian(&choices) {
+                if self.step(c, &combo).is_none() {
+                    missing.push((c, combo));
+                }
+            }
+        }
+        missing
+    }
+
+    /// Completion with one sink per ADT sort.
+    pub fn completed(&self, sig: &Signature) -> RefDfta {
+        let mut out = self.clone();
+        let mut sinks: BTreeMap<SortId, StateId> = BTreeMap::new();
+        for adt in sig.adts() {
+            let sink = out.add_state(adt.sort);
+            sinks.insert(adt.sort, sink);
+        }
+        loop {
+            let missing = out.missing_lhs(sig);
+            if missing.is_empty() {
+                return out;
+            }
+            for (f, args) in missing {
+                let target = sinks[&sig.func(f).range];
+                out.table.insert((f, args), target);
+            }
+        }
+    }
+
+    /// Product over **all** sort-compatible state pairs (the reference
+    /// semantics; the interned kernel materializes only reachable
+    /// pairs, which preserves the accepted relation).
+    pub fn product(&self, other: &RefDfta) -> (RefDfta, BTreeMap<(StateId, StateId), StateId>) {
+        let mut out = RefDfta::new();
+        let mut map = BTreeMap::new();
+        for a in self.states() {
+            for b in other.states() {
+                if self.sort_of(a) == other.sort_of(b) {
+                    let p = out.add_state(self.sort_of(a));
+                    map.insert((a, b), p);
+                }
+            }
+        }
+        for ((f, args_a), ta) in &self.table {
+            'rules: for ((g, args_b), tb) in &other.table {
+                if f != g || args_a.len() != args_b.len() {
+                    continue;
+                }
+                let mut args_p = Vec::with_capacity(args_a.len());
+                for (a, b) in args_a.iter().zip(args_b) {
+                    match map.get(&(*a, *b)) {
+                        Some(p) => args_p.push(*p),
+                        None => continue 'rules,
+                    }
+                }
+                if let Some(tp) = map.get(&(*ta, *tb)) {
+                    out.table.insert((*f, args_p), *tp);
+                }
+            }
+        }
+        (out, map)
+    }
+
+    /// Converts to the interned representation (same states, same
+    /// rules).
+    pub fn to_interned(&self) -> Dfta {
+        let mut out = Dfta::new();
+        for s in self.states() {
+            out.add_state(self.sort_of(s));
+        }
+        for ((f, args), t) in &self.table {
+            out.add_transition_slice(*f, args, *t);
+        }
+        out
+    }
+}
+
+/// The reference twin of [`TupleAutomaton`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefTupleAutomaton {
+    dfta: RefDfta,
+    sorts: Vec<SortId>,
+    finals: BTreeSet<Vec<StateId>>,
+}
+
+impl RefTupleAutomaton {
+    /// Creates an automaton with an empty final set.
+    pub fn new(dfta: RefDfta, sorts: Vec<SortId>) -> Self {
+        RefTupleAutomaton {
+            dfta,
+            sorts,
+            finals: BTreeSet::new(),
+        }
+    }
+
+    /// Marks a state tuple as final.
+    pub fn add_final(&mut self, tuple: Vec<StateId>) {
+        assert_eq!(tuple.len(), self.sorts.len(), "final tuple arity mismatch");
+        self.finals.insert(tuple);
+    }
+
+    /// The shared transition table.
+    pub fn dfta(&self) -> &RefDfta {
+        &self.dfta
+    }
+
+    /// The final state tuples.
+    pub fn finals(&self) -> impl Iterator<Item = &[StateId]> + '_ {
+        self.finals.iter().map(Vec::as_slice)
+    }
+
+    /// Whether the tuple of ground terms is accepted.
+    pub fn accepts(&self, terms: &[GroundTerm]) -> bool {
+        assert_eq!(terms.len(), self.sorts.len(), "tuple arity mismatch");
+        let states: Option<Vec<StateId>> = terms.iter().map(|t| self.dfta.run(t)).collect();
+        states.is_some_and(|sts| self.finals.contains(&sts))
+    }
+
+    /// Intersection via the full-square product.
+    pub fn intersection(&self, other: &RefTupleAutomaton) -> RefTupleAutomaton {
+        assert_eq!(self.sorts, other.sorts, "intersecting different arities");
+        let (p, map) = self.dfta.product(&other.dfta);
+        let mut out = RefTupleAutomaton::new(p, self.sorts.clone());
+        for a in &self.finals {
+            for b in &other.finals {
+                let tuple: Option<Vec<StateId>> = a
+                    .iter()
+                    .zip(b)
+                    .map(|(x, y)| map.get(&(*x, *y)).copied())
+                    .collect();
+                if let Some(t) = tuple {
+                    out.finals.insert(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Union over completed automata, sweeping every sort-correct
+    /// product tuple.
+    pub fn union(&self, other: &RefTupleAutomaton, sig: &Signature) -> RefTupleAutomaton {
+        assert_eq!(self.sorts, other.sorts, "uniting different arities");
+        let a = self.dfta.completed(sig);
+        let b = other.dfta.completed(sig);
+        let (p, map) = a.product(&b);
+        let mut out = RefTupleAutomaton::new(p, self.sorts.clone());
+        let choices: Vec<Vec<(StateId, StateId)>> = self
+            .sorts
+            .iter()
+            .map(|s| {
+                map.keys()
+                    .filter(|(x, _)| a.sort_of(*x) == *s)
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        for combo in cartesian(&choices) {
+            let left: Vec<StateId> = combo.iter().map(|(x, _)| *x).collect();
+            let right: Vec<StateId> = combo.iter().map(|(_, y)| *y).collect();
+            if self.finals.contains(&left) || other.finals.contains(&right) {
+                out.finals.insert(combo.iter().map(|xy| map[xy]).collect());
+            }
+        }
+        out
+    }
+
+    /// Complement over the completed automaton, sweeping every
+    /// sort-correct tuple.
+    pub fn complement(&self, sig: &Signature) -> RefTupleAutomaton {
+        let c = self.dfta.completed(sig);
+        let choices: Vec<Vec<StateId>> = self
+            .sorts
+            .iter()
+            .map(|s| c.states_of_sort(*s).collect())
+            .collect();
+        let mut out = RefTupleAutomaton::new(c, self.sorts.clone());
+        for combo in cartesian(&choices) {
+            if !self.finals.contains(&combo) {
+                out.finals.insert(combo);
+            }
+        }
+        out
+    }
+
+    /// Moore minimization of a 1-automaton by per-state transition
+    /// rescans.
+    ///
+    /// Note: unlike the seed implementation this copies, refinement
+    /// uses the substitution criterion with the *other* argument
+    /// positions held at concrete states (TATA §1.5). The seed
+    /// abstracted the other positions to their classes, which can merge
+    /// inequivalent states and enlarge the language — a latent bug the
+    /// differential tests exposed. Both kernels carry the same
+    /// criterion so they stay comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity is not 1.
+    pub fn minimized(&self, sig: &Signature) -> RefTupleAutomaton {
+        assert_eq!(self.sorts.len(), 1, "minimization requires a 1-automaton");
+        // Trim to reachable states first.
+        let reach = self.dfta.reachable();
+        let mut trimmed_d = RefDfta::new();
+        let mut map: BTreeMap<StateId, StateId> = BTreeMap::new();
+        for s in self.dfta.states() {
+            if reach.contains(&s) {
+                let n = trimmed_d.add_state(self.dfta.sort_of(s));
+                map.insert(s, n);
+            }
+        }
+        for ((f, args), t) in &self.dfta.table {
+            if !reach.contains(t) || args.iter().any(|a| !reach.contains(a)) {
+                continue;
+            }
+            let new_args = args.iter().map(|a| map[a]).collect();
+            trimmed_d.table.insert((*f, new_args), map[t]);
+        }
+        let mut trimmed = RefTupleAutomaton::new(trimmed_d, self.sorts.clone());
+        for tuple in &self.finals {
+            if let Some(t) = map.get(&tuple[0]) {
+                trimmed.finals.insert(vec![*t]);
+            }
+        }
+        let d = &trimmed.dfta;
+        let n = d.state_count();
+        if n == 0 {
+            return trimmed;
+        }
+        let mut class: Vec<usize> = (0..n)
+            .map(|i| {
+                let s = StateId::from_index(i);
+                let fin = trimmed.finals.contains(&vec![s]);
+                2 * d.sort_of(s).index() + usize::from(fin)
+            })
+            .collect();
+        loop {
+            type SigEntry = (usize, usize, Vec<usize>, usize);
+            let mut sigs: Vec<(usize, Vec<SigEntry>)> = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut rules = Vec::new();
+                for (f, args, t) in d.transitions() {
+                    for (pos, a) in args.iter().enumerate() {
+                        if a.index() == i {
+                            let others: Vec<usize> = args
+                                .iter()
+                                .enumerate()
+                                .filter(|(k, _)| *k != pos)
+                                .map(|(_, x)| x.index())
+                                .collect();
+                            rules.push((f.index(), pos, others, class[t.index()]));
+                        }
+                    }
+                }
+                rules.sort();
+                rules.dedup();
+                sigs.push((class[i], rules));
+            }
+            let mut next_class = BTreeMap::new();
+            let mut new_ids: Vec<usize> = Vec::with_capacity(n);
+            for s in &sigs {
+                let next = next_class.len();
+                let id = *next_class.entry(s.clone()).or_insert(next);
+                new_ids.push(id);
+            }
+            if new_ids == class {
+                break;
+            }
+            class = new_ids;
+        }
+        let mut out_d = RefDfta::new();
+        let mut rep: BTreeMap<usize, StateId> = BTreeMap::new();
+        for (i, c) in class.iter().enumerate() {
+            rep.entry(*c)
+                .or_insert_with(|| out_d.add_state(d.sort_of(StateId::from_index(i))));
+        }
+        let mut seen = BTreeSet::new();
+        for (f, args, t) in d.transitions() {
+            let new_args: Vec<StateId> = args.iter().map(|a| rep[&class[a.index()]]).collect();
+            let key = (f, new_args.clone());
+            if seen.insert(key) {
+                out_d.add_transition(f, new_args, rep[&class[t.index()]]);
+            }
+        }
+        let mut out = RefTupleAutomaton::new(out_d, trimmed.sorts.clone());
+        for tuple in &trimmed.finals {
+            out.finals.insert(vec![rep[&class[tuple[0].index()]]]);
+        }
+        let _ = sig;
+        out
+    }
+
+    /// Converts to the interned representation.
+    pub fn to_interned(&self) -> TupleAutomaton {
+        let mut out = TupleAutomaton::new(self.dfta.to_interned(), self.sorts.clone());
+        for f in &self.finals {
+            out.add_final(f.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringen_terms::signature_helpers::nat_signature;
+
+    #[test]
+    fn reference_even_automaton_behaves() {
+        let (sig, nat, z, s) = nat_signature();
+        let mut d = RefDfta::new();
+        let s0 = d.add_state(nat);
+        let s1 = d.add_state(nat);
+        d.add_transition(z, vec![], s0);
+        d.add_transition(s, vec![s0], s1);
+        d.add_transition(s, vec![s1], s0);
+        let mut a = RefTupleAutomaton::new(d, vec![nat]);
+        a.add_final(vec![s0]);
+        for n in 0..8 {
+            let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+            assert_eq!(a.accepts(std::slice::from_ref(&t)), n % 2 == 0);
+        }
+        // Conversion preserves structure and language.
+        let interned = a.to_interned();
+        assert_eq!(interned.dfta().state_count(), 2);
+        assert!(interned.agrees_with(&a.to_interned(), &sig, 6));
+        let m = a.minimized(&sig);
+        assert_eq!(m.dfta().state_count(), 2);
+    }
+}

@@ -5,8 +5,18 @@
 //! are the paper's `Reg` class. Boolean operations (product intersection /
 //! union, complement via completion) witness the closure properties used
 //! in §7 (e.g. Proposition 12's argument that `lt ∪ gt` would be regular).
+//!
+//! The constructions ride on the interned kernel of [`Dfta`]:
+//! intersection and union are driven by the pair-interning worklist
+//! product (only product-reachable state pairs are materialized), union
+//! and complement enumerate final tuples over component indices instead
+//! of the full state-space cartesian square, and 1-automaton
+//! minimization refines partitions with single passes over the flat
+//! rule table.
 
 use std::collections::{BTreeMap, BTreeSet};
+
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use ringen_terms::{GroundTerm, Signature, SortId};
 
@@ -156,6 +166,10 @@ impl TupleAutomaton {
     /// that a run failing in one component cannot mask acceptance in the
     /// other).
     ///
+    /// Final tuples are enumerated per final tuple of either operand,
+    /// over indices of the product-reachable pairs sharing a component —
+    /// not by sweeping every sort-correct tuple of the product square.
+    ///
     /// # Panics
     ///
     /// Panics on arity/sort mismatch.
@@ -165,37 +179,42 @@ impl TupleAutomaton {
         let b = other.dfta.completed(sig);
         let (p, map) = a.product(&b);
         let mut out = TupleAutomaton::new(p, self.sorts.clone());
-        // Enumerate all sort-correct product tuples and keep those whose
-        // left or right projection is final.
-        let choices: Vec<Vec<(StateId, StateId)>> = self
-            .sorts
-            .iter()
-            .map(|s| {
-                map.keys()
-                    .filter(|(x, _)| a.sort_of(*x) == *s)
-                    .copied()
-                    .collect()
-            })
-            .collect();
-        for combo in cartesian(&choices) {
-            let left: Vec<StateId> = combo.iter().map(|(x, _)| *x).collect();
-            let right: Vec<StateId> = combo.iter().map(|(_, y)| *y).collect();
-            if self.finals.contains(&left) || other.finals.contains(&right) {
-                out.finals
-                    .insert(combo.iter().map(|xy| map[xy]).collect());
-            }
+        // Index the materialized pairs by each side's component.
+        let mut by_left: FxHashMap<StateId, Vec<(StateId, StateId)>> = FxHashMap::default();
+        let mut by_right: FxHashMap<StateId, Vec<(StateId, StateId)>> = FxHashMap::default();
+        for &(x, y) in map.keys() {
+            by_left.entry(x).or_default().push((x, y));
+            by_right.entry(y).or_default().push((x, y));
         }
+        let add_projected = |finals: &BTreeSet<Vec<StateId>>,
+                             index: &FxHashMap<StateId, Vec<(StateId, StateId)>>,
+                             out_finals: &mut BTreeSet<Vec<StateId>>| {
+            for tuple in finals {
+                let choices: Vec<Vec<(StateId, StateId)>> = tuple
+                    .iter()
+                    .map(|s| index.get(s).cloned().unwrap_or_default())
+                    .collect();
+                for combo in cartesian(&choices) {
+                    out_finals.insert(combo.iter().map(|xy| map[xy]).collect());
+                }
+            }
+        };
+        add_projected(&self.finals, &by_left, &mut out.finals);
+        add_projected(&other.finals, &by_right, &mut out.finals);
         out
     }
 
     /// Complement: completes the automaton and makes every sort-correct
-    /// non-final tuple final.
+    /// *reachable* non-final tuple final. (A run always lands on
+    /// reachable states, so unreachable tuples cannot affect the
+    /// language; skipping them keeps the final set small.)
     pub fn complement(&self, sig: &Signature) -> TupleAutomaton {
         let c = self.dfta.completed(sig);
+        let reach = c.reachable();
         let choices: Vec<Vec<StateId>> = self
             .sorts
             .iter()
-            .map(|s| c.states_of_sort(*s).collect())
+            .map(|s| c.states_of_sort(*s).filter(|q| reach.contains(q)).collect())
             .collect();
         let mut out = TupleAutomaton::new(c, self.sorts.clone());
         for combo in cartesian(&choices) {
@@ -221,8 +240,25 @@ impl TupleAutomaton {
     }
 
     /// Minimizes a **1-automaton** by Moore partition refinement after
-    /// trimming; the result accepts the same language with a minimal
-    /// number of reachable states.
+    /// trimming; the result accepts the same language.
+    ///
+    /// Refinement uses the substitution criterion of TATA §1.5: states
+    /// `q ≡ q'` when exchanging one for the other at any single
+    /// position of any rule — the *other* argument positions held at
+    /// **concrete states** — reaches equivalent (or both-missing)
+    /// targets. Abstracting the other positions to their classes, as the
+    /// pre-interning kernel did, is unsound: two rules can share an
+    /// argument-class vector yet reach different classes, so the
+    /// "stable" partition merged inequivalent states and the quotient
+    /// accepted extra terms. The differential property tests caught
+    /// this; both kernels now carry the correct criterion, which also
+    /// handles partial automata (a missing rule is a visibly absent
+    /// signature entry).
+    ///
+    /// Each refinement round is a single pass over the flat rule table
+    /// (appending one signature entry per rule argument occurrence),
+    /// followed by a hash-grouping of states — `O(|Δ|·arity²)` per
+    /// round instead of a per-state rescan of every rule.
     ///
     /// # Panics
     ///
@@ -244,34 +280,32 @@ impl TupleAutomaton {
                 2 * d.sort_of(s).index() + usize::from(fin)
             })
             .collect();
+        // Signature entry of one rule occurrence: (func, occurrence
+        // position, the *concrete* states at the other positions,
+        // target class).
+        type SigEntry = (usize, usize, Vec<usize>, usize);
         loop {
-            // Signature of a state: its class plus the classes reached by
-            // every rule in which it participates, keyed canonically.
-            let mut sigs: Vec<(usize, Vec<(usize, Vec<usize>, usize, usize)>)> =
-                Vec::with_capacity(n);
-            for i in 0..n {
-                let mut rules = Vec::new();
-                for (f, args, t) in d.transitions() {
-                    for (pos, a) in args.iter().enumerate() {
-                        if a.index() == i {
-                            rules.push((
-                                f.index(),
-                                args.iter().map(|x| class[x.index()]).collect(),
-                                pos,
-                                class[t.index()],
-                            ));
-                        }
-                    }
+            let mut sigs: Vec<Vec<SigEntry>> = vec![Vec::new(); n];
+            for (f, args, t) in d.transitions() {
+                let t_class = class[t.index()];
+                for (pos, a) in args.iter().enumerate() {
+                    let others: Vec<usize> = args
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != pos)
+                        .map(|(_, x)| x.index())
+                        .collect();
+                    sigs[a.index()].push((f.index(), pos, others, t_class));
                 }
-                rules.sort();
-                rules.dedup();
-                sigs.push((class[i], rules));
             }
-            let mut next_class = BTreeMap::new();
+            let mut next_class: FxHashMap<(usize, Vec<SigEntry>), usize> = FxHashMap::default();
             let mut new_ids: Vec<usize> = Vec::with_capacity(n);
-            for s in &sigs {
+            for (i, s) in sigs.iter_mut().enumerate() {
+                s.sort();
+                s.dedup();
+                let key = (class[i], std::mem::take(s));
                 let next = next_class.len();
-                let id = *next_class.entry(s.clone()).or_insert(next);
+                let id = *next_class.entry(key).or_insert(next);
                 new_ids.push(id);
             }
             if new_ids == class {
@@ -282,22 +316,25 @@ impl TupleAutomaton {
         // Build the quotient automaton.
         let mut out_d = Dfta::new();
         let mut rep: BTreeMap<usize, StateId> = BTreeMap::new();
-        for i in 0..n {
-            rep.entry(class[i])
+        for (i, c) in class.iter().enumerate() {
+            rep.entry(*c)
                 .or_insert_with(|| out_d.add_state(d.sort_of(StateId::from_index(i))));
         }
-        let mut seen = BTreeSet::new();
+        let mut seen: FxHashSet<(usize, Vec<StateId>)> = FxHashSet::default();
+        let mut new_args: Vec<StateId> = Vec::new();
         for (f, args, t) in d.transitions() {
-            let new_args: Vec<StateId> = args.iter().map(|a| rep[&class[a.index()]]).collect();
-            let key = (f, new_args.clone());
-            if seen.insert(key) {
-                out_d.add_transition(f, new_args, rep[&class[t.index()]]);
+            new_args.clear();
+            new_args.extend(args.iter().map(|a| rep[&class[a.index()]]));
+            if seen.insert((f.index(), new_args.clone())) {
+                out_d.add_transition_slice(f, &new_args, rep[&class[t.index()]]);
             }
         }
         let mut out = TupleAutomaton::new(out_d, trimmed.sorts.clone());
         for tuple in &trimmed.finals {
             out.finals.insert(vec![rep[&class[tuple[0].index()]]]);
         }
+        // `sig` is kept in the signature for API stability (completion-
+        // based strategies need it); the substitution criterion does not.
         let _ = sig;
         out
     }
@@ -429,6 +466,37 @@ mod tests {
             let t = [num(n, z, s)];
             assert_eq!(u.accepts(&t), n % 2 == 0 || n % 3 == 0, "u, n = {n}");
             assert_eq!(i.accepts(&t), n % 6 == 0, "i, n = {n}");
+        }
+    }
+
+    #[test]
+    fn union_of_two_automata_covers_both_relations() {
+        // 2-ary union: inc ∪ eq over the mod-3 skeleton.
+        let (sig, nat, z, s) = nat_signature();
+        let mut d = Dfta::new();
+        let q: Vec<StateId> = (0..3).map(|_| d.add_state(nat)).collect();
+        d.add_transition(z, vec![], q[0]);
+        for i in 0..3 {
+            d.add_transition(s, vec![q[i]], q[(i + 1) % 3]);
+        }
+        let mut inc = TupleAutomaton::new(d.clone(), vec![nat, nat]);
+        for i in 0..3 {
+            inc.add_final(vec![q[i], q[(i + 1) % 3]]);
+        }
+        let mut eq = TupleAutomaton::new(d, vec![nat, nat]);
+        for qi in &q {
+            eq.add_final(vec![*qi, *qi]);
+        }
+        let u = inc.union(&eq, &sig);
+        for x in 0..6usize {
+            for y in 0..6usize {
+                let want = y % 3 == (x + 1) % 3 || x % 3 == y % 3;
+                assert_eq!(
+                    u.accepts(&[num(x, z, s), num(y, z, s)]),
+                    want,
+                    "x = {x}, y = {y}"
+                );
+            }
         }
     }
 

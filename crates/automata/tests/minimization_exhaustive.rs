@@ -1,0 +1,80 @@
+//! Exhaustive differential check of 1-automaton minimization on *every*
+//! 2-state tree automaton (including partial ones), in both kernels.
+//!
+//! This is the test family that exposed the seed's unsound refinement
+//! criterion (argument classes instead of concrete argument states);
+//! see `TupleAutomaton::minimized`. It stays exhaustive rather than
+//! randomized so the regression can never hide behind a seed.
+
+use ringen_automata::reference::{RefDfta, RefTupleAutomaton};
+use ringen_automata::{Dfta, TupleAutomaton};
+use ringen_terms::signature_helpers::tree_signature;
+
+fn pair(n: usize, lt: usize, nt: &[usize], fin: &[bool]) -> (RefTupleAutomaton, TupleAutomaton) {
+    let (_sig, tree, leaf, node) = tree_signature();
+    let mut rd = RefDfta::new();
+    let mut d = Dfta::new();
+    let rstates: Vec<_> = (0..n).map(|_| rd.add_state(tree)).collect();
+    let states: Vec<_> = (0..n).map(|_| d.add_state(tree)).collect();
+    rd.add_transition(leaf, vec![], rstates[lt % n]);
+    d.add_transition(leaf, vec![], states[lt % n]);
+    for i in 0..n {
+        for j in 0..n {
+            let t = nt[i * n + j];
+            if t < n {
+                rd.add_transition(node, vec![rstates[i], rstates[j]], rstates[t]);
+                d.add_transition(node, vec![states[i], states[j]], states[t]);
+            }
+        }
+    }
+    let mut ra = RefTupleAutomaton::new(rd, vec![tree]);
+    let mut a = TupleAutomaton::new(d, vec![tree]);
+    for (i, &f) in fin.iter().enumerate().take(n) {
+        if f {
+            ra.add_final(vec![rstates[i]]);
+            a.add_final(vec![states[i]]);
+        }
+    }
+    (ra, a)
+}
+
+#[test]
+fn minimization_agrees_on_all_two_state_tree_automata() {
+    let (sig, tree, _l, _n) = tree_signature();
+    let terms = ringen_terms::herbrand::terms_up_to_height(&sig, tree, 3);
+    let n: usize = 2;
+    for lt in 0..n {
+        for code in 0..((n + 1).pow((n * n) as u32)) {
+            let mut nt = Vec::new();
+            let mut c = code;
+            for _ in 0..n * n {
+                nt.push(c % (n + 1));
+                c /= n + 1;
+            }
+            for fmask in 0..(1 << n) {
+                let fin: Vec<bool> = (0..n).map(|i| fmask & (1 << i) != 0).collect();
+                let (ra, a) = pair(n, lt, &nt, &fin);
+                let m = a.minimized(&sig);
+                let rm = ra.minimized(&sig);
+                for t in &terms {
+                    let want = ra.accepts(std::slice::from_ref(t));
+                    let got_new = m.accepts(std::slice::from_ref(t));
+                    let got_ref = rm.accepts(std::slice::from_ref(t));
+                    if got_new != want || got_ref != want {
+                        panic!(
+                            "mismatch lt={lt} nt={nt:?} fin={fin:?} term={t:?} want={want} new={got_new} ref={got_ref} (counts: new={} ref={})",
+                            m.dfta().state_count(), rm.dfta().state_count()
+                        );
+                    }
+                }
+                if m.dfta().state_count() != rm.dfta().state_count() {
+                    panic!(
+                        "count mismatch lt={lt} nt={nt:?} fin={fin:?}: new={} ref={}",
+                        m.dfta().state_count(),
+                        rm.dfta().state_count()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -25,7 +25,10 @@ fn bench_symmetry_breaking(c: &mut Criterion) {
     let sys = shapes::mod_k_nat(4, 0, 1);
     let pre = preprocess(&sys);
     for on in [true, false] {
-        let cfg = FinderConfig { symmetry_breaking: on, ..FinderConfig::default() };
+        let cfg = FinderConfig {
+            symmetry_breaking: on,
+            ..FinderConfig::default()
+        };
         group.bench_with_input(
             BenchmarkId::new("mod4", if on { "on" } else { "off" }),
             &cfg,
@@ -47,7 +50,12 @@ fn bench_diseq_cost(c: &mut Criterion) {
     for (name, sys) in [("positive-eq", &plain), ("diseq", &diseq)] {
         group.bench_with_input(BenchmarkId::new("find_model", name), sys, |bench, sys| {
             let pre = preprocess(sys);
-            bench.iter(|| find_model(&pre.skolemized, &FinderConfig::default()).unwrap().0.model())
+            bench.iter(|| {
+                find_model(&pre.skolemized, &FinderConfig::default())
+                    .unwrap()
+                    .0
+                    .model()
+            })
         });
     }
     group.finish();
@@ -97,11 +105,16 @@ fn bench_hybrid_phase_order(c: &mut Criterion) {
     let regular_first = RegElemConfig::quick();
     let elementary_first = RegElemConfig {
         regular: None,
-        elementary: Some(ElemConfig { max_assignments: 2_000, ..ElemConfig::quick() }),
+        elementary: Some(ElemConfig {
+            max_assignments: 2_000,
+            ..ElemConfig::quick()
+        }),
         ..RegElemConfig::quick()
     };
-    for (name, cfg) in [("regular-first", &regular_first), ("elementary-first", &elementary_first)]
-    {
+    for (name, cfg) in [
+        ("regular-first", &regular_first),
+        ("elementary-first", &elementary_first),
+    ] {
         group.bench_with_input(BenchmarkId::new("even", name), cfg, |bench, cfg| {
             bench.iter(|| solve_regelem(&sys, cfg).0.is_sat())
         });

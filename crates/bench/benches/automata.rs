@@ -1,0 +1,318 @@
+//! Micro-benchmarks of the interned tree-automata kernel against the
+//! pre-refactor reference kernel (`ringen_automata::reference`), plus a
+//! saturation round that exercises the Fx-hashed fact indices.
+//!
+//! Run via `scripts/bench_automata.sh`, which emits
+//! `BENCH_automata.json` at the repository root:
+//!
+//! * every measurement (group / function / parameter / median ns);
+//! * the interned-vs-reference speedup per workload;
+//! * the observed allocation count of `Dfta::step`, which this harness
+//!   additionally *asserts* to be zero — the bench aborts if the hot
+//!   probe ever allocates again.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{BenchmarkId, Criterion, Record};
+use ringen_automata::reference::{RefDfta, RefTupleAutomaton};
+use ringen_automata::{Dfta, RunCache, StateId, TupleAutomaton};
+use ringen_core::saturation::{saturate, SaturationConfig};
+use ringen_terms::signature_helpers::{nat_signature, tree_signature};
+use ringen_terms::{FuncId, GroundTerm, Signature};
+
+/// Counts every allocation so the zero-allocation claim for
+/// [`Dfta::step`] is measured, not asserted on faith.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A mod-`k` Nat automaton in both kernels (final: residue 0).
+fn mod_k(k: usize) -> (Signature, TupleAutomaton, RefTupleAutomaton, FuncId, FuncId) {
+    let (sig, nat, z, s) = nat_signature();
+    let mut d = Dfta::new();
+    let mut rd = RefDfta::new();
+    let qs: Vec<StateId> = (0..k).map(|_| d.add_state(nat)).collect();
+    let rqs: Vec<StateId> = (0..k).map(|_| rd.add_state(nat)).collect();
+    d.add_transition(z, vec![], qs[0]);
+    rd.add_transition(z, vec![], rqs[0]);
+    for i in 0..k {
+        d.add_transition(s, vec![qs[i]], qs[(i + 1) % k]);
+        rd.add_transition(s, vec![rqs[i]], rqs[(i + 1) % k]);
+    }
+    let mut a = TupleAutomaton::new(d, vec![nat]);
+    a.add_final(vec![qs[0]]);
+    let mut ra = RefTupleAutomaton::new(rd, vec![nat]);
+    ra.add_final(vec![rqs[0]]);
+    (sig, a, ra, z, s)
+}
+
+/// The even-left-spine tree automaton (Proposition 9) in both kernels.
+fn evenleft() -> (Signature, TupleAutomaton, RefTupleAutomaton, FuncId, FuncId) {
+    let (sig, tree, leaf, node) = tree_signature();
+    let mut d = Dfta::new();
+    let mut rd = RefDfta::new();
+    let (s0, s1) = (d.add_state(tree), d.add_state(tree));
+    let (r0, r1) = (rd.add_state(tree), rd.add_state(tree));
+    d.add_transition(leaf, vec![], s0);
+    d.add_transition(node, vec![s0, s0], s1);
+    d.add_transition(node, vec![s0, s1], s1);
+    d.add_transition(node, vec![s1, s0], s0);
+    d.add_transition(node, vec![s1, s1], s0);
+    rd.add_transition(leaf, vec![], r0);
+    rd.add_transition(node, vec![r0, r0], r1);
+    rd.add_transition(node, vec![r0, r1], r1);
+    rd.add_transition(node, vec![r1, r0], r0);
+    rd.add_transition(node, vec![r1, r1], r0);
+    let mut a = TupleAutomaton::new(d, vec![tree]);
+    a.add_final(vec![s0]);
+    let mut ra = RefTupleAutomaton::new(rd, vec![tree]);
+    ra.add_final(vec![r0]);
+    (sig, a, ra, leaf, node)
+}
+
+fn full_tree(leaf: FuncId, node: FuncId, height: usize) -> GroundTerm {
+    let mut t = GroundTerm::leaf(leaf);
+    for _ in 0..height {
+        t = GroundTerm::app(node, vec![t.clone(), t]);
+    }
+    t
+}
+
+fn bench_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+
+    let (_sig, a, ra, z, s) = mod_k(3);
+    for depth in [1_000usize, 20_000] {
+        let t = GroundTerm::iterate(s, GroundTerm::leaf(z), depth);
+        group.bench_with_input(
+            BenchmarkId::new("interned", format!("deep/{depth}")),
+            &t,
+            |b, t| b.iter(|| a.dfta().run(std::hint::black_box(t))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("deep/{depth}")),
+            &t,
+            |b, t| b.iter(|| ra.dfta().run(std::hint::black_box(t))),
+        );
+    }
+
+    let (_tsig, ta, tra, leaf, node) = evenleft();
+    for height in [10usize, 14] {
+        let t = full_tree(leaf, node, height);
+        group.bench_with_input(
+            BenchmarkId::new("interned", format!("bushy/{height}")),
+            &t,
+            |b, t| b.iter(|| ta.dfta().run(std::hint::black_box(t))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("bushy/{height}")),
+            &t,
+            |b, t| b.iter(|| tra.dfta().run(std::hint::black_box(t))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("interned_cached", format!("bushy/{height}")),
+            &t,
+            |b, t| {
+                b.iter(|| {
+                    let mut cache = RunCache::new();
+                    ta.dfta().run_cached(std::hint::black_box(t), &mut cache)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    let (_sig, a, ra, _z, s) = mod_k(512);
+    let states: Vec<StateId> = a.dfta().states().collect();
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::new("interned", 512), |b| {
+        b.iter(|| {
+            i = (i + 1) % states.len();
+            a.dfta().step(s, std::hint::black_box(&states[i..=i]))
+        })
+    });
+    let rstates: Vec<StateId> = ra.dfta().states().collect();
+    let mut j = 0usize;
+    group.bench_function(BenchmarkId::new("reference", 512), |b| {
+        b.iter(|| {
+            j = (j + 1) % rstates.len();
+            ra.dfta().step(s, std::hint::black_box(&rstates[j..=j]))
+        })
+    });
+    group.finish();
+}
+
+fn bench_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("product");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    let (_s1, a, ra, ..) = mod_k(48);
+    let (_s2, b, rb, ..) = mod_k(64);
+    group.bench_function(BenchmarkId::new("interned", "48x64"), |bench| {
+        bench.iter(|| a.dfta().product(std::hint::black_box(b.dfta())))
+    });
+    group.bench_function(BenchmarkId::new("reference", "48x64"), |bench| {
+        bench.iter(|| ra.dfta().product(std::hint::black_box(rb.dfta())))
+    });
+    group.finish();
+}
+
+fn bench_minimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimize");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    // A 128-state cycle recognizing the even numbers: collapses to 2.
+    let k = 128;
+    let (sig, nat, z, s) = nat_signature();
+    let mut d = Dfta::new();
+    let mut rd = RefDfta::new();
+    let qs: Vec<StateId> = (0..k).map(|_| d.add_state(nat)).collect();
+    let rqs: Vec<StateId> = (0..k).map(|_| rd.add_state(nat)).collect();
+    d.add_transition(z, vec![], qs[0]);
+    rd.add_transition(z, vec![], rqs[0]);
+    for i in 0..k {
+        d.add_transition(s, vec![qs[i]], qs[(i + 1) % k]);
+        rd.add_transition(s, vec![rqs[i]], rqs[(i + 1) % k]);
+    }
+    let mut a = TupleAutomaton::new(d, vec![nat]);
+    let mut ra = RefTupleAutomaton::new(rd, vec![nat]);
+    for i in (0..k).step_by(2) {
+        a.add_final(vec![qs[i]]);
+        ra.add_final(vec![rqs[i]]);
+    }
+    group.bench_function(BenchmarkId::new("interned", k), |b| {
+        b.iter(|| a.minimized(std::hint::black_box(&sig)))
+    });
+    group.bench_function(BenchmarkId::new("reference", k), |b| {
+        b.iter(|| ra.minimized(std::hint::black_box(&sig)))
+    });
+    group.finish();
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    let sys = ringen_chc::parse_str(
+        r#"
+        (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+        (declare-fun even (Nat) Bool)
+        (assert (even Z))
+        (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+        (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+        "#,
+    )
+    .expect("even system parses");
+    let cfg = SaturationConfig {
+        max_facts: 400,
+        ..SaturationConfig::default()
+    };
+    group.bench_function(BenchmarkId::new("round", "even/400"), |b| {
+        b.iter(|| saturate(std::hint::black_box(&sys), &cfg))
+    });
+    group.finish();
+}
+
+/// Allocation count of a batch of `step` probes on a warmed automaton.
+fn step_allocations(probes: u64) -> u64 {
+    let (_sig, a, _ra, _z, s) = mod_k(64);
+    let states: Vec<StateId> = a.dfta().states().collect();
+    // Warm up (fault in lazily allocated internals, if any).
+    for q in &states {
+        std::hint::black_box(a.dfta().step(s, std::slice::from_ref(q)));
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..probes {
+        let q = &states[(i as usize) % states.len()];
+        std::hint::black_box(a.dfta().step(s, std::slice::from_ref(q)));
+    }
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+fn speedups(records: &[Record]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for r in records.iter().filter(|r| r.function == "interned") {
+        if let Some(base) = records
+            .iter()
+            .find(|b| b.function == "reference" && b.group == r.group && b.parameter == r.parameter)
+        {
+            out.push((
+                format!("{}/{}", r.group, r.parameter),
+                base.median_ns / r.median_ns,
+            ));
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_run(&mut criterion);
+    bench_step(&mut criterion);
+    bench_product(&mut criterion);
+    bench_minimize(&mut criterion);
+    bench_saturation(&mut criterion);
+
+    let step_allocs = step_allocations(100_000);
+    assert_eq!(
+        step_allocs, 0,
+        "Dfta::step allocated {step_allocs} times in 100k probes — the zero-allocation \
+         contract of the interned kernel is broken"
+    );
+    eprintln!("step allocations over 100k probes: {step_allocs} (contract: 0)");
+
+    let ratios = speedups(criterion.records());
+    for (name, ratio) in &ratios {
+        eprintln!("speedup {name}: {ratio:.2}x");
+    }
+
+    let mut json = String::from(
+        "{\n  \"step_allocations_per_100k_probes\": 0,\n  \"speedup_vs_reference\": {\n",
+    );
+    for (i, (name, ratio)) in ratios.iter().enumerate() {
+        let _ = write!(json, "    \"{name}\": {ratio:.3}");
+        json.push_str(if i + 1 == ratios.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  },\n  \"benches\": ");
+    json.push_str(&criterion::records_to_json(criterion.records()));
+    json.push_str("}\n");
+    let path =
+        std::env::var("BENCH_AUTOMATA_JSON").unwrap_or_else(|_| "BENCH_automata.json".into());
+    std::fs::write(&path, json).expect("write bench json");
+    eprintln!("wrote {path}");
+
+    criterion.final_summary();
+}

@@ -17,18 +17,24 @@ fn bench_fig3(c: &mut Criterion) {
             programs::inc_dec(),
             vec![SolverKind::RInGen, SolverKind::Eldarica, SolverKind::Spacer],
         ),
-        ("Diag", programs::diag(), vec![SolverKind::Spacer, SolverKind::Eldarica]),
+        (
+            "Diag",
+            programs::diag(),
+            vec![SolverKind::Spacer, SolverKind::Eldarica],
+        ),
         ("LtGt", programs::lt_gt(), vec![SolverKind::Eldarica]),
-        ("Even", programs::even(), vec![SolverKind::RInGen, SolverKind::Eldarica]),
+        (
+            "Even",
+            programs::even(),
+            vec![SolverKind::RInGen, SolverKind::Eldarica],
+        ),
         ("EvenLeft", programs::even_left(), vec![SolverKind::RInGen]),
     ];
     for (name, sys, kinds) in &cases {
         for kind in kinds {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), name),
-                sys,
-                |bench, sys| bench.iter(|| run_solver(*kind, std::hint::black_box(sys))),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), name), sys, |bench, sys| {
+                bench.iter(|| run_solver(*kind, std::hint::black_box(sys)))
+            });
         }
     }
     group.finish();

@@ -19,11 +19,9 @@ fn bench_fig45(c: &mut Criterion) {
     ];
     for (name, sys) in &cases {
         for kind in SolverKind::all() {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), name),
-                sys,
-                |bench, sys| bench.iter(|| run_solver(kind, std::hint::black_box(sys))),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), name), sys, |bench, sys| {
+                bench.iter(|| run_solver(kind, std::hint::black_box(sys)))
+            });
         }
     }
     group.finish();

@@ -15,9 +15,17 @@ fn main() {
     );
     let cases = [
         ("IncDec", programs::inc_dec(), "all three classes (Prop. 4)"),
-        ("Diag", programs::diag(), "Elem only; no finite model (Prop. 11)"),
+        (
+            "Diag",
+            programs::diag(),
+            "Elem only; no finite model (Prop. 11)",
+        ),
         ("LtGt", programs::lt_gt(), "SizeElem only (Prop. 12)"),
-        ("Even", programs::even(), "Reg ∩ SizeElem, not Elem (Prop. 1/6/8)"),
+        (
+            "Even",
+            programs::even(),
+            "Reg ∩ SizeElem, not Elem (Prop. 1/6/8)",
+        ),
         ("EvenLeft", programs::even_left(), "Reg only (Prop. 2/9/10)"),
     ];
     for (name, sys, note) in cases {

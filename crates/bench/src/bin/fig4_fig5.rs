@@ -29,7 +29,11 @@ fn main() {
         let other = run_suite(other_kind, &suite);
         for (sat_only, figure) in [(false, "Figure 4"), (true, "Figure 5")] {
             let pts = scatter(&ringen, &other, sat_only, border);
-            println!("\n{figure}: RInGen vs {} ({} points)", other_kind.name(), pts.len());
+            println!(
+                "\n{figure}: RInGen vs {} ({} points)",
+                other_kind.name(),
+                pts.len()
+            );
             println!("{}", render_scatter(&pts, 64, 20));
         }
         let both_sat = ringen

@@ -39,7 +39,11 @@ fn part1_extended_fig3() {
     ];
     for (name, sys) in cases {
         let mark = |k: SolverKind| {
-            if run_solver(k, &sys).0 == RunAnswer::Sat { "yes" } else { "-" }
+            if run_solver(k, &sys).0 == RunAnswer::Sat {
+                "yes"
+            } else {
+                "-"
+            }
         };
         let elem = mark(SolverKind::Spacer);
         let size = mark(SolverKind::Eldarica);

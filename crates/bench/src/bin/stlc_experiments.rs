@@ -28,11 +28,14 @@ fn main() {
     let mut cfg = RingenConfig::quick();
     cfg.finder.max_total_size = 7;
     let (answer, _) = solve(&sys, &cfg);
-    println!("answer: {}\n", match answer {
-        Answer::Sat(_) => "SAT (unexpected!)",
-        Answer::Unsat(_) => "UNSAT (unexpected!)",
-        Answer::Unknown(_) => "diverged, as §5 reports",
-    });
+    println!(
+        "answer: {}\n",
+        match answer {
+            Answer::Sat(_) => "SAT (unexpected!)",
+            Answer::Unsat(_) => "UNSAT (unexpected!)",
+            Answer::Unknown(_) => "diverged, as §5 reports",
+        }
+    );
 
     println!("== §8 other experiments: 23 hand-written problems ==\n");
     println!(

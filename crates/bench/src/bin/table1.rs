@@ -31,7 +31,11 @@ fn main() {
     }
     println!("{}", table1(&results));
     // Figures 4/5 from the same run.
-    let ringen = &results.iter().find(|(k, _)| *k == SolverKind::RInGen).unwrap().1;
+    let ringen = &results
+        .iter()
+        .find(|(k, _)| *k == SolverKind::RInGen)
+        .unwrap()
+        .1;
     let border = ringen.iter().map(|r| r.micros).max().unwrap_or(1) * 10;
     for (kind, rs) in &results {
         if *kind == SolverKind::RInGen {
@@ -39,7 +43,11 @@ fn main() {
         }
         for (sat_only, figure) in [(false, "Figure 4"), (true, "Figure 5")] {
             let pts = scatter(ringen, rs, sat_only, border);
-            println!("\n{figure}: RInGen vs {} ({} points)", kind.name(), pts.len());
+            println!(
+                "\n{figure}: RInGen vs {} ({} points)",
+                kind.name(),
+                pts.len()
+            );
             println!("{}", render_scatter(&pts, 64, 18));
         }
     }

@@ -5,9 +5,21 @@ use std::time::Instant;
 fn main() {
     let tip = tip_suite();
     let dis = diseq_suite();
-    for name in ["tip/hard-0", "tip/hard-1", "tip/hard-2", "tip/order-0", "tip/unsat-depth-40", "diseq/deep-3"] {
+    for name in [
+        "tip/hard-0",
+        "tip/hard-1",
+        "tip/hard-2",
+        "tip/order-0",
+        "tip/unsat-depth-40",
+        "diseq/deep-3",
+    ] {
         let b = tip.iter().chain(&dis).find(|b| b.name == name).unwrap();
-        for kind in [SolverKind::RInGen, SolverKind::Eldarica, SolverKind::Spacer, SolverKind::Cvc4Ind] {
+        for kind in [
+            SolverKind::RInGen,
+            SolverKind::Eldarica,
+            SolverKind::Spacer,
+            SolverKind::Cvc4Ind,
+        ] {
             let t = Instant::now();
             let (a, _) = run_solver(kind, &b.system);
             println!("{:<18} {:<12} {:?} {:?}", name, kind.name(), t.elapsed(), a);

@@ -193,7 +193,11 @@ mod tests {
         let cases = [
             ("Even", programs::even(), vec![HybridEngine::Regular]),
             ("IncDec", programs::inc_dec(), vec![HybridEngine::Regular]),
-            ("EvenLeft", programs::even_left(), vec![HybridEngine::Regular]),
+            (
+                "EvenLeft",
+                programs::even_left(),
+                vec![HybridEngine::Regular],
+            ),
             ("Diag", programs::diag(), vec![HybridEngine::Elementary]),
             ("LtGt", programs::lt_gt(), vec![HybridEngine::Size]),
             (

@@ -276,11 +276,24 @@ pub fn table1(results: &[(SolverKind, Vec<RunResult>)]) -> String {
         .map(|(k, _)| format!("{:>13}", k.invariant_class()))
         .collect();
     let _ = writeln!(out, "{:<28}{}", "Solver", header.join(""));
-    let _ = writeln!(out, "{:<28}{}", "Invariant representation", classes.join(""));
+    let _ = writeln!(
+        out,
+        "{:<28}{}",
+        "Invariant representation",
+        classes.join("")
+    );
     for (family, label, answers) in [
         (Family::PositiveEq, "PositiveEq (35)", vec![RunAnswer::Sat]),
-        (Family::Diseq, "Diseq (26)", vec![RunAnswer::Sat, RunAnswer::Unsat]),
-        (Family::Tip, "TIP (454)", vec![RunAnswer::Sat, RunAnswer::Unsat]),
+        (
+            Family::Diseq,
+            "Diseq (26)",
+            vec![RunAnswer::Sat, RunAnswer::Unsat],
+        ),
+        (
+            Family::Tip,
+            "TIP (454)",
+            vec![RunAnswer::Sat, RunAnswer::Unsat],
+        ),
     ] {
         for want in answers {
             let label_row = format!(
@@ -358,7 +371,11 @@ pub fn table1(results: &[(SolverKind, Vec<RunResult>)]) -> String {
             .collect();
         let label = format!(
             "Total (515) {}",
-            if want == RunAnswer::Sat { "SAT" } else { "UNSAT" }
+            if want == RunAnswer::Sat {
+                "SAT"
+            } else {
+                "UNSAT"
+            }
         );
         let _ = writeln!(out, "{label:<28}{}", row.join(""));
     }
@@ -387,12 +404,18 @@ pub fn scatter(
     ringen
         .iter()
         .zip(other)
-        .filter(|(a, b)| {
-            !sat_only || a.answer == RunAnswer::Sat || b.answer == RunAnswer::Sat
-        })
+        .filter(|(a, b)| !sat_only || a.answer == RunAnswer::Sat || b.answer == RunAnswer::Sat)
         .map(|(a, b)| {
-            let x = if a.answer == RunAnswer::Unknown { timeout_border } else { a.micros };
-            let y = if b.answer == RunAnswer::Unknown { timeout_border } else { b.micros };
+            let x = if a.answer == RunAnswer::Unknown {
+                timeout_border
+            } else {
+                a.micros
+            };
+            let y = if b.answer == RunAnswer::Unknown {
+                timeout_border
+            } else {
+                b.micros
+            };
             ScatterPoint {
                 x,
                 y,
@@ -456,7 +479,10 @@ pub fn fig6_histogram(results: &[RunResult]) -> String {
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 6: sizes of finite models found (x = Σ sort cardinalities)");
+    let _ = writeln!(
+        out,
+        "Figure 6: sizes of finite models found (x = Σ sort cardinalities)"
+    );
     for (size, n) in &counts {
         let _ = writeln!(out, "{size:>4} | {} {n}", "#".repeat(*n));
     }

@@ -22,7 +22,7 @@ use ringen_chc::{ChcSystem, SystemBuilder};
 /// `p(S^r(Z))`, `p(x) → p(S^k(x))`, `p(x) ∧ p(S^j(x)) → ⊥`.
 /// Safe iff `j ≢ 0 (mod k)`; regular invariant = the mod-`k` automaton.
 pub fn mod_k_nat(k: usize, r: usize, j: usize) -> ChcSystem {
-    assert!(k >= 2 && j % k != 0, "unsafe parameterization");
+    assert!(k >= 2 && !j.is_multiple_of(k), "unsafe parameterization");
     let mut b = SystemBuilder::new();
     let nat = b.sort("Nat");
     let z = b.ctor("Z", vec![], nat);
@@ -50,7 +50,7 @@ pub fn mod_k_nat(k: usize, r: usize, j: usize) -> ChcSystem {
 /// `EvenLeft` generalized: the leftmost spine grows by `step` nodes per
 /// rule; the query offsets by `off` (`off % step != 0` keeps it safe).
 pub fn even_left_tree(step: usize, off: usize) -> ChcSystem {
-    assert!(step >= 2 && off % step != 0);
+    assert!(step >= 2 && !off.is_multiple_of(step));
     let mut b = SystemBuilder::new();
     let tree = b.sort("Tree");
     let leaf = b.ctor("leaf", vec![], tree);
@@ -314,7 +314,10 @@ pub fn plus_comm(seed: usize) -> ChcSystem {
     b.clause(|c| {
         let (x, y, r) = (c.var("x", nat), c.var("y", nat), c.var("r", nat));
         c.body(plus, vec![c.v(x), c.v(y), c.v(r)]);
-        c.head(plus, vec![c.app(s, vec![c.v(x)]), c.v(y), c.app(s, vec![c.v(r)])]);
+        c.head(
+            plus,
+            vec![c.app(s, vec![c.v(x)]), c.v(y), c.app(s, vec![c.v(r)])],
+        );
     });
     b.clause(|c| {
         let y = c.var("y", nat);
@@ -367,11 +370,14 @@ pub fn list_rel(seed: usize) -> ChcSystem {
             c.var("zs", list),
         );
         c.body(app, vec![c.v(xs), c.v(ys), c.v(zs)]);
-        c.head(app, vec![
-            c.app(cons, vec![c.v(h), c.v(xs)]),
-            c.v(ys),
-            c.app(cons, vec![c.v(h), c.v(zs)]),
-        ]);
+        c.head(
+            app,
+            vec![
+                c.app(cons, vec![c.v(h), c.v(xs)]),
+                c.v(ys),
+                c.app(cons, vec![c.v(h), c.v(zs)]),
+            ],
+        );
     });
     b.clause(|c| {
         c.head(len, vec![c.app0(nil), c.app0(z)]);
@@ -379,7 +385,10 @@ pub fn list_rel(seed: usize) -> ChcSystem {
     b.clause(|c| {
         let (h, xs, n) = (c.var("h", nat), c.var("xs", list), c.var("n", nat));
         c.body(len, vec![c.v(xs), c.v(n)]);
-        c.head(len, vec![c.app(cons, vec![c.v(h), c.v(xs)]), c.app(s, vec![c.v(n)])]);
+        c.head(
+            len,
+            vec![c.app(cons, vec![c.v(h), c.v(xs)]), c.app(s, vec![c.v(n)])],
+        );
     });
     b.clause(|c| {
         let y = c.var("y", nat);
@@ -490,7 +499,7 @@ pub fn deep_diseq(k: usize) -> ChcSystem {
 /// `RegElem` shape `#0 = #1 ∧ #0 ∈ L(mod-k automaton)`; for `k = 2`
 /// `SizeElem` also expresses it via size parity (Prop. 8).
 pub fn diag_mod_k(k: usize, r: usize, j: usize) -> ChcSystem {
-    assert!(k >= 2 && j % k != 0, "unsafe parameterization");
+    assert!(k >= 2 && !j.is_multiple_of(k), "unsafe parameterization");
     let mut b = SystemBuilder::new();
     let nat = b.sort("Nat");
     let z = b.ctor("Z", vec![], nat);

@@ -171,6 +171,7 @@ pub fn type_check_system(goal: &TypeExpr) -> ChcSystem {
     sys
 }
 
+#[allow(clippy::only_used_in_recursion)] // `c` is threaded for future constraint emission
 fn build_type(
     t: &TypeExpr,
     atoms: &[VarId],
@@ -207,15 +208,30 @@ pub fn handwritten_suite() -> Vec<(String, ChcSystem)> {
         ("inhab-b-to-a", arr(bb(), a())),
         ("inhab-ab-to-a", arr(a(), arr(bb(), a()))),
         ("inhab-double-neg", arr(arr(arr(a(), bb()), bb()), a())),
-        ("inhab-swap-args", arr(arr(a(), arr(bb(), c3())), arr(bb(), arr(a(), c3())))),
+        (
+            "inhab-swap-args",
+            arr(arr(a(), arr(bb(), c3())), arr(bb(), arr(a(), c3()))),
+        ),
         ("inhab-const3", arr(a(), arr(bb(), arr(c3(), a())))),
         ("inhab-proj-mid", arr(a(), arr(bb(), arr(c3(), bb())))),
-        ("inhab-arrow-chain", arr(arr(a(), bb()), arr(arr(bb(), c3()), arr(a(), c3())))),
-        ("inhab-contraction", arr(arr(a(), arr(a(), bb())), arr(a(), bb()))),
-        ("inhab-weak-peirce", arr(arr(arr(a(), bb()), a()), arr(arr(a(), c3()), a()))),
+        (
+            "inhab-arrow-chain",
+            arr(arr(a(), bb()), arr(arr(bb(), c3()), arr(a(), c3()))),
+        ),
+        (
+            "inhab-contraction",
+            arr(arr(a(), arr(a(), bb())), arr(a(), bb())),
+        ),
+        (
+            "inhab-weak-peirce",
+            arr(arr(arr(a(), bb()), a()), arr(arr(a(), c3()), a())),
+        ),
         ("inhab-prim-id", arr(TypeExpr::Prim(0), TypeExpr::Prim(0))),
         ("inhab-prim-swap", arr(TypeExpr::Prim(0), TypeExpr::Prim(1))),
-        ("inhab-prim-goal", arr(arr(TypeExpr::Prim(0), TypeExpr::Prim(1)), TypeExpr::Prim(0))),
+        (
+            "inhab-prim-goal",
+            arr(arr(TypeExpr::Prim(0), TypeExpr::Prim(1)), TypeExpr::Prim(0)),
+        ),
         ("inhab-mixed", arr(arr(a(), TypeExpr::Prim(0)), a())),
     ];
     let mut out: Vec<(String, ChcSystem)> = goals
@@ -269,14 +285,26 @@ fn rewrite_system(k: usize) -> ChcSystem {
         let y = c.var("y", t);
         let z = c.var("z", t);
         c.body(step, vec![c.v(x), c.v(y)]);
-        c.head(step, vec![c.app(ap, vec![c.v(x), c.v(z)]), c.app(ap, vec![c.v(y), c.v(z)])]);
+        c.head(
+            step,
+            vec![
+                c.app(ap, vec![c.v(x), c.v(z)]),
+                c.app(ap, vec![c.v(y), c.v(z)]),
+            ],
+        );
     });
     b.clause(|c| {
         let x = c.var("x", t);
         let y = c.var("y", t);
         let z = c.var("z", t);
         c.body(step, vec![c.v(x), c.v(y)]);
-        c.head(step, vec![c.app(ap, vec![c.v(z), c.v(x)]), c.app(ap, vec![c.v(z), c.v(y)])]);
+        c.head(
+            step,
+            vec![
+                c.app(ap, vec![c.v(z), c.v(x)]),
+                c.app(ap, vec![c.v(z), c.v(y)]),
+            ],
+        );
     });
     // reach = reflexive-transitive closure.
     b.clause(|c| {

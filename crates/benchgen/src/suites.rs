@@ -50,7 +50,12 @@ pub struct Benchmark {
 
 impl Benchmark {
     fn new(name: impl Into<String>, system: ChcSystem, family: Family, expected: Expected) -> Self {
-        let b = Benchmark { name: name.into(), system, family, expected };
+        let b = Benchmark {
+            name: name.into(),
+            system,
+            family,
+            expected,
+        };
         debug_assert!(b.system.well_sorted().is_ok(), "{} ill-sorted", b.name);
         b
     }
@@ -92,8 +97,18 @@ pub fn positive_eq_suite() -> Vec<Benchmark> {
         ));
     }
     // 2 evaluator problems (Reg only).
-    out.push(Benchmark::new("positive-eq/bool-eval-2", shapes::bool_eval(2), f, Expected::Sat));
-    out.push(Benchmark::new("positive-eq/bool-eval-3", shapes::bool_eval(3), f, Expected::Sat));
+    out.push(Benchmark::new(
+        "positive-eq/bool-eval-2",
+        shapes::bool_eval(2),
+        f,
+        Expected::Sat,
+    ));
+    out.push(Benchmark::new(
+        "positive-eq/bool-eval-3",
+        shapes::bool_eval(3),
+        f,
+        Expected::Sat,
+    ));
     // 4 IncDec variants (Elem ∩ Reg ∩ SizeElem — the problems Spacer
     // also solves, all solved by RInGen too, as Table 1 notes).
     for d in 1..=4 {
@@ -105,8 +120,18 @@ pub fn positive_eq_suite() -> Vec<Benchmark> {
         ));
     }
     // 2 parity problems (Reg ∩ SizeElem — the Eldarica row).
-    out.push(Benchmark::new("positive-eq/parity-0", shapes::mod_k_nat(2, 0, 1), f, Expected::Sat));
-    out.push(Benchmark::new("positive-eq/parity-1", shapes::mod_k_nat(2, 1, 1), f, Expected::Sat));
+    out.push(Benchmark::new(
+        "positive-eq/parity-0",
+        shapes::mod_k_nat(2, 0, 1),
+        f,
+        Expected::Sat,
+    ));
+    out.push(Benchmark::new(
+        "positive-eq/parity-1",
+        shapes::mod_k_nat(2, 1, 1),
+        f,
+        Expected::Sat,
+    ));
     // 9 hard-tail problems (safe, lemma-hard; everyone diverges).
     for seed in 0..5 {
         out.push(Benchmark::new(
@@ -165,7 +190,12 @@ pub fn diseq_suite() -> Vec<Benchmark> {
         ));
     }
     // 1 unsatisfiable instance: Example 3's `Z ≠ S(Z) → ⊥`.
-    out.push(Benchmark::new("diseq/example3", example3(), f, Expected::Unsat));
+    out.push(Benchmark::new(
+        "diseq/example3",
+        example3(),
+        f,
+        Expected::Unsat,
+    ));
     // 17 deep-diseq problems: every proof needs disequality of
     // unboundedly many pairs, so no finite model — and no bounded
     // template — exists. All engines diverge.
@@ -193,7 +223,12 @@ pub fn tip_suite() -> Vec<Benchmark> {
             1 => shapes::even_left_tree(2 + k / 3, 1),
             _ => shapes::bool_eval(2 + k % 2),
         };
-        out.push(Benchmark::new(format!("tip/reg-only-{k}"), sys, f, Expected::Sat));
+        out.push(Benchmark::new(
+            format!("tip/reg-only-{k}"),
+            sys,
+            f,
+            Expected::Sat,
+        ));
     }
     // 11 parity problems (shared by RInGen and the SizeElem engine).
     for k in 0..11 {
@@ -254,7 +289,12 @@ pub fn tip_suite() -> Vec<Benchmark> {
             1 => shapes::list_rel(k),
             _ => rev_involution(k % 5),
         };
-        out.push(Benchmark::new(format!("tip/hard-{k}"), sys, f, Expected::Sat));
+        out.push(Benchmark::new(
+            format!("tip/hard-{k}"),
+            sys,
+            f,
+            Expected::Sat,
+        ));
         k += 1;
     }
     assert_eq!(out.len(), 454);
@@ -312,7 +352,10 @@ fn rev_involution(pad: usize) -> ChcSystem {
     // snoc(xs, a, xs ++ [a]).
     b.clause(|c| {
         let a = c.var("a", nat);
-        c.head(snoc, vec![c.app0(nil), c.v(a), c.app(cons, vec![c.v(a), c.app0(nil)])]);
+        c.head(
+            snoc,
+            vec![c.app0(nil), c.v(a), c.app(cons, vec![c.v(a), c.app0(nil)])],
+        );
     });
     b.clause(|c| {
         let (h, xs, a, ys) = (
@@ -322,11 +365,14 @@ fn rev_involution(pad: usize) -> ChcSystem {
             c.var("ys", list),
         );
         c.body(snoc, vec![c.v(xs), c.v(a), c.v(ys)]);
-        c.head(snoc, vec![
-            c.app(cons, vec![c.v(h), c.v(xs)]),
-            c.v(a),
-            c.app(cons, vec![c.v(h), c.v(ys)]),
-        ]);
+        c.head(
+            snoc,
+            vec![
+                c.app(cons, vec![c.v(h), c.v(xs)]),
+                c.v(a),
+                c.app(cons, vec![c.v(h), c.v(ys)]),
+            ],
+        );
     });
     // rev.
     b.clause(|c| {

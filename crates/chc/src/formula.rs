@@ -300,10 +300,9 @@ mod tests {
     #[test]
     fn double_negation_collapses() {
         let (ctx, p, _q, x, _z) = setup();
-        let f = Formula::Not(Box::new(Formula::Not(Box::new(Formula::Atom(FAtom::Pred(
-            p,
-            vec![x],
-        ))))));
+        let f = Formula::Not(Box::new(Formula::Not(Box::new(Formula::Atom(
+            FAtom::Pred(p, vec![x]),
+        )))));
         let clauses = formula_to_clauses(&ctx, &f).unwrap();
         assert_eq!(clauses.len(), 1);
         assert!(clauses[0].head.is_some());
@@ -315,7 +314,10 @@ mod tests {
         // c?(x) → p(x): disjunction ¬c?(x) ∨ p(x); ¬tester lands positive
         // in the body.
         let f = Formula::implies(
-            Formula::Atom(FAtom::Tester(ringen_terms::FuncId::from_index(0), x.clone())),
+            Formula::Atom(FAtom::Tester(
+                ringen_terms::FuncId::from_index(0),
+                x.clone(),
+            )),
             Formula::Atom(FAtom::Pred(p, vec![x])),
         );
         let clauses = formula_to_clauses(&ctx, &f).unwrap();

@@ -419,8 +419,8 @@ impl Parser {
         let mut scope: HashMap<String, VarId> = HashMap::new();
         let mut exist_vars = Vec::new();
         let f = self.assertion(body, &mut vars, &mut scope, true, &mut exist_vars)?;
-        let mut clauses = formula_to_clauses(&vars, &f)
-            .map_err(|e| ParseError::new(line, e.to_string()))?;
+        let mut clauses =
+            formula_to_clauses(&vars, &f).map_err(|e| ParseError::new(line, e.to_string()))?;
         if !exist_vars.is_empty() {
             // ∃ does not distribute over clause conjunction, so a ∀∃
             // assertion must clausify to a single (query) clause.
@@ -477,8 +477,7 @@ impl Parser {
                     ));
                 }
                 Some("not") => {
-                    let inner =
-                        self.assertion(&items[1], vars, scope, !positive, exist_vars)?;
+                    let inner = self.assertion(&items[1], vars, scope, !positive, exist_vars)?;
                     return Ok(Formula::Not(Box::new(inner)));
                 }
                 _ => {}
@@ -553,11 +552,9 @@ impl Parser {
                             .map(|g| self.formula(g, vars, scope))
                             .collect::<Result<_, _>>()?,
                     )),
-                    Some("not") => Ok(Formula::Not(Box::new(self.formula(
-                        &items[1],
-                        vars,
-                        scope,
-                    )?))),
+                    Some("not") => Ok(Formula::Not(Box::new(
+                        self.formula(&items[1], vars, scope)?,
+                    ))),
                     Some("=>") => {
                         // Right-associate chains: (=> a b c) = a → (b → c).
                         let parts: Vec<Formula> = items[1..]
@@ -626,6 +623,7 @@ impl Parser {
         }
     }
 
+    #[allow(clippy::only_used_in_recursion)] // `vars` is threaded for future binders
     fn term(
         &mut self,
         s: &Sexp,

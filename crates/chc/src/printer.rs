@@ -33,7 +33,11 @@ pub fn to_smtlib(sys: &ChcSystem) -> String {
     for f in sys.sig.funcs() {
         let d = sys.sig.func(f);
         if d.kind == FuncKind::Free {
-            let args: Vec<&str> = d.domain.iter().map(|s| sys.sig.sort(*s).name.as_str()).collect();
+            let args: Vec<&str> = d
+                .domain
+                .iter()
+                .map(|s| sys.sig.sort(*s).name.as_str())
+                .collect();
             let _ = writeln!(
                 out,
                 "(declare-fun {} ({}) {})",
@@ -45,7 +49,11 @@ pub fn to_smtlib(sys: &ChcSystem) -> String {
     }
     for p in sys.rels.iter() {
         let d = sys.rels.decl(p);
-        let args: Vec<&str> = d.domain.iter().map(|s| sys.sig.sort(*s).name.as_str()).collect();
+        let args: Vec<&str> = d
+            .domain
+            .iter()
+            .map(|s| sys.sig.sort(*s).name.as_str())
+            .collect();
         let _ = writeln!(
             out,
             "(declare-fun {} ({}) Bool)",
@@ -220,8 +228,7 @@ fn term_to_sexp(sys: &ChcSystem, vars: &VarContext, t: &Term) -> String {
             if args.is_empty() {
                 name
             } else {
-                let parts: Vec<String> =
-                    args.iter().map(|a| term_to_sexp(sys, vars, a)).collect();
+                let parts: Vec<String> = args.iter().map(|a| term_to_sexp(sys, vars, a)).collect();
                 format!("({} {})", name, parts.join(" "))
             }
         }

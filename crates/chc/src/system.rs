@@ -328,9 +328,10 @@ impl ChcSystem {
             }
             for con in &c.constraints {
                 let touches = match con {
-                    Constraint::Eq(a, b) | Constraint::Neq(a, b) => {
-                        c.exist_vars.iter().any(|v| a.contains_var(*v) || b.contains_var(*v))
-                    }
+                    Constraint::Eq(a, b) | Constraint::Neq(a, b) => c
+                        .exist_vars
+                        .iter()
+                        .any(|v| a.contains_var(*v) || b.contains_var(*v)),
                     Constraint::Tester { term, .. } => {
                         c.exist_vars.iter().any(|v| term.contains_var(*v))
                     }
@@ -407,9 +408,9 @@ impl ChcSystem {
             .flat_map(|c| &c.constraints)
             .any(|k| matches!(k, Constraint::Tester { .. }));
         let selector = self.clauses.iter().any(|c| {
-            c.terms().iter().any(|t| {
-                term_mentions_selector(&self.sig, t)
-            })
+            c.terms()
+                .iter()
+                .any(|t| term_mentions_selector(&self.sig, t))
         });
         tester || selector
     }
@@ -543,7 +544,11 @@ mod tests {
             sys.well_sorted(),
             Err(SystemError {
                 clause: 0,
-                kind: SystemErrorKind::AtomArity { expected: 1, got: 2, .. }
+                kind: SystemErrorKind::AtomArity {
+                    expected: 1,
+                    got: 2,
+                    ..
+                }
             })
         ));
     }

@@ -33,9 +33,7 @@ fn main() -> ExitCode {
             },
             "-h" | "--help" => {
                 eprintln!("usage: ringen [--quick] [--quiet] [--solver NAME] FILE.smt2");
-                eprintln!(
-                    "solvers: ringen (default), elem, sizeelem, regelem, induction, verimap"
-                );
+                eprintln!("solvers: ringen (default), elem, sizeelem, regelem, induction, verimap");
                 return ExitCode::SUCCESS;
             }
             _ if file.is_none() => file = Some(a),
@@ -66,7 +64,11 @@ fn main() -> ExitCode {
 
     match solver.as_str() {
         "ringen" => {
-            let cfg = if quick { RingenConfig::quick() } else { RingenConfig::default() };
+            let cfg = if quick {
+                RingenConfig::quick()
+            } else {
+                RingenConfig::default()
+            };
             let (answer, stats) = solve(&sys, &cfg);
             match answer {
                 Answer::Sat(sat) => {
@@ -91,7 +93,11 @@ fn main() -> ExitCode {
             }
         }
         "elem" => {
-            let cfg = if quick { ringen_elem::ElemConfig::quick() } else { Default::default() };
+            let cfg = if quick {
+                ringen_elem::ElemConfig::quick()
+            } else {
+                Default::default()
+            };
             let (answer, _) = ringen_elem::solve_elem(&sys, &cfg);
             report(answer.is_sat(), answer.is_unsat());
         }
@@ -117,11 +123,7 @@ fn main() -> ExitCode {
                     if !quiet {
                         println!("; deciding phase: {provenance:?}");
                         for (p, f) in &inv.formulas {
-                            println!(
-                                "; {}(#…) ≡ {}",
-                                sys.rels.decl(*p).name,
-                                f.display(&sys.sig)
-                            );
+                            println!("; {}(#…) ≡ {}", sys.rels.decl(*p).name, f.display(&sys.sig));
                         }
                     }
                 }

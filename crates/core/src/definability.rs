@@ -27,7 +27,7 @@ use ringen_terms::{leaves, replace_all, GroundTerm, Path};
 use crate::preprocess::preprocess;
 use crate::saturation::Fact;
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Result of the bounded regular-invariant search.
 #[derive(Debug, Clone)]
@@ -45,7 +45,10 @@ pub struct RegSearch {
 /// exists.
 pub fn search_regular_invariant(sys: &ChcSystem, max_total_size: usize) -> RegSearch {
     let pre = preprocess(sys);
-    let cfg = FinderConfig { max_total_size, ..FinderConfig::default() };
+    let cfg = FinderConfig {
+        max_total_size,
+        ..FinderConfig::default()
+    };
     match find_model(&pre.system, &cfg) {
         Ok((FmfOutcome::Model(m), _)) => RegSearch {
             found_at: Some(m.size()),
@@ -170,9 +173,10 @@ fn fires_from(
             continue;
         }
         let mut sub2 = sub.clone();
-        let ok = atom.args.iter().zip(args).all(|(pat, g)| {
-            ringen_terms::match_ground_into(&sub2.apply_deep(pat), g, &mut sub2)
-        });
+        let ok =
+            atom.args.iter().zip(args).all(|(pat, g)| {
+                ringen_terms::match_ground_into(&sub2.apply_deep(pat), g, &mut sub2)
+            });
         if ok && fires_from(sys, ci, k + 1, &sub2, facts) {
             return true;
         }
@@ -180,10 +184,7 @@ fn fires_from(
     false
 }
 
-fn ground_constraints_hold(
-    clause: &ringen_chc::Clause,
-    sub: &ringen_terms::Substitution,
-) -> bool {
+fn ground_constraints_hold(clause: &ringen_chc::Clause, sub: &ringen_terms::Substitution) -> bool {
     clause.constraints.iter().all(|c| match c {
         Constraint::Eq(a, b) => {
             match (sub.apply_deep(a).to_ground(), sub.apply_deep(b).to_ground()) {
@@ -197,12 +198,14 @@ fn ground_constraints_hold(
                 _ => false,
             }
         }
-        Constraint::Tester { ctor, term, positive } => {
-            match sub.apply_deep(term).to_ground() {
-                Some(g) => (g.func() == *ctor) == *positive,
-                None => false,
-            }
-        }
+        Constraint::Tester {
+            ctor,
+            term,
+            positive,
+        } => match sub.apply_deep(term).to_ground() {
+            Some(g) => (g.func() == *ctor) == *positive,
+            None => false,
+        },
     })
 }
 
@@ -211,7 +214,7 @@ fn ground_constraints_hold(
 /// checking that candidate invariants contain the least model.
 #[derive(Debug, Clone)]
 pub struct LfpOracle {
-    facts: HashMap<PredId, Vec<Vec<GroundTerm>>>,
+    facts: FxHashMap<PredId, Vec<Vec<GroundTerm>>>,
 }
 
 impl LfpOracle {
@@ -224,10 +227,12 @@ impl LfpOracle {
             SaturationOutcome::Refuted(_) => {
                 // Unsat systems have no invariant; an empty oracle is the
                 // honest answer.
-                return LfpOracle { facts: HashMap::new() };
+                return LfpOracle {
+                    facts: FxHashMap::default(),
+                };
             }
         };
-        let mut facts: HashMap<PredId, Vec<Vec<GroundTerm>>> = HashMap::new();
+        let mut facts: FxHashMap<PredId, Vec<Vec<GroundTerm>>> = FxHashMap::default();
         for (p, args) in base.facts() {
             facts.entry(*p).or_default().push(args.clone());
         }

@@ -67,7 +67,10 @@ pub fn check_inductive(sys: &ChcSystem, inv: &RegularInvariant) -> InductiveChec
 
     for (ci, clause) in sys.clauses.iter().enumerate() {
         if let Some(v) = violated(sys, inv, clause, &per_sort, &witnesses) {
-            return InductiveCheck::Violated(Violation { clause: ci, assignment: v });
+            return InductiveCheck::Violated(Violation {
+                clause: ci,
+                assignment: v,
+            });
         }
     }
     InductiveCheck::Inductive
@@ -165,7 +168,7 @@ fn exists_satisfying(
     env: &mut BTreeMap<VarId, StateId>,
 ) -> bool {
     if k == exist.len() {
-        return !(body_holds(sys, inv, clause, env) && !head_holds(inv, clause, env));
+        return !body_holds(sys, inv, clause, env) || head_holds(inv, clause, env);
     }
     let v = exist[k];
     for &s in e_choices[k] {

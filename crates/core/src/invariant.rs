@@ -74,7 +74,12 @@ impl RegularInvariant {
             finals.insert(p, set);
             domains.insert(p, domain);
         }
-        RegularInvariant { dfta, state_of, finals, domains }
+        RegularInvariant {
+            dfta,
+            state_of,
+            finals,
+            domains,
+        }
     }
 
     /// The shared transition table.

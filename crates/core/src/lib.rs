@@ -48,7 +48,7 @@ pub mod solve;
 
 pub use inductive::{check_inductive, InductiveCheck, Violation};
 pub use invariant::{DisplayInvariant, RegularInvariant};
-pub use preprocess::{preprocess, Preprocessed, PreprocessStats};
+pub use preprocess::{preprocess, PreprocessStats, Preprocessed};
 pub use saturation::{
     check_refutation, saturate, FactBase, Refutation, RefutationError, SaturationConfig,
     SaturationOutcome,

@@ -127,13 +127,12 @@ pub fn eliminate_disequalities(sys: &ChcSystem) -> DiseqElimination {
                     .map(|&s| Term::var(vars.fresh_anon(s)))
                     .collect();
                 let head = Atom::new(p, vec![Term::app(c1, args1), Term::app(c2, args2)]);
-                out.clauses.push(
-                    Clause::new(vars, vec![], vec![], Some(head)).named(format!(
+                out.clauses
+                    .push(Clause::new(vars, vec![], vec![], Some(head)).named(format!(
                         "diseq-top-{}-{}",
                         sys.sig.func(c1).name,
                         sys.sig.func(c2).name
-                    )),
-                );
+                    )));
             }
         }
         // Congruence: a difference at position i propagates upward. All
@@ -170,15 +169,20 @@ pub fn eliminate_disequalities(sys: &ChcSystem) -> DiseqElimination {
                     .collect();
                 let body = vec![Atom::new(q, vec![Term::var(x), Term::var(y)])];
                 let head = Atom::new(p, vec![Term::app(c, args1), Term::app(c, args2)]);
-                out.clauses.push(
-                    Clause::new(vars, vec![], body, Some(head))
-                        .named(format!("diseq-arg-{}-{}", sys.sig.func(c).name, i)),
-                );
+                out.clauses
+                    .push(Clause::new(vars, vec![], body, Some(head)).named(format!(
+                        "diseq-arg-{}-{}",
+                        sys.sig.func(c).name,
+                        i
+                    )));
             }
         }
     }
 
-    DiseqElimination { system: out, diseq_preds }
+    DiseqElimination {
+        system: out,
+        diseq_preds,
+    }
 }
 
 #[cfg(test)]

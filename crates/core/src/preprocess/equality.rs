@@ -58,7 +58,11 @@ pub fn eliminate_equalities(sys: &ChcSystem) -> (ChcSystem, EqualityStats) {
             }
         };
         let constraints: Vec<Constraint> = rest.iter().map(|k| apply_deep_k(k, &mgu)).collect();
-        let body: Vec<Atom> = clause.body.iter().map(|a| apply_deep_atom(a, &mgu)).collect();
+        let body: Vec<Atom> = clause
+            .body
+            .iter()
+            .map(|a| apply_deep_atom(a, &mgu))
+            .collect();
         let head = clause.head.as_ref().map(|a| apply_deep_atom(a, &mgu));
 
         let (vars, rename, removed) = compact_vars(&clause.vars, &constraints, &body, &head);
@@ -88,7 +92,11 @@ fn apply_deep_k(k: &Constraint, sub: &Substitution) -> Constraint {
     match k {
         Constraint::Eq(a, b) => Constraint::Eq(sub.apply_deep(a), sub.apply_deep(b)),
         Constraint::Neq(a, b) => Constraint::Neq(sub.apply_deep(a), sub.apply_deep(b)),
-        Constraint::Tester { ctor, term, positive } => Constraint::Tester {
+        Constraint::Tester {
+            ctor,
+            term,
+            positive,
+        } => Constraint::Tester {
             ctor: *ctor,
             term: sub.apply_deep(term),
             positive: *positive,
@@ -104,7 +112,11 @@ fn rename_k(k: &Constraint, map: &BTreeMap<VarId, VarId>) -> Constraint {
     match k {
         Constraint::Eq(a, b) => Constraint::Eq(a.rename(map), b.rename(map)),
         Constraint::Neq(a, b) => Constraint::Neq(a.rename(map), b.rename(map)),
-        Constraint::Tester { ctor, term, positive } => Constraint::Tester {
+        Constraint::Tester {
+            ctor,
+            term,
+            positive,
+        } => Constraint::Tester {
             ctor: *ctor,
             term: term.rename(map),
             positive: *positive,

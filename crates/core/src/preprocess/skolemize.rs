@@ -80,7 +80,10 @@ pub fn skolemize(sys: &ChcSystem) -> Skolemization {
         out.clauses.push(c);
     }
 
-    Skolemization { system: out, skolem_funcs }
+    Skolemization {
+        system: out,
+        skolem_funcs,
+    }
 }
 
 #[cfg(test)]

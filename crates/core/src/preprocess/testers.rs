@@ -12,7 +12,7 @@
 //! * a negative tester `¬c?(t)` splits the clause, one copy per other
 //!   constructor `c'` of the sort, with `is_c'(t)` in the body.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use ringen_chc::{Atom, ChcSystem, Clause, Constraint, PredId};
 use ringen_terms::{FuncId, FuncKind, Term, VarContext};
@@ -33,8 +33,8 @@ pub fn eliminate_testers_and_selectors(sys: &ChcSystem) -> TesterElimination {
     let mut out = ChcSystem::new(sys.sig.clone());
     out.rels = sys.rels.clone();
     let mut aux = AuxPreds {
-        testers: HashMap::new(),
-        selectors: HashMap::new(),
+        testers: FxHashMap::default(),
+        selectors: FxHashMap::default(),
         aux_list: Vec::new(),
     };
 
@@ -42,13 +42,12 @@ pub fn eliminate_testers_and_selectors(sys: &ChcSystem) -> TesterElimination {
         // Phase 1: remove selector applications from all terms.
         let mut vars = clause.vars.clone();
         let mut extra_atoms: Vec<Atom> = Vec::new();
-        let strip = |t: &Term,
-                     vars: &mut VarContext,
-                     extra: &mut Vec<Atom>,
-                     aux: &mut AuxPreds,
-                     out: &mut ChcSystem| {
-            strip_selectors(sys, t, vars, extra, aux, out)
-        };
+        let strip =
+            |t: &Term,
+             vars: &mut VarContext,
+             extra: &mut Vec<Atom>,
+             aux: &mut AuxPreds,
+             out: &mut ChcSystem| { strip_selectors(sys, t, vars, extra, aux, out) };
         let mut constraints = Vec::new();
         let mut split_testers: Vec<(Term, FuncId)> = Vec::new(); // negative testers
         for k in &clause.constraints {
@@ -123,8 +122,7 @@ pub fn eliminate_testers_and_selectors(sys: &ChcSystem) -> TesterElimination {
         for extra in variants {
             let mut full_body = body.clone();
             full_body.extend(extra);
-            let mut c =
-                Clause::new(vars.clone(), constraints.clone(), full_body, head.clone());
+            let mut c = Clause::new(vars.clone(), constraints.clone(), full_body, head.clone());
             c.exist_vars = clause.exist_vars.clone();
             c.name = clause.name.clone();
             out.clauses.push(c);
@@ -137,8 +135,8 @@ pub fn eliminate_testers_and_selectors(sys: &ChcSystem) -> TesterElimination {
 }
 
 struct AuxPreds {
-    testers: HashMap<FuncId, PredId>,
-    selectors: HashMap<FuncId, PredId>,
+    testers: FxHashMap<FuncId, PredId>,
+    selectors: FxHashMap<FuncId, PredId>,
     aux_list: Vec<PredId>,
 }
 
@@ -149,9 +147,7 @@ impl AuxPreds {
             return p;
         }
         let decl = sys.sig.func(ctor).clone();
-        let p = out
-            .rels
-            .add(format!("is-{}", decl.name), vec![decl.range]);
+        let p = out.rels.add(format!("is-{}", decl.name), vec![decl.range]);
         self.testers.insert(ctor, p);
         self.aux_list.push(p);
         // ⊤ → is_c(c(y₁…yₙ))
@@ -163,8 +159,9 @@ impl AuxPreds {
             .map(|(i, s)| Term::var(vars.fresh(format!("y{i}"), *s)))
             .collect();
         let head = Atom::new(p, vec![Term::app(ctor, args)]);
-        out.clauses
-            .push(Clause::new(vars, vec![], vec![], Some(head)).named(format!("def-is-{}", decl.name)));
+        out.clauses.push(
+            Clause::new(vars, vec![], vec![], Some(head)).named(format!("def-is-{}", decl.name)),
+        );
         p
     }
 
@@ -178,9 +175,10 @@ impl AuxPreds {
         let FuncKind::Selector { ctor, index } = decl.kind else {
             panic!("selector_pred on non-selector");
         };
-        let p = out
-            .rels
-            .add(format!("sel-{}", decl.name), vec![decl.domain[0], decl.range]);
+        let p = out.rels.add(
+            format!("sel-{}", decl.name),
+            vec![decl.domain[0], decl.range],
+        );
         self.selectors.insert(sel, p);
         self.aux_list.push(p);
         // ⊤ → sel_c_i(c(y₁…yₙ), yᵢ)
@@ -193,8 +191,9 @@ impl AuxPreds {
             .map(|(i, s)| Term::var(vars.fresh(format!("y{i}"), *s)))
             .collect();
         let head = Atom::new(p, vec![Term::app(ctor, ys.clone()), ys[index].clone()]);
-        out.clauses
-            .push(Clause::new(vars, vec![], vec![], Some(head)).named(format!("def-sel-{}", decl.name)));
+        out.clauses.push(
+            Clause::new(vars, vec![], vec![], Some(head)).named(format!("def-sel-{}", decl.name)),
+        );
         p
     }
 }

@@ -13,7 +13,6 @@
 //! so the refuter runs on the *original* system, independent of the
 //! preprocessing pipeline it cross-validates.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -21,6 +20,7 @@ use ringen_chc::{Atom, ChcSystem, Clause, Constraint, PredId};
 use ringen_terms::{
     herbrand::terms_by_size, match_ground_into, GroundTerm, Substitution, Term, VarId,
 };
+use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Budgets for [`saturate`]. All limits are deterministic step counts,
 /// never wall time, so results are reproducible.
@@ -53,6 +53,10 @@ impl Default for SaturationConfig {
 
 /// A derived ground fact.
 pub type Fact = (PredId, Vec<GroundTerm>);
+
+/// Provenance of a derived fact: (clause index, variable binding,
+/// premise fact indices).
+type Provenance = (usize, Vec<(VarId, GroundTerm)>, Vec<usize>);
 
 /// One step of a ground derivation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,10 +95,10 @@ impl Refutation {
 #[derive(Debug, Clone, Default)]
 pub struct FactBase {
     facts: Vec<Fact>,
-    index: HashMap<Fact, usize>,
-    by_pred: HashMap<PredId, Vec<usize>>,
+    index: FxHashMap<Fact, usize>,
+    by_pred: FxHashMap<PredId, Vec<usize>>,
     /// For each fact: (clause index, binding, premise fact indices).
-    provenance: Vec<(usize, Vec<(VarId, GroundTerm)>, Vec<usize>)>,
+    provenance: Vec<Provenance>,
 }
 
 impl FactBase {
@@ -176,7 +180,7 @@ pub struct SaturationStats {
 pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, SaturationStats) {
     let mut base = FactBase::default();
     let mut stats = SaturationStats::default();
-    let mut pool: HashMap<ringen_terms::SortId, Vec<GroundTerm>> = HashMap::new();
+    let mut pool: FxHashMap<ringen_terms::SortId, Vec<GroundTerm>> = FxHashMap::default();
     let mut budget_hit = false;
 
     for round in 0..cfg.max_rounds {
@@ -189,7 +193,11 @@ pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, 
                 continue;
             }
             if std::env::var_os("RINGEN_SAT_DEBUG").is_some() {
-                eprintln!("round {round} clause {ci} facts={} steps={}", base.len(), stats.steps);
+                eprintln!(
+                    "round {round} clause {ci} facts={} steps={}",
+                    base.len(),
+                    stats.steps
+                );
             }
             let mut matcher = Matcher {
                 sys,
@@ -202,7 +210,7 @@ pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, 
                 refutation: None,
                 budget_hit: &mut budget_hit,
                 new_facts: Vec::new(),
-                new_index: std::collections::HashSet::new(),
+                new_index: FxHashSet::default(),
             };
             matcher.run();
             let new_facts = matcher.new_facts;
@@ -236,14 +244,14 @@ struct Matcher<'a> {
     clause: &'a Clause,
     ci: usize,
     base: &'a mut FactBase,
-    pool: &'a mut HashMap<ringen_terms::SortId, Vec<GroundTerm>>,
+    pool: &'a mut FxHashMap<ringen_terms::SortId, Vec<GroundTerm>>,
     steps: &'a mut u64,
     refutation: Option<Refutation>,
     budget_hit: &'a mut bool,
     #[allow(clippy::type_complexity)]
     new_facts: Vec<(Fact, Vec<(VarId, GroundTerm)>, Vec<usize>)>,
     /// Hash index over `new_facts` (the in-round dedup must not scan).
-    new_index: std::collections::HashSet<Fact>,
+    new_index: FxHashSet<Fact>,
 }
 
 impl Matcher<'_> {
@@ -320,13 +328,7 @@ impl Matcher<'_> {
         self.bind_free(&free, 0, sub, premises);
     }
 
-    fn bind_free(
-        &mut self,
-        free: &[VarId],
-        k: usize,
-        sub: Substitution,
-        premises: Vec<usize>,
-    ) {
+    fn bind_free(&mut self, free: &[VarId], k: usize, sub: Substitution, premises: Vec<usize>) {
         if self.refutation.is_some() || *self.budget_hit {
             return;
         }
@@ -385,7 +387,11 @@ impl Matcher<'_> {
                         return;
                     }
                 }
-                Constraint::Tester { ctor, term, positive } => {
+                Constraint::Tester {
+                    ctor,
+                    term,
+                    positive,
+                } => {
                     let Some(g) = sub.apply_deep(term).to_ground() else {
                         return;
                     };
@@ -404,12 +410,7 @@ impl Matcher<'_> {
         match &self.clause.head {
             None => {
                 // ⊥ derived: reconstruct the transitive premises.
-                self.refutation = Some(build_refutation(
-                    self.base,
-                    self.ci,
-                    binding,
-                    premises,
-                ));
+                self.refutation = Some(build_refutation(self.base, self.ci, binding, premises));
             }
             Some(atom) => {
                 let args: Option<Vec<GroundTerm>> = atom
@@ -456,7 +457,7 @@ fn build_refutation(
         }
     }
     needed.sort();
-    let renumber: HashMap<usize, usize> =
+    let renumber: FxHashMap<usize, usize> =
         needed.iter().enumerate().map(|(k, &i)| (i, k)).collect();
     let mut steps: Vec<RefStep> = needed
         .iter()
@@ -530,7 +531,7 @@ pub fn check_refutation(sys: &ChcSystem, r: &Refutation) -> Result<(), Refutatio
             .clauses
             .get(step.clause)
             .ok_or(RefutationError::BadClause(si))?;
-        let bind: HashMap<VarId, &GroundTerm> =
+        let bind: FxHashMap<VarId, &GroundTerm> =
             step.binding.iter().map(|(v, g)| (*v, g)).collect();
         let inst = |t: &Term| -> Option<GroundTerm> { instantiate(t, &bind) };
         // Variables may be missing from the binding only if unused.
@@ -550,7 +551,11 @@ pub fn check_refutation(sys: &ChcSystem, r: &Refutation) -> Result<(), Refutatio
                         _ => return Err(RefutationError::UnboundVariable(si)),
                     }
                 }
-                Constraint::Tester { ctor, term, positive } => match inst(term) {
+                Constraint::Tester {
+                    ctor,
+                    term,
+                    positive,
+                } => match inst(term) {
                     Some(g) => (g.func() == *ctor) == *positive,
                     None => return Err(RefutationError::UnboundVariable(si)),
                 },
@@ -566,8 +571,8 @@ pub fn check_refutation(sys: &ChcSystem, r: &Refutation) -> Result<(), Refutatio
             if pi >= si {
                 return Err(RefutationError::BadPremise(si));
             }
-            let expected = instantiate_atom(atom, &bind)
-                .ok_or(RefutationError::UnboundVariable(si))?;
+            let expected =
+                instantiate_atom(atom, &bind).ok_or(RefutationError::UnboundVariable(si))?;
             if derived[pi] != expected {
                 return Err(RefutationError::BadPremise(si));
             }
@@ -580,8 +585,8 @@ pub fn check_refutation(sys: &ChcSystem, r: &Refutation) -> Result<(), Refutatio
                 return Ok(());
             }
             (Some(atom), Some(fact)) => {
-                let expected = instantiate_atom(atom, &bind)
-                    .ok_or(RefutationError::UnboundVariable(si))?;
+                let expected =
+                    instantiate_atom(atom, &bind).ok_or(RefutationError::UnboundVariable(si))?;
                 if &expected != fact {
                     return Err(RefutationError::WrongFact(si));
                 }
@@ -593,18 +598,17 @@ pub fn check_refutation(sys: &ChcSystem, r: &Refutation) -> Result<(), Refutatio
     Err(RefutationError::NoQuery)
 }
 
-fn instantiate(t: &Term, bind: &HashMap<VarId, &GroundTerm>) -> Option<GroundTerm> {
+fn instantiate(t: &Term, bind: &FxHashMap<VarId, &GroundTerm>) -> Option<GroundTerm> {
     match t {
         Term::Var(v) => bind.get(v).map(|g| (*g).clone()),
         Term::App(f, args) => {
-            let args: Option<Vec<GroundTerm>> =
-                args.iter().map(|a| instantiate(a, bind)).collect();
+            let args: Option<Vec<GroundTerm>> = args.iter().map(|a| instantiate(a, bind)).collect();
             Some(GroundTerm::app(*f, args?))
         }
     }
 }
 
-fn instantiate_atom(atom: &Atom, bind: &HashMap<VarId, &GroundTerm>) -> Option<Fact> {
+fn instantiate_atom(atom: &Atom, bind: &FxHashMap<VarId, &GroundTerm>) -> Option<Fact> {
     let args: Option<Vec<GroundTerm>> = atom.args.iter().map(|t| instantiate(t, bind)).collect();
     Some((atom.pred, args?))
 }
@@ -667,7 +671,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        let cfg = SaturationConfig { max_facts: 50, ..SaturationConfig::default() };
+        let cfg = SaturationConfig {
+            max_facts: 50,
+            ..SaturationConfig::default()
+        };
         let (outcome, stats) = saturate(&sys, &cfg);
         match outcome {
             SaturationOutcome::Budget(base) | SaturationOutcome::Saturated(base) => {

@@ -11,7 +11,7 @@ use ringen_fmf::{find_model, FinderConfig, FinderStats, FmfOutcome};
 
 use crate::inductive::{check_inductive, InductiveCheck};
 use crate::invariant::RegularInvariant;
-use crate::preprocess::{preprocess, Preprocessed, PreprocessStats};
+use crate::preprocess::{preprocess, PreprocessStats, Preprocessed};
 use crate::saturation::{
     check_refutation, saturate, Refutation, SaturationConfig, SaturationOutcome, SaturationStats,
 };
@@ -186,16 +186,17 @@ pub fn solve(sys: &ChcSystem, cfg: &RingenConfig) -> (Answer, SolveStats) {
                         // Herbrand model of the ∀∃ query (see
                         // `preprocess::skolemize`). Honest answer: unknown.
                         let _ = v;
-                        return (
-                            Answer::Unknown(Divergence::ModelSearchExhausted),
-                            stats,
-                        );
+                        return (Answer::Unknown(Divergence::ModelSearchExhausted), stats);
                     }
                     other => panic!("model-derived invariant failed verification: {other:?}"),
                 }
             }
             (
-                Answer::Sat(Box::new(SatAnswer { invariant, model, preprocessed: pre })),
+                Answer::Sat(Box::new(SatAnswer {
+                    invariant,
+                    model,
+                    preprocessed: pre,
+                })),
                 stats,
             )
         }
@@ -230,8 +231,12 @@ mod tests {
         let even = sys.rels.by_name("even").unwrap();
         let z = sys.sig.func_by_name("Z").unwrap();
         let s = sys.sig.func_by_name("S").unwrap();
-        assert!(sat.invariant.holds(even, &[GroundTerm::iterate(s, GroundTerm::leaf(z), 8)]));
-        assert!(!sat.invariant.holds(even, &[GroundTerm::iterate(s, GroundTerm::leaf(z), 7)]));
+        assert!(sat
+            .invariant
+            .holds(even, &[GroundTerm::iterate(s, GroundTerm::leaf(z), 8)]));
+        assert!(!sat
+            .invariant
+            .holds(even, &[GroundTerm::iterate(s, GroundTerm::leaf(z), 7)]));
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! every infinite sort has unboundedly many terms to separate the
 //! remaining disequalities (cf. the expanding-sort argument of §6.3).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+
+use rustc_hash::FxHashMap;
 
 use ringen_terms::{FuncId, FuncKind, Signature, SortId, Term, VarContext};
 
@@ -66,7 +68,11 @@ pub fn check_cube(sig: &Signature, vars: &VarContext, cube: &Cube) -> CubeSat {
                 let (na, nb) = (cc.node(a), cc.node(b));
                 neqs.push((na, nb));
             }
-            Literal::Tester { ctor, term, positive } => {
+            Literal::Tester {
+                ctor,
+                term,
+                positive,
+            } => {
                 let n = cc.node(term);
                 let r = if *positive {
                     cc.require_ctor(n, *ctor)
@@ -107,7 +113,7 @@ struct Closure<'a> {
     sig: &'a Signature,
     vars: &'a VarContext,
     /// Hash-consed nodes.
-    ids: HashMap<Term, usize>,
+    ids: FxHashMap<Term, usize>,
     terms: Vec<Term>,
     parent: Vec<usize>,
     /// Representative constructor application in the class, if any:
@@ -128,7 +134,7 @@ impl<'a> Closure<'a> {
         Closure {
             sig,
             vars,
-            ids: HashMap::new(),
+            ids: FxHashMap::default(),
             terms: Vec::new(),
             parent: Vec::new(),
             app: Vec::new(),
@@ -144,10 +150,7 @@ impl<'a> Closure<'a> {
             return i;
         }
         let (sort, app) = match t {
-            Term::Var(v) => (
-                self.vars.sort(*v).expect("variable has a sort"),
-                None,
-            ),
+            Term::Var(v) => (self.vars.sort(*v).expect("variable has a sort"), None),
             Term::App(f, args) => {
                 let decl = self.sig.func(*f);
                 assert_eq!(
@@ -363,9 +366,7 @@ impl<'a> Closure<'a> {
         let mut color: BTreeMap<usize, u8> = BTreeMap::new();
         let roots: Vec<usize> = (0..n).map(|i| self.find(i)).collect();
         for &r in &roots {
-            if color.get(&r).copied().unwrap_or(0) == 0
-                && cycle_dfs(r, &edges, &mut color)
-            {
+            if color.get(&r).copied().unwrap_or(0) == 0 && cycle_dfs(r, &edges, &mut color) {
                 return true;
             }
         }
@@ -383,11 +384,7 @@ fn cycle_dfs(
         for &v in vs {
             match color.get(&v).copied().unwrap_or(0) {
                 1 => return true,
-                0 => {
-                    if cycle_dfs(v, edges, color) {
-                        return true;
-                    }
-                }
+                0 if cycle_dfs(v, edges, color) => return true,
                 _ => {}
             }
         }
@@ -463,8 +460,16 @@ mod tests {
         let (sig, _, z, s) = nat_signature();
         let (vars, x, _) = nat_ctx(&sig);
         let cube = vec![
-            Literal::Tester { ctor: z, term: Term::var(x), positive: false },
-            Literal::Tester { ctor: s, term: Term::var(x), positive: false },
+            Literal::Tester {
+                ctor: z,
+                term: Term::var(x),
+                positive: false,
+            },
+            Literal::Tester {
+                ctor: s,
+                term: Term::var(x),
+                positive: false,
+            },
         ];
         assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Unsat);
     }
@@ -475,8 +480,16 @@ mod tests {
         let (sig, _, _, s) = nat_signature();
         let (vars, x, y) = nat_ctx(&sig);
         let cube = vec![
-            Literal::Tester { ctor: s, term: Term::var(x), positive: false },
-            Literal::Tester { ctor: s, term: Term::var(y), positive: false },
+            Literal::Tester {
+                ctor: s,
+                term: Term::var(x),
+                positive: false,
+            },
+            Literal::Tester {
+                ctor: s,
+                term: Term::var(y),
+                positive: false,
+            },
             Literal::Neq(Term::var(x), Term::var(y)),
         ];
         assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Unsat);
@@ -519,7 +532,11 @@ mod tests {
                 Term::var(t),
                 Term::app(node, vec![Term::leaf(leaf), Term::leaf(leaf)]),
             ),
-            Literal::Tester { ctor: leaf, term: Term::var(t), positive: true },
+            Literal::Tester {
+                ctor: leaf,
+                term: Term::var(t),
+                positive: true,
+            },
         ];
         assert_eq!(check_cube(&sig, &vars, &cube), CubeSat::Unsat);
     }

@@ -30,8 +30,8 @@
 //! ```
 
 pub mod dp;
-pub mod search;
 pub mod lit;
+pub mod search;
 pub mod solver;
 pub mod template;
 

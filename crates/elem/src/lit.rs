@@ -35,7 +35,11 @@ impl Literal {
         match self {
             Literal::Eq(a, b) => Literal::Neq(a.clone(), b.clone()),
             Literal::Neq(a, b) => Literal::Eq(a.clone(), b.clone()),
-            Literal::Tester { ctor, term, positive } => Literal::Tester {
+            Literal::Tester {
+                ctor,
+                term,
+                positive,
+            } => Literal::Tester {
                 ctor: *ctor,
                 term: term.clone(),
                 positive: !positive,
@@ -51,7 +55,11 @@ impl Literal {
         match self {
             Literal::Eq(a, b) => Literal::Eq(sub.apply(a), sub.apply(b)),
             Literal::Neq(a, b) => Literal::Neq(sub.apply(a), sub.apply(b)),
-            Literal::Tester { ctor, term, positive } => Literal::Tester {
+            Literal::Tester {
+                ctor,
+                term,
+                positive,
+            } => Literal::Tester {
                 ctor: *ctor,
                 term: sub.apply(term),
                 positive: *positive,
@@ -65,9 +73,11 @@ impl Literal {
         match self {
             Literal::Eq(a, b) => Some(ground(a, env)? == ground(b, env)?),
             Literal::Neq(a, b) => Some(ground(a, env)? != ground(b, env)?),
-            Literal::Tester { ctor, term, positive } => {
-                Some((ground(term, env)?.func() == *ctor) == *positive)
-            }
+            Literal::Tester {
+                ctor,
+                term,
+                positive,
+            } => Some((ground(term, env)?.func() == *ctor) == *positive),
         }
     }
 
@@ -97,7 +107,14 @@ pub struct DisplayLiteral<'a> {
 impl fmt::Display for DisplayLiteral<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let term = |t: &Term, f: &mut fmt::Formatter<'_>| -> fmt::Result {
-            write!(f, "{}", TermDisplay { t: t.clone(), sig: self.sig })
+            write!(
+                f,
+                "{}",
+                TermDisplay {
+                    t: t.clone(),
+                    sig: self.sig
+                }
+            )
         };
         match self.lit {
             Literal::Eq(a, b) => {
@@ -110,7 +127,11 @@ impl fmt::Display for DisplayLiteral<'_> {
                 write!(f, " ≠ ")?;
                 term(b, f)
             }
-            Literal::Tester { ctor, term: t, positive } => {
+            Literal::Tester {
+                ctor,
+                term: t,
+                positive,
+            } => {
                 if !positive {
                     write!(f, "¬")?;
                 }
@@ -139,7 +160,14 @@ impl fmt::Display for TermDisplay<'_> {
                         if i > 0 {
                             write!(f, ", ")?;
                         }
-                        write!(f, "{}", TermDisplay { t: a.clone(), sig: self.sig })?;
+                        write!(
+                            f,
+                            "{}",
+                            TermDisplay {
+                                t: a.clone(),
+                                sig: self.sig
+                            }
+                        )?;
                     }
                     write!(f, ")")?;
                 }
@@ -164,7 +192,9 @@ pub struct ElemFormula {
 impl ElemFormula {
     /// `⊤` — accepts every tuple.
     pub fn top() -> Self {
-        ElemFormula { cubes: vec![Vec::new()] }
+        ElemFormula {
+            cubes: vec![Vec::new()],
+        }
     }
 
     /// `⊥` — accepts no tuple.
@@ -174,7 +204,9 @@ impl ElemFormula {
 
     /// A single-literal formula.
     pub fn lit(l: Literal) -> Self {
-        ElemFormula { cubes: vec![vec![l]] }
+        ElemFormula {
+            cubes: vec![vec![l]],
+        }
     }
 
     /// A one-cube formula.
@@ -321,8 +353,18 @@ mod tests {
             l.negated(),
             Literal::Neq(Term::var(VarId(0)), Term::leaf(z))
         );
-        let t = Literal::Tester { ctor: s, term: Term::var(VarId(0)), positive: true };
-        assert!(matches!(t.negated(), Literal::Tester { positive: false, .. }));
+        let t = Literal::Tester {
+            ctor: s,
+            term: Term::var(VarId(0)),
+            positive: true,
+        };
+        assert!(matches!(
+            t.negated(),
+            Literal::Tester {
+                positive: false,
+                ..
+            }
+        ));
     }
 
     #[test]

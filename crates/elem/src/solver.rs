@@ -153,7 +153,9 @@ pub fn solve_elem(sys: &ChcSystem, cfg: &ElemConfig) -> (ElemAnswer, ElemStats) 
         // No uninterpreted symbols: the system is a set of ground
         // constraint clauses; saturation above already decided it.
         return (
-            ElemAnswer::Sat(ElemInvariant { formulas: BTreeMap::new() }),
+            ElemAnswer::Sat(ElemInvariant {
+                formulas: BTreeMap::new(),
+            }),
             stats,
         );
     }
@@ -191,8 +193,6 @@ pub fn solve_elem(sys: &ChcSystem, cfg: &ElemConfig) -> (ElemAnswer, ElemStats) 
     (ElemAnswer::Unknown, stats)
 }
 
-
-
 /// Exact inductiveness check of an assignment against every clause.
 fn is_inductive(
     sys: &ChcSystem,
@@ -226,9 +226,15 @@ fn clause_valid(
         constraint_cube.push(match k {
             Constraint::Eq(a, b) => Literal::Eq(a.clone(), b.clone()),
             Constraint::Neq(a, b) => Literal::Neq(a.clone(), b.clone()),
-            Constraint::Tester { ctor, term, positive } => {
-                Literal::Tester { ctor: *ctor, term: term.clone(), positive: *positive }
-            }
+            Constraint::Tester {
+                ctor,
+                term,
+                positive,
+            } => Literal::Tester {
+                ctor: *ctor,
+                term: term.clone(),
+                positive: *positive,
+            },
         });
     }
     let mut violation = ElemFormula::cube(constraint_cube);

@@ -63,8 +63,16 @@ pub fn atoms(sig: &Signature, domain: &[SortId], cfg: &TemplateConfig) -> Vec<Li
     // Testers.
     for (i, &s) in domain.iter().enumerate() {
         for &c in sig.constructors_of(s) {
-            out.push(Literal::Tester { ctor: c, term: param(i), positive: true });
-            out.push(Literal::Tester { ctor: c, term: param(i), positive: false });
+            out.push(Literal::Tester {
+                ctor: c,
+                term: param(i),
+                positive: true,
+            });
+            out.push(Literal::Tester {
+                ctor: c,
+                term: param(i),
+                positive: false,
+            });
         }
     }
     // Depth-1 constructor equations: #i = c(#j, …) with arguments drawn
@@ -135,7 +143,9 @@ pub fn candidates(sig: &Signature, domain: &[SortId], cfg: &TemplateConfig) -> V
                 if a == &b.negated() {
                     continue;
                 }
-                out.push(ElemFormula { cubes: vec![vec![a.clone()], vec![b.clone()]] });
+                out.push(ElemFormula {
+                    cubes: vec![vec![a.clone()], vec![b.clone()]],
+                });
                 if out.len() >= cfg.max_candidates {
                     return out;
                 }
@@ -156,20 +166,11 @@ mod tests {
         let cfg = TemplateConfig::default();
         let pool = atoms(&sig, &[nat, nat], &cfg);
         // y = S(x), i.e. #1 = S(#0).
-        let want = Literal::Eq(
-            Term::var(VarId(1)),
-            Term::app(s, vec![Term::var(VarId(0))]),
-        );
+        let want = Literal::Eq(Term::var(VarId(1)), Term::app(s, vec![Term::var(VarId(0))]));
         assert!(pool.contains(&want), "pool misses the IncDec invariant");
         // x = y and x ≠ y for Diag.
-        assert!(pool.contains(&Literal::Eq(
-            Term::var(VarId(0)),
-            Term::var(VarId(1))
-        )));
-        assert!(pool.contains(&Literal::Neq(
-            Term::var(VarId(0)),
-            Term::var(VarId(1))
-        )));
+        assert!(pool.contains(&Literal::Eq(Term::var(VarId(0)), Term::var(VarId(1)))));
+        assert!(pool.contains(&Literal::Neq(Term::var(VarId(0)), Term::var(VarId(1)))));
     }
 
     #[test]

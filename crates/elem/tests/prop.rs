@@ -17,10 +17,9 @@ fn ground_term(t: &Term, gx: &GroundTerm, gy: &GroundTerm, x: ringen_terms::VarI
                 gy.clone()
             }
         }
-        Term::App(f, args) => GroundTerm::app(
-            *f,
-            args.iter().map(|a| ground_term(a, gx, gy, x)).collect(),
-        ),
+        Term::App(f, args) => {
+            GroundTerm::app(*f, args.iter().map(|a| ground_term(a, gx, gy, x)).collect())
+        }
     }
 }
 

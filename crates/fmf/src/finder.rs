@@ -195,8 +195,14 @@ fn try_sizes(
             }
             let k = seen_constants[d.range.index()];
             seen_constants[d.range.index()] += 1;
-            for r in (k + 1)..sizes[d.range.index()] {
-                solver.add_clause(&[Lit::neg(func_vars[f.index()][0][r])]);
+            // NB: the range may be empty (k + 1 > size); take/skip keeps
+            // that case a no-op instead of a slice panic.
+            for v in func_vars[f.index()][0]
+                .iter()
+                .take(sizes[d.range.index()])
+                .skip(k + 1)
+            {
+                solver.add_clause(&[Lit::neg(*v)]);
             }
         }
     }
@@ -204,7 +210,7 @@ fn try_sizes(
     // Ground every flattened clause.
     for c in flat {
         let dims: Vec<usize> = c.var_sorts.iter().map(|s| sizes[s.index()]).collect();
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             continue;
         }
         let mut assign = vec![0usize; dims.len()];
@@ -313,7 +319,12 @@ fn row_index(
     idx
 }
 
-fn pred_row_index(sys: &ChcSystem, p: ringen_chc::PredId, args: &[usize], sizes: &[usize]) -> usize {
+fn pred_row_index(
+    sys: &ChcSystem,
+    p: ringen_chc::PredId,
+    args: &[usize],
+    sizes: &[usize],
+) -> usize {
     let d = sys.rels.decl(p);
     let mut idx = 0;
     for (a, s) in args.iter().zip(&d.domain) {

@@ -6,7 +6,7 @@
 //! subterm; the defining equations land in the clause body, which is sound
 //! because function symbols denote total functions.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -53,10 +53,16 @@ impl fmt::Display for FlattenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlattenError::Disequality => {
-                write!(f, "clause contains a disequality; run the diseq transformation first")
+                write!(
+                    f,
+                    "clause contains a disequality; run the diseq transformation first"
+                )
             }
             FlattenError::Tester => {
-                write!(f, "clause contains a tester; run tester/selector elimination first")
+                write!(
+                    f,
+                    "clause contains a tester; run tester/selector elimination first"
+                )
             }
         }
     }
@@ -93,7 +99,7 @@ pub fn flatten_clause(sys: &ChcSystem, clause: &Clause) -> Result<FlatClause, Fl
             body: Vec::new(),
             head: None,
         },
-        cache: HashMap::new(),
+        cache: FxHashMap::default(),
     };
     for k in &clause.constraints {
         match k {
@@ -120,7 +126,7 @@ pub fn flatten_clause(sys: &ChcSystem, clause: &Clause) -> Result<FlatClause, Fl
 struct Flattener<'a> {
     sys: &'a ChcSystem,
     out: FlatClause,
-    cache: HashMap<Term, FlatVar>,
+    cache: FxHashMap<Term, FlatVar>,
 }
 
 impl Flattener<'_> {
@@ -231,10 +237,7 @@ mod tests {
             c.neq(c.v(x), c.app0(z));
         });
         let sys = b.finish();
-        assert_eq!(
-            flatten_system(&sys),
-            Err(FlattenError::Disequality)
-        );
+        assert_eq!(flatten_system(&sys), Err(FlattenError::Disequality));
 
         let mut b = SystemBuilder::new();
         let nat = b.sort("Nat");

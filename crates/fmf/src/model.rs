@@ -1,10 +1,15 @@
 //! Finite first-order structures (the models found by the finder).
 
-use std::collections::BTreeSet;
 use std::fmt;
+
+use rustc_hash::FxHashSet;
+use smallvec::SmallVec;
 
 use ringen_chc::{ChcSystem, PredId};
 use ringen_terms::{FuncId, GroundTerm, Signature, Term, VarId};
+
+/// An argument tuple of a predicate table row: inline up to arity 4.
+pub type PredRow = SmallVec<[usize; 4]>;
 
 /// A finite many-sorted structure `ℳ`: per-sort domains `{0, …, n-1}`,
 /// total function tables and predicate tables.
@@ -18,8 +23,10 @@ pub struct FiniteModel {
     /// Function tables, indexed by `FuncId::index`; each table maps the
     /// row-major argument tuple index to the result element.
     funcs: Vec<Vec<usize>>,
-    /// Predicate tables, indexed by `PredId::index`.
-    preds: Vec<BTreeSet<Vec<usize>>>,
+    /// Predicate tables, indexed by `PredId::index`. Rows are
+    /// inline-stored argument tuples (arity ≤ 4 never allocates) in an
+    /// Fx-hashed set — the fact indices the solver probes hardest.
+    preds: Vec<FxHashSet<PredRow>>,
 }
 
 impl FiniteModel {
@@ -37,7 +44,7 @@ impl FiniteModel {
                 vec![0; rows]
             })
             .collect();
-        let preds = pred_arities.iter().map(|_| BTreeSet::new()).collect();
+        let preds = pred_arities.iter().map(|_| FxHashSet::default()).collect();
         FiniteModel {
             sizes,
             funcs,
@@ -80,7 +87,7 @@ impl FiniteModel {
 
     /// Adds a tuple to a predicate table.
     pub(crate) fn add_pred(&mut self, p: PredId, tuple: Vec<usize>) {
-        self.preds[p.index()].insert(tuple);
+        self.preds[p.index()].insert(tuple.into_iter().collect());
     }
 
     /// `ℳ(f)(args…)`.
@@ -95,23 +102,27 @@ impl FiniteModel {
 
     /// The tuples of `ℳ(P)`.
     pub fn pred_table(&self, p: PredId) -> impl Iterator<Item = &[usize]> + '_ {
-        self.preds[p.index()].iter().map(Vec::as_slice)
+        self.preds[p.index()].iter().map(|row| row.as_slice())
     }
 
     /// `ℳ⟦t⟧` for a ground term.
     pub fn eval_ground(&self, sig: &Signature, t: &GroundTerm) -> usize {
-        let args: Vec<usize> = t.args().iter().map(|a| self.eval_ground(sig, a)).collect();
+        let args: PredRow = t.args().iter().map(|a| self.eval_ground(sig, a)).collect();
         self.apply(sig, t.func(), &args)
     }
 
     /// Evaluates a term under an environment mapping variables to domain
     /// elements; `None` if a variable is unbound.
-    pub fn eval(&self, sig: &Signature, t: &Term, env: &dyn Fn(VarId) -> Option<usize>) -> Option<usize> {
+    pub fn eval(
+        &self,
+        sig: &Signature,
+        t: &Term,
+        env: &dyn Fn(VarId) -> Option<usize>,
+    ) -> Option<usize> {
         match t {
             Term::Var(v) => env(*v),
             Term::App(f, args) => {
-                let vals: Option<Vec<usize>> =
-                    args.iter().map(|a| self.eval(sig, a, env)).collect();
+                let vals: Option<PredRow> = args.iter().map(|a| self.eval(sig, a, env)).collect();
                 Some(self.apply(sig, *f, &vals?))
             }
         }
@@ -188,7 +199,7 @@ impl FiniteModel {
             }
         }
         for a in &clause.body {
-            let vals: Vec<usize> = a
+            let vals: PredRow = a
                 .args
                 .iter()
                 .map(|t| self.eval(&sys.sig, t, &env).expect("closed clause"))
@@ -200,7 +211,7 @@ impl FiniteModel {
         match &clause.head {
             None => false, // body true, head ⊥
             Some(h) => {
-                let vals: Vec<usize> = h
+                let vals: PredRow = h
                     .args
                     .iter()
                     .map(|t| self.eval(&sys.sig, t, &env).expect("closed clause"))
@@ -214,7 +225,6 @@ impl FiniteModel {
     pub fn display<'a>(&'a self, sys: &'a ChcSystem) -> DisplayModel<'a> {
         DisplayModel { model: self, sys }
     }
-
 }
 
 /// Displays a [`FiniteModel`]. Returned by [`FiniteModel::display`].
@@ -246,7 +256,8 @@ impl fmt::Display for DisplayModel<'_> {
             }
         }
         for p in self.sys.rels.iter() {
-            let rows: Vec<String> = self
+            // Hash-set iteration order is arbitrary; sort for stable output.
+            let mut rows: Vec<String> = self
                 .model
                 .pred_table(p)
                 .map(|t| {
@@ -254,6 +265,7 @@ impl fmt::Display for DisplayModel<'_> {
                     format!("({})", cells.join(","))
                 })
                 .collect();
+            rows.sort();
             writeln!(
                 f,
                 "{} = {{{}}}",
@@ -264,7 +276,6 @@ impl fmt::Display for DisplayModel<'_> {
         Ok(())
     }
 }
-
 
 /// Iterates all values of `positions` (bounded by `dims`); returns `true`
 /// iff `f` holds for *every* assignment.

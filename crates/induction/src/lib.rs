@@ -75,7 +75,10 @@ impl InductionConfig {
 
     /// The cyclic-induction regime (the §9 extension; ablation target).
     pub fn cyclic() -> Self {
-        InductionConfig { cyclic: true, ..InductionConfig::quick() }
+        InductionConfig {
+            cyclic: true,
+            ..InductionConfig::quick()
+        }
     }
 }
 
@@ -142,7 +145,10 @@ pub fn solve_induction(sys: &ChcSystem, cfg: &InductionConfig) -> (InductionAnsw
         return (InductionAnswer::Unsat(r), sat_stats.steps);
     }
 
-    let mut proof = InductionProof { goals_expanded: 0, cyclic_discharges: 0 };
+    let mut proof = InductionProof {
+        goals_expanded: 0,
+        cyclic_discharges: 0,
+    };
     for clause in sys.queries() {
         if !clause.exist_vars.is_empty() {
             // The backward prover handles universal queries only.
@@ -238,23 +244,27 @@ fn resolve(goal: &Goal, rest: &[Atom], atom: &Atom, clause: &Clause) -> Option<G
         .map(|(a, h)| (a.clone(), h.rename(&rename)))
         .collect();
     let mgu = unify_all(pairs).ok()?;
-    let apply_atom =
-        |a: &Atom, ren: Option<&BTreeMap<VarId, VarId>>, mgu: &Substitution| -> Atom {
-            let args = a
-                .args
-                .iter()
-                .map(|t| {
-                    let t = match ren {
-                        Some(r) => t.rename(r),
-                        None => t.clone(),
-                    };
-                    mgu.apply_deep(&t)
-                })
-                .collect();
-            Atom::new(a.pred, args)
-        };
+    let apply_atom = |a: &Atom, ren: Option<&BTreeMap<VarId, VarId>>, mgu: &Substitution| -> Atom {
+        let args = a
+            .args
+            .iter()
+            .map(|t| {
+                let t = match ren {
+                    Some(r) => t.rename(r),
+                    None => t.clone(),
+                };
+                mgu.apply_deep(&t)
+            })
+            .collect();
+        Atom::new(a.pred, args)
+    };
     let mut atoms: Vec<Atom> = rest.iter().map(|a| apply_atom(a, None, &mgu)).collect();
-    atoms.extend(clause.body.iter().map(|a| apply_atom(a, Some(&rename), &mgu)));
+    atoms.extend(
+        clause
+            .body
+            .iter()
+            .map(|a| apply_atom(a, Some(&rename), &mgu)),
+    );
     let mut constraints: Vec<Constraint> = goal
         .constraints
         .iter()
@@ -266,7 +276,12 @@ fn resolve(goal: &Goal, rest: &[Atom], atom: &Atom, clause: &Clause) -> Option<G
             .iter()
             .map(|k| apply_constraint(k, Some(&rename), &mgu)),
     );
-    Some(Goal { vars, atoms, constraints, depth: goal.depth + 1 })
+    Some(Goal {
+        vars,
+        atoms,
+        constraints,
+        depth: goal.depth + 1,
+    })
 }
 
 fn apply_constraint(
@@ -284,9 +299,15 @@ fn apply_constraint(
     match k {
         Constraint::Eq(a, b) => Constraint::Eq(tr(a), tr(b)),
         Constraint::Neq(a, b) => Constraint::Neq(tr(a), tr(b)),
-        Constraint::Tester { ctor, term, positive } => {
-            Constraint::Tester { ctor: *ctor, term: tr(term), positive: *positive }
-        }
+        Constraint::Tester {
+            ctor,
+            term,
+            positive,
+        } => Constraint::Tester {
+            ctor: *ctor,
+            term: tr(term),
+            positive: *positive,
+        },
     }
 }
 
@@ -297,9 +318,15 @@ fn constraints_unsat(sys: &ChcSystem, goal: &Goal) -> bool {
         .map(|k| match k {
             Constraint::Eq(a, b) => Literal::Eq(a.clone(), b.clone()),
             Constraint::Neq(a, b) => Literal::Neq(a.clone(), b.clone()),
-            Constraint::Tester { ctor, term, positive } => {
-                Literal::Tester { ctor: *ctor, term: term.clone(), positive: *positive }
-            }
+            Constraint::Tester {
+                ctor,
+                term,
+                positive,
+            } => Literal::Tester {
+                ctor: *ctor,
+                term: term.clone(),
+                positive: *positive,
+            },
         })
         .collect();
     check_cube(&sys.sig, &goal.vars, &cube) == CubeSat::Unsat
@@ -518,13 +545,8 @@ mod tests {
         );
         // ∃y. p(y) → ⊥ (y existential).
         let y = vars.fresh("y", nat);
-        let query = Clause::new(
-            vars,
-            vec![],
-            vec![Atom::new(p, vec![Term::var(y)])],
-            None,
-        )
-        .with_exists(vec![y]);
+        let query = Clause::new(vars, vec![], vec![Atom::new(p, vec![Term::var(y)])], None)
+            .with_exists(vec![y]);
         sys.clauses = vec![fact, query];
         assert!(sys.well_sorted().is_ok());
         let (answer, _) = solve_induction(&sys, &InductionConfig::quick());

@@ -164,7 +164,11 @@ pub fn check_cube(
                     neq_pairs.push((*x.min(y), *x.max(y)));
                 }
             }
-            RegLiteral::Tester { ctor, term, positive } => match &term {
+            RegLiteral::Tester {
+                ctor,
+                term,
+                positive,
+            } => match &term {
                 Term::App(f, _) => {
                     if (*f == ctor) != positive {
                         return RegCubeSat::Unsat;
@@ -172,9 +176,9 @@ pub fn check_cube(
                 }
                 Term::Var(v) => {
                     let Some(sort) = vars.sort(*v) else { continue };
-                    let allowed = var_ctors.entry(*v).or_insert_with(|| {
-                        sig.constructors_of(sort).iter().copied().collect()
-                    });
+                    let allowed = var_ctors
+                        .entry(*v)
+                        .or_insert_with(|| sig.constructors_of(sort).iter().copied().collect());
                     if positive {
                         allowed.retain(|c| *c == ctor);
                     } else {
@@ -185,7 +189,11 @@ pub fn check_cube(
                     }
                 }
             },
-            RegLiteral::Member { term, lang, positive } => {
+            RegLiteral::Member {
+                term,
+                lang,
+                positive,
+            } => {
                 members.push((term, lang, positive));
             }
         }
@@ -239,9 +247,10 @@ pub fn check_cube(
         let feas: BTreeSet<Vec<StateId>> = tuples
             .iter()
             .filter(|(tuple, tops)| {
-                keys.iter().zip(tuple.iter()).all(|(k, s)| {
-                    allowed.get(&(v, *k)).is_none_or(|set| set.contains(s))
-                }) && ctors.is_none_or(|cs| tops.iter().any(|t| cs.contains(t)))
+                keys.iter()
+                    .zip(tuple.iter())
+                    .all(|(k, s)| allowed.get(&(v, *k)).is_none_or(|set| set.contains(s)))
+                    && ctors.is_none_or(|cs| tops.iter().any(|t| cs.contains(t)))
             })
             .map(|(tuple, _)| tuple.clone())
             .collect();
@@ -269,7 +278,9 @@ pub fn check_cube(
             if group.len() < 2 {
                 continue;
             }
-            let Some(per_tuple) = counts.get(&sort) else { continue };
+            let Some(per_tuple) = counts.get(&sort) else {
+                continue;
+            };
             let values: usize = feas
                 .iter()
                 .map(|t| per_tuple.get(t).copied().unwrap_or(0))
@@ -282,9 +293,9 @@ pub fn check_cube(
             // Fewer values than variables: contradiction if the group
             // is fully pairwise disequal.
             let all_pairs = group.iter().enumerate().all(|(i, &x)| {
-                group[i + 1..].iter().all(|&y| {
-                    neq_pairs.contains(&(x.min(y), x.max(y)))
-                })
+                group[i + 1..]
+                    .iter()
+                    .all(|&y| neq_pairs.contains(&(x.min(y), x.max(y))))
             });
             if all_pairs {
                 return RegCubeSat::Unsat;
@@ -340,7 +351,11 @@ fn count_products(
                 if !ok {
                     continue;
                 }
-                let slot = next.entry(decl.range).or_default().entry(target).or_insert(0);
+                let slot = next
+                    .entry(decl.range)
+                    .or_default()
+                    .entry(target)
+                    .or_insert(0);
                 *slot = slot.saturating_add(combo.1).min(cap);
             }
         }
@@ -353,9 +368,7 @@ fn count_products(
 
 /// Cartesian product of per-position `(tuple, count)` choices; the
 /// combined count is the product of the component counts.
-fn cartesian_counted(
-    choices: &[Vec<(Vec<StateId>, usize)>],
-) -> Vec<(Vec<Vec<StateId>>, usize)> {
+fn cartesian_counted(choices: &[Vec<(Vec<StateId>, usize)>]) -> Vec<(Vec<Vec<StateId>>, usize)> {
     let mut out: Vec<(Vec<Vec<StateId>>, usize)> = vec![(Vec::new(), 1)];
     for c in choices {
         let mut next = Vec::with_capacity(out.len() * c.len().max(1));
@@ -454,6 +467,10 @@ fn propagate_literal(
     }
 }
 
+/// Reachable product tuples per sort, with the top constructors able
+/// to produce each.
+type ProductsBySort = BTreeMap<SortId, BTreeMap<Vec<StateId>, BTreeSet<FuncId>>>;
+
 /// Reachable tuples of states when running all `dftas` in parallel,
 /// per sort, each with the set of top constructors that can produce
 /// it. `None` when the budget is exceeded.
@@ -461,7 +478,7 @@ fn reachable_products(
     sig: &Signature,
     dftas: &[&Dfta],
     budget: &DpBudget,
-) -> Option<BTreeMap<SortId, BTreeMap<Vec<StateId>, BTreeSet<FuncId>>>> {
+) -> Option<ProductsBySort> {
     let mut out: BTreeMap<SortId, BTreeMap<Vec<StateId>, BTreeSet<FuncId>>> = BTreeMap::new();
     loop {
         let mut changed = false;
@@ -633,7 +650,11 @@ mod tests {
             RegCubeSat::Unsat,
             "3 ∉ Even"
         );
-        let cube = vec![RegLiteral::Member { term: three, lang: even, positive: false }];
+        let cube = vec![RegLiteral::Member {
+            term: three,
+            lang: even,
+            positive: false,
+        }];
         assert_eq!(
             check_cube(&sig, &vars, &cube, &DpBudget::default()),
             RegCubeSat::Maybe,
@@ -703,8 +724,16 @@ mod tests {
         let mut vars = VarContext::new();
         let x = vars.fresh("x", nat);
         let cube = vec![
-            RegLiteral::Tester { ctor: z, term: Term::var(x), positive: true },
-            RegLiteral::Member { term: Term::var(x), lang: even, positive: false },
+            RegLiteral::Tester {
+                ctor: z,
+                term: Term::var(x),
+                positive: true,
+            },
+            RegLiteral::Member {
+                term: Term::var(x),
+                lang: even,
+                positive: false,
+            },
         ];
         assert_eq!(
             check_cube(&sig, &vars, &cube, &DpBudget::default()),

@@ -156,9 +156,8 @@ mod tests {
         let pool = enumerate_langs(&sig, nat, &LangPoolConfig::default());
         assert!(!pool.is_empty());
         let is_parity = |l: &Lang| {
-            (0..8).all(|n| {
-                l.accepts(&GroundTerm::iterate(s, GroundTerm::leaf(z), n)) == (n % 2 == 0)
-            })
+            (0..8)
+                .all(|n| l.accepts(&GroundTerm::iterate(s, GroundTerm::leaf(z), n)) == (n % 2 == 0))
         };
         assert!(
             pool.iter().any(is_parity),
@@ -171,11 +170,18 @@ mod tests {
         let (sig, tree, leaf, node) = tree_signature();
         let pool = enumerate_langs(&sig, tree, &LangPoolConfig::default());
         fn spine(t: &GroundTerm) -> usize {
-            if t.args().is_empty() { 0 } else { 1 + spine(&t.args()[0]) }
+            if t.args().is_empty() {
+                0
+            } else {
+                1 + spine(&t.args()[0])
+            }
         }
         let terms = herbrand::terms_up_to_height(&sig, tree, 4);
-        let is_evenleft =
-            |l: &Lang| terms.iter().all(|t| l.accepts(t) == (spine(t) % 2 == 0));
+        let is_evenleft = |l: &Lang| {
+            terms
+                .iter()
+                .all(|t| l.accepts(t) == spine(t).is_multiple_of(2))
+        };
         assert!(
             pool.iter().any(is_evenleft),
             "the EvenLeft language must appear in the 2-state pool"
@@ -202,9 +208,15 @@ mod tests {
     #[test]
     fn caps_are_respected() {
         let (sig, nat, ..) = nat_signature();
-        let cfg = LangPoolConfig { max_langs: 3, ..LangPoolConfig::default() };
+        let cfg = LangPoolConfig {
+            max_langs: 3,
+            ..LangPoolConfig::default()
+        };
         assert!(enumerate_langs(&sig, nat, &cfg).len() <= 3);
-        let cfg = LangPoolConfig { max_dftas: 1, ..LangPoolConfig::default() };
+        let cfg = LangPoolConfig {
+            max_dftas: 1,
+            ..LangPoolConfig::default()
+        };
         // One table still yields at most its final-set variants.
         assert!(enumerate_langs(&sig, nat, &cfg).len() <= 2);
     }

@@ -46,7 +46,11 @@ pub enum RegLiteral {
 impl RegLiteral {
     /// A positive membership atom `t ∈ L`.
     pub fn member(term: Term, lang: Lang) -> RegLiteral {
-        RegLiteral::Member { term, lang, positive: true }
+        RegLiteral::Member {
+            term,
+            lang,
+            positive: true,
+        }
     }
 
     /// The negated literal.
@@ -54,12 +58,20 @@ impl RegLiteral {
         match self {
             RegLiteral::Eq(a, b) => RegLiteral::Neq(a.clone(), b.clone()),
             RegLiteral::Neq(a, b) => RegLiteral::Eq(a.clone(), b.clone()),
-            RegLiteral::Tester { ctor, term, positive } => RegLiteral::Tester {
+            RegLiteral::Tester {
+                ctor,
+                term,
+                positive,
+            } => RegLiteral::Tester {
                 ctor: *ctor,
                 term: term.clone(),
                 positive: !positive,
             },
-            RegLiteral::Member { term, lang, positive } => RegLiteral::Member {
+            RegLiteral::Member {
+                term,
+                lang,
+                positive,
+            } => RegLiteral::Member {
                 term: term.clone(),
                 lang: lang.clone(),
                 positive: !positive,
@@ -73,12 +85,20 @@ impl RegLiteral {
         match self {
             RegLiteral::Eq(a, b) => RegLiteral::Eq(sub.apply(a), sub.apply(b)),
             RegLiteral::Neq(a, b) => RegLiteral::Neq(sub.apply(a), sub.apply(b)),
-            RegLiteral::Tester { ctor, term, positive } => RegLiteral::Tester {
+            RegLiteral::Tester {
+                ctor,
+                term,
+                positive,
+            } => RegLiteral::Tester {
                 ctor: *ctor,
                 term: sub.apply(term),
                 positive: *positive,
             },
-            RegLiteral::Member { term, lang, positive } => RegLiteral::Member {
+            RegLiteral::Member {
+                term,
+                lang,
+                positive,
+            } => RegLiteral::Member {
                 term: sub.apply(term),
                 lang: lang.clone(),
                 positive: *positive,
@@ -92,12 +112,16 @@ impl RegLiteral {
         match self {
             RegLiteral::Eq(a, b) => Some(ground(a, env)? == ground(b, env)?),
             RegLiteral::Neq(a, b) => Some(ground(a, env)? != ground(b, env)?),
-            RegLiteral::Tester { ctor, term, positive } => {
-                Some((ground(term, env)?.func() == *ctor) == *positive)
-            }
-            RegLiteral::Member { term, lang, positive } => {
-                Some(lang.accepts(&ground(term, env)?) == *positive)
-            }
+            RegLiteral::Tester {
+                ctor,
+                term,
+                positive,
+            } => Some((ground(term, env)?.func() == *ctor) == *positive),
+            RegLiteral::Member {
+                term,
+                lang,
+                positive,
+            } => Some(lang.accepts(&ground(term, env)?) == *positive),
         }
     }
 
@@ -107,7 +131,11 @@ impl RegLiteral {
         match self {
             RegLiteral::Eq(a, b) => Some(ElemLiteral::Eq(a.clone(), b.clone())),
             RegLiteral::Neq(a, b) => Some(ElemLiteral::Neq(a.clone(), b.clone())),
-            RegLiteral::Tester { ctor, term, positive } => Some(ElemLiteral::Tester {
+            RegLiteral::Tester {
+                ctor,
+                term,
+                positive,
+            } => Some(ElemLiteral::Tester {
                 ctor: *ctor,
                 term: term.clone(),
                 positive: *positive,
@@ -127,9 +155,15 @@ impl From<ElemLiteral> for RegLiteral {
         match l {
             ElemLiteral::Eq(a, b) => RegLiteral::Eq(a, b),
             ElemLiteral::Neq(a, b) => RegLiteral::Neq(a, b),
-            ElemLiteral::Tester { ctor, term, positive } => {
-                RegLiteral::Tester { ctor, term, positive }
-            }
+            ElemLiteral::Tester {
+                ctor,
+                term,
+                positive,
+            } => RegLiteral::Tester {
+                ctor,
+                term,
+                positive,
+            },
         }
     }
 }
@@ -154,7 +188,11 @@ pub struct DisplayRegLiteral<'a> {
 impl fmt::Display for DisplayRegLiteral<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.lit {
-            RegLiteral::Member { term, lang, positive } => {
+            RegLiteral::Member {
+                term,
+                lang,
+                positive,
+            } => {
                 write_term(f, self.sig, term)?;
                 let op = if *positive { "∈" } else { "∉" };
                 write!(f, " {op} {lang}")
@@ -206,7 +244,9 @@ pub struct RegElemFormula {
 impl RegElemFormula {
     /// `⊤` — accepts every tuple.
     pub fn top() -> Self {
-        RegElemFormula { cubes: vec![Vec::new()] }
+        RegElemFormula {
+            cubes: vec![Vec::new()],
+        }
     }
 
     /// `⊥` — accepts no tuple.
@@ -216,7 +256,9 @@ impl RegElemFormula {
 
     /// A single-literal formula.
     pub fn lit(l: RegLiteral) -> Self {
-        RegElemFormula { cubes: vec![vec![l]] }
+        RegElemFormula {
+            cubes: vec![vec![l]],
+        }
     }
 
     /// A one-cube formula.
@@ -445,7 +487,10 @@ mod tests {
         assert_eq!(n.cubes.len(), 2);
         assert!(n.cubes.iter().any(|c| matches!(
             c[0],
-            RegLiteral::Member { positive: false, .. }
+            RegLiteral::Member {
+                positive: false,
+                ..
+            }
         )));
     }
 
@@ -459,8 +504,14 @@ mod tests {
         let r = RegElemFormula::from_elem(&e);
         let zero = GroundTerm::leaf(z);
         let one = GroundTerm::app(s, vec![zero.clone()]);
-        assert_eq!(r.eval_tuple(&[zero.clone()]), e.eval_tuple(&[zero]));
-        assert_eq!(r.eval_tuple(&[one.clone()]), e.eval_tuple(&[one]));
+        assert_eq!(
+            r.eval_tuple(std::slice::from_ref(&zero)),
+            e.eval_tuple(&[zero])
+        );
+        assert_eq!(
+            r.eval_tuple(std::slice::from_ref(&one)),
+            e.eval_tuple(&[one])
+        );
     }
 
     #[test]

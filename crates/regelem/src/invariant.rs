@@ -150,9 +150,15 @@ fn clause_certified(
         constraint_cube.push(match k {
             Constraint::Eq(a, b) => RegLiteral::Eq(a.clone(), b.clone()),
             Constraint::Neq(a, b) => RegLiteral::Neq(a.clone(), b.clone()),
-            Constraint::Tester { ctor, term, positive } => {
-                RegLiteral::Tester { ctor: *ctor, term: term.clone(), positive: *positive }
-            }
+            Constraint::Tester {
+                ctor,
+                term,
+                positive,
+            } => RegLiteral::Tester {
+                ctor: *ctor,
+                term: term.clone(),
+                positive: *positive,
+            },
         });
     }
     let mut violation = RegElemFormula::cube(constraint_cube);
@@ -224,7 +230,9 @@ mod tests {
             RegLiteral::Eq(Term::var(VarId(0)), Term::var(VarId(1))),
             RegLiteral::member(Term::var(VarId(0)), even),
         ]);
-        RegElemInvariant { formulas: [(p, formula)].into() }
+        RegElemInvariant {
+            formulas: [(p, formula)].into(),
+        }
     }
 
     #[test]
@@ -241,11 +249,10 @@ mod tests {
     fn evendiag_pure_diagonal_fails_the_parity_query() {
         let sys = even_diag();
         let p = sys.rels.by_name("evenpair").unwrap();
-        let formula = RegElemFormula::lit(RegLiteral::Eq(
-            Term::var(VarId(0)),
-            Term::var(VarId(1)),
-        ));
-        let inv = RegElemInvariant { formulas: [(p, formula)].into() };
+        let formula = RegElemFormula::lit(RegLiteral::Eq(Term::var(VarId(0)), Term::var(VarId(1))));
+        let inv = RegElemInvariant {
+            formulas: [(p, formula)].into(),
+        };
         // The diagonal alone satisfies clauses 1–3 but not the parity
         // query (clause index 3).
         assert_eq!(
@@ -263,7 +270,9 @@ mod tests {
             RegLiteral::member(Term::var(VarId(0)), even.clone()),
             RegLiteral::member(Term::var(VarId(1)), even),
         ]);
-        let inv = RegElemInvariant { formulas: [(p, formula)].into() };
+        let inv = RegElemInvariant {
+            formulas: [(p, formula)].into(),
+        };
         // Both-even is regular and satisfies every clause except the
         // disequality query (clause index 2).
         assert_eq!(
@@ -288,7 +297,9 @@ mod tests {
     #[test]
     fn holds_on_missing_predicate_panics() {
         let sys = even_diag();
-        let inv = RegElemInvariant { formulas: BTreeMap::new() };
+        let inv = RegElemInvariant {
+            formulas: BTreeMap::new(),
+        };
         let p = sys.rels.by_name("evenpair").unwrap();
         let result = std::panic::catch_unwind(|| inv.holds(p, &[]));
         assert!(result.is_err());

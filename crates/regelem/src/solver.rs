@@ -215,7 +215,9 @@ pub fn solve_regelem(sys: &ChcSystem, cfg: &RegElemConfig) -> (RegElemAnswer, Re
     if preds.is_empty() {
         return (
             RegElemAnswer::Sat(
-                Box::new(RegElemInvariant { formulas: BTreeMap::new() }),
+                Box::new(RegElemInvariant {
+                    formulas: BTreeMap::new(),
+                }),
                 Provenance::Elementary,
             ),
             stats,
@@ -245,8 +247,7 @@ pub fn solve_regelem(sys: &ChcSystem, cfg: &RegElemConfig) -> (RegElemAnswer, Re
                 .map(|(&p, (pool, &i))| (p, pool[i].clone()))
                 .collect();
             let inv = RegElemInvariant { formulas };
-            if check_inductive(sys, &inv, cfg.dnf_cap, &cfg.dp_budget) == RegElemCheck::Inductive
-            {
+            if check_inductive(sys, &inv, cfg.dnf_cap, &cfg.dp_budget) == RegElemCheck::Inductive {
                 return Some(Ok(inv));
             }
             None

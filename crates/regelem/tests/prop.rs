@@ -54,6 +54,7 @@ fn term_pool(sig: &Signature, x: VarId, y: VarId) -> Vec<Term> {
     ]
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the strategy tuple it decodes
 fn literal(
     sig: &Signature,
     kind: usize,
@@ -78,9 +79,21 @@ fn literal(
                 RegLiteral::Neq(t, u)
             }
         }
-        1 => RegLiteral::Member { term: t, lang: langs[li % langs.len()].clone(), positive },
-        2 => RegLiteral::Tester { ctor: z, term: t, positive },
-        _ => RegLiteral::Tester { ctor: s, term: t, positive },
+        1 => RegLiteral::Member {
+            term: t,
+            lang: langs[li % langs.len()].clone(),
+            positive,
+        },
+        2 => RegLiteral::Tester {
+            ctor: z,
+            term: t,
+            positive,
+        },
+        _ => RegLiteral::Tester {
+            ctor: s,
+            term: t,
+            positive,
+        },
     }
 }
 
@@ -223,7 +236,9 @@ fn evenleftdiag_combined_invariant_is_certified() {
         RegLiteral::Eq(Term::var(VarId(0)), Term::var(VarId(1))),
         RegLiteral::member(Term::var(VarId(0)), evenleft),
     ]);
-    let inv = RegElemInvariant { formulas: [(p, formula)].into() };
+    let inv = RegElemInvariant {
+        formulas: [(p, formula)].into(),
+    };
     assert_eq!(
         check_inductive(&sys, &inv, 64, &DpBudget::default()),
         RegElemCheck::Inductive
@@ -235,7 +250,10 @@ fn evenleftdiag_combined_invariant_is_certified() {
     let spine2 = GroundTerm::app(node, vec![spine1.clone(), l.clone()]);
     assert!(inv.holds(p, &[l.clone(), l.clone()]));
     assert!(inv.holds(p, &[spine2.clone(), spine2.clone()]));
-    assert!(!inv.holds(p, &[spine1.clone(), spine1.clone()]), "odd spine");
+    assert!(
+        !inv.holds(p, &[spine1.clone(), spine1.clone()]),
+        "odd spine"
+    );
     assert!(!inv.holds(p, &[spine2, l]), "off-diagonal");
 }
 
@@ -310,8 +328,7 @@ fn evendiag_builder_solves_combined() {
 /// cube stays `Maybe`.
 #[test]
 fn membership_on_distinct_sorts_is_not_conflated() {
-    let (sig, nat, list, z, s, _nil, cons) =
-        ringen_terms::signature_helpers::nat_list_signature();
+    let (sig, nat, list, z, s, _nil, cons) = ringen_terms::signature_helpers::nat_list_signature();
     // Parity language over the Nat component of the combined signature.
     let mut d = Dfta::new();
     let s0 = d.add_state(nat);

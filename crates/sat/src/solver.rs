@@ -274,7 +274,7 @@ impl Solver {
                 }
                 if self.lit_value(first) == Some(false) {
                     // Conflict: restore remaining watchers.
-                    self.watches[l.code()].extend(watchers.drain(..));
+                    self.watches[l.code()].append(&mut watchers);
                     self.qhead = self.trail.len();
                     return Some(cref);
                 }
@@ -540,6 +540,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
+        #[allow(clippy::needless_range_loop)] // j indexes a fixed pigeon/hole grid
         for j in 0..2 {
             for i1 in 0..3 {
                 for i2 in i1 + 1..3 {
@@ -561,6 +562,7 @@ mod tests {
             let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&c);
         }
+        #[allow(clippy::needless_range_loop)] // j indexes a fixed pigeon/hole grid
         for j in 0..n - 1 {
             for i1 in 0..n {
                 for i2 in i1 + 1..n {
@@ -599,6 +601,7 @@ mod tests {
             let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&c);
         }
+        #[allow(clippy::needless_range_loop)] // j indexes a fixed pigeon/hole grid
         for j in 0..n - 1 {
             for i1 in 0..n {
                 for i2 in i1 + 1..n {
@@ -648,7 +651,9 @@ mod tests {
     fn agrees_with_brute_force_on_pseudorandom_cnfs() {
         let mut state = 0xDEADBEEFu64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for round in 0..300 {

@@ -7,19 +7,13 @@ use ringen_sat::{Lit, SatResult, Solver, Var};
 /// A random CNF over `n` variables: clauses are non-empty lists of
 /// signed variable indices.
 fn cnf_strategy(n: usize) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
-    prop::collection::vec(
-        prop::collection::vec((0..n, any::<bool>()), 1..4),
-        0..12,
-    )
+    prop::collection::vec(prop::collection::vec((0..n, any::<bool>()), 1..4), 0..12)
 }
 
 fn brute_force(n: usize, cnf: &[Vec<(usize, bool)>]) -> bool {
     (0..(1u32 << n)).any(|m| {
-        cnf.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
-        })
+        cnf.iter()
+            .all(|clause| clause.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos))
     })
 }
 

@@ -44,7 +44,11 @@ impl SizeLit {
     /// `size(a) = size(b)` — the coupling Restriction 2 of the normal
     /// form derives from every elementary equality.
     pub fn size_eq(a: Term, b: Term) -> SizeLit {
-        SizeLit::Lin { terms: vec![(1, a), (-1, b)], op: LinOp::Eq, k: 0 }
+        SizeLit::Lin {
+            terms: vec![(1, a), (-1, b)],
+            op: LinOp::Eq,
+            k: 0,
+        }
     }
 
     /// Applies a substitution (simultaneous, like
@@ -70,7 +74,11 @@ impl SizeLit {
     pub fn negations(&self) -> Vec<SizeLit> {
         match self {
             SizeLit::Elem(l) => vec![SizeLit::Elem(l.negated())],
-            SizeLit::Lin { terms, op: LinOp::Le, k } => {
+            SizeLit::Lin {
+                terms,
+                op: LinOp::Le,
+                k,
+            } => {
                 // ¬(Σ ≤ k) ⇔ -Σ ≤ -k-1.
                 vec![SizeLit::Lin {
                     terms: terms.iter().map(|(c, t)| (-c, t.clone())).collect(),
@@ -78,8 +86,16 @@ impl SizeLit {
                     k: -k - 1,
                 }]
             }
-            SizeLit::Lin { terms, op: LinOp::Eq, k } => vec![
-                SizeLit::Lin { terms: terms.clone(), op: LinOp::Le, k: k - 1 },
+            SizeLit::Lin {
+                terms,
+                op: LinOp::Eq,
+                k,
+            } => vec![
+                SizeLit::Lin {
+                    terms: terms.clone(),
+                    op: LinOp::Le,
+                    k: k - 1,
+                },
                 SizeLit::Lin {
                     terms: terms.iter().map(|(c, t)| (-c, t.clone())).collect(),
                     op: LinOp::Le,
@@ -88,7 +104,11 @@ impl SizeLit {
             ],
             SizeLit::Mod { terms, m, r } => (0..*m)
                 .filter(|r2| r2 != r)
-                .map(|r2| SizeLit::Mod { terms: terms.clone(), m: *m, r: r2 })
+                .map(|r2| SizeLit::Mod {
+                    terms: terms.clone(),
+                    m: *m,
+                    r: r2,
+                })
                 .collect(),
         }
     }
@@ -144,12 +164,16 @@ pub struct SizeElemFormula {
 impl SizeElemFormula {
     /// `⊤`.
     pub fn top() -> Self {
-        SizeElemFormula { cubes: vec![Vec::new()] }
+        SizeElemFormula {
+            cubes: vec![Vec::new()],
+        }
     }
 
     /// A single-literal formula.
     pub fn lit(l: SizeLit) -> Self {
-        SizeElemFormula { cubes: vec![vec![l]] }
+        SizeElemFormula {
+            cubes: vec![vec![l]],
+        }
     }
 
     /// A one-cube formula.
@@ -218,10 +242,9 @@ impl SizeElemFormula {
     /// Evaluates on a ground tuple.
     pub fn eval_tuple(&self, args: &[GroundTerm]) -> bool {
         let env = |v: VarId| args.get(v.index()).cloned();
-        self.cubes.iter().any(|cube| {
-            cube.iter()
-                .all(|l| l.eval(&env).unwrap_or(false))
-        })
+        self.cubes
+            .iter()
+            .any(|cube| cube.iter().all(|l| l.eval(&env).unwrap_or(false)))
     }
 
     /// Renders the formula (sizes as `|t|`).
@@ -293,7 +316,11 @@ mod tests {
     fn parity_literal_evaluates() {
         let (_, _, z, s) = nat_signature();
         // size(#0) ≡ 1 (mod 2): true of S^{2n}(Z) (size 2n+1).
-        let l = SizeLit::Mod { terms: vec![(1, Term::var(VarId(0)))], m: 2, r: 1 };
+        let l = SizeLit::Mod {
+            terms: vec![(1, Term::var(VarId(0)))],
+            m: 2,
+            r: 1,
+        };
         let f = SizeElemFormula::lit(l);
         let four = GroundTerm::iterate(s, GroundTerm::leaf(z), 4);
         let three = GroundTerm::iterate(s, GroundTerm::leaf(z), 3);
@@ -306,18 +333,30 @@ mod tests {
         let (_, _, z, s) = nat_signature();
         // size(S(S(#0))) = 5 ⇔ size(#0) = 3 ⇔ #0 = S(S(Z)).
         let t = Term::app(s, vec![Term::app(s, vec![Term::var(VarId(0))])]);
-        let l = SizeLit::Lin { terms: vec![(1, t)], op: LinOp::Eq, k: 5 };
+        let l = SizeLit::Lin {
+            terms: vec![(1, t)],
+            op: LinOp::Eq,
+            k: 5,
+        };
         let two = GroundTerm::iterate(s, GroundTerm::leaf(z), 2);
         let one = GroundTerm::iterate(s, GroundTerm::leaf(z), 1);
-        assert_eq!(SizeElemFormula::lit(l.clone()).eval_tuple(&[two]), true);
-        assert_eq!(SizeElemFormula::lit(l).eval_tuple(&[one]), false);
+        assert!(SizeElemFormula::lit(l.clone()).eval_tuple(&[two]));
+        assert!(!SizeElemFormula::lit(l).eval_tuple(&[one]));
     }
 
     #[test]
     fn negations_split_equalities() {
-        let l = SizeLit::Lin { terms: vec![(1, Term::var(VarId(0)))], op: LinOp::Eq, k: 3 };
+        let l = SizeLit::Lin {
+            terms: vec![(1, Term::var(VarId(0)))],
+            op: LinOp::Eq,
+            k: 3,
+        };
         assert_eq!(l.negations().len(), 2);
-        let m = SizeLit::Mod { terms: vec![(1, Term::var(VarId(0)))], m: 3, r: 1 };
+        let m = SizeLit::Mod {
+            terms: vec![(1, Term::var(VarId(0)))],
+            m: 3,
+            r: 1,
+        };
         assert_eq!(m.negations().len(), 2);
     }
 

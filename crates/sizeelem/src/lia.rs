@@ -43,12 +43,20 @@ pub struct LinAtom {
 impl LinAtom {
     /// `Σ terms ≤ k`.
     pub fn le(terms: Vec<(i64, usize)>, k: i64) -> Self {
-        LinAtom { terms, op: LinOp::Le, k }
+        LinAtom {
+            terms,
+            op: LinOp::Le,
+            k,
+        }
     }
 
     /// `Σ terms = k`.
     pub fn eq(terms: Vec<(i64, usize)>, k: i64) -> Self {
-        LinAtom { terms, op: LinOp::Eq, k }
+        LinAtom {
+            terms,
+            op: LinOp::Eq,
+            k,
+        }
     }
 }
 
@@ -98,7 +106,10 @@ pub struct LiaConfig {
 
 impl Default for LiaConfig {
     fn default() -> Self {
-        LiaConfig { max_branches: 4_096, max_fm_atoms: 2_000 }
+        LiaConfig {
+            max_branches: 4_096,
+            max_fm_atoms: 2_000,
+        }
     }
 }
 
@@ -184,7 +195,11 @@ fn lcm(a: u64, b: u64) -> u64 {
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 { a } else { gcd(b, a % b) }
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 /// Checks every congruence under the residue assignment (all moduli
@@ -226,8 +241,10 @@ fn rewrite(
     // If every coefficient is a multiple of M, divide through and floor.
     if all_scaled && !out.is_empty() {
         let m = m_lcm as i128;
-        let divided: Vec<(i64, usize)> =
-            out.iter().map(|&(a, v)| ((a as i128 / m) as i64, v)).collect();
+        let divided: Vec<(i64, usize)> = out
+            .iter()
+            .map(|&(a, v)| ((a as i128 / m) as i64, v))
+            .collect();
         let kd = k.div_euclid(m);
         return (divided, kd as i64);
     }
@@ -267,8 +284,8 @@ fn fm_check(atoms: &[(Vec<(i64, usize)>, i64)], n_vars: usize, cfg: &LiaConfig) 
                 let a = p.0[v];
                 let b = -n.0[v];
                 let mut coeffs = vec![0i128; n_vars];
-                for i in 0..n_vars {
-                    coeffs[i] = b * p.0[i] + a * n.0[i];
+                for (i, c) in coeffs.iter_mut().enumerate() {
+                    *c = b * p.0[i] + a * n.0[i];
                 }
                 coeffs[v] = 0;
                 let k = b * p.1 + a * n.1;
@@ -329,8 +346,16 @@ mod tests {
         let p = LiaProblem {
             lin: vec![],
             mods: vec![
-                ModAtom { terms: vec![(1, 0)], m: 2, r: 0 },
-                ModAtom { terms: vec![(1, 0)], m: 2, r: 1 },
+                ModAtom {
+                    terms: vec![(1, 0)],
+                    m: 2,
+                    r: 0,
+                },
+                ModAtom {
+                    terms: vec![(1, 0)],
+                    m: 2,
+                    r: 1,
+                },
             ],
             n_vars: 1,
         };
@@ -344,8 +369,16 @@ mod tests {
         let p = LiaProblem {
             lin: vec![LinAtom::eq(vec![(1, 1), (-1, 0)], 2)],
             mods: vec![
-                ModAtom { terms: vec![(1, 0)], m: 2, r: 1 },
-                ModAtom { terms: vec![(1, 1)], m: 2, r: 0 },
+                ModAtom {
+                    terms: vec![(1, 0)],
+                    m: 2,
+                    r: 1,
+                },
+                ModAtom {
+                    terms: vec![(1, 1)],
+                    m: 2,
+                    r: 0,
+                },
             ],
             n_vars: 2,
         };
@@ -358,8 +391,16 @@ mod tests {
         let p = LiaProblem {
             lin: vec![LinAtom::eq(vec![(1, 1), (-1, 0)], 2)],
             mods: vec![
-                ModAtom { terms: vec![(1, 0)], m: 2, r: 1 },
-                ModAtom { terms: vec![(1, 1)], m: 2, r: 1 },
+                ModAtom {
+                    terms: vec![(1, 0)],
+                    m: 2,
+                    r: 1,
+                },
+                ModAtom {
+                    terms: vec![(1, 1)],
+                    m: 2,
+                    r: 1,
+                },
             ],
             n_vars: 2,
         };
@@ -371,7 +412,11 @@ mod tests {
         // x ≡ 0 (mod 3) ∧ 1 ≤ x ≤ 2 is unsat.
         let p = LiaProblem {
             lin: vec![LinAtom::le(vec![(-1, 0)], -1), LinAtom::le(vec![(1, 0)], 2)],
-            mods: vec![ModAtom { terms: vec![(1, 0)], m: 3, r: 0 }],
+            mods: vec![ModAtom {
+                terms: vec![(1, 0)],
+                m: 3,
+                r: 0,
+            }],
             n_vars: 1,
         };
         assert_eq!(check_lia(&p, &cfg()), LiaSat::Unsat);
@@ -382,7 +427,11 @@ mod tests {
         // x + y ≡ 1 (mod 2) ∧ x = y is unsat (2x is even).
         let p = LiaProblem {
             lin: vec![LinAtom::eq(vec![(1, 0), (-1, 1)], 0)],
-            mods: vec![ModAtom { terms: vec![(1, 0), (1, 1)], m: 2, r: 1 }],
+            mods: vec![ModAtom {
+                terms: vec![(1, 0), (1, 1)],
+                m: 2,
+                r: 1,
+            }],
             n_vars: 2,
         };
         assert_eq!(check_lia(&p, &cfg()), LiaSat::Unsat);

@@ -93,16 +93,14 @@ impl LinearSet {
     /// First members of the set, ascending.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         let mut k = self.base;
-        std::iter::from_fn(move || {
-            loop {
-                if k > self.base + 100_000 {
-                    return None;
-                }
-                let cur = k;
-                k += 1;
-                if self.contains(cur) {
-                    return Some(cur);
-                }
+        std::iter::from_fn(move || loop {
+            if k > self.base + 100_000 {
+                return None;
+            }
+            let cur = k;
+            k += 1;
+            if self.contains(cur) {
+                return Some(cur);
             }
         })
     }
@@ -132,7 +130,12 @@ impl PeriodicSet {
         let p = set.period();
         if p == 0 || !set.is_infinite() {
             let prefix: Vec<u64> = (0..PROBE).filter(|&k| set.contains(k)).collect();
-            return PeriodicSet { prefix, tail_start: PROBE, period: 0, residues: Vec::new() };
+            return PeriodicSet {
+                prefix,
+                tail_start: PROBE,
+                period: 0,
+                residues: Vec::new(),
+            };
         }
         // Find the smallest T with membership periodic from T onward
         // (witnessed up to the probe bound).
@@ -150,7 +153,12 @@ impl PeriodicSet {
             .filter(|&k| set.contains(k))
             .map(|k| k % p)
             .collect();
-        PeriodicSet { prefix, tail_start, period: p, residues }
+        PeriodicSet {
+            prefix,
+            tail_start,
+            period: p,
+            residues,
+        }
     }
 
     /// Exact membership.

@@ -35,7 +35,11 @@ fn build(
     size: u64,
 ) -> Option<GroundTerm> {
     let realizable = |s: SortId, k: u64| {
-        k >= 1 && sets.iter().find(|(q, _)| *q == s).is_some_and(|(_, set)| set.contains(k))
+        k >= 1
+            && sets
+                .iter()
+                .find(|(q, _)| *q == s)
+                .is_some_and(|(_, set)| set.contains(k))
     };
     if !realizable(sort, size) {
         return None;

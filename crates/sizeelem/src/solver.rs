@@ -171,7 +171,9 @@ pub fn solve_size_elem(sys: &ChcSystem, cfg: &SizeElemConfig) -> (SizeElemAnswer
     let preds: Vec<PredId> = sys.rels.iter().collect();
     if preds.is_empty() {
         return (
-            SizeElemAnswer::Sat(SizeElemInvariant { formulas: BTreeMap::new() }),
+            SizeElemAnswer::Sat(SizeElemInvariant {
+                formulas: BTreeMap::new(),
+            }),
             stats,
         );
     }
@@ -233,26 +235,62 @@ fn size_atoms(domain: &[SortId], cfg: &SizeElemConfig) -> Vec<SizeLit> {
     for i in 0..domain.len() {
         // Parities (and optionally mod-3 residues).
         for r in 0..2 {
-            out.push(SizeLit::Mod { terms: vec![size_of(i)], m: 2, r });
+            out.push(SizeLit::Mod {
+                terms: vec![size_of(i)],
+                m: 2,
+                r,
+            });
         }
         if cfg.mod3_templates {
             for r in 0..3 {
-                out.push(SizeLit::Mod { terms: vec![size_of(i)], m: 3, r });
+                out.push(SizeLit::Mod {
+                    terms: vec![size_of(i)],
+                    m: 3,
+                    r,
+                });
             }
         }
         // Small constants.
-        out.push(SizeLit::Lin { terms: vec![size_of(i)], op: LinOp::Eq, k: 1 });
-        out.push(SizeLit::Lin { terms: vec![size_of(i)], op: LinOp::Le, k: 2 });
+        out.push(SizeLit::Lin {
+            terms: vec![size_of(i)],
+            op: LinOp::Eq,
+            k: 1,
+        });
+        out.push(SizeLit::Lin {
+            terms: vec![size_of(i)],
+            op: LinOp::Le,
+            k: 2,
+        });
     }
     for i in 0..domain.len() {
         for j in (i + 1)..domain.len() {
             let diff = |a: usize, b: usize| vec![size_of(a), (-1, Term::var(VarId(b as u32)))];
             // Orderings and exact offsets.
-            out.push(SizeLit::Lin { terms: diff(i, j), op: LinOp::Le, k: -1 });
-            out.push(SizeLit::Lin { terms: diff(j, i), op: LinOp::Le, k: -1 });
-            out.push(SizeLit::Lin { terms: diff(i, j), op: LinOp::Eq, k: 0 });
-            out.push(SizeLit::Lin { terms: diff(i, j), op: LinOp::Eq, k: 1 });
-            out.push(SizeLit::Lin { terms: diff(j, i), op: LinOp::Eq, k: 1 });
+            out.push(SizeLit::Lin {
+                terms: diff(i, j),
+                op: LinOp::Le,
+                k: -1,
+            });
+            out.push(SizeLit::Lin {
+                terms: diff(j, i),
+                op: LinOp::Le,
+                k: -1,
+            });
+            out.push(SizeLit::Lin {
+                terms: diff(i, j),
+                op: LinOp::Eq,
+                k: 0,
+            });
+            out.push(SizeLit::Lin {
+                terms: diff(i, j),
+                op: LinOp::Eq,
+                k: 1,
+            });
+            out.push(SizeLit::Lin {
+                terms: diff(j, i),
+                op: LinOp::Eq,
+                k: 1,
+            });
             // Parity of the sum (list-length parity propagates this way).
             out.push(SizeLit::Mod {
                 terms: vec![size_of(i), size_of(j)],
@@ -297,7 +335,9 @@ fn candidates(sig: &Signature, domain: &[SortId], cfg: &SizeElemConfig) -> Vec<S
     }
     for (i, a) in atoms.iter().enumerate() {
         for b in atoms.iter().skip(i + 1) {
-            out.push(SizeElemFormula { cubes: vec![vec![a.clone()], vec![b.clone()]] });
+            out.push(SizeElemFormula {
+                cubes: vec![vec![a.clone()], vec![b.clone()]],
+            });
             if out.len() >= cfg.max_candidates {
                 return out;
             }
@@ -335,9 +375,15 @@ fn clause_valid(
         base_cube.push(SizeLit::Elem(match k {
             Constraint::Eq(a, b) => Literal::Eq(a.clone(), b.clone()),
             Constraint::Neq(a, b) => Literal::Neq(a.clone(), b.clone()),
-            Constraint::Tester { ctor, term, positive } => {
-                Literal::Tester { ctor: *ctor, term: term.clone(), positive: *positive }
-            }
+            Constraint::Tester {
+                ctor,
+                term,
+                positive,
+            } => Literal::Tester {
+                ctor: *ctor,
+                term: term.clone(),
+                positive: *positive,
+            },
         }));
     }
     let mut violation = SizeElemFormula::cube(base_cube);
@@ -418,12 +464,7 @@ fn size_projection(
     };
 
     // Polynomial of a term: constant + per-variable multiplicities.
-    fn poly(
-        t: &Term,
-        coeff: i64,
-        k: &mut i64,
-        acc: &mut Vec<(i64, VarId)>,
-    ) {
+    fn poly(t: &Term, coeff: i64, k: &mut i64, acc: &mut Vec<(i64, VarId)>) {
         match t {
             Term::Var(v) => acc.push((coeff, *v)),
             Term::App(_, args) => {
@@ -464,7 +505,11 @@ fn size_projection(
                         return Projection::TriviallyUnsat;
                     }
                 } else {
-                    problem.lin.push(LinAtom { terms: lin, op: *op, k });
+                    problem.lin.push(LinAtom {
+                        terms: lin,
+                        op: *op,
+                        k,
+                    });
                 }
             }
             SizeLit::Mod { terms, m, r } => {
@@ -475,16 +520,17 @@ fn size_projection(
                         return Projection::TriviallyUnsat;
                     }
                 } else {
-                    problem.mods.push(ModAtom { terms: lin, m: *m, r: r2 });
+                    problem.mods.push(ModAtom {
+                        terms: lin,
+                        m: *m,
+                        r: r2,
+                    });
                 }
             }
             SizeLit::Elem(Literal::Eq(a, b)) => {
                 // Restriction 2: t = u implies |t| = |u|.
-                let (lin, base) = convert(
-                    &[(1, a.clone()), (-1, b.clone())],
-                    &mut index,
-                    &mut problem,
-                );
+                let (lin, base) =
+                    convert(&[(1, a.clone()), (-1, b.clone())], &mut index, &mut problem);
                 if lin.is_empty() {
                     if base != 0 {
                         return Projection::TriviallyUnsat;
@@ -493,7 +539,11 @@ fn size_projection(
                     problem.lin.push(LinAtom::eq(lin, -base));
                 }
             }
-            SizeLit::Elem(Literal::Tester { ctor, term, positive: true }) => {
+            SizeLit::Elem(Literal::Tester {
+                ctor,
+                term,
+                positive: true,
+            }) => {
                 let decl = sys.sig.func(*ctor);
                 let (lin, base) = convert(&[(1, term.clone())], &mut index, &mut problem);
                 if decl.arity() == 0 {
@@ -513,8 +563,7 @@ fn size_projection(
                             return Projection::TriviallyUnsat;
                         }
                     } else {
-                        let neg: Vec<(i64, usize)> =
-                            lin.iter().map(|&(c, v)| (-c, v)).collect();
+                        let neg: Vec<(i64, usize)> = lin.iter().map(|&(c, v)| (-c, v)).collect();
                         problem.lin.push(LinAtom::le(neg, base - bound));
                     }
                 }
@@ -529,7 +578,9 @@ fn size_projection(
     let used: Vec<VarId> = index.keys().copied().collect();
     for v in used {
         let Some(sort) = vars.sort(v) else { continue };
-        let Some(ps) = domains.per_sort.get(&sort) else { continue };
+        let Some(ps) = domains.per_sort.get(&sort) else {
+            continue;
+        };
         let i = index[&v];
         let min = ps
             .prefix

@@ -249,7 +249,8 @@ impl SizeSet {
         if self.period == 0 {
             return false;
         }
-        self.residues.contains(&((k - self.tail_start) % self.period))
+        self.residues
+            .contains(&((k - self.tail_start) % self.period))
     }
 
     /// Whether the set is infinite.
@@ -326,8 +327,8 @@ pub fn is_expanding(sig: &Signature, sort: SortId, n_max: u64, size_bound: usize
 /// property tests.
 pub fn terms_by_size(sig: &Signature, sort: SortId, limit: usize) -> Vec<GroundTerm> {
     let mut out: Vec<GroundTerm> = Vec::new();
-    let mut memo: std::collections::HashMap<(SortId, usize), Vec<GroundTerm>> =
-        std::collections::HashMap::new();
+    let mut memo: rustc_hash::FxHashMap<(SortId, usize), Vec<GroundTerm>> =
+        rustc_hash::FxHashMap::default();
     let mut budget = 100_000usize;
     for k in 1..=64usize {
         if out.len() >= limit || budget == 0 {
@@ -349,7 +350,7 @@ fn all_terms_of_size(
     sig: &Signature,
     sort: SortId,
     k: usize,
-    memo: &mut std::collections::HashMap<(SortId, usize), Vec<GroundTerm>>,
+    memo: &mut rustc_hash::FxHashMap<(SortId, usize), Vec<GroundTerm>>,
     budget: &mut usize,
 ) -> Vec<GroundTerm> {
     if let Some(hit) = memo.get(&(sort, k)) {
@@ -432,11 +433,11 @@ fn random_rec(
         .collect();
     // Fall back to the minimal-height witness when out of fuel.
     if feasible.is_empty() || fuel <= 1 {
-        return sig
-            .some_ground_term(sort)
-            .expect("sort checked inhabited");
+        return sig.some_ground_term(sort).expect("sort checked inhabited");
     }
-    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let pick = feasible[(*state >> 33) as usize % feasible.len()];
     let args = sig
         .func(pick)

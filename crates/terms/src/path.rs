@@ -151,9 +151,7 @@ impl fmt::Display for Path {
 /// Returns `None` if any path leaves the term or two paths overlap.
 pub fn replace_all(g: &GroundTerm, paths: &[Path], t: &GroundTerm) -> Option<GroundTerm> {
     for (i, p) in paths.iter().enumerate() {
-        if p.subterm(g).is_none() {
-            return None;
-        }
+        p.subterm(g)?;
         for q in &paths[i + 1..] {
             if p.overlaps(q) {
                 return None;
@@ -172,18 +170,12 @@ pub fn replace_all(g: &GroundTerm, paths: &[Path], t: &GroundTerm) -> Option<Gro
 ///
 /// Returns `None` if `paths` and `terms` have different lengths, a path
 /// leaves the term, or two paths overlap.
-pub fn replace_each(
-    g: &GroundTerm,
-    paths: &[Path],
-    terms: &[GroundTerm],
-) -> Option<GroundTerm> {
+pub fn replace_each(g: &GroundTerm, paths: &[Path], terms: &[GroundTerm]) -> Option<GroundTerm> {
     if paths.len() != terms.len() {
         return None;
     }
     for (i, p) in paths.iter().enumerate() {
-        if p.subterm(g).is_none() {
-            return None;
-        }
+        p.subterm(g)?;
         for q in &paths[i + 1..] {
             if p.overlaps(q) {
                 return None;
@@ -202,10 +194,7 @@ pub fn replace_each(
 /// leaf terms.
 pub fn is_leaf_term(sig: &Signature, t: &GroundTerm) -> bool {
     let sort = t.sort(sig);
-    let no_proper_same_sort = t
-        .subterms()
-        .skip(1)
-        .all(|u| u.sort(sig) != sort);
+    let no_proper_same_sort = t.subterms().skip(1).all(|u| u.sort(sig) != sort);
     no_proper_same_sort && t.args().iter().all(|a| is_leaf_term(sig, a))
 }
 
@@ -233,13 +222,7 @@ fn collect_leaves(sig: &Signature, g: &GroundTerm, sort: SortId, at: Path, out: 
 /// A coarser variant of [`leaves`] used by the pumping demonstrations.
 pub fn positions_of_sort(sig: &Signature, g: &GroundTerm, sort: SortId) -> Vec<Path> {
     let mut out = Vec::new();
-    fn go(
-        sig: &Signature,
-        g: &GroundTerm,
-        sort: SortId,
-        at: Path,
-        out: &mut Vec<Path>,
-    ) {
+    fn go(sig: &Signature, g: &GroundTerm, sort: SortId, at: Path, out: &mut Vec<Path>) {
         if g.sort(sig) == sort {
             out.push(at.clone());
         }
@@ -300,7 +283,10 @@ mod tests {
         let (_sig, _tree, leaf, node) = tree_signature();
         let l = GroundTerm::leaf(leaf);
         let g = GroundTerm::app(node, vec![l.clone(), l.clone()]);
-        let big = GroundTerm::app(node, vec![l.clone(), GroundTerm::app(node, vec![l.clone(), l.clone()])]);
+        let big = GroundTerm::app(
+            node,
+            vec![l.clone(), GroundTerm::app(node, vec![l.clone(), l.clone()])],
+        );
         let paths = [Path::from_steps(vec![0]), Path::from_steps(vec![1])];
         let out = replace_all(&g, &paths, &big).unwrap();
         assert_eq!(out.size(), 1 + 2 * big.size());
@@ -340,7 +326,10 @@ mod tests {
     fn leaf_terms_of_tree() {
         let (sig, tree, leaf, node) = tree_signature();
         let l = GroundTerm::leaf(leaf);
-        let g = GroundTerm::app(node, vec![GroundTerm::app(node, vec![l.clone(), l.clone()]), l.clone()]);
+        let g = GroundTerm::app(
+            node,
+            vec![GroundTerm::app(node, vec![l.clone(), l.clone()]), l.clone()],
+        );
         let ls = leaves(&sig, &g, tree);
         assert_eq!(
             ls,

@@ -175,7 +175,7 @@ impl Signature {
         name: impl Into<String>,
         domain: Vec<SortId>,
         range: SortId,
-    kind: FuncKind,
+        kind: FuncKind,
     ) -> FuncId {
         let name = name.into();
         assert!(
@@ -314,9 +314,10 @@ impl Signature {
         for k in 0..n {
             for i in 0..n {
                 if reach[i][k] {
-                    for j in 0..n {
-                        if reach[k][j] {
-                            reach[i][j] = true;
+                    let via: Vec<bool> = reach[k].clone();
+                    for (j, r) in reach[i].iter_mut().enumerate().take(n) {
+                        if via[j] {
+                            *r = true;
                         }
                     }
                 }
@@ -338,12 +339,11 @@ impl Signature {
                 if d.kind != FuncKind::Constructor {
                     continue;
                 }
-                let args: Option<Vec<usize>> =
-                    d.domain.iter().map(|s| h[s.index()]).collect();
+                let args: Option<Vec<usize>> = d.domain.iter().map(|s| h[s.index()]).collect();
                 if let Some(args) = args {
                     let mine = 1 + args.iter().copied().max().unwrap_or(0);
                     let slot = &mut h[d.range.index()];
-                    if slot.map_or(true, |old| mine < old) {
+                    if slot.is_none_or(|old| mine < old) {
                         *slot = Some(mine);
                         changed = true;
                     }
@@ -362,11 +362,7 @@ impl Signature {
         self.some_ground_term_rec(sort, &heights)
     }
 
-    fn some_ground_term_rec(
-        &self,
-        sort: SortId,
-        heights: &[Option<usize>],
-    ) -> Option<GroundTerm> {
+    fn some_ground_term_rec(&self, sort: SortId, heights: &[Option<usize>]) -> Option<GroundTerm> {
         let _my = heights[sort.index()]?;
         // Pick the constructor whose max argument min-height is smallest.
         let mut best: Option<(usize, FuncId)> = None;
@@ -378,7 +374,7 @@ impl Signature {
                 .map(|s| heights[s.index()])
                 .try_fold(0usize, |acc, h| h.map(|h| acc.max(h)));
             if let Some(w) = worst {
-                if best.map_or(true, |(b, _)| w < b) {
+                if best.is_none_or(|(b, _)| w < b) {
                     best = Some((w, c));
                 }
             }

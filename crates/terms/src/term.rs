@@ -79,7 +79,10 @@ impl Term {
         match self {
             Term::Var(_) => None,
             Term::App(f, args) => {
-                let args = args.iter().map(Term::to_ground).collect::<Option<Vec<_>>>()?;
+                let args = args
+                    .iter()
+                    .map(Term::to_ground)
+                    .collect::<Option<Vec<_>>>()?;
                 Some(GroundTerm::app(*f, args))
             }
         }
@@ -313,7 +316,12 @@ impl VarContext {
     pub fn import(&mut self, other: &VarContext) -> BTreeMap<VarId, VarId> {
         other
             .vars()
-            .map(|v| (v, self.fresh(other.name(v).to_owned(), other.sorts[v.index()])))
+            .map(|v| {
+                (
+                    v,
+                    self.fresh(other.name(v).to_owned(), other.sorts[v.index()]),
+                )
+            })
             .collect()
     }
 }
@@ -484,7 +492,11 @@ mod tests {
         let bad_arity = Term::app(cons, vec![Term::leaf(z)]);
         assert!(matches!(
             bad_arity.sort(&sig, &ctx),
-            Err(SortError::Arity { expected: 2, got: 1, .. })
+            Err(SortError::Arity {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
         let bad_sort = Term::app(cons, vec![Term::leaf(z), Term::leaf(z)]);
         assert!(matches!(
@@ -492,7 +504,10 @@ mod tests {
             Err(SortError::ArgSort { index: 1, .. })
         ));
         let unknown = Term::var(VarId(7));
-        assert_eq!(unknown.sort(&sig, &ctx), Err(SortError::UnknownVar(VarId(7))));
+        assert_eq!(
+            unknown.sort(&sig, &ctx),
+            Err(SortError::UnknownVar(VarId(7)))
+        );
     }
 
     #[test]

@@ -169,7 +169,10 @@ mod tests {
         let w = ctx.fresh("w", nat);
         // S(x) ≐ S(S(y)), x ≐ w  ⇒ x ↦ S(y), w ↦ S(y)
         let mgu = unify_all(vec![
-            (Term::app(s, vec![Term::var(x)]), Term::iterate(s, Term::var(y), 2)),
+            (
+                Term::app(s, vec![Term::var(x)]),
+                Term::iterate(s, Term::var(y), 2),
+            ),
             (Term::var(x), Term::var(w)),
         ])
         .unwrap();
@@ -210,10 +213,7 @@ mod tests {
         let pat = Term::app(s, vec![Term::var(x)]);
         let g = GroundTerm::iterate(s, GroundTerm::leaf(z), 2);
         let sub = match_ground(&pat, &g).unwrap();
-        assert_eq!(
-            sub.apply(&Term::var(x)),
-            Term::app(s, vec![Term::leaf(z)])
-        );
+        assert_eq!(sub.apply(&Term::var(x)), Term::app(s, vec![Term::leaf(z)]));
         // Ground side is never instantiated: a bare variable pattern always
         // matches, a constructor pattern never matches a different root.
         assert!(match_ground(&Term::var(x), &g).is_some());
@@ -230,7 +230,15 @@ mod tests {
         let mut sub = Substitution::new();
         let one = GroundTerm::app(s, vec![GroundTerm::leaf(z)]);
         let two = GroundTerm::app(s, vec![one.clone()]);
-        assert!(match_ground_into(&Term::app(s, vec![Term::var(x)]), &one, &mut sub));
-        assert!(!match_ground_into(&Term::app(s, vec![Term::var(x)]), &two, &mut sub));
+        assert!(match_ground_into(
+            &Term::app(s, vec![Term::var(x)]),
+            &one,
+            &mut sub
+        ));
+        assert!(!match_ground_into(
+            &Term::app(s, vec![Term::var(x)]),
+            &two,
+            &mut sub
+        ));
     }
 }

@@ -37,23 +37,19 @@ use ringen_sizeelem::{
 };
 
 /// Budgets for [`solve_verimap`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct VerimapConfig {
     /// The underlying size-engine configuration; `elem_atoms` and
     /// `elem_projection` are forced off by [`solve_verimap`].
     pub engine: SizeElemConfig,
 }
 
-impl Default for VerimapConfig {
-    fn default() -> Self {
-        VerimapConfig { engine: SizeElemConfig::default() }
-    }
-}
-
 impl VerimapConfig {
     /// Small-budget configuration for batch benchmarking.
     pub fn quick() -> Self {
-        VerimapConfig { engine: SizeElemConfig::quick() }
+        VerimapConfig {
+            engine: SizeElemConfig::quick(),
+        }
     }
 }
 

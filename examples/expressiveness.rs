@@ -12,7 +12,10 @@ use ringen::elem::{solve_elem, ElemConfig};
 use ringen::sizeelem::{solve_size_elem, SizeElemConfig};
 
 fn main() {
-    println!("{:<10} {:>6} {:>9} {:>6}", "program", "Elem", "SizeElem", "Reg");
+    println!(
+        "{:<10} {:>6} {:>9} {:>6}",
+        "program", "Elem", "SizeElem", "Reg"
+    );
     for (name, sys) in [
         ("IncDec", programs::inc_dec()),
         ("Diag", programs::diag()),
@@ -24,6 +27,12 @@ fn main() {
         let size = solve_size_elem(&sys, &SizeElemConfig::quick()).0.is_sat();
         let reg = solve(&sys, &RingenConfig::quick()).0.is_sat();
         let mark = |b: bool| if b { "yes" } else { "-" };
-        println!("{:<10} {:>6} {:>9} {:>6}", name, mark(elem), mark(size), mark(reg));
+        println!(
+            "{:<10} {:>6} {:>9} {:>6}",
+            name,
+            mark(elem),
+            mark(size),
+            mark(reg)
+        );
     }
 }

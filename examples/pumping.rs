@@ -21,7 +21,10 @@ fn main() {
     let (k, n) = (4usize, 3usize);
     let g = GroundTerm::iterate(s, GroundTerm::leaf(z), 2 * k);
     let t = GroundTerm::iterate(s, GroundTerm::leaf(z), 2 * n + 1);
-    let ctx = vec![(even, vec![GroundTerm::iterate(s, GroundTerm::leaf(z), 2 * (k + n))])];
+    let ctx = vec![(
+        even,
+        vec![GroundTerm::iterate(s, GroundTerm::leaf(z), 2 * (k + n))],
+    )];
     match pumping_refutes_elem(&sys, even, &[g], 0, nat, &t, &ctx) {
         Some(r) => println!(
             "Prop. 1: pumped S^{}(Z) fires query clause {} — Even ∉ Elem",
@@ -39,8 +42,7 @@ fn main() {
     let t_set: LinearSet = sizes.infinite_linear_subset().unwrap();
     println!(
         "Lemma 7: S_Tree has the infinite linear subset {{{} + {}k}}",
-        t_set.base,
-        t_set.periods[0]
+        t_set.base, t_set.periods[0]
     );
     let n = t_set.iter().find(|&k| k > 2).unwrap();
     let t = term_of_size(&tree_sys.sig, tree, n).unwrap();

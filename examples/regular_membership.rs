@@ -42,8 +42,13 @@ fn main() {
         RegLiteral::Eq(Term::var(VarId(0)), Term::var(VarId(1))),
         RegLiteral::member(Term::var(VarId(0)), even),
     ]);
-    println!("candidate: evenpair(#0, #1) ≡ {}", formula.display(&sys.sig));
-    let inv = RegElemInvariant { formulas: [(evenpair, formula)].into() };
+    println!(
+        "candidate: evenpair(#0, #1) ≡ {}",
+        formula.display(&sys.sig)
+    );
+    let inv = RegElemInvariant {
+        formulas: [(evenpair, formula)].into(),
+    };
     let verdict = check_inductive(&sys, &inv, 64, &DpBudget::default());
     println!("inductiveness check: {verdict:?}\n");
 

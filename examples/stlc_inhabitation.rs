@@ -16,7 +16,10 @@ fn main() {
     let (answer, _) = solve(&sys, &RingenConfig::default());
     match answer {
         Answer::Sat(sat) => {
-            println!("uninhabited: regular invariant with {} states", sat.invariant.state_count());
+            println!(
+                "uninhabited: regular invariant with {} states",
+                sat.invariant.state_count()
+            );
             print!("{}", sat.invariant.display(&sat.preprocessed.system));
         }
         other => println!("unexpected: {other:?}"),

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the automata-kernel micro-bench suite and records the results —
+# including the interned-vs-reference speedups and the Dfta::step
+# zero-allocation check — in BENCH_automata.json at the repo root.
+#
+# Usage:
+#   scripts/bench_automata.sh           # full measurement
+#   QUICK=1 scripts/bench_automata.sh   # fast smoke run (CI)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ "${QUICK:-}" = "1" ]; then
+  export CRITERION_QUICK=1
+fi
+export BENCH_AUTOMATA_JSON="$PWD/BENCH_automata.json"
+
+cargo bench -p ringen-bench --bench automata
+
+echo
+echo "=== BENCH_automata.json ==="
+cat "$BENCH_AUTOMATA_JSON"

@@ -32,10 +32,14 @@ fn paper_goal_gets_the_six_state_invariant() {
     let arr = |a: &GroundTerm, b: &GroundTerm| GroundTerm::app(arrow, vec![a.clone(), b.clone()]);
 
     // M₀ ⊭ prim, so ⟨empty, e, prim⟩ ∉ ℐ …
-    assert!(!sat.invariant.holds(tc, &[GroundTerm::leaf(empty), e.clone(), p.clone()]));
+    assert!(!sat
+        .invariant
+        .holds(tc, &[GroundTerm::leaf(empty), e.clone(), p.clone()]));
     // … but prim → prim is satisfied by M₀, so it is in ℐ.
     let p_to_p = arr(&p, &p);
-    assert!(sat.invariant.holds(tc, &[GroundTerm::leaf(empty), e.clone(), p_to_p.clone()]));
+    assert!(sat
+        .invariant
+        .holds(tc, &[GroundTerm::leaf(empty), e.clone(), p_to_p.clone()]));
     // The goal instance (prim → prim) → prim is falsified by M₀: not in ℐ.
     let goal = arr(&p_to_p, &p);
     assert!(!sat.invariant.holds(tc, &[GroundTerm::leaf(empty), e, goal]));

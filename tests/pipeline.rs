@@ -4,7 +4,9 @@
 
 use ringen::chc::parse_str;
 use ringen::core::preprocess::{preprocess, skolemize};
-use ringen::core::{check_inductive, check_refutation, solve, Answer, RegularInvariant, RingenConfig};
+use ringen::core::{
+    check_inductive, check_refutation, solve, Answer, RegularInvariant, RingenConfig,
+};
 use ringen::fmf::{find_model, FinderConfig};
 
 fn full_featured_system() -> ringen::chc::ChcSystem {

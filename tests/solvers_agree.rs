@@ -35,8 +35,11 @@ fn no_solver_contradicts_ground_truth() {
     use ringen::regelem::{solve_regelem, RegElemConfig};
     // The combined phase alone: the regular and elementary phases are
     // covered by their own solvers on the previous lines.
-    let regelem_cfg =
-        RegElemConfig { regular: None, elementary: None, ..RegElemConfig::quick() };
+    let regelem_cfg = RegElemConfig {
+        regular: None,
+        elementary: None,
+        ..RegElemConfig::quick()
+    };
     for b in sample() {
         let (core_ans, _) = solve(&b.system, &RingenConfig::quick());
         let (elem_ans, _) = solve_elem(&b.system, &ElemConfig::quick());

@@ -1,0 +1,387 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate,
+//! vendored because this workspace builds without network access.
+//!
+//! Supports the subset of the criterion API this workspace's benches
+//! use: [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! `sample_size`/`measurement_time`/`warm_up_time`,
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`], and
+//! [`black_box`]. Measurement is plain wall-clock sampling (median and
+//! mean over `sample_size` samples) with a warm-up phase — no outlier
+//! analysis or HTML reports.
+//!
+//! Extras for scripting:
+//! * `CRITERION_OUTPUT_JSON=<path>` writes all results to a JSON file;
+//! * `CRITERION_QUICK=1` shrinks warm-up/measurement for smoke runs.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark: a function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("solver", "Even")`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id with only a function name.
+    pub fn from_function(function: impl Into<String>) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId::from_function(s)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId::from_function(s)
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Group name (from `benchmark_group`).
+    pub group: String,
+    /// Function part of the id.
+    pub function: String,
+    /// Parameter part of the id (may be empty).
+    pub parameter: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    records: Vec<Record>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            records: Vec::new(),
+            quick: std::env::var_os("CRITERION_QUICK").is_some(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for drop-in compatibility; command-line arguments are
+    /// ignored (cargo passes `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// All results measured so far.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Prints a summary and honors `CRITERION_OUTPUT_JSON`.
+    pub fn final_summary(&self) {
+        if let Some(path) = std::env::var_os("CRITERION_OUTPUT_JSON") {
+            let json = records_to_json(&self.records);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("criterion: cannot write {}: {e}", path.to_string_lossy());
+            } else {
+                eprintln!(
+                    "criterion: wrote {} results to {}",
+                    self.records.len(),
+                    path.to_string_lossy()
+                );
+            }
+        }
+    }
+}
+
+/// Serializes records as a JSON array (hand-rolled; no serde in the
+/// no-network build).
+pub fn records_to_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"group\": {}, \"function\": {}, \"parameter\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+            json_str(&r.group),
+            json_str(&r.function),
+            json_str(&r.parameter),
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            r.iters_per_sample,
+        );
+        out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time budget for the warm-up phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(id, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure with an input handle.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let (warm_up, measure) = if self.criterion.quick {
+            (Duration::from_millis(20), Duration::from_millis(100))
+        } else {
+            (self.warm_up_time, self.measurement_time)
+        };
+
+        // Warm-up: run full Bencher passes, measuring the per-iteration
+        // cost to size the measurement batches.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter;
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter = (b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX))
+                .max(Duration::from_nanos(1));
+            if warm_start.elapsed() >= warm_up {
+                break;
+            }
+            // Grow towards batches of roughly 5 ms.
+            let target = (5_000_000 / per_iter.as_nanos().max(1)) as u64;
+            b.iters = target.clamp(1, 1_000_000_000);
+        }
+
+        // Measurement: `sample_size` samples within the time budget.
+        let budget_per_sample = measure / u32::try_from(self.sample_size).unwrap_or(1);
+        let iters = ((budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)) as u64)
+            .clamp(1, 1_000_000_000);
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + measure.max(Duration::from_millis(1)) * 2;
+        for _ in 0..self.sample_size {
+            let mut bench = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bench);
+            samples_ns.push(bench.elapsed.as_nanos() as f64 / bench.iters as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("benchmark time is finite"));
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let record = Record {
+            group: self.name.clone(),
+            function: id.function,
+            parameter: id.parameter,
+            median_ns: median,
+            mean_ns: mean,
+            samples: samples_ns.len(),
+            iters_per_sample: iters,
+        };
+        let label = if record.parameter.is_empty() {
+            format!("{}/{}", record.group, record.function)
+        } else {
+            format!("{}/{}/{}", record.group, record.function, record.parameter)
+        };
+        eprintln!(
+            "{label:<56} time: {:>12} (median of {} samples × {} iters)",
+            fmt_ns(median),
+            record.samples,
+            iters
+        );
+        self.criterion.records.push(record);
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of
+    /// iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups and writing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("busy", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+        assert_eq!(c.records().len(), 2);
+        assert!(c.records().iter().all(|r| r.median_ns > 0.0));
+        assert_eq!(c.records()[1].parameter, "7");
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let rec = Record {
+            group: "g\"x".into(),
+            function: "f".into(),
+            parameter: String::new(),
+            median_ns: 12.5,
+            mean_ns: 13.0,
+            samples: 3,
+            iters_per_sample: 10,
+        };
+        let json = records_to_json(&[rec]);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\"median_ns\": 12.5"));
+    }
+}

@@ -1,0 +1,399 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate,
+//! vendored because this workspace builds without network access.
+//!
+//! It supports the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` attribute, `x in strategy` bindings,
+//! [`prop_assert!`]/[`prop_assert_eq!`], integer-range strategies,
+//! [`any::<bool>()`], strategy tuples, and `prop::collection::vec`.
+//!
+//! Differences from real proptest: generation is a fixed-seed
+//! deterministic PRNG (xorshift64*), there is no shrinking, and a
+//! failing case reports the case number instead of a minimized input.
+//! Failures are still reproducible because the seed is fixed.
+
+use std::ops::Range;
+
+/// Deterministic xorshift64* PRNG driving all generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A fixed-seed generator; `salt` varies the stream per test.
+    pub fn deterministic(salt: u64) -> TestRng {
+        TestRng {
+            state: (0x9e37_79b9_7f4a_7c15 ^ salt.wrapping_mul(0xff51_afd7_ed55_8ccd)) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for "any value of `T`" (implemented for the types the
+/// workspace's tests request).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()`, as in proptest's prelude.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A constant strategy (proptest's `Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 / 0);
+tuple_strategy!(S0 / 0, S1 / 1);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7
+);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count specification: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            super::Strategy::generate(self, rng)
+        }
+    }
+
+    /// Strategy for `Vec`s of `elem`-generated values. Returned by
+    /// [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    /// `prop::collection::vec(strategy, len_or_range)`.
+    pub fn vec<S: Strategy, L: SizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error type carried by `prop_assert!` failures through the runner.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+#[doc(hidden)]
+pub fn _run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let salt = rustc_hash_like(test_name);
+    for i in 0..config.cases {
+        let mut rng = TestRng::deterministic(salt.wrapping_add(u64::from(i)));
+        if let Err(TestCaseError(msg)) = case(&mut rng) {
+            panic!(
+                "proptest case {i}/{} failed for `{test_name}`: {msg}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// FNV-style fold of the test name into a seed salt (keeps streams of
+/// different tests decorrelated without pulling in a hasher).
+fn rustc_hash_like(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests!({ $config } $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!({ $crate::ProptestConfig::default() } $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ({ $config:expr }) => {};
+    (
+        { $config:expr }
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::_run_cases(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_tests!({ $config } $($rest)*);
+    };
+}
+
+/// Asserts inside a proptest body, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` == `{:?}`", a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if *a != *b {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: `{:?}` != `{:?}`", a, b);
+    }};
+}
+
+/// The drop-in prelude: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+
+    /// Namespace alias so `prop::collection::vec` resolves, as with the
+    /// real crate's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u8..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(
+            v in prop::collection::vec(0usize..5, 2..6),
+            w in prop::collection::vec(any::<bool>(), 3),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 3);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_compose((a, b, c) in (0u32..10, any::<bool>(), 1usize..3)) {
+            prop_assert!(a < 10);
+            prop_assert!(c == 1 || c == 2);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u64..1000, 10usize);
+        let a = crate::Strategy::generate(&strat, &mut crate::TestRng::deterministic(7));
+        let b = crate::Strategy::generate(&strat, &mut crate::TestRng::deterministic(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_the_case() {
+        crate::_run_cases(
+            &ProptestConfig::with_cases(4),
+            "always_fails",
+            |_rng| -> Result<(), TestCaseError> {
+                crate::prop_assert!(false);
+                #[allow(unreachable_code)]
+                Ok(())
+            },
+        );
+    }
+}

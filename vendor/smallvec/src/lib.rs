@@ -1,0 +1,496 @@
+//! A minimal, dependency-free stand-in for the `smallvec` crate,
+//! vendored because this workspace builds without network access.
+//!
+//! [`SmallVec<[T; N]>`] stores up to `N` elements inline (no heap
+//! allocation) and spills to a `Vec<T>` beyond that. The workspace uses
+//! it for short argument tuples — automaton transition left-hand sides,
+//! predicate fact rows — where the common arity is ≤ 4 and a heap
+//! allocation per tuple would dominate the hot paths.
+//!
+//! Only the API surface the workspace needs is implemented.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ops::{Deref, DerefMut};
+use std::ptr;
+
+/// Types usable as the inline backing store (`[T; N]`).
+///
+/// # Safety
+///
+/// `LEN` must be the exact number of `Item`s the type holds contiguously.
+pub unsafe trait Array {
+    /// Element type.
+    type Item;
+    /// Inline capacity.
+    const LEN: usize;
+}
+
+unsafe impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    const LEN: usize = N;
+}
+
+enum Repr<A: Array> {
+    /// `len` initialized elements at the front of the buffer.
+    Inline(usize, MaybeUninit<A>),
+    Heap(Vec<A::Item>),
+}
+
+/// A vector with inline storage for up to `A::LEN` elements.
+pub struct SmallVec<A: Array>(Repr<A>);
+
+impl<A: Array> SmallVec<A> {
+    /// An empty vector (inline, no allocation).
+    #[inline]
+    pub fn new() -> Self {
+        SmallVec(Repr::Inline(0, MaybeUninit::uninit()))
+    }
+
+    /// An empty vector; allocates only if `cap` exceeds the inline
+    /// capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        if cap <= A::LEN {
+            Self::new()
+        } else {
+            SmallVec(Repr::Heap(Vec::with_capacity(cap)))
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline(len, _) => *len,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the elements are stored inline (no heap allocation).
+    #[inline]
+    pub fn spilled(&self) -> bool {
+        matches!(self.0, Repr::Heap(_))
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[A::Item] {
+        match &self.0 {
+            Repr::Inline(len, buf) => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr() as *const A::Item, *len)
+            },
+            Repr::Heap(v) => v.as_slice(),
+        }
+    }
+
+    /// The elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [A::Item] {
+        match &mut self.0 {
+            Repr::Inline(len, buf) => unsafe {
+                std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut A::Item, *len)
+            },
+            Repr::Heap(v) => v.as_mut_slice(),
+        }
+    }
+
+    /// Moves the inline elements to the heap (no-op if already there).
+    fn spill(&mut self) {
+        if let Repr::Inline(len, buf) = &mut self.0 {
+            let mut v = Vec::with_capacity((A::LEN * 2).max(*len + 1));
+            let src = buf.as_ptr() as *const A::Item;
+            unsafe {
+                for i in 0..*len {
+                    v.push(ptr::read(src.add(i)));
+                }
+            }
+            // The inline elements were moved out; forget them by
+            // resetting the length before replacing the repr.
+            self.0 = Repr::Heap(v);
+        }
+    }
+
+    /// Appends an element.
+    #[inline]
+    pub fn push(&mut self, value: A::Item) {
+        match &mut self.0 {
+            Repr::Inline(len, buf) => {
+                if *len < A::LEN {
+                    unsafe {
+                        (buf.as_mut_ptr() as *mut A::Item).add(*len).write(value);
+                    }
+                    *len += 1;
+                } else {
+                    self.spill();
+                    self.push(value);
+                }
+            }
+            Repr::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        match &mut self.0 {
+            Repr::Inline(len, buf) => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    Some(unsafe { ptr::read((buf.as_ptr() as *const A::Item).add(*len)) })
+                }
+            }
+            Repr::Heap(v) => v.pop(),
+        }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        match &mut self.0 {
+            Repr::Inline(len, buf) => {
+                let l = *len;
+                *len = 0;
+                unsafe {
+                    ptr::drop_in_place(std::ptr::slice_from_raw_parts_mut(
+                        buf.as_mut_ptr() as *mut A::Item,
+                        l,
+                    ));
+                }
+            }
+            Repr::Heap(v) => v.clear(),
+        }
+    }
+
+    /// Converts into a plain `Vec`, reusing the heap buffer if spilled.
+    pub fn into_vec(mut self) -> Vec<A::Item> {
+        match &mut self.0 {
+            Repr::Inline(len, buf) => {
+                let mut v = Vec::with_capacity(*len);
+                let src = buf.as_ptr() as *const A::Item;
+                unsafe {
+                    for i in 0..*len {
+                        v.push(ptr::read(src.add(i)));
+                    }
+                }
+                *len = 0; // elements moved out; Drop must not re-drop them
+                v
+            }
+            Repr::Heap(v) => std::mem::take(v),
+        }
+    }
+}
+
+impl<A: Array> SmallVec<A>
+where
+    A::Item: Clone,
+{
+    /// Builds from a slice by cloning.
+    pub fn from_slice(slice: &[A::Item]) -> Self {
+        let mut out = Self::with_capacity(slice.len());
+        for x in slice {
+            out.push(x.clone());
+        }
+        out
+    }
+
+    /// Appends every element of `slice` by cloning.
+    pub fn extend_from_slice(&mut self, slice: &[A::Item]) {
+        for x in slice {
+            self.push(x.clone());
+        }
+    }
+}
+
+impl<A: Array> Drop for SmallVec<A> {
+    fn drop(&mut self) {
+        if let Repr::Inline(..) = self.0 {
+            self.clear();
+        }
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+
+    #[inline]
+    fn deref(&self) -> &[A::Item] {
+        self.as_slice()
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        self.as_mut_slice()
+    }
+}
+
+impl<A: Array> Borrow<[A::Item]> for SmallVec<A> {
+    #[inline]
+    fn borrow(&self) -> &[A::Item] {
+        self.as_slice()
+    }
+}
+
+impl<A: Array> AsRef<[A::Item]> for SmallVec<A> {
+    #[inline]
+    fn as_ref(&self) -> &[A::Item] {
+        self.as_slice()
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        let mut out = Self::new();
+        out.extend(iter);
+        out
+    }
+}
+
+impl<A: Array> From<Vec<A::Item>> for SmallVec<A> {
+    fn from(v: Vec<A::Item>) -> Self {
+        SmallVec(Repr::Heap(v))
+    }
+}
+
+impl<'a, A: Array> From<&'a [A::Item]> for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn from(s: &'a [A::Item]) -> Self {
+        Self::from_slice(s)
+    }
+}
+
+/// Owning iterator. Returned by [`SmallVec::into_iter`].
+pub struct IntoIter<A: Array> {
+    inner: std::vec::IntoIter<A::Item>,
+}
+
+impl<A: Array> Iterator for IntoIter<A> {
+    type Item = A::Item;
+
+    fn next(&mut self) -> Option<A::Item> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = IntoIter<A>;
+
+    fn into_iter(self) -> IntoIter<A> {
+        IntoIter {
+            inner: self.into_vec().into_iter(),
+        }
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<A: Array, B: Array<Item = A::Item>> PartialEq<SmallVec<B>> for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &SmallVec<B>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> PartialOrd for SmallVec<A>
+where
+    A::Item: PartialOrd,
+{
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.as_slice().partial_cmp(other.as_slice())
+    }
+}
+
+impl<A: Array> Ord for SmallVec<A>
+where
+    A::Item: Ord,
+{
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+/// Hashes exactly like the corresponding slice, so `&[T]` can be used
+/// for map lookups through `Borrow<[T]>`.
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+// ManuallyDrop is pulled in so the macro below can move array elements
+// out without double-dropping, mirroring the real crate's `smallvec!`.
+#[doc(hidden)]
+pub fn _from_array<A: Array, const N: usize>(arr: [A::Item; N]) -> SmallVec<A> {
+    let arr = ManuallyDrop::new(arr);
+    let mut out = SmallVec::with_capacity(N);
+    for i in 0..N {
+        out.push(unsafe { ptr::read(arr.as_ptr().add(i)) });
+    }
+    out
+}
+
+/// `smallvec![a, b, c]` and `smallvec![elem; n]`, like `vec!`.
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($elem:expr; $n:expr) => {{
+        let n = $n;
+        let elem = $elem;
+        let mut out = $crate::SmallVec::with_capacity(n);
+        for _ in 0..n {
+            out.push(elem.clone());
+        }
+        out
+    }};
+    ($($x:expr),+ $(,)?) => {
+        $crate::_from_array([$($x),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type SV = SmallVec<[u32; 4]>;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v = SV::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        v.push(4);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_pop_clear() {
+        let mut v = SV::new();
+        v.push(7);
+        v.push(8);
+        assert_eq!(v.pop(), Some(8));
+        assert_eq!(v.len(), 1);
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn drops_elements_exactly_once() {
+        use std::rc::Rc;
+        let x = Rc::new(());
+        {
+            let mut v: SmallVec<[Rc<()>; 2]> = SmallVec::new();
+            v.push(x.clone());
+            v.push(x.clone());
+            v.push(x.clone()); // spills
+            assert_eq!(Rc::strong_count(&x), 4);
+        }
+        assert_eq!(Rc::strong_count(&x), 1);
+        {
+            let mut v: SmallVec<[Rc<()>; 2]> = SmallVec::new();
+            v.push(x.clone());
+            let vec = v.into_vec();
+            assert_eq!(Rc::strong_count(&x), 2);
+            drop(vec);
+        }
+        assert_eq!(Rc::strong_count(&x), 1);
+    }
+
+    #[test]
+    fn hashes_and_borrows_like_a_slice() {
+        use std::collections::HashSet;
+        let mut s: HashSet<SV> = HashSet::new();
+        s.insert(SV::from_slice(&[1, 2, 3]));
+        assert!(s.contains(&[1u32, 2, 3][..]));
+        assert!(!s.contains(&[1u32, 2][..]));
+    }
+
+    #[test]
+    fn macro_forms() {
+        let a: SV = smallvec![1, 2, 3];
+        assert_eq!(a.as_slice(), &[1, 2, 3]);
+        let b: SV = smallvec![9; 6];
+        assert_eq!(b.len(), 6);
+        assert!(b.spilled());
+        let c: SV = smallvec![];
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn equality_ordering_iteration() {
+        let a: SV = smallvec![1, 2];
+        let b: SV = SmallVec::from_slice(&[1, 2]);
+        assert_eq!(a, b);
+        assert!(a < SmallVec::<[u32; 4]>::from_slice(&[1, 3]));
+        let doubled: Vec<u32> = a.into_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4]);
+        let by_ref: u32 = (&b).into_iter().sum();
+        assert_eq!(by_ref, 3);
+    }
+}
