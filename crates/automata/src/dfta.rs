@@ -34,9 +34,8 @@ use std::hash::Hasher;
 
 use rustc_hash::{FxHashMap, FxHasher};
 
-use ringen_terms::{FuncId, GroundTerm, Signature, SortId, Term, VarId};
-
-use crate::intern::InternTable;
+use ringen_terms::intern::InternTable;
+use ringen_terms::{FuncId, GroundTerm, Signature, SortId, Term, TermId, TermPool, VarId};
 
 /// A state of a [`Dfta`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -349,6 +348,66 @@ impl Dfta {
                         cache.map.insert(term, None);
                         for (anc, _) in frames {
                             cache.map.insert(anc, None);
+                        }
+                        return None;
+                    }
+                }
+            }
+        }
+        values.pop()
+    }
+
+    /// [`Dfta::run`] over a term interned in a [`TermPool`], memoized
+    /// by dense [`TermId`] in a [`PoolRunCache`]: a cache probe is a
+    /// vector index — no hashing, no subtree walks — and results are
+    /// shared across every term in the pool. This is the keying the
+    /// saturation and enumeration workloads use; [`Dfta::run_cached`]
+    /// remains for terms that are not pooled.
+    pub fn run_pooled(
+        &self,
+        pool: &TermPool,
+        t: TermId,
+        cache: &mut PoolRunCache,
+    ) -> Option<StateId> {
+        if cache.states.len() < pool.len() {
+            cache.states.resize(pool.len(), None);
+        }
+        if let Some(hit) = cache.states[t.index()] {
+            return hit;
+        }
+        let mut frames: Vec<(TermId, usize)> = Vec::with_capacity(16);
+        let mut values: Vec<StateId> = Vec::with_capacity(16);
+        frames.push((t, 0));
+        while let Some(frame) = frames.last_mut() {
+            let (id, next) = *frame;
+            let args = pool.args(id);
+            if next < args.len() {
+                frame.1 += 1;
+                let child = args[next];
+                match cache.states[child.index()] {
+                    Some(Some(s)) => values.push(s),
+                    Some(None) => {
+                        // A subterm with no run makes every ancestor ⊥.
+                        for (anc, _) in frames {
+                            cache.states[anc.index()] = Some(None);
+                        }
+                        return None;
+                    }
+                    None => frames.push((child, 0)),
+                }
+            } else {
+                frames.pop();
+                let base = values.len() - args.len();
+                match self.step(pool.func(id), &values[base..]) {
+                    Some(s) => {
+                        cache.states[id.index()] = Some(Some(s));
+                        values.truncate(base);
+                        values.push(s);
+                    }
+                    None => {
+                        cache.states[id.index()] = Some(None);
+                        for (anc, _) in frames {
+                            cache.states[anc.index()] = Some(None);
                         }
                         return None;
                     }
@@ -693,6 +752,38 @@ impl<'t> RunCache<'t> {
     }
 }
 
+/// Memo table for [`Dfta::run_pooled`]: a dense per-[`TermId`] vector.
+/// `None` = not yet evaluated, `Some(None)` = the paper's ⊥ (no rule),
+/// `Some(Some(s))` = runs to `s`. Valid for one `(Dfta, TermPool)`
+/// pair; the vector grows lazily as the pool grows.
+#[derive(Debug, Clone, Default)]
+pub struct PoolRunCache {
+    states: Vec<Option<Option<StateId>>>,
+}
+
+impl PoolRunCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized terms.
+    pub fn len(&self) -> usize {
+        self.states.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forgets all memoized runs (e.g. after mutating the automaton)
+    /// while keeping the allocation.
+    pub fn clear(&mut self) {
+        self.states.iter_mut().for_each(|s| *s = None);
+    }
+}
+
 /// All combinations with one element from each choice list.
 pub(crate) fn cartesian<T: Clone>(choices: &[Vec<T>]) -> Vec<Vec<T>> {
     let mut out: Vec<Vec<T>> = vec![Vec::new()];
@@ -813,6 +904,42 @@ mod tests {
         assert_eq!(a.run_cached(&two, &mut cache), None);
         assert_eq!(a.run_cached(&one, &mut cache), None);
         assert_eq!(a.run_cached(&GroundTerm::leaf(z), &mut cache), Some(s0));
+    }
+
+    #[test]
+    fn run_pooled_agrees_with_run_and_memoizes() {
+        let (_sig, a, s0, s1, z, s) = even_dfta();
+        let mut pool = TermPool::new();
+        let mut cache = PoolRunCache::new();
+        for n in 0..10 {
+            let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+            let id = pool.intern_term(&t);
+            let expect = if n % 2 == 0 { s0 } else { s1 };
+            assert_eq!(a.run_pooled(&pool, id, &mut cache), Some(expect));
+            assert_eq!(a.run(&t), Some(expect));
+        }
+        // Every distinct subterm was memoized exactly once.
+        assert_eq!(cache.len(), pool.len());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn run_pooled_records_failures() {
+        let (_sig, nat, z, s) = nat_signature();
+        let mut a = Dfta::new();
+        let s0 = a.add_state(nat);
+        a.add_transition(z, vec![], s0);
+        let mut pool = TermPool::new();
+        let mut cache = PoolRunCache::new();
+        let two = pool.intern_term(&GroundTerm::iterate(s, GroundTerm::leaf(z), 2));
+        let one = pool.intern_term(&GroundTerm::iterate(s, GroundTerm::leaf(z), 1));
+        let zero = pool.intern(z, &[]);
+        assert_eq!(a.run_pooled(&pool, two, &mut cache), None);
+        // The inner S(Z) was marked ⊥ as an ancestor of nothing — it is
+        // itself unrunnable and cached as such.
+        assert_eq!(a.run_pooled(&pool, one, &mut cache), None);
+        assert_eq!(a.run_pooled(&pool, zero, &mut cache), Some(s0));
     }
 
     #[test]

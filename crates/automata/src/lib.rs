@@ -31,7 +31,10 @@
 //!   evaluations with an explicit frame stack (no recursion — deep
 //!   counterexample terms cannot overflow the call stack), and
 //!   [`Dfta::run_cached`] adds hash-consed memoization of shared
-//!   ground subterms for bulk workloads;
+//!   ground subterms for bulk workloads — or, for terms already
+//!   interned in a [`ringen_terms::TermPool`], [`Dfta::run_pooled`]
+//!   memoizes by dense [`ringen_terms::TermId`] in a plain vector
+//!   ([`PoolRunCache`]): no hashing at all on a cache hit;
 //! * [`Dfta::reachable`] and [`Dfta::witnesses`] are worklist fixpoints
 //!   with per-rule pending-argument counters — `O(|Δ|·arity)` total
 //!   instead of a full table rescan per round — and `witnesses`
@@ -64,11 +67,10 @@
 //! ```
 
 mod dfta;
-mod intern;
 mod nfta;
 pub mod reference;
 mod tuple;
 
-pub use dfta::{Dfta, DisplayDfta, RunCache, StateId};
+pub use dfta::{Dfta, DisplayDfta, PoolRunCache, RunCache, StateId};
 pub use nfta::{NState, Nfta};
 pub use tuple::TupleAutomaton;

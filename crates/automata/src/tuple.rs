@@ -12,15 +12,113 @@
 //! and complement enumerate final tuples over component indices instead
 //! of the full state-space cartesian square, and 1-automaton
 //! minimization refines partitions with single passes over the flat
-//! rule table.
+//! rule table. Final tuples themselves are interned into a flat arena
+//! keyed by an Fx probe table (`TupleSet`), so membership during
+//! `accepts` and the tuple sweeps of `union`/`complement` is a single
+//! hash probe instead of a `BTreeSet<Vec<StateId>>` walk.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+use std::hash::Hasher;
 
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
 
+use ringen_terms::intern::InternTable;
 use ringen_terms::{GroundTerm, Signature, SortId};
 
 use crate::dfta::{cartesian, Dfta, StateId};
+
+/// An interned set of state tuples: every tuple lives once in a flat
+/// arena, keyed through an open-addressing Fx table — the same design
+/// as the transition left-hand sides, replacing the former
+/// `BTreeSet<Vec<StateId>>` (one heap allocation per tuple and a
+/// lexicographic walk per probe) with contiguous storage and O(1)
+/// hash-probe membership. Iteration order is insertion order.
+#[derive(Debug, Clone, Default)]
+struct TupleSet {
+    arity: usize,
+    arena: Vec<StateId>,
+    count: usize,
+    table: InternTable,
+}
+
+fn tuple_hash(tuple: &[StateId]) -> u64 {
+    let mut h = FxHasher::default();
+    for s in tuple {
+        h.write_u32(s.index() as u32);
+    }
+    h.finish()
+}
+
+impl TupleSet {
+    fn with_arity(arity: usize) -> Self {
+        TupleSet {
+            arity,
+            ..TupleSet::default()
+        }
+    }
+
+    #[inline]
+    fn tuple(&self, i: usize) -> &[StateId] {
+        &self.arena[i * self.arity..(i + 1) * self.arity]
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn contains(&self, tuple: &[StateId]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        self.table
+            .find(tuple_hash(tuple), |i| self.tuple(i as usize) == tuple)
+            .is_some()
+    }
+
+    /// Inserts the tuple; returns whether it was new.
+    fn insert(&mut self, tuple: &[StateId]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        let hash = tuple_hash(tuple);
+        if self
+            .table
+            .find(hash, |i| self.tuple(i as usize) == tuple)
+            .is_some()
+        {
+            return false;
+        }
+        // `u32::MAX` is the probe table's empty sentinel — reject it
+        // (not just overflow) so a full arena cannot corrupt the table.
+        let i = u32::try_from(self.count)
+            .ok()
+            .filter(|i| *i != u32::MAX)
+            .expect("final tuple count fits the id space");
+        self.arena.extend_from_slice(tuple);
+        self.count += 1;
+        let TupleSet {
+            table,
+            arena,
+            arity,
+            ..
+        } = self;
+        table.insert_new(hash, i, |v| {
+            tuple_hash(&arena[v as usize * *arity..(v as usize + 1) * *arity])
+        });
+        true
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &[StateId]> + '_ {
+        (0..self.count).map(|i| self.tuple(i))
+    }
+}
+
+/// Set equality: insertion order does not matter.
+impl PartialEq for TupleSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && self.count == other.count
+            && self.iter().all(|t| other.contains(t))
+    }
+}
+
+impl Eq for TupleSet {}
 
 /// A tree-tuple automaton over a shared [`Dfta`].
 ///
@@ -52,17 +150,18 @@ use crate::dfta::{cartesian, Dfta, StateId};
 pub struct TupleAutomaton {
     dfta: Dfta,
     sorts: Vec<SortId>,
-    finals: BTreeSet<Vec<StateId>>,
+    finals: TupleSet,
 }
 
 impl TupleAutomaton {
     /// Creates an automaton accepting tuples of the given component sorts,
     /// with an empty final set.
     pub fn new(dfta: Dfta, sorts: Vec<SortId>) -> Self {
+        let finals = TupleSet::with_arity(sorts.len());
         TupleAutomaton {
             dfta,
             sorts,
-            finals: BTreeSet::new(),
+            finals,
         }
     }
 
@@ -81,7 +180,12 @@ impl TupleAutomaton {
                 "final tuple component sort mismatch"
             );
         }
-        self.finals.insert(tuple);
+        self.finals.insert(&tuple);
+    }
+
+    /// Number of final tuples.
+    pub fn final_count(&self) -> usize {
+        self.finals.len()
     }
 
     /// The shared transition table.
@@ -99,9 +203,9 @@ impl TupleAutomaton {
         self.sorts.len()
     }
 
-    /// The final state tuples `S_F`.
+    /// The final state tuples `S_F`, in insertion order.
     pub fn finals(&self) -> impl Iterator<Item = &[StateId]> + '_ {
-        self.finals.iter().map(Vec::as_slice)
+        self.finals.iter()
     }
 
     /// Whether the tuple of ground terms is accepted (Definition 3).
@@ -124,7 +228,7 @@ impl TupleAutomaton {
     /// A tuple of ground terms accepted by the automaton, if any.
     pub fn witness(&self) -> Option<Vec<GroundTerm>> {
         let wit = self.dfta.witnesses();
-        'tuples: for tuple in &self.finals {
+        'tuples: for tuple in self.finals.iter() {
             let mut terms = Vec::with_capacity(tuple.len());
             for s in tuple {
                 match &wit[s.index()] {
@@ -147,15 +251,15 @@ impl TupleAutomaton {
         assert_eq!(self.sorts, other.sorts, "intersecting different arities");
         let (p, map) = self.dfta.product(&other.dfta);
         let mut out = TupleAutomaton::new(p, self.sorts.clone());
-        for a in &self.finals {
-            for b in &other.finals {
+        for a in self.finals.iter() {
+            for b in other.finals.iter() {
                 let tuple: Option<Vec<StateId>> = a
                     .iter()
                     .zip(b)
                     .map(|(x, y)| map.get(&(*x, *y)).copied())
                     .collect();
                 if let Some(t) = tuple {
-                    out.finals.insert(t);
+                    out.finals.insert(&t);
                 }
             }
         }
@@ -186,16 +290,17 @@ impl TupleAutomaton {
             by_left.entry(x).or_default().push((x, y));
             by_right.entry(y).or_default().push((x, y));
         }
-        let add_projected = |finals: &BTreeSet<Vec<StateId>>,
+        let add_projected = |finals: &TupleSet,
                              index: &FxHashMap<StateId, Vec<(StateId, StateId)>>,
-                             out_finals: &mut BTreeSet<Vec<StateId>>| {
-            for tuple in finals {
+                             out_finals: &mut TupleSet| {
+            for tuple in finals.iter() {
                 let choices: Vec<Vec<(StateId, StateId)>> = tuple
                     .iter()
                     .map(|s| index.get(s).cloned().unwrap_or_default())
                     .collect();
                 for combo in cartesian(&choices) {
-                    out_finals.insert(combo.iter().map(|xy| map[xy]).collect());
+                    let projected: Vec<StateId> = combo.iter().map(|xy| map[xy]).collect();
+                    out_finals.insert(&projected);
                 }
             }
         };
@@ -219,7 +324,7 @@ impl TupleAutomaton {
         let mut out = TupleAutomaton::new(c, self.sorts.clone());
         for combo in cartesian(&choices) {
             if !self.finals.contains(&combo) {
-                out.finals.insert(combo);
+                out.finals.insert(&combo);
             }
         }
         out
@@ -230,10 +335,10 @@ impl TupleAutomaton {
         let reach = self.dfta.reachable();
         let (d, map) = self.dfta.restrict(&reach);
         let mut out = TupleAutomaton::new(d, self.sorts.clone());
-        for tuple in &self.finals {
+        for tuple in self.finals.iter() {
             let t: Option<Vec<StateId>> = tuple.iter().map(|s| map.get(s).copied()).collect();
             if let Some(t) = t {
-                out.finals.insert(t);
+                out.finals.insert(&t);
             }
         }
         out
@@ -276,7 +381,7 @@ impl TupleAutomaton {
         let mut class: Vec<usize> = (0..n)
             .map(|i| {
                 let s = StateId::from_index(i);
-                let fin = trimmed.finals.contains(&vec![s]);
+                let fin = trimmed.finals.contains(&[s]);
                 2 * d.sort_of(s).index() + usize::from(fin)
             })
             .collect();
@@ -330,8 +435,8 @@ impl TupleAutomaton {
             }
         }
         let mut out = TupleAutomaton::new(out_d, trimmed.sorts.clone());
-        for tuple in &trimmed.finals {
-            out.finals.insert(vec![rep[&class[tuple[0].index()]]]);
+        for tuple in trimmed.finals.iter() {
+            out.finals.insert(&[rep[&class[tuple[0].index()]]]);
         }
         // `sig` is kept in the signature for API stability (completion-
         // based strategies need it); the substitution criterion does not.
@@ -378,6 +483,31 @@ mod tests {
 
     fn num(n: usize, z: FuncId, s: FuncId) -> GroundTerm {
         GroundTerm::iterate(s, GroundTerm::leaf(z), n)
+    }
+
+    #[test]
+    fn tuple_set_interns_and_dedups() {
+        let mut set = TupleSet::with_arity(2);
+        let a = StateId::from_index(0);
+        let b = StateId::from_index(1);
+        assert!(set.insert(&[a, b]));
+        assert!(!set.insert(&[a, b]));
+        assert!(set.insert(&[b, a]));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&[a, b]) && set.contains(&[b, a]));
+        assert!(!set.contains(&[a, a]));
+        // Equality is set equality, independent of insertion order.
+        let mut other = TupleSet::with_arity(2);
+        other.insert(&[b, a]);
+        other.insert(&[a, b]);
+        assert_eq!(set, other);
+        other.insert(&[a, a]);
+        assert_ne!(set, other);
+        // Arity-0 sets hold at most the empty tuple.
+        let mut nullary = TupleSet::with_arity(0);
+        assert!(nullary.insert(&[]));
+        assert!(!nullary.insert(&[]));
+        assert_eq!(nullary.len(), 1);
     }
 
     #[test]

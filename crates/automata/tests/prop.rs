@@ -379,4 +379,35 @@ proptest! {
             prop_assert_eq!(a.dfta().run_cached(t, &mut cache), a.dfta().run(t));
         }
     }
+
+    /// `run_pooled` keyed on `TermId` agrees with the plain iterative
+    /// run, the structural-hash `run_cached`, and the reference kernel
+    /// — on partial automata too (cached ⊥ results included).
+    #[test]
+    fn differential_run_pooled(
+        lt in 0usize..3,
+        nt in prop::collection::vec(0usize..4, 9),
+    ) {
+        let (sig, tree, _leaf, _node) = tree_signature();
+        let (ra, a) = tree_pair(3, lt, &nt, &[false, false, false]);
+        let mut pool = ringen_terms::TermPool::new();
+        let ids =
+            ringen_terms::herbrand::pooled_terms_up_to_height(&sig, tree, 3, &mut pool);
+        let mut pooled_cache = ringen_automata::PoolRunCache::new();
+        let mut cache = ringen_automata::RunCache::new();
+        let terms: Vec<GroundTerm> = ids.iter().map(|&id| pool.to_ground(id)).collect();
+        for (id, t) in ids.iter().zip(&terms) {
+            let by_id = a.dfta().run_pooled(&pool, *id, &mut pooled_cache);
+            prop_assert_eq!(by_id, a.dfta().run(t));
+            prop_assert_eq!(by_id, a.dfta().run_cached(t, &mut cache));
+            prop_assert_eq!(by_id, ra.dfta().run(t));
+        }
+        // Replay from the warm cache: answers must be stable.
+        for (id, t) in ids.iter().zip(&terms) {
+            prop_assert_eq!(
+                a.dfta().run_pooled(&pool, *id, &mut pooled_cache),
+                a.dfta().run(t)
+            );
+        }
+    }
 }

@@ -17,10 +17,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{BenchmarkId, Criterion, Record};
 use ringen_automata::reference::{RefDfta, RefTupleAutomaton};
-use ringen_automata::{Dfta, RunCache, StateId, TupleAutomaton};
+use ringen_automata::{Dfta, PoolRunCache, RunCache, StateId, TupleAutomaton};
 use ringen_core::saturation::{saturate, SaturationConfig};
 use ringen_terms::signature_helpers::{nat_signature, tree_signature};
-use ringen_terms::{FuncId, GroundTerm, Signature};
+use ringen_terms::{herbrand, FuncId, GroundTerm, Signature, TermId, TermPool};
+use rustc_hash::FxHashSet;
 
 /// Counts every allocation so the zero-allocation claim for
 /// [`Dfta::step`] is measured, not asserted on faith.
@@ -246,6 +247,97 @@ fn bench_saturation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The term-pool group: intern-heavy workloads where the hash-consed
+/// `TermId` representation competes against the boxed structural-hash
+/// baseline — enumeration, bulk cached runs, and the fact-dedup probe
+/// pattern of the saturation inner loop.
+fn bench_term_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("term_pool");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+
+    let (sig, ta, _tra, _leaf, _node) = evenleft();
+    let tree = ta.sorts()[0];
+
+    // Enumeration throughput: hash-consed ids vs boxed trees.
+    group.bench_function(BenchmarkId::new("interned", "enumerate/tree5"), |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            herbrand::pooled_terms_up_to_height(&sig, tree, 5, &mut pool).len()
+        })
+    });
+    group.bench_function(BenchmarkId::new("reference", "enumerate/tree5"), |b| {
+        b.iter(|| herbrand::terms_up_to_height(&sig, tree, 5).len())
+    });
+
+    // Bulk cached runs over one enumeration: dense TermId memo
+    // (`run_pooled`) vs structural-hash memo (`run_cached`).
+    let mut pool = TermPool::new();
+    let ids = herbrand::pooled_terms_up_to_height(&sig, tree, 5, &mut pool);
+    let terms: Vec<GroundTerm> = ids.iter().map(|&id| pool.to_ground(id)).collect();
+    group.bench_function(BenchmarkId::new("interned", "run_cached/tree5"), |b| {
+        b.iter(|| {
+            let mut cache = PoolRunCache::new();
+            ids.iter()
+                .filter(|&&id| {
+                    ta.dfta()
+                        .run_pooled(std::hint::black_box(&pool), id, &mut cache)
+                        .is_some()
+                })
+                .count()
+        })
+    });
+    group.bench_function(BenchmarkId::new("reference", "run_cached/tree5"), |b| {
+        b.iter(|| {
+            let mut cache = RunCache::new();
+            terms
+                .iter()
+                .filter(|t| {
+                    ta.dfta()
+                        .run_cached(std::hint::black_box(t), &mut cache)
+                        .is_some()
+                })
+                .count()
+        })
+    });
+
+    // Fact dedup, the saturation inner-loop pattern: intern + id-keyed
+    // probe (including the intern cost) vs boxed clones + deep hashes.
+    group.bench_function(BenchmarkId::new("interned", "fact_dedup/tree5"), |b| {
+        b.iter(|| {
+            let mut dedup_pool = TermPool::new();
+            let mut seen: FxHashSet<TermId> = FxHashSet::default();
+            let mut dups = 0usize;
+            for pass in 0..2 {
+                let _ = pass;
+                for t in &terms {
+                    if !seen.insert(dedup_pool.intern_term(std::hint::black_box(t))) {
+                        dups += 1;
+                    }
+                }
+            }
+            dups
+        })
+    });
+    group.bench_function(BenchmarkId::new("reference", "fact_dedup/tree5"), |b| {
+        b.iter(|| {
+            let mut seen: FxHashSet<GroundTerm> = FxHashSet::default();
+            let mut dups = 0usize;
+            for pass in 0..2 {
+                let _ = pass;
+                for t in &terms {
+                    if !seen.insert(std::hint::black_box(t).clone()) {
+                        dups += 1;
+                    }
+                }
+            }
+            dups
+        })
+    });
+    group.finish();
+}
+
 /// Allocation count of a batch of `step` probes on a warmed automaton.
 fn step_allocations(probes: u64) -> u64 {
     let (_sig, a, _ra, _z, s) = mod_k(64);
@@ -285,6 +377,7 @@ fn main() {
     bench_product(&mut criterion);
     bench_minimize(&mut criterion);
     bench_saturation(&mut criterion);
+    bench_term_pool(&mut criterion);
 
     let step_allocs = step_allocations(100_000);
     assert_eq!(

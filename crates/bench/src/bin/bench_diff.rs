@@ -1,0 +1,174 @@
+//! Compares two `BENCH_automata.json` files and fails on kernel
+//! regressions — the CI perf-trend gate.
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json>
+//! ```
+//!
+//! Raw nanosecond medians are machine-dependent (the committed baseline
+//! was measured on a different host than CI), so the gate compares the
+//! machine-portable metrics instead:
+//!
+//! * `speedup_vs_reference` ratios — every interned-vs-reference pair
+//!   is measured in the same process on the same machine, so a drop of
+//!   more than the tolerance (default 20%, `BENCH_DIFF_TOLERANCE`
+//!   overrides, e.g. `0.30`) means the interned kernel genuinely lost
+//!   ground against the reference kernel;
+//! * `step_allocations_per_100k_probes` — must stay exactly zero.
+//!
+//! Ratios present on only one side (newly added or retired bench
+//! workloads) are reported but never fail the gate.
+
+use std::process::ExitCode;
+
+/// Extracts `"name": number` pairs from the object following `key`.
+/// The JSON is produced by this workspace's bench harness, so a
+/// line-oriented scan is sufficient — no serde in the no-network build.
+fn parse_ratio_object(json: &str, key: &str) -> Vec<(String, f64)> {
+    let Some(start) = json.find(&format!("\"{key}\"")) else {
+        return Vec::new();
+    };
+    let Some(open) = json[start..].find('{') else {
+        return Vec::new();
+    };
+    let body_start = start + open + 1;
+    let Some(close) = json[body_start..].find('}') else {
+        return Vec::new();
+    };
+    let body = &json[body_start..body_start + close];
+    let mut out = Vec::new();
+    for entry in body.split(',') {
+        let Some((name, value)) = entry.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Extracts a scalar `"key": number` field.
+fn parse_scalar(json: &str, key: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{key}\""))?;
+    let rest = &json[start..];
+    let colon = rest.find(':')?;
+    let tail = &rest[colon + 1..];
+    let end = tail.find([',', '\n', '}']).unwrap_or(tail.len());
+    tail[..end].trim().parse::<f64>().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let tolerance: f64 = std::env::var("BENCH_DIFF_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.20);
+
+    let mut failures = 0usize;
+
+    // The zero-allocation contract is binary: any probe allocation is a
+    // regression regardless of timing noise.
+    match parse_scalar(&current, "step_allocations_per_100k_probes") {
+        Some(0.0) => println!("ok   step allocations: 0"),
+        Some(a) => {
+            println!("FAIL step allocations: {a} (contract: 0)");
+            failures += 1;
+        }
+        None => {
+            println!("FAIL step allocations missing from {current_path}");
+            failures += 1;
+        }
+    }
+
+    let base_ratios = parse_ratio_object(&baseline, "speedup_vs_reference");
+    let cur_ratios = parse_ratio_object(&current, "speedup_vs_reference");
+    if base_ratios.is_empty() || cur_ratios.is_empty() {
+        println!("FAIL speedup_vs_reference missing from one input");
+        return ExitCode::FAILURE;
+    }
+    for (name, base) in &base_ratios {
+        match cur_ratios.iter().find(|(n, _)| n == name) {
+            None => println!("note {name}: not measured in current run"),
+            Some((_, cur)) => {
+                let floor = base * (1.0 - tolerance);
+                if *cur < floor {
+                    println!(
+                        "FAIL {name}: speedup {cur:.2}x fell more than \
+                         {:.0}% below baseline {base:.2}x",
+                        tolerance * 100.0
+                    );
+                    failures += 1;
+                } else {
+                    println!("ok   {name}: {cur:.2}x (baseline {base:.2}x)");
+                }
+            }
+        }
+    }
+    for (name, cur) in &cur_ratios {
+        if !base_ratios.iter().any(|(n, _)| n == name) {
+            println!("note {name}: new workload at {cur:.2}x (no baseline)");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_diff: {failures} regression(s) vs {baseline_path} \
+             (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_diff: no regressions vs {baseline_path}");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "step_allocations_per_100k_probes": 0,
+  "speedup_vs_reference": {
+    "run/deep/1000": 4.739,
+    "step/512": 6.743
+  },
+  "benches": []
+}"#;
+
+    #[test]
+    fn parses_ratio_objects() {
+        let ratios = parse_ratio_object(SAMPLE, "speedup_vs_reference");
+        assert_eq!(ratios.len(), 2);
+        assert_eq!(ratios[0].0, "run/deep/1000");
+        assert!((ratios[0].1 - 4.739).abs() < 1e-9);
+        assert!((ratios[1].1 - 6.743).abs() < 1e-9);
+        assert!(parse_ratio_object(SAMPLE, "missing").is_empty());
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(
+            parse_scalar(SAMPLE, "step_allocations_per_100k_probes"),
+            Some(0.0)
+        );
+        assert_eq!(parse_scalar(SAMPLE, "nope"), None);
+    }
+}

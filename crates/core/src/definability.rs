@@ -233,8 +233,8 @@ impl LfpOracle {
             }
         };
         let mut facts: FxHashMap<PredId, Vec<Vec<GroundTerm>>> = FxHashMap::default();
-        for (p, args) in base.facts() {
-            facts.entry(*p).or_default().push(args.clone());
+        for (p, args) in base.ground_facts() {
+            facts.entry(p).or_default().push(args);
         }
         LfpOracle { facts }
     }

@@ -12,15 +12,32 @@
 //! Constraints are evaluated natively on ground terms (`=`, `≠`, testers)
 //! so the refuter runs on the *original* system, independent of the
 //! preprocessing pipeline it cross-validates.
+//!
+//! # The interned fact base
+//!
+//! Every derived term is hash-consed into one [`TermPool`] owned by the
+//! [`FactBase`]: facts are `(PredId, args)` with [`TermId`] arguments,
+//! the body join matches clause patterns directly against pooled ids
+//! (variable bindings are `VarId → TermId` pairs — comparing a bound
+//! variable against a candidate subterm is a `u32` compare, never a
+//! tree walk), and the fact index is an open-addressing probe table
+//! over the fact arena, so a fact is stored exactly once. Derived-term
+//! heights come from the pool's memoized table. The boxed
+//! [`GroundTerm`] representation only appears at the certificate
+//! boundary ([`Refutation`] / [`check_refutation`]), which replays
+//! derivations independently of the pool.
 
 use std::error::Error;
 use std::fmt;
+use std::hash::Hasher;
 
 use ringen_chc::{Atom, ChcSystem, Clause, Constraint, PredId};
+use ringen_terms::intern::InternTable;
 use ringen_terms::{
-    herbrand::terms_by_size, match_ground_into, GroundTerm, Substitution, Term, VarId,
+    herbrand::terms_by_size, GroundTerm, Substitution, Term, TermId, TermPool, VarId,
 };
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
+use smallvec::SmallVec;
 
 /// Budgets for [`saturate`]. All limits are deterministic step counts,
 /// never wall time, so results are reproducible.
@@ -51,12 +68,19 @@ impl Default for SaturationConfig {
     }
 }
 
-/// A derived ground fact.
+/// A ground fact in the boxed certificate representation.
 pub type Fact = (PredId, Vec<GroundTerm>);
 
-/// Provenance of a derived fact: (clause index, variable binding,
-/// premise fact indices).
-type Provenance = (usize, Vec<(VarId, GroundTerm)>, Vec<usize>);
+/// Interned fact arguments: inline up to arity 4, ids into the base's
+/// [`TermPool`].
+pub type FactArgs = SmallVec<[TermId; 4]>;
+
+/// Interned variable binding of one clause instance.
+type Bind = SmallVec<[(VarId, TermId); 8]>;
+
+/// Provenance of a derived fact: (clause index, pooled variable
+/// binding, premise fact indices).
+type Provenance = (usize, Vec<(VarId, TermId)>, Vec<usize>);
 
 /// One step of a ground derivation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,34 +115,85 @@ impl Refutation {
     }
 }
 
-/// The facts derived by a (partial) saturation.
+/// Fx hash of a fact. Query slices and stored facts go through this one
+/// function so probes agree.
+#[inline]
+fn fact_hash(pred: PredId, args: &[TermId]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(pred.index() as u32);
+    for a in args {
+        h.write_u32(a.index() as u32);
+    }
+    h.finish()
+}
+
+/// The facts derived by a (partial) saturation, interned end to end.
 #[derive(Debug, Clone, Default)]
 pub struct FactBase {
-    facts: Vec<Fact>,
-    index: FxHashMap<Fact, usize>,
-    by_pred: FxHashMap<PredId, Vec<usize>>,
+    /// Hash-consing pool every fact argument (and subterm) lives in.
+    pool: TermPool,
+    facts: Vec<(PredId, FactArgs)>,
+    /// Open-addressing index over `facts` — the fact arena *is* the
+    /// storage; the index holds only `u32` slots.
+    table: InternTable,
+    by_pred: FxHashMap<PredId, Vec<u32>>,
     /// For each fact: (clause index, binding, premise fact indices).
     provenance: Vec<Provenance>,
 }
 
 impl FactBase {
-    /// All derived facts, in derivation order.
-    pub fn facts(&self) -> &[Fact] {
-        &self.facts
+    /// The term pool all fact arguments are interned in.
+    pub fn pool(&self) -> &TermPool {
+        &self.pool
+    }
+
+    /// All facts in derivation order, as `(pred, pooled args)`.
+    pub fn pooled_facts(&self) -> impl Iterator<Item = (PredId, &[TermId])> + '_ {
+        self.facts.iter().map(|(p, args)| (*p, args.as_slice()))
+    }
+
+    /// All facts in derivation order, reconstructed as boxed terms.
+    pub fn ground_facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.facts
+            .iter()
+            .map(|(p, args)| (*p, args.iter().map(|a| self.pool.to_ground(*a)).collect()))
+    }
+
+    /// The `i`-th derived fact, reconstructed.
+    pub fn ground_fact(&self, i: usize) -> Fact {
+        let (p, args) = &self.facts[i];
+        (*p, args.iter().map(|a| self.pool.to_ground(*a)).collect())
     }
 
     /// Whether a fact has been derived.
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.index.contains_key(fact)
+        let Some(args) = fact
+            .1
+            .iter()
+            .map(|g| self.pool.find_term(g))
+            .collect::<Option<FactArgs>>()
+        else {
+            // A fact whose terms were never interned cannot be present.
+            return false;
+        };
+        self.find(fact.0, &args).is_some()
     }
 
-    /// Facts of one predicate.
-    pub fn of_pred(&self, p: PredId) -> impl Iterator<Item = &Fact> + '_ {
+    /// Index of the interned fact, if derived.
+    fn find(&self, pred: PredId, args: &[TermId]) -> Option<u32> {
+        self.table.find(fact_hash(pred, args), |i| {
+            let (p, a) = &self.facts[i as usize];
+            *p == pred && a.as_slice() == args
+        })
+    }
+
+    /// Pooled argument tuples of one predicate's facts.
+    pub fn of_pred(&self, p: PredId) -> impl Iterator<Item = &[TermId]> + '_ {
         self.by_pred
             .get(&p)
             .into_iter()
             .flatten()
-            .map(move |&i| &self.facts[i])
+            .map(move |&i| self.facts[i as usize].1.as_slice())
     }
 
     /// Number of facts.
@@ -133,19 +208,37 @@ impl FactBase {
 
     fn insert(
         &mut self,
-        fact: Fact,
+        pred: PredId,
+        args: FactArgs,
         clause: usize,
-        binding: Vec<(VarId, GroundTerm)>,
+        binding: Vec<(VarId, TermId)>,
         premises: Vec<usize>,
     ) -> bool {
-        if self.index.contains_key(&fact) {
+        let hash = fact_hash(pred, &args);
+        let present = self
+            .table
+            .find(hash, |i| {
+                let (p, a) = &self.facts[i as usize];
+                *p == pred && *a == args
+            })
+            .is_some();
+        if present {
             return false;
         }
-        let i = self.facts.len();
-        self.index.insert(fact.clone(), i);
-        self.by_pred.entry(fact.0).or_default().push(i);
-        self.facts.push(fact);
+        // `u32::MAX` is the probe table's empty sentinel — reject it
+        // (not just overflow) so a full arena cannot corrupt the table.
+        let i = u32::try_from(self.facts.len())
+            .ok()
+            .filter(|i| *i != u32::MAX)
+            .expect("fact count fits the id space");
+        self.by_pred.entry(pred).or_default().push(i);
+        self.facts.push((pred, args));
         self.provenance.push((clause, binding, premises));
+        let FactBase { table, facts, .. } = self;
+        table.insert_new(hash, i, |v| {
+            let (p, a) = &facts[v as usize];
+            fact_hash(*p, a)
+        });
         true
     }
 }
@@ -173,6 +266,8 @@ pub struct SaturationStats {
     pub facts: usize,
     /// Body-match attempts.
     pub steps: u64,
+    /// Distinct terms interned in the fact base's pool.
+    pub pooled_terms: usize,
 }
 
 /// Computes the least model bottom-up; reports a [`Refutation`] as soon
@@ -180,7 +275,7 @@ pub struct SaturationStats {
 pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, SaturationStats) {
     let mut base = FactBase::default();
     let mut stats = SaturationStats::default();
-    let mut pool: FxHashMap<ringen_terms::SortId, Vec<GroundTerm>> = FxHashMap::default();
+    let mut enum_pool: FxHashMap<ringen_terms::SortId, Vec<GroundTerm>> = FxHashMap::default();
     let mut budget_hit = false;
 
     for round in 0..cfg.max_rounds {
@@ -205,7 +300,7 @@ pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, 
                 clause,
                 ci,
                 base: &mut base,
-                pool: &mut pool,
+                enum_pool: &mut enum_pool,
                 steps: &mut stats.steps,
                 refutation: None,
                 budget_hit: &mut budget_hit,
@@ -216,26 +311,96 @@ pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, 
             let new_facts = matcher.new_facts;
             if let Some(r) = matcher.refutation {
                 stats.facts = base.len();
+                stats.pooled_terms = base.pool.len();
                 return (SaturationOutcome::Refuted(r), stats);
             }
-            for (fact, binding, premises) in new_facts {
-                base.insert(fact, ci, binding, premises);
+            for (pred, args, binding, premises) in new_facts {
+                base.insert(pred, args, ci, binding.into_vec(), premises);
             }
             if base.len() >= cfg.max_facts || stats.steps >= cfg.max_steps {
                 budget_hit = true;
             }
             if budget_hit {
                 stats.facts = base.len();
+                stats.pooled_terms = base.pool.len();
                 return (SaturationOutcome::Budget(base), stats);
             }
         }
         if base.len() == before {
             stats.facts = base.len();
+            stats.pooled_terms = base.pool.len();
             return (SaturationOutcome::Saturated(base), stats);
         }
     }
     stats.facts = base.len();
+    stats.pooled_terms = base.pool.len();
     (SaturationOutcome::Budget(base), stats)
+}
+
+/// Looks up a variable in a pooled binding.
+#[inline]
+fn bind_get(bind: &Bind, v: VarId) -> Option<TermId> {
+    bind.iter().find(|(w, _)| *w == v).map(|(_, id)| *id)
+}
+
+/// Matches a clause pattern against an interned ground term, extending
+/// `bind`. Repeated variables compare by id — O(1), never a tree walk.
+fn match_pooled(pool: &TermPool, pat: &Term, id: TermId, bind: &mut Bind) -> bool {
+    match pat {
+        Term::Var(v) => match bind_get(bind, *v) {
+            Some(bound) => bound == id,
+            None => {
+                bind.push((*v, id));
+                true
+            }
+        },
+        Term::App(f, pats) => {
+            if pool.func(id) != *f {
+                return false;
+            }
+            let args = pool.args(id);
+            debug_assert_eq!(args.len(), pats.len(), "well-sorted pattern arity");
+            // Child ids are copied out so the recursion does not hold
+            // the `args` borrow; patterns are clause-authored and
+            // shallow, and arity ≤ 4 stays on the stack.
+            let args: FactArgs = SmallVec::from_slice(args);
+            pats.iter()
+                .zip(args)
+                .all(|(p, a)| match_pooled(pool, p, a, bind))
+        }
+    }
+}
+
+/// Instantiates a (fully bound) clause term directly into the pool.
+/// `None` if a variable is unbound — the caller falls back to the
+/// enumeration path.
+fn intern_pattern(pool: &mut TermPool, pat: &Term, bind: &Bind) -> Option<TermId> {
+    match pat {
+        Term::Var(v) => bind_get(bind, *v),
+        Term::App(f, pats) => {
+            let ids: FactArgs = pats
+                .iter()
+                .map(|p| intern_pattern(pool, p, bind))
+                .collect::<Option<_>>()?;
+            Some(pool.intern(*f, &ids))
+        }
+    }
+}
+
+/// Height the instantiated pattern *would* have, without interning
+/// anything — so over-budget heads are rejected before they pollute
+/// the long-lived pool. `None` if a variable is unbound.
+fn pattern_height(pool: &TermPool, pat: &Term, bind: &Bind) -> Option<usize> {
+    match pat {
+        Term::Var(v) => bind_get(bind, *v).map(|id| pool.height(id)),
+        Term::App(_, pats) => {
+            let mut max = 0usize;
+            for p in pats {
+                max = max.max(pattern_height(pool, p, bind)?);
+            }
+            Some(max + 1)
+        }
+    }
 }
 
 struct Matcher<'a> {
@@ -244,33 +409,34 @@ struct Matcher<'a> {
     clause: &'a Clause,
     ci: usize,
     base: &'a mut FactBase,
-    pool: &'a mut FxHashMap<ringen_terms::SortId, Vec<GroundTerm>>,
+    /// Enumerated candidate terms per sort for unbound head variables.
+    enum_pool: &'a mut FxHashMap<ringen_terms::SortId, Vec<GroundTerm>>,
     steps: &'a mut u64,
     refutation: Option<Refutation>,
     budget_hit: &'a mut bool,
     #[allow(clippy::type_complexity)]
-    new_facts: Vec<(Fact, Vec<(VarId, GroundTerm)>, Vec<usize>)>,
+    new_facts: Vec<(PredId, FactArgs, Bind, Vec<usize>)>,
     /// Hash index over `new_facts` (the in-round dedup must not scan).
-    new_index: FxHashSet<Fact>,
+    new_index: FxHashSet<(PredId, FactArgs)>,
 }
 
 impl Matcher<'_> {
     fn run(&mut self) {
-        let sub = Substitution::new();
-        self.match_body(0, sub, Vec::new());
+        self.match_body(0, Bind::new(), Vec::new());
     }
 
-    /// Joins body atoms left to right against the fact base.
-    fn match_body(&mut self, k: usize, sub: Substitution, premises: Vec<usize>) {
+    /// Joins body atoms left to right against the fact base, entirely on
+    /// pooled ids: no term is cloned or reconstructed here.
+    fn match_body(&mut self, k: usize, bind: Bind, premises: Vec<usize>) {
         if self.refutation.is_some() || *self.budget_hit {
             return;
         }
         if k == self.clause.body.len() {
-            self.finish_constraints(sub, premises);
+            self.finish_constraints(bind, premises);
             return;
         }
         let atom = &self.clause.body[k];
-        let candidates: Vec<usize> = self
+        let candidates: Vec<u32> = self
             .base
             .by_pred
             .get(&atom.pred)
@@ -282,17 +448,19 @@ impl Matcher<'_> {
                 *self.budget_hit = true;
                 return;
             }
-            let fact_args: Vec<GroundTerm> = self.base.facts[fi].1.clone();
-            let mut sub2 = sub.clone();
-            let ok = atom
-                .args
-                .iter()
-                .zip(&fact_args)
-                .all(|(pat, g)| match_ground_into(&sub2.apply_deep(pat), g, &mut sub2));
+            let fi = fi as usize;
+            let mut bind2 = bind.clone();
+            let ok = {
+                let fact_args = &self.base.facts[fi].1;
+                atom.args
+                    .iter()
+                    .zip(fact_args)
+                    .all(|(pat, id)| match_pooled(&self.base.pool, pat, *id, &mut bind2))
+            };
             if ok {
                 let mut premises2 = premises.clone();
                 premises2.push(fi);
-                self.match_body(k + 1, sub2, premises2);
+                self.match_body(k + 1, bind2, premises2);
             }
             if self.refutation.is_some() || *self.budget_hit {
                 return;
@@ -300,11 +468,29 @@ impl Matcher<'_> {
         }
     }
 
-    /// After the body is matched, evaluate constraints and bind leftover
-    /// variables.
-    fn finish_constraints(&mut self, mut sub: Substitution, premises: Vec<usize>) {
-        // Equalities may bind further variables (clauses of the form
-        // `x = S(y) ∧ … → …` carry definitions in constraints).
+    /// After the body is matched: the common case — no constraints, all
+    /// variables bound — derives the head fact without leaving the
+    /// pool; otherwise fall back to the substitution machinery for
+    /// constraint folding and free-variable enumeration.
+    fn finish_constraints(&mut self, bind: Bind, premises: Vec<usize>) {
+        let all_bound = self
+            .clause
+            .vars
+            .vars()
+            .all(|v| bind_get(&bind, v).is_some());
+        if self.clause.constraints.is_empty() && all_bound {
+            self.finish_pooled(bind, premises);
+            return;
+        }
+
+        // Legacy path. Reconstruct a substitution from the pooled
+        // binding; equalities may bind further variables (clauses of
+        // the form `x = S(y) ∧ … → …` carry definitions in
+        // constraints).
+        let mut sub = Substitution::new();
+        for (v, id) in &bind {
+            sub.bind(*v, self.base.pool.to_term(*id));
+        }
         for c in &self.clause.constraints {
             match c {
                 Constraint::Eq(a, b) => {
@@ -328,6 +514,47 @@ impl Matcher<'_> {
         self.bind_free(&free, 0, sub, premises);
     }
 
+    /// Pooled head derivation: instantiate head arguments directly as
+    /// interned ids, check the height budget from the memoized table,
+    /// dedup by id tuple.
+    fn finish_pooled(&mut self, bind: Bind, premises: Vec<usize>) {
+        match &self.clause.head {
+            None => {
+                // ⊥ derived: reconstruct the transitive premises.
+                self.refutation = Some(build_refutation(self.base, self.ci, &bind, premises));
+            }
+            Some(atom) => {
+                // Height check *before* interning: rejected heads must
+                // not grow the pool (the old boxed path built a
+                // transient term and dropped it).
+                for t in &atom.args {
+                    match pattern_height(&self.base.pool, t, &bind) {
+                        Some(h) if h > self.cfg.max_term_height => return,
+                        Some(_) => {}
+                        None => return,
+                    }
+                }
+                let args: Option<FactArgs> = atom
+                    .args
+                    .iter()
+                    .map(|t| intern_pattern(&mut self.base.pool, t, &bind))
+                    .collect();
+                let Some(args) = args else { return };
+                let pred = atom.pred;
+                if self.base.find(pred, &args).is_none()
+                    && !self.new_index.contains(&(pred, args.clone()))
+                {
+                    if self.base.len() + self.new_facts.len() >= self.cfg.max_facts {
+                        *self.budget_hit = true;
+                        return;
+                    }
+                    self.new_index.insert((pred, args.clone()));
+                    self.new_facts.push((pred, args, bind, premises));
+                }
+            }
+        }
+    }
+
     fn bind_free(&mut self, free: &[VarId], k: usize, sub: Substitution, premises: Vec<usize>) {
         if self.refutation.is_some() || *self.budget_hit {
             return;
@@ -340,7 +567,7 @@ impl Matcher<'_> {
         let sort = self.clause.vars.sort(v).expect("var in context");
         let (sig, limit) = (&self.sys.sig, self.cfg.free_var_candidates);
         let candidates = self
-            .pool
+            .enum_pool
             .entry(sort)
             .or_insert_with(|| terms_by_size(sig, sort, limit))
             .clone();
@@ -352,7 +579,7 @@ impl Matcher<'_> {
             }
             let mut sub2 = sub.clone();
             let mut single = Substitution::new();
-            single.bind(v, ground_to_term(&t));
+            single.bind(v, Term::from(&t));
             sub2.compose(&single);
             self.bind_free(free, k + 1, sub2, premises.clone());
             if self.refutation.is_some() || *self.budget_hit {
@@ -361,6 +588,9 @@ impl Matcher<'_> {
         }
     }
 
+    /// End of the legacy path: every variable is ground under `sub`.
+    /// Constraints are re-checked groundly, then the binding and head
+    /// arguments are interned into the pool.
     fn finish_ground(&mut self, sub: Substitution, premises: Vec<usize>) {
         // Check remaining (now ground) constraints.
         for c in &self.clause.constraints {
@@ -401,52 +631,46 @@ impl Matcher<'_> {
                 }
             }
         }
-        let binding: Vec<(VarId, GroundTerm)> = self
-            .clause
-            .vars
-            .vars()
-            .filter_map(|v| sub.apply_deep(&Term::var(v)).to_ground().map(|g| (v, g)))
-            .collect();
-        match &self.clause.head {
-            None => {
-                // ⊥ derived: reconstruct the transitive premises.
-                self.refutation = Some(build_refutation(self.base, self.ci, binding, premises));
-            }
-            Some(atom) => {
-                let args: Option<Vec<GroundTerm>> = atom
-                    .args
-                    .iter()
-                    .map(|t| sub.apply_deep(t).to_ground())
-                    .collect();
-                let Some(args) = args else { return };
-                if args.iter().any(|g| g.height() > self.cfg.max_term_height) {
+        // Height-check the instantiated head transiently (boxed, then
+        // dropped — as the pre-pool code did) before interning the
+        // binding into the long-lived pool.
+        if let Some(atom) = &self.clause.head {
+            for t in &atom.args {
+                let Some(g) = sub.apply_deep(t).to_ground() else {
                     return;
-                }
-                let fact = (atom.pred, args);
-                if !self.base.contains(&fact) && !self.new_index.contains(&fact) {
-                    if self.base.len() + self.new_facts.len() >= self.cfg.max_facts {
-                        *self.budget_hit = true;
-                        return;
-                    }
-                    self.new_index.insert(fact.clone());
-                    self.new_facts.push((fact, binding, premises));
+                };
+                if g.height() > self.cfg.max_term_height {
+                    return;
                 }
             }
         }
+        let binding: Bind = self
+            .clause
+            .vars
+            .vars()
+            .filter_map(|v| {
+                sub.apply_deep(&Term::var(v))
+                    .to_ground()
+                    .map(|g| (v, self.base.pool.intern_term(&g)))
+            })
+            .collect();
+        self.finish_pooled(binding, premises);
     }
 }
 
-fn ground_to_term(g: &GroundTerm) -> Term {
-    Term::app(g.func(), g.args().iter().map(ground_to_term).collect())
-}
-
-/// Extracts the sub-derivation ending in the ⊥ step.
+/// Extracts the sub-derivation ending in the ⊥ step, reconstructing
+/// boxed terms from the pool at this certificate boundary only.
 fn build_refutation(
     base: &FactBase,
     query_clause: usize,
-    binding: Vec<(VarId, GroundTerm)>,
+    binding: &Bind,
     premises: Vec<usize>,
 ) -> Refutation {
+    let ground_binding = |b: &[(VarId, TermId)]| -> Vec<(VarId, GroundTerm)> {
+        b.iter()
+            .map(|(v, id)| (*v, base.pool.to_ground(*id)))
+            .collect()
+    };
     // Collect all transitively needed facts.
     let mut needed: Vec<usize> = Vec::new();
     let mut stack = premises.clone();
@@ -465,15 +689,15 @@ fn build_refutation(
             let (clause, binding, prem) = &base.provenance[i];
             RefStep {
                 clause: *clause,
-                binding: binding.clone(),
+                binding: ground_binding(binding),
                 premises: prem.iter().map(|p| renumber[p]).collect(),
-                fact: Some(base.facts[i].clone()),
+                fact: Some(base.ground_fact(i)),
             }
         })
         .collect();
     steps.push(RefStep {
         clause: query_clause,
-        binding,
+        binding: ground_binding(binding),
         premises: premises.iter().map(|p| renumber[p]).collect(),
         fact: None,
     });
@@ -681,10 +905,14 @@ mod tests {
                 assert!(!base.is_empty());
                 let even = sys.rels.by_name("even").unwrap();
                 assert!(base.of_pred(even).count() > 3);
+                // Interned facts share subterms: S^{2k}(Z) facts need
+                // only one chain of nodes in the pool.
+                assert!(base.pool().len() <= 2 * base.len() + 2);
             }
             SaturationOutcome::Refuted(_) => panic!("even system is satisfiable"),
         }
         assert!(stats.steps > 0);
+        assert!(stats.pooled_terms > 0);
     }
 
     #[test]
@@ -706,5 +934,41 @@ mod tests {
             other => panic!("expected refutation, got {other:?}"),
         };
         assert!(check_refutation(&sys, &r).is_ok());
+    }
+
+    #[test]
+    fn fact_base_probes_ground_facts() {
+        let sys = parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun even (Nat) Bool)
+            (assert (even Z))
+            (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+            "#,
+        )
+        .unwrap();
+        let cfg = SaturationConfig {
+            max_facts: 8,
+            ..SaturationConfig::default()
+        };
+        let (outcome, _) = saturate(&sys, &cfg);
+        let base = match outcome {
+            SaturationOutcome::Budget(b) | SaturationOutcome::Saturated(b) => b,
+            SaturationOutcome::Refuted(_) => panic!("even system is satisfiable"),
+        };
+        let even = sys.rels.by_name("even").unwrap();
+        let z = sys.sig.func_by_name("Z").unwrap();
+        let s = sys.sig.func_by_name("S").unwrap();
+        let two = GroundTerm::iterate(s, GroundTerm::leaf(z), 2);
+        let one = GroundTerm::iterate(s, GroundTerm::leaf(z), 1);
+        assert!(base.contains(&(even, vec![GroundTerm::leaf(z)])));
+        assert!(base.contains(&(even, vec![two])));
+        assert!(!base.contains(&(even, vec![one])));
+        // Boxed and pooled views agree.
+        for (i, fact) in base.ground_facts().enumerate() {
+            assert_eq!(base.ground_fact(i), fact);
+            assert!(base.contains(&fact));
+        }
+        assert_eq!(base.pooled_facts().count(), base.len());
     }
 }

@@ -5,8 +5,14 @@
 //! terms are decomposed by introducing one fresh variable per distinct
 //! subterm; the defining equations land in the clause body, which is sound
 //! because function symbols denote total functions.
+//!
+//! Subterm sharing is hash-consed at the flat level: the dedup cache
+//! keys on the *shallow* node `(f, flat argument vars)` — the flat var
+//! of a subterm plays the role of its pooled id — so probing never
+//! clones or re-hashes a deep `Term`.
 
 use rustc_hash::FxHashMap;
+use smallvec::SmallVec;
 use std::error::Error;
 use std::fmt;
 
@@ -126,7 +132,10 @@ pub fn flatten_clause(sys: &ChcSystem, clause: &Clause) -> Result<FlatClause, Fl
 struct Flattener<'a> {
     sys: &'a ChcSystem,
     out: FlatClause,
-    cache: FxHashMap<Term, FlatVar>,
+    /// Shallow-node dedup: `(f, flat arg vars) → flat var`. Because
+    /// argument subterms are flattened first, two deep terms are equal
+    /// iff their shallow keys are — the hash-consing invariant.
+    cache: FxHashMap<(FuncId, SmallVec<[FlatVar; 4]>), FlatVar>,
 }
 
 impl Flattener<'_> {
@@ -136,15 +145,18 @@ impl Flattener<'_> {
         match t {
             Term::Var(v) => v.index(),
             Term::App(f, args) => {
-                if let Some(&v) = self.cache.get(t) {
+                let arg_vars: SmallVec<[FlatVar; 4]> =
+                    args.iter().map(|a| self.term_var(a)).collect();
+                if let Some(&v) = self.cache.get(&(*f, arg_vars.clone())) {
                     return v;
                 }
-                let arg_vars: Vec<FlatVar> = args.iter().map(|a| self.term_var(a)).collect();
                 let sort = self.sys.sig.func(*f).range;
                 let fresh = self.out.var_sorts.len();
                 self.out.var_sorts.push(sort);
-                self.out.defs.push((*f, arg_vars, fresh));
-                self.cache.insert(t.clone(), fresh);
+                self.out
+                    .defs
+                    .push((*f, arg_vars.as_slice().to_vec(), fresh));
+                self.cache.insert((*f, arg_vars), fresh);
                 fresh
             }
         }

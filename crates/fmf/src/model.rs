@@ -6,7 +6,7 @@ use rustc_hash::FxHashSet;
 use smallvec::SmallVec;
 
 use ringen_chc::{ChcSystem, PredId};
-use ringen_terms::{FuncId, GroundTerm, Signature, Term, VarId};
+use ringen_terms::{FuncId, GroundTerm, Signature, Term, TermId, TermPool, VarId};
 
 /// An argument tuple of a predicate table row: inline up to arity 4.
 pub type PredRow = SmallVec<[usize; 4]>;
@@ -109,6 +109,56 @@ impl FiniteModel {
     pub fn eval_ground(&self, sig: &Signature, t: &GroundTerm) -> usize {
         let args: PredRow = t.args().iter().map(|a| self.eval_ground(sig, a)).collect();
         self.apply(sig, t.func(), &args)
+    }
+
+    /// `ℳ⟦t⟧` for a term interned in a [`TermPool`], memoized per
+    /// [`TermId`] in a dense side table (`usize::MAX` = not yet
+    /// evaluated). Shared subterms across a whole pool are evaluated
+    /// once — the bulk evaluation pattern of invariant read-off and the
+    /// model-vs-saturation audits.
+    ///
+    /// The cache is valid for one `(model, pool)` pair only — like the
+    /// automata kernel's `PoolRunCache`, reusing it with a different
+    /// model or pool silently returns stale values; pass a fresh (or
+    /// cleared) vector instead.
+    pub fn eval_pooled(
+        &self,
+        sig: &Signature,
+        pool: &TermPool,
+        t: TermId,
+        cache: &mut Vec<usize>,
+    ) -> usize {
+        const UNSET: usize = usize::MAX;
+        if cache.len() < pool.len() {
+            cache.resize(pool.len(), UNSET);
+        }
+        if cache[t.index()] != UNSET {
+            return cache[t.index()];
+        }
+        // Iterative post-order, mirroring `Dfta::run_pooled`.
+        let mut frames: Vec<(TermId, usize)> = vec![(t, 0)];
+        let mut values: Vec<usize> = Vec::with_capacity(16);
+        while let Some(frame) = frames.last_mut() {
+            let (id, next) = *frame;
+            let args = pool.args(id);
+            if next < args.len() {
+                frame.1 += 1;
+                let child = args[next];
+                if cache[child.index()] != UNSET {
+                    values.push(cache[child.index()]);
+                } else {
+                    frames.push((child, 0));
+                }
+            } else {
+                frames.pop();
+                let base = values.len() - args.len();
+                let v = self.apply(sig, pool.func(id), &values[base..]);
+                cache[id.index()] = v;
+                values.truncate(base);
+                values.push(v);
+            }
+        }
+        values.pop().expect("non-empty term")
     }
 
     /// Evaluates a term under an environment mapping variables to domain
@@ -382,6 +432,22 @@ mod tests {
             let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
             assert_eq!(m.eval_ground(&sys.sig, &t), n % 2);
         }
+    }
+
+    #[test]
+    fn eval_pooled_agrees_and_memoizes() {
+        let (sys, m) = even_model();
+        let z = sys.sig.func_by_name("Z").unwrap();
+        let s = sys.sig.func_by_name("S").unwrap();
+        let mut pool = TermPool::new();
+        let mut cache = Vec::new();
+        for n in 0..6 {
+            let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+            let id = pool.intern_term(&t);
+            assert_eq!(m.eval_pooled(&sys.sig, &pool, id, &mut cache), n % 2);
+        }
+        // Every pooled node got exactly one memoized value.
+        assert!(cache.iter().take(pool.len()).all(|&v| v != usize::MAX));
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use std::collections::BTreeMap;
 
-use ringen_automata::{Dfta, StateId};
-use ringen_terms::{herbrand, FuncId, Signature, SortId};
+use ringen_automata::{Dfta, PoolRunCache, StateId};
+use ringen_terms::{herbrand, FuncId, Signature, SortId, TermPool};
 
 use crate::lang::Lang;
 
@@ -75,7 +75,12 @@ pub fn enumerate_langs(sig: &Signature, sort: SortId, cfg: &LangPoolConfig) -> V
         }
     }
 
-    let fingerprint_terms = herbrand::terms_up_to_height(sig, sort, cfg.fingerprint_height);
+    // Fingerprint terms are hash-consed once; every candidate table
+    // runs them by pooled id with a dense memo, so shared subterms
+    // across the whole enumeration are evaluated once per table.
+    let mut term_pool = TermPool::new();
+    let fingerprint_ids =
+        herbrand::pooled_terms_up_to_height(sig, sort, cfg.fingerprint_height, &mut term_pool);
     let mut seen: BTreeMap<Vec<bool>, ()> = BTreeMap::new();
     let mut out: Vec<Lang> = Vec::new();
 
@@ -101,6 +106,14 @@ pub fn enumerate_langs(sig: &Signature, sort: SortId, cfg: &LangPoolConfig) -> V
                 .collect();
             d.add_transition(*c, args, block[&decl.range][target]);
         }
+        // Run every fingerprint term once per table: the run states are
+        // independent of the final set, so all 2^k − 2 final-set
+        // variants below reuse this one pass.
+        let mut run_cache = PoolRunCache::new();
+        let run_states: Vec<Option<StateId>> = fingerprint_ids
+            .iter()
+            .map(|&id| d.run_pooled(&term_pool, id, &mut run_cache))
+            .collect();
         // Every nonempty proper final set over the queried sort.
         let states = &block[&sort];
         for finals_mask in 1..(1usize << k) - 1 {
@@ -110,18 +123,22 @@ pub fn enumerate_langs(sig: &Signature, sort: SortId, cfg: &LangPoolConfig) -> V
                 .filter(|(i, _)| finals_mask & (1 << i) != 0)
                 .map(|(_, s)| *s)
                 .collect();
-            let lang = Lang::new(
-                format!("L{}f{}", dftas, finals_mask),
-                sig,
-                d.clone(),
-                finals,
-            );
-            let fp: Vec<bool> = fingerprint_terms.iter().map(|t| lang.accepts(t)).collect();
+            let fp: Vec<bool> = run_states
+                .iter()
+                .map(|st| st.is_some_and(|s| finals.contains(&s)))
+                .collect();
             if fp.iter().all(|&b| b) || fp.iter().all(|&b| !b) {
                 continue; // trivial on the fingerprint set
             }
             if seen.insert(fp, ()).is_none() {
-                out.push(lang);
+                // Languages are materialized (completed + reachability)
+                // only for fingerprints that survive the pruning.
+                out.push(Lang::new(
+                    format!("L{}f{}", dftas, finals_mask),
+                    sig,
+                    d.clone(),
+                    finals,
+                ));
                 if out.len() >= cfg.max_langs {
                     break 'sweep;
                 }

@@ -9,6 +9,7 @@ use std::collections::BTreeSet;
 
 use crate::ground::GroundTerm;
 use crate::ids::{FuncId, SortId};
+use crate::pool::{TermId, TermPool};
 use crate::signature::{FuncKind, Signature};
 
 /// Cardinality of a sort's Herbrand universe.
@@ -57,17 +58,38 @@ pub fn cardinality(sig: &Signature, sort: SortId) -> SortCardinality {
 /// increasing height order (ties broken by construction order).
 ///
 /// The output can be exponentially large; callers cap `max_height`.
+/// This is the boxed view of [`pooled_terms_up_to_height`] — workloads
+/// that run many automata or caches over the enumeration should keep
+/// the pooled ids instead of materializing trees.
 pub fn terms_up_to_height(sig: &Signature, sort: SortId, max_height: usize) -> Vec<GroundTerm> {
+    let mut pool = TermPool::new();
+    pooled_terms_up_to_height(sig, sort, max_height, &mut pool)
+        .into_iter()
+        .map(|id| pool.to_ground(id))
+        .collect()
+}
+
+/// [`terms_up_to_height`], hash-consed: every enumerated term (and all
+/// its subterms, shared across the whole enumeration) is interned into
+/// `pool`, and only ids are returned. Argument heights come from the
+/// pool's memoized table, so the layer construction never re-walks
+/// subtrees.
+pub fn pooled_terms_up_to_height(
+    sig: &Signature,
+    sort: SortId,
+    max_height: usize,
+    pool: &mut TermPool,
+) -> Vec<TermId> {
     // layers[s][h] = terms of sort s with height exactly h+1.
     let n = sig.sort_count();
-    let mut layers: Vec<Vec<Vec<GroundTerm>>> = vec![Vec::new(); n];
+    let mut layers: Vec<Vec<Vec<TermId>>> = vec![Vec::new(); n];
     for h in 0..max_height {
-        let mut new_layer: Vec<Vec<GroundTerm>> = vec![Vec::new(); n];
+        let mut new_layer: Vec<Vec<TermId>> = vec![Vec::new(); n];
         for c in sig.constructors() {
             let d = sig.func(c);
             let target = d.range.index();
             // Build all argument combinations whose max height is exactly h.
-            let choices: Vec<Vec<&GroundTerm>> = d
+            let choices: Vec<Vec<TermId>> = d
                 .domain
                 .iter()
                 .map(|s| {
@@ -75,29 +97,30 @@ pub fn terms_up_to_height(sig: &Signature, sort: SortId, max_height: usize) -> V
                         .iter()
                         .take(h)
                         .flatten()
+                        .copied()
                         .collect::<Vec<_>>()
                 })
                 .collect();
-            combine_with_max_height(sig, c, &choices, h, &mut new_layer[target]);
+            combine_with_max_height(pool, c, &choices, h, &mut new_layer[target]);
         }
         for (s, terms) in new_layer.into_iter().enumerate() {
             layers[s].push(terms);
         }
     }
-    layers[sort.index()].iter().flatten().cloned().collect()
+    layers[sort.index()].iter().flatten().copied().collect()
 }
 
 fn combine_with_max_height(
-    sig: &Signature,
+    pool: &mut TermPool,
     ctor: FuncId,
-    choices: &[Vec<&GroundTerm>],
+    choices: &[Vec<TermId>],
     h: usize,
-    out: &mut Vec<GroundTerm>,
+    out: &mut Vec<TermId>,
 ) {
     // Nullary constructor: height exactly 1, i.e. h == 0.
     if choices.is_empty() {
         if h == 0 {
-            out.push(GroundTerm::leaf(ctor));
+            out.push(pool.intern(ctor, &[]));
         }
         return;
     }
@@ -105,11 +128,14 @@ fn combine_with_max_height(
     if choices.iter().any(Vec::is_empty) {
         return;
     }
+    let mut args: Vec<TermId> = Vec::with_capacity(choices.len());
     loop {
-        let args: Vec<&GroundTerm> = idx.iter().zip(choices).map(|(&i, c)| c[i]).collect();
-        let maxh = args.iter().map(|a| a.height()).max().unwrap_or(0);
+        args.clear();
+        args.extend(idx.iter().zip(choices).map(|(&i, c)| c[i]));
+        let maxh = args.iter().map(|a| pool.height(*a)).max().unwrap_or(0);
         if maxh == h {
-            out.push(GroundTerm::app(ctor, args.into_iter().cloned().collect()));
+            let id = pool.intern(ctor, &args);
+            out.push(id);
         }
         // Odometer increment.
         let mut k = 0;
@@ -121,7 +147,6 @@ fn combine_with_max_height(
             idx[k] = 0;
             k += 1;
             if k == choices.len() {
-                let _ = sig;
                 return;
             }
         }
@@ -471,6 +496,22 @@ mod tests {
         // heights: 1 leaf; 2: node(l,l); 3: node over height ≤2 with max=2: 3
         assert_eq!(ts.len(), 1 + 1 + 3);
         assert!(ts.iter().all(|t| t.well_sorted(&sig)));
+    }
+
+    #[test]
+    fn pooled_enumeration_shares_subterms() {
+        let (sig, tree, ..) = tree_signature();
+        let mut pool = TermPool::new();
+        let ids = pooled_terms_up_to_height(&sig, tree, 4, &mut pool);
+        let boxed = terms_up_to_height(&sig, tree, 4);
+        assert_eq!(ids.len(), boxed.len());
+        for (id, t) in ids.iter().zip(&boxed) {
+            assert_eq!(&pool.to_ground(*id), t);
+        }
+        // Sharing: the pool holds exactly the distinct subterms, which
+        // is far fewer nodes than the sum of the boxed tree sizes.
+        let total_nodes: u64 = boxed.iter().map(GroundTerm::size).sum();
+        assert!((pool.len() as u64) < total_nodes);
     }
 
     #[test]

@@ -1,24 +1,29 @@
-//! Open-addressing intern table used by the automata kernels.
+//! Open-addressing intern table shared by the hash-consing arenas.
 //!
-//! The transition tables of [`crate::Dfta`] and [`crate::Nfta`] store
-//! rule left-hand sides `(f, q₁…qₘ)` in a flat arena and key them
-//! through this table: a power-of-two, linear-probing map from a
-//! 64-bit Fx hash to a `u32` payload (the rule index). Equality is
-//! delegated to the caller, which compares against the arena slice —
-//! so a lookup needs **no allocation and no key materialization**,
-//! unlike `HashMap<(FuncId, Vec<StateId>), _>`.
+//! Both the automata kernel (rule left-hand sides `(f, q₁…qₘ)`) and the
+//! term pool ([`crate::TermPool`] nodes `(f, t₁…tₙ)`) store records in a
+//! flat arena and key them through this table: a power-of-two,
+//! linear-probing map from a 64-bit Fx hash to a `u32` payload (the
+//! arena index). Equality is delegated to the caller, which compares
+//! against the arena slice — so a lookup needs **no allocation and no
+//! key materialization**, unlike `HashMap<(FuncId, Vec<_>), _>`.
 
 const EMPTY: u32 = u32::MAX;
 
 /// The probe table. Values are `u32` payloads; `u32::MAX` is reserved
 /// as the empty marker.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct InternTable {
+pub struct InternTable {
     slots: Vec<u32>,
     len: usize,
 }
 
 impl InternTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Index of the first slot for `hash`.
     #[inline]
     fn start(&self, hash: u64) -> usize {
@@ -29,7 +34,7 @@ impl InternTable {
     /// Looks up the payload whose key matches, where `eq(payload)`
     /// decides a match. Zero-allocation.
     #[inline]
-    pub(crate) fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+    pub fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
         if self.slots.is_empty() {
             return None;
         }
@@ -50,7 +55,12 @@ impl InternTable {
     /// Inserts a payload the caller has verified to be absent.
     /// `rehash` recomputes the hash of a stored payload when the table
     /// grows.
-    pub(crate) fn insert_new(&mut self, hash: u64, value: u32, mut rehash: impl FnMut(u32) -> u64) {
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `value` is `u32::MAX`, which is
+    /// reserved as the empty marker.
+    pub fn insert_new(&mut self, hash: u64, value: u32, mut rehash: impl FnMut(u32) -> u64) {
         debug_assert_ne!(value, EMPTY, "payload u32::MAX is reserved");
         if self.slots.is_empty() || (self.len + 1) * 8 > self.slots.len() * 7 {
             self.grow(&mut rehash);
@@ -80,9 +90,13 @@ impl InternTable {
     }
 
     /// Number of stored payloads.
-    #[cfg(test)]
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Whether no payload is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -112,6 +126,7 @@ mod tests {
             t.insert_new(hash(v), v, hash);
         }
         assert_eq!(t.len(), 1000);
+        assert!(!t.is_empty());
         for v in 0..1000 {
             assert_eq!(t.find(hash(v), |p| p == v), Some(v));
         }

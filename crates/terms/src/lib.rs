@@ -13,7 +13,11 @@
 //! * [`Path`] — positions `s = S1…Sn` with simultaneous replacement
 //!   `g[P ← t]` (the core of the pumping lemmas);
 //! * [`herbrand`] — enumeration and counting of ground terms (`Tᵏ_σ`,
-//!   `S_σ`, expanding-sort checks of Def. 5).
+//!   `S_σ`, expanding-sort checks of Def. 5);
+//! * [`TermPool`] — a hash-consing arena interning ground terms behind
+//!   dense [`TermId`]s, with memoized height/size (see [`pool`]);
+//! * [`intern`] — the open-addressing probe table shared by the pool
+//!   and the automata kernel.
 //!
 //! # Example
 //!
@@ -35,7 +39,9 @@
 mod ground;
 pub mod herbrand;
 mod ids;
+pub mod intern;
 pub mod path;
+pub mod pool;
 pub mod signature;
 mod term;
 mod unify;
@@ -44,6 +50,7 @@ pub use ground::{GroundTerm, Subterms};
 pub use herbrand::{SizeSet, SortCardinality};
 pub use ids::{FuncId, SortId, VarId};
 pub use path::{is_leaf_term, leaves, replace_all, replace_each, Path, Step};
+pub use pool::{TermId, TermPool};
 pub use signature::{AdtInfo, DisplayGround, FuncDecl, FuncKind, Signature, SortDecl};
 pub use term::{DisplayTerm, SortError, Substitution, Term, VarContext};
 pub use unify::{match_ground, match_ground_into, unify, unify_all, UnifyError};

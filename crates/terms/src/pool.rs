@@ -1,0 +1,469 @@
+//! Hash-consed term pool: the Herbrand universe behind dense `u32` ids.
+//!
+//! A [`TermPool`] interns every ground term it is handed into a flat
+//! node arena, so that structurally equal (sub)terms share one
+//! [`TermId`]. Equality becomes a `u32` compare, hashing becomes
+//! hashing a `u32`, and the per-node `height`/`size` of the paper
+//! (§6.2, §6.3) are memoized at intern time — O(1) reads instead of a
+//! recursive walk. This is the classic maximally-shared smart
+//! constructor recipe (Blanqui et al., *On the implementation of
+//! construction functions for non-free concrete data types*), applied
+//! to the Herbrand terms that the saturation refuter and the automata
+//! `run` caches shuttle around.
+//!
+//! # Representation
+//!
+//! Nodes live in one flat arena: per-id parallel vectors hold the head
+//! symbol, the `(start, len)` window into a shared argument buffer of
+//! child `TermId`s, and the memoized height/size. An open-addressing
+//! [`InternTable`](crate::intern::InternTable) keyed by an Fx hash of
+//! `(f, args…)` maps shallow nodes to ids; probes compare against the
+//! arena directly, so interning an already-known node allocates
+//! nothing.
+//!
+//! # Example
+//!
+//! Build `S(S(Z))` twice — once via the smart constructor, once from a
+//! boxed [`GroundTerm`] — and observe maximal sharing:
+//!
+//! ```
+//! use ringen_terms::{signature_helpers::nat_signature, GroundTerm, TermPool};
+//!
+//! let (_sig, _nat, z, s) = nat_signature();
+//! let mut pool = TermPool::new();
+//!
+//! // Smart constructors: children first, then the application.
+//! let zero = pool.intern(z, &[]);
+//! let one = pool.intern(s, &[zero]);
+//! let two = pool.intern(s, &[one]);
+//!
+//! // Interning the equal boxed tree yields the *same* id…
+//! let boxed = GroundTerm::iterate(s, GroundTerm::leaf(z), 2);
+//! assert_eq!(pool.intern_term(&boxed), two);
+//! // …and only three nodes exist in total (Z, S(Z), S(S(Z))).
+//! assert_eq!(pool.len(), 3);
+//!
+//! // Memoized measures agree with the recursive definitions.
+//! assert_eq!(pool.height(two), boxed.height());
+//! assert_eq!(pool.size(two), boxed.size());
+//!
+//! // Round-trip back to a boxed tree.
+//! assert_eq!(pool.to_ground(two), boxed);
+//! ```
+
+use std::fmt;
+use std::hash::Hasher;
+
+use rustc_hash::FxHasher;
+
+use crate::ground::GroundTerm;
+use crate::ids::{FuncId, SortId};
+use crate::intern::InternTable;
+use crate::signature::Signature;
+use crate::term::Term;
+
+/// Identifier of an interned ground term in a [`TermPool`].
+///
+/// Ids are dense (`0..pool.len()`), so callers can build per-term side
+/// tables as plain vectors indexed by [`TermId::index`]. Two ids from
+/// the *same* pool are equal iff the terms are structurally equal;
+/// ids from different pools are unrelated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// Raw index, usable for dense per-term tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TermId` from an index previously obtained from
+    /// [`TermId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is `u32::MAX` or larger (the all-ones pattern is
+    /// reserved; truncating would alias an unrelated term).
+    pub fn from_index(i: usize) -> Self {
+        match u32::try_from(i) {
+            Ok(raw) if raw != u32::MAX => TermId(raw),
+            _ => panic!("term index {i} exceeds the id space"),
+        }
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Fx hash of a shallow node. Query slices and arena slices go through
+/// this one function so probes agree.
+#[inline]
+fn node_hash(f: FuncId, args: &[TermId]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(f.index() as u32);
+    h.write_u32(args.len() as u32);
+    for a in args {
+        h.write_u32(a.0);
+    }
+    h.finish()
+}
+
+/// A hash-consing arena for ground terms. See the [module
+/// docs](self) for the design and a worked example.
+#[derive(Debug, Clone, Default)]
+pub struct TermPool {
+    /// Head symbol per node.
+    funcs: Vec<FuncId>,
+    /// `(start, len)` window into `args` per node.
+    arg_spans: Vec<(u32, u32)>,
+    /// Flat buffer holding every node's child ids back to back.
+    args: Vec<TermId>,
+    /// Memoized `Height` (§6.2) per node.
+    heights: Vec<u32>,
+    /// Memoized `size` (§6.3) per node, saturating at `u64::MAX`.
+    sizes: Vec<u64>,
+    /// Shallow-node intern table over the arena.
+    table: InternTable,
+}
+
+impl TermPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the pool holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    #[inline]
+    fn node_matches(&self, id: u32, f: FuncId, args: &[TermId]) -> bool {
+        self.funcs[id as usize] == f && self.args_of(id as usize) == args
+    }
+
+    #[inline]
+    fn args_of(&self, i: usize) -> &[TermId] {
+        let (start, len) = self.arg_spans[i];
+        &self.args[start as usize..(start + len) as usize]
+    }
+
+    /// The maximally-shared smart constructor: interns the application
+    /// `f(args…)` and returns its id. Existing nodes are found by a
+    /// single hash probe with no allocation; new nodes memoize their
+    /// height and size from the (already interned) children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an argument id is stale (not from this pool).
+    pub fn intern(&mut self, f: FuncId, args: &[TermId]) -> TermId {
+        for a in args {
+            assert!(a.index() < self.funcs.len(), "stale term id {a}");
+        }
+        let hash = node_hash(f, args);
+        if let Some(hit) = self.table.find(hash, |id| self.node_matches(id, f, args)) {
+            return TermId(hit);
+        }
+        let id = TermId::from_index(self.funcs.len());
+        let start = u32::try_from(self.args.len()).expect("argument arena offset fits u32");
+        self.args.extend_from_slice(args);
+        self.arg_spans.push((start, args.len() as u32));
+        self.funcs.push(f);
+        let height = 1 + args
+            .iter()
+            .map(|a| self.heights[a.index()])
+            .max()
+            .unwrap_or(0);
+        let size = args
+            .iter()
+            .fold(1u64, |acc, a| acc.saturating_add(self.sizes[a.index()]));
+        self.heights.push(height);
+        self.sizes.push(size);
+        let TermPool {
+            table,
+            funcs,
+            arg_spans,
+            args: arena,
+            ..
+        } = self;
+        table.insert_new(hash, id.0, |v| {
+            let (start, len) = arg_spans[v as usize];
+            node_hash(
+                funcs[v as usize],
+                &arena[start as usize..(start + len) as usize],
+            )
+        });
+        id
+    }
+
+    /// Looks up an application without interning it. `None` means the
+    /// node (or one of its children, transitively) was never interned.
+    pub fn find(&self, f: FuncId, args: &[TermId]) -> Option<TermId> {
+        self.table
+            .find(node_hash(f, args), |id| self.node_matches(id, f, args))
+            .map(TermId)
+    }
+
+    /// Looks up a boxed tree without interning it: the pooled id if
+    /// every node of `t` is already interned, `None` otherwise.
+    /// Iterative, mutation-free — usable for membership probes on a
+    /// shared pool.
+    pub fn find_term(&self, t: &GroundTerm) -> Option<TermId> {
+        let mut frames: Vec<(&GroundTerm, usize)> = vec![(t, 0)];
+        let mut values: Vec<TermId> = Vec::with_capacity(16);
+        while let Some(frame) = frames.last_mut() {
+            let (term, next) = *frame;
+            let args = term.args();
+            if next < args.len() {
+                frame.1 += 1;
+                frames.push((&args[next], 0));
+            } else {
+                frames.pop();
+                let base = values.len() - args.len();
+                let id = self.find(term.func(), &values[base..])?;
+                values.truncate(base);
+                values.push(id);
+            }
+        }
+        values.pop()
+    }
+
+    /// The head symbol of an interned term.
+    pub fn func(&self, t: TermId) -> FuncId {
+        self.funcs[t.index()]
+    }
+
+    /// The immediate subterm ids.
+    pub fn args(&self, t: TermId) -> &[TermId] {
+        self.args_of(t.index())
+    }
+
+    /// Memoized height (§6.2): `Height(c) = 1`,
+    /// `Height(c(t₁…tₙ)) = 1 + max Height(tᵢ)`. O(1).
+    pub fn height(&self, t: TermId) -> usize {
+        self.heights[t.index()] as usize
+    }
+
+    /// Memoized size (§6.3): the number of constructor occurrences,
+    /// saturating at `u64::MAX`. O(1).
+    pub fn size(&self, t: TermId) -> u64 {
+        self.sizes[t.index()]
+    }
+
+    /// The sort of an interned term under a signature.
+    pub fn sort(&self, sig: &Signature, t: TermId) -> SortId {
+        sig.func(self.func(t)).range
+    }
+
+    /// Interns a boxed [`GroundTerm`] tree bottom-up. Iterative
+    /// post-order with an explicit frame stack — deep terms cannot
+    /// overflow the call stack.
+    pub fn intern_term(&mut self, t: &GroundTerm) -> TermId {
+        let mut frames: Vec<(&GroundTerm, usize)> = vec![(t, 0)];
+        let mut values: Vec<TermId> = Vec::with_capacity(16);
+        while let Some(frame) = frames.last_mut() {
+            let (term, next) = *frame;
+            let args = term.args();
+            if next < args.len() {
+                frame.1 += 1;
+                frames.push((&args[next], 0));
+            } else {
+                frames.pop();
+                let base = values.len() - args.len();
+                let id = self.intern(term.func(), &values[base..]);
+                values.truncate(base);
+                values.push(id);
+            }
+        }
+        values.pop().expect("non-empty term")
+    }
+
+    /// Reconstructs the boxed tree of an interned term. Iterative, like
+    /// [`TermPool::intern_term`].
+    pub fn to_ground(&self, t: TermId) -> GroundTerm {
+        let mut frames: Vec<(TermId, usize)> = vec![(t, 0)];
+        let mut values: Vec<GroundTerm> = Vec::with_capacity(16);
+        while let Some(frame) = frames.last_mut() {
+            let (id, next) = *frame;
+            let args = self.args(id);
+            if next < args.len() {
+                frame.1 += 1;
+                frames.push((args[next], 0));
+            } else {
+                let argc = args.len();
+                frames.pop();
+                let children = values.split_off(values.len() - argc);
+                values.push(GroundTerm::app(self.func(id), children));
+            }
+        }
+        values.pop().expect("non-empty term")
+    }
+
+    /// Reconstructs an interned term as a variable-free [`Term`] (for
+    /// the substitution/unification machinery).
+    pub fn to_term(&self, t: TermId) -> Term {
+        let mut frames: Vec<(TermId, usize)> = vec![(t, 0)];
+        let mut values: Vec<Term> = Vec::with_capacity(16);
+        while let Some(frame) = frames.last_mut() {
+            let (id, next) = *frame;
+            let args = self.args(id);
+            if next < args.len() {
+                frame.1 += 1;
+                frames.push((args[next], 0));
+            } else {
+                let argc = args.len();
+                frames.pop();
+                let children = values.split_off(values.len() - argc);
+                values.push(Term::app(self.func(id), children));
+            }
+        }
+        values.pop().expect("non-empty term")
+    }
+
+    /// Checks that an interned term respects the signature's arities
+    /// and argument sorts. Iterative over the shared nodes (each
+    /// distinct subterm is checked once).
+    pub fn well_sorted(&self, sig: &Signature, t: TermId) -> bool {
+        let mut stack = vec![t];
+        let mut seen = vec![false; self.len()];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.index()], true) {
+                continue;
+            }
+            let d = sig.func(self.func(id));
+            let args = self.args(id);
+            if d.arity() != args.len() {
+                return false;
+            }
+            for (a, s) in args.iter().zip(&d.domain) {
+                if self.sort(sig, *a) != *s {
+                    return false;
+                }
+                stack.push(*a);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{nat_list_signature, nat_signature};
+
+    #[test]
+    fn interning_is_maximally_shared() {
+        let (_sig, _nat, z, s) = nat_signature();
+        let mut pool = TermPool::new();
+        let zero = pool.intern(z, &[]);
+        let one = pool.intern(s, &[zero]);
+        assert_eq!(pool.intern(z, &[]), zero);
+        assert_eq!(pool.intern(s, &[zero]), one);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.func(one), s);
+        assert_eq!(pool.args(one), &[zero]);
+        assert_eq!(pool.find(s, &[one]), None);
+        let two = pool.intern(s, &[one]);
+        assert_eq!(pool.find(s, &[one]), Some(two));
+    }
+
+    #[test]
+    fn intern_term_round_trips() {
+        let (_sig, _nat, _list, z, s, nil, cons) = nat_list_signature();
+        let mut pool = TermPool::new();
+        let t = GroundTerm::app(
+            cons,
+            vec![
+                GroundTerm::app(s, vec![GroundTerm::leaf(z)]),
+                GroundTerm::app(
+                    cons,
+                    vec![GroundTerm::app(s, vec![GroundTerm::leaf(z)]), {
+                        GroundTerm::leaf(nil)
+                    }],
+                ),
+            ],
+        );
+        let id = pool.intern_term(&t);
+        assert_eq!(pool.to_ground(id), t);
+        // S(Z) appears twice but is interned once: cons, cons, nil, S(Z), Z.
+        assert_eq!(pool.len(), 5);
+        assert_eq!(pool.intern_term(&t), id);
+    }
+
+    #[test]
+    fn memoized_measures_match_recursive_ones() {
+        let (sig, _nat, _list, z, s, nil, cons) = nat_list_signature();
+        let mut pool = TermPool::new();
+        let t = GroundTerm::app(
+            cons,
+            vec![
+                GroundTerm::iterate(s, GroundTerm::leaf(z), 3),
+                GroundTerm::leaf(nil),
+            ],
+        );
+        let id = pool.intern_term(&t);
+        assert_eq!(pool.height(id), t.height());
+        assert_eq!(pool.size(id), t.size());
+        assert_eq!(pool.sort(&sig, id), t.sort(&sig));
+        assert!(pool.well_sorted(&sig, id));
+    }
+
+    #[test]
+    fn ill_sorted_terms_are_detected() {
+        let (sig, _nat, _list, z, _s, _nil, cons) = nat_list_signature();
+        let mut pool = TermPool::new();
+        // cons(Z, Z): second argument must be a list.
+        let zero = pool.intern(z, &[]);
+        let bad = pool.intern(cons, &[zero, zero]);
+        assert!(!pool.well_sorted(&sig, bad));
+        assert!(pool.well_sorted(&sig, zero));
+    }
+
+    #[test]
+    fn to_term_produces_the_ground_term() {
+        let (_sig, _nat, z, s) = nat_signature();
+        let mut pool = TermPool::new();
+        let boxed = GroundTerm::iterate(s, GroundTerm::leaf(z), 2);
+        let id = pool.intern_term(&boxed);
+        assert_eq!(pool.to_term(id), Term::from(&boxed));
+    }
+
+    #[test]
+    fn deep_terms_do_not_overflow_the_stack() {
+        std::thread::Builder::new()
+            .stack_size(64 << 20)
+            .spawn(|| {
+                let (_sig, _nat, z, s) = nat_signature();
+                let mut pool = TermPool::new();
+                let deep = GroundTerm::iterate(s, GroundTerm::leaf(z), 200_000);
+                let id = pool.intern_term(&deep);
+                assert_eq!(pool.height(id), 200_001);
+                assert_eq!(pool.to_ground(id), deep);
+            })
+            .expect("spawn test thread")
+            .join()
+            .expect("deep-term round trip");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale term id")]
+    fn stale_ids_panic() {
+        let (_sig, _nat, _z, s) = nat_signature();
+        let mut pool = TermPool::new();
+        pool.intern(s, &[TermId::from_index(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the id space")]
+    fn oversized_term_index_panics() {
+        let _ = TermId::from_index(u32::MAX as usize);
+    }
+}

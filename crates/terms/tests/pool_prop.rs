@@ -1,0 +1,99 @@
+//! Differential property tests pinning the hash-consed [`TermPool`]
+//! semantics to the boxed [`GroundTerm`] reference: interning is a pure
+//! change of representation.
+
+use proptest::prelude::*;
+use ringen_terms::herbrand::{pooled_terms_up_to_height, pseudo_random_term, terms_up_to_height};
+use ringen_terms::signature_helpers::{nat_list_signature, nat_signature, tree_signature};
+use ringen_terms::{GroundTerm, Signature, SortId, TermPool};
+
+/// The three paper signatures, with an interesting sort each.
+fn signatures() -> Vec<(Signature, SortId)> {
+    let (nat_sig, nat, ..) = nat_signature();
+    let (tree_sig, tree, ..) = tree_signature();
+    let (list_sig, _nat, list, ..) = nat_list_signature();
+    vec![(nat_sig, nat), (tree_sig, tree), (list_sig, list)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Intern → reconstruct is the identity, interning is idempotent,
+    /// and the memoized measures agree with the recursive definitions.
+    #[test]
+    fn intern_round_trips_and_measures_agree(
+        which in 0usize..3,
+        seed in 0u64..1_000,
+        height in 1usize..8,
+    ) {
+        let (sig, sort) = signatures().swap_remove(which);
+        let Some(t) = pseudo_random_term(&sig, sort, seed, height) else {
+            return Ok(());
+        };
+        let mut pool = TermPool::new();
+        let id = pool.intern_term(&t);
+        prop_assert_eq!(pool.to_ground(id), t.clone());
+        prop_assert_eq!(pool.intern_term(&t), id);
+        prop_assert_eq!(pool.find_term(&t), Some(id));
+        prop_assert_eq!(pool.height(id), t.height());
+        prop_assert_eq!(pool.size(id), t.size());
+        prop_assert_eq!(pool.sort(&sig, id), t.sort(&sig));
+        prop_assert!(pool.well_sorted(&sig, id));
+        // The pool never holds more nodes than the tree has, and holds
+        // strictly fewer when subterms repeat.
+        prop_assert!((pool.len() as u64) <= t.size());
+    }
+
+    /// Structural equality of boxed terms is id equality in the pool.
+    #[test]
+    fn id_equality_is_structural_equality(
+        which in 0usize..3,
+        seed_a in 0u64..200,
+        seed_b in 0u64..200,
+        height in 1usize..7,
+    ) {
+        let (sig, sort) = signatures().swap_remove(which);
+        let (Some(a), Some(b)) = (
+            pseudo_random_term(&sig, sort, seed_a, height),
+            pseudo_random_term(&sig, sort, seed_b, height),
+        ) else {
+            return Ok(());
+        };
+        let mut pool = TermPool::new();
+        let ia = pool.intern_term(&a);
+        let ib = pool.intern_term(&b);
+        prop_assert_eq!(ia == ib, a == b);
+    }
+
+    /// Pooled enumeration yields the boxed enumeration, term for term,
+    /// in the same order.
+    #[test]
+    fn pooled_enumeration_matches_boxed(which in 0usize..3, height in 1usize..5) {
+        let (sig, sort) = signatures().swap_remove(which);
+        let boxed = terms_up_to_height(&sig, sort, height);
+        let mut pool = TermPool::new();
+        let ids = pooled_terms_up_to_height(&sig, sort, height, &mut pool);
+        prop_assert_eq!(ids.len(), boxed.len());
+        for (id, t) in ids.iter().zip(&boxed) {
+            prop_assert_eq!(&pool.to_ground(*id), t);
+            prop_assert_eq!(pool.height(*id), t.height());
+        }
+    }
+}
+
+#[test]
+fn shared_subterms_are_stored_once() {
+    // A full binary tree of height 12 has 2^12 − 1 nodes but only 12
+    // distinct subterms.
+    let (_sig, _tree, leaf, node) = tree_signature();
+    let mut t = GroundTerm::leaf(leaf);
+    for _ in 0..11 {
+        t = GroundTerm::app(node, vec![t.clone(), t]);
+    }
+    assert_eq!(t.size(), (1 << 12) - 1);
+    let mut pool = TermPool::new();
+    let id = pool.intern_term(&t);
+    assert_eq!(pool.len(), 12);
+    assert_eq!(pool.size(id), t.size());
+    assert_eq!(pool.height(id), 12);
+}

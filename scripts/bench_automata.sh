@@ -1,22 +1,35 @@
 #!/usr/bin/env bash
-# Runs the automata-kernel micro-bench suite and records the results —
-# including the interned-vs-reference speedups and the Dfta::step
-# zero-allocation check — in BENCH_automata.json at the repo root.
+# Runs the automata-kernel + term-pool micro-bench suite and records the
+# results — including the interned-vs-reference speedups and the
+# Dfta::step zero-allocation check — in BENCH_automata.json at the repo
+# root.
 #
 # Usage:
-#   scripts/bench_automata.sh           # full measurement
-#   QUICK=1 scripts/bench_automata.sh   # fast smoke run (CI)
+#   scripts/bench_automata.sh           # full measurement, refreshes the
+#                                       # committed BENCH_automata.json
+#   QUICK=1 scripts/bench_automata.sh   # fast smoke run (CI): measures
+#                                       # into a scratch file and diffs it
+#                                       # against the committed baseline,
+#                                       # failing on >20% speedup
+#                                       # regressions (bench_diff).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 if [ "${QUICK:-}" = "1" ]; then
   export CRITERION_QUICK=1
+  out="$(mktemp /tmp/BENCH_automata.XXXXXX.json)"
+  trap 'rm -f "$out"' EXIT
+  export BENCH_AUTOMATA_JSON="$out"
+  cargo bench -p ringen-bench --bench automata
+  echo
+  echo "=== bench_diff vs committed BENCH_automata.json ==="
+  cargo run --release -q -p ringen-bench --bin bench_diff -- \
+    BENCH_automata.json "$out"
+else
+  export BENCH_AUTOMATA_JSON="$PWD/BENCH_automata.json"
+  cargo bench -p ringen-bench --bench automata
+  echo
+  echo "=== BENCH_automata.json ==="
+  cat "$BENCH_AUTOMATA_JSON"
 fi
-export BENCH_AUTOMATA_JSON="$PWD/BENCH_automata.json"
-
-cargo bench -p ringen-bench --bench automata
-
-echo
-echo "=== BENCH_automata.json ==="
-cat "$BENCH_AUTOMATA_JSON"
