@@ -417,6 +417,54 @@ impl Dfta {
         values.pop()
     }
 
+    /// Batch [`Dfta::run_pooled`] over a slice of pooled ids, sharded
+    /// across `par`'s workers; each worker evaluates its contiguous
+    /// chunk under its own dense memo. The result matches `ids`
+    /// element-wise and — `run_pooled` being a pure function of
+    /// `(self, pool, id)` — is identical at any worker count; a
+    /// sequential pool runs the whole batch inline under one memo.
+    ///
+    /// Per-worker memos trade subterm sharing for parallelism: on a
+    /// batch closed under subterms (the fingerprint enumerations),
+    /// every worker may re-derive the deep closure its chunk touches,
+    /// so *total* work can grow by up to the worker count while
+    /// wall-clock stays at worst around the sequential pass — which is
+    /// why the batch is cut into exactly `threads` chunks here, not the
+    /// finer load-balancing chunks of [`Pool::map_chunks`]
+    /// (`ringen_parallel::Pool::map_chunks`). Batches of mostly
+    /// unshared terms parallelize near-linearly.
+    ///
+    /// This is the batch surface the fingerprint sweeps use
+    /// (`ringen-regelem`); anything that evaluates many pooled terms
+    /// against one automaton can go through it.
+    pub fn run_pooled_batch(
+        &self,
+        pool: &TermPool,
+        ids: &[TermId],
+        par: &ringen_parallel::Pool,
+    ) -> Vec<Option<StateId>> {
+        if par.is_sequential() || ids.len() < 2 {
+            let mut cache = PoolRunCache::new();
+            return ids
+                .iter()
+                .map(|&id| self.run_pooled(pool, id, &mut cache))
+                .collect();
+        }
+        let chunk = ids.len().div_ceil(par.threads());
+        let ranges: Vec<(usize, usize)> = (0..ids.len())
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(ids.len())))
+            .collect();
+        par.map_items(&ranges, |_, &(a, b)| {
+            let mut cache = PoolRunCache::new();
+            ids[a..b]
+                .iter()
+                .map(|&id| self.run_pooled(pool, id, &mut cache))
+                .collect::<Vec<_>>()
+        })
+        .concat()
+    }
+
     /// Evaluates a term with variables under a state assignment. This is
     /// the compositional evaluation used by the regular-inductiveness
     /// check (every ground instance of `t` where variable `v` evaluates to
@@ -940,6 +988,32 @@ mod tests {
         // itself unrunnable and cached as such.
         assert_eq!(a.run_pooled(&pool, one, &mut cache), None);
         assert_eq!(a.run_pooled(&pool, zero, &mut cache), Some(s0));
+    }
+
+    #[test]
+    fn run_pooled_batch_matches_per_id_runs_at_any_thread_count() {
+        let (sig, a, _s0, _s1, _z, _s) = even_dfta();
+        let nat = a.states().next().map(|q| a.sort_of(q)).unwrap();
+        let mut pool = TermPool::new();
+        let ids = ringen_terms::herbrand::pooled_terms_up_to_height(&sig, nat, 7, &mut pool);
+        let mut cache = PoolRunCache::new();
+        let expect: Vec<Option<StateId>> = ids
+            .iter()
+            .map(|&id| a.run_pooled(&pool, id, &mut cache))
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let par =
+                ringen_parallel::Pool::new(&ringen_parallel::ParallelConfig::with_threads(threads));
+            assert_eq!(
+                a.run_pooled_batch(&pool, &ids, &par),
+                expect,
+                "threads = {threads}"
+            );
+        }
+        // Degenerate batches.
+        let par = ringen_parallel::Pool::new(&ringen_parallel::ParallelConfig::with_threads(4));
+        assert_eq!(a.run_pooled_batch(&pool, &[], &par), Vec::new());
+        assert_eq!(a.run_pooled_batch(&pool, &ids[..1], &par), expect[..1]);
     }
 
     #[test]

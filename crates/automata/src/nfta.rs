@@ -21,7 +21,11 @@
 //! combination of argument subsets is (re-)examined only when one of its
 //! members is new, instead of the whole combination space being rescanned
 //! every round. Only *reachable* subset states are ever created, so the
-//! resulting [`Dfta`] is trim by construction.
+//! resulting [`Dfta`] is trim by construction. Subset states are
+//! fixed-width `u64`-block bitsets (`NStateSet`): membership tests are
+//! one shift-and-mask, rule targets fold in with word-wise `|=`, and
+//! hashing/equality of a subset key is O(words) instead of a
+//! `BTreeSet` walk.
 
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
@@ -340,14 +344,24 @@ impl Nfta {
         // Subset → deterministic state. The per-sort grouping needed for
         // combination enumeration is `dfta.states_of_sort` — the kernel's
         // own index, not a second copy.
-        let mut ids: FxHashMap<BTreeSet<NState>, StateId> = FxHashMap::default();
-        let mut subset_of: Vec<BTreeSet<NState>> = Vec::new();
+        let mut ids: FxHashMap<NStateSet, StateId> = FxHashMap::default();
+        let mut subset_of: Vec<NStateSet> = Vec::new();
         let mut queue: VecDeque<StateId> = VecDeque::new();
+
+        // Every subset state of this construction has the same width,
+        // so keys hash and compare in O(words).
+        let width = NStateSet::words_for(self.state_count());
+        // Per-rule target bitsets, folded in with word-wise `|=`.
+        let rule_targets: Vec<NStateSet> = self
+            .rules
+            .iter()
+            .map(|r| NStateSet::from_iter(width, r.targets.iter().copied()))
+            .collect();
 
         // The target subset of `f` applied to the given argument subsets
         // (empty = no transition).
-        let target_of = |f: FuncId, combo: &[StateId], subset_of: &[BTreeSet<NState>]| {
-            let mut target: BTreeSet<NState> = BTreeSet::new();
+        let target_of = |f: FuncId, combo: &[StateId], subset_of: &[NStateSet]| {
+            let mut target = NStateSet::empty(width);
             for &ri in self.rules_of(f) {
                 let r = &self.rules[ri as usize];
                 if r.len as usize == combo.len()
@@ -355,9 +369,9 @@ impl Nfta {
                         .rule_args(r)
                         .iter()
                         .zip(combo)
-                        .all(|(q, s)| subset_of[s.index()].contains(q))
+                        .all(|(q, s)| subset_of[s.index()].contains(*q))
                 {
-                    target.extend(r.targets.iter().copied());
+                    target.union_with(&rule_targets[ri as usize]);
                 }
             }
             target
@@ -425,12 +439,13 @@ impl Nfta {
             }
         }
 
+        let finals_set = NStateSet::from_iter(width, self.finals.iter().copied());
         let mut out = TupleAutomaton::new(dfta, vec![lang_sort]);
         let mut final_ids: Vec<StateId> = ids
             .iter()
             .filter(|(set, _)| {
-                self.sort_of(*set.iter().next().expect("subsets are nonempty")) == lang_sort
-                    && set.iter().any(|s| self.finals.contains(s))
+                self.sort_of(set.first().expect("subsets are nonempty")) == lang_sort
+                    && set.intersects(&finals_set)
             })
             .map(|(_, id)| *id)
             .collect();
@@ -442,20 +457,86 @@ impl Nfta {
     }
 }
 
+/// A fixed-width set of [`NState`]s in `u64` blocks: the subset-state
+/// key of [`Nfta::determinize`]. All sets of one construction share one
+/// width, so `Eq`/`Hash` are word-wise — O(words), allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct NStateSet {
+    bits: Vec<u64>,
+}
+
+impl NStateSet {
+    /// Number of `u64` blocks needed for `n` states.
+    fn words_for(n: usize) -> usize {
+        n.div_ceil(64).max(1)
+    }
+
+    /// The empty set over `words` blocks.
+    fn empty(words: usize) -> Self {
+        NStateSet {
+            bits: vec![0; words],
+        }
+    }
+
+    /// Collects states into a set over `words` blocks.
+    fn from_iter(words: usize, states: impl IntoIterator<Item = NState>) -> Self {
+        let mut out = Self::empty(words);
+        for s in states {
+            out.bits[s.index() / 64] |= 1u64 << (s.index() % 64);
+        }
+        out
+    }
+
+    /// Membership: one shift and mask.
+    #[inline]
+    fn contains(&self, s: NState) -> bool {
+        self.bits[s.index() / 64] & (1u64 << (s.index() % 64)) != 0
+    }
+
+    /// Word-wise in-place union.
+    #[inline]
+    fn union_with(&mut self, other: &NStateSet) {
+        debug_assert_eq!(self.bits.len(), other.bits.len(), "mixed-width sets");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Whether no state is set.
+    fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the two sets share a member. O(words).
+    fn intersects(&self, other: &NStateSet) -> bool {
+        self.bits.iter().zip(&other.bits).any(|(a, b)| a & b != 0)
+    }
+
+    /// The lowest member, if any (subset sorts are read off it).
+    fn first(&self) -> Option<NState> {
+        for (wi, &w) in self.bits.iter().enumerate() {
+            if w != 0 {
+                return Some(NState::from_index(wi * 64 + w.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+}
+
 /// Interns a subset state in the determinized automaton, enqueuing it
 /// for combination processing when new.
 fn intern_subset(
-    target: BTreeSet<NState>,
+    target: NStateSet,
     nfta: &Nfta,
     dfta: &mut Dfta,
-    ids: &mut FxHashMap<BTreeSet<NState>, StateId>,
-    subset_of: &mut Vec<BTreeSet<NState>>,
+    ids: &mut FxHashMap<NStateSet, StateId>,
+    subset_of: &mut Vec<NStateSet>,
     queue: &mut VecDeque<StateId>,
 ) -> StateId {
     if let Some(id) = ids.get(&target) {
         return *id;
     }
-    let sort = nfta.sort_of(*target.iter().next().expect("subsets are nonempty"));
+    let sort = nfta.sort_of(target.first().expect("subsets are nonempty"));
     let id = dfta.add_state(sort);
     debug_assert_eq!(id.index(), subset_of.len());
     subset_of.push(target.clone());

@@ -80,6 +80,18 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.20);
+    // Parallel-vs-sequential ratios measure thread scheduling, which is
+    // far noisier than the in-process kernel ratios — especially on an
+    // oversubscribed single-core host, where the ratio is pure spawn
+    // overhead. Give them headroom while still catching a machinery
+    // regression that doubles the overhead.
+    let tolerance_for = |name: &str| {
+        if name.starts_with("parallel_") {
+            tolerance.max(0.35)
+        } else {
+            tolerance
+        }
+    };
 
     let mut failures = 0usize;
 
@@ -107,12 +119,13 @@ fn main() -> ExitCode {
         match cur_ratios.iter().find(|(n, _)| n == name) {
             None => println!("note {name}: not measured in current run"),
             Some((_, cur)) => {
-                let floor = base * (1.0 - tolerance);
+                let tol = tolerance_for(name);
+                let floor = base * (1.0 - tol);
                 if *cur < floor {
                     println!(
                         "FAIL {name}: speedup {cur:.2}x fell more than \
                          {:.0}% below baseline {base:.2}x",
-                        tolerance * 100.0
+                        tol * 100.0
                     );
                     failures += 1;
                 } else {

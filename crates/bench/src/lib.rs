@@ -98,6 +98,7 @@ impl SolverKind {
             max_term_height: 72,
             free_var_candidates: 6,
             max_steps: 600_000,
+            ..SaturationConfig::default()
         }
     }
 }

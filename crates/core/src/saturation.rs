@@ -26,15 +26,38 @@
 //! [`GroundTerm`] representation only appears at the certificate
 //! boundary ([`Refutation`] / [`check_refutation`]), which replays
 //! derivations independently of the pool.
+//!
+//! # Sharded rounds: snapshot, delta, merge
+//!
+//! Within a round every clause matches against the **frozen snapshot**
+//! of the fact base taken at the round's start (Jacobi iteration — a
+//! clause never sees facts derived earlier in the *same* round). That
+//! makes clauses independent, so the round shards the clause list
+//! across a [`ringen_parallel::Pool`]: each worker joins its clauses
+//! against the shared `&FactBase`, interning derived terms into a
+//! thread-local [`ScratchPool`] and accumulating a private delta of
+//! candidate facts. A sequential merge then folds the deltas **in
+//! clause order** — re-interning scratch terms into the master pool
+//! ([`TermPool::reintern`]), deduplicating, recording provenance, and
+//! applying the fact/step budgets — so the outcome, the fact order, the
+//! pool contents, and any refutation certificate are a pure function of
+//! the per-clause results and therefore bit-for-bit identical at any
+//! thread count (`RINGEN_THREADS=1` forces the spawn-free inline
+//! path; the differential property tests in `tests/` pin 2, 4 and 8
+//! workers to it). Budgets stay deterministic because each clause runs
+//! under the budget remaining at the round's start, and the merge
+//! re-applies the global caps clause by clause.
 
 use std::error::Error;
 use std::fmt;
 use std::hash::Hasher;
 
 use ringen_chc::{Atom, ChcSystem, Clause, Constraint, PredId};
+use ringen_parallel::{ParallelConfig, Pool};
 use ringen_terms::intern::InternTable;
 use ringen_terms::{
-    herbrand::terms_by_size, GroundTerm, Substitution, Term, TermId, TermPool, VarId,
+    herbrand::terms_by_size, GroundTerm, ScratchNodes, ScratchPool, SortId, Substitution, Term,
+    TermId, TermPool, VarId,
 };
 use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
 use smallvec::SmallVec;
@@ -52,8 +75,18 @@ pub struct SaturationConfig {
     /// How many candidate ground terms to enumerate per sort when a head
     /// variable is not bound by the body (e.g. `⊤ → p(c(x))`).
     pub free_var_candidates: usize,
-    /// Abort after this many body-match attempts.
+    /// Abort once the merged body-match attempts reach this count. The
+    /// cap is applied deterministically at clause boundaries of the
+    /// round merge, and every clause of a round runs under the budget
+    /// remaining at the *round's start* — so in the terminal round the
+    /// engine may speculatively attempt (and then discard) up to
+    /// `clauses × remaining` matches beyond the cap. A budget, not an
+    /// exact step count.
     pub max_steps: u64,
+    /// Worker threads for the sharded round engine. The default honors
+    /// `RINGEN_THREADS` (1 forces the inline path); outcomes are
+    /// bit-for-bit identical at any value.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for SaturationConfig {
@@ -64,6 +97,7 @@ impl Default for SaturationConfig {
             max_term_height: 24,
             free_var_candidates: 8,
             max_steps: 2_000_000,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -81,6 +115,10 @@ type Bind = SmallVec<[(VarId, TermId); 8]>;
 /// Provenance of a derived fact: (clause index, pooled variable
 /// binding, premise fact indices).
 type Provenance = (usize, Vec<(VarId, TermId)>, Vec<usize>);
+
+/// A fired query-clause instance awaiting certificate construction at
+/// merge time: (pooled binding, premise fact indices).
+type QueryFire = (Vec<(VarId, TermId)>, Vec<usize>);
 
 /// One step of a ground derivation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -264,76 +302,212 @@ pub struct SaturationStats {
     pub rounds: usize,
     /// Facts derived.
     pub facts: usize,
-    /// Body-match attempts.
+    /// Body-match attempts *merged into the result*: clauses past an
+    /// early round cut (refutation or budget) ran speculatively against
+    /// the snapshot, and their attempts are discarded with their
+    /// deltas — deterministically, whatever the worker count.
     pub steps: u64,
     /// Distinct terms interned in the fact base's pool.
     pub pooled_terms: usize,
 }
 
+/// One clause's contribution to a round: a private delta computed
+/// against the frozen snapshot, merged deterministically afterwards.
+struct ClauseRun {
+    /// Body-match attempts spent by this clause.
+    steps: u64,
+    /// A fired query clause: (binding in scratch ids, premise facts).
+    refutation: Option<QueryFire>,
+    /// Derived facts in derivation order, args/bindings in scratch ids.
+    #[allow(clippy::type_complexity)]
+    new_facts: Vec<(PredId, FactArgs, Bind, Vec<usize>)>,
+    /// Terms this clause interned beyond the snapshot.
+    nodes: ScratchNodes,
+    /// Enumerated free-variable candidates computed fresh (pure per
+    /// sort; merged into the shared cache for later rounds).
+    enum_terms: Vec<(SortId, Vec<GroundTerm>)>,
+}
+
+/// Runs one clause against the frozen snapshot. Pure: depends only on
+/// the snapshot, the clause, and the round-start step budget — never on
+/// sibling clauses or the worker schedule.
+fn run_clause(
+    sys: &ChcSystem,
+    cfg: &SaturationConfig,
+    ci: usize,
+    base: &FactBase,
+    enum_cache: &FxHashMap<SortId, Vec<GroundTerm>>,
+    step_budget: u64,
+) -> ClauseRun {
+    let clause = &sys.clauses[ci];
+    // A query of the ∀∃ shape (§5) cannot be fired by a finite set of
+    // facts; the refuter conservatively skips it.
+    if !clause.exist_vars.is_empty() {
+        return ClauseRun {
+            steps: 0,
+            refutation: None,
+            new_facts: Vec::new(),
+            nodes: ScratchNodes::default(),
+            enum_terms: Vec::new(),
+        };
+    }
+    let mut matcher = Matcher {
+        sys,
+        cfg,
+        clause,
+        base,
+        scratch: base.pool.scratch(),
+        enum_cache,
+        enum_fresh: FxHashMap::default(),
+        steps: 0,
+        step_budget,
+        budget_hit: false,
+        refutation: None,
+        new_facts: Vec::new(),
+        new_index: FxHashSet::default(),
+    };
+    matcher.run();
+    let mut enum_terms: Vec<(SortId, Vec<GroundTerm>)> = matcher.enum_fresh.into_iter().collect();
+    enum_terms.sort_by_key(|(s, _)| *s);
+    ClauseRun {
+        steps: matcher.steps,
+        refutation: matcher.refutation,
+        new_facts: matcher.new_facts,
+        nodes: matcher.scratch.into_nodes(),
+        enum_terms,
+    }
+}
+
+/// How a round's merge ended.
+enum RoundEnd {
+    /// All deltas merged below every budget.
+    Done,
+    /// A query clause fired; the certificate is already built.
+    Refuted(Refutation),
+    /// A budget was exhausted while merging.
+    Budget,
+}
+
+/// Folds the per-clause deltas into the base **in clause order** —
+/// dedup, budgets, provenance and refutation selection are all decided
+/// here, sequentially, which is what makes the engine deterministic at
+/// any thread count.
+fn merge_round(
+    cfg: &SaturationConfig,
+    base: &mut FactBase,
+    enum_cache: &mut FxHashMap<SortId, Vec<GroundTerm>>,
+    runs: Vec<ClauseRun>,
+    stats: &mut SaturationStats,
+    debug: bool,
+    round: usize,
+) -> RoundEnd {
+    for (ci, run) in runs.into_iter().enumerate() {
+        if debug {
+            eprintln!(
+                "round {round} clause {ci} facts={} steps={} (clause spent {} steps, {} candidates)",
+                base.len(),
+                stats.steps,
+                run.steps,
+                run.new_facts.len(),
+            );
+        }
+        stats.steps += run.steps;
+        for (sort, terms) in run.enum_terms {
+            enum_cache.entry(sort).or_insert(terms);
+        }
+        // Scratch-id → master-id memo, shared across this delta.
+        let mut memo: Vec<Option<TermId>> = Vec::new();
+        if let Some((bind, premises)) = run.refutation {
+            let bind: Vec<(VarId, TermId)> = bind
+                .into_iter()
+                .map(|(v, id)| (v, base.pool.reintern(&run.nodes, &mut memo, id)))
+                .collect();
+            return RoundEnd::Refuted(build_refutation(base, ci, &bind, premises));
+        }
+        for (pred, args, bind, premises) in run.new_facts {
+            let margs: FactArgs = args
+                .iter()
+                .map(|&a| base.pool.reintern(&run.nodes, &mut memo, a))
+                .collect();
+            // First derivation wins: a clause earlier in this round (or
+            // an earlier round) already owns this fact and its
+            // provenance.
+            if base.find(pred, &margs).is_some() {
+                continue;
+            }
+            if base.len() >= cfg.max_facts {
+                return RoundEnd::Budget;
+            }
+            let bind: Vec<(VarId, TermId)> = bind
+                .into_iter()
+                .map(|(v, id)| (v, base.pool.reintern(&run.nodes, &mut memo, id)))
+                .collect();
+            base.insert(pred, margs, ci, bind, premises);
+        }
+        if stats.steps >= cfg.max_steps || base.len() >= cfg.max_facts {
+            return RoundEnd::Budget;
+        }
+    }
+    RoundEnd::Done
+}
+
 /// Computes the least model bottom-up; reports a [`Refutation`] as soon
 /// as a query clause fires.
+///
+/// Rounds are sharded across [`SaturationConfig::parallel`] workers
+/// (see the [module docs](self)); the result is identical at any
+/// worker count.
 pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, SaturationStats) {
+    let pool = Pool::new(&cfg.parallel);
+    // Read once, outside the hot path: this used to be an env lookup
+    // per clause per round.
+    let debug = std::env::var_os("RINGEN_SAT_DEBUG").is_some();
     let mut base = FactBase::default();
     let mut stats = SaturationStats::default();
-    let mut enum_pool: FxHashMap<ringen_terms::SortId, Vec<GroundTerm>> = FxHashMap::default();
-    let mut budget_hit = false;
+    let mut enum_cache: FxHashMap<SortId, Vec<GroundTerm>> = FxHashMap::default();
+    let clause_idx: Vec<usize> = (0..sys.clauses.len()).collect();
+
+    let finalize = |stats: &mut SaturationStats, base: &FactBase| {
+        stats.facts = base.len();
+        stats.pooled_terms = base.pool.len();
+    };
 
     for round in 0..cfg.max_rounds {
         stats.rounds = round + 1;
         let before = base.len();
-        for (ci, clause) in sys.clauses.iter().enumerate() {
-            // A query of the ∀∃ shape (§5) cannot be fired by a finite
-            // set of facts; the refuter conservatively skips it.
-            if !clause.exist_vars.is_empty() {
-                continue;
-            }
-            if std::env::var_os("RINGEN_SAT_DEBUG").is_some() {
-                eprintln!(
-                    "round {round} clause {ci} facts={} steps={}",
-                    base.len(),
-                    stats.steps
-                );
-            }
-            let mut matcher = Matcher {
-                sys,
-                cfg,
-                clause,
-                ci,
-                base: &mut base,
-                enum_pool: &mut enum_pool,
-                steps: &mut stats.steps,
-                refutation: None,
-                budget_hit: &mut budget_hit,
-                new_facts: Vec::new(),
-                new_index: FxHashSet::default(),
-            };
-            matcher.run();
-            let new_facts = matcher.new_facts;
-            if let Some(r) = matcher.refutation {
-                stats.facts = base.len();
-                stats.pooled_terms = base.pool.len();
+        // Every clause runs under the budget left at the round's start
+        // (not reduced by sibling clauses — that would reintroduce a
+        // cross-clause order dependence); the merge re-applies the
+        // global cap clause by clause.
+        let step_budget = cfg.max_steps.saturating_sub(stats.steps);
+        let runs: Vec<ClauseRun> = pool.map_items(&clause_idx, |_, &ci| {
+            run_clause(sys, cfg, ci, &base, &enum_cache, step_budget)
+        });
+        match merge_round(
+            cfg,
+            &mut base,
+            &mut enum_cache,
+            runs,
+            &mut stats,
+            debug,
+            round,
+        ) {
+            RoundEnd::Refuted(r) => {
+                finalize(&mut stats, &base);
                 return (SaturationOutcome::Refuted(r), stats);
             }
-            for (pred, args, binding, premises) in new_facts {
-                base.insert(pred, args, ci, binding.into_vec(), premises);
-            }
-            if base.len() >= cfg.max_facts || stats.steps >= cfg.max_steps {
-                budget_hit = true;
-            }
-            if budget_hit {
-                stats.facts = base.len();
-                stats.pooled_terms = base.pool.len();
+            RoundEnd::Budget => {
+                finalize(&mut stats, &base);
                 return (SaturationOutcome::Budget(base), stats);
             }
+            RoundEnd::Done => {}
         }
         if base.len() == before {
-            stats.facts = base.len();
-            stats.pooled_terms = base.pool.len();
+            finalize(&mut stats, &base);
             return (SaturationOutcome::Saturated(base), stats);
         }
     }
-    stats.facts = base.len();
-    stats.pooled_terms = base.pool.len();
+    finalize(&mut stats, &base);
     (SaturationOutcome::Budget(base), stats)
 }
 
@@ -371,10 +545,10 @@ fn match_pooled(pool: &TermPool, pat: &Term, id: TermId, bind: &mut Bind) -> boo
     }
 }
 
-/// Instantiates a (fully bound) clause term directly into the pool.
-/// `None` if a variable is unbound — the caller falls back to the
-/// enumeration path.
-fn intern_pattern(pool: &mut TermPool, pat: &Term, bind: &Bind) -> Option<TermId> {
+/// Instantiates a (fully bound) clause term directly into the worker's
+/// scratch pool. `None` if a variable is unbound — the caller falls
+/// back to the enumeration path.
+fn intern_pattern(pool: &mut ScratchPool<'_>, pat: &Term, bind: &Bind) -> Option<TermId> {
     match pat {
         Term::Var(v) => bind_get(bind, *v),
         Term::App(f, pats) => {
@@ -390,7 +564,7 @@ fn intern_pattern(pool: &mut TermPool, pat: &Term, bind: &Bind) -> Option<TermId
 /// Height the instantiated pattern *would* have, without interning
 /// anything — so over-budget heads are rejected before they pollute
 /// the long-lived pool. `None` if a variable is unbound.
-fn pattern_height(pool: &TermPool, pat: &Term, bind: &Bind) -> Option<usize> {
+fn pattern_height(pool: &ScratchPool<'_>, pat: &Term, bind: &Bind) -> Option<usize> {
     match pat {
         Term::Var(v) => bind_get(bind, *v).map(|id| pool.height(id)),
         Term::App(_, pats) => {
@@ -407,13 +581,21 @@ struct Matcher<'a> {
     sys: &'a ChcSystem,
     cfg: &'a SaturationConfig,
     clause: &'a Clause,
-    ci: usize,
-    base: &'a mut FactBase,
-    /// Enumerated candidate terms per sort for unbound head variables.
-    enum_pool: &'a mut FxHashMap<ringen_terms::SortId, Vec<GroundTerm>>,
-    steps: &'a mut u64,
-    refutation: Option<Refutation>,
-    budget_hit: &'a mut bool,
+    /// The frozen snapshot. Shared — many matchers read it at once.
+    base: &'a FactBase,
+    /// Thread-local extension of the snapshot's pool for derived terms.
+    scratch: ScratchPool<'a>,
+    /// Enumerated candidate terms per sort for unbound head variables:
+    /// the shared cache from previous rounds…
+    enum_cache: &'a FxHashMap<SortId, Vec<GroundTerm>>,
+    /// …plus the entries this clause computed fresh (pure per sort).
+    enum_fresh: FxHashMap<SortId, Vec<GroundTerm>>,
+    /// Body-match attempts spent by this clause.
+    steps: u64,
+    /// Step budget remaining at the round's start.
+    step_budget: u64,
+    refutation: Option<QueryFire>,
+    budget_hit: bool,
     #[allow(clippy::type_complexity)]
     new_facts: Vec<(PredId, FactArgs, Bind, Vec<usize>)>,
     /// Hash index over `new_facts` (the in-round dedup must not scan).
@@ -425,10 +607,10 @@ impl Matcher<'_> {
         self.match_body(0, Bind::new(), Vec::new());
     }
 
-    /// Joins body atoms left to right against the fact base, entirely on
-    /// pooled ids: no term is cloned or reconstructed here.
+    /// Joins body atoms left to right against the frozen snapshot,
+    /// entirely on pooled ids: no term is cloned or reconstructed here.
     fn match_body(&mut self, k: usize, bind: Bind, premises: Vec<usize>) {
-        if self.refutation.is_some() || *self.budget_hit {
+        if self.refutation.is_some() || self.budget_hit {
             return;
         }
         if k == self.clause.body.len() {
@@ -436,33 +618,36 @@ impl Matcher<'_> {
             return;
         }
         let atom = &self.clause.body[k];
-        let candidates: Vec<u32> = self
-            .base
+        // The snapshot is never written during the round, so the
+        // candidate row can be borrowed across the recursion — the old
+        // `&mut`-aliasing clone is gone.
+        let base = self.base;
+        let candidates: &[u32] = base
             .by_pred
             .get(&atom.pred)
-            .cloned()
-            .unwrap_or_default();
-        for fi in candidates {
-            *self.steps += 1;
-            if *self.steps >= self.cfg.max_steps {
-                *self.budget_hit = true;
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        for &fi in candidates {
+            self.steps += 1;
+            if self.steps >= self.step_budget {
+                self.budget_hit = true;
                 return;
             }
             let fi = fi as usize;
             let mut bind2 = bind.clone();
             let ok = {
-                let fact_args = &self.base.facts[fi].1;
+                let fact_args = &base.facts[fi].1;
                 atom.args
                     .iter()
                     .zip(fact_args)
-                    .all(|(pat, id)| match_pooled(&self.base.pool, pat, *id, &mut bind2))
+                    .all(|(pat, id)| match_pooled(&base.pool, pat, *id, &mut bind2))
             };
             if ok {
                 let mut premises2 = premises.clone();
                 premises2.push(fi);
                 self.match_body(k + 1, bind2, premises2);
             }
-            if self.refutation.is_some() || *self.budget_hit {
+            if self.refutation.is_some() || self.budget_hit {
                 return;
             }
         }
@@ -484,8 +669,9 @@ impl Matcher<'_> {
         }
 
         // Legacy path. Reconstruct a substitution from the pooled
-        // binding; equalities may bind further variables (clauses of
-        // the form `x = S(y) ∧ … → …` carry definitions in
+        // binding (ids here come from body matching, so they are
+        // snapshot ids); equalities may bind further variables
+        // (clauses of the form `x = S(y) ∧ … → …` carry definitions in
         // constraints).
         let mut sub = Substitution::new();
         for (v, id) in &bind {
@@ -515,20 +701,22 @@ impl Matcher<'_> {
     }
 
     /// Pooled head derivation: instantiate head arguments directly as
-    /// interned ids, check the height budget from the memoized table,
-    /// dedup by id tuple.
+    /// interned ids (into the scratch extension), check the height
+    /// budget from the memoized tables, dedup by id tuple.
     fn finish_pooled(&mut self, bind: Bind, premises: Vec<usize>) {
-        match &self.clause.head {
+        let clause = self.clause;
+        match &clause.head {
             None => {
-                // ⊥ derived: reconstruct the transitive premises.
-                self.refutation = Some(build_refutation(self.base, self.ci, &bind, premises));
+                // ⊥ derived. The certificate is built at merge time,
+                // against the master pool; stash the instance.
+                self.refutation = Some((bind.into_vec(), premises));
             }
             Some(atom) => {
                 // Height check *before* interning: rejected heads must
-                // not grow the pool (the old boxed path built a
+                // not grow the scratch (the old boxed path built a
                 // transient term and dropped it).
                 for t in &atom.args {
-                    match pattern_height(&self.base.pool, t, &bind) {
+                    match pattern_height(&self.scratch, t, &bind) {
                         Some(h) if h > self.cfg.max_term_height => return,
                         Some(_) => {}
                         None => return,
@@ -537,15 +725,17 @@ impl Matcher<'_> {
                 let args: Option<FactArgs> = atom
                     .args
                     .iter()
-                    .map(|t| intern_pattern(&mut self.base.pool, t, &bind))
+                    .map(|t| intern_pattern(&mut self.scratch, t, &bind))
                     .collect();
                 let Some(args) = args else { return };
                 let pred = atom.pred;
+                // Snapshot facts only reference snapshot ids, so a
+                // tuple containing a scratch id correctly misses here.
                 if self.base.find(pred, &args).is_none()
                     && !self.new_index.contains(&(pred, args.clone()))
                 {
                     if self.base.len() + self.new_facts.len() >= self.cfg.max_facts {
-                        *self.budget_hit = true;
+                        self.budget_hit = true;
                         return;
                     }
                     self.new_index.insert((pred, args.clone()));
@@ -556,7 +746,7 @@ impl Matcher<'_> {
     }
 
     fn bind_free(&mut self, free: &[VarId], k: usize, sub: Substitution, premises: Vec<usize>) {
-        if self.refutation.is_some() || *self.budget_hit {
+        if self.refutation.is_some() || self.budget_hit {
             return;
         }
         if k == free.len() {
@@ -565,16 +755,23 @@ impl Matcher<'_> {
         }
         let v = free[k];
         let sort = self.clause.vars.sort(v).expect("var in context");
-        let (sig, limit) = (&self.sys.sig, self.cfg.free_var_candidates);
-        let candidates = self
-            .enum_pool
-            .entry(sort)
-            .or_insert_with(|| terms_by_size(sig, sort, limit))
-            .clone();
+        let cached = self
+            .enum_cache
+            .get(&sort)
+            .or_else(|| self.enum_fresh.get(&sort))
+            .cloned();
+        let candidates = match cached {
+            Some(v) => v,
+            None => {
+                let v = terms_by_size(&self.sys.sig, sort, self.cfg.free_var_candidates);
+                self.enum_fresh.insert(sort, v.clone());
+                v
+            }
+        };
         for t in candidates {
-            *self.steps += 1;
-            if *self.steps >= self.cfg.max_steps {
-                *self.budget_hit = true;
+            self.steps += 1;
+            if self.steps >= self.step_budget {
+                self.budget_hit = true;
                 return;
             }
             let mut sub2 = sub.clone();
@@ -582,7 +779,7 @@ impl Matcher<'_> {
             single.bind(v, Term::from(&t));
             sub2.compose(&single);
             self.bind_free(free, k + 1, sub2, premises.clone());
-            if self.refutation.is_some() || *self.budget_hit {
+            if self.refutation.is_some() || self.budget_hit {
                 return;
             }
         }
@@ -633,8 +830,9 @@ impl Matcher<'_> {
         }
         // Height-check the instantiated head transiently (boxed, then
         // dropped — as the pre-pool code did) before interning the
-        // binding into the long-lived pool.
-        if let Some(atom) = &self.clause.head {
+        // binding into the scratch extension.
+        let clause = self.clause;
+        if let Some(atom) = &clause.head {
             for t in &atom.args {
                 let Some(g) = sub.apply_deep(t).to_ground() else {
                     return;
@@ -644,14 +842,13 @@ impl Matcher<'_> {
                 }
             }
         }
-        let binding: Bind = self
-            .clause
+        let binding: Bind = clause
             .vars
             .vars()
             .filter_map(|v| {
                 sub.apply_deep(&Term::var(v))
                     .to_ground()
-                    .map(|g| (v, self.base.pool.intern_term(&g)))
+                    .map(|g| (v, self.scratch.intern_term(&g)))
             })
             .collect();
         self.finish_pooled(binding, premises);
@@ -659,11 +856,13 @@ impl Matcher<'_> {
 }
 
 /// Extracts the sub-derivation ending in the ⊥ step, reconstructing
-/// boxed terms from the pool at this certificate boundary only.
+/// boxed terms from the pool at this certificate boundary only. The
+/// binding must already be in master-pool ids (the merge re-interns
+/// scratch bindings before calling this).
 fn build_refutation(
     base: &FactBase,
     query_clause: usize,
-    binding: &Bind,
+    binding: &[(VarId, TermId)],
     premises: Vec<usize>,
 ) -> Refutation {
     let ground_binding = |b: &[(VarId, TermId)]| -> Vec<(VarId, GroundTerm)> {

@@ -59,6 +59,7 @@ impl RingenConfig {
                 max_term_height: 16,
                 free_var_candidates: 6,
                 max_steps: 400_000,
+                ..SaturationConfig::default()
             },
             ..RingenConfig::default()
         }

@@ -66,6 +66,7 @@ impl InductionConfig {
                 max_term_height: 16,
                 free_var_candidates: 6,
                 max_steps: 400_000,
+                ..SaturationConfig::default()
             },
             max_depth: 10,
             max_goals: 10_000,

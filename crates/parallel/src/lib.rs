@@ -1,0 +1,376 @@
+//! A dependency-free, scoped threadpool for the solver's
+//! embarrassingly parallel loops.
+//!
+//! The saturation refuter and the automata batch evaluators fan the
+//! same pure function out over a slice of independent work items
+//! (clauses, pooled term ids). This crate gives them that fan-out on
+//! plain [`std::thread::scope`] — no external dependency, matching the
+//! workspace's offline-vendored build — with three properties the
+//! solver's certified answers demand:
+//!
+//! 1. **Determinism by construction.** Work distribution uses a shared
+//!    atomic cursor (a chunked work queue: whichever worker is free
+//!    claims the next item), so the *schedule* is nondeterministic —
+//!    but results are keyed by item index and handed back in input
+//!    order. As long as the per-item function is pure, the returned
+//!    `Vec` is byte-identical at any thread count.
+//!
+//! 2. **Inline 1-thread fallback.** With `threads <= 1` (or a single
+//!    work item) no thread is ever spawned: the items run inline, in
+//!    order, on the caller's stack. Single-threaded semantics are
+//!    therefore byte-identical to a plain sequential loop — there is no
+//!    "parallel runtime" between the caller and its closure.
+//!
+//! 3. **Panic propagation, never deadlock.** A panicking worker does
+//!    not wedge the pool: remaining workers drain the queue, the scope
+//!    joins every thread, and the first panic payload is re-raised on
+//!    the caller's thread via [`std::panic::resume_unwind`].
+//!
+//! # The snapshot / delta / merge recipe
+//!
+//! Callers that *mutate* shared state (the saturation fact base) follow
+//! the discipline the `ringen-core` saturation engine established:
+//!
+//! * **snapshot** — workers receive the shared structure frozen by
+//!   `&`-borrow; nothing is written during the parallel phase;
+//! * **delta** — each work item accumulates its writes in a private
+//!   scratch structure (new facts interned into a thread-local
+//!   [`ScratchPool`](../ringen_terms/pool/struct.ScratchPool.html));
+//! * **merge** — after the barrier, the caller folds the deltas into
+//!   the master structure *in item order*, which is a pure function of
+//!   the per-item results and hence independent of how items were
+//!   scheduled onto threads.
+//!
+//! Together with property 1 this makes the parallel engines bit-for-bit
+//! equal to their sequential counterparts — a claim the differential
+//! property tests in `ringen-core` enforce at 1, 2, 4 and 8 threads.
+//!
+//! # Configuration
+//!
+//! [`ParallelConfig`] selects the worker count. `RINGEN_THREADS=n`
+//! overrides it process-wide ([`ParallelConfig::default`] reads the
+//! variable); `RINGEN_THREADS=1` forces the inline path everywhere,
+//! which is the switch CI uses to pin the parallel engines to their
+//! sequential semantics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-count policy for a [`Pool`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of worker threads; `0` means "ask the OS"
+    /// ([`std::thread::available_parallelism`]). `1` disables spawning
+    /// entirely (the inline path).
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// Reads `RINGEN_THREADS` (unset, empty, unparsable, or `0` mean
+    /// auto-detect). This is also [`ParallelConfig::default`], so every
+    /// engine that defaults its config honors the variable.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("RINGEN_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        ParallelConfig { threads }
+    }
+
+    /// Exactly `n` workers (`0` = auto-detect).
+    pub fn with_threads(n: usize) -> Self {
+        ParallelConfig { threads: n }
+    }
+
+    /// The inline single-threaded configuration.
+    pub fn sequential() -> Self {
+        ParallelConfig { threads: 1 }
+    }
+
+    /// The concrete worker count this configuration resolves to.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::from_env()
+    }
+}
+
+/// A scoped fan-out executor. Holds no threads while idle — workers are
+/// spawned per call inside a [`std::thread::scope`] and joined before
+/// the call returns, so borrowed inputs need no `'static` bound.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with the configured (resolved) worker count.
+    pub fn new(cfg: &ParallelConfig) -> Self {
+        Pool {
+            threads: cfg.effective_threads().max(1),
+        }
+    }
+
+    /// The inline single-threaded pool.
+    pub fn sequential() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// Resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether calls run inline on the caller's thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Applies `f` to every item, returning results in item order.
+    ///
+    /// Items are claimed one at a time from a shared cursor, so uneven
+    /// item costs balance across workers. If `f` is pure, the result is
+    /// identical at any thread count; with `threads <= 1` (or fewer
+    /// than two items) everything runs inline, in order, unspawned.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic after all workers have been
+    /// joined (the pool never deadlocks on a panicking task).
+    pub fn map_items<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let workers = self.threads.min(items.len());
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            done.push((i, f(i, &items[i])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(pairs) => {
+                        for (i, r) in pairs {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    // Keep joining the remaining workers before
+                    // propagating, so no thread outlives the call.
+                    Err(payload) => panic = panic.or(Some(payload)),
+                }
+            }
+            if let Some(payload) = panic {
+                std::panic::resume_unwind(payload);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every item processed"))
+            .collect()
+    }
+
+    /// Splits `items` into contiguous chunks and applies `f(start,
+    /// chunk)` to each, returning per-chunk results in slice order.
+    ///
+    /// Chunk boundaries depend on the worker count (4 chunks per worker
+    /// for load balance; one chunk inline), so `f` must be insensitive
+    /// to how the slice is cut — per-item maps whose results are
+    /// concatenated qualify; cross-item state does not. For exact
+    /// item-order guarantees use [`Pool::map_items`].
+    pub fn map_chunks<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        if self.threads <= 1 {
+            return vec![f(0, items)];
+        }
+        let chunk = items.len().div_ceil(self.threads * 4).max(1);
+        let ranges: Vec<(usize, usize)> = (0..items.len())
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(items.len())))
+            .collect();
+        self.map_items(&ranges, |_, &(a, b)| f(a, &items[a..b]))
+    }
+
+    /// [`Pool::map_chunks`] for side-effect-free per-chunk work whose
+    /// results are not needed.
+    pub fn for_each_chunk<T, F>(&self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(usize, &[T]) + Sync,
+    {
+        self.map_chunks(items, |start, chunk| f(start, chunk));
+    }
+
+    /// Maps every item and folds the results in item order. `fold` must
+    /// be associative for the result to be independent of the worker
+    /// count (chunk-local folds happen first, then the chunk results
+    /// fold left-to-right). Returns `None` on an empty slice.
+    pub fn map_reduce<T, A, M, F>(&self, items: &[T], map: M, fold: F) -> Option<A>
+    where
+        T: Sync,
+        A: Send,
+        M: Fn(&T) -> A + Sync,
+        F: Fn(A, A) -> A + Sync,
+    {
+        self.map_chunks(items, |_, chunk| {
+            chunk
+                .iter()
+                .map(&map)
+                .reduce(&fold)
+                .expect("chunks are nonempty")
+        })
+        .into_iter()
+        .reduce(fold)
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new(&ParallelConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicU64;
+
+    fn pools() -> Vec<Pool> {
+        [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|n| Pool::new(&ParallelConfig::with_threads(n)))
+            .collect()
+    }
+
+    #[test]
+    fn map_items_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for pool in pools() {
+            let got = pool.map_items(&items, |i, &x| {
+                assert_eq!(items[i], x);
+                x * x + 1
+            });
+            assert_eq!(got, expect, "threads = {}", pool.threads());
+        }
+    }
+
+    #[test]
+    fn map_items_handles_empty_and_singleton() {
+        let pool = Pool::new(&ParallelConfig::with_threads(4));
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.map_items(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.map_items(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_chunks_concatenation_is_chunking_insensitive() {
+        let items: Vec<u32> = (0..1000).collect();
+        let expect: Vec<u32> = items.iter().map(|x| x + 3).collect();
+        for pool in pools() {
+            let got: Vec<u32> = pool
+                .map_chunks(&items, |_, chunk| {
+                    chunk.iter().map(|x| x + 3).collect::<Vec<_>>()
+                })
+                .concat();
+            assert_eq!(got, expect, "threads = {}", pool.threads());
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_visits_every_item_once() {
+        let items: Vec<u64> = (1..=500).collect();
+        for pool in pools() {
+            let sum = AtomicU64::new(0);
+            pool.for_each_chunk(&items, |_, chunk| {
+                sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+            });
+            assert_eq!(sum.into_inner(), 500 * 501 / 2);
+        }
+    }
+
+    #[test]
+    fn map_reduce_folds_in_item_order() {
+        // String concatenation is associative but not commutative: any
+        // scheduling bug that reorders chunks changes the result.
+        let items: Vec<String> = (0..64).map(|i| format!("{i};")).collect();
+        let expect = items.concat();
+        for pool in pools() {
+            let got = pool
+                .map_reduce(&items, |s| s.clone(), |a, b| a + &b)
+                .expect("nonempty");
+            assert_eq!(got, expect, "threads = {}", pool.threads());
+        }
+        let empty: Vec<String> = Vec::new();
+        assert!(Pool::sequential()
+            .map_reduce(&empty, |s| s.clone(), |a, b| a + &b)
+            .is_none());
+    }
+
+    #[test]
+    fn panicking_worker_propagates_instead_of_deadlocking() {
+        let items: Vec<u32> = (0..64).collect();
+        for pool in pools() {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.map_items(&items, |_, &x| {
+                    if x == 13 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            }));
+            let payload = result.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("boom at 13"), "got {msg:?}");
+        }
+    }
+
+    #[test]
+    fn env_config_parses_and_falls_back() {
+        assert_eq!(ParallelConfig::sequential().effective_threads(), 1);
+        assert_eq!(ParallelConfig::with_threads(5).effective_threads(), 5);
+        // Auto-detect resolves to at least one worker.
+        assert!(ParallelConfig::with_threads(0).effective_threads() >= 1);
+        assert!(Pool::new(&ParallelConfig::with_threads(0)).threads() >= 1);
+        assert!(Pool::sequential().is_sequential());
+    }
+}

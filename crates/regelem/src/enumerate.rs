@@ -11,7 +11,8 @@
 
 use std::collections::BTreeMap;
 
-use ringen_automata::{Dfta, PoolRunCache, StateId};
+use ringen_automata::{Dfta, StateId};
+use ringen_parallel::{ParallelConfig, Pool};
 use ringen_terms::{herbrand, FuncId, Signature, SortId, TermPool};
 
 use crate::lang::Lang;
@@ -77,7 +78,10 @@ pub fn enumerate_langs(sig: &Signature, sort: SortId, cfg: &LangPoolConfig) -> V
 
     // Fingerprint terms are hash-consed once; every candidate table
     // runs them by pooled id with a dense memo, so shared subterms
-    // across the whole enumeration are evaluated once per table.
+    // across the whole enumeration are evaluated once per table. The
+    // batch is sharded across workers (`RINGEN_THREADS` overrides the
+    // count; results are identical at any value).
+    let par = Pool::new(&ParallelConfig::default());
     let mut term_pool = TermPool::new();
     let fingerprint_ids =
         herbrand::pooled_terms_up_to_height(sig, sort, cfg.fingerprint_height, &mut term_pool);
@@ -109,11 +113,8 @@ pub fn enumerate_langs(sig: &Signature, sort: SortId, cfg: &LangPoolConfig) -> V
         // Run every fingerprint term once per table: the run states are
         // independent of the final set, so all 2^k − 2 final-set
         // variants below reuse this one pass.
-        let mut run_cache = PoolRunCache::new();
-        let run_states: Vec<Option<StateId>> = fingerprint_ids
-            .iter()
-            .map(|&id| d.run_pooled(&term_pool, id, &mut run_cache))
-            .collect();
+        let run_states: Vec<Option<StateId>> =
+            d.run_pooled_batch(&term_pool, &fingerprint_ids, &par);
         // Every nonempty proper final set over the queried sort.
         let states = &block[&sort];
         for finals_mask in 1..(1usize << k) - 1 {

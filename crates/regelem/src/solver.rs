@@ -97,6 +97,7 @@ impl RegElemConfig {
                 max_term_height: 16,
                 free_var_candidates: 6,
                 max_steps: 400_000,
+                ..SaturationConfig::default()
             },
             max_assignments: 20_000,
             ..RegElemConfig::default()

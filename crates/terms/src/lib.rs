@@ -50,7 +50,7 @@ pub use ground::{GroundTerm, Subterms};
 pub use herbrand::{SizeSet, SortCardinality};
 pub use ids::{FuncId, SortId, VarId};
 pub use path::{is_leaf_term, leaves, replace_all, replace_each, Path, Step};
-pub use pool::{TermId, TermPool};
+pub use pool::{ScratchNodes, ScratchPool, TermId, TermPool};
 pub use signature::{AdtInfo, DisplayGround, FuncDecl, FuncKind, Signature, SortDecl};
 pub use term::{DisplayTerm, SortError, Substitution, Term, VarContext};
 pub use unify::{match_ground, match_ground_into, unify, unify_all, UnifyError};

@@ -328,6 +328,87 @@ impl TermPool {
         values.pop().expect("non-empty term")
     }
 
+    /// A copy-on-extend view of this pool frozen at its current
+    /// length: reads of existing nodes go to `self`, new interns land
+    /// in a private extension. This is the *snapshot* half of the
+    /// snapshot/delta/merge recipe the parallel saturation engine
+    /// uses — many [`ScratchPool`]s can borrow one frozen master
+    /// concurrently.
+    pub fn scratch(&self) -> ScratchPool<'_> {
+        ScratchPool {
+            base: self,
+            split: u32::try_from(self.len()).expect("pool length fits u32"),
+            funcs: Vec::new(),
+            arg_spans: Vec::new(),
+            args: Vec::new(),
+            heights: Vec::new(),
+            table: InternTable::new(),
+        }
+    }
+
+    /// Re-interns one scratch-extension term into this pool — the
+    /// *merge* half of the snapshot/delta/merge recipe. Ids below the
+    /// scratch's split point are master ids already and pass through
+    /// unchanged; extension nodes are interned bottom-up (children
+    /// carry smaller ids by construction), memoized in `memo`, which
+    /// must be reused across calls for the same [`ScratchNodes`] and
+    /// starts empty.
+    ///
+    /// Only the nodes reachable from `id` are interned, so deltas whose
+    /// facts are deduplicated away never pollute the master pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch was not taken from a pool of the same
+    /// length as this one had when [`TermPool::scratch`] ran (the
+    /// master must only have grown by earlier `reintern` calls since).
+    pub fn reintern(
+        &mut self,
+        nodes: &ScratchNodes,
+        memo: &mut Vec<Option<TermId>>,
+        id: TermId,
+    ) -> TermId {
+        let split = nodes.split as usize;
+        assert!(self.len() >= split, "master pool shrank below the snapshot");
+        if id.index() < split {
+            return id;
+        }
+        if memo.len() < nodes.len() {
+            memo.resize(nodes.len(), None);
+        }
+        let mut stack: Vec<TermId> = vec![id];
+        while let Some(&top) = stack.last() {
+            let li = top.index() - split;
+            if memo[li].is_some() {
+                stack.pop();
+                continue;
+            }
+            let args = nodes.args_of(li);
+            let mut ready = true;
+            for &a in args {
+                if a.index() >= split && memo[a.index() - split].is_none() {
+                    stack.push(a);
+                    ready = false;
+                }
+            }
+            if ready {
+                let mapped: Vec<TermId> = args
+                    .iter()
+                    .map(|&a| {
+                        if a.index() < split {
+                            a
+                        } else {
+                            memo[a.index() - split].expect("children map first")
+                        }
+                    })
+                    .collect();
+                memo[li] = Some(self.intern(nodes.funcs[li], &mapped));
+                stack.pop();
+            }
+        }
+        memo[id.index() - split].expect("root mapped")
+    }
+
     /// Checks that an interned term respects the signature's arities
     /// and argument sorts. Iterative over the shared nodes (each
     /// distinct subterm is checked once).
@@ -351,6 +432,208 @@ impl TermPool {
             }
         }
         true
+    }
+}
+
+/// A thread-local extension of a frozen [`TermPool`] — the *delta*
+/// half of the snapshot/delta/merge recipe (see [`TermPool::scratch`]).
+///
+/// Ids below the split point (the master's length at snapshot time) are
+/// master ids; interning a node that already exists in the master
+/// returns that master id, so only genuinely new structure lands in the
+/// extension. Reads ([`ScratchPool::func`], [`ScratchPool::args`],
+/// [`ScratchPool::height`]) dispatch on the split transparently.
+///
+/// The extension memoizes heights (the saturation engine's budget
+/// checks need them) but not sizes — sizes are recomputed when the
+/// delta is re-interned into the master by [`TermPool::reintern`].
+#[derive(Debug)]
+pub struct ScratchPool<'a> {
+    base: &'a TermPool,
+    /// `base.len()` at snapshot time; extension ids start here.
+    split: u32,
+    funcs: Vec<FuncId>,
+    arg_spans: Vec<(u32, u32)>,
+    args: Vec<TermId>,
+    heights: Vec<u32>,
+    /// Probe table over the extension nodes only.
+    table: InternTable,
+}
+
+impl<'a> ScratchPool<'a> {
+    /// The frozen master this scratch extends.
+    pub fn base(&self) -> &'a TermPool {
+        self.base
+    }
+
+    /// First extension id: everything below is a master id.
+    pub fn split(&self) -> usize {
+        self.split as usize
+    }
+
+    /// Total distinct terms visible (master snapshot + extension).
+    pub fn len(&self) -> usize {
+        self.split as usize + self.funcs.len()
+    }
+
+    /// Whether neither the master snapshot nor the extension holds a
+    /// term.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn local_args_of(&self, li: usize) -> &[TermId] {
+        let (start, len) = self.arg_spans[li];
+        &self.args[start as usize..(start + len) as usize]
+    }
+
+    #[inline]
+    fn local_matches(&self, li: u32, f: FuncId, args: &[TermId]) -> bool {
+        self.funcs[li as usize] == f && self.local_args_of(li as usize) == args
+    }
+
+    /// The head symbol of a visible term.
+    pub fn func(&self, t: TermId) -> FuncId {
+        if t.index() < self.split as usize {
+            self.base.func(t)
+        } else {
+            self.funcs[t.index() - self.split as usize]
+        }
+    }
+
+    /// The immediate subterm ids of a visible term.
+    pub fn args(&self, t: TermId) -> &[TermId] {
+        if t.index() < self.split as usize {
+            self.base.args(t)
+        } else {
+            self.local_args_of(t.index() - self.split as usize)
+        }
+    }
+
+    /// Memoized height of a visible term. O(1).
+    pub fn height(&self, t: TermId) -> usize {
+        if t.index() < self.split as usize {
+            self.base.height(t)
+        } else {
+            self.heights[t.index() - self.split as usize] as usize
+        }
+    }
+
+    /// The maximally-shared smart constructor over the combined
+    /// (master + extension) universe: an application already interned
+    /// in the frozen master returns its master id; otherwise it is
+    /// interned into the extension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an argument id is stale (neither a master nor an
+    /// extension id).
+    pub fn intern(&mut self, f: FuncId, args: &[TermId]) -> TermId {
+        for a in args {
+            assert!(a.index() < self.len(), "stale term id {a}");
+        }
+        let hash = node_hash(f, args);
+        // Master nodes only ever reference master ids, so a query with
+        // an extension argument simply misses here.
+        if let Some(hit) = self
+            .base
+            .table
+            .find(hash, |id| self.base.node_matches(id, f, args))
+        {
+            return TermId(hit);
+        }
+        if let Some(hit) = self.table.find(hash, |li| self.local_matches(li, f, args)) {
+            return TermId(self.split + hit);
+        }
+        let li = u32::try_from(self.funcs.len()).expect("extension fits u32");
+        let id = TermId::from_index(self.split as usize + li as usize);
+        let start = u32::try_from(self.args.len()).expect("argument arena offset fits u32");
+        self.args.extend_from_slice(args);
+        self.arg_spans.push((start, args.len() as u32));
+        self.funcs.push(f);
+        let height = 1 + args
+            .iter()
+            .map(|a| self.height(*a) as u32)
+            .max()
+            .unwrap_or(0);
+        self.heights.push(height);
+        let ScratchPool {
+            table,
+            funcs,
+            arg_spans,
+            args: arena,
+            ..
+        } = self;
+        table.insert_new(hash, li, |v| {
+            let (start, len) = arg_spans[v as usize];
+            node_hash(
+                funcs[v as usize],
+                &arena[start as usize..(start + len) as usize],
+            )
+        });
+        id
+    }
+
+    /// Interns a boxed tree bottom-up, like [`TermPool::intern_term`].
+    pub fn intern_term(&mut self, t: &GroundTerm) -> TermId {
+        let mut frames: Vec<(&GroundTerm, usize)> = vec![(t, 0)];
+        let mut values: Vec<TermId> = Vec::with_capacity(16);
+        while let Some(frame) = frames.last_mut() {
+            let (term, next) = *frame;
+            let args = term.args();
+            if next < args.len() {
+                frame.1 += 1;
+                frames.push((&args[next], 0));
+            } else {
+                frames.pop();
+                let base = values.len() - args.len();
+                let id = self.intern(term.func(), &values[base..]);
+                values.truncate(base);
+                values.push(id);
+            }
+        }
+        values.pop().expect("non-empty term")
+    }
+
+    /// Extracts the owned extension nodes, dropping the master borrow —
+    /// the form a worker hands back across the merge barrier for
+    /// [`TermPool::reintern`].
+    pub fn into_nodes(self) -> ScratchNodes {
+        ScratchNodes {
+            split: self.split,
+            funcs: self.funcs,
+            arg_spans: self.arg_spans,
+            args: self.args,
+        }
+    }
+}
+
+/// The owned extension of a [`ScratchPool`], detached from the master
+/// borrow. Consumed by [`TermPool::reintern`].
+#[derive(Debug, Clone, Default)]
+pub struct ScratchNodes {
+    split: u32,
+    funcs: Vec<FuncId>,
+    arg_spans: Vec<(u32, u32)>,
+    args: Vec<TermId>,
+}
+
+impl ScratchNodes {
+    /// Number of extension nodes.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the delta interned nothing new.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    #[inline]
+    fn args_of(&self, li: usize) -> &[TermId] {
+        let (start, len) = self.arg_spans[li];
+        &self.args[start as usize..(start + len) as usize]
     }
 }
 
@@ -451,6 +734,101 @@ mod tests {
             .expect("spawn test thread")
             .join()
             .expect("deep-term round trip");
+    }
+
+    #[test]
+    fn scratch_reuses_master_ids_and_extends_privately() {
+        let (_sig, _nat, z, s) = nat_signature();
+        let mut master = TermPool::new();
+        let zero = master.intern(z, &[]);
+        let one = master.intern(s, &[zero]);
+        let mut scratch = master.scratch();
+        // Known nodes resolve to master ids; nothing lands locally.
+        assert_eq!(scratch.intern(z, &[]), zero);
+        assert_eq!(scratch.intern(s, &[zero]), one);
+        assert_eq!(scratch.len(), master.len());
+        // A new node extends the scratch, not the master.
+        let two = scratch.intern(s, &[one]);
+        assert_eq!(two.index(), master.len());
+        assert_eq!(scratch.func(two), s);
+        assert_eq!(scratch.args(two), &[one]);
+        assert_eq!(scratch.height(two), 3);
+        assert_eq!(scratch.height(zero), 1);
+        // Idempotent within the extension too.
+        let three = scratch.intern(s, &[two]);
+        assert_eq!(scratch.intern(s, &[two]), three);
+        assert_eq!(scratch.len(), master.len() + 2);
+        assert_eq!(master.len(), 2);
+    }
+
+    #[test]
+    fn scratch_intern_term_shares_across_the_split() {
+        let (_sig, _nat, z, s) = nat_signature();
+        let mut master = TermPool::new();
+        let boxed_one = GroundTerm::iterate(s, GroundTerm::leaf(z), 1);
+        master.intern_term(&boxed_one);
+        let mut scratch = master.scratch();
+        let boxed_three = GroundTerm::iterate(s, GroundTerm::leaf(z), 3);
+        let id = scratch.intern_term(&boxed_three);
+        // Z and S(Z) resolve to master; only S²(Z), S³(Z) are new.
+        assert_eq!(scratch.len() - scratch.split(), 2);
+        assert_eq!(scratch.height(id), 4);
+    }
+
+    #[test]
+    fn reintern_merges_only_reachable_nodes() {
+        let (_sig, _nat, z, s) = nat_signature();
+        let mut master = TermPool::new();
+        let zero = master.intern(z, &[]);
+        let mut scratch = master.scratch();
+        let one = scratch.intern(s, &[zero]);
+        let two = scratch.intern(s, &[one]);
+        // A second, unrelated chain that merging `two` must not touch.
+        let junk = scratch.intern(s, &[two]);
+        let _junk2 = scratch.intern(s, &[junk]);
+        let nodes = scratch.into_nodes();
+        let mut memo = Vec::new();
+        let mtwo = master.reintern(&nodes, &mut memo, two);
+        assert_eq!(master.len(), 3, "junk chain must not be interned");
+        assert_eq!(
+            master.to_ground(mtwo),
+            GroundTerm::iterate(s, GroundTerm::leaf(z), 2)
+        );
+        assert_eq!(master.height(mtwo), 3);
+        // Master ids pass through unchanged; memo reuse is stable.
+        assert_eq!(master.reintern(&nodes, &mut memo, zero), zero);
+        assert_eq!(master.reintern(&nodes, &mut memo, two), mtwo);
+    }
+
+    #[test]
+    fn reintern_deltas_from_two_scratches_converge() {
+        let (_sig, _nat, z, s) = nat_signature();
+        let mut master = TermPool::new();
+        let zero = master.intern(z, &[]);
+        // Two workers derive overlapping structure independently.
+        let mut sa = master.scratch();
+        let a1 = sa.intern(s, &[zero]);
+        let a2 = sa.intern(s, &[a1]);
+        let mut sb = master.scratch();
+        let b1 = sb.intern(s, &[zero]);
+        let b2 = sb.intern(s, &[b1]);
+        let b3 = sb.intern(s, &[b2]);
+        let (na, nb) = (sa.into_nodes(), sb.into_nodes());
+        let (mut ma, mut mb) = (Vec::new(), Vec::new());
+        let ma2 = master.reintern(&na, &mut ma, a2);
+        let mb3 = master.reintern(&nb, &mut mb, b3);
+        // S¹ and S² exist once each despite being derived twice.
+        assert_eq!(master.len(), 4);
+        assert_eq!(master.args(mb3), &[ma2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale term id")]
+    fn scratch_stale_ids_panic() {
+        let (_sig, _nat, _z, s) = nat_signature();
+        let master = TermPool::new();
+        let mut scratch = master.scratch();
+        scratch.intern(s, &[TermId::from_index(0)]);
     }
 
     #[test]

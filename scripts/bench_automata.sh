@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Runs the automata-kernel + term-pool micro-bench suite and records the
-# results — including the interned-vs-reference speedups and the
+# Runs the automata-kernel + term-pool + parallel-saturation micro-bench
+# suite and records the results — including the interned-vs-reference
+# speedups (for the parallel_saturation group: 4-worker vs inline
+# sequential saturation on a multi-clause join system) and the
 # Dfta::step zero-allocation check — in BENCH_automata.json at the repo
-# root.
+# root. Speedup ratios are measured in-process and machine-portable,
+# with one caveat: the parallel_saturation ratio reflects the measuring
+# host's core count (~1.0 on a single-core container, where it gates
+# scheduling overhead instead of speedup).
 #
 # Usage:
 #   scripts/bench_automata.sh           # full measurement, refreshes the

@@ -22,7 +22,11 @@
 //!   with regular membership predicates, subsuming `Reg ∪ Elem`, with
 //!   a three-phase hybrid solver (§8's concluding conjecture);
 //! * [`induction`], [`verimap`] — the remaining evaluation baselines;
-//! * [`benchgen`] — generators for every workload of §8.
+//! * [`benchgen`] — generators for every workload of §8;
+//! * [`parallel`] — the dependency-free scoped threadpool behind the
+//!   sharded saturation rounds and automata batch evaluation
+//!   (`RINGEN_THREADS` selects the worker count; results are
+//!   bit-for-bit identical at any value).
 //!
 //! # Quickstart
 //!
@@ -52,6 +56,7 @@ pub use ringen_core as core;
 pub use ringen_elem as elem;
 pub use ringen_fmf as fmf;
 pub use ringen_induction as induction;
+pub use ringen_parallel as parallel;
 pub use ringen_regelem as regelem;
 pub use ringen_sat as sat;
 pub use ringen_sizeelem as sizeelem;

@@ -71,6 +71,7 @@ fn template_invariants_contain_the_least_model() {
         max_term_height: 10,
         free_var_candidates: 4,
         max_steps: 50_000,
+        ..SaturationConfig::default()
     };
     for b in sample() {
         if b.expected != Expected::Sat {
@@ -111,6 +112,7 @@ fn regular_invariants_contain_the_least_model() {
         max_term_height: 10,
         free_var_candidates: 4,
         max_steps: 50_000,
+        ..SaturationConfig::default()
     };
     for b in sample() {
         if b.expected != Expected::Sat {
