@@ -644,6 +644,27 @@ impl Dfta {
     /// product and the mapping `(left, right) → product state`; pairs no
     /// ground term reaches are absent from the map.
     pub fn product(&self, other: &Dfta) -> (Dfta, BTreeMap<(StateId, StateId), StateId>) {
+        self.product_seeded(other, &[])
+    }
+
+    /// [`Dfta::product`] whose worklist starts from `seed` pairs instead
+    /// of only the nullary-rule pairs — the incremental restart used by
+    /// [`crate::store::AutStore`] when an operand has merely *grown*
+    /// (states appended, rules added) since a previous product.
+    ///
+    /// Every seeded pair is materialized up front, so seeding with
+    /// known-reachable pairs of a previous run yields the same pair set
+    /// as a cold run without re-deriving those pairs bottom-up. Seeding
+    /// pairs that are *not* product-reachable is still language-safe
+    /// (every emitted rule remains a correct componentwise step; the
+    /// extra states are unreachable) but enlarges the output, so callers
+    /// should only seed pairs known to stay reachable. Out-of-range
+    /// seed pairs are ignored.
+    pub fn product_seeded(
+        &self,
+        other: &Dfta,
+        seed: &[(StateId, StateId)],
+    ) -> (Dfta, BTreeMap<(StateId, StateId), StateId>) {
         let mut out = Dfta::new();
         let mut map: FxHashMap<(StateId, StateId), StateId> = FxHashMap::default();
 
@@ -686,6 +707,17 @@ impl Dfta {
 
         let mut queue: Vec<(StateId, StateId)> = Vec::new();
         let mut args_p: Vec<StateId> = Vec::new();
+        // Materialize the seed pairs before any rule fires, so the
+        // worklist resumes from them instead of re-deriving them.
+        for &(x, y) in seed {
+            if x.index() >= self.state_count() || y.index() >= other.state_count() {
+                continue;
+            }
+            map.entry((x, y)).or_insert_with(|| {
+                queue.push((x, y));
+                out.add_state(self.sort_of(x))
+            });
+        }
         let fire = |rp: &RulePair,
                     out: &mut Dfta,
                     map: &mut FxHashMap<(StateId, StateId), StateId>,

@@ -9,6 +9,11 @@
 //! * [`Nfta`] — nondeterministic automata with subset-construction
 //!   determinization (TATA [14]), the substrate for the regular
 //!   language extensions §7 lists as future work;
+//! * [`store`] — the hash-consed automaton store: [`Dfta`]s and
+//!   [`TupleAutomaton`]s interned behind dense ids by canonical
+//!   structural fingerprint, with memoized Boolean operations and
+//!   pair-map-seeded incremental products (the layer the solver loops
+//!   route through; `RINGEN_AUT_CACHE=0` forces pass-through);
 //! * [`reference`] — the original ordered-map kernel, kept as the
 //!   executable specification for differential tests and as the
 //!   baseline the micro-benchmarks measure speedups against.
@@ -69,8 +74,10 @@
 mod dfta;
 mod nfta;
 pub mod reference;
+pub mod store;
 mod tuple;
 
 pub use dfta::{Dfta, DisplayDfta, PoolRunCache, RunCache, StateId};
 pub use nfta::{NState, Nfta};
+pub use store::{AutId, AutStore, DftaId, StoreStats};
 pub use tuple::TupleAutomaton;

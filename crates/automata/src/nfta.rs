@@ -215,6 +215,22 @@ impl Nfta {
         })
     }
 
+    /// The rules as a canonically ordered list of
+    /// `(func, args, targets)` triples — sorted by `(func, args)`, with
+    /// target sets in their `BTreeSet` order. Two automata denote the
+    /// same transition relation iff their canonical rule lists are
+    /// equal, which is what [`PartialEq`] and the structural
+    /// fingerprints of [`crate::store::AutStore`] compare.
+    pub fn canonical_rules(&self) -> Vec<(FuncId, &[NState], &BTreeSet<NState>)> {
+        let mut rules: Vec<(FuncId, &[NState], &BTreeSet<NState>)> = self
+            .rules
+            .iter()
+            .map(|r| (r.func, self.rule_args(r), &r.targets))
+            .collect();
+        rules.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        rules
+    }
+
     /// The set of states reachable by some run on `t` (the
     /// nondeterministic analogue of Definition 3's `A[t]`; empty when no
     /// run exists).
@@ -270,6 +286,10 @@ impl Nfta {
 
     /// Embeds a deterministic automaton: every [`Dfta`] rule becomes a
     /// singleton-target NFTA rule, and `finals` transfer verbatim.
+    ///
+    /// (Equality on [`Nfta`] compares the state list, the final set and
+    /// the canonical rule list — rule insertion order does not matter,
+    /// mirroring [`Dfta`]'s set semantics.)
     pub fn from_dfta(d: &Dfta, finals: impl IntoIterator<Item = StateId>) -> Nfta {
         let mut out = Nfta::new();
         let states: Vec<NState> = d.states().map(|s| out.add_state(d.sort_of(s))).collect();

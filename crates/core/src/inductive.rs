@@ -12,9 +12,9 @@
 //! This check independently validates every SAT answer the solver
 //! produces — Theorem 5 is not trusted, it is re-verified.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use ringen_automata::StateId;
+use ringen_automata::{AutStore, StateId};
 use ringen_chc::{ChcSystem, Clause};
 use ringen_terms::{GroundTerm, VarId};
 
@@ -48,15 +48,57 @@ pub struct Violation {
     pub assignment: Vec<(VarId, GroundTerm)>,
 }
 
+/// Whether the state-level check applies at all — decided *before* any
+/// fixpoint is run (or any table interned), so unsupported systems are
+/// rejected for free.
+fn unsupported(sys: &ChcSystem) -> Option<InductiveCheck> {
+    sys.clauses
+        .iter()
+        .any(|c| !c.is_constraint_free())
+        .then_some(InductiveCheck::Unsupported(
+            "system has constraints; preprocess first",
+        ))
+}
+
 /// Checks that `inv` satisfies every clause of `sys` (which must be
 /// constraint-free). See the module docs for why this is exact.
 pub fn check_inductive(sys: &ChcSystem, inv: &RegularInvariant) -> InductiveCheck {
-    if sys.clauses.iter().any(|c| !c.is_constraint_free()) {
-        return InductiveCheck::Unsupported("system has constraints; preprocess first");
+    if let Some(u) = unsupported(sys) {
+        return u;
     }
     let dfta = inv.dfta();
-    let reachable = dfta.reachable();
-    let witnesses = dfta.witnesses();
+    check_with_fixpoints(sys, inv, &dfta.reachable(), &dfta.witnesses())
+}
+
+/// [`check_inductive`] through a hash-consed [`AutStore`]: the
+/// invariant's shared transition table is interned (deduplicated
+/// against previously checked candidates) and the reachability /
+/// witness fixpoints come from the store's memo — re-verifying a
+/// candidate whose table a previous solver iteration already analyzed
+/// costs one hash probe instead of two worklist fixpoints. The verdict
+/// is identical to [`check_inductive`]'s.
+pub fn check_inductive_with(
+    sys: &ChcSystem,
+    inv: &RegularInvariant,
+    store: &mut AutStore,
+) -> InductiveCheck {
+    if let Some(u) = unsupported(sys) {
+        return u;
+    }
+    let id = store.intern_dfta(inv.dfta().clone());
+    let reachable = store.reachable(id);
+    let witnesses = store.witnesses(id);
+    check_with_fixpoints(sys, inv, &reachable, &witnesses)
+}
+
+fn check_with_fixpoints(
+    sys: &ChcSystem,
+    inv: &RegularInvariant,
+    reachable: &BTreeSet<StateId>,
+    witnesses: &[Option<GroundTerm>],
+) -> InductiveCheck {
+    debug_assert!(unsupported(sys).is_none(), "callers check first");
+    let dfta = inv.dfta();
     // Reachable states per sort, in a stable order.
     let mut per_sort: BTreeMap<ringen_terms::SortId, Vec<StateId>> = BTreeMap::new();
     for s in dfta.states() {
@@ -66,7 +108,7 @@ pub fn check_inductive(sys: &ChcSystem, inv: &RegularInvariant) -> InductiveChec
     }
 
     for (ci, clause) in sys.clauses.iter().enumerate() {
-        if let Some(v) = violated(sys, inv, clause, &per_sort, &witnesses) {
+        if let Some(v) = violated(sys, inv, clause, &per_sort, witnesses) {
             return InductiveCheck::Violated(Violation {
                 clause: ci,
                 assignment: v,
@@ -269,6 +311,36 @@ mod tests {
             }
             other => panic!("expected violation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn store_backed_check_memoizes_the_fixpoints() {
+        let sys = parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun even (Nat) Bool)
+            (assert (even Z))
+            (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+            (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+            "#,
+        )
+        .unwrap();
+        let pre = preprocess(&sys);
+        let (outcome, _) = find_model(&pre.system, &FinderConfig::default()).unwrap();
+        let inv = RegularInvariant::from_model(&pre.system, &outcome.model().unwrap());
+        let mut store = AutStore::with_cache(true);
+        assert!(check_inductive_with(&pre.system, &inv, &mut store).is_inductive());
+        let after_cold = store.stats();
+        assert_eq!(after_cold.memo_misses, 2, "reachable + witnesses computed");
+        // Re-verifying the same candidate (the solver-loop shape) pays
+        // two hash probes: the table dedups and both fixpoints hit.
+        assert!(check_inductive_with(&pre.system, &inv, &mut store).is_inductive());
+        let after_warm = store.stats();
+        assert_eq!(after_warm.memo_misses, after_cold.memo_misses);
+        assert_eq!(after_warm.memo_hits, after_cold.memo_hits + 2);
+        assert!(after_warm.dedup_hits >= 1);
+        // Verdicts agree with the store-less check.
+        assert!(check_inductive(&pre.system, &inv).is_inductive());
     }
 
     #[test]

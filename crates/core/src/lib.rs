@@ -46,11 +46,11 @@ pub mod preprocess;
 pub mod saturation;
 pub mod solve;
 
-pub use inductive::{check_inductive, InductiveCheck, Violation};
+pub use inductive::{check_inductive, check_inductive_with, InductiveCheck, Violation};
 pub use invariant::{DisplayInvariant, RegularInvariant};
 pub use preprocess::{preprocess, PreprocessStats, Preprocessed};
 pub use saturation::{
     check_refutation, saturate, FactBase, Refutation, RefutationError, SaturationConfig,
     SaturationOutcome,
 };
-pub use solve::{solve, Answer, Divergence, RingenConfig, SatAnswer, SolveStats};
+pub use solve::{solve, solve_with_store, Answer, Divergence, RingenConfig, SatAnswer, SolveStats};

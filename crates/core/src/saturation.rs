@@ -120,7 +120,10 @@ type Provenance = (usize, Vec<(VarId, TermId)>, Vec<usize>);
 /// merge time: (pooled binding, premise fact indices).
 type QueryFire = (Vec<(VarId, TermId)>, Vec<usize>);
 
-/// One step of a ground derivation.
+/// One step of a ground derivation, in the boxed *view*
+/// representation ([`Refutation::step`]): bindings and facts are
+/// reconstructed [`GroundTerm`] trees, convenient for display and
+/// independent replay.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RefStep {
     /// Index of the applied clause in [`ChcSystem::clauses`].
@@ -134,11 +137,40 @@ pub struct RefStep {
     pub fact: Option<Fact>,
 }
 
-/// A ground derivation of ⊥ — the UNSAT certificate.
+/// One step of a ground derivation in the *stored* representation:
+/// every term is a [`TermId`] into the certificate's own pool dump
+/// ([`Refutation::pool`]). Large derivations share their subterms —
+/// `S²ᵏ(Z)` chains cost one node apiece instead of one boxed tree per
+/// step they appear in.
 #[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PooledStep {
+    /// Index of the applied clause in [`ChcSystem::clauses`].
+    pub clause: usize,
+    /// Ground instantiation of every clause variable, as pool ids.
+    pub binding: Vec<(VarId, TermId)>,
+    /// Indices (into the step list) of the facts matching the body atoms,
+    /// in body order.
+    pub premises: Vec<usize>,
+    /// The derived fact; `None` for the final ⊥ step of a query clause.
+    pub fact: Option<(PredId, Vec<TermId>)>,
+}
+
+/// A ground derivation of ⊥ — the UNSAT certificate.
+///
+/// Stored pooled: the steps carry [`TermId`]s plus **one** hash-consed
+/// pool dump holding exactly the terms the derivation references (built
+/// by [`TermPool::import`] at the certificate boundary, so the solver's
+/// much larger working pool is never retained). The boxed
+/// [`RefStep`] form is a lazy view ([`Refutation::step`] /
+/// [`Refutation::boxed_steps`]) materialized only for display and
+/// replay.
+#[derive(Debug, Clone)]
 pub struct Refutation {
+    /// The certificate's private term pool; every [`PooledStep`] id
+    /// points here.
+    pub pool: TermPool,
     /// Derivation steps; the last step derives ⊥.
-    pub steps: Vec<RefStep>,
+    pub steps: Vec<PooledStep>,
 }
 
 impl Refutation {
@@ -151,7 +183,41 @@ impl Refutation {
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
     }
+
+    /// The `i`-th step in the boxed view (terms reconstructed from the
+    /// pool on demand).
+    pub fn step(&self, i: usize) -> RefStep {
+        let s = &self.steps[i];
+        RefStep {
+            clause: s.clause,
+            binding: s
+                .binding
+                .iter()
+                .map(|(v, id)| (*v, self.pool.to_ground(*id)))
+                .collect(),
+            premises: s.premises.clone(),
+            fact: s
+                .fact
+                .as_ref()
+                .map(|(p, args)| (*p, args.iter().map(|a| self.pool.to_ground(*a)).collect())),
+        }
+    }
+
+    /// All steps in the boxed view, materialized lazily in order.
+    pub fn boxed_steps(&self) -> impl Iterator<Item = RefStep> + '_ {
+        (0..self.len()).map(|i| self.step(i))
+    }
 }
+
+/// Semantic equality: two certificates are equal when their boxed views
+/// are — independent of how each pool dump happens to be laid out.
+impl PartialEq for Refutation {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.step(i) == other.step(i))
+    }
+}
+
+impl Eq for Refutation {}
 
 /// Fx hash of a fact. Query slices and stored facts go through this one
 /// function so probes agree.
@@ -855,21 +921,20 @@ impl Matcher<'_> {
     }
 }
 
-/// Extracts the sub-derivation ending in the ⊥ step, reconstructing
-/// boxed terms from the pool at this certificate boundary only. The
-/// binding must already be in master-pool ids (the merge re-interns
-/// scratch bindings before calling this).
+/// Extracts the sub-derivation ending in the ⊥ step. The certificate
+/// gets its own pool dump: every term the derivation references is
+/// [`TermPool::import`]ed once (shared subterms stay shared), instead
+/// of re-boxing a [`GroundTerm`] tree per step. The binding must
+/// already be in master-pool ids (the merge re-interns scratch
+/// bindings before calling this).
 fn build_refutation(
     base: &FactBase,
     query_clause: usize,
     binding: &[(VarId, TermId)],
     premises: Vec<usize>,
 ) -> Refutation {
-    let ground_binding = |b: &[(VarId, TermId)]| -> Vec<(VarId, GroundTerm)> {
-        b.iter()
-            .map(|(v, id)| (*v, base.pool.to_ground(*id)))
-            .collect()
-    };
+    let mut pool = TermPool::new();
+    let mut memo: Vec<Option<TermId>> = Vec::new();
     // Collect all transitively needed facts.
     let mut needed: Vec<usize> = Vec::new();
     let mut stack = premises.clone();
@@ -882,25 +947,35 @@ fn build_refutation(
     needed.sort();
     let renumber: FxHashMap<usize, usize> =
         needed.iter().enumerate().map(|(k, &i)| (i, k)).collect();
-    let mut steps: Vec<RefStep> = needed
-        .iter()
-        .map(|&i| {
-            let (clause, binding, prem) = &base.provenance[i];
-            RefStep {
-                clause: *clause,
-                binding: ground_binding(binding),
-                premises: prem.iter().map(|p| renumber[p]).collect(),
-                fact: Some(base.ground_fact(i)),
-            }
-        })
-        .collect();
-    steps.push(RefStep {
+    let mut steps: Vec<PooledStep> = Vec::with_capacity(needed.len() + 1);
+    for &i in &needed {
+        let (clause, bind, prem) = &base.provenance[i];
+        let (pred, args) = &base.facts[i];
+        steps.push(PooledStep {
+            clause: *clause,
+            binding: bind
+                .iter()
+                .map(|(v, id)| (*v, pool.import(&base.pool, &mut memo, *id)))
+                .collect(),
+            premises: prem.iter().map(|p| renumber[p]).collect(),
+            fact: Some((
+                *pred,
+                args.iter()
+                    .map(|a| pool.import(&base.pool, &mut memo, *a))
+                    .collect(),
+            )),
+        });
+    }
+    steps.push(PooledStep {
         clause: query_clause,
-        binding: ground_binding(binding),
+        binding: binding
+            .iter()
+            .map(|(v, id)| (*v, pool.import(&base.pool, &mut memo, *id)))
+            .collect(),
         premises: premises.iter().map(|p| renumber[p]).collect(),
         fact: None,
     });
-    Refutation { steps }
+    Refutation { pool, steps }
 }
 
 /// Why a refutation failed to replay.
@@ -948,8 +1023,9 @@ impl Error for RefutationError {}
 ///
 /// Returns the first [`RefutationError`] encountered.
 pub fn check_refutation(sys: &ChcSystem, r: &Refutation) -> Result<(), RefutationError> {
-    let mut derived: Vec<Fact> = Vec::with_capacity(r.steps.len());
-    for (si, step) in r.steps.iter().enumerate() {
+    let mut derived: Vec<Fact> = Vec::with_capacity(r.len());
+    for (si, step) in r.boxed_steps().enumerate() {
+        let step = &step;
         let clause = sys
             .clauses
             .get(step.clause)
@@ -1002,7 +1078,7 @@ pub fn check_refutation(sys: &ChcSystem, r: &Refutation) -> Result<(), Refutatio
         }
         match (&clause.head, &step.fact) {
             (None, None) => {
-                if si + 1 != r.steps.len() {
+                if si + 1 != r.len() {
                     return Err(RefutationError::NoQuery);
                 }
                 return Ok(());
@@ -1066,6 +1142,16 @@ mod tests {
         assert!(check_refutation(&sys, &r).is_ok());
         // Derivation: even(Z), even(S(S(Z))), ⊥.
         assert_eq!(r.len(), 3);
+        // The certificate is pooled: one dump holding exactly the
+        // shared chain Z, S(Z), S(S(Z)) — not one boxed tree per step.
+        assert_eq!(r.pool.len(), 3);
+        // The boxed view reconstructs every step coherently.
+        let boxed: Vec<RefStep> = r.boxed_steps().collect();
+        assert_eq!(boxed.len(), r.len());
+        assert!(boxed[0].fact.is_some() && boxed[2].fact.is_none());
+        assert_eq!(boxed[2].premises, vec![1]);
+        // Semantic equality is pool-layout independent.
+        assert_eq!(r.clone(), r);
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! inductive by the decidable check of [`crate::inductive`]). Every
 //! budget is a deterministic step count.
 
+use ringen_automata::AutStore;
 use ringen_chc::ChcSystem;
 use ringen_fmf::{find_model, FinderConfig, FinderStats, FmfOutcome};
 
-use crate::inductive::{check_inductive, InductiveCheck};
+use crate::inductive::{check_inductive_with, InductiveCheck};
 use crate::invariant::RegularInvariant;
 use crate::preprocess::{preprocess, PreprocessStats, Preprocessed};
 use crate::saturation::{
@@ -51,7 +52,7 @@ impl RingenConfig {
                 max_total_size: 8,
                 max_conflicts: 20_000,
                 max_ground_instances: 400_000,
-                symmetry_breaking: true,
+                ..FinderConfig::default()
             },
             saturation: SaturationConfig {
                 max_facts: 4_000,
@@ -142,6 +143,24 @@ pub struct SolveStats {
 /// own inductiveness check, or if a refutation fails to replay — all
 /// three indicate bugs, not user errors.
 pub fn solve(sys: &ChcSystem, cfg: &RingenConfig) -> (Answer, SolveStats) {
+    let mut store = AutStore::new();
+    solve_with_store(sys, cfg, &mut store)
+}
+
+/// [`solve`] against a caller-owned [`AutStore`]: the invariant
+/// verification (and any future automaton work of the pipeline) routes
+/// through the store's memo tables, so an outer loop — a portfolio, a
+/// CEGAR driver, the CLI solving one file — pays each automaton
+/// fixpoint once across all its `solve` calls.
+///
+/// # Panics
+///
+/// Same conditions as [`solve`].
+pub fn solve_with_store(
+    sys: &ChcSystem,
+    cfg: &RingenConfig,
+    store: &mut AutStore,
+) -> (Answer, SolveStats) {
     if let Err(e) = sys.well_sorted() {
         panic!("input system is not well-sorted: {e}");
     }
@@ -177,7 +196,7 @@ pub fn solve(sys: &ChcSystem, cfg: &RingenConfig) -> (Answer, SolveStats) {
             stats.model_size = Some(model.size());
             let invariant = RegularInvariant::from_model(&pre.system, &model);
             if cfg.verify_invariants {
-                match check_inductive(&pre.system, &invariant) {
+                match check_inductive_with(&pre.system, &invariant, store) {
                     InductiveCheck::Inductive => {}
                     InductiveCheck::Violated(v)
                         if sys.clauses.iter().any(|c| !c.exist_vars.is_empty()) =>

@@ -1,6 +1,16 @@
 //! The MACE-style model search: ground to SAT per domain-size vector.
+//!
+//! The ground-instance sweep — enumerating every variable assignment of
+//! every flattened clause and emitting the corresponding SAT clause —
+//! is pure per clause (a function of the frozen variable tables and the
+//! size vector), so it is sharded across a [`ringen_parallel::Pool`]
+//! with the same snapshot/delta/merge shape as the saturation engine:
+//! workers *generate* literal lists, the caller *adds* them to the
+//! solver sequentially in clause order. The outcome is bit-for-bit
+//! identical at any `RINGEN_THREADS` value.
 
 use ringen_chc::ChcSystem;
+use ringen_parallel::{ParallelConfig, Pool};
 use ringen_sat::{Lit, SatResult, Solver, Var};
 use ringen_terms::FuncKind;
 
@@ -18,6 +28,10 @@ pub struct FinderConfig {
     pub max_ground_instances: u64,
     /// Enable constant-ordering symmetry breaking.
     pub symmetry_breaking: bool,
+    /// Worker threads for the ground-instance sweep. The default honors
+    /// `RINGEN_THREADS` (1 forces the inline path); results are
+    /// identical at any value.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for FinderConfig {
@@ -27,6 +41,7 @@ impl Default for FinderConfig {
             max_conflicts: 100_000,
             max_ground_instances: 4_000_000,
             symmetry_breaking: true,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -207,53 +222,35 @@ fn try_sizes(
         }
     }
 
-    // Ground every flattened clause.
-    for c in flat {
-        let dims: Vec<usize> = c.var_sorts.iter().map(|s| sizes[s.index()]).collect();
-        if dims.contains(&0) {
-            continue;
-        }
-        let mut assign = vec![0usize; dims.len()];
-        'assignments: loop {
-            // Equality literals are decided at grounding time.
-            let eq_ok = c.eqs.iter().all(|&(a, b)| assign[a] == assign[b]);
-            if eq_ok {
-                let mut lits: Vec<Lit> = Vec::new();
-                for (f, args, res) in &c.defs {
-                    let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
-                    let row = row_index(sig, *f, &vals, sizes);
-                    lits.push(Lit::neg(func_vars[f.index()][row][assign[*res]]));
-                }
-                for (p, args) in &c.body {
-                    let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
-                    let row = pred_row_index(sys, *p, &vals, sizes);
-                    lits.push(Lit::neg(pred_vars[p.index()][row]));
-                }
-                if let Some((p, args)) = &c.head {
-                    let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
-                    let row = pred_row_index(sys, *p, &vals, sizes);
-                    lits.push(Lit::pos(pred_vars[p.index()][row]));
-                }
-                if !solver.add_clause(&lits) {
+    // Ground every flattened clause. Instance *generation* is pure per
+    // clause (a function of the frozen variable tables and the size
+    // vector), so it is sharded across workers in bounded batches; each
+    // batch's instances are then added to the solver sequentially, in
+    // clause and assignment order — the solver sees the exact prefix of
+    // the sequence the inline loop produced, so outcome and statistics
+    // are identical at any thread count. Batching (instead of
+    // generating the whole sweep up front) bounds peak memory to one
+    // batch and keeps the old streaming behavior of stopping early on
+    // a root-level conflict: at most one batch is generated in vain.
+    let pool = Pool::new(&config.parallel);
+    let batch = (pool.threads() * 4).max(1);
+    for wave in flat.chunks(batch) {
+        let grounded: Vec<GroundInstances> = pool
+            .map_chunks(wave, |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|c| ground_clause(sys, c, sizes, &func_vars, &pred_vars))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        for g in &grounded {
+            for lits in g.iter() {
+                if !solver.add_clause(lits) {
                     stats.conflicts += solver.conflict_count();
                     return SizeOutcome::Unsat;
                 }
-            }
-            // Odometer.
-            let mut i = 0;
-            loop {
-                if i == assign.len() {
-                    break 'assignments;
-                }
-                assign[i] += 1;
-                if assign[i] < dims[i] {
-                    break;
-                }
-                assign[i] = 0;
-                i += 1;
-            }
-            if assign.iter().all(|&a| a == 0) {
-                break;
             }
         }
     }
@@ -303,6 +300,88 @@ fn try_sizes(
             SizeOutcome::Budget
         }
     }
+}
+
+/// The ground SAT instances of one flattened clause: literal lists
+/// stored back to back in one flat buffer (`ends[i]` is the exclusive
+/// end of instance `i`), compact enough to materialize a whole clause's
+/// sweep before handing it to the solver.
+struct GroundInstances {
+    lits: Vec<Lit>,
+    ends: Vec<usize>,
+}
+
+impl GroundInstances {
+    fn iter(&self) -> impl Iterator<Item = &[Lit]> + '_ {
+        self.ends.iter().scan(0usize, move |start, &end| {
+            let s = *start;
+            *start = end;
+            Some(&self.lits[s..end])
+        })
+    }
+}
+
+/// Enumerates every variable assignment of one flattened clause and
+/// emits the surviving ground instances, in odometer order. Pure: reads
+/// only frozen tables, writes only its own buffer — the unit of work
+/// the parallel sweep fans out.
+fn ground_clause(
+    sys: &ChcSystem,
+    c: &FlatClause,
+    sizes: &[usize],
+    func_vars: &[Vec<Vec<Var>>],
+    pred_vars: &[Vec<Var>],
+) -> GroundInstances {
+    let sig = &sys.sig;
+    let mut out = GroundInstances {
+        lits: Vec::new(),
+        ends: Vec::new(),
+    };
+    let dims: Vec<usize> = c.var_sorts.iter().map(|s| sizes[s.index()]).collect();
+    if dims.contains(&0) {
+        return out;
+    }
+    let mut assign = vec![0usize; dims.len()];
+    'assignments: loop {
+        // Equality literals are decided at grounding time.
+        let eq_ok = c.eqs.iter().all(|&(a, b)| assign[a] == assign[b]);
+        if eq_ok {
+            for (f, args, res) in &c.defs {
+                let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
+                let row = row_index(sig, *f, &vals, sizes);
+                out.lits
+                    .push(Lit::neg(func_vars[f.index()][row][assign[*res]]));
+            }
+            for (p, args) in &c.body {
+                let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
+                let row = pred_row_index(sys, *p, &vals, sizes);
+                out.lits.push(Lit::neg(pred_vars[p.index()][row]));
+            }
+            if let Some((p, args)) = &c.head {
+                let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
+                let row = pred_row_index(sys, *p, &vals, sizes);
+                out.lits.push(Lit::pos(pred_vars[p.index()][row]));
+            }
+            out.ends.push(out.lits.len());
+        }
+        // Odometer.
+        let mut i = 0;
+        loop {
+            if i == assign.len() {
+                break 'assignments;
+            }
+            assign[i] += 1;
+            if assign[i] < dims[i] {
+                break;
+            }
+            assign[i] = 0;
+            i += 1;
+        }
+        if assign.iter().all(|&a| a == 0) {
+            break;
+        }
+    }
+    out
 }
 
 fn row_index(
@@ -534,6 +613,60 @@ mod tests {
             }
             assert_eq!(back, row);
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_identical_at_any_thread_count() {
+        // The sharded ground-instance sweep must reproduce the inline
+        // result bit for bit: same model, same statistics.
+        let sys = even_system();
+        let run = |threads: usize| {
+            let cfg = FinderConfig {
+                parallel: ParallelConfig::with_threads(threads),
+                ..FinderConfig::default()
+            };
+            let (outcome, stats) = find_model(&sys, &cfg).unwrap();
+            (outcome.model(), stats)
+        };
+        let (m1, s1) = run(1);
+        for threads in [2usize, 4, 8] {
+            let (m, s) = run(threads);
+            assert_eq!(m, m1, "threads = {threads}");
+            assert_eq!(s, s1, "threads = {threads}");
+        }
+        assert!(m1.is_some());
+    }
+
+    #[test]
+    fn parallel_sweep_agrees_on_unsat_and_multi_sort() {
+        // UNSAT path (early solver conflict) and a multi-sort grounding
+        // both stay deterministic under sharding.
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let bs = b.sort("B");
+        let _z = b.ctor("Z", vec![], nat);
+        let t = b.ctor("T", vec![], bs);
+        let q = b.pred("q", vec![bs]);
+        b.clause(|c| {
+            let x = c.var("x", bs);
+            c.head(q, vec![c.v(x)]);
+        });
+        b.clause(|c| {
+            c.body(q, vec![c.app0(t)]);
+        });
+        let sys = b.finish();
+        let run = |threads: usize| {
+            let cfg = FinderConfig {
+                max_total_size: 4,
+                parallel: ParallelConfig::with_threads(threads),
+                ..FinderConfig::default()
+            };
+            let (outcome, stats) = find_model(&sys, &cfg).unwrap();
+            (outcome.model().is_some(), stats)
+        };
+        let base = run(1);
+        assert_eq!(run(4), base);
+        assert!(!base.0, "q is both total and refuted: no model");
     }
 
     #[test]

@@ -44,8 +44,12 @@
 //!    disequalities demand sufficiently populated domains.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use ringen_automata::{Dfta, StateId};
+use ringen_automata::store::{
+    joint_member_counts, joint_reachable_products, JointCounts, JointReach,
+};
+use ringen_automata::{AutStore, Dfta, DftaId, StateId};
 use ringen_elem::{check_cube as elem_check_cube, CubeSat};
 use ringen_terms::{unify_all, FuncId, Signature, SortId, Term, UnifyError, VarContext, VarId};
 
@@ -129,6 +133,31 @@ pub fn check_cube(
     vars: &VarContext,
     cube: &RegCube,
     budget: &DpBudget,
+) -> RegCubeSat {
+    check_cube_impl(sig, vars, cube, budget, None)
+}
+
+/// [`check_cube`] routed through a hash-consed [`AutStore`]: the joint
+/// products of layer 4 and the counting fixpoints of layer 5 are
+/// memoized by the interned ids of the constraining automata, so the
+/// thousands of cubes a solver loop checks against the same language
+/// combinations pay one fixpoint and then one hash probe each.
+pub fn check_cube_in(
+    sig: &Signature,
+    vars: &VarContext,
+    cube: &RegCube,
+    budget: &DpBudget,
+    store: &mut AutStore,
+) -> RegCubeSat {
+    check_cube_impl(sig, vars, cube, budget, Some(store))
+}
+
+pub(crate) fn check_cube_impl(
+    sig: &Signature,
+    vars: &VarContext,
+    cube: &RegCube,
+    budget: &DpBudget,
+    mut store: Option<&mut AutStore>,
 ) -> RegCubeSat {
     // Layer 1: the elementary projection.
     let elem_cube: Vec<_> = cube.iter().filter_map(RegLiteral::as_elem).collect();
@@ -228,12 +257,28 @@ pub fn check_cube(
 
     // Layer 4: joint realizability across distinct automata. The
     // feasible product tuples are kept per variable for the counting
-    // layer below.
+    // layer below. With a store, the joint fixpoint is memoized by the
+    // interned table ids — a warm solver-loop iteration pays one hash
+    // probe here instead of re-running it.
     let constrained_vars: BTreeSet<VarId> = allowed.keys().map(|(v, _)| *v).collect();
     let keys: Vec<usize> = langs.keys().copied().collect();
-    let dftas: Vec<&Dfta> = keys.iter().map(|k| langs[k].dfta()).collect();
-    let Some(products) = reachable_products(sig, &dftas, budget) else {
-        return RegCubeSat::Maybe;
+    let dfta_ids: Option<Vec<DftaId>> = store.as_deref_mut().map(|st| {
+        keys.iter()
+            .map(|k| langs[k].intern_dfta_in(st))
+            .collect::<Vec<_>>()
+    });
+    let products: Arc<JointReach> = match (&mut store, &dfta_ids) {
+        (Some(st), Some(ids)) => match st.joint_reachable(sig, ids, budget.max_product_tuples) {
+            Some(p) => p,
+            None => return RegCubeSat::Maybe,
+        },
+        _ => {
+            let dftas: Vec<&Dfta> = keys.iter().map(|k| langs[k].dfta()).collect();
+            match joint_reachable_products(sig, &dftas, budget.max_product_tuples) {
+                Some(p) => Arc::new(p),
+                None => return RegCubeSat::Maybe,
+            }
+        }
     };
     let mut feasible_tuples: BTreeMap<VarId, BTreeSet<Vec<StateId>>> = BTreeMap::new();
     for &v in &constrained_vars {
@@ -266,7 +311,13 @@ pub fn check_cube(
     // (each ground term has exactly one run tuple, so tuple counts are
     // disjoint and add up exactly).
     if !neq_pairs.is_empty() && !feasible_tuples.is_empty() {
-        let counts = count_products(sig, &dftas, budget.count_cap);
+        let counts: Arc<JointCounts> = match (&mut store, &dfta_ids) {
+            (Some(st), Some(ids)) => st.joint_counts(sig, ids, budget.count_cap),
+            _ => {
+                let dftas: Vec<&Dfta> = keys.iter().map(|k| langs[k].dfta()).collect();
+                Arc::new(joint_member_counts(sig, &dftas, budget.count_cap))
+            }
+        };
         // Group the constrained variables by (sort, feasible set).
         let mut groups: BTreeMap<(SortId, &BTreeSet<Vec<StateId>>), Vec<VarId>> = BTreeMap::new();
         for (&v, feas) in &feasible_tuples {
@@ -304,84 +355,6 @@ pub fn check_cube(
     }
 
     RegCubeSat::Maybe
-}
-
-/// Distinct-term counts per reachable product tuple, saturating at
-/// `cap` (the counting analogue of [`reachable_products`]). Counts
-/// strictly below `cap` are **exact**: determinism makes the per-tuple
-/// term sets disjoint, and the least fixpoint of the counting
-/// equations is reached from below — a value can only fall short of
-/// the truth by hitting the cap, which the caller treats as "possibly
-/// infinite".
-fn count_products(
-    sig: &Signature,
-    dftas: &[&Dfta],
-    cap: usize,
-) -> BTreeMap<SortId, BTreeMap<Vec<StateId>, usize>> {
-    let mut out: BTreeMap<SortId, BTreeMap<Vec<StateId>, usize>> = BTreeMap::new();
-    loop {
-        let mut next: BTreeMap<SortId, BTreeMap<Vec<StateId>, usize>> = BTreeMap::new();
-        for c in sig.constructors() {
-            let decl = sig.func(c);
-            let empty = BTreeMap::new();
-            let choices: Vec<Vec<(Vec<StateId>, usize)>> = decl
-                .domain
-                .iter()
-                .map(|s| {
-                    out.get(s)
-                        .unwrap_or(&empty)
-                        .iter()
-                        .map(|(t, n)| (t.clone(), *n))
-                        .collect()
-                })
-                .collect();
-            for combo in cartesian_counted(&choices) {
-                let mut target = Vec::with_capacity(dftas.len());
-                let mut ok = true;
-                for (i, d) in dftas.iter().enumerate() {
-                    let args: Vec<StateId> = combo.0.iter().map(|t| t[i]).collect();
-                    match d.step(c, &args) {
-                        Some(s) => target.push(s),
-                        None => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if !ok {
-                    continue;
-                }
-                let slot = next
-                    .entry(decl.range)
-                    .or_default()
-                    .entry(target)
-                    .or_insert(0);
-                *slot = slot.saturating_add(combo.1).min(cap);
-            }
-        }
-        if next == out {
-            return out;
-        }
-        out = next;
-    }
-}
-
-/// Cartesian product of per-position `(tuple, count)` choices; the
-/// combined count is the product of the component counts.
-fn cartesian_counted(choices: &[Vec<(Vec<StateId>, usize)>]) -> Vec<(Vec<Vec<StateId>>, usize)> {
-    let mut out: Vec<(Vec<Vec<StateId>>, usize)> = vec![(Vec::new(), 1)];
-    for c in choices {
-        let mut next = Vec::with_capacity(out.len() * c.len().max(1));
-        for (prefix, n) in &out {
-            for (x, m) in c {
-                let mut row = prefix.clone();
-                row.push(x.clone());
-                next.push((row, n.saturating_mul(*m)));
-            }
-        }
-        out = next;
-    }
-    out
 }
 
 enum Propagation {
@@ -465,81 +438,6 @@ fn propagate_literal(
             k += 1;
         }
     }
-}
-
-/// Reachable product tuples per sort, with the top constructors able
-/// to produce each.
-type ProductsBySort = BTreeMap<SortId, BTreeMap<Vec<StateId>, BTreeSet<FuncId>>>;
-
-/// Reachable tuples of states when running all `dftas` in parallel,
-/// per sort, each with the set of top constructors that can produce
-/// it. `None` when the budget is exceeded.
-fn reachable_products(
-    sig: &Signature,
-    dftas: &[&Dfta],
-    budget: &DpBudget,
-) -> Option<ProductsBySort> {
-    let mut out: BTreeMap<SortId, BTreeMap<Vec<StateId>, BTreeSet<FuncId>>> = BTreeMap::new();
-    loop {
-        let mut changed = false;
-        for c in sig.constructors() {
-            let decl = sig.func(c);
-            let empty = BTreeMap::new();
-            let choices: Vec<Vec<Vec<StateId>>> = decl
-                .domain
-                .iter()
-                .map(|s| out.get(s).unwrap_or(&empty).keys().cloned().collect())
-                .collect();
-            for combo in cartesian_tuples(&choices) {
-                // Step every automaton componentwise.
-                let mut target = Vec::with_capacity(dftas.len());
-                let mut ok = true;
-                for (i, d) in dftas.iter().enumerate() {
-                    let args: Vec<StateId> = combo.iter().map(|t| t[i]).collect();
-                    match d.step(c, &args) {
-                        Some(s) => target.push(s),
-                        None => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if !ok {
-                    continue;
-                }
-                let per_sort = out.entry(decl.range).or_default();
-                let tops = per_sort.entry(target).or_default();
-                if tops.insert(c) {
-                    changed = true;
-                }
-            }
-        }
-        let total: usize = out.values().map(BTreeMap::len).sum();
-        if total > budget.max_product_tuples {
-            return None;
-        }
-        if !changed {
-            return Some(out);
-        }
-    }
-}
-
-/// All combinations with one element from each choice list (tuples
-/// variant of the automata crate's helper).
-fn cartesian_tuples(choices: &[Vec<Vec<StateId>>]) -> Vec<Vec<Vec<StateId>>> {
-    let mut out: Vec<Vec<Vec<StateId>>> = vec![Vec::new()];
-    for c in choices {
-        let mut next = Vec::with_capacity(out.len() * c.len().max(1));
-        for prefix in &out {
-            for x in c {
-                let mut row = prefix.clone();
-                row.push(x.clone());
-                next.push(row);
-            }
-        }
-        out = next;
-    }
-    out
 }
 
 #[cfg(test)]
@@ -813,6 +711,93 @@ mod tests {
         d.add_transition(s, vec![b], c);
         d.add_transition(s, vec![c], c);
         Lang::new("ZeroOrOne", sig, d, [a, b])
+    }
+
+    #[test]
+    fn store_routed_cubes_agree_and_memoize_joint_products() {
+        use ringen_automata::AutStore;
+        let (sig, nat, z, s) = nat_signature();
+        let mut store = AutStore::with_cache(true);
+        let even = {
+            let mut d = Dfta::new();
+            let s0 = d.add_state(nat);
+            let s1 = d.add_state(nat);
+            d.add_transition(z, vec![], s0);
+            d.add_transition(s, vec![s0], s1);
+            d.add_transition(s, vec![s1], s0);
+            Lang::new_in("Even", &sig, d, [s0], &mut store)
+        };
+        let mult3 = {
+            let mut d = Dfta::new();
+            let m: Vec<StateId> = (0..3).map(|_| d.add_state(nat)).collect();
+            d.add_transition(z, vec![], m[0]);
+            for i in 0..3 {
+                d.add_transition(s, vec![m[i]], m[(i + 1) % 3]);
+            }
+            Lang::new_in("Mult3", &sig, d, [m[0]], &mut store)
+        };
+        assert_ne!(even.key(), mult3.key());
+        let mut vars = VarContext::new();
+        let x = vars.fresh("x", nat);
+        let y = vars.fresh("y", nat);
+        let cube = vec![
+            RegLiteral::member(Term::var(x), even.clone()),
+            RegLiteral::member(Term::var(x), mult3.clone()),
+            RegLiteral::member(Term::var(y), even.clone()),
+            RegLiteral::Neq(Term::var(x), Term::var(y)),
+        ];
+        let budget = DpBudget::default();
+        let plain = check_cube(&sig, &vars, &cube, &budget);
+        let routed = check_cube_in(&sig, &vars, &cube, &budget, &mut store);
+        assert_eq!(plain, routed, "store routing must not change verdicts");
+        assert_eq!(routed, RegCubeSat::Maybe, "x ∈ Even ∩ Mult3 is realizable");
+        // A repeated check — the solver-loop shape — answers the joint
+        // product and counting fixpoints from the memo.
+        let after_cold = store.stats();
+        let warm = check_cube_in(&sig, &vars, &cube, &budget, &mut store);
+        assert_eq!(warm, routed);
+        let after_warm = store.stats();
+        assert_eq!(after_warm.memo_misses, after_cold.memo_misses);
+        assert!(after_warm.memo_hits >= after_cold.memo_hits + 2);
+    }
+
+    #[test]
+    fn store_backed_identity_strengthens_state_propagation() {
+        use ringen_automata::AutStore;
+        // Even and Odd built separately over the *same* parity table:
+        // the store gives them one structural identity, so layer 3
+        // already intersects their allowed-state sets (the plain path
+        // needs the layer-4 joint product for the same verdict).
+        let (sig, nat, z, s) = nat_signature();
+        let mut store = AutStore::with_cache(true);
+        let parity = |finals: usize, store: &mut AutStore| {
+            let mut d = Dfta::new();
+            let s0 = d.add_state(nat);
+            let s1 = d.add_state(nat);
+            d.add_transition(z, vec![], s0);
+            d.add_transition(s, vec![s0], s1);
+            d.add_transition(s, vec![s1], s0);
+            let f = if finals == 0 { s0 } else { s1 };
+            Lang::new_in(format!("P{finals}"), &sig, d, [f], store)
+        };
+        let even = parity(0, &mut store);
+        let odd = parity(1, &mut store);
+        assert_eq!(
+            even.key(),
+            odd.key(),
+            "structurally equal tables share one identity"
+        );
+        assert_eq!(store.stats().dedup_hits, 1, "second table deduped");
+        let mut vars = VarContext::new();
+        let x = vars.fresh("x", nat);
+        let cube = vec![
+            RegLiteral::member(Term::var(x), even),
+            RegLiteral::member(Term::var(x), odd),
+        ];
+        assert_eq!(
+            check_cube_in(&sig, &vars, &cube, &DpBudget::default(), &mut store),
+            RegCubeSat::Unsat
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use ringen_automata::{Dfta, StateId};
+use ringen_automata::{AutStore, Dfta, StateId};
 use ringen_parallel::{ParallelConfig, Pool};
 use ringen_terms::{herbrand, FuncId, Signature, SortId, TermPool};
 
@@ -47,6 +47,30 @@ impl Default for LangPoolConfig {
 /// height. Languages accepting none or all of the fingerprint terms
 /// are dropped (they constrain nothing a template could not).
 pub fn enumerate_langs(sig: &Signature, sort: SortId, cfg: &LangPoolConfig) -> Vec<Lang> {
+    enumerate_impl(sig, sort, cfg, None)
+}
+
+/// [`enumerate_langs`] with every kept language built through an
+/// [`AutStore`] ([`Lang::new_in`]): completed tables are hash-consed
+/// (final-set variants of one table share a single arena entry and one
+/// reachability fixpoint) and every language carries a structural
+/// identity, so the cube procedure's joint products over the pool hit
+/// the store's memo tables.
+pub fn enumerate_langs_in(
+    sig: &Signature,
+    sort: SortId,
+    cfg: &LangPoolConfig,
+    store: &mut AutStore,
+) -> Vec<Lang> {
+    enumerate_impl(sig, sort, cfg, Some(store))
+}
+
+fn enumerate_impl(
+    sig: &Signature,
+    sort: SortId,
+    cfg: &LangPoolConfig,
+    mut store: Option<&mut AutStore>,
+) -> Vec<Lang> {
     let k = cfg.states_per_sort.max(1);
     // One block of k states per sort; cells are (constructor, argument
     // state combination) pairs, each choosing one of k targets.
@@ -134,12 +158,11 @@ pub fn enumerate_langs(sig: &Signature, sort: SortId, cfg: &LangPoolConfig) -> V
             if seen.insert(fp, ()).is_none() {
                 // Languages are materialized (completed + reachability)
                 // only for fingerprints that survive the pruning.
-                out.push(Lang::new(
-                    format!("L{}f{}", dftas, finals_mask),
-                    sig,
-                    d.clone(),
-                    finals,
-                ));
+                let name = format!("L{}f{}", dftas, finals_mask);
+                out.push(match store.as_deref_mut() {
+                    Some(st) => Lang::new_in(name, sig, d.clone(), finals, st),
+                    None => Lang::new(name, sig, d.clone(), finals),
+                });
                 if out.len() >= cfg.max_langs {
                     break 'sweep;
                 }

@@ -16,12 +16,13 @@
 
 use std::collections::BTreeMap;
 
+use ringen_automata::AutStore;
 use ringen_chc::{ChcSystem, Clause, Constraint, PredId};
 use ringen_core::invariant::RegularInvariant;
 use ringen_elem::ElemInvariant;
 use ringen_terms::{GroundTerm, Term, VarId};
 
-use crate::dp::{check_cube, DpBudget, RegCubeSat};
+use crate::dp::{check_cube_impl, DpBudget, RegCubeSat};
 use crate::formula::{RegCube, RegElemFormula, RegLiteral};
 use crate::lang::Lang;
 
@@ -58,6 +59,27 @@ impl RegElemInvariant {
     /// `⋁_{⟨s₁…sₙ⟩ ∈ S_F} ⋀ᵢ #i ∈ L(A, sᵢ)` over the invariant's shared
     /// transition table.
     pub fn from_regular(sys: &ChcSystem, inv: &RegularInvariant) -> RegElemInvariant {
+        Self::from_regular_impl(sys, inv, None)
+    }
+
+    /// [`RegElemInvariant::from_regular`] with every membership
+    /// language built through an [`AutStore`]: the invariant's one
+    /// shared (completed) transition table is interned a single time,
+    /// and every per-state language references it by id — so the cube
+    /// procedure recognizes all of them as the same automaton.
+    pub fn from_regular_in(
+        sys: &ChcSystem,
+        inv: &RegularInvariant,
+        store: &mut AutStore,
+    ) -> RegElemInvariant {
+        Self::from_regular_impl(sys, inv, Some(store))
+    }
+
+    fn from_regular_impl(
+        sys: &ChcSystem,
+        inv: &RegularInvariant,
+        mut store: Option<&mut AutStore>,
+    ) -> RegElemInvariant {
         let mut formulas = BTreeMap::new();
         for p in inv.preds() {
             let decl = sys.rels.decl(p);
@@ -67,12 +89,13 @@ impl RegElemInvariant {
                     .iter()
                     .enumerate()
                     .map(|(i, &state)| {
-                        let lang = Lang::new(
-                            format!("{}[{state}]", decl.name),
-                            &sys.sig,
-                            inv.dfta().clone(),
-                            [state],
-                        );
+                        let name = format!("{}[{state}]", decl.name);
+                        let lang = match store.as_deref_mut() {
+                            Some(st) => {
+                                Lang::new_in(name, &sys.sig, inv.dfta().clone(), [state], st)
+                            }
+                            None => Lang::new(name, &sys.sig, inv.dfta().clone(), [state]),
+                        };
                         RegLiteral::member(Term::var(VarId(i as u32)), lang)
                     })
                     .collect();
@@ -123,11 +146,35 @@ pub fn check_inductive(
     dnf_cap: usize,
     budget: &DpBudget,
 ) -> RegElemCheck {
+    check_inductive_impl(sys, inv, dnf_cap, budget, None)
+}
+
+/// [`check_inductive`] with every violation cube discharged through a
+/// hash-consed [`AutStore`] — the handle a solver loop threads through
+/// all of its candidate checks, so repeated joint products over the
+/// same language pool are computed once.
+pub fn check_inductive_in(
+    sys: &ChcSystem,
+    inv: &RegElemInvariant,
+    dnf_cap: usize,
+    budget: &DpBudget,
+    store: &mut AutStore,
+) -> RegElemCheck {
+    check_inductive_impl(sys, inv, dnf_cap, budget, Some(store))
+}
+
+fn check_inductive_impl(
+    sys: &ChcSystem,
+    inv: &RegElemInvariant,
+    dnf_cap: usize,
+    budget: &DpBudget,
+    mut store: Option<&mut AutStore>,
+) -> RegElemCheck {
     if let Err(e) = sys.well_sorted() {
         panic!("input system is not well-sorted: {e}");
     }
     for (i, clause) in sys.clauses.iter().enumerate() {
-        if !clause_certified(sys, clause, inv, dnf_cap, budget) {
+        if !clause_certified(sys, clause, inv, dnf_cap, budget, store.as_deref_mut()) {
             return RegElemCheck::NotProved { clause: i };
         }
     }
@@ -140,6 +187,7 @@ fn clause_certified(
     inv: &RegElemInvariant,
     dnf_cap: usize,
     budget: &DpBudget,
+    mut store: Option<&mut AutStore>,
 ) -> bool {
     // The reduction is universal-only; a ∀∃ clause cannot be certified.
     if !clause.exist_vars.is_empty() {
@@ -179,10 +227,10 @@ fn clause_certified(
             None => return false,
         }
     }
-    violation
-        .cubes
-        .iter()
-        .all(|cube| check_cube(&sys.sig, &clause.vars, cube, budget) == RegCubeSat::Unsat)
+    violation.cubes.iter().all(|cube| {
+        check_cube_impl(&sys.sig, &clause.vars, cube, budget, store.as_deref_mut())
+            == RegCubeSat::Unsat
+    })
 }
 
 #[cfg(test)]

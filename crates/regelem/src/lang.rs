@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use ringen_automata::{Dfta, StateId, TupleAutomaton};
+use ringen_automata::{AutStore, Dfta, DftaId, StateId, TupleAutomaton};
 use ringen_terms::{GroundTerm, Signature, SortId};
 
 #[derive(Debug)]
@@ -19,12 +19,20 @@ struct LangInner {
     name: String,
     sort: SortId,
     /// Complete over the construction signature: `run` is total on
-    /// well-sorted ground terms.
-    dfta: Dfta,
+    /// well-sorted ground terms. Shared with the [`AutStore`] arena for
+    /// store-backed languages.
+    dfta: Arc<Dfta>,
     finals: BTreeSet<StateId>,
     /// States reachable by some ground term (membership propagation
     /// only ever assigns these).
-    reachable: BTreeSet<StateId>,
+    reachable: Arc<BTreeSet<StateId>>,
+    /// The interned id of `dfta` — together with the minting store's
+    /// token — when the language was built through an [`AutStore`];
+    /// gives the language a structural identity ([`Lang::key`]) and
+    /// lets the cube procedure route its joint products through the
+    /// store's memo tables. Ids are dense *per store*, so the token is
+    /// checked before the id is ever used against a store.
+    store_id: Option<(u64, DftaId)>,
 }
 
 /// An immutable regular tree language over a single ADT sort.
@@ -68,6 +76,53 @@ impl Lang {
         finals: impl IntoIterator<Item = StateId>,
     ) -> Lang {
         let finals: BTreeSet<StateId> = finals.into_iter().collect();
+        let sort = Lang::check_finals(&dfta, &finals);
+        let completed = dfta.completed(sig);
+        let reachable = completed.reachable();
+        Lang(Arc::new(LangInner {
+            name: name.into(),
+            sort,
+            dfta: Arc::new(completed),
+            finals,
+            reachable: Arc::new(reachable),
+            store_id: None,
+        }))
+    }
+
+    /// [`Lang::new`], interning the completed automaton in `store`: the
+    /// transition table is hash-consed (structurally equal tables from
+    /// different enumeration paths share one arena entry and one
+    /// reachability fixpoint), and the language carries the store id as
+    /// its identity — so the cube procedure's joint-realizability
+    /// products over it hit the store's memo tables.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Lang::new`].
+    pub fn new_in(
+        name: impl Into<String>,
+        sig: &Signature,
+        dfta: Dfta,
+        finals: impl IntoIterator<Item = StateId>,
+        store: &mut AutStore,
+    ) -> Lang {
+        let finals: BTreeSet<StateId> = finals.into_iter().collect();
+        let sort = Lang::check_finals(&dfta, &finals);
+        let id = store.intern_dfta(dfta.completed(sig));
+        let reachable = store.reachable(id);
+        Lang(Arc::new(LangInner {
+            name: name.into(),
+            sort,
+            dfta: store.dfta_arc(id),
+            finals,
+            reachable,
+            store_id: Some((store.token(), id)),
+        }))
+    }
+
+    /// Validates the final set (nonempty, one sort) and returns the
+    /// language sort.
+    fn check_finals(dfta: &Dfta, finals: &BTreeSet<StateId>) -> SortId {
         let first = finals
             .iter()
             .next()
@@ -77,15 +132,7 @@ impl Lang {
             finals.iter().all(|s| dfta.sort_of(*s) == sort),
             "final states of mixed sorts"
         );
-        let completed = dfta.completed(sig);
-        let reachable = completed.reachable();
-        Lang(Arc::new(LangInner {
-            name: name.into(),
-            sort,
-            dfta: completed,
-            finals,
-            reachable,
-        }))
+        sort
     }
 
     /// Wraps a 1-automaton (its final tuples become final states).
@@ -126,6 +173,20 @@ impl Lang {
     /// States of the completed automaton reachable by some ground term.
     pub fn reachable(&self) -> &BTreeSet<StateId> {
         &self.0.reachable
+    }
+
+    /// Makes sure the language's table is interned in `store`,
+    /// returning an id valid *for that store*: a store-backed language
+    /// answers from its cached id only when `store` is the store that
+    /// minted it (checked by token — ids are dense per store); any
+    /// other language interns (with structural dedup) on first use.
+    /// Does **not** rewrite the language's identity — [`Lang::key`]
+    /// stays stable either way.
+    pub fn intern_dfta_in(&self, store: &mut AutStore) -> DftaId {
+        match self.0.store_id {
+            Some((token, id)) if token == store.token() => id,
+            _ => store.intern_dfta_arc(self.0.dfta.clone()),
+        }
     }
 
     /// Reachable states carrying the given sort — the candidate values
@@ -195,10 +256,34 @@ impl Lang {
             .min(cap)
     }
 
-    /// Identity key: two literals mentioning the same shared `Lang`
-    /// constrain the same automaton and may be intersected.
+    /// Identity key: two literals whose languages share a key run over
+    /// the *same* transition table, so their per-variable state sets
+    /// may be intersected and their joint products share one automaton.
+    ///
+    /// Store-backed languages ([`Lang::new_in`]) key by the minting
+    /// store's token plus the interned table id — a structural identity
+    /// that survives re-enumeration within one store, and cannot
+    /// collide across stores — tagged into the odd space; plain
+    /// languages fall back to the allocation address, which is even
+    /// (the inner struct is word-aligned), so the two spaces never
+    /// collide.
     pub fn key(&self) -> usize {
-        Arc::as_ptr(&self.0) as usize
+        match self.0.store_id {
+            Some((token, id)) => {
+                // Ids are u32; tokens occupy the bits above. A token
+                // beyond 2³¹ (after billions of stores) would wrap
+                // within the odd space — still partitioned from
+                // pointer keys, merely with a theoretical token alias.
+                ((token as usize) << 33) ^ ((id.index() << 1) | 1)
+            }
+            None => Arc::as_ptr(&self.0) as usize,
+        }
+    }
+
+    /// The interned transition-table id and its minting store's token,
+    /// for store-backed languages.
+    pub fn store_id(&self) -> Option<(u64, DftaId)> {
+        self.0.store_id
     }
 }
 
@@ -293,6 +378,54 @@ mod tests {
         let two = Lang::new("ZeroOrOne", &sig, d, [a, b]);
         assert_eq!(two.member_count_up_to(10), 2);
         assert_eq!(two.member_count_up_to(1), 1, "cap saturates");
+    }
+
+    #[test]
+    fn store_backed_langs_intern_and_key_structurally() {
+        use ringen_automata::AutStore;
+        let (sig, nat, z, s) = nat_signature();
+        let mut store = AutStore::with_cache(true);
+        let build = |store: &mut AutStore, final_idx: usize| {
+            let mut d = Dfta::new();
+            let s0 = d.add_state(nat);
+            let s1 = d.add_state(nat);
+            d.add_transition(z, vec![], s0);
+            d.add_transition(s, vec![s0], s1);
+            d.add_transition(s, vec![s1], s0);
+            let f = if final_idx == 0 { s0 } else { s1 };
+            Lang::new_in(format!("L{final_idx}"), &sig, d, [f], store)
+        };
+        let even = build(&mut store, 0);
+        let odd = build(&mut store, 1);
+        // One table in the arena, one reachability fixpoint, one key.
+        assert_eq!(store.dfta_count(), 1);
+        assert_eq!(even.store_id(), odd.store_id());
+        assert_eq!(even.key(), odd.key());
+        assert_ne!(even, odd, "different finals, different languages");
+        // Store-backed keys live in the odd space; plain keys are even
+        // pointers — the spaces cannot collide.
+        assert_eq!(even.key() % 2, 1);
+        let (_s2, plain, ..) = even_lang();
+        assert_eq!(plain.key() % 2, 0, "plain keys are aligned pointers");
+        // Semantics are unchanged by interning.
+        for n in 0..8 {
+            let t = GroundTerm::iterate(s, GroundTerm::leaf(z), n);
+            assert_eq!(even.accepts(&t), n % 2 == 0);
+            assert_eq!(odd.accepts(&t), n % 2 == 1);
+        }
+        // `intern_dfta_in` is stable and answers from the cached id.
+        assert_eq!(even.intern_dfta_in(&mut store), even.store_id().unwrap().1);
+        // A *different* store must not trust the foreign id: the table
+        // is re-interned there, and keys never collide across stores.
+        let mut other = AutStore::with_cache(true);
+        let foreign = build(&mut other, 0);
+        let reinterned = even.intern_dfta_in(&mut other);
+        assert_eq!(other.dfta(reinterned), even.dfta());
+        assert_ne!(
+            foreign.key(),
+            even.key(),
+            "same table, different stores, different identities"
+        );
     }
 
     #[test]

@@ -60,9 +60,9 @@ pub mod invariant;
 pub mod lang;
 pub mod solver;
 
-pub use dp::{check_cube, DpBudget, RegCubeSat};
-pub use enumerate::{enumerate_langs, LangPoolConfig};
+pub use dp::{check_cube, check_cube_in, DpBudget, RegCubeSat};
+pub use enumerate::{enumerate_langs, enumerate_langs_in, LangPoolConfig};
 pub use formula::{RegCube, RegElemFormula, RegLiteral};
-pub use invariant::{check_inductive, RegElemCheck, RegElemInvariant};
+pub use invariant::{check_inductive, check_inductive_in, RegElemCheck, RegElemInvariant};
 pub use lang::Lang;
 pub use solver::{solve_regelem, Provenance, RegElemAnswer, RegElemConfig, RegElemStats};

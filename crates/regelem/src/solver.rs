@@ -24,17 +24,18 @@
 
 use std::collections::BTreeMap;
 
+use ringen_automata::AutStore;
 use ringen_chc::{ChcSystem, PredId};
 use ringen_core::saturation::{saturate, Refutation, SaturationConfig, SaturationOutcome};
-use ringen_core::{solve as solve_regular, Answer, RingenConfig};
+use ringen_core::{solve_with_store as solve_regular, Answer, RingenConfig};
 use ringen_elem::search::for_each_composition;
 use ringen_elem::{candidates, solve_elem, ElemAnswer, ElemConfig, TemplateConfig};
 use ringen_terms::{Term, VarId};
 
 use crate::dp::DpBudget;
-use crate::enumerate::{enumerate_langs, LangPoolConfig};
+use crate::enumerate::{enumerate_langs_in, LangPoolConfig};
 use crate::formula::{RegElemFormula, RegLiteral};
-use crate::invariant::{check_inductive, RegElemCheck, RegElemInvariant};
+use crate::invariant::{check_inductive_in, RegElemCheck, RegElemInvariant};
 
 /// Which phase produced a SAT answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,14 +144,32 @@ pub struct RegElemStats {
     pub pool_total: u64,
     /// Languages enumerated across all argument positions.
     pub langs: usize,
+    /// Automaton-store accounting for the whole solve (the evidence
+    /// that the solver loop goes through the memoized Boolean algebra).
+    pub store: ringen_automata::StoreStats,
 }
 
-/// Runs the three-phase solver.
+/// Runs the three-phase solver. One [`AutStore`] handle is owned for
+/// the whole solve: phase 1's invariant verification, the language
+/// pool, and every combined-phase inductiveness check route their
+/// automaton work through its memo tables (the returned
+/// [`RegElemStats::store`] counters show the traffic).
 ///
 /// # Panics
 ///
 /// Panics if `sys` is not well-sorted.
 pub fn solve_regelem(sys: &ChcSystem, cfg: &RegElemConfig) -> (RegElemAnswer, RegElemStats) {
+    let mut store = AutStore::new();
+    let (answer, mut stats) = solve_regelem_with(sys, cfg, &mut store);
+    stats.store = store.stats();
+    (answer, stats)
+}
+
+fn solve_regelem_with(
+    sys: &ChcSystem,
+    cfg: &RegElemConfig,
+    store: &mut AutStore,
+) -> (RegElemAnswer, RegElemStats) {
     if let Err(e) = sys.well_sorted() {
         panic!("input system is not well-sorted: {e}");
     }
@@ -164,10 +183,14 @@ pub fn solve_regelem(sys: &ChcSystem, cfg: &RegElemConfig) -> (RegElemAnswer, Re
 
     // Phase 1: regular invariants by finite-model finding.
     if let Some(rcfg) = &cfg.regular {
-        let (answer, _) = solve_regular(sys, rcfg);
+        let (answer, _) = solve_regular(sys, rcfg, store);
         match answer {
             Answer::Sat(sat) => {
-                let inv = RegElemInvariant::from_regular(&sat.preprocessed.system, &sat.invariant);
+                let inv = RegElemInvariant::from_regular_in(
+                    &sat.preprocessed.system,
+                    &sat.invariant,
+                    store,
+                );
                 // Restrict to the original predicates (preprocessing may
                 // have added diseq auxiliaries, whose ids extend the
                 // original relation table).
@@ -227,7 +250,7 @@ pub fn solve_regelem(sys: &ChcSystem, cfg: &RegElemConfig) -> (RegElemAnswer, Re
     let pools: Vec<Vec<RegElemFormula>> = preds
         .iter()
         .map(|&p| {
-            let pool = candidate_pool(sys, p, cfg, &mut stats);
+            let pool = candidate_pool(sys, p, cfg, &mut stats, store);
             stats.pool_total = stats.pool_total.saturating_add(pool.len() as u64);
             pool
         })
@@ -248,7 +271,9 @@ pub fn solve_regelem(sys: &ChcSystem, cfg: &RegElemConfig) -> (RegElemAnswer, Re
                 .map(|(&p, (pool, &i))| (p, pool[i].clone()))
                 .collect();
             let inv = RegElemInvariant { formulas };
-            if check_inductive(sys, &inv, cfg.dnf_cap, &cfg.dp_budget) == RegElemCheck::Inductive {
+            if check_inductive_in(sys, &inv, cfg.dnf_cap, &cfg.dp_budget, store)
+                == RegElemCheck::Inductive
+            {
                 return Some(Ok(inv));
             }
             None
@@ -275,6 +300,7 @@ fn candidate_pool(
     p: PredId,
     cfg: &RegElemConfig,
     stats: &mut RegElemStats,
+    store: &mut AutStore,
 ) -> Vec<RegElemFormula> {
     let domain = &sys.rels.decl(p).domain;
     let elem_pool = candidates(&sys.sig, domain, &cfg.templates);
@@ -282,7 +308,7 @@ fn candidate_pool(
 
     let lang_pools: Vec<_> = domain
         .iter()
-        .map(|&s| enumerate_langs(&sys.sig, s, &cfg.langs))
+        .map(|&s| enumerate_langs_in(&sys.sig, s, &cfg.langs, store))
         .collect();
     stats.langs += lang_pools.iter().map(Vec::len).sum::<usize>();
 
@@ -357,6 +383,20 @@ mod tests {
         };
         assert_eq!(provenance, Provenance::Combined);
         assert!(stats.assignments > 0);
+        // The combined search demonstrably routes through the automaton
+        // store: the language pool is interned, and the joint products
+        // of the repeated cube checks answer from the memo tables.
+        // (Skipped under RINGEN_AUT_CACHE=0, where the store is a
+        // pass-through by design.)
+        if std::env::var("RINGEN_AUT_CACHE").map_or(true, |v| v.trim() != "0") {
+            assert!(stats.store.interned_dftas > 0, "language pool not interned");
+            assert!(
+                stats.store.memo_hits > stats.store.memo_misses,
+                "warm cube checks must hit the joint-product memo (hits {}, misses {})",
+                stats.store.memo_hits,
+                stats.store.memo_misses,
+            );
+        }
         // Any certified invariant of EvenDiag contains the even
         // diagonal, excludes the odd diagonal (parity query) and stays
         // inside the diagonal (disequality query).

@@ -409,6 +409,43 @@ impl TermPool {
         memo[id.index() - split].expect("root mapped")
     }
 
+    /// Copies one term (and its reachable subterms) from another pool
+    /// into this one, returning the local id. `memo` maps source ids to
+    /// local ids and must be reused across calls for the same source
+    /// pool (it starts empty and grows lazily), so a batch of imports
+    /// copies every shared subterm once. This is how certificate dumps
+    /// are built: only the terms a certificate actually references
+    /// leave the (much larger) working pool.
+    pub fn import(&mut self, src: &TermPool, memo: &mut Vec<Option<TermId>>, id: TermId) -> TermId {
+        if memo.len() < src.len() {
+            memo.resize(src.len(), None);
+        }
+        let mut stack: Vec<TermId> = vec![id];
+        while let Some(&top) = stack.last() {
+            if memo[top.index()].is_some() {
+                stack.pop();
+                continue;
+            }
+            let args = src.args(top);
+            let mut ready = true;
+            for &a in args {
+                if memo[a.index()].is_none() {
+                    stack.push(a);
+                    ready = false;
+                }
+            }
+            if ready {
+                let mapped: Vec<TermId> = args
+                    .iter()
+                    .map(|&a| memo[a.index()].expect("children map first"))
+                    .collect();
+                memo[top.index()] = Some(self.intern(src.func(top), &mapped));
+                stack.pop();
+            }
+        }
+        memo[id.index()].expect("root mapped")
+    }
+
     /// Checks that an interned term respects the signature's arities
     /// and argument sorts. Iterative over the shared nodes (each
     /// distinct subterm is checked once).
@@ -820,6 +857,31 @@ mod tests {
         // S¹ and S² exist once each despite being derived twice.
         assert_eq!(master.len(), 4);
         assert_eq!(master.args(mb3), &[ma2]);
+    }
+
+    #[test]
+    fn import_copies_shared_structure_once() {
+        let (_sig, _nat, z, s) = nat_signature();
+        let mut src = TermPool::new();
+        let zero = src.intern(z, &[]);
+        let one = src.intern(s, &[zero]);
+        let two = src.intern(s, &[one]);
+        let three = src.intern(s, &[two]);
+        // Grow the source further: imports must not copy unrelated
+        // nodes.
+        let _four = src.intern(s, &[three]);
+
+        let mut dst = TermPool::new();
+        let mut memo = Vec::new();
+        let dtwo = dst.import(&src, &mut memo, two);
+        let dthree = dst.import(&src, &mut memo, three);
+        // Only Z, S, S², S³ were copied — the memo shares the chain.
+        assert_eq!(dst.len(), 4);
+        assert_eq!(dst.args(dthree), &[dtwo]);
+        assert_eq!(dst.to_ground(dthree), src.to_ground(three));
+        // Re-importing is a memo hit, not a copy.
+        assert_eq!(dst.import(&src, &mut memo, two), dtwo);
+        assert_eq!(dst.len(), 4);
     }
 
     #[test]
