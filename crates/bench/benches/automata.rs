@@ -369,6 +369,74 @@ fn bench_parallel_saturation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The semi-naive saturation group: a deep multi-round recursive
+/// workload where the naive engine's per-round full rescan is the
+/// dominant cost. A unary chain (`p(x) → p(S x)`) grows one fact per
+/// round for ~120 rounds, and a 2-atom self-join (`p(x) ∧ p(x) →
+/// r(x)`) makes each naive round quadratic in the fact count — the
+/// O(|facts|^k) rescan the delta-driven engine replaces with
+/// delta-proportional work (plus argument-indexed joins for the bound
+/// second atom). `interned` runs the semi-naive engine, `reference`
+/// the naive matcher, both inline single-threaded so the ratio is
+/// purely algorithmic (unlike `parallel_saturation` it does not
+/// depend on the measuring host's core count). `bench_diff` gates the
+/// recorded ratio at an absolute ≥2× floor.
+fn bench_semi_naive_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semi_naive_saturation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    let sys = ringen_chc::parse_str(
+        r#"
+        (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+        (declare-fun p (Nat) Bool)
+        (declare-fun r (Nat) Bool)
+        (assert (p Z))
+        (assert (forall ((x Nat)) (=> (p x) (p (S x)))))
+        (assert (forall ((x Nat)) (=> (and (p x) (p x)) (r x))))
+        "#,
+    )
+    .expect("chain system parses");
+    let cfg = |semi: bool| SaturationConfig {
+        max_facts: 240,
+        max_rounds: 160,
+        max_term_height: 200,
+        semi_naive: semi,
+        parallel: ParallelConfig::with_threads(1),
+        ..SaturationConfig::default()
+    };
+    // The engines must agree before their timings are comparable.
+    let (semi, semi_stats) = saturate(&sys, &cfg(true));
+    let (naive, naive_stats) = saturate(&sys, &cfg(false));
+    match (&semi, &naive) {
+        (SaturationOutcome::Budget(a), SaturationOutcome::Budget(b))
+        | (SaturationOutcome::Saturated(a), SaturationOutcome::Saturated(b)) => {
+            assert_eq!(
+                a.ground_facts().collect::<Vec<_>>(),
+                b.ground_facts().collect::<Vec<_>>(),
+                "semi-naive and naive fact bases differ"
+            );
+            assert!(
+                naive_stats.steps > 4 * semi_stats.steps,
+                "the workload must be rescan-dominated (naive {} vs semi-naive {} steps)",
+                naive_stats.steps,
+                semi_stats.steps,
+            );
+        }
+        other => panic!("chain system must end identically under both engines, got {other:?}"),
+    }
+
+    group.bench_function(BenchmarkId::new("interned", "chain/240"), |b| {
+        let cfg = cfg(true);
+        b.iter(|| saturate(std::hint::black_box(&sys), &cfg))
+    });
+    group.bench_function(BenchmarkId::new("reference", "chain/240"), |b| {
+        let cfg = cfg(false);
+        b.iter(|| saturate(std::hint::black_box(&sys), &cfg))
+    });
+    group.finish();
+}
+
 /// The term-pool group: intern-heavy workloads where the hash-consed
 /// `TermId` representation competes against the boxed structural-hash
 /// baseline — enumeration, bulk cached runs, and the fact-dedup probe
@@ -501,6 +569,7 @@ fn main() {
     bench_boolean_ops_memoized(&mut criterion);
     bench_saturation(&mut criterion);
     bench_parallel_saturation(&mut criterion);
+    bench_semi_naive_saturation(&mut criterion);
     bench_term_pool(&mut criterion);
 
     let step_allocs = step_allocations(100_000);

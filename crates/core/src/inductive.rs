@@ -11,12 +11,27 @@
 //!
 //! This check independently validates every SAT answer the solver
 //! produces — Theorem 5 is not trusted, it is re-verified.
+//!
+//! # The bulk evaluation side table
+//!
+//! The inner loop sweeps the full product of reachable-state
+//! assignments and evaluates every atom argument term under each — a
+//! term walk per (term, assignment) pair, although a term typically
+//! mentions a strict subset of the clause's variables and therefore
+//! takes only a handful of distinct values across the whole sweep.
+//! Each clause's distinct argument terms are deduplicated into dense
+//! **slots** (the clause-local analogue of pool `TermId`s), and
+//! evaluations land in one dense 2-D side table indexed by
+//! `(slot, packed assignment of the slot's own variables)` — a direct
+//! array walk on the sweep's hot path, with no hashing and no repeated
+//! term traversal. This closes the ROADMAP's "pool-wide bulk
+//! operations" item for the inductiveness check.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use ringen_automata::{AutStore, StateId};
-use ringen_chc::{ChcSystem, Clause};
-use ringen_terms::{GroundTerm, VarId};
+use ringen_automata::{AutStore, Dfta, StateId};
+use ringen_chc::{Atom, ChcSystem, Clause};
+use ringen_terms::{GroundTerm, Term, VarId};
 
 use crate::invariant::RegularInvariant;
 
@@ -108,7 +123,7 @@ fn check_with_fixpoints(
     }
 
     for (ci, clause) in sys.clauses.iter().enumerate() {
-        if let Some(v) = violated(sys, inv, clause, &per_sort, witnesses) {
+        if let Some(v) = violated(inv, clause, &per_sort, witnesses) {
             return InductiveCheck::Violated(Violation {
                 clause: ci,
                 assignment: v,
@@ -118,8 +133,153 @@ fn check_with_fixpoints(
     InductiveCheck::Inductive
 }
 
+/// Largest per-slot memo (packed assignments) the dense table will
+/// hold; slots over more assignments than this fall back to direct
+/// evaluation. The sweep itself is bounded by the same product, so in
+/// practice the cap only guards degenerate many-variable clauses.
+const MAX_SLOT_TABLE: usize = 1 << 16;
+
+/// One distinct argument term of a clause, compiled for the sweep: the
+/// variables it actually mentions, with the mixed-radix stride of each
+/// in the slot's packed assignment index.
+struct SlotInfo<'a> {
+    term: &'a Term,
+    /// `(variable, stride)` — packed index = Σ digit(v) · stride.
+    vars: Vec<(VarId, usize)>,
+}
+
+/// The clause's evaluation engine: argument terms deduplicated into
+/// dense slots, results memoized in one 2-D `tables[slot][packed]`
+/// side table (`None` = not evaluated yet; the inner `Option` is the
+/// automaton's own partiality). A term mentioning few of the clause's
+/// variables takes few distinct values across the sweep, so the hot
+/// path is an array load instead of a term walk.
+struct ClauseEval<'a> {
+    clause: &'a Clause,
+    dfta: &'a Dfta,
+    slots: Vec<SlotInfo<'a>>,
+    /// Per body atom: the slot of each argument.
+    body: Vec<Vec<usize>>,
+    /// Head argument slots, if the clause has a head.
+    head: Option<Vec<usize>>,
+    tables: Vec<Vec<Option<Option<StateId>>>>,
+}
+
+impl<'a> ClauseEval<'a> {
+    fn new(
+        clause: &'a Clause,
+        dfta: &'a Dfta,
+        per_sort: &BTreeMap<ringen_terms::SortId, Vec<StateId>>,
+    ) -> ClauseEval<'a> {
+        let mut slots: Vec<SlotInfo<'a>> = Vec::new();
+        let mut tables: Vec<Vec<Option<Option<StateId>>>> = Vec::new();
+        let mut slot_of: BTreeMap<&'a Term, usize> = BTreeMap::new();
+        let mut compile_atom = |atom: &'a Atom| -> Vec<usize> {
+            atom.args
+                .iter()
+                .map(|t| {
+                    *slot_of.entry(t).or_insert_with(|| {
+                        let mut vars: Vec<VarId> = t.vars();
+                        vars.sort_unstable();
+                        vars.dedup();
+                        // Digit range of a variable = its sort's
+                        // reachable-state count; strides are the
+                        // running product.
+                        let mut strided = Vec::with_capacity(vars.len());
+                        let mut size = 1usize;
+                        for v in vars {
+                            let sort = clause.vars.sort(v).expect("var in context");
+                            let range = per_sort.get(&sort).map(Vec::len).unwrap_or(0);
+                            strided.push((v, size));
+                            size = size.saturating_mul(range);
+                        }
+                        slots.push(SlotInfo {
+                            term: t,
+                            vars: strided,
+                        });
+                        // `size == 0` (a variable with no reachable
+                        // state) never reaches evaluation: the sweep
+                        // over that variable is empty.
+                        tables.push(if size > 0 && size <= MAX_SLOT_TABLE {
+                            vec![None; size]
+                        } else {
+                            Vec::new()
+                        });
+                        slots.len() - 1
+                    })
+                })
+                .collect()
+        };
+        let body = clause.body.iter().map(&mut compile_atom).collect();
+        let head = clause.head.as_ref().map(&mut compile_atom);
+        ClauseEval {
+            clause,
+            dfta,
+            slots,
+            body,
+            head,
+            tables,
+        }
+    }
+
+    /// The state of one slot under the current assignment: a direct
+    /// 2-D array probe, falling back to one compositional evaluation
+    /// per *distinct* sub-assignment of the slot's variables.
+    fn eval_slot(
+        &mut self,
+        slot: usize,
+        pos: &BTreeMap<VarId, usize>,
+        env: &BTreeMap<VarId, StateId>,
+    ) -> Option<StateId> {
+        let info = &self.slots[slot];
+        let table = &mut self.tables[slot];
+        if table.is_empty() {
+            return self.dfta.eval(info.term, env);
+        }
+        let packed: usize = info.vars.iter().map(|&(v, stride)| pos[&v] * stride).sum();
+        if let Some(hit) = table[packed] {
+            return hit;
+        }
+        let r = self.dfta.eval(info.term, env);
+        table[packed] = Some(r);
+        r
+    }
+
+    /// The state tuple of body atom `ai`, or `None` if any argument
+    /// has no run (a foreign symbol; the atom is then false). Slot ids
+    /// are read back by index so the sweep's hot path allocates only
+    /// the returned tuple.
+    fn body_tuple(
+        &mut self,
+        ai: usize,
+        pos: &BTreeMap<VarId, usize>,
+        env: &BTreeMap<VarId, StateId>,
+    ) -> Option<Vec<StateId>> {
+        (0..self.body[ai].len())
+            .map(|j| {
+                let slot = self.body[ai][j];
+                self.eval_slot(slot, pos, env)
+            })
+            .collect()
+    }
+
+    /// The state tuple of the head atom ([`ClauseEval::body_tuple`]'s
+    /// head counterpart); the clause must have a head.
+    fn head_tuple(
+        &mut self,
+        pos: &BTreeMap<VarId, usize>,
+        env: &BTreeMap<VarId, StateId>,
+    ) -> Option<Vec<StateId>> {
+        (0..self.head.as_ref().expect("clause has a head").len())
+            .map(|j| {
+                let slot = self.head.as_ref().expect("clause has a head")[j];
+                self.eval_slot(slot, pos, env)
+            })
+            .collect()
+    }
+}
+
 fn violated(
-    sys: &ChcSystem,
     inv: &RegularInvariant,
     clause: &Clause,
     per_sort: &BTreeMap<ringen_terms::SortId, Vec<StateId>>,
@@ -148,6 +308,7 @@ fn violated(
         e_choices.push(per_sort.get(&sort).map(Vec::as_slice).unwrap_or(&[]));
     }
 
+    let mut eval = ClauseEval::new(clause, inv.dfta(), per_sort);
     let mut idx = vec![0usize; universals.len()];
     loop {
         let mut env: BTreeMap<VarId, StateId> = universals
@@ -156,17 +317,19 @@ fn violated(
             .zip(&u_choices)
             .map(|((&v, &i), states)| (v, states[i]))
             .collect();
+        let mut pos: BTreeMap<VarId, usize> =
+            universals.iter().zip(&idx).map(|(&v, &i)| (v, i)).collect();
         // ∀∃ semantics: the clause is violated at this universal
         // assignment iff NO existential assignment satisfies the matrix
         // (equivalently: every existential choice gives body ∧ ¬head).
         let violated_here = !exists_satisfying(
-            sys,
             inv,
-            clause,
+            &mut eval,
             &clause.exist_vars,
             &e_choices,
             0,
             &mut env,
+            &mut pos,
         );
         if violated_here {
             let assignment = universals
@@ -200,23 +363,26 @@ fn violated(
 /// Whether some assignment of the existential variables makes the clause
 /// matrix `B → H` true under `env`. With no existential variables this
 /// degenerates to a single matrix evaluation.
+#[allow(clippy::too_many_arguments)]
 fn exists_satisfying(
-    sys: &ChcSystem,
     inv: &RegularInvariant,
-    clause: &Clause,
+    eval: &mut ClauseEval<'_>,
     exist: &[VarId],
     e_choices: &[&[StateId]],
     k: usize,
     env: &mut BTreeMap<VarId, StateId>,
+    pos: &mut BTreeMap<VarId, usize>,
 ) -> bool {
     if k == exist.len() {
-        return !body_holds(sys, inv, clause, env) || head_holds(inv, clause, env);
+        return !body_holds(inv, eval, env, pos) || head_holds(inv, eval, env, pos);
     }
     let v = exist[k];
-    for &s in e_choices[k] {
+    for (i, &s) in e_choices[k].iter().enumerate() {
         env.insert(v, s);
-        let ok = exists_satisfying(sys, inv, clause, exist, e_choices, k + 1, env);
+        pos.insert(v, i);
+        let ok = exists_satisfying(inv, eval, exist, e_choices, k + 1, env, pos);
         env.remove(&v);
+        pos.remove(&v);
         if ok {
             return true;
         }
@@ -225,17 +391,15 @@ fn exists_satisfying(
 }
 
 fn body_holds(
-    sys: &ChcSystem,
     inv: &RegularInvariant,
-    clause: &Clause,
+    eval: &mut ClauseEval<'_>,
     env: &BTreeMap<VarId, StateId>,
+    pos: &BTreeMap<VarId, usize>,
 ) -> bool {
-    let _ = sys;
-    clause.body.iter().all(|atom| {
-        let tuple: Option<Vec<StateId>> =
-            atom.args.iter().map(|t| inv.dfta().eval(t, env)).collect();
-        match tuple {
-            Some(tuple) => inv.finals(atom.pred).contains(&tuple),
+    (0..eval.body.len()).all(|ai| {
+        let pred = eval.clause.body[ai].pred;
+        match eval.body_tuple(ai, pos, env) {
+            Some(tuple) => inv.finals(pred).contains(&tuple),
             // An undefined transition means the term denotes nothing the
             // automaton can reach; treat the atom as false (the model
             // automaton is total, so this only happens for foreign
@@ -245,17 +409,19 @@ fn body_holds(
     })
 }
 
-fn head_holds(inv: &RegularInvariant, clause: &Clause, env: &BTreeMap<VarId, StateId>) -> bool {
-    match &clause.head {
+fn head_holds(
+    inv: &RegularInvariant,
+    eval: &mut ClauseEval<'_>,
+    env: &BTreeMap<VarId, StateId>,
+    pos: &BTreeMap<VarId, usize>,
+) -> bool {
+    let Some(atom) = &eval.clause.head else {
+        return false;
+    };
+    let pred = atom.pred;
+    match eval.head_tuple(pos, env) {
+        Some(tuple) => inv.finals(pred).contains(&tuple),
         None => false,
-        Some(atom) => {
-            let tuple: Option<Vec<StateId>> =
-                atom.args.iter().map(|t| inv.dfta().eval(t, env)).collect();
-            match tuple {
-                Some(tuple) => inv.finals(atom.pred).contains(&tuple),
-                None => false,
-            }
-        }
     }
 }
 
@@ -341,6 +507,44 @@ mod tests {
         assert!(after_warm.dedup_hits >= 1);
         // Verdicts agree with the store-less check.
         assert!(check_inductive(&pre.system, &inv).is_inductive());
+    }
+
+    #[test]
+    fn slot_tables_agree_on_repeated_and_multivar_arguments() {
+        // evenpair has 2-variable clauses whose argument terms repeat
+        // (S(S(x)) twice) and mention different variable subsets — the
+        // shapes the dense (slot, packed assignment) side table must
+        // dedup and memoize without changing any verdict.
+        let sys = parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun evenpair (Nat Nat) Bool)
+            (assert (evenpair Z Z))
+            (assert (forall ((x Nat) (y Nat))
+              (=> (evenpair x y) (evenpair (S (S x)) (S (S y))))))
+            (assert (forall ((x Nat) (y Nat))
+              (=> (and (evenpair x y) (evenpair (S (S x)) y)) (evenpair x y))))
+            (assert (forall ((x Nat) (y Nat))
+              (=> (and (evenpair x y) (evenpair (S x) (S y))) false)))
+            "#,
+        )
+        .unwrap();
+        let pre = preprocess(&sys);
+        let (outcome, _) = find_model(&pre.system, &FinderConfig::default()).unwrap();
+        let model = outcome.model().expect("evenpair has a finite model");
+        let inv = RegularInvariant::from_model(&pre.system, &model);
+        assert!(check_inductive(&pre.system, &inv).is_inductive());
+        // Corrupt the finals: the violation (and its witness) must
+        // still be found through the memoized tables.
+        let p = sys.rels.by_name("evenpair").unwrap();
+        let mut bad = inv.clone();
+        bad.finals_mut(p).clear();
+        match check_inductive(&pre.system, &bad) {
+            InductiveCheck::Violated(v) => {
+                assert!(pre.system.clauses[v.clause].body.is_empty());
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
     }
 
     #[test]

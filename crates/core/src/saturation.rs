@@ -46,7 +46,65 @@
 //! path; the differential property tests in `tests/` pin 2, 4 and 8
 //! workers to it). Budgets stay deterministic because each clause runs
 //! under the budget remaining at the round's start, and the merge
-//! re-applies the global caps clause by clause.
+//! re-applies the global caps clause by clause. The workers themselves
+//! are spawned **once per [`saturate`] call** and parked between
+//! rounds ([`ringen_parallel::Pool::persistent`]), so many-round
+//! instances pay no per-round spawn latency.
+//!
+//! # Semi-naive rounds: delta-driven variants
+//!
+//! A naive round rematches every clause against the **whole** frozen
+//! snapshot, so round `r` re-derives (and re-discards) everything
+//! round `r-1` already found — the dominant cost on recursive systems.
+//! The default engine is instead *semi-naive*: the fact base is
+//! partitioned by the previous round's merge point into `old` rows and
+//! last round's `delta` rows (rows are in insertion order, so the
+//! partition is a binary search on the fact index, not a second
+//! store), and a clause with `k` body atoms is scheduled as `k`
+//! **variants** — variant `i` ranges atom `i` over the delta, atoms
+//! `< i` over old rows, and atoms `> i` over old ∪ delta:
+//!
+//! ```text
+//!        naive round                 semi-naive round (k = 3)
+//!  ┌───────────────────┐    v0: Δ        × (old∪Δ) × (old∪Δ)
+//!  │ all  × all  × all │    v1: old      × Δ       × (old∪Δ)
+//!  └───────────────────┘    v2: old      × old     × Δ
+//! ```
+//!
+//! Every derivation with at least one new premise is enumerated by
+//! exactly one variant (the one whose index is its first delta
+//! premise), and all-old tuples — whose conclusions were already
+//! merged, deduplicated, or height-rejected in an earlier round — are
+//! never rematched. Joins are additionally backed by a per-`(pred,
+//! argument position, TermId)` **argument index** in [`FactBase`]:
+//! when a body atom's argument is a variable the left-to-right join
+//! has already bound, the matcher scans that id's posting list instead
+//! of the whole predicate row (ids are hash-consed, so equality is id
+//! equality). Variants shard across the worker pool exactly like
+//! clauses did, and the sequential merge is extended from clause order
+//! to **variant order**: each clause's candidates are merged sorted by
+//! their premise tuple, which is precisely the order the naive
+//! engine's nested left-to-right join emits them in — so outcome, fact
+//! order, pool contents, and refutation certificates are identical to
+//! the naive engine (and to themselves at any thread count). The one
+//! intentional difference is [`SaturationStats::steps`] /
+//! [`SaturationStats::candidates`], which measure the *work actually
+//! done* — the entire point is that the semi-naive engine does less of
+//! it, so a `max_steps` budget that cuts one engine mid-round may not
+//! cut the other at the same fact.
+//!
+//! Two budget edge cases keep the engines aligned: (1) a worker that
+//! exhausts the *step* budget always ends the run in that same round —
+//! `Budget`, or `Refuted` when a sibling variant or earlier clause
+//! fires a query first — so its truncated matches never leak into a
+//! later round; (2) a worker truncated by the *fact* cap whose round
+//! ends below the cap (possible when another clause merged the same
+//! facts first) marks its clause **dirty**, and a dirty clause is
+//! rescheduled as a full naive rescan next round — exactly how the
+//! naive engine rediscovers the dropped candidates. Setting
+//! `RINGEN_SAT_SEMINAIVE=0` (or [`SaturationConfig::semi_naive`] =
+//! `false`) selects the naive matcher, kept verbatim as the
+//! differential reference.
 
 use std::error::Error;
 use std::fmt;
@@ -87,6 +145,14 @@ pub struct SaturationConfig {
     /// `RINGEN_THREADS` (1 forces the inline path); outcomes are
     /// bit-for-bit identical at any value.
     pub parallel: ParallelConfig,
+    /// Use the delta-driven semi-naive round engine with
+    /// argument-indexed joins (see the [module docs](self)). The
+    /// default honors `RINGEN_SAT_SEMINAIVE` (`0` selects the naive
+    /// reference matcher); outcomes, fact order, pool contents and
+    /// certificates are identical either way — only
+    /// [`SaturationStats::steps`] / [`SaturationStats::candidates`]
+    /// reflect the engine's actual (smaller) workload.
+    pub semi_naive: bool,
 }
 
 impl Default for SaturationConfig {
@@ -98,6 +164,7 @@ impl Default for SaturationConfig {
             free_var_candidates: 8,
             max_steps: 2_000_000,
             parallel: ParallelConfig::default(),
+            semi_naive: std::env::var_os("RINGEN_SAT_SEMINAIVE").is_none_or(|v| v != *"0"),
         }
     }
 }
@@ -241,6 +308,16 @@ pub struct FactBase {
     /// storage; the index holds only `u32` slots.
     table: InternTable,
     by_pred: FxHashMap<PredId, Vec<u32>>,
+    /// Argument index: `(pred, argument position, argument TermId)` →
+    /// the rows of `pred` whose argument at that position *is* that id
+    /// (ids are hash-consed, so equality is id equality). Lists are in
+    /// insertion order — i.e. ascending fact index — so the semi-naive
+    /// old/delta split applies to them by binary search, exactly as it
+    /// does to `by_pred` rows. Maintained only when `index_args` is
+    /// set (the semi-naive engine); the naive reference scans rows.
+    arg_index: FxHashMap<(PredId, u32, TermId), Vec<u32>>,
+    /// Whether inserts maintain `arg_index`.
+    index_args: bool,
     /// For each fact: (clause index, binding, premise fact indices).
     provenance: Vec<Provenance>,
 }
@@ -300,6 +377,23 @@ impl FactBase {
             .map(move |&i| self.facts[i as usize].1.as_slice())
     }
 
+    /// The row list of one predicate, in ascending fact-index order.
+    fn pred_row(&self, p: PredId) -> &[u32] {
+        self.by_pred.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The argument-index posting list for `(pred, position, id)`, in
+    /// ascending fact-index order; empty when no fact has that
+    /// argument (or when the index is disabled — callers must not
+    /// consult it then).
+    fn arg_row(&self, p: PredId, pos: usize, id: TermId) -> &[u32] {
+        debug_assert!(self.index_args, "argument index consulted but not built");
+        self.arg_index
+            .get(&(p, pos as u32, id))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
     /// Number of facts.
     pub fn len(&self) -> usize {
         self.facts.len()
@@ -336,6 +430,14 @@ impl FactBase {
             .filter(|i| *i != u32::MAX)
             .expect("fact count fits the id space");
         self.by_pred.entry(pred).or_default().push(i);
+        if self.index_args {
+            for (pos, &arg) in args.iter().enumerate() {
+                self.arg_index
+                    .entry((pred, pos as u32, arg))
+                    .or_default()
+                    .push(i);
+            }
+        }
         self.facts.push((pred, args));
         self.provenance.push((clause, binding, premises));
         let FactBase { table, facts, .. } = self;
@@ -371,41 +473,74 @@ pub struct SaturationStats {
     /// Body-match attempts *merged into the result*: clauses past an
     /// early round cut (refutation or budget) ran speculatively against
     /// the snapshot, and their attempts are discarded with their
-    /// deltas — deterministically, whatever the worker count.
+    /// deltas — deterministically, whatever the worker count. This
+    /// measures the engine's *actual* matching work, so the semi-naive
+    /// engine reports far fewer steps than the naive reference on the
+    /// same system.
     pub steps: u64,
+    /// Head-fact candidates the merge considered (after worker-side
+    /// budget truncation, before cross-clause deduplication). A
+    /// derivation re-attempted is a candidate re-counted, so on a
+    /// system whose facts each have one derivation the semi-naive
+    /// engine keeps this exactly equal to [`SaturationStats::facts`] —
+    /// the "each fact derived once" contract the unit tests pin. (The
+    /// naive engine's *rescan* cost shows up in
+    /// [`SaturationStats::steps`], not here: its workers filter
+    /// already-known heads against the snapshot before they become
+    /// candidates.)
+    pub candidates: u64,
     /// Distinct terms interned in the fact base's pool.
     pub pooled_terms: usize,
 }
 
-/// One clause's contribution to a round: a private delta computed
+/// One scheduled unit of a round: a clause matched under a candidate
+/// range restriction. The naive engine (and a semi-naive full rescan —
+/// round 0, or a dirty clause) uses `delta_atom = None`; the
+/// semi-naive variants pin one body atom to last round's delta rows.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    clause: usize,
+    /// `None` = full rescan; `Some(i)` = semi-naive variant: atom `i`
+    /// over the delta, atoms `< i` over old rows, atoms `> i` over all.
+    delta_atom: Option<usize>,
+}
+
+/// One work item's contribution to a round: a private delta computed
 /// against the frozen snapshot, merged deterministically afterwards.
 struct ClauseRun {
-    /// Body-match attempts spent by this clause.
+    /// Body-match attempts spent by this item.
     steps: u64,
     /// A fired query clause: (binding in scratch ids, premise facts).
     refutation: Option<QueryFire>,
     /// Derived facts in derivation order, args/bindings in scratch ids.
     #[allow(clippy::type_complexity)]
     new_facts: Vec<(PredId, FactArgs, Bind, Vec<usize>)>,
-    /// Terms this clause interned beyond the snapshot.
+    /// Terms this item interned beyond the snapshot.
     nodes: ScratchNodes,
     /// Enumerated free-variable candidates computed fresh (pure per
     /// sort; merged into the shared cache for later rounds).
     enum_terms: Vec<(SortId, Vec<GroundTerm>)>,
+    /// The matcher stopped early on the fact cap: some candidates were
+    /// dropped. The semi-naive merge marks the clause dirty so a full
+    /// rescan next round rediscovers them (as the naive engine would).
+    facts_capped: bool,
 }
 
-/// Runs one clause against the frozen snapshot. Pure: depends only on
-/// the snapshot, the clause, and the round-start step budget — never on
-/// sibling clauses or the worker schedule.
-fn run_clause(
+/// Runs one work item against the frozen snapshot. Pure: depends only
+/// on the snapshot, the item, and the round-start step budget — never
+/// on sibling items or the worker schedule.
+#[allow(clippy::too_many_arguments)]
+fn run_item(
     sys: &ChcSystem,
     cfg: &SaturationConfig,
-    ci: usize,
+    item: WorkItem,
     base: &FactBase,
+    old_len: u32,
+    use_index: bool,
     enum_cache: &FxHashMap<SortId, Vec<GroundTerm>>,
     step_budget: u64,
 ) -> ClauseRun {
-    let clause = &sys.clauses[ci];
+    let clause = &sys.clauses[item.clause];
     // A query of the ∀∃ shape (§5) cannot be fired by a finite set of
     // facts; the refuter conservatively skips it.
     if !clause.exist_vars.is_empty() {
@@ -415,6 +550,7 @@ fn run_clause(
             new_facts: Vec::new(),
             nodes: ScratchNodes::default(),
             enum_terms: Vec::new(),
+            facts_capped: false,
         };
     }
     let mut matcher = Matcher {
@@ -422,12 +558,16 @@ fn run_clause(
         cfg,
         clause,
         base,
+        delta_atom: item.delta_atom,
+        old_len,
+        use_index,
         scratch: base.pool.scratch(),
         enum_cache,
         enum_fresh: FxHashMap::default(),
         steps: 0,
         step_budget,
         budget_hit: false,
+        facts_capped: false,
         refutation: None,
         new_facts: Vec::new(),
         new_index: FxHashSet::default(),
@@ -441,6 +581,7 @@ fn run_clause(
         new_facts: matcher.new_facts,
         nodes: matcher.scratch.into_nodes(),
         enum_terms,
+        facts_capped: matcher.facts_capped,
     }
 }
 
@@ -454,10 +595,37 @@ enum RoundEnd {
     Budget,
 }
 
+/// Re-interns one scratch id into the master pool. Ids below the
+/// round-start pool length are snapshot ids by construction and pass
+/// through without touching the intern table (or the memo), so dedup
+/// probes on snapshot-only tuples stay allocation- and probe-free.
+#[inline]
+fn remap(
+    pool: &mut TermPool,
+    nodes: &ScratchNodes,
+    memo: &mut Vec<Option<TermId>>,
+    id: TermId,
+) -> TermId {
+    if id.index() < nodes.split() {
+        id
+    } else {
+        pool.reintern(nodes, memo, id)
+    }
+}
+
+/// A pre-sized scratch-id → master-id memo for one delta: `reintern`
+/// would otherwise grow it by repeated `resize` probes mid-merge.
+#[inline]
+fn presized_memo(nodes: &ScratchNodes) -> Vec<Option<TermId>> {
+    vec![None; nodes.len()]
+}
+
 /// Folds the per-clause deltas into the base **in clause order** —
 /// dedup, budgets, provenance and refutation selection are all decided
 /// here, sequentially, which is what makes the engine deterministic at
-/// any thread count.
+/// any thread count. This is the naive engine's merge, kept verbatim
+/// as the differential reference; the semi-naive engine merges through
+/// [`merge_round_semi`].
 fn merge_round(
     cfg: &SaturationConfig,
     base: &mut FactBase,
@@ -482,19 +650,20 @@ fn merge_round(
             enum_cache.entry(sort).or_insert(terms);
         }
         // Scratch-id → master-id memo, shared across this delta.
-        let mut memo: Vec<Option<TermId>> = Vec::new();
+        let mut memo = presized_memo(&run.nodes);
         if let Some((bind, premises)) = run.refutation {
             let bind: Vec<(VarId, TermId)> = bind
                 .into_iter()
-                .map(|(v, id)| (v, base.pool.reintern(&run.nodes, &mut memo, id)))
+                .map(|(v, id)| (v, remap(&mut base.pool, &run.nodes, &mut memo, id)))
                 .collect();
             return RoundEnd::Refuted(build_refutation(base, ci, &bind, premises));
         }
         for (pred, args, bind, premises) in run.new_facts {
             let margs: FactArgs = args
                 .iter()
-                .map(|&a| base.pool.reintern(&run.nodes, &mut memo, a))
+                .map(|&a| remap(&mut base.pool, &run.nodes, &mut memo, a))
                 .collect();
+            stats.candidates += 1;
             // First derivation wins: a clause earlier in this round (or
             // an earlier round) already owns this fact and its
             // provenance.
@@ -506,7 +675,7 @@ fn merge_round(
             }
             let bind: Vec<(VarId, TermId)> = bind
                 .into_iter()
-                .map(|(v, id)| (v, base.pool.reintern(&run.nodes, &mut memo, id)))
+                .map(|(v, id)| (v, remap(&mut base.pool, &run.nodes, &mut memo, id)))
                 .collect();
             base.insert(pred, margs, ci, bind, premises);
         }
@@ -517,63 +686,282 @@ fn merge_round(
     RoundEnd::Done
 }
 
+/// The semi-naive merge: folds per-**variant** deltas into the base in
+/// clause order, and within a clause in **premise-tuple order** — the
+/// exact order the naive engine's nested join emits candidates in, so
+/// first-derivation-wins picks the same provenance, the fact list
+/// comes out in the same order, and the fact cap truncates at the same
+/// point. `snap_len` is the fact count at the round's start (the
+/// worker-side cap threshold); `dirty` is updated for the next round.
+#[allow(clippy::too_many_arguments)]
+fn merge_round_semi(
+    cfg: &SaturationConfig,
+    base: &mut FactBase,
+    enum_cache: &mut FxHashMap<SortId, Vec<GroundTerm>>,
+    items: &[WorkItem],
+    mut runs: Vec<ClauseRun>,
+    dirty: &mut [bool],
+    snap_len: usize,
+    stats: &mut SaturationStats,
+    debug: bool,
+    round: usize,
+) -> RoundEnd {
+    // The naive matcher retains at most this many clause-new candidates
+    // before flagging the fact cap; replaying that truncation at merge
+    // time is what keeps the engines' Budget behavior aligned.
+    let clause_cap = cfg.max_facts.saturating_sub(snap_len);
+    let mut start = 0;
+    while start < runs.len() {
+        let ci = items[start].clause;
+        let end = start
+            + items[start..]
+                .iter()
+                .position(|it| it.clause != ci)
+                .unwrap_or(items.len() - start);
+        let group = &mut runs[start..end];
+        let group_steps: u64 = group.iter().map(|r| r.steps).sum();
+        if debug {
+            eprintln!(
+                "round {round} clause {ci} facts={} steps={} ({} variants spent {} steps, {} candidates)",
+                base.len(),
+                stats.steps,
+                group.len(),
+                group_steps,
+                group.iter().map(|r| r.new_facts.len()).sum::<usize>(),
+            );
+        }
+        stats.steps += group_steps;
+        for run in group.iter_mut() {
+            for (sort, terms) in std::mem::take(&mut run.enum_terms) {
+                enum_cache.entry(sort).or_insert(terms);
+            }
+        }
+        let mut memos: Vec<Vec<Option<TermId>>> =
+            group.iter().map(|r| presized_memo(&r.nodes)).collect();
+
+        // A fired query clause: the naive engine reports the join's
+        // first firing, i.e. the premise-lexicographically least one.
+        // Each variant short-circuited at its own least firing, so the
+        // minimum over variants is the global least.
+        let fire = group
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(vi, r)| r.refutation.take().map(|f| (vi, f)))
+            .min_by(|(_, a), (_, b)| a.1.cmp(&b.1));
+        if let Some((vi, (bind, premises))) = fire {
+            let nodes = &group[vi].nodes;
+            let bind: Vec<(VarId, TermId)> = bind
+                .into_iter()
+                .map(|(v, id)| (v, remap(&mut base.pool, nodes, &mut memos[vi], id)))
+                .collect();
+            return RoundEnd::Refuted(build_refutation(base, ci, &bind, premises));
+        }
+
+        // Candidates of all variants, in the naive join's emission
+        // order. Premise tuples are unique per variant (a tuple's first
+        // delta position *is* its variant) and emitted in ascending
+        // order within one, so a stable sort on the tuple interleaves
+        // the variants exactly; enumeration-path candidates that share
+        // a tuple keep their in-variant order.
+        let mut order: Vec<(usize, usize)> = group
+            .iter()
+            .enumerate()
+            .flat_map(|(vi, r)| (0..r.new_facts.len()).map(move |fi| (vi, fi)))
+            .collect();
+        order.sort_by(|&(va, fa), &(vb, fb)| {
+            group[va].new_facts[fa].3.cmp(&group[vb].new_facts[fb].3)
+        });
+
+        // Replay the naive worker's per-clause accounting: `clause_seen`
+        // is its `new_index` (cross-variant duplicates were never
+        // emitted by the naive matcher, so they are skipped *uncounted*)
+        // and `processed` its retained-candidate count.
+        let mut clause_seen: FxHashSet<(PredId, FactArgs)> = FxHashSet::default();
+        let mut processed = 0usize;
+        let mut truncated = false;
+        for (vi, fi) in order {
+            if processed >= clause_cap {
+                // The naive worker hit the fact cap here: nothing past
+                // this point was ever emitted (or its terms interned),
+                // so stop before touching the pool. The remainder may
+                // be cross-variant duplicates rather than dropped
+                // facts — over-approximating the truncation only costs
+                // a no-op rescan, never correctness.
+                truncated = true;
+                break;
+            }
+            let (pred, args, bind, premises) = {
+                let entry = &mut group[vi].new_facts[fi];
+                (
+                    entry.0,
+                    std::mem::take(&mut entry.1),
+                    std::mem::take(&mut entry.2),
+                    std::mem::take(&mut entry.3),
+                )
+            };
+            let nodes = &group[vi].nodes;
+            let margs: FactArgs = args
+                .iter()
+                .map(|&a| remap(&mut base.pool, nodes, &mut memos[vi], a))
+                .collect();
+            if !clause_seen.insert((pred, margs.clone())) {
+                // The naive matcher's `new_index` suppressed this
+                // cross-variant duplicate before it counted against
+                // the cap; its terms are the first occurrence's, so
+                // the remap above grew nothing.
+                continue;
+            }
+            processed += 1;
+            stats.candidates += 1;
+            if base.find(pred, &margs).is_some() {
+                continue;
+            }
+            if base.len() >= cfg.max_facts {
+                return RoundEnd::Budget;
+            }
+            let bind: Vec<(VarId, TermId)> = bind
+                .into_iter()
+                .map(|(v, id)| (v, remap(&mut base.pool, nodes, &mut memos[vi], id)))
+                .collect();
+            base.insert(pred, margs, ci, bind, premises);
+        }
+        dirty[ci] = truncated || group.iter().any(|r| r.facts_capped);
+        if stats.steps >= cfg.max_steps || base.len() >= cfg.max_facts {
+            return RoundEnd::Budget;
+        }
+        start = end;
+    }
+    RoundEnd::Done
+}
+
 /// Computes the least model bottom-up; reports a [`Refutation`] as soon
 /// as a query clause fires.
 ///
-/// Rounds are sharded across [`SaturationConfig::parallel`] workers
-/// (see the [module docs](self)); the result is identical at any
-/// worker count.
+/// Rounds are sharded across [`SaturationConfig::parallel`] workers,
+/// spawned once per call and parked between rounds (see the
+/// [module docs](self)); the result is identical at any worker count.
 pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, SaturationStats) {
-    let pool = Pool::new(&cfg.parallel);
+    let pool = Pool::persistent(&cfg.parallel);
     // Read once, outside the hot path: this used to be an env lookup
     // per clause per round.
     let debug = std::env::var_os("RINGEN_SAT_DEBUG").is_some();
-    let mut base = FactBase::default();
+    let semi = cfg.semi_naive;
+    let mut base = FactBase {
+        index_args: semi,
+        ..FactBase::default()
+    };
     let mut stats = SaturationStats::default();
     let mut enum_cache: FxHashMap<SortId, Vec<GroundTerm>> = FxHashMap::default();
-    let clause_idx: Vec<usize> = (0..sys.clauses.len()).collect();
+    // Clauses needing a full rescan next round (fact-cap truncation).
+    let mut dirty = vec![false; sys.clauses.len()];
+    // Fact count at the start of the *previous* round: everything at or
+    // past it is the delta the semi-naive variants pivot on.
+    let mut old_len = 0usize;
 
-    let finalize = |stats: &mut SaturationStats, base: &FactBase| {
+    let finalize = |stats: &mut SaturationStats, base: &mut FactBase| {
         stats.facts = base.len();
         stats.pooled_terms = base.pool.len();
+        // The argument index is the round engine's private join
+        // accelerator; outcomes hand the base to consumers that never
+        // probe it, so don't make them carry its memory.
+        base.arg_index = FxHashMap::default();
     };
 
     for round in 0..cfg.max_rounds {
         stats.rounds = round + 1;
         let before = base.len();
-        // Every clause runs under the budget left at the round's start
-        // (not reduced by sibling clauses — that would reintroduce a
-        // cross-clause order dependence); the merge re-applies the
+        // Round 0 has no delta (and must run the fact clauses), so the
+        // semi-naive engine starts with one full rescan; afterwards a
+        // clause is either dirty (full rescan) or scheduled as its
+        // per-atom delta variants. Empty-body clauses have no variant:
+        // their derivations have no new premise, so they can only
+        // re-derive what round 0 merged (or a dirty pass recovers).
+        let items: Vec<WorkItem> = if !semi || round == 0 {
+            (0..sys.clauses.len())
+                .map(|clause| WorkItem {
+                    clause,
+                    delta_atom: None,
+                })
+                .collect()
+        } else {
+            let mut items = Vec::new();
+            for (clause, c) in sys.clauses.iter().enumerate() {
+                if !c.exist_vars.is_empty() {
+                    continue; // never matched by the refuter
+                }
+                if dirty[clause] {
+                    items.push(WorkItem {
+                        clause,
+                        delta_atom: None,
+                    });
+                } else {
+                    items.extend((0..c.body.len()).map(|a| WorkItem {
+                        clause,
+                        delta_atom: Some(a),
+                    }));
+                }
+            }
+            items
+        };
+        // Every item runs under the budget left at the round's start
+        // (not reduced by sibling items — that would reintroduce a
+        // cross-item order dependence); the merge re-applies the
         // global cap clause by clause.
         let step_budget = cfg.max_steps.saturating_sub(stats.steps);
-        let runs: Vec<ClauseRun> = pool.map_items(&clause_idx, |_, &ci| {
-            run_clause(sys, cfg, ci, &base, &enum_cache, step_budget)
+        let runs: Vec<ClauseRun> = pool.map_items(&items, |_, &item| {
+            run_item(
+                sys,
+                cfg,
+                item,
+                &base,
+                old_len as u32,
+                semi,
+                &enum_cache,
+                step_budget,
+            )
         });
-        match merge_round(
-            cfg,
-            &mut base,
-            &mut enum_cache,
-            runs,
-            &mut stats,
-            debug,
-            round,
-        ) {
+        let end = if semi {
+            merge_round_semi(
+                cfg,
+                &mut base,
+                &mut enum_cache,
+                &items,
+                runs,
+                &mut dirty,
+                before,
+                &mut stats,
+                debug,
+                round,
+            )
+        } else {
+            merge_round(
+                cfg,
+                &mut base,
+                &mut enum_cache,
+                runs,
+                &mut stats,
+                debug,
+                round,
+            )
+        };
+        match end {
             RoundEnd::Refuted(r) => {
-                finalize(&mut stats, &base);
+                finalize(&mut stats, &mut base);
                 return (SaturationOutcome::Refuted(r), stats);
             }
             RoundEnd::Budget => {
-                finalize(&mut stats, &base);
+                finalize(&mut stats, &mut base);
                 return (SaturationOutcome::Budget(base), stats);
             }
             RoundEnd::Done => {}
         }
-        if base.len() == before {
-            finalize(&mut stats, &base);
+        if base.len() == before && !dirty.iter().any(|&d| d) {
+            finalize(&mut stats, &mut base);
             return (SaturationOutcome::Saturated(base), stats);
         }
+        old_len = before;
     }
-    finalize(&mut stats, &base);
+    finalize(&mut stats, &mut base);
     (SaturationOutcome::Budget(base), stats)
 }
 
@@ -649,6 +1037,17 @@ struct Matcher<'a> {
     clause: &'a Clause,
     /// The frozen snapshot. Shared — many matchers read it at once.
     base: &'a FactBase,
+    /// Semi-naive variant: the body atom pinned to last round's delta
+    /// rows (atoms before it range over old rows, atoms after it over
+    /// all rows). `None` is a full naive rescan.
+    delta_atom: Option<usize>,
+    /// Fact-index partition point: facts below it are "old" (present
+    /// before last round's merge), at or past it are the delta.
+    old_len: u32,
+    /// Consult the [`FactBase`] argument index for body atoms whose
+    /// argument is an already-bound variable (the semi-naive engine;
+    /// the naive reference keeps its plain row scans).
+    use_index: bool,
     /// Thread-local extension of the snapshot's pool for derived terms.
     scratch: ScratchPool<'a>,
     /// Enumerated candidate terms per sort for unbound head variables:
@@ -662,15 +1061,56 @@ struct Matcher<'a> {
     step_budget: u64,
     refutation: Option<QueryFire>,
     budget_hit: bool,
+    /// `budget_hit` was (also) raised by the fact cap: candidates were
+    /// dropped, which the semi-naive merge must repair via a dirty
+    /// full rescan.
+    facts_capped: bool,
     #[allow(clippy::type_complexity)]
     new_facts: Vec<(PredId, FactArgs, Bind, Vec<usize>)>,
     /// Hash index over `new_facts` (the in-round dedup must not scan).
     new_index: FxHashSet<(PredId, FactArgs)>,
 }
 
-impl Matcher<'_> {
+impl<'a> Matcher<'a> {
     fn run(&mut self) {
         self.match_body(0, Bind::new(), Vec::new());
+    }
+
+    /// The candidate rows for body atom `k` under `bind`: the
+    /// argument-indexed posting list when an argument is an
+    /// already-bound variable (shortest list wins; a missing list
+    /// means no fact can match), the full predicate row otherwise —
+    /// then restricted to the variant's old/delta range. Every list is
+    /// in ascending fact-index order, so the restriction is a binary
+    /// search and the join's emission order is unchanged.
+    fn candidates_for(&self, k: usize, bind: &Bind) -> &'a [u32] {
+        let atom = &self.clause.body[k];
+        let base = self.base;
+        let mut list: &'a [u32] = base.pred_row(atom.pred);
+        if self.use_index {
+            for (pos, pat) in atom.args.iter().enumerate() {
+                if let Term::Var(v) = pat {
+                    if let Some(id) = bind_get(bind, *v) {
+                        let indexed = base.arg_row(atom.pred, pos, id);
+                        if indexed.len() < list.len() {
+                            list = indexed;
+                        }
+                    }
+                }
+            }
+        }
+        match self.delta_atom {
+            None => list,
+            Some(i) => {
+                let old = self.old_len;
+                let split = list.partition_point(|&fi| fi < old);
+                match k.cmp(&i) {
+                    std::cmp::Ordering::Less => &list[..split],
+                    std::cmp::Ordering::Equal => &list[split..],
+                    std::cmp::Ordering::Greater => list,
+                }
+            }
+        }
     }
 
     /// Joins body atoms left to right against the frozen snapshot,
@@ -688,11 +1128,7 @@ impl Matcher<'_> {
         // candidate row can be borrowed across the recursion — the old
         // `&mut`-aliasing clone is gone.
         let base = self.base;
-        let candidates: &[u32] = base
-            .by_pred
-            .get(&atom.pred)
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
+        let candidates: &[u32] = self.candidates_for(k, &bind);
         for &fi in candidates {
             self.steps += 1;
             if self.steps >= self.step_budget {
@@ -802,6 +1238,7 @@ impl Matcher<'_> {
                 {
                     if self.base.len() + self.new_facts.len() >= self.cfg.max_facts {
                         self.budget_hit = true;
+                        self.facts_capped = true;
                         return;
                     }
                     self.new_index.insert((pred, args.clone()));

@@ -7,7 +7,9 @@
 //! with the same snapshot/delta/merge shape as the saturation engine:
 //! workers *generate* literal lists, the caller *adds* them to the
 //! solver sequentially in clause order. The outcome is bit-for-bit
-//! identical at any `RINGEN_THREADS` value.
+//! identical at any `RINGEN_THREADS` value. The workers are spawned
+//! once per [`find_model`] call and parked between size vectors
+//! ([`Pool::persistent`]), not re-spawned per sweep.
 
 use ringen_chc::ChcSystem;
 use ringen_parallel::{ParallelConfig, Pool};
@@ -98,9 +100,13 @@ pub fn find_model(
         // Degenerate: no sorts means no variables; treat as exhausted.
         return Ok((FmfOutcome::Exhausted, stats));
     }
+    // One worker set for the whole search: spawned here, parked
+    // between size vectors (and between waves within one), joined on
+    // return. `RINGEN_THREADS=1` spawns nothing.
+    let pool = Pool::persistent(&config.parallel);
     for total in num_sorts..=config.max_total_size {
         for sizes in compositions(total, num_sorts) {
-            match try_sizes(sys, &flat, &sizes, config, &mut stats) {
+            match try_sizes(sys, &flat, &sizes, config, &pool, &mut stats) {
                 SizeOutcome::Model(m) => return Ok((FmfOutcome::Model(m), stats)),
                 SizeOutcome::Unsat | SizeOutcome::Skipped | SizeOutcome::Budget => {}
             }
@@ -143,6 +149,7 @@ fn try_sizes(
     flat: &[FlatClause],
     sizes: &[usize],
     config: &FinderConfig,
+    pool: &Pool,
     stats: &mut FinderStats,
 ) -> SizeOutcome {
     // Estimate the grounding size first.
@@ -232,7 +239,6 @@ fn try_sizes(
     // generating the whole sweep up front) bounds peak memory to one
     // batch and keeps the old streaming behavior of stopping early on
     // a root-level conflict: at most one batch is generated in vain.
-    let pool = Pool::new(&config.parallel);
     let batch = (pool.threads() * 4).max(1);
     for wave in flat.chunks(batch) {
         let grounded: Vec<GroundInstances> = pool

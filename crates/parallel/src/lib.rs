@@ -52,8 +52,27 @@
 //! variable); `RINGEN_THREADS=1` forces the inline path everywhere,
 //! which is the switch CI uses to pin the parallel engines to their
 //! sequential semantics.
+//!
+//! # Scoped vs. persistent workers
+//!
+//! [`Pool::new`] keeps the original per-call discipline: workers are
+//! spawned inside a [`std::thread::scope`] for each `map_items` call
+//! and joined before it returns. [`Pool::persistent`] instead spawns
+//! the workers **once** — they park on a [`Condvar`] between calls —
+//! which is what round-based engines (saturation, the FMF size sweep)
+//! want: one spawn per `saturate`/`find_model` call instead of one per
+//! round. Both modes share the work-claiming protocol (atomic cursor,
+//! item-order results, first-panic propagation after every worker has
+//! finished the call), so they are observably identical apart from
+//! latency; with `threads <= 1` the persistent constructor spawns
+//! nothing and every call runs inline.
 
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// Worker-count policy for a [`Pool`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,25 +123,59 @@ impl Default for ParallelConfig {
     }
 }
 
-/// A scoped fan-out executor. Holds no threads while idle — workers are
-/// spawned per call inside a [`std::thread::scope`] and joined before
-/// the call returns, so borrowed inputs need no `'static` bound.
-#[derive(Debug, Clone)]
+/// A fan-out executor. In the default (scoped) mode it holds no threads
+/// while idle — workers are spawned per call inside a
+/// [`std::thread::scope`] and joined before the call returns, so
+/// borrowed inputs need no `'static` bound. In persistent mode
+/// ([`Pool::persistent`]) the workers are spawned once and parked
+/// between calls; every `map_*` call still blocks until the last worker
+/// has finished it, so borrowed inputs remain sound there too.
+#[derive(Clone)]
 pub struct Pool {
     threads: usize,
+    /// Long-lived parked workers; `None` in the scoped (per-call) mode.
+    workers: Option<Arc<Workers>>,
+}
+
+impl fmt::Debug for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .field("persistent", &self.workers.is_some())
+            .finish()
+    }
 }
 
 impl Pool {
-    /// A pool with the configured (resolved) worker count.
+    /// A pool with the configured (resolved) worker count, spawning
+    /// scoped workers per call.
     pub fn new(cfg: &ParallelConfig) -> Self {
         Pool {
             threads: cfg.effective_threads().max(1),
+            workers: None,
+        }
+    }
+
+    /// A pool whose workers are spawned **now** and parked between
+    /// calls ([`Condvar`] park/notify) — the long-lived mode for
+    /// round-based engines that would otherwise re-spawn every round.
+    /// With `threads <= 1` nothing is spawned and the pool is the plain
+    /// inline executor. Workers are joined when the last clone of the
+    /// pool is dropped.
+    pub fn persistent(cfg: &ParallelConfig) -> Self {
+        let threads = cfg.effective_threads().max(1);
+        Pool {
+            threads,
+            workers: (threads > 1).then(|| Arc::new(Workers::spawn(threads))),
         }
     }
 
     /// The inline single-threaded pool.
     pub fn sequential() -> Self {
-        Pool { threads: 1 }
+        Pool {
+            threads: 1,
+            workers: None,
+        }
     }
 
     /// Resolved worker count.
@@ -133,6 +186,11 @@ impl Pool {
     /// Whether calls run inline on the caller's thread.
     pub fn is_sequential(&self) -> bool {
         self.threads <= 1
+    }
+
+    /// Whether this pool keeps long-lived parked workers.
+    pub fn is_persistent(&self) -> bool {
+        self.workers.is_some()
     }
 
     /// Applies `f` to every item, returning results in item order.
@@ -154,6 +212,9 @@ impl Pool {
     {
         if self.threads <= 1 || items.len() <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        if let Some(workers) = &self.workers {
+            return workers.map_items(items, f);
         }
         let workers = self.threads.min(items.len());
         let cursor = AtomicUsize::new(0);
@@ -265,6 +326,233 @@ impl Default for Pool {
     }
 }
 
+// ---------------------------------------------------------------------
+// Persistent workers
+// ---------------------------------------------------------------------
+
+/// A dispatched call, type-erased so the long-lived workers (which are
+/// `'static` threads) can run closures that borrow the caller's stack.
+///
+/// Soundness: the pointee is a [`Call`] on the stack frame of
+/// [`Workers::run`], which does not return until every worker has
+/// checked in for this epoch (`active == 0` under the mutex) — so no
+/// worker can dereference `data` after the frame is gone. Workers only
+/// read the job recorded for the epoch they observed while holding the
+/// state lock.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    /// Monomorphized drain loop: claims items off the call's cursor
+    /// until it runs dry (or the closure panics).
+    drain: unsafe fn(*const ()),
+}
+
+// The raw pointer is only ever dereferenced between the epoch's publish
+// and its completion barrier; see [`Job`].
+unsafe impl Send for Job {}
+
+/// Mutex-guarded scheduling state shared with every worker.
+struct WorkerState {
+    /// Bumped once per dispatched call; workers wake on the change.
+    epoch: u64,
+    /// The current call, valid while `active > 0`.
+    job: Option<Job>,
+    /// Workers that have not yet finished the current epoch.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<WorkerState>,
+    /// Workers park here between calls.
+    work: Condvar,
+    /// The caller parks here until `active` drains to zero.
+    done: Condvar,
+}
+
+/// The borrowed context of one call, erased behind [`Job::data`].
+struct Call<'a> {
+    cursor: AtomicUsize,
+    len: usize,
+    /// First panic payload, re-raised on the caller after the barrier.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    f: &'a (dyn Fn(usize) + Sync),
+}
+
+/// The worker-side drain loop. Mirrors the scoped executor: a panicking
+/// worker stops claiming items while its siblings keep draining, and
+/// the first payload wins.
+unsafe fn drain_call(data: *const ()) {
+    let call = unsafe { &*(data as *const Call<'_>) };
+    loop {
+        let i = call.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= call.len {
+            break;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (call.f)(i))) {
+            let mut slot = call.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            break;
+        }
+    }
+}
+
+/// A long-lived worker set, parked on [`Shared::work`] between calls
+/// and joined when the owning [`Pool`] (all clones of it) is dropped.
+struct Workers {
+    shared: Arc<Shared>,
+    /// Serializes [`Workers::run`]: clones of a persistent [`Pool`]
+    /// share one job slot and one `active` counter, so concurrent
+    /// calls (which the scoped mode supports trivially) must take
+    /// turns — otherwise one caller's barrier could count the other's
+    /// check-ins and return while its stack-borrowed [`Call`] is still
+    /// referenced.
+    dispatch: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+    count: usize,
+}
+
+impl Workers {
+    fn spawn(count: usize) -> Workers {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(WorkerState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..count)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Workers::worker_loop(&shared))
+            })
+            .collect();
+        Workers {
+            shared,
+            dispatch: Mutex::new(()),
+            handles,
+            count,
+        }
+    }
+
+    fn worker_loop(shared: &Shared) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch != seen {
+                        seen = st.epoch;
+                        break st.job.expect("job published with its epoch");
+                    }
+                    st = shared.work.wait(st).unwrap();
+                }
+            };
+            // SAFETY: the caller blocks in `run` until this worker's
+            // check-in below, so the pointee outlives this use.
+            unsafe { (job.drain)(job.data) };
+            let mut st = shared.state.lock().unwrap();
+            st.active -= 1;
+            if st.active == 0 {
+                shared.done.notify_all();
+            }
+        }
+    }
+
+    /// Runs `f(0..len)` across the parked workers and blocks until all
+    /// of them have finished the call; re-raises the first panic.
+    /// Calls from concurrent clones are serialized by the dispatch
+    /// lock (released before any panic is re-raised, so a panicking
+    /// call never poisons it for the next).
+    fn run(&self, len: usize, f: &(dyn Fn(usize) + Sync)) {
+        let payload = {
+            let _turn = self
+                .dispatch
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let call = Call {
+                cursor: AtomicUsize::new(0),
+                len,
+                panic: Mutex::new(None),
+                f,
+            };
+            {
+                let mut st = self.shared.state.lock().unwrap();
+                debug_assert!(st.job.is_none() && st.active == 0, "calls are serialized");
+                st.epoch = st.epoch.wrapping_add(1);
+                st.job = Some(Job {
+                    data: (&call as *const Call<'_>).cast(),
+                    drain: drain_call,
+                });
+                st.active = self.count;
+            }
+            self.shared.work.notify_all();
+            let mut st = self.shared.state.lock().unwrap();
+            while st.active > 0 {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            st.job = None;
+            drop(st);
+            call.panic.into_inner().unwrap()
+        };
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// [`Pool::map_items`] over the parked workers: same cursor
+    /// protocol, results written into claimed-once slots and handed
+    /// back in item order.
+    fn map_items<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let slots: Vec<Slot<R>> = (0..items.len())
+            .map(|_| Slot(UnsafeCell::new(None)))
+            .collect();
+        self.run(items.len(), &|i| {
+            let r = f(i, &items[i]);
+            // SAFETY: index `i` is claimed by exactly one worker (the
+            // shared cursor is fetch_add), so this write is exclusive;
+            // reads happen only after the completion barrier.
+            unsafe { *slots[i].0.get() = Some(r) };
+        });
+        slots
+            .into_iter()
+            .map(|s| s.0.into_inner().expect("every item processed"))
+            .collect()
+    }
+}
+
+impl Drop for Workers {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One result cell, written by exactly one worker (cursor-claimed).
+struct Slot<R>(UnsafeCell<Option<R>>);
+
+// SAFETY: concurrent access is index-disjoint by the cursor protocol.
+unsafe impl<R: Send> Sync for Slot<R> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +650,92 @@ mod tests {
                 .unwrap_or_default();
             assert!(msg.contains("boom at 13"), "got {msg:?}");
         }
+    }
+
+    #[test]
+    fn persistent_pool_matches_scoped_results() {
+        let items: Vec<u64> = (0..513).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 7).collect();
+        for n in [1usize, 2, 4, 8] {
+            let pool = Pool::persistent(&ParallelConfig::with_threads(n));
+            assert_eq!(pool.is_persistent(), n > 1);
+            // Repeated calls reuse the same parked workers.
+            for _ in 0..3 {
+                let got = pool.map_items(&items, |_, &x| x * 3 + 7);
+                assert_eq!(got, expect, "threads = {n}");
+            }
+            // Chunked entry points ride the same workers.
+            let got: Vec<u64> = pool
+                .map_chunks(&items, |_, chunk| {
+                    chunk.iter().map(|x| x * 3 + 7).collect::<Vec<_>>()
+                })
+                .concat();
+            assert_eq!(got, expect, "threads = {n}");
+        }
+    }
+
+    #[test]
+    fn persistent_pool_propagates_panics_and_stays_usable() {
+        let items: Vec<u32> = (0..64).collect();
+        let pool = Pool::persistent(&ParallelConfig::with_threads(4));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_items(&items, |_, &x| {
+                if x == 21 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 21"), "got {msg:?}");
+        // The workers survived the panic and serve the next call.
+        let got = pool.map_items(&items, |_, &x| x + 1);
+        assert_eq!(got, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn persistent_pool_clones_share_workers_and_join_on_drop() {
+        let items: Vec<u32> = (0..100).collect();
+        let pool = Pool::persistent(&ParallelConfig::with_threads(3));
+        let clone = pool.clone();
+        assert_eq!(
+            clone.map_items(&items, |_, &x| x ^ 1),
+            items.iter().map(|x| x ^ 1).collect::<Vec<_>>()
+        );
+        drop(pool);
+        // The surviving clone still owns live workers.
+        assert_eq!(
+            clone.map_items(&items, |_, &x| x + 2),
+            items.iter().map(|x| x + 2).collect::<Vec<_>>()
+        );
+        drop(clone); // joins the workers; the test must not hang
+    }
+
+    #[test]
+    fn persistent_pool_serializes_concurrent_callers() {
+        // The scoped mode supports concurrent calls on clones
+        // trivially (each call spawns its own workers); the persistent
+        // mode shares one job slot, so calls must take turns — this
+        // hammers it from several caller threads at once.
+        let pool = Pool::persistent(&ParallelConfig::with_threads(3));
+        let items: Vec<u64> = (0..200).collect();
+        std::thread::scope(|scope| {
+            for c in 0u64..4 {
+                let pool = pool.clone();
+                let items = &items;
+                scope.spawn(move || {
+                    for round in 0u64..20 {
+                        let got = pool.map_items(items, |_, &x| x * c + round);
+                        let expect: Vec<u64> = items.iter().map(|x| x * c + round).collect();
+                        assert_eq!(got, expect, "caller {c} round {round}");
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -662,6 +662,13 @@ impl ScratchNodes {
         self.funcs.len()
     }
 
+    /// First extension id: every id below this is a master (snapshot)
+    /// id by construction, so callers can skip [`TermPool::reintern`]
+    /// entirely for those.
+    pub fn split(&self) -> usize {
+        self.split as usize
+    }
+
     /// Whether the delta interned nothing new.
     pub fn is_empty(&self) -> bool {
         self.funcs.is_empty()

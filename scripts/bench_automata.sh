@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Runs the automata-kernel + term-pool + parallel-saturation +
-# memoized-Boolean-algebra micro-bench suite and records the results —
-# including the interned-vs-reference speedups (for the
-# parallel_saturation group: 4-worker vs inline sequential saturation
-# on a multi-clause join system; for the boolean_ops_memoized group:
-# warm AutStore memo probes vs cold kernel reconstruction, gated by
-# bench_diff on an absolute >=10x floor) and the Dfta::step
-# zero-allocation check — in BENCH_automata.json at the repo root. Speedup ratios are measured in-process and machine-portable,
-# with one caveat: the parallel_saturation ratio reflects the measuring
-# host's core count (~1.0 on a single-core container, where it gates
-# scheduling overhead instead of speedup).
+# semi-naive-saturation + memoized-Boolean-algebra micro-bench suite
+# and records the results — including the interned-vs-reference
+# speedups (for the parallel_saturation group: 4-worker vs inline
+# sequential saturation on a multi-clause join system; for the
+# semi_naive_saturation group: the delta-driven engine vs the naive
+# full-rescan matcher on a deep recursive chain, gated by bench_diff
+# on an absolute >=2x floor; for the boolean_ops_memoized group: warm
+# AutStore memo probes vs cold kernel reconstruction, gated on an
+# absolute >=10x floor) and the Dfta::step zero-allocation check — in
+# BENCH_automata.json at the repo root. Speedup ratios are measured
+# in-process and machine-portable, with one caveat: the
+# parallel_saturation ratio reflects the measuring host's core count
+# (~1.0 on a single-core container, where it gates scheduling overhead
+# instead of speedup); the semi_naive_saturation ratio is algorithmic
+# and holds on any host.
 #
 # Usage:
 #   scripts/bench_automata.sh           # full measurement, refreshes the
