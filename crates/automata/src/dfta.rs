@@ -34,6 +34,7 @@ use std::hash::Hasher;
 
 use rustc_hash::{FxHashMap, FxHasher};
 
+use ringen_parallel::{Guard, Poller};
 use ringen_terms::intern::InternTable;
 use ringen_terms::{FuncId, GroundTerm, Signature, SortId, Term, TermId, TermPool, VarId};
 
@@ -115,6 +116,11 @@ struct Rule {
 /// let five = GroundTerm::iterate(s, GroundTerm::leaf(z), 5);
 /// assert_eq!(a.run(&five), Some(s1));
 /// ```
+/// A product automaton together with the map from live state pairs of
+/// the operands to the states of the product — the return shape of
+/// [`Dfta::product_seeded`] and friends.
+pub type ProductWithMap = (Dfta, BTreeMap<(StateId, StateId), StateId>);
+
 #[derive(Debug, Clone, Default)]
 pub struct Dfta {
     sorts: Vec<SortId>,
@@ -504,6 +510,19 @@ impl Dfta {
     /// Worklist with per-rule pending-argument counters: `O(|Δ|·arity)`
     /// total work, instead of one full table scan per round.
     pub fn reachable(&self) -> BTreeSet<StateId> {
+        self.reachable_inner(None)
+            .expect("unguarded fixpoint cannot be cancelled")
+    }
+
+    /// Cancellable [`Dfta::reachable`]: polls `guard` between worklist
+    /// pops and returns `None` (discarding the partial fixpoint) once
+    /// it trips.
+    pub fn reachable_guarded(&self, guard: &Guard) -> Option<BTreeSet<StateId>> {
+        self.reachable_inner(Some(guard))
+    }
+
+    fn reachable_inner(&self, guard: Option<&Guard>) -> Option<BTreeSet<StateId>> {
+        let mut poller = guard.map(Poller::new);
         let mut reached = vec![false; self.state_count()];
         let (mut pending, occ) = self.rule_dependencies();
         let mut stack: Vec<StateId> = Vec::new();
@@ -514,6 +533,11 @@ impl Dfta {
             }
         }
         while let Some(s) = stack.pop() {
+            if let Some(p) = poller.as_mut() {
+                if p.poll() {
+                    return None;
+                }
+            }
             for &ri in &occ[s.index()] {
                 pending[ri as usize] -= 1;
                 if pending[ri as usize] == 0 {
@@ -525,12 +549,14 @@ impl Dfta {
                 }
             }
         }
-        reached
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| **r)
-            .map(|(i, _)| StateId::from_index(i))
-            .collect()
+        Some(
+            reached
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| **r)
+                .map(|(i, _)| StateId::from_index(i))
+                .collect(),
+        )
     }
 
     /// For every state, a smallest-height witness term running to it
@@ -540,6 +566,19 @@ impl Dfta {
     /// witness height, so the first rule to complete for a state yields
     /// a minimum-height witness. `O(|Δ|·arity)` plus term construction.
     pub fn witnesses(&self) -> Vec<Option<GroundTerm>> {
+        self.witnesses_inner(None)
+            .expect("unguarded fixpoint cannot be cancelled")
+    }
+
+    /// Cancellable [`Dfta::witnesses`]: polls `guard` between worklist
+    /// pops and returns `None` (discarding partial witnesses) once it
+    /// trips.
+    pub fn witnesses_guarded(&self, guard: &Guard) -> Option<Vec<Option<GroundTerm>>> {
+        self.witnesses_inner(Some(guard))
+    }
+
+    fn witnesses_inner(&self, guard: Option<&Guard>) -> Option<Vec<Option<GroundTerm>>> {
+        let mut poller = guard.map(Poller::new);
         let mut wit: Vec<Option<GroundTerm>> = vec![None; self.state_count()];
         let (mut pending, occ) = self.rule_dependencies();
         let mut queue: VecDeque<StateId> = VecDeque::new();
@@ -566,6 +605,11 @@ impl Dfta {
             }
         }
         while let Some(s) = queue.pop_front() {
+            if let Some(p) = poller.as_mut() {
+                if p.poll() {
+                    return None;
+                }
+            }
             for &ri in &occ[s.index()] {
                 pending[ri as usize] -= 1;
                 if pending[ri as usize] == 0 {
@@ -573,7 +617,7 @@ impl Dfta {
                 }
             }
         }
-        wit
+        Some(wit)
     }
 
     /// Per-rule pending-argument counters plus the state → rule
@@ -660,11 +704,25 @@ impl Dfta {
     /// extra states are unreachable) but enlarges the output, so callers
     /// should only seed pairs known to stay reachable. Out-of-range
     /// seed pairs are ignored.
-    pub fn product_seeded(
+    pub fn product_seeded(&self, other: &Dfta, seed: &[(StateId, StateId)]) -> ProductWithMap {
+        self.product_seeded_inner(other, seed, None)
+            .expect("unguarded fixpoint cannot be cancelled")
+    }
+
+    /// Cancellable [`Dfta::product_seeded`]: polls `guard` during the
+    /// rule-pair enumeration and between worklist pops, returning
+    /// `None` (discarding the partial product) once it trips.
+    pub fn product_guarded(&self, other: &Dfta, guard: &Guard) -> Option<ProductWithMap> {
+        self.product_seeded_inner(other, &[], Some(guard))
+    }
+
+    fn product_seeded_inner(
         &self,
         other: &Dfta,
         seed: &[(StateId, StateId)],
-    ) -> (Dfta, BTreeMap<(StateId, StateId), StateId>) {
+        guard: Option<&Guard>,
+    ) -> Option<ProductWithMap> {
+        let mut poller = guard.map(Poller::new);
         let mut out = Dfta::new();
         let mut map: FxHashMap<(StateId, StateId), StateId> = FxHashMap::default();
 
@@ -682,6 +740,11 @@ impl Dfta {
         let shared_funcs = self.by_func.len().min(other.by_func.len());
         for f in 0..shared_funcs {
             for &ra in &self.by_func[f] {
+                if let Some(p) = poller.as_mut() {
+                    if p.poll() {
+                        return None;
+                    }
+                }
                 for &rb in &other.by_func[f] {
                     let a = &self.rules[ra as usize];
                     let b = &other.rules[rb as usize];
@@ -749,6 +812,11 @@ impl Dfta {
             );
         }
         while let Some(pair) = queue.pop() {
+            if let Some(p) = poller.as_mut() {
+                if p.poll() {
+                    return None;
+                }
+            }
             let Some(deps) = occ.remove(&pair) else {
                 continue;
             };
@@ -761,7 +829,7 @@ impl Dfta {
                 }
             }
         }
-        (out, map.into_iter().collect())
+        Some((out, map.into_iter().collect()))
     }
 
     /// Restricts the automaton to the given states, renumbering them.

@@ -69,6 +69,7 @@ use std::sync::Arc;
 
 use rustc_hash::{FxHashMap, FxHasher};
 
+use ringen_parallel::Guard;
 use ringen_terms::{FuncId, GroundTerm, Signature, SortId};
 
 use crate::dfta::{Dfta, StateId};
@@ -608,6 +609,78 @@ impl AutStore {
         w
     }
 
+    /// Cancellable [`AutStore::reachable`]. A memo hit returns the
+    /// (complete) cached set even under a tripped guard; a miss runs
+    /// the guarded fixpoint and, on cancellation, returns `None`
+    /// *without* memoizing — the store never caches a partial result,
+    /// so a cancelled solve leaves it consistent for reuse.
+    pub fn reachable_guarded(
+        &mut self,
+        d: DftaId,
+        guard: &Guard,
+    ) -> Option<Arc<BTreeSet<StateId>>> {
+        if !self.enabled {
+            return self.dftas[d.index()].reachable_guarded(guard).map(Arc::new);
+        }
+        if let Some(r) = self.reach.get(&d.0) {
+            self.stats.memo_hits += 1;
+            return Some(r.clone());
+        }
+        let r = Arc::new(self.dftas[d.index()].reachable_guarded(guard)?);
+        self.stats.memo_misses += 1;
+        self.reach.insert(d.0, r.clone());
+        Some(r)
+    }
+
+    /// Cancellable [`AutStore::witnesses`]; same memo contract as
+    /// [`AutStore::reachable_guarded`].
+    pub fn witnesses_guarded(
+        &mut self,
+        d: DftaId,
+        guard: &Guard,
+    ) -> Option<Arc<Vec<Option<GroundTerm>>>> {
+        if !self.enabled {
+            return self.dftas[d.index()].witnesses_guarded(guard).map(Arc::new);
+        }
+        if let Some(w) = self.wits.get(&d.0) {
+            self.stats.memo_hits += 1;
+            return Some(w.clone());
+        }
+        let w = Arc::new(self.dftas[d.index()].witnesses_guarded(guard)?);
+        self.stats.memo_misses += 1;
+        self.wits.insert(d.0, w.clone());
+        Some(w)
+    }
+
+    /// Cancellable [`AutStore::product`]; same memo contract as
+    /// [`AutStore::reachable_guarded`] (a cancelled product is not
+    /// interned and not recorded as a seed candidate).
+    pub fn product_guarded(
+        &mut self,
+        a: DftaId,
+        b: DftaId,
+        guard: &Guard,
+    ) -> Option<(DftaId, Arc<PairMap>)> {
+        if !self.enabled {
+            let (d, m) = self.dftas[a.index()].product_guarded(&self.dftas[b.index()], guard)?;
+            return Some((self.push_dfta(Arc::new(d)), Arc::new(m)));
+        }
+        if let Some((id, map)) = self.products.get(&(a.0, b.0)) {
+            self.stats.memo_hits += 1;
+            return Some((*id, map.clone()));
+        }
+        let (d, m) = self.dftas[a.index()].product_guarded(&self.dftas[b.index()], guard)?;
+        self.stats.memo_misses += 1;
+        let id = self.intern_dfta(d);
+        let map = Arc::new(m);
+        self.products.insert((a.0, b.0), (id, map.clone()));
+        self.recent_products.push_back((a.0, b.0));
+        if self.recent_products.len() > SEED_CANDIDATES {
+            self.recent_products.pop_front();
+        }
+        Some((id, map))
+    }
+
     /// Memoized [`joint_reachable_products`] over interned tables, keyed
     /// on the exact id list and the tuple budget (`None` = budget
     /// exceeded — negative results are memoized too).
@@ -828,6 +901,35 @@ mod tests {
             a.add_final(vec![qs[f]]);
         }
         (sig, a)
+    }
+
+    #[test]
+    fn guarded_fixpoints_cancel_without_polluting_the_memo() {
+        let (_sig, a) = mod_k(3, &[0]);
+        let mut store = AutStore::with_cache(true);
+        let ia = store.intern(a);
+        let d = store.dfta_of(ia);
+        // A tripped guard cancels the miss and memoizes nothing.
+        let tripped = Guard::new();
+        tripped.cancel();
+        assert!(store.reachable_guarded(d, &tripped).is_none());
+        assert!(store.witnesses_guarded(d, &tripped).is_none());
+        assert!(store.product_guarded(d, d, &tripped).is_none());
+        let misses_after_cancel = store.stats().memo_misses;
+        // An uncancelled retry on the same store computes the full
+        // result (a genuine miss: nothing partial was cached)...
+        let live = Guard::new();
+        let r = store.reachable_guarded(d, &live).expect("uncancelled");
+        assert_eq!(r.len(), 3);
+        assert!(store.stats().memo_misses > misses_after_cancel);
+        // ...matching the unguarded fixpoint, and is now memoized: a
+        // memo hit is served even under a tripped guard (it is a
+        // complete result).
+        assert_eq!(*r, *store.reachable(d));
+        assert_eq!(*store.reachable_guarded(d, &tripped).expect("memo hit"), *r);
+        let (pd, _) = store.product_guarded(d, d, &live).expect("uncancelled");
+        let (pd2, _) = store.product(d, d);
+        assert_eq!(pd, pd2, "guarded product memoizes the same entry");
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn bench_cyclic_induction(c: &mut Criterion) {
         ("cyclic", InductionConfig::cyclic()),
     ] {
         group.bench_with_input(BenchmarkId::new("even", name), &cfg, |bench, cfg| {
-            bench.iter(|| solve_induction(&sys, cfg).0)
+            bench.iter(|| solve_induction(&sys, cfg).expect("well-sorted").0)
         });
     }
     group.finish();

@@ -33,7 +33,7 @@ fn main() {
         match answer {
             Answer::Sat(_) => "SAT (unexpected!)",
             Answer::Unsat(_) => "UNSAT (unexpected!)",
-            Answer::Unknown(_) => "diverged, as §5 reports",
+            Answer::Unknown(_) | Answer::Interrupted => "diverged, as §5 reports",
         }
     );
 

@@ -103,7 +103,8 @@ pub fn run_hybrid(sys: &ChcSystem) -> HybridOutcome {
                 invariant: None,
             }
         }
-        Answer::Unknown(_) => {}
+        // Unreachable: the unguarded `solve` never trips.
+        Answer::Unknown(_) | Answer::Interrupted => {}
     }
 
     // Phase 2: elementary templates.
@@ -128,7 +129,7 @@ pub fn run_hybrid(sys: &ChcSystem) -> HybridOutcome {
                 invariant: None,
             }
         }
-        ElemAnswer::Unknown => {}
+        ElemAnswer::Unknown | ElemAnswer::Interrupted => {}
     }
 
     // Phase 3: size templates.
@@ -153,7 +154,7 @@ pub fn run_hybrid(sys: &ChcSystem) -> HybridOutcome {
                 invariant: None,
             }
         }
-        SizeElemAnswer::Unknown => {}
+        SizeElemAnswer::Unknown | SizeElemAnswer::Interrupted => {}
     }
 
     // Phase 4: the combined template-plus-membership search.
@@ -169,7 +170,7 @@ pub fn run_hybrid(sys: &ChcSystem) -> HybridOutcome {
             engine: Some(HybridEngine::Combined),
             invariant: None,
         },
-        RegElemAnswer::Unknown => HybridOutcome {
+        RegElemAnswer::Unknown | RegElemAnswer::Interrupted => HybridOutcome {
             answer: RunAnswer::Unknown,
             engine: None,
             invariant: None,

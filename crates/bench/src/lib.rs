@@ -170,7 +170,10 @@ pub fn run_solver(kind: SolverKind, sys: &ChcSystem) -> (RunAnswer, Option<usize
             match answer {
                 Answer::Sat(_) => (RunAnswer::Sat, stats.model_size),
                 Answer::Unsat(_) => (RunAnswer::Unsat, None),
-                Answer::Unknown(_) => (RunAnswer::Unknown, None),
+                // Interrupted is unreachable for the unguarded entry
+                // points the harness calls, but tabulate it as a
+                // timeout if it ever shows up.
+                Answer::Unknown(_) | Answer::Interrupted => (RunAnswer::Unknown, None),
             }
         }
         SolverKind::Eldarica => {
@@ -183,7 +186,7 @@ pub fn run_solver(kind: SolverKind, sys: &ChcSystem) -> (RunAnswer, Option<usize
             match answer {
                 SizeElemAnswer::Sat(_) => (RunAnswer::Sat, None),
                 SizeElemAnswer::Unsat(_) => (RunAnswer::Unsat, None),
-                SizeElemAnswer::Unknown => (RunAnswer::Unknown, None),
+                SizeElemAnswer::Unknown | SizeElemAnswer::Interrupted => (RunAnswer::Unknown, None),
             }
         }
         SolverKind::Spacer => {
@@ -196,7 +199,7 @@ pub fn run_solver(kind: SolverKind, sys: &ChcSystem) -> (RunAnswer, Option<usize
             match answer {
                 ElemAnswer::Sat(_) => (RunAnswer::Sat, None),
                 ElemAnswer::Unsat(_) => (RunAnswer::Unsat, None),
-                ElemAnswer::Unknown => (RunAnswer::Unknown, None),
+                ElemAnswer::Unknown | ElemAnswer::Interrupted => (RunAnswer::Unknown, None),
             }
         }
         SolverKind::Cvc4Ind => {
@@ -204,7 +207,8 @@ pub fn run_solver(kind: SolverKind, sys: &ChcSystem) -> (RunAnswer, Option<usize
                 saturation: kind.saturation(),
                 ..InductionConfig::quick()
             };
-            let (answer, _) = ringen_induction::solve_induction(sys, &cfg);
+            let (answer, _) = ringen_induction::solve_induction(sys, &cfg)
+                .expect("benchmark systems are well-sorted");
             match answer {
                 InductionAnswer::Sat(_) => (RunAnswer::Sat, None),
                 InductionAnswer::Unsat(_) => (RunAnswer::Unsat, None),
@@ -215,11 +219,12 @@ pub fn run_solver(kind: SolverKind, sys: &ChcSystem) -> (RunAnswer, Option<usize
             let mut cfg = VerimapConfig::quick();
             cfg.engine.saturation = kind.saturation();
             cfg.engine.max_assignments = TEMPLATE_ASSIGNMENTS;
-            let (answer, _) = ringen_verimap::solve_verimap(sys, &cfg);
+            let (answer, _) = ringen_verimap::solve_verimap(sys, &cfg)
+                .expect("benchmark systems are well-sorted");
             match answer {
                 VerimapAnswer::Sat(_) => (RunAnswer::Sat, None),
                 VerimapAnswer::Unsat(_) => (RunAnswer::Unsat, None),
-                VerimapAnswer::Unknown => (RunAnswer::Unknown, None),
+                VerimapAnswer::Unknown | VerimapAnswer::Interrupted => (RunAnswer::Unknown, None),
             }
         }
     }

@@ -36,5 +36,6 @@ pub use formula::{formula_to_clauses, ClausifyError, FAtom, Formula};
 pub use parser::{parse_str, ParseError};
 pub use printer::{clause_to_smtlib, to_smtlib};
 pub use system::{
-    Atom, ChcSystem, Clause, Constraint, PredDecl, PredId, Relations, SystemError, SystemErrorKind,
+    Atom, ChcSystem, Clause, Constraint, IllSorted, PredDecl, PredId, Relations, SystemError,
+    SystemErrorKind,
 };

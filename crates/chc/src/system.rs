@@ -499,6 +499,31 @@ impl fmt::Display for SystemError {
 
 impl std::error::Error for SystemError {}
 
+/// Typed rejection of an ill-sorted input system: the error solver
+/// entry points return instead of panicking, wrapping the underlying
+/// [`SystemError`]. Convert with `?` from [`ChcSystem::well_sorted`]'s
+/// result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IllSorted(pub SystemError);
+
+impl From<SystemError> for IllSorted {
+    fn from(e: SystemError) -> Self {
+        IllSorted(e)
+    }
+}
+
+impl fmt::Display for IllSorted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "input system is not well-sorted: {}", self.0)
+    }
+}
+
+impl std::error::Error for IllSorted {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

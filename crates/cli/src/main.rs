@@ -5,18 +5,22 @@
 //!
 //! ```text
 //! ringen [--quick] [--quiet] FILE.smt2
-//! ringen --solver elem|sizeelem|regelem|induction|verimap FILE.smt2
+//! ringen --solver elem|sizeelem|regelem|induction|verimap|portfolio FILE.smt2
 //! ```
 //!
-//! The `regelem` solver is the hybrid portfolio: regular invariants by
+//! The `regelem` solver is the hybrid chain: regular invariants by
 //! finite-model finding, then elementary templates, then the combined
-//! template-plus-membership search of `ringen-regelem`.
+//! template-plus-membership search of `ringen-regelem`. The
+//! `portfolio` solver *races* the four representation-class engines
+//! concurrently instead, with cooperative cancellation; bound it with
+//! `RINGEN_DEADLINE_MS` (a deadlined race exits cleanly with
+//! `unknown`).
 
 use std::process::ExitCode;
 
 use ringen_automata::AutStore;
 use ringen_chc::parse_str;
-use ringen_core::{solve_with_store, Answer, RingenConfig};
+use ringen_core::{solve_guarded, Answer, Guard, RingenConfig};
 
 fn main() -> ExitCode {
     let mut quick = false;
@@ -34,7 +38,10 @@ fn main() -> ExitCode {
             },
             "-h" | "--help" => {
                 eprintln!("usage: ringen [--quick] [--quiet] [--solver NAME] FILE.smt2");
-                eprintln!("solvers: ringen (default), elem, sizeelem, regelem, induction, verimap");
+                eprintln!(
+                    "solvers: ringen (default), elem, sizeelem, regelem, induction, verimap, \
+                     portfolio"
+                );
                 return ExitCode::SUCCESS;
             }
             _ if file.is_none() => file = Some(a),
@@ -74,7 +81,7 @@ fn main() -> ExitCode {
             // every verification pass shares the memoized Boolean
             // algebra (RINGEN_AUT_CACHE=0 forces pass-through).
             let mut store = AutStore::new();
-            let (answer, stats) = solve_with_store(&sys, &cfg, &mut store);
+            let (answer, stats) = solve_guarded(&sys, &cfg, &mut store, &Guard::from_env());
             match answer {
                 Answer::Sat(sat) => {
                     println!("sat");
@@ -100,6 +107,12 @@ fn main() -> ExitCode {
                         println!("; {d:?}");
                     }
                 }
+                Answer::Interrupted => {
+                    println!("unknown");
+                    if !quiet {
+                        println!("; interrupted (RINGEN_DEADLINE_MS)");
+                    }
+                }
             }
         }
         "elem" => {
@@ -108,7 +121,7 @@ fn main() -> ExitCode {
             } else {
                 Default::default()
             };
-            let (answer, _) = ringen_elem::solve_elem(&sys, &cfg);
+            let (answer, _) = ringen_elem::solve_elem_guarded(&sys, &cfg, &Guard::from_env());
             report(answer.is_sat(), answer.is_unsat());
         }
         "sizeelem" => {
@@ -117,7 +130,8 @@ fn main() -> ExitCode {
             } else {
                 Default::default()
             };
-            let (answer, _) = ringen_sizeelem::solve_size_elem(&sys, &cfg);
+            let (answer, _) =
+                ringen_sizeelem::solve_size_elem_guarded(&sys, &cfg, &Guard::from_env());
             report(answer.is_sat(), answer.is_unsat());
         }
         "regelem" => {
@@ -126,7 +140,7 @@ fn main() -> ExitCode {
             } else {
                 Default::default()
             };
-            let (answer, _) = ringen_regelem::solve_regelem(&sys, &cfg);
+            let (answer, _) = ringen_regelem::solve_regelem_guarded(&sys, &cfg, &Guard::from_env());
             match answer {
                 ringen_regelem::RegElemAnswer::Sat(inv, provenance) => {
                     println!("sat");
@@ -143,7 +157,8 @@ fn main() -> ExitCode {
                         println!("; ground refutation with {} steps", r.len());
                     }
                 }
-                ringen_regelem::RegElemAnswer::Unknown => println!("unknown"),
+                ringen_regelem::RegElemAnswer::Unknown
+                | ringen_regelem::RegElemAnswer::Interrupted => println!("unknown"),
             }
         }
         "induction" => {
@@ -152,8 +167,29 @@ fn main() -> ExitCode {
             } else {
                 Default::default()
             };
-            let (answer, _) = ringen_induction::solve_induction(&sys, &cfg);
+            // Well-sortedness was checked right after parsing.
+            let (answer, _) =
+                ringen_induction::solve_induction(&sys, &cfg).expect("checked well-sorted");
             report(answer.is_sat(), answer.is_unsat());
+        }
+        "portfolio" => {
+            use ringen::portfolio::{solve_portfolio, PortfolioAnswer, PortfolioConfig};
+            let (answer, stats) = solve_portfolio(&sys, &PortfolioConfig::from_env());
+            match answer {
+                PortfolioAnswer::Sat(_) => println!("sat"),
+                PortfolioAnswer::Unsat(_) => println!("unsat"),
+                PortfolioAnswer::Unknown | PortfolioAnswer::Interrupted => println!("unknown"),
+            }
+            if !quiet {
+                for report in &stats.engines {
+                    println!(
+                        "; {:<10} {:?} after {}ms",
+                        report.name,
+                        report.status,
+                        report.elapsed.as_millis()
+                    );
+                }
+            }
         }
         "verimap" => {
             let cfg = if quick {
@@ -161,7 +197,8 @@ fn main() -> ExitCode {
             } else {
                 Default::default()
             };
-            let (answer, _) = ringen_verimap::solve_verimap(&sys, &cfg);
+            let (answer, _) = ringen_verimap::solve_verimap_guarded(&sys, &cfg, &Guard::from_env())
+                .expect("checked well-sorted");
             report(answer.is_sat(), answer.is_unsat());
         }
         other => return usage(&format!("unknown solver {other}")),

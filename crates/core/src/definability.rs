@@ -54,7 +54,9 @@ pub fn search_regular_invariant(sys: &ChcSystem, max_total_size: usize) -> RegSe
             found_at: Some(m.size()),
             exhausted_up_to: m.size().saturating_sub(1),
         },
-        Ok((FmfOutcome::Exhausted, _)) | Err(_) => RegSearch {
+        // Interrupted is unreachable here: the unguarded `find_model`
+        // never trips, but the match must stay exhaustive.
+        Ok((FmfOutcome::Exhausted | FmfOutcome::Interrupted, _)) | Err(_) => RegSearch {
             found_at: None,
             exhausted_up_to: max_total_size,
         },
@@ -223,7 +225,9 @@ impl LfpOracle {
         use crate::saturation::SaturationOutcome;
         let (outcome, _) = crate::saturation::saturate(sys, cfg);
         let base = match outcome {
-            SaturationOutcome::Saturated(b) | SaturationOutcome::Budget(b) => b,
+            SaturationOutcome::Saturated(b)
+            | SaturationOutcome::Budget(b)
+            | SaturationOutcome::Interrupted(b) => b,
             SaturationOutcome::Refuted(_) => {
                 // Unsat systems have no invariant; an empty oracle is the
                 // honest answer.

@@ -31,6 +31,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ringen_automata::{AutStore, Dfta, StateId};
 use ringen_chc::{Atom, ChcSystem, Clause};
+use ringen_parallel::{Guard, Poller};
 use ringen_terms::{GroundTerm, Term, VarId};
 
 use crate::invariant::RegularInvariant;
@@ -45,6 +46,10 @@ pub enum InductiveCheck {
     /// The system is not constraint-free, so the state-level check does
     /// not apply (run preprocessing first).
     Unsupported(&'static str),
+    /// The [`Guard`] tripped before the check finished; no verdict. The
+    /// store's memo tables contain only complete fixpoints, so a retry
+    /// on the same store is sound.
+    Interrupted,
 }
 
 impl InductiveCheck {
@@ -82,7 +87,7 @@ pub fn check_inductive(sys: &ChcSystem, inv: &RegularInvariant) -> InductiveChec
         return u;
     }
     let dfta = inv.dfta();
-    check_with_fixpoints(sys, inv, &dfta.reachable(), &dfta.witnesses())
+    check_with_fixpoints(sys, inv, &dfta.reachable(), &dfta.witnesses(), None)
 }
 
 /// [`check_inductive`] through a hash-consed [`AutStore`]: the
@@ -103,7 +108,32 @@ pub fn check_inductive_with(
     let id = store.intern_dfta(inv.dfta().clone());
     let reachable = store.reachable(id);
     let witnesses = store.witnesses(id);
-    check_with_fixpoints(sys, inv, &reachable, &witnesses)
+    check_with_fixpoints(sys, inv, &reachable, &witnesses, None)
+}
+
+/// [`check_inductive_with`] under a cooperative [`Guard`]: the token is
+/// polled inside the store's worklist fixpoints and between assignment
+/// sweeps; once it trips the check returns
+/// [`InductiveCheck::Interrupted`] without memoizing any partial
+/// fixpoint. With a never-tripping guard the verdict is identical to
+/// [`check_inductive_with`]'s.
+pub fn check_inductive_guarded(
+    sys: &ChcSystem,
+    inv: &RegularInvariant,
+    store: &mut AutStore,
+    guard: &Guard,
+) -> InductiveCheck {
+    if let Some(u) = unsupported(sys) {
+        return u;
+    }
+    let id = store.intern_dfta(inv.dfta().clone());
+    let Some(reachable) = store.reachable_guarded(id, guard) else {
+        return InductiveCheck::Interrupted;
+    };
+    let Some(witnesses) = store.witnesses_guarded(id, guard) else {
+        return InductiveCheck::Interrupted;
+    };
+    check_with_fixpoints(sys, inv, &reachable, &witnesses, Some(guard))
 }
 
 fn check_with_fixpoints(
@@ -111,6 +141,7 @@ fn check_with_fixpoints(
     inv: &RegularInvariant,
     reachable: &BTreeSet<StateId>,
     witnesses: &[Option<GroundTerm>],
+    guard: Option<&Guard>,
 ) -> InductiveCheck {
     debug_assert!(unsupported(sys).is_none(), "callers check first");
     let dfta = inv.dfta();
@@ -123,14 +154,25 @@ fn check_with_fixpoints(
     }
 
     for (ci, clause) in sys.clauses.iter().enumerate() {
-        if let Some(v) = violated(inv, clause, &per_sort, witnesses) {
-            return InductiveCheck::Violated(Violation {
-                clause: ci,
-                assignment: v,
-            });
+        match violated(inv, clause, &per_sort, witnesses, guard) {
+            Sweep::Violated(v) => {
+                return InductiveCheck::Violated(Violation {
+                    clause: ci,
+                    assignment: v,
+                })
+            }
+            Sweep::Interrupted => return InductiveCheck::Interrupted,
+            Sweep::Clean => {}
         }
     }
     InductiveCheck::Inductive
+}
+
+/// Outcome of one clause's assignment sweep.
+enum Sweep {
+    Clean,
+    Violated(Vec<(VarId, GroundTerm)>),
+    Interrupted,
 }
 
 /// Largest per-slot memo (packed assignments) the dense table will
@@ -284,7 +326,8 @@ fn violated(
     clause: &Clause,
     per_sort: &BTreeMap<ringen_terms::SortId, Vec<StateId>>,
     witnesses: &[Option<GroundTerm>],
-) -> Option<Vec<(VarId, GroundTerm)>> {
+    guard: Option<&Guard>,
+) -> Sweep {
     let universals: Vec<VarId> = clause
         .vars
         .vars()
@@ -296,7 +339,7 @@ fn violated(
         match per_sort.get(&sort) {
             // A sort with no reachable state has no ground terms in the
             // automaton's world; the clause is vacuously satisfied.
-            None => return None,
+            None => return Sweep::Clean,
             Some(states) => u_choices.push(states),
         }
     }
@@ -309,8 +352,14 @@ fn violated(
     }
 
     let mut eval = ClauseEval::new(clause, inv.dfta(), per_sort);
+    let mut poller = guard.map(Poller::new);
     let mut idx = vec![0usize; universals.len()];
     loop {
+        if let Some(p) = poller.as_mut() {
+            if p.poll() {
+                return Sweep::Interrupted;
+            }
+        }
         let mut env: BTreeMap<VarId, StateId> = universals
             .iter()
             .zip(&idx)
@@ -342,13 +391,13 @@ fn violated(
                     (v, w)
                 })
                 .collect();
-            return Some(assignment);
+            return Sweep::Violated(assignment);
         }
         // Advance the mixed-radix counter.
         let mut k = 0;
         loop {
             if k == universals.len() {
-                return None;
+                return Sweep::Clean;
             }
             idx[k] += 1;
             if idx[k] < u_choices[k].len() {

@@ -42,15 +42,21 @@
 pub mod definability;
 pub mod inductive;
 pub mod invariant;
+pub mod portfolio;
 pub mod preprocess;
 pub mod saturation;
 pub mod solve;
 
-pub use inductive::{check_inductive, check_inductive_with, InductiveCheck, Violation};
+pub use inductive::{
+    check_inductive, check_inductive_guarded, check_inductive_with, InductiveCheck, Violation,
+};
 pub use invariant::{DisplayInvariant, RegularInvariant};
 pub use preprocess::{preprocess, PreprocessStats, Preprocessed};
+pub use ringen_parallel::{deadline_ms_from_env, Guard, Poller};
 pub use saturation::{
-    check_refutation, saturate, FactBase, Refutation, RefutationError, SaturationConfig,
-    SaturationOutcome,
+    check_refutation, saturate, saturate_guarded, FactBase, Refutation, RefutationError,
+    SaturationConfig, SaturationOutcome,
 };
-pub use solve::{solve, solve_with_store, Answer, Divergence, RingenConfig, SatAnswer, SolveStats};
+pub use solve::{
+    solve, solve_guarded, solve_with_store, Answer, Divergence, RingenConfig, SatAnswer, SolveStats,
+};

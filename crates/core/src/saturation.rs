@@ -111,7 +111,7 @@ use std::fmt;
 use std::hash::Hasher;
 
 use ringen_chc::{Atom, ChcSystem, Clause, Constraint, PredId};
-use ringen_parallel::{ParallelConfig, Pool};
+use ringen_parallel::{Guard, ParallelConfig, Pool};
 use ringen_terms::intern::InternTable;
 use ringen_terms::{
     herbrand::terms_by_size, GroundTerm, ScratchNodes, ScratchPool, SortId, Substitution, Term,
@@ -449,6 +449,10 @@ impl FactBase {
     }
 }
 
+/// Join candidates between guard polls inside a worker's matcher (see
+/// [`saturate_guarded`]).
+pub const GUARD_STEP_PERIOD: u64 = 128;
+
 /// Outcome of [`saturate`].
 #[derive(Debug, Clone)]
 pub enum SaturationOutcome {
@@ -461,6 +465,12 @@ pub enum SaturationOutcome {
     Saturated(FactBase),
     /// A budget was exhausted first; facts derived so far are returned.
     Budget(FactBase),
+    /// The [`Guard`] tripped (cancellation or deadline). The fact base
+    /// holds every *completed* round's facts — the in-flight round's
+    /// deltas are discarded wholesale, so the state is exactly what a
+    /// smaller `max_rounds` budget would have produced and is safe to
+    /// reuse or resume from.
+    Interrupted(FactBase),
 }
 
 /// Statistics from a [`saturate`] run.
@@ -524,6 +534,9 @@ struct ClauseRun {
     /// dropped. The semi-naive merge marks the clause dirty so a full
     /// rescan next round rediscovers them (as the naive engine would).
     facts_capped: bool,
+    /// The matcher observed a tripped guard; the whole round's deltas
+    /// will be discarded.
+    interrupted: bool,
 }
 
 /// Runs one work item against the frozen snapshot. Pure: depends only
@@ -539,6 +552,7 @@ fn run_item(
     use_index: bool,
     enum_cache: &FxHashMap<SortId, Vec<GroundTerm>>,
     step_budget: u64,
+    guard: Option<&Guard>,
 ) -> ClauseRun {
     let clause = &sys.clauses[item.clause];
     // A query of the ∀∃ shape (§5) cannot be fired by a finite set of
@@ -551,6 +565,7 @@ fn run_item(
             nodes: ScratchNodes::default(),
             enum_terms: Vec::new(),
             facts_capped: false,
+            interrupted: false,
         };
     }
     let mut matcher = Matcher {
@@ -568,6 +583,8 @@ fn run_item(
         step_budget,
         budget_hit: false,
         facts_capped: false,
+        guard,
+        interrupted: false,
         refutation: None,
         new_facts: Vec::new(),
         new_index: FxHashSet::default(),
@@ -582,6 +599,7 @@ fn run_item(
         nodes: matcher.scratch.into_nodes(),
         enum_terms,
         facts_capped: matcher.facts_capped,
+        interrupted: matcher.interrupted,
     }
 }
 
@@ -841,6 +859,23 @@ fn merge_round_semi(
 /// spawned once per call and parked between rounds (see the
 /// [module docs](self)); the result is identical at any worker count.
 pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, SaturationStats) {
+    saturate_guarded(sys, cfg, &Guard::new())
+}
+
+/// [`saturate`] under a cooperative [`Guard`].
+///
+/// The token is polled between rounds and every [`GUARD_STEP_PERIOD`]
+/// join candidates inside the workers. When it trips, the in-flight
+/// round's deltas are discarded *wholesale* and
+/// [`SaturationOutcome::Interrupted`] returns the fact base as of the
+/// last completed round — never a torn half-merge — together with the
+/// stats accumulated so far. With a never-tripping guard the run is
+/// bit-identical to [`saturate`].
+pub fn saturate_guarded(
+    sys: &ChcSystem,
+    cfg: &SaturationConfig,
+    guard: &Guard,
+) -> (SaturationOutcome, SaturationStats) {
     let pool = Pool::persistent(&cfg.parallel);
     // Read once, outside the hot path: this used to be an env lookup
     // per clause per round.
@@ -868,6 +903,10 @@ pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, 
     };
 
     for round in 0..cfg.max_rounds {
+        if guard.is_cancelled() {
+            finalize(&mut stats, &mut base);
+            return (SaturationOutcome::Interrupted(base), stats);
+        }
         stats.rounds = round + 1;
         let before = base.len();
         // Round 0 has no delta (and must run the fact clauses), so the
@@ -918,8 +957,18 @@ pub fn saturate(sys: &ChcSystem, cfg: &SaturationConfig) -> (SaturationOutcome, 
                 semi,
                 &enum_cache,
                 step_budget,
+                Some(guard),
             )
         });
+        // A tripped guard discards the whole round: merging a torn
+        // subset of the deltas would leave a state no budget-bounded
+        // run could produce. `stats.rounds` already counts this round
+        // as started; facts/steps reflect only completed rounds.
+        if runs.iter().any(|r| r.interrupted) || guard.is_cancelled() {
+            stats.rounds = round;
+            finalize(&mut stats, &mut base);
+            return (SaturationOutcome::Interrupted(base), stats);
+        }
         let end = if semi {
             merge_round_semi(
                 cfg,
@@ -1065,6 +1114,11 @@ struct Matcher<'a> {
     /// dropped, which the semi-naive merge must repair via a dirty
     /// full rescan.
     facts_capped: bool,
+    /// Cooperative cancellation token, polled every
+    /// [`GUARD_STEP_PERIOD`] join candidates (`None` = never polled).
+    guard: Option<&'a Guard>,
+    /// The guard tripped; stop matching, the round will be discarded.
+    interrupted: bool,
     #[allow(clippy::type_complexity)]
     new_facts: Vec<(PredId, FactArgs, Bind, Vec<usize>)>,
     /// Hash index over `new_facts` (the in-round dedup must not scan).
@@ -1116,7 +1170,7 @@ impl<'a> Matcher<'a> {
     /// Joins body atoms left to right against the frozen snapshot,
     /// entirely on pooled ids: no term is cloned or reconstructed here.
     fn match_body(&mut self, k: usize, bind: Bind, premises: Vec<usize>) {
-        if self.refutation.is_some() || self.budget_hit {
+        if self.refutation.is_some() || self.budget_hit || self.interrupted {
             return;
         }
         if k == self.clause.body.len() {
@@ -1135,6 +1189,14 @@ impl<'a> Matcher<'a> {
                 self.budget_hit = true;
                 return;
             }
+            if self.steps.is_multiple_of(GUARD_STEP_PERIOD) {
+                if let Some(g) = self.guard {
+                    if g.is_cancelled() {
+                        self.interrupted = true;
+                        return;
+                    }
+                }
+            }
             let fi = fi as usize;
             let mut bind2 = bind.clone();
             let ok = {
@@ -1149,7 +1211,7 @@ impl<'a> Matcher<'a> {
                 premises2.push(fi);
                 self.match_body(k + 1, bind2, premises2);
             }
-            if self.refutation.is_some() || self.budget_hit {
+            if self.refutation.is_some() || self.budget_hit || self.interrupted {
                 return;
             }
         }
@@ -1249,7 +1311,7 @@ impl<'a> Matcher<'a> {
     }
 
     fn bind_free(&mut self, free: &[VarId], k: usize, sub: Substitution, premises: Vec<usize>) {
-        if self.refutation.is_some() || self.budget_hit {
+        if self.refutation.is_some() || self.budget_hit || self.interrupted {
             return;
         }
         if k == free.len() {
@@ -1277,12 +1339,20 @@ impl<'a> Matcher<'a> {
                 self.budget_hit = true;
                 return;
             }
+            if self.steps.is_multiple_of(GUARD_STEP_PERIOD) {
+                if let Some(g) = self.guard {
+                    if g.is_cancelled() {
+                        self.interrupted = true;
+                        return;
+                    }
+                }
+            }
             let mut sub2 = sub.clone();
             let mut single = Substitution::new();
             single.bind(v, Term::from(&t));
             sub2.compose(&single);
             self.bind_free(free, k + 1, sub2, premises.clone());
-            if self.refutation.is_some() || self.budget_hit {
+            if self.refutation.is_some() || self.budget_hit || self.interrupted {
                 return;
             }
         }
@@ -1632,6 +1702,7 @@ mod tests {
                 assert!(base.pool().len() <= 2 * base.len() + 2);
             }
             SaturationOutcome::Refuted(_) => panic!("even system is satisfiable"),
+            SaturationOutcome::Interrupted(_) => panic!("unguarded saturate cannot trip"),
         }
         assert!(stats.steps > 0);
         assert!(stats.pooled_terms > 0);
@@ -1677,6 +1748,7 @@ mod tests {
         let base = match outcome {
             SaturationOutcome::Budget(b) | SaturationOutcome::Saturated(b) => b,
             SaturationOutcome::Refuted(_) => panic!("even system is satisfiable"),
+            SaturationOutcome::Interrupted(_) => panic!("unguarded saturate cannot trip"),
         };
         let even = sys.rels.by_name("even").unwrap();
         let z = sys.sig.func_by_name("Z").unwrap();

@@ -8,13 +8,15 @@
 
 use ringen_automata::AutStore;
 use ringen_chc::ChcSystem;
-use ringen_fmf::{find_model, FinderConfig, FinderStats, FmfOutcome};
+use ringen_fmf::{find_model_guarded, FinderConfig, FinderStats, FmfOutcome};
+use ringen_parallel::Guard;
 
-use crate::inductive::{check_inductive_with, InductiveCheck};
+use crate::inductive::{check_inductive_guarded, InductiveCheck};
 use crate::invariant::RegularInvariant;
 use crate::preprocess::{preprocess, PreprocessStats, Preprocessed};
 use crate::saturation::{
-    check_refutation, saturate, Refutation, SaturationConfig, SaturationOutcome, SaturationStats,
+    check_refutation, saturate_guarded, Refutation, SaturationConfig, SaturationOutcome,
+    SaturationStats,
 };
 
 /// Tuning knobs for [`solve`].
@@ -102,6 +104,10 @@ pub enum Answer {
     Unsat(Refutation),
     /// Budgets exhausted (the paper's "timeout").
     Unknown(Divergence),
+    /// The run was cancelled by its [`Guard`] (deadline or explicit
+    /// cancel) before reaching a verdict. [`SolveStats`] still carries
+    /// the partial statistics of the phases that ran.
+    Interrupted,
 }
 
 impl Answer {
@@ -118,6 +124,11 @@ impl Answer {
     /// `true` for [`Answer::Unknown`].
     pub fn is_unknown(&self) -> bool {
         matches!(self, Answer::Unknown(_))
+    }
+
+    /// `true` for [`Answer::Interrupted`].
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, Answer::Interrupted)
     }
 }
 
@@ -161,27 +172,50 @@ pub fn solve_with_store(
     cfg: &RingenConfig,
     store: &mut AutStore,
 ) -> (Answer, SolveStats) {
+    solve_guarded(sys, cfg, store, &Guard::new())
+}
+
+/// [`solve_with_store`] with cooperative cancellation: the guard is
+/// threaded into every long-running phase (refuter rounds, SAT search,
+/// automaton fixpoints, inductiveness sweep). A trip — deadline or
+/// explicit [`Guard::cancel`] — yields [`Answer::Interrupted`] with the
+/// statistics of the completed work; the shared `store` and term pool
+/// are left consistent, so a later call may resume against them.
+///
+/// # Panics
+///
+/// Same conditions as [`solve`].
+pub fn solve_guarded(
+    sys: &ChcSystem,
+    cfg: &RingenConfig,
+    store: &mut AutStore,
+    guard: &Guard,
+) -> (Answer, SolveStats) {
     if let Err(e) = sys.well_sorted() {
         panic!("input system is not well-sorted: {e}");
     }
     let mut stats = SolveStats::default();
 
     // Phase 1: cheap refutation attempt on the original clauses.
-    let (sat_outcome, sat_stats) = saturate(sys, &cfg.saturation);
+    let (sat_outcome, sat_stats) = saturate_guarded(sys, &cfg.saturation, guard);
     stats.saturation = Some(sat_stats);
-    if let SaturationOutcome::Refuted(r) = sat_outcome {
-        if cfg.verify_refutations {
-            if let Err(e) = check_refutation(sys, &r) {
-                panic!("refuter produced an invalid refutation: {e}");
+    match sat_outcome {
+        SaturationOutcome::Refuted(r) => {
+            if cfg.verify_refutations {
+                if let Err(e) = check_refutation(sys, &r) {
+                    panic!("refuter produced an invalid refutation: {e}");
+                }
             }
+            return (Answer::Unsat(r), stats);
         }
-        return (Answer::Unsat(r), stats);
+        SaturationOutcome::Interrupted(_) => return (Answer::Interrupted, stats),
+        SaturationOutcome::Saturated(_) | SaturationOutcome::Budget(_) => {}
     }
 
     // Phase 2: Figure 1 pipeline + finite-model search.
     let pre = preprocess(sys);
     stats.preprocess = Some(pre.stats.clone());
-    let (outcome, fstats) = match find_model(&pre.skolemized, &cfg.finder) {
+    let (outcome, fstats) = match find_model_guarded(&pre.skolemized, &cfg.finder, guard) {
         Ok(pair) => pair,
         Err(e) => {
             return (
@@ -196,8 +230,9 @@ pub fn solve_with_store(
             stats.model_size = Some(model.size());
             let invariant = RegularInvariant::from_model(&pre.system, &model);
             if cfg.verify_invariants {
-                match check_inductive_with(&pre.system, &invariant, store) {
+                match check_inductive_guarded(&pre.system, &invariant, store, guard) {
                     InductiveCheck::Inductive => {}
+                    InductiveCheck::Interrupted => return (Answer::Interrupted, stats),
                     InductiveCheck::Violated(v)
                         if sys.clauses.iter().any(|c| !c.exist_vars.is_empty()) =>
                     {
@@ -221,6 +256,7 @@ pub fn solve_with_store(
             )
         }
         FmfOutcome::Exhausted => (Answer::Unknown(Divergence::ModelSearchExhausted), stats),
+        FmfOutcome::Interrupted => (Answer::Interrupted, stats),
     }
 }
 
@@ -292,5 +328,34 @@ mod tests {
         .unwrap();
         let (answer, _) = solve(&sys, &RingenConfig::quick());
         assert!(answer.is_unknown(), "Diag must diverge, got {answer:?}");
+    }
+
+    #[test]
+    fn cancelled_solve_interrupts_and_leaves_the_store_reusable() {
+        let sys = parse_str(
+            r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun even (Nat) Bool)
+            (assert (even Z))
+            (assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+            (assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+            "#,
+        )
+        .unwrap();
+        let mut store = AutStore::new();
+        // A tripped guard interrupts before any phase runs to completion.
+        let g = Guard::new();
+        g.cancel();
+        let (answer, _) = solve_guarded(&sys, &RingenConfig::default(), &mut store, &g);
+        assert!(answer.is_interrupted(), "got {answer:?}");
+        // A fuel guard trips mid-run; the answer is still Interrupted and
+        // the stats reflect partial work.
+        let g = Guard::with_fuel(2);
+        let (answer, stats) = solve_guarded(&sys, &RingenConfig::default(), &mut store, &g);
+        assert!(answer.is_interrupted(), "got {answer:?}");
+        assert!(stats.saturation.is_some());
+        // The same store then serves an uncancelled solve normally.
+        let (answer, _) = solve_guarded(&sys, &RingenConfig::default(), &mut store, &Guard::new());
+        assert!(answer.is_sat(), "got {answer:?}");
     }
 }

@@ -129,6 +129,13 @@ fn fingerprint(outcome: &SaturationOutcome) -> Fingerprint {
             pooled_terms: base.pool().len(),
             refutation: None,
         },
+        // Unreachable: the unguarded `saturate` never trips.
+        SaturationOutcome::Interrupted(base) => Fingerprint {
+            variant: "interrupted",
+            facts: base.ground_facts().collect(),
+            pooled_terms: base.pool().len(),
+            refutation: None,
+        },
     }
 }
 

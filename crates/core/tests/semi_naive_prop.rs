@@ -150,6 +150,13 @@ fn run(sys: &ChcSystem, cfg: &SaturationConfig, semi: bool, threads: usize) -> F
             base.pool().len(),
             None,
         ),
+        // Unreachable: the unguarded `saturate` never trips.
+        SaturationOutcome::Interrupted(base) => (
+            "interrupted",
+            base.ground_facts().collect(),
+            base.pool().len(),
+            None,
+        ),
     };
     Fingerprint {
         variant,

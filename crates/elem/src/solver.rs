@@ -16,7 +16,8 @@
 use std::collections::BTreeMap;
 
 use ringen_chc::{ChcSystem, Clause, Constraint, PredId};
-use ringen_core::saturation::{saturate, Refutation, SaturationConfig, SaturationOutcome};
+use ringen_core::saturation::{saturate_guarded, Refutation, SaturationConfig, SaturationOutcome};
+use ringen_core::{Guard, Poller};
 use ringen_terms::GroundTerm;
 
 use crate::dp::{check_cube, CubeSat};
@@ -94,6 +95,9 @@ pub enum ElemAnswer {
     Unsat(Refutation),
     /// Budgets exhausted.
     Unknown,
+    /// The search was cancelled by its [`Guard`]; [`ElemStats`] still
+    /// reflects the work completed.
+    Interrupted,
 }
 
 impl ElemAnswer {
@@ -110,6 +114,11 @@ impl ElemAnswer {
     /// `true` for [`ElemAnswer::Unknown`].
     pub fn is_unknown(&self) -> bool {
         matches!(self, ElemAnswer::Unknown)
+    }
+
+    /// `true` for [`ElemAnswer::Interrupted`].
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, ElemAnswer::Interrupted)
     }
 }
 
@@ -130,15 +139,33 @@ pub struct ElemStats {
 ///
 /// Panics if `sys` is not well-sorted.
 pub fn solve_elem(sys: &ChcSystem, cfg: &ElemConfig) -> (ElemAnswer, ElemStats) {
+    solve_elem_guarded(sys, cfg, &Guard::new())
+}
+
+/// [`solve_elem`] with cooperative cancellation: the guard is threaded
+/// into the refuter and polled once per candidate assignment of the
+/// template sweep. A trip yields [`ElemAnswer::Interrupted`] with the
+/// statistics accumulated so far.
+///
+/// # Panics
+///
+/// Same conditions as [`solve_elem`].
+pub fn solve_elem_guarded(
+    sys: &ChcSystem,
+    cfg: &ElemConfig,
+    guard: &Guard,
+) -> (ElemAnswer, ElemStats) {
     if let Err(e) = sys.well_sorted() {
         panic!("input system is not well-sorted: {e}");
     }
     let mut stats = ElemStats::default();
 
     // Phase 1: refute.
-    let (outcome, _) = saturate(sys, &cfg.saturation);
-    if let SaturationOutcome::Refuted(r) = outcome {
-        return (ElemAnswer::Unsat(r), stats);
+    let (outcome, _) = saturate_guarded(sys, &cfg.saturation, guard);
+    match outcome {
+        SaturationOutcome::Refuted(r) => return (ElemAnswer::Unsat(r), stats),
+        SaturationOutcome::Interrupted(_) => return (ElemAnswer::Interrupted, stats),
+        SaturationOutcome::Saturated(_) | SaturationOutcome::Budget(_) => {}
     }
 
     // Phase 2: enumerate candidate assignments in order of total index,
@@ -165,14 +192,22 @@ pub fn solve_elem(sys: &ChcSystem, cfg: &ElemConfig) -> (ElemAnswer, ElemStats) 
         .map(|&p| candidates(&sys.sig, &sys.rels.decl(p).domain, &cfg.templates))
         .collect();
 
+    enum Stop {
+        Budget,
+        Interrupted,
+    }
     let caps: Vec<usize> = pools.iter().map(|p| p.len() - 1).collect();
     let max_total: usize = caps.iter().sum();
     let mut idx = vec![0usize; preds.len()];
+    let mut poller = Poller::new(guard);
     for total in 0..=max_total {
         let stop = for_each_composition(&caps, total, &mut idx, 0, &mut |idx| {
+            if poller.poll() {
+                return Some(Err(Stop::Interrupted));
+            }
             stats.assignments += 1;
             if stats.assignments > cfg.max_assignments {
-                return Some(Err(()));
+                return Some(Err(Stop::Budget));
             }
             let assignment: BTreeMap<PredId, &ElemFormula> = preds
                 .iter()
@@ -187,7 +222,8 @@ pub fn solve_elem(sys: &ChcSystem, cfg: &ElemConfig) -> (ElemAnswer, ElemStats) 
         });
         match stop {
             Some(Ok(inv)) => return (ElemAnswer::Sat(inv), stats),
-            Some(Err(())) => return (ElemAnswer::Unknown, stats),
+            Some(Err(Stop::Budget)) => return (ElemAnswer::Unknown, stats),
+            Some(Err(Stop::Interrupted)) => return (ElemAnswer::Interrupted, stats),
             None => {}
         }
     }

@@ -12,7 +12,7 @@
 //! ([`Pool::persistent`]), not re-spawned per sweep.
 
 use ringen_chc::ChcSystem;
-use ringen_parallel::{ParallelConfig, Pool};
+use ringen_parallel::{Guard, ParallelConfig, Pool};
 use ringen_sat::{Lit, SatResult, Solver, Var};
 use ringen_terms::FuncKind;
 
@@ -70,6 +70,9 @@ pub enum FmfOutcome {
     /// have larger or infinite models — finite model existence is only
     /// semidecidable, §9).
     Exhausted,
+    /// The search was cancelled by its [`Guard`] before the bounds were
+    /// exhausted. `FinderStats` still reflects the work completed.
+    Interrupted,
 }
 
 impl FmfOutcome {
@@ -77,7 +80,7 @@ impl FmfOutcome {
     pub fn model(self) -> Option<FiniteModel> {
         match self {
             FmfOutcome::Model(m) => Some(m),
-            FmfOutcome::Exhausted => None,
+            FmfOutcome::Exhausted | FmfOutcome::Interrupted => None,
         }
     }
 }
@@ -93,6 +96,26 @@ pub fn find_model(
     sys: &ChcSystem,
     config: &FinderConfig,
 ) -> Result<(FmfOutcome, FinderStats), FlattenError> {
+    find_model_inner(sys, config, None)
+}
+
+/// [`find_model`] with cooperative cancellation: the guard is polled
+/// between size vectors, between grounding waves, and inside the SAT
+/// search. A trip yields [`FmfOutcome::Interrupted`] with the statistics
+/// accumulated so far; no partial state escapes.
+pub fn find_model_guarded(
+    sys: &ChcSystem,
+    config: &FinderConfig,
+    guard: &Guard,
+) -> Result<(FmfOutcome, FinderStats), FlattenError> {
+    find_model_inner(sys, config, Some(guard))
+}
+
+fn find_model_inner(
+    sys: &ChcSystem,
+    config: &FinderConfig,
+    guard: Option<&Guard>,
+) -> Result<(FmfOutcome, FinderStats), FlattenError> {
     let flat = flatten_system(sys)?;
     let mut stats = FinderStats::default();
     let num_sorts = sys.sig.sort_count();
@@ -106,8 +129,12 @@ pub fn find_model(
     let pool = Pool::persistent(&config.parallel);
     for total in num_sorts..=config.max_total_size {
         for sizes in compositions(total, num_sorts) {
-            match try_sizes(sys, &flat, &sizes, config, &pool, &mut stats) {
+            if guard.is_some_and(|g| g.is_cancelled()) {
+                return Ok((FmfOutcome::Interrupted, stats));
+            }
+            match try_sizes(sys, &flat, &sizes, config, &pool, guard, &mut stats) {
                 SizeOutcome::Model(m) => return Ok((FmfOutcome::Model(m), stats)),
+                SizeOutcome::Interrupted => return Ok((FmfOutcome::Interrupted, stats)),
                 SizeOutcome::Unsat | SizeOutcome::Skipped | SizeOutcome::Budget => {}
             }
         }
@@ -120,6 +147,7 @@ enum SizeOutcome {
     Unsat,
     Budget,
     Skipped,
+    Interrupted,
 }
 
 /// All vectors of `parts` positive integers summing to `total`.
@@ -150,6 +178,7 @@ fn try_sizes(
     sizes: &[usize],
     config: &FinderConfig,
     pool: &Pool,
+    guard: Option<&Guard>,
     stats: &mut FinderStats,
 ) -> SizeOutcome {
     // Estimate the grounding size first.
@@ -241,6 +270,9 @@ fn try_sizes(
     // a root-level conflict: at most one batch is generated in vain.
     let batch = (pool.threads() * 4).max(1);
     for wave in flat.chunks(batch) {
+        if guard.is_some_and(|g| g.is_cancelled()) {
+            return SizeOutcome::Interrupted;
+        }
         let grounded: Vec<GroundInstances> = pool
             .map_chunks(wave, |_, chunk| {
                 chunk
@@ -261,7 +293,10 @@ fn try_sizes(
         }
     }
 
-    let result = solver.solve_with_budget(config.max_conflicts);
+    let result = match guard {
+        Some(g) => solver.solve_guarded(config.max_conflicts, g),
+        None => solver.solve_with_budget(config.max_conflicts),
+    };
     stats.conflicts += solver.conflict_count();
     match result {
         SatResult::Sat => {
@@ -302,8 +337,14 @@ fn try_sizes(
         }
         SatResult::Unsat => SizeOutcome::Unsat,
         SatResult::Unknown => {
-            stats.budget_exhausted += 1;
-            SizeOutcome::Budget
+            // `Unknown` is either the conflict budget or a guard trip;
+            // the guard's state disambiguates.
+            if guard.is_some_and(|g| g.is_cancelled()) {
+                SizeOutcome::Interrupted
+            } else {
+                stats.budget_exhausted += 1;
+                SizeOutcome::Budget
+            }
         }
     }
 }
@@ -673,6 +714,27 @@ mod tests {
         let base = run(1);
         assert_eq!(run(4), base);
         assert!(!base.0, "q is both total and refuted: no model");
+    }
+
+    #[test]
+    fn guarded_search_interrupts_and_matches_when_uncancelled() {
+        let sys = even_system();
+        // Already-tripped guard: no vector is attempted.
+        let g = Guard::new();
+        g.cancel();
+        let (outcome, stats) = find_model_guarded(&sys, &FinderConfig::default(), &g).unwrap();
+        assert!(matches!(outcome, FmfOutcome::Interrupted));
+        assert_eq!(stats.vectors_tried, 0);
+        // Fuel guard: trips mid-search, still reports Interrupted.
+        let g = Guard::with_fuel(1);
+        let (outcome, _) = find_model_guarded(&sys, &FinderConfig::default(), &g).unwrap();
+        assert!(matches!(outcome, FmfOutcome::Interrupted));
+        // A live guard changes nothing.
+        let g = Guard::new();
+        let (outcome, stats) = find_model_guarded(&sys, &FinderConfig::default(), &g).unwrap();
+        let (plain, plain_stats) = find_model(&sys, &FinderConfig::default()).unwrap();
+        assert_eq!(outcome.model(), plain.model());
+        assert_eq!(stats, plain_stats);
     }
 
     #[test]

@@ -31,6 +31,8 @@ mod finder;
 mod flatten;
 mod model;
 
-pub use finder::{find_model, has_free_symbols, FinderConfig, FinderStats, FmfOutcome};
+pub use finder::{
+    find_model, find_model_guarded, has_free_symbols, FinderConfig, FinderStats, FmfOutcome,
+};
 pub use flatten::{flatten_clause, flatten_system, FlatClause, FlatVar, FlattenError};
 pub use model::{DisplayModel, FiniteModel};

@@ -26,7 +26,7 @@
 
 use std::collections::BTreeMap;
 
-use ringen_chc::{Atom, ChcSystem, Clause, Constraint, PredId};
+use ringen_chc::{Atom, ChcSystem, Clause, Constraint, IllSorted, PredId};
 use ringen_core::saturation::{saturate, Refutation, SaturationConfig, SaturationOutcome};
 use ringen_elem::{check_cube, CubeSat, Literal};
 use ringen_terms::{unify_all, Substitution, Term, VarContext, VarId};
@@ -133,17 +133,18 @@ struct Goal {
 /// Runs the prover. Returns the answer and the refuter's step count
 /// (for the timing harness).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `sys` is not well-sorted.
-pub fn solve_induction(sys: &ChcSystem, cfg: &InductionConfig) -> (InductionAnswer, u64) {
-    if let Err(e) = sys.well_sorted() {
-        panic!("input system is not well-sorted: {e}");
-    }
+/// Returns [`IllSorted`] if `sys` is not well-sorted.
+pub fn solve_induction(
+    sys: &ChcSystem,
+    cfg: &InductionConfig,
+) -> Result<(InductionAnswer, u64), IllSorted> {
+    sys.well_sorted()?;
 
     let (outcome, sat_stats) = saturate(sys, &cfg.saturation);
     if let SaturationOutcome::Refuted(r) = outcome {
-        return (InductionAnswer::Unsat(r), sat_stats.steps);
+        return Ok((InductionAnswer::Unsat(r), sat_stats.steps));
     }
 
     let mut proof = InductionProof {
@@ -153,7 +154,7 @@ pub fn solve_induction(sys: &ChcSystem, cfg: &InductionConfig) -> (InductionAnsw
     for clause in sys.queries() {
         if !clause.exist_vars.is_empty() {
             // The backward prover handles universal queries only.
-            return (InductionAnswer::Unknown, sat_stats.steps);
+            return Ok((InductionAnswer::Unknown, sat_stats.steps));
         }
         let root = Goal {
             vars: clause.vars.clone(),
@@ -163,10 +164,10 @@ pub fn solve_induction(sys: &ChcSystem, cfg: &InductionConfig) -> (InductionAnsw
         };
         match prove_unreachable(sys, cfg, root, &mut Vec::new(), &mut proof) {
             Some(true) => {}
-            Some(false) | None => return (InductionAnswer::Unknown, sat_stats.steps),
+            Some(false) | None => return Ok((InductionAnswer::Unknown, sat_stats.steps)),
         }
     }
-    (InductionAnswer::Sat(proof), sat_stats.steps)
+    Ok((InductionAnswer::Sat(proof), sat_stats.steps))
 }
 
 /// `Some(true)` — the goal is underivable (all branches die);
@@ -405,6 +406,10 @@ mod tests {
     use super::*;
     use ringen_chc::parse_str;
 
+    fn ok_solve(sys: &ChcSystem, cfg: &InductionConfig) -> (InductionAnswer, u64) {
+        solve_induction(sys, cfg).expect("well-sorted test system")
+    }
+
     fn even_system() -> ChcSystem {
         parse_str(
             r#"
@@ -422,13 +427,13 @@ mod tests {
     fn default_regime_cannot_prove_even() {
         // CVC4-Ind profile: no cyclic discharge, so Even's unfolding tree
         // never closes.
-        let (answer, _) = solve_induction(&even_system(), &InductionConfig::quick());
+        let (answer, _) = ok_solve(&even_system(), &InductionConfig::quick());
         assert!(answer.is_unknown(), "got {answer:?}");
     }
 
     #[test]
     fn cyclic_regime_proves_even() {
-        let (answer, _) = solve_induction(&even_system(), &InductionConfig::cyclic());
+        let (answer, _) = ok_solve(&even_system(), &InductionConfig::cyclic());
         let proof = match answer {
             InductionAnswer::Sat(p) => p,
             other => panic!("expected SAT, got {other:?}"),
@@ -448,7 +453,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let (answer, _) = solve_induction(&sys, &InductionConfig::quick());
+        let (answer, _) = ok_solve(&sys, &InductionConfig::quick());
         assert!(answer.is_sat(), "got {answer:?}");
     }
 
@@ -464,7 +469,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let (answer, _) = solve_induction(&sys, &InductionConfig::quick());
+        let (answer, _) = ok_solve(&sys, &InductionConfig::quick());
         assert!(answer.is_unsat());
     }
 
@@ -485,7 +490,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let (answer, _) = solve_induction(&sys, &InductionConfig::cyclic());
+        let (answer, _) = ok_solve(&sys, &InductionConfig::cyclic());
         let proof = match answer {
             InductionAnswer::Sat(p) => p,
             other => panic!("expected SAT, got {other:?}"),
@@ -500,7 +505,7 @@ mod tests {
         // Keep the refuter from answering first.
         cfg.saturation.max_rounds = 1;
         cfg.saturation.max_facts = 1;
-        let (answer, _) = solve_induction(&even_system(), &cfg);
+        let (answer, _) = ok_solve(&even_system(), &cfg);
         assert!(answer.is_unknown(), "got {answer:?}");
     }
 
@@ -519,10 +524,32 @@ mod tests {
             "#,
         )
         .unwrap();
-        let (plain, _) = solve_induction(&sys, &InductionConfig::quick());
+        let (plain, _) = ok_solve(&sys, &InductionConfig::quick());
         assert!(plain.is_unknown(), "got {plain:?}");
-        let (cyclic, _) = solve_induction(&sys, &InductionConfig::cyclic());
+        let (cyclic, _) = ok_solve(&sys, &InductionConfig::cyclic());
         assert!(cyclic.is_sat(), "got {cyclic:?}");
+    }
+
+    #[test]
+    fn ill_sorted_input_is_a_typed_error() {
+        use ringen_chc::{Atom, Clause, Relations, SystemErrorKind};
+        use ringen_terms::signature_helpers::nat_signature;
+        let (sig, nat, z, _s) = nat_signature();
+        let mut rels = Relations::new();
+        let p = rels.add("p", vec![nat, nat]);
+        let mut sys = ChcSystem::new(sig);
+        sys.rels = rels;
+        // p applied at the wrong arity: a sort error, not a panic.
+        let vars = VarContext::new();
+        sys.clauses = vec![Clause::new(
+            vars,
+            vec![],
+            vec![],
+            Some(Atom::new(p, vec![Term::leaf(z)])),
+        )];
+        let err = solve_induction(&sys, &InductionConfig::quick()).unwrap_err();
+        assert!(matches!(err.0.kind, SystemErrorKind::AtomArity { .. }));
+        assert!(err.to_string().contains("not well-sorted"));
     }
 
     #[test]
@@ -550,7 +577,7 @@ mod tests {
             .with_exists(vec![y]);
         sys.clauses = vec![fact, query];
         assert!(sys.well_sorted().is_ok());
-        let (answer, _) = solve_induction(&sys, &InductionConfig::quick());
+        let (answer, _) = ok_solve(&sys, &InductionConfig::quick());
         assert!(answer.is_unknown(), "got {answer:?}");
     }
 }

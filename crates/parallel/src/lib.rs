@@ -66,13 +66,26 @@
 //! finished the call), so they are observably identical apart from
 //! latency; with `threads <= 1` the persistent constructor spawns
 //! nothing and every call runs inline.
+//!
+//! # Cancellation and panic isolation
+//!
+//! [`Pool::try_map_items`]/[`Pool::try_map_chunks`] accept a
+//! [`Guard`] (re-exported from `ringen-guard`) and return
+//! `Err(JobError::Cancelled)` as soon as the token trips — remaining
+//! items are skipped, partial work is discarded, and the workers stay
+//! parked for the next call. A panicking closure is caught *per item*
+//! ([`std::panic::catch_unwind`]) and surfaced as
+//! `Err(JobError::Panicked(msg))` instead of unwinding through the
+//! pool, so a persistent pool is never poisoned by one bad job.
 
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+
+pub use ringen_guard::{deadline_ms_from_env, Guard, Poller, DEFAULT_POLL_PERIOD};
 
 /// Worker-count policy for a [`Pool`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,6 +135,46 @@ impl Default for ParallelConfig {
         ParallelConfig::from_env()
     }
 }
+
+/// How a cancellable pool job ([`Pool::try_map_items`] /
+/// [`Pool::try_map_chunks`]) ended early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The [`Guard`] tripped (explicit cancel, deadline, or ancestor
+    /// cancellation); partial results were discarded.
+    Cancelled,
+    /// An item closure panicked; carries the first panic's message. The
+    /// pool itself survives and serves subsequent calls.
+    Panicked(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Cancelled => write!(f, "job cancelled"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Best-effort extraction of a panic payload's message (`panic!`
+/// string literals and `format!`ed messages; anything else gets a
+/// generic label).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Items between guard consultations in the cancellable entry points:
+/// one shared-counter tick per item, one real token check per period.
+const JOB_POLL_PERIOD: usize = 16;
 
 /// A fan-out executor. In the default (scoped) mode it holds no threads
 /// while idle — workers are spawned per call inside a
@@ -257,6 +310,105 @@ impl Pool {
             .into_iter()
             .map(|r| r.expect("every item processed"))
             .collect()
+    }
+
+    /// Cancellable, panic-isolated [`Pool::map_items`].
+    ///
+    /// Workers consult `guard` every few items (amortized through a
+    /// shared counter) and stop claiming work once it trips; the call
+    /// then returns `Err(JobError::Cancelled)` with all partial results
+    /// discarded. A panicking closure is caught per item and reported
+    /// as `Err(JobError::Panicked(_))` — it never unwinds through the
+    /// pool, so persistent workers stay parked and reusable. On success
+    /// the results come back in item order, bit-identical to
+    /// [`Pool::map_items`] at any thread count.
+    pub fn try_map_items<T, R, F>(
+        &self,
+        guard: &Guard,
+        items: &[T],
+        f: F,
+    ) -> Result<Vec<R>, JobError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if guard.is_cancelled() {
+            return Err(JobError::Cancelled);
+        }
+        let stop = AtomicBool::new(false);
+        let first_panic: Mutex<Option<String>> = Mutex::new(None);
+        let polls = AtomicUsize::new(0);
+        let results = self.map_items(items, |i, t| {
+            if stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            if polls
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(JOB_POLL_PERIOD)
+                && guard.is_cancelled()
+            {
+                stop.store(true, Ordering::Relaxed);
+                return None;
+            }
+            match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                Ok(r) => Some(r),
+                Err(payload) => {
+                    let mut slot = first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+                    if slot.is_none() {
+                        *slot = Some(panic_message(payload.as_ref()));
+                    }
+                    stop.store(true, Ordering::Relaxed);
+                    None
+                }
+            }
+        });
+        if let Some(msg) = first_panic
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            return Err(JobError::Panicked(msg));
+        }
+        if stop.into_inner() {
+            return Err(JobError::Cancelled);
+        }
+        // `stop` was never set, so every slot is populated.
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("uncancelled job completes every item"))
+            .collect())
+    }
+
+    /// Cancellable, panic-isolated [`Pool::map_chunks`]: same chunking
+    /// as the infallible version, same early-exit contract as
+    /// [`Pool::try_map_items`].
+    pub fn try_map_chunks<T, R, F>(
+        &self,
+        guard: &Guard,
+        items: &[T],
+        f: F,
+    ) -> Result<Vec<R>, JobError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        if guard.is_cancelled() {
+            return Err(JobError::Cancelled);
+        }
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chunk = if self.threads <= 1 {
+            items.len()
+        } else {
+            items.len().div_ceil(self.threads * 4).max(1)
+        };
+        let ranges: Vec<(usize, usize)> = (0..items.len())
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(items.len())))
+            .collect();
+        self.try_map_items(guard, &ranges, |_, &(a, b)| f(a, &items[a..b]))
     }
 
     /// Splits `items` into contiguous chunks and applies `f(start,
@@ -736,6 +888,212 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn try_map_items_matches_map_items_when_uncancelled() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 2 + 5).collect();
+        let guard = Guard::new();
+        for pool in pools() {
+            let got = pool
+                .try_map_items(&guard, &items, |_, &x| x * 2 + 5)
+                .expect("no cancellation, no panic");
+            assert_eq!(got, expect, "threads = {}", pool.threads());
+        }
+        let persistent = Pool::persistent(&ParallelConfig::with_threads(4));
+        let got = persistent
+            .try_map_items(&guard, &items, |_, &x| x * 2 + 5)
+            .expect("no cancellation, no panic");
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn try_map_items_rejects_an_already_tripped_guard() {
+        let guard = Guard::new();
+        guard.cancel();
+        let calls = AtomicU64::new(0);
+        let got = Pool::sequential().try_map_items(&guard, &[1u32, 2, 3], |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(got, Err(JobError::Cancelled));
+        assert_eq!(calls.into_inner(), 0, "closure must never run");
+    }
+
+    #[test]
+    fn try_map_items_stops_early_on_mid_job_cancel() {
+        let items: Vec<u32> = (0..10_000).collect();
+        for pool in pools() {
+            let guard = Guard::new();
+            let calls = AtomicU64::new(0);
+            let got = pool.try_map_items(&guard, &items, |i, &x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if i == 40 {
+                    guard.cancel();
+                }
+                x
+            });
+            assert_eq!(
+                got,
+                Err(JobError::Cancelled),
+                "threads = {}",
+                pool.threads()
+            );
+            // The whole slice must not have been processed: the guard
+            // is consulted at least every JOB_POLL_PERIOD items per
+            // worker, so work stops well before the end.
+            assert!(
+                calls.into_inner() < items.len() as u64,
+                "threads = {}",
+                pool.threads()
+            );
+        }
+    }
+
+    #[test]
+    fn try_map_items_surfaces_panics_as_typed_errors() {
+        let items: Vec<u32> = (0..64).collect();
+        for pool in pools() {
+            match pool.try_map_items(&Guard::new(), &items, |_, &x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            }) {
+                Err(JobError::Panicked(msg)) => {
+                    assert!(msg.contains("boom at 13"), "got {msg:?}")
+                }
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_chunks_cancels_and_completes_like_map_chunks() {
+        let items: Vec<u32> = (0..1000).collect();
+        let expect: Vec<u32> = items.iter().map(|x| x + 3).collect();
+        for pool in pools() {
+            let got: Vec<u32> = pool
+                .try_map_chunks(&Guard::new(), &items, |_, chunk| {
+                    chunk.iter().map(|x| x + 3).collect::<Vec<_>>()
+                })
+                .expect("uncancelled")
+                .concat();
+            assert_eq!(got, expect, "threads = {}", pool.threads());
+            let tripped = Guard::new();
+            tripped.cancel();
+            assert_eq!(
+                pool.try_map_chunks(&tripped, &items, |_, chunk| chunk.len()),
+                Err(JobError::Cancelled)
+            );
+        }
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(
+            Pool::sequential().try_map_chunks(&Guard::new(), &empty, |_, c| c.len()),
+            Ok(Vec::new())
+        );
+    }
+
+    #[test]
+    fn deadline_guard_cancels_a_running_job() {
+        let items: Vec<u32> = (0..100_000).collect();
+        let pool = Pool::persistent(&ParallelConfig::with_threads(2));
+        let guard = Guard::with_deadline(std::time::Duration::from_millis(5));
+        let got = pool.try_map_items(&guard, &items, |_, &x| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            x
+        });
+        assert_eq!(got, Err(JobError::Cancelled));
+        // The pool survives a deadline-cancelled call.
+        assert_eq!(
+            pool.try_map_items(&Guard::new(), &[1u32, 2], |_, &x| x),
+            Ok(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn persistent_pool_survives_repeated_panics_across_call_styles() {
+        // Reuse-after-panic, deeper than one round-trip: raw panicking
+        // map_items calls interleaved with typed try_map_items failures
+        // and chunked calls, all on the same parked workers.
+        let items: Vec<u32> = (0..128).collect();
+        let pool = Pool::persistent(&ParallelConfig::with_threads(4));
+        for round in 0..3 {
+            // (a) untyped path: panic propagates to the caller...
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.map_items(&items, |_, &x| {
+                    if x % 32 == 7 {
+                        panic!("round {round} boom at {x}");
+                    }
+                    x
+                })
+            }));
+            assert!(result.is_err(), "round {round}: panic must propagate");
+            // (b) ...typed path: panic becomes a JobError...
+            match pool.try_map_items(&Guard::new(), &items, |_, &x| {
+                if x == 99 {
+                    panic!("typed boom {round}");
+                }
+                x
+            }) {
+                Err(JobError::Panicked(msg)) => {
+                    assert!(msg.contains("typed boom"), "round {round}: got {msg:?}")
+                }
+                other => panic!("round {round}: expected Panicked, got {other:?}"),
+            }
+            // (c) ...and the very next calls on the same workers are
+            // clean, for both entry points.
+            assert_eq!(
+                pool.map_items(&items, |_, &x| x + round),
+                items.iter().map(|x| x + round).collect::<Vec<_>>()
+            );
+            let chunked: Vec<u32> = pool
+                .map_chunks(&items, |_, chunk| {
+                    chunk.iter().map(|x| x * 2).collect::<Vec<_>>()
+                })
+                .concat();
+            assert_eq!(chunked, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn persistent_pool_survives_panics_from_concurrent_clones() {
+        // Clones share one job slot; a panic in one caller's job must
+        // not wedge or corrupt its siblings' calls.
+        let pool = Pool::persistent(&ParallelConfig::with_threads(3));
+        let items: Vec<u64> = (0..100).collect();
+        std::thread::scope(|scope| {
+            for c in 0u64..4 {
+                let pool = pool.clone();
+                let items = &items;
+                scope.spawn(move || {
+                    for round in 0u64..10 {
+                        if (c + round) % 3 == 0 {
+                            let got = pool.try_map_items(&Guard::new(), items, |_, &x| {
+                                if x == 50 {
+                                    panic!("caller {c} round {round}");
+                                }
+                                x
+                            });
+                            assert!(
+                                matches!(got, Err(JobError::Panicked(_))),
+                                "caller {c} round {round}: {got:?}"
+                            );
+                        } else {
+                            let got = pool.map_items(items, |_, &x| x * c + round);
+                            let expect: Vec<u64> = items.iter().map(|x| x * c + round).collect();
+                            assert_eq!(got, expect, "caller {c} round {round}");
+                        }
+                    }
+                });
+            }
+        });
+        // And the pool still serves a clean call afterwards.
+        assert_eq!(
+            pool.map_items(&items, |_, &x| x + 1),
+            items.iter().map(|x| x + 1).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -65,4 +65,6 @@ pub use enumerate::{enumerate_langs, enumerate_langs_in, LangPoolConfig};
 pub use formula::{RegCube, RegElemFormula, RegLiteral};
 pub use invariant::{check_inductive, check_inductive_in, RegElemCheck, RegElemInvariant};
 pub use lang::Lang;
-pub use solver::{solve_regelem, Provenance, RegElemAnswer, RegElemConfig, RegElemStats};
+pub use solver::{
+    solve_regelem, solve_regelem_guarded, Provenance, RegElemAnswer, RegElemConfig, RegElemStats,
+};

@@ -26,10 +26,10 @@ use std::collections::BTreeMap;
 
 use ringen_automata::AutStore;
 use ringen_chc::{ChcSystem, PredId};
-use ringen_core::saturation::{saturate, Refutation, SaturationConfig, SaturationOutcome};
-use ringen_core::{solve_with_store as solve_regular, Answer, RingenConfig};
+use ringen_core::saturation::{saturate_guarded, Refutation, SaturationConfig, SaturationOutcome};
+use ringen_core::{solve_guarded as solve_regular, Answer, Guard, Poller, RingenConfig};
 use ringen_elem::search::for_each_composition;
-use ringen_elem::{candidates, solve_elem, ElemAnswer, ElemConfig, TemplateConfig};
+use ringen_elem::{candidates, solve_elem_guarded, ElemAnswer, ElemConfig, TemplateConfig};
 use ringen_terms::{Term, VarId};
 
 use crate::dp::DpBudget;
@@ -115,6 +115,9 @@ pub enum RegElemAnswer {
     Unsat(Refutation),
     /// Budgets exhausted.
     Unknown,
+    /// The search was cancelled by its [`Guard`]; [`RegElemStats`]
+    /// still reflects the work completed.
+    Interrupted,
 }
 
 impl RegElemAnswer {
@@ -131,6 +134,11 @@ impl RegElemAnswer {
     /// `true` for [`RegElemAnswer::Unknown`].
     pub fn is_unknown(&self) -> bool {
         matches!(self, RegElemAnswer::Unknown)
+    }
+
+    /// `true` for [`RegElemAnswer::Interrupted`].
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, RegElemAnswer::Interrupted)
     }
 }
 
@@ -159,8 +167,26 @@ pub struct RegElemStats {
 ///
 /// Panics if `sys` is not well-sorted.
 pub fn solve_regelem(sys: &ChcSystem, cfg: &RegElemConfig) -> (RegElemAnswer, RegElemStats) {
+    solve_regelem_guarded(sys, cfg, &Guard::new())
+}
+
+/// [`solve_regelem`] with cooperative cancellation: the guard is
+/// threaded into every phase — the refuter, the regular pipeline, the
+/// elementary sweep, and the combined-candidate sweep. A trip yields
+/// [`RegElemAnswer::Interrupted`] with partial statistics; the
+/// automaton store never caches a partial fixpoint, so the work done
+/// so far stays sound.
+///
+/// # Panics
+///
+/// Same conditions as [`solve_regelem`].
+pub fn solve_regelem_guarded(
+    sys: &ChcSystem,
+    cfg: &RegElemConfig,
+    guard: &Guard,
+) -> (RegElemAnswer, RegElemStats) {
     let mut store = AutStore::new();
-    let (answer, mut stats) = solve_regelem_with(sys, cfg, &mut store);
+    let (answer, mut stats) = solve_regelem_with(sys, cfg, &mut store, guard);
     stats.store = store.stats();
     (answer, stats)
 }
@@ -169,6 +195,7 @@ fn solve_regelem_with(
     sys: &ChcSystem,
     cfg: &RegElemConfig,
     store: &mut AutStore,
+    guard: &Guard,
 ) -> (RegElemAnswer, RegElemStats) {
     if let Err(e) = sys.well_sorted() {
         panic!("input system is not well-sorted: {e}");
@@ -176,14 +203,16 @@ fn solve_regelem_with(
     let mut stats = RegElemStats::default();
 
     // Phase 0: refute.
-    let (outcome, _) = saturate(sys, &cfg.saturation);
-    if let SaturationOutcome::Refuted(r) = outcome {
-        return (RegElemAnswer::Unsat(r), stats);
+    let (outcome, _) = saturate_guarded(sys, &cfg.saturation, guard);
+    match outcome {
+        SaturationOutcome::Refuted(r) => return (RegElemAnswer::Unsat(r), stats),
+        SaturationOutcome::Interrupted(_) => return (RegElemAnswer::Interrupted, stats),
+        SaturationOutcome::Saturated(_) | SaturationOutcome::Budget(_) => {}
     }
 
     // Phase 1: regular invariants by finite-model finding.
     if let Some(rcfg) = &cfg.regular {
-        let (answer, _) = solve_regular(sys, rcfg, store);
+        let (answer, _) = solve_regular(sys, rcfg, store, guard);
         match answer {
             Answer::Sat(sat) => {
                 let inv = RegElemInvariant::from_regular_in(
@@ -208,13 +237,14 @@ fn solve_regelem_with(
                 );
             }
             Answer::Unsat(r) => return (RegElemAnswer::Unsat(r), stats),
+            Answer::Interrupted => return (RegElemAnswer::Interrupted, stats),
             Answer::Unknown(_) => {}
         }
     }
 
     // Phase 2: elementary invariants.
     if let Some(ecfg) = &cfg.elementary {
-        let (answer, _) = solve_elem(sys, ecfg);
+        let (answer, _) = solve_elem_guarded(sys, ecfg, guard);
         match answer {
             ElemAnswer::Sat(inv) => {
                 return (
@@ -226,6 +256,7 @@ fn solve_regelem_with(
                 );
             }
             ElemAnswer::Unsat(r) => return (RegElemAnswer::Unsat(r), stats),
+            ElemAnswer::Interrupted => return (RegElemAnswer::Interrupted, stats),
             ElemAnswer::Unknown => {}
         }
     }
@@ -256,14 +287,22 @@ fn solve_regelem_with(
         })
         .collect();
 
+    enum Stop {
+        Budget,
+        Interrupted,
+    }
     let caps: Vec<usize> = pools.iter().map(|p| p.len() - 1).collect();
     let max_total: usize = caps.iter().sum();
     let mut idx = vec![0usize; preds.len()];
+    let mut poller = Poller::new(guard);
     for total in 0..=max_total {
         let stop = for_each_composition(&caps, total, &mut idx, 0, &mut |idx| {
+            if poller.poll() {
+                return Some(Err(Stop::Interrupted));
+            }
             stats.assignments += 1;
             if stats.assignments > cfg.max_assignments {
-                return Some(Err(()));
+                return Some(Err(Stop::Budget));
             }
             let formulas: BTreeMap<PredId, RegElemFormula> = preds
                 .iter()
@@ -285,7 +324,8 @@ fn solve_regelem_with(
                     stats,
                 )
             }
-            Some(Err(())) => return (RegElemAnswer::Unknown, stats),
+            Some(Err(Stop::Budget)) => return (RegElemAnswer::Unknown, stats),
+            Some(Err(Stop::Interrupted)) => return (RegElemAnswer::Interrupted, stats),
             None => {}
         }
     }

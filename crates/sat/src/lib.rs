@@ -28,4 +28,5 @@
 
 mod solver;
 
-pub use solver::{Lit, SatResult, Solver, Var};
+pub use ringen_guard::Guard;
+pub use solver::{Lit, SatResult, Solver, Var, GUARD_CONFLICT_PERIOD, GUARD_DECISION_PERIOD};

@@ -1,5 +1,6 @@
 //! The CDCL solver implementation.
 
+use ringen_guard::Guard;
 use std::fmt;
 
 /// A boolean variable.
@@ -389,8 +390,30 @@ impl Solver {
     /// Solves, giving up with [`SatResult::Unknown`] after `max_conflicts`
     /// conflicts. Restarts follow the Luby sequence.
     pub fn solve_with_budget(&mut self, max_conflicts: u64) -> SatResult {
+        self.solve_inner(max_conflicts, None)
+    }
+
+    /// [`Solver::solve_with_budget`] under a cooperative [`Guard`]:
+    /// gives up with [`SatResult::Unknown`] when either the conflict
+    /// budget runs out *or* the token trips (polled every
+    /// [`GUARD_CONFLICT_PERIOD`] conflicts and every
+    /// [`GUARD_DECISION_PERIOD`] decisions, so a propagation-heavy
+    /// instance cannot outrun its deadline). The solver stays in a
+    /// consistent state and can be re-solved with a fresh budget; the
+    /// caller distinguishes "budget" from "cancelled" by checking the
+    /// guard afterwards.
+    pub fn solve_guarded(&mut self, max_conflicts: u64, guard: &Guard) -> SatResult {
+        self.solve_inner(max_conflicts, Some(guard))
+    }
+
+    fn solve_inner(&mut self, max_conflicts: u64, guard: Option<&Guard>) -> SatResult {
         if self.broken {
             return SatResult::Unsat;
+        }
+        if let Some(g) = guard {
+            if g.is_cancelled() {
+                return SatResult::Unknown;
+            }
         }
         if self.propagate().is_some() {
             self.broken = true;
@@ -399,6 +422,7 @@ impl Solver {
         let mut restart_count = 0u64;
         let mut restart_budget = 64 * luby(restart_count);
         let start_conflicts = self.conflicts;
+        let mut decisions = 0u64;
         loop {
             match self.propagate() {
                 Some(conflict) => {
@@ -409,6 +433,14 @@ impl Solver {
                     if self.conflicts - start_conflicts >= max_conflicts {
                         self.backjump(0);
                         return SatResult::Unknown;
+                    }
+                    if let Some(g) = guard {
+                        if (self.conflicts - start_conflicts).is_multiple_of(GUARD_CONFLICT_PERIOD)
+                            && g.is_cancelled()
+                        {
+                            self.backjump(0);
+                            return SatResult::Unknown;
+                        }
                     }
                     let (learnt, back) = self.analyze(conflict);
                     self.backjump(back);
@@ -440,6 +472,13 @@ impl Solver {
                 None => match self.decide() {
                     None => return SatResult::Sat,
                     Some(l) => {
+                        decisions += 1;
+                        if let Some(g) = guard {
+                            if decisions.is_multiple_of(GUARD_DECISION_PERIOD) && g.is_cancelled() {
+                                self.backjump(0);
+                                return SatResult::Unknown;
+                            }
+                        }
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(l, None);
                     }
@@ -448,6 +487,12 @@ impl Solver {
         }
     }
 }
+
+/// Conflicts between guard polls in [`Solver::solve_guarded`].
+pub const GUARD_CONFLICT_PERIOD: u64 = 64;
+
+/// Decisions between guard polls in [`Solver::solve_guarded`].
+pub const GUARD_DECISION_PERIOD: u64 = 4096;
 
 /// The Luby restart sequence 1,1,2,1,1,2,4,… (0-based index).
 fn luby(mut x: u64) -> u64 {
@@ -612,6 +657,37 @@ mod tests {
         assert_eq!(s.solve_with_budget(3), SatResult::Unknown);
         // And it can continue afterwards to a definite answer.
         assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn guarded_solve_stops_on_cancellation_and_recovers() {
+        // Same PHP(6,5) instance as the budget test.
+        let n = 6;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&c);
+        }
+        #[allow(clippy::needless_range_loop)] // j indexes a fixed pigeon/hole grid
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        // An already-tripped guard yields Unknown without any search...
+        let tripped = Guard::new();
+        tripped.cancel();
+        assert_eq!(s.solve_guarded(u64::MAX, &tripped), SatResult::Unknown);
+        // ...a conflict-period poll catches a mid-solve trip...
+        let fuel = Guard::with_fuel(1);
+        assert_eq!(s.solve_guarded(u64::MAX, &fuel), SatResult::Unknown);
+        // ...and the solver state stays reusable for a clean solve.
+        assert_eq!(s.solve_guarded(u64::MAX, &Guard::new()), SatResult::Unsat);
     }
 
     #[test]

@@ -17,7 +17,8 @@
 use std::collections::BTreeMap;
 
 use ringen_chc::{ChcSystem, Clause, Constraint, PredId};
-use ringen_core::saturation::{saturate, Refutation, SaturationConfig, SaturationOutcome};
+use ringen_core::saturation::{saturate_guarded, Refutation, SaturationConfig, SaturationOutcome};
+use ringen_core::{Guard, Poller};
 use ringen_elem::search::for_each_composition;
 use ringen_elem::{check_cube as check_elem_cube, CubeSat, Literal, TemplateConfig};
 use ringen_terms::{GroundTerm, Signature, SizeSet, SortId, Term, VarContext, VarId};
@@ -119,6 +120,9 @@ pub enum SizeElemAnswer {
     Unsat(Refutation),
     /// Budgets exhausted.
     Unknown,
+    /// The search was cancelled by its [`Guard`]; [`SizeElemStats`]
+    /// still reflects the work completed.
+    Interrupted,
 }
 
 impl SizeElemAnswer {
@@ -135,6 +139,11 @@ impl SizeElemAnswer {
     /// `true` for [`SizeElemAnswer::Unknown`].
     pub fn is_unknown(&self) -> bool {
         matches!(self, SizeElemAnswer::Unknown)
+    }
+
+    /// `true` for [`SizeElemAnswer::Interrupted`].
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, SizeElemAnswer::Interrupted)
     }
 }
 
@@ -153,14 +162,32 @@ pub struct SizeElemStats {
 ///
 /// Panics if `sys` is not well-sorted.
 pub fn solve_size_elem(sys: &ChcSystem, cfg: &SizeElemConfig) -> (SizeElemAnswer, SizeElemStats) {
+    solve_size_elem_guarded(sys, cfg, &Guard::new())
+}
+
+/// [`solve_size_elem`] with cooperative cancellation: the guard is
+/// threaded into the refuter and polled once per candidate assignment
+/// of the template sweep. A trip yields [`SizeElemAnswer::Interrupted`]
+/// with the statistics accumulated so far.
+///
+/// # Panics
+///
+/// Same conditions as [`solve_size_elem`].
+pub fn solve_size_elem_guarded(
+    sys: &ChcSystem,
+    cfg: &SizeElemConfig,
+    guard: &Guard,
+) -> (SizeElemAnswer, SizeElemStats) {
     if let Err(e) = sys.well_sorted() {
         panic!("input system is not well-sorted: {e}");
     }
     let mut stats = SizeElemStats::default();
 
-    let (outcome, _) = saturate(sys, &cfg.saturation);
-    if let SaturationOutcome::Refuted(r) = outcome {
-        return (SizeElemAnswer::Unsat(r), stats);
+    let (outcome, _) = saturate_guarded(sys, &cfg.saturation, guard);
+    match outcome {
+        SaturationOutcome::Refuted(r) => return (SizeElemAnswer::Unsat(r), stats),
+        SaturationOutcome::Interrupted(_) => return (SizeElemAnswer::Interrupted, stats),
+        SaturationOutcome::Saturated(_) | SaturationOutcome::Budget(_) => {}
     }
 
     // A ∀∃ query (the §5 STLC shape) rejects every candidate outright;
@@ -184,14 +211,22 @@ pub fn solve_size_elem(sys: &ChcSystem, cfg: &SizeElemConfig) -> (SizeElemAnswer
         .collect();
     let domains = DomainCache::new(&sys.sig);
 
+    enum Stop {
+        Budget,
+        Interrupted,
+    }
     let caps: Vec<usize> = pools.iter().map(|p| p.len() - 1).collect();
     let max_total: usize = caps.iter().sum();
     let mut idx = vec![0usize; preds.len()];
+    let mut poller = Poller::new(guard);
     for total in 0..=max_total {
         let stop = for_each_composition(&caps, total, &mut idx, 0, &mut |idx| {
+            if poller.poll() {
+                return Some(Err(Stop::Interrupted));
+            }
             stats.assignments += 1;
             if stats.assignments > cfg.max_assignments {
-                return Some(Err(()));
+                return Some(Err(Stop::Budget));
             }
             let assignment: BTreeMap<PredId, &SizeElemFormula> = preds
                 .iter()
@@ -206,7 +241,8 @@ pub fn solve_size_elem(sys: &ChcSystem, cfg: &SizeElemConfig) -> (SizeElemAnswer
         });
         match stop {
             Some(Ok(inv)) => return (SizeElemAnswer::Sat(inv), stats),
-            Some(Err(())) => return (SizeElemAnswer::Unknown, stats),
+            Some(Err(Stop::Budget)) => return (SizeElemAnswer::Unknown, stats),
+            Some(Err(Stop::Interrupted)) => return (SizeElemAnswer::Interrupted, stats),
             None => {}
         }
     }

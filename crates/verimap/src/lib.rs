@@ -25,15 +25,16 @@
 //!   (assert (forall ((x Nat) (y Nat)) (=> (lt x y) (lt (S x) (S y)))))
 //!   (assert (forall ((x Nat)) (=> (lt x x) false)))
 //! "#)?;
-//! let (answer, _) = solve_verimap(&sys, &VerimapConfig::quick());
+//! let (answer, _) = solve_verimap(&sys, &VerimapConfig::quick()).unwrap();
 //! assert!(answer.is_sat()); // size ordering survives the abstraction
 //! # Ok::<(), ringen_chc::ParseError>(())
 //! ```
 
-use ringen_chc::ChcSystem;
+use ringen_chc::{ChcSystem, IllSorted};
 use ringen_core::saturation::Refutation;
+use ringen_core::Guard;
 use ringen_sizeelem::{
-    solve_size_elem, SizeElemAnswer, SizeElemConfig, SizeElemInvariant, SizeElemStats,
+    solve_size_elem_guarded, SizeElemAnswer, SizeElemConfig, SizeElemInvariant, SizeElemStats,
 };
 
 /// Budgets for [`solve_verimap`].
@@ -65,6 +66,8 @@ pub enum VerimapAnswer {
     Unsat(Refutation),
     /// Budgets exhausted.
     Unknown,
+    /// The run was cancelled by its [`Guard`].
+    Interrupted,
 }
 
 impl VerimapAnswer {
@@ -82,24 +85,48 @@ impl VerimapAnswer {
     pub fn is_unknown(&self) -> bool {
         matches!(self, VerimapAnswer::Unknown)
     }
+
+    /// `true` for [`VerimapAnswer::Interrupted`].
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, VerimapAnswer::Interrupted)
+    }
 }
 
 /// Runs the ADT-eliminating pipeline.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `sys` is not well-sorted.
-pub fn solve_verimap(sys: &ChcSystem, cfg: &VerimapConfig) -> (VerimapAnswer, SizeElemStats) {
+/// Returns [`IllSorted`] if `sys` is not well-sorted.
+pub fn solve_verimap(
+    sys: &ChcSystem,
+    cfg: &VerimapConfig,
+) -> Result<(VerimapAnswer, SizeElemStats), IllSorted> {
+    solve_verimap_guarded(sys, cfg, &Guard::new())
+}
+
+/// [`solve_verimap`] with cooperative cancellation (threaded into the
+/// underlying size engine).
+///
+/// # Errors
+///
+/// Returns [`IllSorted`] if `sys` is not well-sorted.
+pub fn solve_verimap_guarded(
+    sys: &ChcSystem,
+    cfg: &VerimapConfig,
+    guard: &Guard,
+) -> Result<(VerimapAnswer, SizeElemStats), IllSorted> {
+    sys.well_sorted()?;
     let mut engine = cfg.engine.clone();
     engine.elem_atoms = false;
     engine.elem_projection = false;
-    let (answer, stats) = solve_size_elem(sys, &engine);
+    let (answer, stats) = solve_size_elem_guarded(sys, &engine, guard);
     let answer = match answer {
         SizeElemAnswer::Sat(inv) => VerimapAnswer::Sat(inv),
         SizeElemAnswer::Unsat(r) => VerimapAnswer::Unsat(r),
         SizeElemAnswer::Unknown => VerimapAnswer::Unknown,
+        SizeElemAnswer::Interrupted => VerimapAnswer::Interrupted,
     };
-    (answer, stats)
+    Ok((answer, stats))
 }
 
 #[cfg(test)]
@@ -125,7 +152,7 @@ mod tests {
         .unwrap();
         let mut cfg = VerimapConfig::quick();
         cfg.engine.max_assignments = 2_000;
-        let (answer, _) = solve_verimap(&sys, &cfg);
+        let (answer, _) = solve_verimap(&sys, &cfg).unwrap();
         assert!(answer.is_unknown(), "got {answer:?}");
     }
 
@@ -141,7 +168,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let (answer, _) = solve_verimap(&sys, &VerimapConfig::quick());
+        let (answer, _) = solve_verimap(&sys, &VerimapConfig::quick()).unwrap();
         assert!(answer.is_sat(), "got {answer:?}");
     }
 
@@ -156,7 +183,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let (answer, _) = solve_verimap(&sys, &VerimapConfig::quick());
+        let (answer, _) = solve_verimap(&sys, &VerimapConfig::quick()).unwrap();
         assert!(answer.is_unsat());
     }
 
@@ -177,7 +204,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let (answer, _) = solve_verimap(&sys, &VerimapConfig::quick());
+        let (answer, _) = solve_verimap(&sys, &VerimapConfig::quick()).unwrap();
         assert!(answer.is_sat(), "got {answer:?}");
     }
 
@@ -201,7 +228,7 @@ mod tests {
         .unwrap();
         let mut cfg = VerimapConfig::quick();
         cfg.engine.max_assignments = 2_000;
-        let (answer, _) = solve_verimap(&sys, &cfg);
+        let (answer, _) = solve_verimap(&sys, &cfg).unwrap();
         assert!(answer.is_unknown(), "got {answer:?}");
     }
 
@@ -229,7 +256,7 @@ mod tests {
         cfg.engine.max_assignments = 2_000;
         // With elem atoms this system is Elem-solvable (Diag); the
         // transformer must still diverge because it forces them off.
-        let (answer, _) = solve_verimap(&sys, &cfg);
+        let (answer, _) = solve_verimap(&sys, &cfg).unwrap();
         assert!(answer.is_unknown(), "got {answer:?}");
     }
 }

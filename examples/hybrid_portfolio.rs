@@ -1,26 +1,34 @@
-//! The hybrid portfolio of §8's concluding conjecture:
+//! The hybrid portfolio of §8's concluding conjecture, run as a race:
 //!
 //! > "a hybrid approach to infer invariants in parts by automata and
 //! > in parts by FOL should exhibit the best performance."
 //!
-//! `solve_regelem` chains the paper's tool (regular invariants by
-//! finite-model finding), the elementary template solver, and a
-//! genuinely combined template-plus-membership search. This example
-//! runs it on one program per representation class and reports which
-//! phase decided.
+//! Four engines — regular invariants by finite-model finding, the
+//! elementary and size-elementary template solvers, and the combined
+//! template-plus-membership search — race concurrently on each
+//! program; the first definitive SAT/UNSAT cancels the rest. Losers
+//! are reported per engine (won / lost / cancelled / timed-out /
+//! panicked / unknown).
 //!
 //! ```text
 //! cargo run --release --example hybrid_portfolio
+//! RINGEN_DEADLINE_MS=50 cargo run --release --example hybrid_portfolio
 //! ```
+//!
+//! With `RINGEN_DEADLINE_MS` set, the race is wall-clock bounded and
+//! degrades gracefully: engines come home `TimedOut`, the verdict is
+//! `Interrupted`, and the process still exits cleanly.
 
 use ringen::benchgen::programs;
-use ringen::regelem::{solve_regelem, RegElemAnswer, RegElemConfig};
+use ringen::portfolio::{solve_portfolio, PortfolioAnswer, PortfolioConfig};
 
 fn main() {
-    println!(
-        "{:<14} {:>8}   deciding phase (invariant class)",
-        "program", "verdict"
-    );
+    let cfg = PortfolioConfig::from_env();
+    match cfg.deadline {
+        Some(d) => println!("per-race deadline: {d:?}\n"),
+        None => println!("per-race deadline: none (set RINGEN_DEADLINE_MS to bound)\n"),
+    }
+    println!("{:<14} {:>12}   per-engine outcomes", "program", "verdict");
     let cases = [
         ("Even", programs::even()),          // Reg: the paper's tool wins
         ("IncDec", programs::inc_dec()),     // everyone's favourite
@@ -28,21 +36,23 @@ fn main() {
         ("EvenDiag", programs::even_diag()), // needs the combination
     ];
     for (name, sys) in cases {
-        let (answer, stats) = solve_regelem(&sys, &RegElemConfig::quick());
-        match answer {
-            RegElemAnswer::Sat(_, provenance) => {
-                println!(
-                    "{name:<14} {:>8}   {provenance:?} ({} combined assignments swept)",
-                    "SAT", stats.assignments
-                );
-            }
-            RegElemAnswer::Unsat(_) => println!("{name:<14} {:>8}   refuted", "UNSAT"),
-            RegElemAnswer::Unknown => println!("{name:<14} {:>8}   diverged", "?"),
-        }
+        let (answer, stats) = solve_portfolio(&sys, &cfg);
+        let verdict = match &answer {
+            PortfolioAnswer::Sat(_) => "SAT",
+            PortfolioAnswer::Unsat(_) => "UNSAT",
+            PortfolioAnswer::Unknown => "unknown",
+            PortfolioAnswer::Interrupted => "interrupted",
+        };
+        let outcomes = stats
+            .engines
+            .iter()
+            .map(|r| format!("{}:{:?}({}ms)", r.name, r.status, r.elapsed.as_millis()))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("{name:<14} {verdict:>12}   {outcomes}");
     }
     println!(
-        "\nLtGt is deliberately absent: orderings live in SizeElem \\ (Reg ∪ Elem),\n\
-         outside this portfolio's classes — the full four-phase race (including\n\
-         the SizeElem engine) is `cargo run --release -p ringen-bench --bin hybrid`."
+        "\nLtGt is deliberately absent: orderings live in SizeElem \\ (Reg ∪ Elem);\n\
+         add the size engine's win by running it on `programs::lt_gt()` yourself."
     );
 }

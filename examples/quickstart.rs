@@ -32,6 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         Answer::Unsat(r) => println!("unsat — refutation with {} steps", r.len()),
         Answer::Unknown(d) => println!("unknown: {d:?}"),
+        // Unreachable: this solve carries no guard.
+        Answer::Interrupted => println!("interrupted"),
     }
     Ok(())
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Records the portfolio racer's end-to-end latencies — per program, the
+# race verdict, the winning engine, and each entrant's median wall-clock
+# over several repetitions — into BENCH_solvers.json at the repo root.
+# These are the numbers a user of `--solver portfolio` would feel, the
+# complement to BENCH_automata.json's kernel ratios. Seed version: the
+# file is recorded for trajectory tracking, not yet gated by CI
+# (medians are host-dependent; a future PR gates on per-engine win
+# rates instead).
+#
+# Usage:
+#   scripts/bench_solvers.sh           # full measurement (5 reps),
+#                                      # refreshes BENCH_solvers.json
+#   QUICK=1 scripts/bench_solvers.sh   # 1-rep smoke into a scratch file
+#                                      # (nothing committed is touched)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ "${QUICK:-}" = "1" ]; then
+  out="$(mktemp /tmp/BENCH_solvers.XXXXXX.json)"
+  trap 'rm -f "$out"' EXIT
+  export BENCH_SOLVERS_JSON="$out"
+  export BENCH_SOLVERS_REPS=1
+  cargo run --release -q --bin bench_solvers
+  echo
+  echo "=== scratch BENCH_solvers.json (not committed) ==="
+  cat "$out"
+else
+  export BENCH_SOLVERS_JSON="$PWD/BENCH_solvers.json"
+  cargo run --release -q --bin bench_solvers
+  echo
+  echo "=== BENCH_solvers.json ==="
+  cat "$BENCH_SOLVERS_JSON"
+fi

@@ -1,0 +1,119 @@
+//! End-to-end portfolio-race latency recorder (`scripts/bench_solvers.sh`).
+//!
+//! Races the four representation-class engines on each showcase program
+//! several times and records, per program, the race verdict, the
+//! winning engine, and every entrant's per-run latencies (median over
+//! repetitions) plus its final status — the end-to-end numbers a user
+//! of the portfolio would feel, as opposed to the kernel ratios of
+//! `BENCH_automata.json`.
+//!
+//! Output goes to `$BENCH_SOLVERS_JSON` (the script points it at
+//! `BENCH_solvers.json` in the repo root). `$BENCH_SOLVERS_REPS`
+//! overrides the repetition count (default 5). Seed version: recorded,
+//! not gated.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use ringen::benchgen::programs;
+use ringen::parallel::ParallelConfig;
+use ringen::portfolio::{solve_portfolio, PortfolioAnswer, PortfolioConfig};
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let reps: usize = std::env::var("BENCH_SOLVERS_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(5);
+    let cases = [
+        ("Even", programs::even()),
+        ("IncDec", programs::inc_dec()),
+        ("Diag", programs::diag()),
+        ("EvenDiag", programs::even_diag()),
+    ];
+    let engine_names = ["fmf", "elem", "sizeelem", "regelem"];
+
+    let mut json = String::from("{\n  \"reps\": ");
+    let _ = write!(json, "{reps},\n  \"programs\": {{\n");
+    for (ci, (name, sys)) in cases.iter().enumerate() {
+        // One worker per entrant, regardless of the measuring host:
+        // these are race latencies, not hardware benchmarks.
+        let cfg = PortfolioConfig {
+            parallel: ParallelConfig::with_threads(4),
+            ..PortfolioConfig::default()
+        };
+        let mut race_ms: Vec<f64> = Vec::with_capacity(reps);
+        let mut engine_ms: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); engine_names.len()];
+        let mut verdict = "unknown";
+        let mut winner = String::from("none");
+        let mut statuses: Vec<String> = vec![String::new(); engine_names.len()];
+        for _ in 0..reps {
+            let (answer, stats) = solve_portfolio(sys, &cfg);
+            verdict = match answer {
+                PortfolioAnswer::Sat(_) => "sat",
+                PortfolioAnswer::Unsat(_) => "unsat",
+                PortfolioAnswer::Unknown => "unknown",
+                PortfolioAnswer::Interrupted => "interrupted",
+            };
+            race_ms.push(ms(stats.elapsed));
+            if let Some(report) = stats.winner_report() {
+                winner = report.name.to_string();
+            }
+            for (ei, report) in stats.engines.iter().enumerate() {
+                engine_ms[ei].push(ms(report.elapsed));
+                statuses[ei] = format!("{:?}", report.status);
+            }
+        }
+        eprintln!(
+            "{name:<10} {verdict:>8}  winner={winner:<8}  race {:.2}ms",
+            median_ms(&mut race_ms)
+        );
+        let _ = write!(
+            json,
+            "    \"{name}\": {{\n      \"verdict\": \"{verdict}\",\n      \
+             \"winner\": \"{winner}\",\n      \"race_median_ms\": {:.3},\n      \
+             \"engines\": {{\n",
+            median_ms(&mut race_ms)
+        );
+        for (ei, engine) in engine_names.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        \"{engine}\": {{\"status\": \"{}\", \"median_ms\": {:.3}}}{}",
+                statuses[ei],
+                median_ms(&mut engine_ms[ei]),
+                if ei + 1 < engine_names.len() { "," } else { "" }
+            );
+        }
+        let _ = write!(
+            json,
+            "      }}\n    }}{}\n",
+            if ci + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  }\n}\n");
+
+    match std::env::var("BENCH_SOLVERS_JSON") {
+        Ok(path) => {
+            std::fs::write(&path, &json).expect("write BENCH_SOLVERS_JSON");
+            eprintln!("wrote {path}");
+        }
+        Err(_) => print!("{json}"),
+    }
+}

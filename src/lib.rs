@@ -26,7 +26,10 @@
 //! * [`parallel`] — the dependency-free scoped threadpool behind the
 //!   sharded saturation rounds and automata batch evaluation
 //!   (`RINGEN_THREADS` selects the worker count; results are
-//!   bit-for-bit identical at any value).
+//!   bit-for-bit identical at any value);
+//! * [`portfolio`] — the four representation-class engines raced
+//!   concurrently with cooperative cancellation, wall-clock deadlines
+//!   (`RINGEN_DEADLINE_MS`), and per-engine panic isolation.
 //!
 //! # Quickstart
 //!
@@ -48,6 +51,8 @@
 //! }
 //! # Ok::<(), ringen::chc::ParseError>(())
 //! ```
+
+pub mod portfolio;
 
 pub use ringen_automata as automata;
 pub use ringen_benchgen as benchgen;
