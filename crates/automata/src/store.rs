@@ -614,21 +614,31 @@ impl AutStore {
     /// the guarded fixpoint and, on cancellation, returns `None`
     /// *without* memoizing — the store never caches a partial result,
     /// so a cancelled solve leaves it consistent for reuse.
+    ///
+    /// Misses record an `aut.reachable` span on the guard's recorder
+    /// (memo hits stay a single hash probe); the sibling guarded ops
+    /// do the same.
     pub fn reachable_guarded(
         &mut self,
         d: DftaId,
         guard: &Guard,
     ) -> Option<Arc<BTreeSet<StateId>>> {
-        if !self.enabled {
-            return self.dftas[d.index()].reachable_guarded(guard).map(Arc::new);
+        if self.enabled {
+            if let Some(r) = self.reach.get(&d.0) {
+                self.stats.memo_hits += 1;
+                return Some(r.clone());
+            }
         }
-        if let Some(r) = self.reach.get(&d.0) {
-            self.stats.memo_hits += 1;
-            return Some(r.clone());
+        let mut span = guard.recorder().span("aut.reachable");
+        span.note("states", self.dftas[d.index()].state_count() as i64);
+        let Some(r) = self.dftas[d.index()].reachable_guarded(guard).map(Arc::new) else {
+            span.note_str("outcome", "interrupted");
+            return None;
+        };
+        if self.enabled {
+            self.stats.memo_misses += 1;
+            self.reach.insert(d.0, r.clone());
         }
-        let r = Arc::new(self.dftas[d.index()].reachable_guarded(guard)?);
-        self.stats.memo_misses += 1;
-        self.reach.insert(d.0, r.clone());
         Some(r)
     }
 
@@ -639,16 +649,22 @@ impl AutStore {
         d: DftaId,
         guard: &Guard,
     ) -> Option<Arc<Vec<Option<GroundTerm>>>> {
-        if !self.enabled {
-            return self.dftas[d.index()].witnesses_guarded(guard).map(Arc::new);
+        if self.enabled {
+            if let Some(w) = self.wits.get(&d.0) {
+                self.stats.memo_hits += 1;
+                return Some(w.clone());
+            }
         }
-        if let Some(w) = self.wits.get(&d.0) {
-            self.stats.memo_hits += 1;
-            return Some(w.clone());
+        let mut span = guard.recorder().span("aut.witnesses");
+        span.note("states", self.dftas[d.index()].state_count() as i64);
+        let Some(w) = self.dftas[d.index()].witnesses_guarded(guard).map(Arc::new) else {
+            span.note_str("outcome", "interrupted");
+            return None;
+        };
+        if self.enabled {
+            self.stats.memo_misses += 1;
+            self.wits.insert(d.0, w.clone());
         }
-        let w = Arc::new(self.dftas[d.index()].witnesses_guarded(guard)?);
-        self.stats.memo_misses += 1;
-        self.wits.insert(d.0, w.clone());
         Some(w)
     }
 
@@ -662,14 +678,32 @@ impl AutStore {
         guard: &Guard,
     ) -> Option<(DftaId, Arc<PairMap>)> {
         if !self.enabled {
-            let (d, m) = self.dftas[a.index()].product_guarded(&self.dftas[b.index()], guard)?;
+            let mut span = guard.recorder().span("aut.product");
+            span.note(
+                "states",
+                (self.dftas[a.index()].state_count() + self.dftas[b.index()].state_count()) as i64,
+            );
+            let Some((d, m)) = self.dftas[a.index()].product_guarded(&self.dftas[b.index()], guard)
+            else {
+                span.note_str("outcome", "interrupted");
+                return None;
+            };
             return Some((self.push_dfta(Arc::new(d)), Arc::new(m)));
         }
         if let Some((id, map)) = self.products.get(&(a.0, b.0)) {
             self.stats.memo_hits += 1;
             return Some((*id, map.clone()));
         }
-        let (d, m) = self.dftas[a.index()].product_guarded(&self.dftas[b.index()], guard)?;
+        let mut span = guard.recorder().span("aut.product");
+        span.note(
+            "states",
+            (self.dftas[a.index()].state_count() + self.dftas[b.index()].state_count()) as i64,
+        );
+        let Some((d, m)) = self.dftas[a.index()].product_guarded(&self.dftas[b.index()], guard)
+        else {
+            span.note_str("outcome", "interrupted");
+            return None;
+        };
         self.stats.memo_misses += 1;
         let id = self.intern_dfta(d);
         let map = Arc::new(m);

@@ -528,6 +528,60 @@ fn bench_term_pool(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the *disabled* recorder on an instrumented hot path.
+///
+/// Every engine loop now carries `rec.span(..)` / `rec.add(..)` calls;
+/// with tracing off these must cost no more than their advertised
+/// price — one `Arc` deref plus one relaxed atomic load. "interned" is
+/// a probe loop against the worst-case disabled recorder (inner state
+/// present, recording flag off — the `text_only` shape; plain
+/// `Recorder::disabled()` is cheaper still); "reference" is the same
+/// loop against a bare relaxed `AtomicBool`. The ratio is ~1 by
+/// construction and noisy at sub-nanosecond scale, so `bench_diff`
+/// gates it with an absolute floor instead of the 20% trend rule.
+fn bench_obs_overhead(c: &mut Criterion) {
+    use std::sync::atomic::AtomicBool;
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+
+    const PROBES: usize = 4096;
+    let rec = ringen_obs::Recorder::text_only();
+    group.bench_function(
+        BenchmarkId::new("interned", format!("span_noop/{PROBES}")),
+        |b| {
+            b.iter(|| {
+                for _ in 0..PROBES {
+                    let span = std::hint::black_box(&rec).span("probe");
+                    rec.add("probes", 1);
+                    drop(span);
+                }
+            })
+        },
+    );
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    group.bench_function(
+        BenchmarkId::new("reference", format!("span_noop/{PROBES}")),
+        |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for _ in 0..PROBES {
+                    if std::hint::black_box(&FLAG).load(Ordering::Relaxed) {
+                        hits += 1;
+                    }
+                    if std::hint::black_box(&FLAG).load(Ordering::Relaxed) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        },
+    );
+    group.finish();
+}
+
 /// Allocation count of a batch of `step` probes on a warmed automaton.
 fn step_allocations(probes: u64) -> u64 {
     let (_sig, a, _ra, _z, s) = mod_k(64);
@@ -571,6 +625,7 @@ fn main() {
     bench_parallel_saturation(&mut criterion);
     bench_semi_naive_saturation(&mut criterion);
     bench_term_pool(&mut criterion);
+    bench_obs_overhead(&mut criterion);
 
     let step_allocs = step_allocations(100_000);
     assert_eq!(

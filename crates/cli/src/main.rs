@@ -4,7 +4,7 @@
 //! `unsat` with a ground refutation, or `unknown`.
 //!
 //! ```text
-//! ringen [--quick] [--quiet] FILE.smt2
+//! ringen [--quick] [--quiet] [--report-json PATH] FILE.smt2
 //! ringen --solver elem|sizeelem|regelem|induction|verimap|portfolio FILE.smt2
 //! ```
 //!
@@ -15,17 +15,28 @@
 //! concurrently instead, with cooperative cancellation; bound it with
 //! `RINGEN_DEADLINE_MS` (a deadlined race exits cleanly with
 //! `unknown`).
+//!
+//! `--report-json PATH` writes a `ringen-solve-report-v1` document —
+//! the recorder's span tree plus the engines' statistics — after the
+//! solve. Without the flag, `RINGEN_TRACE=PATH` does the same (and
+//! `RINGEN_TRACE_FORMAT=chrome` switches the serialization to Chrome
+//! `trace_event` JSON for Perfetto). See `ENVIRONMENT.md`.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
+use ringen::obs::report::Section;
+use ringen::report::{self, SolveReport, TraceFormat};
 use ringen_automata::AutStore;
 use ringen_chc::parse_str;
-use ringen_core::{solve_guarded, Answer, Guard, RingenConfig};
+use ringen_core::{solve_guarded, Answer, Guard, Recorder, RingenConfig};
 
 fn main() -> ExitCode {
     let mut quick = false;
     let mut quiet = false;
     let mut solver = String::from("ringen");
+    let mut report_json: Option<PathBuf> = None;
     let mut file = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -36,8 +47,15 @@ fn main() -> ExitCode {
                 Some(s) => solver = s,
                 None => return usage("missing value for --solver"),
             },
+            "--report-json" => match args.next() {
+                Some(p) => report_json = Some(PathBuf::from(p)),
+                None => return usage("missing value for --report-json"),
+            },
             "-h" | "--help" => {
-                eprintln!("usage: ringen [--quick] [--quiet] [--solver NAME] FILE.smt2");
+                eprintln!(
+                    "usage: ringen [--quick] [--quiet] [--solver NAME] [--report-json PATH] \
+                     FILE.smt2"
+                );
                 eprintln!(
                     "solvers: ringen (default), elem, sizeelem, regelem, induction, verimap, \
                      portfolio"
@@ -70,7 +88,23 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    match solver.as_str() {
+    // The flag wins over the environment; `RINGEN_TRACE_FORMAT` only
+    // applies to the env path (`--report-json` always writes the
+    // report document its name promises).
+    let trace = report_json
+        .map(|p| (p, TraceFormat::Report))
+        .or_else(report::trace_from_env);
+    let recorder = if trace.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    let guard = Guard::from_env().with_recorder(recorder.clone());
+    let start = Instant::now();
+    let root = recorder.span("solve");
+
+    let mut sections: Vec<Section> = Vec::new();
+    let verdict: &'static str = match solver.as_str() {
         "ringen" => {
             let cfg = if quick {
                 RingenConfig::quick()
@@ -81,7 +115,9 @@ fn main() -> ExitCode {
             // every verification pass shares the memoized Boolean
             // algebra (RINGEN_AUT_CACHE=0 forces pass-through).
             let mut store = AutStore::new();
-            let (answer, stats) = solve_guarded(&sys, &cfg, &mut store, &Guard::from_env());
+            let (answer, stats) = solve_guarded(&sys, &cfg, &mut store, &guard);
+            sections = report::solve_sections(&stats);
+            sections.push(report::store_section(&store.stats()));
             match answer {
                 Answer::Sat(sat) => {
                     println!("sat");
@@ -94,24 +130,28 @@ fn main() -> ExitCode {
                         );
                         print!("{}", sat.invariant.display(&sat.preprocessed.system));
                     }
+                    "sat"
                 }
                 Answer::Unsat(r) => {
                     println!("unsat");
                     if !quiet {
                         println!("; ground refutation with {} steps", r.len());
                     }
+                    "unsat"
                 }
                 Answer::Unknown(d) => {
                     println!("unknown");
                     if !quiet {
                         println!("; {d:?}");
                     }
+                    "unknown"
                 }
                 Answer::Interrupted => {
                     println!("unknown");
                     if !quiet {
                         println!("; interrupted (RINGEN_DEADLINE_MS)");
                     }
+                    "interrupted"
                 }
             }
         }
@@ -121,8 +161,10 @@ fn main() -> ExitCode {
             } else {
                 Default::default()
             };
-            let (answer, _) = ringen_elem::solve_elem_guarded(&sys, &cfg, &Guard::from_env());
-            report(answer.is_sat(), answer.is_unsat());
+            let (answer, stats) = ringen_elem::solve_elem_guarded(&sys, &cfg, &guard);
+            sections.push(report::elem_section(&stats));
+            print_plain(answer.is_sat(), answer.is_unsat());
+            verdict_str(answer.is_sat(), answer.is_unsat(), answer.is_interrupted())
         }
         "sizeelem" => {
             let cfg = if quick {
@@ -130,9 +172,10 @@ fn main() -> ExitCode {
             } else {
                 Default::default()
             };
-            let (answer, _) =
-                ringen_sizeelem::solve_size_elem_guarded(&sys, &cfg, &Guard::from_env());
-            report(answer.is_sat(), answer.is_unsat());
+            let (answer, stats) = ringen_sizeelem::solve_size_elem_guarded(&sys, &cfg, &guard);
+            sections.push(report::sizeelem_section(&stats));
+            print_plain(answer.is_sat(), answer.is_unsat());
+            verdict_str(answer.is_sat(), answer.is_unsat(), answer.is_interrupted())
         }
         "regelem" => {
             let cfg = if quick {
@@ -140,7 +183,8 @@ fn main() -> ExitCode {
             } else {
                 Default::default()
             };
-            let (answer, _) = ringen_regelem::solve_regelem_guarded(&sys, &cfg, &Guard::from_env());
+            let (answer, stats) = ringen_regelem::solve_regelem_guarded(&sys, &cfg, &guard);
+            sections = report::regelem_sections(&stats);
             match answer {
                 ringen_regelem::RegElemAnswer::Sat(inv, provenance) => {
                     println!("sat");
@@ -150,15 +194,23 @@ fn main() -> ExitCode {
                             println!("; {}(#…) ≡ {}", sys.rels.decl(*p).name, f.display(&sys.sig));
                         }
                     }
+                    "sat"
                 }
                 ringen_regelem::RegElemAnswer::Unsat(r) => {
                     println!("unsat");
                     if !quiet {
                         println!("; ground refutation with {} steps", r.len());
                     }
+                    "unsat"
                 }
-                ringen_regelem::RegElemAnswer::Unknown
-                | ringen_regelem::RegElemAnswer::Interrupted => println!("unknown"),
+                ringen_regelem::RegElemAnswer::Unknown => {
+                    println!("unknown");
+                    "unknown"
+                }
+                ringen_regelem::RegElemAnswer::Interrupted => {
+                    println!("unknown");
+                    "interrupted"
+                }
             }
         }
         "induction" => {
@@ -170,16 +222,21 @@ fn main() -> ExitCode {
             // Well-sortedness was checked right after parsing.
             let (answer, _) =
                 ringen_induction::solve_induction(&sys, &cfg).expect("checked well-sorted");
-            report(answer.is_sat(), answer.is_unsat());
+            print_plain(answer.is_sat(), answer.is_unsat());
+            verdict_str(answer.is_sat(), answer.is_unsat(), false)
         }
         "portfolio" => {
-            use ringen::portfolio::{solve_portfolio, PortfolioAnswer, PortfolioConfig};
-            let (answer, stats) = solve_portfolio(&sys, &PortfolioConfig::from_env());
-            match answer {
-                PortfolioAnswer::Sat(_) => println!("sat"),
-                PortfolioAnswer::Unsat(_) => println!("unsat"),
-                PortfolioAnswer::Unknown | PortfolioAnswer::Interrupted => println!("unknown"),
-            }
+            use ringen::portfolio::{solve_portfolio_guarded, PortfolioAnswer, PortfolioConfig};
+            let (answer, stats) =
+                solve_portfolio_guarded(&sys, &PortfolioConfig::from_env(), &guard);
+            sections = report::portfolio_sections(&stats);
+            let v = match answer {
+                PortfolioAnswer::Sat(_) => "sat",
+                PortfolioAnswer::Unsat(_) => "unsat",
+                PortfolioAnswer::Unknown => "unknown",
+                PortfolioAnswer::Interrupted => "interrupted",
+            };
+            println!("{}", if v == "interrupted" { "unknown" } else { v });
             if !quiet {
                 for report in &stats.engines {
                     println!(
@@ -190,6 +247,7 @@ fn main() -> ExitCode {
                     );
                 }
             }
+            v
         }
         "verimap" => {
             let cfg = if quick {
@@ -197,22 +255,51 @@ fn main() -> ExitCode {
             } else {
                 Default::default()
             };
-            let (answer, _) = ringen_verimap::solve_verimap_guarded(&sys, &cfg, &Guard::from_env())
+            let (answer, _) = ringen_verimap::solve_verimap_guarded(&sys, &cfg, &guard)
                 .expect("checked well-sorted");
-            report(answer.is_sat(), answer.is_unsat());
+            print_plain(answer.is_sat(), answer.is_unsat());
+            verdict_str(answer.is_sat(), answer.is_unsat(), answer.is_interrupted())
         }
         other => return usage(&format!("unknown solver {other}")),
+    };
+
+    drop(root);
+    if let Some((path, format)) = trace {
+        let doc = SolveReport {
+            program: file.clone(),
+            solver: solver.clone(),
+            verdict: verdict.to_string(),
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            trace: recorder.snapshot(),
+            sections,
+        };
+        if let Err(e) = std::fs::write(&path, report::render(&doc, format)) {
+            eprintln!("ringen: cannot write trace {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
 
-fn report(sat: bool, unsat: bool) {
+fn print_plain(sat: bool, unsat: bool) {
     if sat {
         println!("sat");
     } else if unsat {
         println!("unsat");
     } else {
         println!("unknown");
+    }
+}
+
+fn verdict_str(sat: bool, unsat: bool, interrupted: bool) -> &'static str {
+    if sat {
+        "sat"
+    } else if unsat {
+        "unsat"
+    } else if interrupted {
+        "interrupted"
+    } else {
+        "unknown"
     }
 }
 

@@ -52,7 +52,9 @@ pub use inductive::{
 };
 pub use invariant::{DisplayInvariant, RegularInvariant};
 pub use preprocess::{preprocess, PreprocessStats, Preprocessed};
-pub use ringen_parallel::{deadline_ms_from_env, Guard, Poller};
+pub use ringen_parallel::{
+    deadline_ms_from_env, Guard, Poller, Recorder, SharedRecorder, Span, SpanHandle,
+};
 pub use saturation::{
     check_refutation, saturate, saturate_guarded, FactBase, Refutation, RefutationError,
     SaturationConfig, SaturationOutcome,

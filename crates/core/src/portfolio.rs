@@ -226,6 +226,12 @@ pub fn race<T: Send>(
         Some(d) => guard.child_with_deadline(d),
         None => guard.child(),
     };
+    let rec = guard.recorder().clone();
+    let mut race_span = rec.span("race");
+    race_span.note("entrants", engines.len() as i64);
+    // Entrant spans open on worker threads but nest under the race
+    // span, so the race renders as one timeline row per entrant.
+    let race_handle = race_span.handle();
     let names: Vec<&'static str> = engines.iter().map(|e| e.name).collect();
     // Each slot is taken exactly once by the pool job that claims it;
     // the Mutex is only there to move the FnOnce out of the shared
@@ -242,6 +248,11 @@ pub fn race<T: Send>(
             .take()
             .expect("each engine runs exactly once");
         let child = race_guard.child();
+        // The entrant span closes when this job returns — the panic
+        // is caught *inside* the job, so a crashed entrant still
+        // records its lifetime (with every engine-internal span
+        // closed by the unwind itself).
+        let mut span = rec.span_under(engine.name, race_handle);
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| (engine.run)(&child)));
         let elapsed = t0.elapsed();
@@ -256,6 +267,15 @@ pub fn race<T: Send>(
                         race_guard.cancel();
                     }
                 }
+                span.note_str(
+                    "verdict",
+                    match verdict {
+                        EngineVerdict::Sat => "sat",
+                        EngineVerdict::Unsat => "unsat",
+                        EngineVerdict::Unknown => "unknown",
+                        EngineVerdict::Interrupted => "interrupted",
+                    },
+                );
                 RunRecord {
                     verdict: Some(verdict),
                     value: Some(value),
@@ -263,16 +283,22 @@ pub fn race<T: Send>(
                     panic: None,
                 }
             }
-            Err(payload) => RunRecord {
-                verdict: None,
-                value: None,
-                elapsed,
-                panic: Some(panic_message(payload.as_ref())),
-            },
+            Err(payload) => {
+                span.note_str("verdict", "panicked");
+                RunRecord {
+                    verdict: None,
+                    value: None,
+                    elapsed,
+                    panic: Some(panic_message(payload.as_ref())),
+                }
+            }
         }
     });
 
     let won = *winner.lock().expect("winner lock");
+    if let Some(i) = won {
+        race_span.note_str("winner", names[i]);
+    }
     let deadline_passed = race_guard.deadline().is_some_and(|at| Instant::now() >= at);
     let reports: Vec<EngineReport> = records
         .iter()

@@ -111,7 +111,7 @@ use std::fmt;
 use std::hash::Hasher;
 
 use ringen_chc::{Atom, ChcSystem, Clause, Constraint, PredId};
-use ringen_parallel::{Guard, ParallelConfig, Pool};
+use ringen_parallel::{Guard, ParallelConfig, Pool, Recorder};
 use ringen_terms::intern::InternTable;
 use ringen_terms::{
     herbrand::terms_by_size, GroundTerm, ScratchNodes, ScratchPool, SortId, Substitution, Term,
@@ -650,18 +650,18 @@ fn merge_round(
     enum_cache: &mut FxHashMap<SortId, Vec<GroundTerm>>,
     runs: Vec<ClauseRun>,
     stats: &mut SaturationStats,
-    debug: bool,
+    rec: &Recorder,
     round: usize,
 ) -> RoundEnd {
     for (ci, run) in runs.into_iter().enumerate() {
-        if debug {
-            eprintln!(
+        if rec.text_enabled() {
+            rec.text_line(format_args!(
                 "round {round} clause {ci} facts={} steps={} (clause spent {} steps, {} candidates)",
                 base.len(),
                 stats.steps,
                 run.steps,
                 run.new_facts.len(),
-            );
+            ));
         }
         stats.steps += run.steps;
         for (sort, terms) in run.enum_terms {
@@ -721,7 +721,7 @@ fn merge_round_semi(
     dirty: &mut [bool],
     snap_len: usize,
     stats: &mut SaturationStats,
-    debug: bool,
+    rec: &Recorder,
     round: usize,
 ) -> RoundEnd {
     // The naive matcher retains at most this many clause-new candidates
@@ -738,15 +738,15 @@ fn merge_round_semi(
                 .unwrap_or(items.len() - start);
         let group = &mut runs[start..end];
         let group_steps: u64 = group.iter().map(|r| r.steps).sum();
-        if debug {
-            eprintln!(
+        if rec.text_enabled() {
+            rec.text_line(format_args!(
                 "round {round} clause {ci} facts={} steps={} ({} variants spent {} steps, {} candidates)",
                 base.len(),
                 stats.steps,
                 group.len(),
                 group_steps,
                 group.iter().map(|r| r.new_facts.len()).sum::<usize>(),
-            );
+            ));
         }
         stats.steps += group_steps;
         for run in group.iter_mut() {
@@ -876,10 +876,44 @@ pub fn saturate_guarded(
     cfg: &SaturationConfig,
     guard: &Guard,
 ) -> (SaturationOutcome, SaturationStats) {
+    // `RINGEN_SAT_DEBUG` arms the recorder's human-readable text sink
+    // (the env lookup happens once per call, never per clause); the
+    // per-round trace itself goes through `Recorder::text_line`.
+    let rec = if std::env::var_os("RINGEN_SAT_DEBUG").is_some() {
+        guard.recorder().with_text()
+    } else {
+        guard.recorder().clone()
+    };
+    let mut span = rec.span("saturate");
+    let (outcome, stats) = saturate_rounds(sys, cfg, guard, &rec);
+    span.note("rounds", stats.rounds as i64);
+    span.note("facts", stats.facts as i64);
+    span.note("steps", stats.steps as i64);
+    span.note("candidates", stats.candidates as i64);
+    span.note_str(
+        "outcome",
+        match &outcome {
+            SaturationOutcome::Refuted(_) => "refuted",
+            SaturationOutcome::Saturated(_) => "saturated",
+            SaturationOutcome::Budget(_) => "budget",
+            SaturationOutcome::Interrupted(_) => "interrupted",
+        },
+    );
+    rec.add("sat.rounds", stats.rounds as i64);
+    rec.add("sat.facts", stats.facts as i64);
+    rec.add("sat.candidates", stats.candidates as i64);
+    (outcome, stats)
+}
+
+/// The round loop behind [`saturate_guarded`] (split out so the
+/// wrapper can annotate one `saturate` span around the many returns).
+fn saturate_rounds(
+    sys: &ChcSystem,
+    cfg: &SaturationConfig,
+    guard: &Guard,
+    rec: &Recorder,
+) -> (SaturationOutcome, SaturationStats) {
     let pool = Pool::persistent(&cfg.parallel);
-    // Read once, outside the hot path: this used to be an env lookup
-    // per clause per round.
-    let debug = std::env::var_os("RINGEN_SAT_DEBUG").is_some();
     let semi = cfg.semi_naive;
     let mut base = FactBase {
         index_args: semi,
@@ -907,6 +941,8 @@ pub fn saturate_guarded(
             finalize(&mut stats, &mut base);
             return (SaturationOutcome::Interrupted(base), stats);
         }
+        let mut round_span = rec.span("sat.round");
+        round_span.note("round", round as i64);
         stats.rounds = round + 1;
         let before = base.len();
         // Round 0 has no delta (and must run the fact clauses), so the
@@ -965,6 +1001,7 @@ pub fn saturate_guarded(
         // run could produce. `stats.rounds` already counts this round
         // as started; facts/steps reflect only completed rounds.
         if runs.iter().any(|r| r.interrupted) || guard.is_cancelled() {
+            round_span.note_str("end", "interrupted");
             stats.rounds = round;
             finalize(&mut stats, &mut base);
             return (SaturationOutcome::Interrupted(base), stats);
@@ -979,7 +1016,7 @@ pub fn saturate_guarded(
                 &mut dirty,
                 before,
                 &mut stats,
-                debug,
+                rec,
                 round,
             )
         } else {
@@ -989,22 +1026,26 @@ pub fn saturate_guarded(
                 &mut enum_cache,
                 runs,
                 &mut stats,
-                debug,
+                rec,
                 round,
             )
         };
+        round_span.note("new_facts", (base.len() - before) as i64);
         match end {
             RoundEnd::Refuted(r) => {
+                round_span.note_str("end", "refuted");
                 finalize(&mut stats, &mut base);
                 return (SaturationOutcome::Refuted(r), stats);
             }
             RoundEnd::Budget => {
+                round_span.note_str("end", "budget");
                 finalize(&mut stats, &mut base);
                 return (SaturationOutcome::Budget(base), stats);
             }
             RoundEnd::Done => {}
         }
         if base.len() == before && !dirty.iter().any(|&d| d) {
+            round_span.note_str("end", "saturated");
             finalize(&mut stats, &mut base);
             return (SaturationOutcome::Saturated(base), stats);
         }

@@ -194,6 +194,34 @@ pub fn solve_guarded(
     if let Err(e) = sys.well_sorted() {
         panic!("input system is not well-sorted: {e}");
     }
+    let rec = guard.recorder().clone();
+    // Lift the store's cache accounting into the counter registry as a
+    // delta: a shared store may arrive warm from an earlier solve.
+    let store_before = store.stats();
+    let (answer, stats) = solve_phases(sys, cfg, store, guard);
+    let after = store.stats();
+    rec.add(
+        "aut.dedup_hits",
+        after.dedup_hits.wrapping_sub(store_before.dedup_hits) as i64,
+    );
+    rec.add(
+        "aut.memo_hits",
+        after.memo_hits.wrapping_sub(store_before.memo_hits) as i64,
+    );
+    rec.add(
+        "aut.memo_misses",
+        after.memo_misses.wrapping_sub(store_before.memo_misses) as i64,
+    );
+    (answer, stats)
+}
+
+fn solve_phases(
+    sys: &ChcSystem,
+    cfg: &RingenConfig,
+    store: &mut AutStore,
+    guard: &Guard,
+) -> (Answer, SolveStats) {
+    let rec = guard.recorder().clone();
     let mut stats = SolveStats::default();
 
     // Phase 1: cheap refutation attempt on the original clauses.
@@ -213,7 +241,15 @@ pub fn solve_guarded(
     }
 
     // Phase 2: Figure 1 pipeline + finite-model search.
-    let pre = preprocess(sys);
+    let pre = {
+        let mut span = rec.span("preprocess");
+        let pre = preprocess(sys);
+        span.note("clauses_in", pre.stats.clauses_in as i64);
+        span.note("clauses_out", pre.stats.clauses_out as i64);
+        span.note("tester_preds", pre.stats.tester_preds as i64);
+        span.note("diseq_preds", pre.stats.diseq_preds as i64);
+        pre
+    };
     stats.preprocess = Some(pre.stats.clone());
     let (outcome, fstats) = match find_model_guarded(&pre.skolemized, &cfg.finder, guard) {
         Ok(pair) => pair,
@@ -228,11 +264,16 @@ pub fn solve_guarded(
     match outcome {
         FmfOutcome::Model(model) => {
             stats.model_size = Some(model.size());
+            rec.gauge("model_size", model.size() as i64);
             let invariant = RegularInvariant::from_model(&pre.system, &model);
             if cfg.verify_invariants {
+                let mut span = rec.span("inductive_check");
                 match check_inductive_guarded(&pre.system, &invariant, store, guard) {
-                    InductiveCheck::Inductive => {}
-                    InductiveCheck::Interrupted => return (Answer::Interrupted, stats),
+                    InductiveCheck::Inductive => span.note_str("outcome", "inductive"),
+                    InductiveCheck::Interrupted => {
+                        span.note_str("outcome", "interrupted");
+                        return (Answer::Interrupted, stats);
+                    }
                     InductiveCheck::Violated(v)
                         if sys.clauses.iter().any(|c| !c.exist_vars.is_empty()) =>
                     {
@@ -241,6 +282,7 @@ pub fn solve_guarded(
                         // Herbrand model of the ∀∃ query (see
                         // `preprocess::skolemize`). Honest answer: unknown.
                         let _ = v;
+                        span.note_str("outcome", "skolem_miss");
                         return (Answer::Unknown(Divergence::ModelSearchExhausted), stats);
                     }
                     other => panic!("model-derived invariant failed verification: {other:?}"),

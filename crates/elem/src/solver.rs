@@ -159,33 +159,78 @@ pub fn solve_elem_guarded(
         panic!("input system is not well-sorted: {e}");
     }
     let mut stats = ElemStats::default();
+    let rec = guard.recorder().clone();
 
     // Phase 1: refute.
-    let (outcome, _) = saturate_guarded(sys, &cfg.saturation, guard);
-    match outcome {
-        SaturationOutcome::Refuted(r) => return (ElemAnswer::Unsat(r), stats),
-        SaturationOutcome::Interrupted(_) => return (ElemAnswer::Interrupted, stats),
-        SaturationOutcome::Saturated(_) | SaturationOutcome::Budget(_) => {}
+    {
+        let mut span = rec.span("elem.refute");
+        let (outcome, _) = saturate_guarded(sys, &cfg.saturation, guard);
+        match outcome {
+            SaturationOutcome::Refuted(r) => {
+                span.note_str("outcome", "refuted");
+                return (ElemAnswer::Unsat(r), stats);
+            }
+            SaturationOutcome::Interrupted(_) => {
+                span.note_str("outcome", "interrupted");
+                return (ElemAnswer::Interrupted, stats);
+            }
+            SaturationOutcome::Saturated(_) | SaturationOutcome::Budget(_) => {
+                span.note_str("outcome", "no_refutation");
+            }
+        }
     }
 
     // Phase 2: enumerate candidate assignments in order of total index,
     // mirroring the model finder's size-vector sweep.
+    let answer = elem_sweep(sys, cfg, guard, &rec, &mut stats);
+    (answer, stats)
+}
+
+/// The template sweep (phase 2 of [`solve_elem_guarded`]), spanned as
+/// `elem.sweep` so its budget shows up next to the refuter's.
+fn elem_sweep(
+    sys: &ChcSystem,
+    cfg: &ElemConfig,
+    guard: &Guard,
+    rec: &ringen_core::Recorder,
+    stats: &mut ElemStats,
+) -> ElemAnswer {
+    let mut span = rec.span("elem.sweep");
+    let answer = elem_sweep_inner(sys, cfg, guard, stats);
+    span.note("assignments", stats.assignments as i64);
+    span.note("clause_checks", stats.clause_checks as i64);
+    span.note("cube_queries", stats.cube_queries as i64);
+    span.note_str(
+        "outcome",
+        match &answer {
+            ElemAnswer::Sat(_) => "sat",
+            ElemAnswer::Unsat(_) => "unsat",
+            ElemAnswer::Unknown => "unknown",
+            ElemAnswer::Interrupted => "interrupted",
+        },
+    );
+    answer
+}
+
+fn elem_sweep_inner(
+    sys: &ChcSystem,
+    cfg: &ElemConfig,
+    guard: &Guard,
+    stats: &mut ElemStats,
+) -> ElemAnswer {
     // A ∀∃ query (the §5 STLC shape) rejects every candidate outright;
     // report divergence immediately instead of sweeping the template
     // space (observationally identical, much cheaper).
     if sys.clauses.iter().any(|c| !c.exist_vars.is_empty()) {
-        return (ElemAnswer::Unknown, stats);
+        return ElemAnswer::Unknown;
     }
     let preds: Vec<PredId> = sys.rels.iter().collect();
     if preds.is_empty() {
         // No uninterpreted symbols: the system is a set of ground
         // constraint clauses; saturation above already decided it.
-        return (
-            ElemAnswer::Sat(ElemInvariant {
-                formulas: BTreeMap::new(),
-            }),
-            stats,
-        );
+        return ElemAnswer::Sat(ElemInvariant {
+            formulas: BTreeMap::new(),
+        });
     }
     let pools: Vec<Vec<ElemFormula>> = preds
         .iter()
@@ -214,20 +259,20 @@ pub fn solve_elem_guarded(
                 .zip(pools.iter().zip(idx))
                 .map(|(&p, (pool, &i))| (p, &pool[i]))
                 .collect();
-            if is_inductive(sys, &assignment, cfg, &mut stats) {
+            if is_inductive(sys, &assignment, cfg, stats) {
                 let formulas = assignment.iter().map(|(&p, &f)| (p, f.clone())).collect();
                 return Some(Ok(ElemInvariant { formulas }));
             }
             None
         });
         match stop {
-            Some(Ok(inv)) => return (ElemAnswer::Sat(inv), stats),
-            Some(Err(Stop::Budget)) => return (ElemAnswer::Unknown, stats),
-            Some(Err(Stop::Interrupted)) => return (ElemAnswer::Interrupted, stats),
+            Some(Ok(inv)) => return ElemAnswer::Sat(inv),
+            Some(Err(Stop::Budget)) => return ElemAnswer::Unknown,
+            Some(Err(Stop::Interrupted)) => return ElemAnswer::Interrupted,
             None => {}
         }
     }
-    (ElemAnswer::Unknown, stats)
+    ElemAnswer::Unknown
 }
 
 /// Exact inductiveness check of an assignment against every clause.

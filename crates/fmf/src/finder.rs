@@ -12,7 +12,7 @@
 //! ([`Pool::persistent`]), not re-spawned per sweep.
 
 use ringen_chc::ChcSystem;
-use ringen_parallel::{Guard, ParallelConfig, Pool};
+use ringen_parallel::{Guard, ParallelConfig, Pool, Recorder};
 use ringen_sat::{Lit, SatResult, Solver, Var};
 use ringen_terms::FuncKind;
 
@@ -55,6 +55,8 @@ pub struct FinderStats {
     pub vectors_tried: usize,
     /// Total SAT conflicts over all attempts.
     pub conflicts: u64,
+    /// Total SAT decisions over all attempts.
+    pub decisions: u64,
     /// Size vectors skipped because grounding would be too large.
     pub skipped_too_large: usize,
     /// Size vectors abandoned on conflict budget.
@@ -127,19 +129,42 @@ fn find_model_inner(
     // between size vectors (and between waves within one), joined on
     // return. `RINGEN_THREADS=1` spawns nothing.
     let pool = Pool::persistent(&config.parallel);
-    for total in num_sorts..=config.max_total_size {
+    let rec = guard.map_or_else(Recorder::disabled, |g| g.recorder().clone());
+    let mut span = rec.span("fmf.search");
+    span.note("max_total_size", config.max_total_size as i64);
+    let mut outcome = FmfOutcome::Exhausted;
+    'search: for total in num_sorts..=config.max_total_size {
         for sizes in compositions(total, num_sorts) {
             if guard.is_some_and(|g| g.is_cancelled()) {
-                return Ok((FmfOutcome::Interrupted, stats));
+                outcome = FmfOutcome::Interrupted;
+                break 'search;
             }
-            match try_sizes(sys, &flat, &sizes, config, &pool, guard, &mut stats) {
-                SizeOutcome::Model(m) => return Ok((FmfOutcome::Model(m), stats)),
-                SizeOutcome::Interrupted => return Ok((FmfOutcome::Interrupted, stats)),
+            match try_sizes(sys, &flat, &sizes, config, &pool, guard, &rec, &mut stats) {
+                SizeOutcome::Model(m) => {
+                    outcome = FmfOutcome::Model(m);
+                    break 'search;
+                }
+                SizeOutcome::Interrupted => {
+                    outcome = FmfOutcome::Interrupted;
+                    break 'search;
+                }
                 SizeOutcome::Unsat | SizeOutcome::Skipped | SizeOutcome::Budget => {}
             }
         }
     }
-    Ok((FmfOutcome::Exhausted, stats))
+    span.note("vectors_tried", stats.vectors_tried as i64);
+    span.note_str(
+        "outcome",
+        match &outcome {
+            FmfOutcome::Model(_) => "model",
+            FmfOutcome::Exhausted => "exhausted",
+            FmfOutcome::Interrupted => "interrupted",
+        },
+    );
+    drop(span);
+    rec.add("sat.decisions", stats.decisions as i64);
+    rec.add("sat.conflicts", stats.conflicts as i64);
+    Ok((outcome, stats))
 }
 
 enum SizeOutcome {
@@ -172,6 +197,7 @@ fn compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn try_sizes(
     sys: &ChcSystem,
     flat: &[FlatClause],
@@ -179,6 +205,7 @@ fn try_sizes(
     config: &FinderConfig,
     pool: &Pool,
     guard: Option<&Guard>,
+    rec: &Recorder,
     stats: &mut FinderStats,
 ) -> SizeOutcome {
     // Estimate the grounding size first.
@@ -195,6 +222,9 @@ fn try_sizes(
         return SizeOutcome::Skipped;
     }
     stats.vectors_tried += 1;
+    let mut span = rec.span("fmf.size");
+    span.note("total", sizes.iter().sum::<usize>() as i64);
+    span.note("instances", instances as i64);
 
     let sig = &sys.sig;
     let mut solver = Solver::new();
@@ -271,6 +301,7 @@ fn try_sizes(
     let batch = (pool.threads() * 4).max(1);
     for wave in flat.chunks(batch) {
         if guard.is_some_and(|g| g.is_cancelled()) {
+            span.note_str("outcome", "interrupted");
             return SizeOutcome::Interrupted;
         }
         let grounded: Vec<GroundInstances> = pool
@@ -287,6 +318,8 @@ fn try_sizes(
             for lits in g.iter() {
                 if !solver.add_clause(lits) {
                     stats.conflicts += solver.conflict_count();
+                    stats.decisions += solver.decision_count();
+                    span.note_str("outcome", "unsat_grounding");
                     return SizeOutcome::Unsat;
                 }
             }
@@ -298,6 +331,9 @@ fn try_sizes(
         None => solver.solve_with_budget(config.max_conflicts),
     };
     stats.conflicts += solver.conflict_count();
+    stats.decisions += solver.decision_count();
+    span.note("decisions", solver.decision_count() as i64);
+    span.note("conflicts", solver.conflict_count() as i64);
     match result {
         SatResult::Sat => {
             let pred_domains: Vec<Vec<usize>> = sys
@@ -333,16 +369,22 @@ fn try_sizes(
                     }
                 }
             }
+            span.note_str("outcome", "model");
             SizeOutcome::Model(model)
         }
-        SatResult::Unsat => SizeOutcome::Unsat,
+        SatResult::Unsat => {
+            span.note_str("outcome", "unsat");
+            SizeOutcome::Unsat
+        }
         SatResult::Unknown => {
             // `Unknown` is either the conflict budget or a guard trip;
             // the guard's state disambiguates.
             if guard.is_some_and(|g| g.is_cancelled()) {
+                span.note_str("outcome", "interrupted");
                 SizeOutcome::Interrupted
             } else {
                 stats.budget_exhausted += 1;
+                span.note_str("outcome", "budget");
                 SizeOutcome::Budget
             }
         }

@@ -14,10 +14,19 @@
 //! The deadline knob used by binaries is the `RINGEN_DEADLINE_MS`
 //! environment variable (see `ENVIRONMENT.md` at the workspace root);
 //! [`Guard::from_env`] constructs the matching token.
+//!
+//! A guard also carries the solve's [`Recorder`] (`ringen-obs`): the
+//! engines all take a `&Guard` already, so riding the token is how
+//! observability reaches every fixpoint without another threaded
+//! parameter. Children inherit the parent's recorder; the default is
+//! the disabled recorder — or a live one when `RINGEN_TRACE` is set,
+//! so the whole test suite can run instrumented.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub use ringen_obs::{Recorder, SharedRecorder, Span, SpanHandle};
 
 #[derive(Debug)]
 struct Inner {
@@ -63,6 +72,7 @@ impl Inner {
 #[derive(Debug, Clone)]
 pub struct Guard {
     inner: Arc<Inner>,
+    recorder: Recorder,
 }
 
 impl Default for Guard {
@@ -80,6 +90,7 @@ impl Guard {
                 fuel: AtomicI64::new(fuel),
                 parent,
             }),
+            recorder: Recorder::from_env(),
         }
     }
 
@@ -115,13 +126,29 @@ impl Guard {
 
     /// Derives a child token: cancelled when this token is, but
     /// cancelling the child leaves the parent (and siblings) running.
+    /// The child records into the parent's recorder.
     pub fn child(&self) -> Self {
-        Guard::from_parts(None, -1, Some(self.inner.clone()))
+        Guard::from_parts(None, -1, Some(self.inner.clone())).with_recorder(self.recorder.clone())
     }
 
     /// A child token with its own, tighter deadline.
     pub fn child_with_deadline(&self, timeout: Duration) -> Self {
         Guard::from_parts(Some(Instant::now() + timeout), -1, Some(self.inner.clone()))
+            .with_recorder(self.recorder.clone())
+    }
+
+    /// This token recording into `recorder` instead: same cancellation
+    /// state (the flag is shared through the `Arc`), new observer.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The recorder every engine under this guard reports into. The
+    /// default (unless `RINGEN_TRACE` is set) is the disabled
+    /// recorder, whose whole cost is one relaxed load per probe.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Trips the token. Idempotent; never blocks.
@@ -310,6 +337,17 @@ mod tests {
             }
         }
         assert!(seen);
+    }
+
+    #[test]
+    fn children_inherit_the_recorder() {
+        let rec = Recorder::new();
+        let parent = Guard::new().with_recorder(rec.clone());
+        let child = parent.child().child_with_deadline(Duration::from_secs(60));
+        {
+            let _s = child.recorder().span("from-grandchild");
+        }
+        assert_eq!(rec.snapshot().spans.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,647 @@
+//! Observability for the `ringen` solver stack: structured spans, a
+//! counter/gauge registry, and machine-readable solve reports.
+//!
+//! The paper's experimental story (§8) is about *where* solve time goes
+//! — saturation vs. automata algebra vs. finite-model search — so every
+//! engine records into one [`Recorder`]: a cheap, clonable handle that
+//! either points at shared recording state or at nothing at all.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **The disabled path is a single relaxed atomic load.** A
+//!    [`Recorder`] is `Option<Arc<Inner>>`; a disabled handle
+//!    short-circuits before touching a clock, a mutex, or the
+//!    allocator. `crates/bench` pins this with an `obs_overhead`
+//!    group gated by `bench_diff`.
+//! 2. **Spans are RAII.** [`Recorder::span`] returns a [`Span`] guard
+//!    that records its close when dropped — including drops that
+//!    happen while unwinding out of a `catch_unwind`'d portfolio
+//!    entrant or on an `Interrupted` early return. A span can never be
+//!    left open by a code path that exits scope.
+//! 3. **Recording is thread-safe and merge is deterministic.** Each
+//!    thread buffers closed spans locally and flushes them into the
+//!    central store only when its outermost span closes, so portfolio
+//!    entrants racing on `ringen-parallel` workers never contend
+//!    per-span; [`Recorder::snapshot`] orders the merged result by
+//!    `(start_ns, id)`, a total order independent of flush
+//!    interleaving.
+//!
+//! Span names and argument keys are `&'static str` — recording a span
+//! allocates nothing until its close is buffered. The JSON writer and
+//! the [`SolveReport`](report::SolveReport) aggregation live in
+//! [`json`] and [`report`]; both are hand-rolled (no serde), matching
+//! the workspace's vendored-stand-ins policy.
+//!
+//! ```
+//! use ringen_obs::Recorder;
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let mut outer = rec.span("solve");
+//!     outer.note("clauses", 3);
+//!     let _inner = rec.span("saturate"); // parented under `solve`
+//! }
+//! rec.add("facts", 42);
+//! let trace = rec.snapshot();
+//! assert_eq!(trace.spans.len(), 2);
+//! assert_eq!(trace.spans[0].name, "solve");
+//! assert_eq!(trace.spans[1].parent, Some(trace.spans[0].id));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Instant;
+
+pub mod json;
+pub mod report;
+
+/// A span argument: integers for metrics, static strings for verdicts
+/// and other enumerations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgVal {
+    /// A numeric argument (counts, sizes, round numbers).
+    Int(i64),
+    /// A symbolic argument (outcome tags, engine names).
+    Str(&'static str),
+}
+
+/// A closed span as it appears in a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct SpanRec {
+    /// Unique (per recorder) id, allocated at open in open order.
+    pub id: u64,
+    /// Enclosing span on the same thread (or the explicit parent given
+    /// to [`Recorder::span_under`]); `None` for roots.
+    pub parent: Option<u64>,
+    /// Static span name, e.g. `"sat.round"`.
+    pub name: &'static str,
+    /// Nanoseconds since the recorder's epoch at open.
+    pub start_ns: u64,
+    /// Nanoseconds since the recorder's epoch at close.
+    pub end_ns: u64,
+    /// Logical thread id: dense, assigned per recorder in the order
+    /// threads first record (the coordinating thread is usually 0).
+    pub tid: u64,
+    /// Arguments attached via [`Span::note`] / [`Span::note_str`].
+    pub args: Vec<(&'static str, ArgVal)>,
+}
+
+/// Everything a recorder captured: the flushed spans plus the final
+/// counter and gauge registries.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Closed spans, ordered by `(start_ns, id)`.
+    pub spans: Vec<SpanRec>,
+    /// Monotonic counters, ordered by name.
+    pub counters: Vec<(&'static str, i64)>,
+    /// Last-write-wins gauges, ordered by name.
+    pub gauges: Vec<(&'static str, i64)>,
+}
+
+/// Central recording state shared by all clones of a recorder.
+#[derive(Debug, Default)]
+struct Central {
+    spans: Vec<SpanRec>,
+    counters: BTreeMap<&'static str, i64>,
+    gauges: BTreeMap<&'static str, i64>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// The one flag the hot path reads: span/counter recording on?
+    enabled: AtomicBool,
+    /// Human-readable text sink (the `RINGEN_SAT_DEBUG` port) — can be
+    /// on while span recording is off, and vice versa.
+    text: AtomicBool,
+    /// Monotonic time zero for every timestamp this recorder emits.
+    epoch: Instant,
+    next_id: AtomicU64,
+    next_tid: AtomicU64,
+    central: Mutex<Central>,
+}
+
+/// A clonable handle onto (optional) shared recording state.
+///
+/// Clones share everything; the handle is `Send + Sync` and is what
+/// the issue calls the *shared recorder* — see [`SharedRecorder`].
+/// [`Recorder::disabled`] (also `Default`) carries no state at all:
+/// every recording method on it is a branch on a `None`.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+/// The thread-safe sharing story of [`Recorder`], under the name the
+/// rest of the workspace uses for it: portfolio entrants and
+/// `ringen-parallel` workers each clone the handle, record into
+/// per-thread buffers, and merge into the central store when their
+/// outermost span closes. `Recorder` *is* that type — the alias only
+/// documents the role.
+pub type SharedRecorder = Recorder;
+
+/// An explicit parent for [`Recorder::span_under`]: lets a span opened
+/// on a worker thread nest under a span owned by the coordinating
+/// thread (the portfolio race span).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanHandle {
+    id: Option<u64>,
+}
+
+/// Per-thread, per-recorder recording state: the open-span stack that
+/// implements parent nesting, plus the buffer of closed spans awaiting
+/// a flush.
+#[derive(Debug)]
+struct Slot {
+    /// Identity of the owning recorder. Holding a `Weak` keeps the
+    /// `Inner` allocation alive (though not the value), so a pointer
+    /// match can never confuse two recorders.
+    key: Weak<Inner>,
+    tid: u64,
+    stack: Vec<u64>,
+    buf: Vec<SpanRec>,
+}
+
+thread_local! {
+    static SLOTS: RefCell<Vec<Slot>> = const { RefCell::new(Vec::new()) };
+}
+
+fn lock_central(inner: &Inner) -> std::sync::MutexGuard<'_, Central> {
+    // A panicking entrant can poison nothing of value here: the state
+    // is append-only buffers, so keep recording through poison.
+    inner.central.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` on this thread's slot for `inner`, creating it on first
+/// use (that is when the thread gets its logical tid).
+fn with_slot<R>(inner: &Arc<Inner>, f: impl FnOnce(&mut Slot) -> R) -> Option<R> {
+    SLOTS
+        .try_with(|slots| {
+            let mut slots = slots.borrow_mut();
+            let ptr = Arc::as_ptr(inner);
+            let at = slots.iter().position(|s| std::ptr::eq(s.key.as_ptr(), ptr));
+            let at = match at {
+                Some(at) => at,
+                None => {
+                    // Drop slots of recorders that no longer exist
+                    // before growing the (tiny, linear-scanned) table.
+                    slots.retain(|s| s.key.strong_count() > 0);
+                    slots.push(Slot {
+                        key: Arc::downgrade(inner),
+                        tid: inner.next_tid.fetch_add(1, Ordering::Relaxed),
+                        stack: Vec::new(),
+                        buf: Vec::new(),
+                    });
+                    slots.len() - 1
+                }
+            };
+            f(&mut slots[at])
+        })
+        .ok()
+}
+
+impl Recorder {
+    /// An enabled recorder with fresh central state.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                enabled: AtomicBool::new(true),
+                text: AtomicBool::new(false),
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                next_tid: AtomicU64::new(0),
+                central: Mutex::new(Central::default()),
+            })),
+        }
+    }
+
+    /// A recorder that records nothing and allocates nothing: every
+    /// method short-circuits on the missing state.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A recorder whose *text sink* is live but whose span/counter
+    /// recording is off — the shape `RINGEN_SAT_DEBUG` wants when
+    /// tracing is not otherwise enabled.
+    pub fn text_only() -> Self {
+        let rec = Recorder::new();
+        if let Some(inner) = &rec.inner {
+            inner.enabled.store(false, Ordering::Relaxed);
+            inner.text.store(true, Ordering::Relaxed);
+        }
+        rec
+    }
+
+    /// An enabled recorder when `RINGEN_TRACE` is set (to anything
+    /// non-empty), a disabled one otherwise. The environment is read
+    /// once per process.
+    pub fn from_env() -> Self {
+        static TRACED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let on =
+            *TRACED.get_or_init(|| std::env::var_os("RINGEN_TRACE").is_some_and(|v| !v.is_empty()));
+        if on {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Whether span/counter recording is live.
+    pub fn is_enabled(&self) -> bool {
+        match &self.inner {
+            Some(inner) => inner.enabled.load(Ordering::Relaxed),
+            None => false,
+        }
+    }
+
+    /// This recorder with the text sink switched on — shares state
+    /// with `self` when there is any, otherwise a fresh
+    /// [`Recorder::text_only`].
+    pub fn with_text(&self) -> Recorder {
+        match &self.inner {
+            Some(inner) => {
+                inner.text.store(true, Ordering::Relaxed);
+                self.clone()
+            }
+            None => Recorder::text_only(),
+        }
+    }
+
+    /// Whether [`Recorder::text_line`] will print. Hot loops should
+    /// hoist this once rather than formatting speculatively.
+    pub fn text_enabled(&self) -> bool {
+        match &self.inner {
+            Some(inner) => inner.text.load(Ordering::Relaxed),
+            None => false,
+        }
+    }
+
+    /// The human-readable sink: one line to stderr when the text sink
+    /// is on, nothing otherwise.
+    pub fn text_line(&self, line: std::fmt::Arguments<'_>) {
+        if self.text_enabled() {
+            eprintln!("{line}");
+        }
+    }
+
+    /// `true` when span/counter recording is live — the one relaxed
+    /// atomic check every disabled-path probe pays. Inlined (as are the
+    /// probe entry points below) so instrumented hot loops keep the
+    /// advertised price when tracing is off: a null/flag test, no call.
+    #[inline]
+    fn is_recording(&self) -> bool {
+        match &self.inner {
+            Some(inner) => inner.enabled.load(Ordering::Relaxed),
+            None => false,
+        }
+    }
+
+    /// Opens a span parented under the innermost span open on this
+    /// thread. Closing is the guard's drop.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        if !self.is_recording() {
+            return Span { active: None };
+        }
+        self.open(name, None)
+    }
+
+    /// Opens a span under an explicit parent — the cross-thread case:
+    /// a portfolio entrant's span opens on a worker thread but nests
+    /// under the race span owned by the coordinator.
+    #[inline]
+    pub fn span_under(&self, name: &'static str, parent: SpanHandle) -> Span {
+        if !self.is_recording() {
+            return Span { active: None };
+        }
+        self.open(name, Some(parent.id))
+    }
+
+    fn open(&self, name: &'static str, explicit_parent: Option<Option<u64>>) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span { active: None };
+        };
+        if !inner.enabled.load(Ordering::Relaxed) {
+            return Span { active: None };
+        }
+        let start_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let opened = with_slot(inner, |slot| {
+            let parent = match explicit_parent {
+                Some(parent) => parent,
+                None => slot.stack.last().copied(),
+            };
+            slot.stack.push(id);
+            (parent, slot.tid)
+        });
+        let (parent, tid) = opened.unwrap_or((explicit_parent.flatten(), u64::MAX));
+        Span {
+            active: Some(Box::new(ActiveSpan {
+                inner: inner.clone(),
+                rec: SpanRec {
+                    id,
+                    parent,
+                    name,
+                    start_ns,
+                    end_ns: start_ns,
+                    tid,
+                    args: Vec::new(),
+                },
+            })),
+        }
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    #[inline]
+    pub fn add(&self, name: &'static str, delta: i64) {
+        if delta == 0 || !self.is_recording() {
+            return;
+        }
+        self.add_slow(name, delta);
+    }
+
+    fn add_slow(&self, name: &'static str, delta: i64) {
+        let Some(inner) = &self.inner else { return };
+        *lock_central(inner).counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: i64) {
+        if !self.is_recording() {
+            return;
+        }
+        self.gauge_slow(name, value);
+    }
+
+    fn gauge_slow(&self, name: &'static str, value: i64) {
+        let Some(inner) = &self.inner else { return };
+        lock_central(inner).gauges.insert(name, value);
+    }
+
+    /// The merged trace so far: every *flushed* span (all spans whose
+    /// thread has closed its outermost span — after a solve returns,
+    /// that is all of them) ordered by `(start_ns, id)`, plus the
+    /// counter and gauge registries. Non-destructive.
+    pub fn snapshot(&self) -> Trace {
+        let Some(inner) = &self.inner else {
+            return Trace::default();
+        };
+        let central = lock_central(inner);
+        let mut spans = central.spans.clone();
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        Trace {
+            spans,
+            counters: central.counters.iter().map(|(&k, &v)| (k, v)).collect(),
+            gauges: central.gauges.iter().map(|(&k, &v)| (k, v)).collect(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    rec: SpanRec,
+}
+
+/// An RAII span guard: records its close (and flushes the thread's
+/// buffer, if this was the outermost span) when dropped — on normal
+/// exit, on `?`/`Interrupted` early returns, and while unwinding from
+/// a panic. A guard from a disabled recorder holds nothing.
+#[derive(Debug, Default)]
+pub struct Span {
+    // Boxed so the no-op guard is pointer-sized and the enabled path
+    // pays its one allocation at open, not per argument.
+    active: Option<Box<ActiveSpan>>,
+}
+
+impl Span {
+    /// Attaches a numeric argument (recorded at close).
+    pub fn note(&mut self, key: &'static str, value: i64) {
+        if let Some(active) = &mut self.active {
+            active.rec.args.push((key, ArgVal::Int(value)));
+        }
+    }
+
+    /// Attaches a symbolic argument (outcome tags and the like).
+    pub fn note_str(&mut self, key: &'static str, value: &'static str) {
+        if let Some(active) = &mut self.active {
+            active.rec.args.push((key, ArgVal::Str(value)));
+        }
+    }
+
+    /// A handle other threads can parent spans under. The handle of a
+    /// no-op span parents nothing (children become roots).
+    pub fn handle(&self) -> SpanHandle {
+        SpanHandle {
+            id: self.active.as_ref().map(|a| a.rec.id),
+        }
+    }
+
+    /// Closes the span now (drop does the same; this just names it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        close_span(*active);
+    }
+}
+
+/// The out-of-line close path: records the end timestamp, pops the
+/// thread's open-span stack, and flushes the buffer when this was the
+/// outermost span. Only `Span::drop`'s no-op check is inlined.
+fn close_span(active: ActiveSpan) {
+    let ActiveSpan { inner, mut rec } = active;
+    rec.end_ns = inner.epoch.elapsed().as_nanos() as u64;
+    let id = rec.id;
+    let mut rec = Some(rec);
+    let flushed = with_slot(&inner, |slot| {
+        // RAII discipline makes the closing span the stack top;
+        // tolerate out-of-order drops anyway.
+        match slot.stack.last() {
+            Some(&top) if top == id => {
+                slot.stack.pop();
+            }
+            _ => slot.stack.retain(|&open| open != id),
+        }
+        slot.buf.push(rec.take().expect("span closed once"));
+        if slot.stack.is_empty() {
+            let buf = std::mem::take(&mut slot.buf);
+            lock_central(&inner).spans.extend(buf);
+        }
+    });
+    if flushed.is_none() {
+        if let Some(rec) = rec {
+            // Thread-local storage already torn down (thread
+            // exit): bypass the buffer so the span is not lost.
+            lock_central(&inner).spans.push(rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_reports_empty() {
+        let rec = Recorder::disabled();
+        {
+            let mut s = rec.span("nothing");
+            s.note("x", 1);
+            let _inner = rec.span_under("child", s.handle());
+        }
+        rec.add("c", 5);
+        rec.gauge("g", 7);
+        let trace = rec.snapshot();
+        assert!(trace.spans.is_empty());
+        assert!(trace.counters.is_empty());
+        assert!(trace.gauges.is_empty());
+        assert!(!rec.is_enabled());
+        assert!(!rec.text_enabled());
+    }
+
+    #[test]
+    fn nesting_follows_scope() {
+        let rec = Recorder::new();
+        {
+            let _a = rec.span("a");
+            {
+                let _b = rec.span("b");
+                let _c = rec.span("c");
+            }
+            let _d = rec.span("d");
+        }
+        let t = rec.snapshot();
+        let by_name = |n: &str| t.spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("a").parent, None);
+        assert_eq!(by_name("b").parent, Some(by_name("a").id));
+        assert_eq!(by_name("c").parent, Some(by_name("b").id));
+        assert_eq!(by_name("d").parent, Some(by_name("a").id));
+        for s in &t.spans {
+            assert!(s.end_ns >= s.start_ns);
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let rec = Recorder::new();
+        rec.add("facts", 3);
+        rec.add("facts", 4);
+        rec.gauge("size", 1);
+        rec.gauge("size", 9);
+        let t = rec.snapshot();
+        assert_eq!(t.counters, vec![("facts", 7)]);
+        assert_eq!(t.gauges, vec![("size", 9)]);
+    }
+
+    #[test]
+    fn spans_survive_panics() {
+        let rec = Recorder::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = rec.span("outer");
+            let _inner = rec.span("inner");
+            panic!("boom");
+        }));
+        assert!(caught.is_err());
+        let t = rec.snapshot();
+        assert_eq!(t.spans.len(), 2);
+        let outer = t.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = t.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_and_parent() {
+        let rec = Recorder::new();
+        let mut race = rec.span("race");
+        race.note("entrants", 2);
+        let handle = race.handle();
+        let threads: Vec<_> = (0..2)
+            .map(|i| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    let mut entrant = rec.span_under("entrant", handle);
+                    entrant.note("index", i);
+                    let _phase = rec.span("phase");
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        drop(race);
+        let t = rec.snapshot();
+        assert_eq!(t.spans.len(), 5);
+        let race_id = t.spans.iter().find(|s| s.name == "race").unwrap().id;
+        let entrants: Vec<_> = t.spans.iter().filter(|s| s.name == "entrant").collect();
+        assert_eq!(entrants.len(), 2);
+        for e in &entrants {
+            assert_eq!(e.parent, Some(race_id));
+            let phase = t
+                .spans
+                .iter()
+                .find(|s| s.name == "phase" && s.parent == Some(e.id))
+                .unwrap();
+            // A worker's nested span lives on the worker's logical tid.
+            assert_eq!(phase.tid, e.tid);
+            assert_ne!(phase.tid, 0);
+        }
+        // Distinct workers, distinct tids.
+        assert_ne!(entrants[0].tid, entrants[1].tid);
+    }
+
+    #[test]
+    fn snapshot_order_is_start_then_id() {
+        let rec = Recorder::new();
+        {
+            let _a = rec.span("a");
+            let _b = rec.span("b");
+        }
+        let t = rec.snapshot();
+        let pairs: Vec<_> = t.spans.iter().map(|s| (s.start_ns, s.id)).collect();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        assert_eq!(pairs, sorted);
+    }
+
+    #[test]
+    fn text_only_prints_without_recording() {
+        let rec = Recorder::text_only();
+        assert!(rec.text_enabled());
+        assert!(!rec.is_enabled());
+        let _s = rec.span("ignored");
+        assert!(rec.snapshot().spans.is_empty());
+        // with_text on a live recorder keeps recording on.
+        let rec2 = Recorder::new().with_text();
+        assert!(rec2.text_enabled());
+        assert!(rec2.is_enabled());
+    }
+
+    #[test]
+    fn two_recorders_on_one_thread_stay_separate() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        {
+            let _sa = a.span("a_root");
+            let _sb = b.span("b_root");
+            let _sa2 = a.span("a_leaf");
+        }
+        let ta = a.snapshot();
+        let tb = b.snapshot();
+        assert_eq!(ta.spans.len(), 2);
+        assert_eq!(tb.spans.len(), 1);
+        // b's root must not have adopted a's open span as parent.
+        assert_eq!(tb.spans[0].parent, None);
+        let leaf = ta.spans.iter().find(|s| s.name == "a_leaf").unwrap();
+        let root = ta.spans.iter().find(|s| s.name == "a_root").unwrap();
+        assert_eq!(leaf.parent, Some(root.id));
+    }
+}

@@ -1,0 +1,284 @@
+//! [`SolveReport`]: one machine-readable document per solve.
+//!
+//! Aggregates the recorder's span tree and metric registries with the
+//! per-engine `*Stats` structs (flattened into named [`Section`]s by
+//! the caller — this crate sits below every engine and cannot name
+//! their types). Two serializations:
+//!
+//! * [`SolveReport::to_json_string`] — the `ringen-solve-report-v1`
+//!   document written by `--report-json` / `RINGEN_TRACE` and consumed
+//!   by `scripts/bench_solvers.sh` and the `trace_check` CI validator.
+//! * [`SolveReport::to_chrome_trace`] — Chrome `trace_event` format
+//!   (`"X"` complete events, microsecond timestamps), loadable
+//!   directly in `about:tracing` or <https://ui.perfetto.dev>; a
+//!   portfolio race renders as one timeline row per entrant.
+
+use crate::json::Json;
+use crate::{ArgVal, SpanRec, Trace};
+
+/// Document identifier for the JSON export; bump on breaking changes.
+pub const SCHEMA: &str = "ringen-solve-report-v1";
+
+/// One flattened `*Stats` struct: a name (`"saturation"`, `"finder"`,
+/// …) plus integer entries in declaration order.
+#[derive(Debug, Clone, Default)]
+pub struct Section {
+    /// Section name; becomes a key under `"stats"`.
+    pub name: String,
+    /// Entries in insertion order.
+    pub entries: Vec<(String, i64)>,
+}
+
+impl Section {
+    /// A section with no entries yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        Section {
+            name: name.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends one entry; chainable.
+    pub fn entry(mut self, key: impl Into<String>, value: i64) -> Self {
+        self.entries.push((key.into(), value));
+        self
+    }
+}
+
+/// Everything one solve produced, ready to serialize.
+#[derive(Debug, Clone, Default)]
+pub struct SolveReport {
+    /// The input program (file path or showcase name).
+    pub program: String,
+    /// Which engine (or `"portfolio"`) produced the verdict.
+    pub solver: String,
+    /// `"sat"`, `"unsat"`, `"unknown"`, or `"interrupted"`.
+    pub verdict: String,
+    /// End-to-end wall clock, milliseconds.
+    pub wall_ms: f64,
+    /// The recorder's merged spans, counters, and gauges.
+    pub trace: Trace,
+    /// Flattened per-engine stats structs.
+    pub sections: Vec<Section>,
+}
+
+fn args_json(args: &[(&'static str, ArgVal)]) -> Json {
+    Json::obj(args.iter().map(|&(k, v)| {
+        (
+            k,
+            match v {
+                ArgVal::Int(i) => Json::Int(i),
+                ArgVal::Str(s) => Json::Str(s.to_string()),
+            },
+        )
+    }))
+}
+
+fn us(ns: u64) -> Json {
+    Json::Num(ns as f64 / 1e3)
+}
+
+/// Renders `spans` (any order) as a forest of nested objects. Spans
+/// whose parent is missing from the slice are treated as roots, so a
+/// partial snapshot still renders.
+fn span_forest(spans: &[SpanRec]) -> Json {
+    let present: std::collections::BTreeMap<u64, usize> =
+        spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match span.parent.and_then(|p| present.get(&p)) {
+            Some(&parent) => children[parent].push(i),
+            None => roots.push(i),
+        }
+    }
+    fn render(at: usize, spans: &[SpanRec], children: &[Vec<usize>]) -> Json {
+        let s = &spans[at];
+        let mut pairs = vec![
+            ("name".to_string(), Json::Str(s.name.to_string())),
+            ("id".to_string(), Json::Int(s.id as i64)),
+            ("tid".to_string(), Json::Int(s.tid as i64)),
+            ("start_us".to_string(), us(s.start_ns)),
+            (
+                "dur_us".to_string(),
+                us(s.end_ns.saturating_sub(s.start_ns)),
+            ),
+        ];
+        if !s.args.is_empty() {
+            pairs.push(("args".to_string(), args_json(&s.args)));
+        }
+        if !children[at].is_empty() {
+            pairs.push((
+                "children".to_string(),
+                Json::Arr(
+                    children[at]
+                        .iter()
+                        .map(|&c| render(c, spans, children))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+    Json::Arr(roots.iter().map(|&r| render(r, spans, &children)).collect())
+}
+
+fn registry_json(entries: &[(&'static str, i64)]) -> Json {
+    Json::obj(entries.iter().map(|&(k, v)| (k, Json::Int(v))))
+}
+
+impl SolveReport {
+    /// The report as a [`Json`] document (see [`SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        let stats = Json::obj(self.sections.iter().map(|s| {
+            (
+                s.name.clone(),
+                Json::obj(s.entries.iter().map(|(k, v)| (k.clone(), Json::Int(*v)))),
+            )
+        }));
+        Json::obj([
+            ("schema", Json::Str(SCHEMA.to_string())),
+            ("program", Json::Str(self.program.clone())),
+            ("solver", Json::Str(self.solver.clone())),
+            ("verdict", Json::Str(self.verdict.clone())),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("stats", stats),
+            ("counters", registry_json(&self.trace.counters)),
+            ("gauges", registry_json(&self.trace.gauges)),
+            ("spans", span_forest(&self.trace.spans)),
+        ])
+    }
+
+    /// The pretty-printed `ringen-solve-report-v1` document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// The span set as a Chrome `trace_event` document: one `"X"`
+    /// (complete) event per span on `pid` 1, rows keyed by the
+    /// recorder's logical thread ids, plus metadata naming the
+    /// process after the solver.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<Json> = Vec::with_capacity(self.trace.spans.len() + 1);
+        events.push(Json::obj([
+            ("name", Json::Str("process_name".to_string())),
+            ("ph", Json::Str("M".to_string())),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(0)),
+            (
+                "args",
+                Json::obj([(
+                    "name",
+                    Json::Str(format!("ringen {} {}", self.solver, self.program)),
+                )]),
+            ),
+        ]));
+        for s in &self.trace.spans {
+            let mut args: Vec<(String, Json)> = vec![("id".to_string(), Json::Int(s.id as i64))];
+            if let Some(parent) = s.parent {
+                args.push(("parent".to_string(), Json::Int(parent as i64)));
+            }
+            if let Json::Obj(noted) = args_json(&s.args) {
+                args.extend(noted);
+            }
+            events.push(Json::obj([
+                ("name", Json::Str(s.name.to_string())),
+                ("cat", Json::Str("ringen".to_string())),
+                ("ph", Json::Str("X".to_string())),
+                ("ts", us(s.start_ns)),
+                ("dur", us(s.end_ns.saturating_sub(s.start_ns))),
+                ("pid", Json::Int(1)),
+                ("tid", Json::Int(s.tid as i64)),
+                ("args", Json::Obj(args)),
+            ]));
+        }
+        let mut doc = Json::obj([("traceEvents", Json::Arr(events))]).to_compact();
+        doc.push('\n');
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::Recorder;
+
+    fn sample_report() -> SolveReport {
+        let rec = Recorder::new();
+        {
+            let mut solve = rec.span("solve");
+            solve.note_str("solver", "ringen");
+            let mut round = rec.span("sat.round");
+            round.note("facts", 12);
+        }
+        rec.add("sat.facts", 12);
+        rec.gauge("model_size", 2);
+        SolveReport {
+            program: "even.smt2".to_string(),
+            solver: "ringen".to_string(),
+            verdict: "sat".to_string(),
+            wall_ms: 1.5,
+            trace: rec.snapshot(),
+            sections: vec![Section::new("saturation")
+                .entry("rounds", 3)
+                .entry("facts", 12)],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_and_nests() {
+        let report = sample_report();
+        let doc = parse(&report.to_json_string()).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(doc.get("verdict").unwrap().as_str(), Some("sat"));
+        let spans = doc.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 1); // one root...
+        let root = &spans[0];
+        assert_eq!(root.get("name").unwrap().as_str(), Some("solve"));
+        let kids = root.get("children").unwrap().as_arr().unwrap();
+        assert_eq!(kids.len(), 1); // ...with the round nested inside
+        assert_eq!(kids[0].get("name").unwrap().as_str(), Some("sat.round"));
+        assert_eq!(
+            kids[0].get("args").unwrap().get("facts").unwrap().as_i64(),
+            Some(12)
+        );
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(counters.get("sat.facts").unwrap().as_i64(), Some(12));
+        let stats = doc.get("stats").unwrap().get("saturation").unwrap();
+        assert_eq!(stats.get("rounds").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_complete() {
+        let report = sample_report();
+        let doc = parse(&report.to_chrome_trace()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Metadata event + one event per span.
+        assert_eq!(events.len(), 1 + report.trace.spans.len());
+        for e in &events[1..] {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert_eq!(e.get("pid").unwrap().as_i64(), Some(1));
+            assert!(e.get("ts").is_some() && e.get("dur").is_some());
+        }
+    }
+
+    #[test]
+    fn orphan_spans_render_as_roots() {
+        let rec = Recorder::new();
+        {
+            let parent = rec.span("dangling-parent");
+            let _child = rec.span_under("child", parent.handle());
+        }
+        let mut trace = rec.snapshot();
+        trace.spans.retain(|s| s.name == "child"); // parent filtered out
+        let report = SolveReport {
+            trace,
+            ..SolveReport::default()
+        };
+        let doc = parse(&report.to_json_string()).unwrap();
+        let spans = doc.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("child"));
+    }
+}

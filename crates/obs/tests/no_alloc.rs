@@ -1,0 +1,88 @@
+//! The disabled recorder's zero-allocation contract, measured with a
+//! counting allocator rather than asserted on faith.
+//!
+//! Engines carry their recorder unconditionally, so with tracing off
+//! every probe — opening a span, noting an argument, bumping a counter,
+//! setting a gauge — must touch no allocator at all, for both disabled
+//! shapes: [`Recorder::disabled`] (no inner state) and
+//! [`Recorder::text_only`] (inner state present, recording flag off).
+//!
+//! One test only: the counter is process-global, so this file must not
+//! run allocation-heavy sibling tests concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ringen_obs::Recorder;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn probe(rec: &Recorder) {
+    let mut outer = rec.span("outer");
+    outer.note("n", 1);
+    outer.note_str("tag", "noop");
+    let inner = rec.span_under("inner", outer.handle());
+    drop(inner);
+    rec.add("counter", 7);
+    rec.gauge("gauge", 42);
+    drop(outer);
+}
+
+#[test]
+fn disabled_recorder_allocates_nothing() {
+    // Construction may allocate (text_only builds its inner state once
+    // per solve); the contract covers the per-probe hot path.
+    let none = Recorder::disabled();
+    let off = Recorder::text_only();
+
+    // Fault in any lazily initialized internals before counting.
+    probe(&none);
+    probe(&off);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10_000 {
+        probe(&none);
+        probe(&off);
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    // The counter is process-global, so the libtest harness threads can
+    // contribute a few allocations during the window; a real per-probe
+    // allocation would show up 20_000+ times. (The automata bench
+    // asserts the strict zero for `Dfta::step` outside any harness.)
+    assert!(
+        allocs < 50,
+        "disabled recorder allocated {allocs} times over 20k probe batches"
+    );
+
+    // And nothing was recorded either.
+    for rec in [&none, &off] {
+        let trace = rec.snapshot();
+        assert!(trace.spans.is_empty(), "spans recorded while disabled");
+        assert!(
+            trace.counters.is_empty(),
+            "counters recorded while disabled"
+        );
+        assert!(trace.gauges.is_empty(), "gauges recorded while disabled");
+    }
+}

@@ -85,7 +85,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
-pub use ringen_guard::{deadline_ms_from_env, Guard, Poller, DEFAULT_POLL_PERIOD};
+pub use ringen_guard::{
+    deadline_ms_from_env, Guard, Poller, Recorder, SharedRecorder, Span, SpanHandle,
+    DEFAULT_POLL_PERIOD,
+};
 
 /// Worker-count policy for a [`Pool`].
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -201,20 +201,34 @@ fn solve_regelem_with(
         panic!("input system is not well-sorted: {e}");
     }
     let mut stats = RegElemStats::default();
+    let rec = guard.recorder().clone();
 
     // Phase 0: refute.
-    let (outcome, _) = saturate_guarded(sys, &cfg.saturation, guard);
-    match outcome {
-        SaturationOutcome::Refuted(r) => return (RegElemAnswer::Unsat(r), stats),
-        SaturationOutcome::Interrupted(_) => return (RegElemAnswer::Interrupted, stats),
-        SaturationOutcome::Saturated(_) | SaturationOutcome::Budget(_) => {}
+    {
+        let mut span = rec.span("regelem.refute");
+        let (outcome, _) = saturate_guarded(sys, &cfg.saturation, guard);
+        match outcome {
+            SaturationOutcome::Refuted(r) => {
+                span.note_str("outcome", "refuted");
+                return (RegElemAnswer::Unsat(r), stats);
+            }
+            SaturationOutcome::Interrupted(_) => {
+                span.note_str("outcome", "interrupted");
+                return (RegElemAnswer::Interrupted, stats);
+            }
+            SaturationOutcome::Saturated(_) | SaturationOutcome::Budget(_) => {
+                span.note_str("outcome", "no_refutation");
+            }
+        }
     }
 
     // Phase 1: regular invariants by finite-model finding.
     if let Some(rcfg) = &cfg.regular {
+        let mut span = rec.span("regelem.regular");
         let (answer, _) = solve_regular(sys, rcfg, store, guard);
         match answer {
             Answer::Sat(sat) => {
+                span.note_str("outcome", "sat");
                 let inv = RegElemInvariant::from_regular_in(
                     &sat.preprocessed.system,
                     &sat.invariant,
@@ -236,17 +250,25 @@ fn solve_regelem_with(
                     stats,
                 );
             }
-            Answer::Unsat(r) => return (RegElemAnswer::Unsat(r), stats),
-            Answer::Interrupted => return (RegElemAnswer::Interrupted, stats),
-            Answer::Unknown(_) => {}
+            Answer::Unsat(r) => {
+                span.note_str("outcome", "unsat");
+                return (RegElemAnswer::Unsat(r), stats);
+            }
+            Answer::Interrupted => {
+                span.note_str("outcome", "interrupted");
+                return (RegElemAnswer::Interrupted, stats);
+            }
+            Answer::Unknown(_) => span.note_str("outcome", "unknown"),
         }
     }
 
     // Phase 2: elementary invariants.
     if let Some(ecfg) = &cfg.elementary {
+        let mut span = rec.span("regelem.elem");
         let (answer, _) = solve_elem_guarded(sys, ecfg, guard);
         match answer {
             ElemAnswer::Sat(inv) => {
+                span.note_str("outcome", "sat");
                 return (
                     RegElemAnswer::Sat(
                         Box::new(RegElemInvariant::from_elem(&inv)),
@@ -255,33 +277,62 @@ fn solve_regelem_with(
                     stats,
                 );
             }
-            ElemAnswer::Unsat(r) => return (RegElemAnswer::Unsat(r), stats),
-            ElemAnswer::Interrupted => return (RegElemAnswer::Interrupted, stats),
-            ElemAnswer::Unknown => {}
+            ElemAnswer::Unsat(r) => {
+                span.note_str("outcome", "unsat");
+                return (RegElemAnswer::Unsat(r), stats);
+            }
+            ElemAnswer::Interrupted => {
+                span.note_str("outcome", "interrupted");
+                return (RegElemAnswer::Interrupted, stats);
+            }
+            ElemAnswer::Unknown => span.note_str("outcome", "unknown"),
         }
     }
 
-    // Phase 3: combined candidates. The certification is universal-only,
-    // so ∀∃ systems stop here.
+    // Phase 3: combined candidates.
+    let mut span = rec.span("regelem.combined");
+    let answer = regelem_combined(sys, cfg, store, guard, &mut stats);
+    span.note("assignments", stats.assignments as i64);
+    span.note("langs", stats.langs as i64);
+    span.note("pool_total", stats.pool_total as i64);
+    span.note_str(
+        "outcome",
+        match &answer {
+            RegElemAnswer::Sat(..) => "sat",
+            RegElemAnswer::Unsat(_) => "unsat",
+            RegElemAnswer::Unknown => "unknown",
+            RegElemAnswer::Interrupted => "interrupted",
+        },
+    );
+    (answer, stats)
+}
+
+/// Phase 3 of [`solve_regelem_guarded`]: the genuinely mixed
+/// template-plus-membership sweep.
+fn regelem_combined(
+    sys: &ChcSystem,
+    cfg: &RegElemConfig,
+    store: &mut AutStore,
+    guard: &Guard,
+    stats: &mut RegElemStats,
+) -> RegElemAnswer {
+    // The certification is universal-only, so ∀∃ systems stop here.
     if sys.clauses.iter().any(|c| !c.exist_vars.is_empty()) {
-        return (RegElemAnswer::Unknown, stats);
+        return RegElemAnswer::Unknown;
     }
     let preds: Vec<PredId> = sys.rels.iter().collect();
     if preds.is_empty() {
-        return (
-            RegElemAnswer::Sat(
-                Box::new(RegElemInvariant {
-                    formulas: BTreeMap::new(),
-                }),
-                Provenance::Elementary,
-            ),
-            stats,
+        return RegElemAnswer::Sat(
+            Box::new(RegElemInvariant {
+                formulas: BTreeMap::new(),
+            }),
+            Provenance::Elementary,
         );
     }
     let pools: Vec<Vec<RegElemFormula>> = preds
         .iter()
         .map(|&p| {
-            let pool = candidate_pool(sys, p, cfg, &mut stats, store);
+            let pool = candidate_pool(sys, p, cfg, stats, store);
             stats.pool_total = stats.pool_total.saturating_add(pool.len() as u64);
             pool
         })
@@ -318,18 +369,13 @@ fn solve_regelem_with(
             None
         });
         match stop {
-            Some(Ok(inv)) => {
-                return (
-                    RegElemAnswer::Sat(Box::new(inv), Provenance::Combined),
-                    stats,
-                )
-            }
-            Some(Err(Stop::Budget)) => return (RegElemAnswer::Unknown, stats),
-            Some(Err(Stop::Interrupted)) => return (RegElemAnswer::Interrupted, stats),
+            Some(Ok(inv)) => return RegElemAnswer::Sat(Box::new(inv), Provenance::Combined),
+            Some(Err(Stop::Budget)) => return RegElemAnswer::Unknown,
+            Some(Err(Stop::Interrupted)) => return RegElemAnswer::Interrupted,
             None => {}
         }
     }
-    (RegElemAnswer::Unknown, stats)
+    RegElemAnswer::Unknown
 }
 
 /// Builds the combined-phase candidate pool for one predicate:

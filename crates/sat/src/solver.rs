@@ -120,6 +120,7 @@ pub struct Solver {
     /// Whether an empty clause was added.
     broken: bool,
     conflicts: u64,
+    decisions: u64,
 }
 
 impl Solver {
@@ -157,6 +158,11 @@ impl Solver {
     /// Conflicts encountered so far (budget bookkeeping).
     pub fn conflict_count(&self) -> u64 {
         self.conflicts
+    }
+
+    /// Decisions made so far (branching bookkeeping).
+    pub fn decision_count(&self) -> u64 {
+        self.decisions
     }
 
     /// Adds a clause. Returns `false` if the solver is already broken
@@ -473,6 +479,7 @@ impl Solver {
                     None => return SatResult::Sat,
                     Some(l) => {
                         decisions += 1;
+                        self.decisions += 1;
                         if let Some(g) = guard {
                             if decisions.is_multiple_of(GUARD_DECISION_PERIOD) && g.is_cancelled() {
                                 self.backjump(0);

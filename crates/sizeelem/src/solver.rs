@@ -182,28 +182,63 @@ pub fn solve_size_elem_guarded(
         panic!("input system is not well-sorted: {e}");
     }
     let mut stats = SizeElemStats::default();
+    let rec = guard.recorder().clone();
 
-    let (outcome, _) = saturate_guarded(sys, &cfg.saturation, guard);
-    match outcome {
-        SaturationOutcome::Refuted(r) => return (SizeElemAnswer::Unsat(r), stats),
-        SaturationOutcome::Interrupted(_) => return (SizeElemAnswer::Interrupted, stats),
-        SaturationOutcome::Saturated(_) | SaturationOutcome::Budget(_) => {}
+    {
+        let mut span = rec.span("sizeelem.refute");
+        let (outcome, _) = saturate_guarded(sys, &cfg.saturation, guard);
+        match outcome {
+            SaturationOutcome::Refuted(r) => {
+                span.note_str("outcome", "refuted");
+                return (SizeElemAnswer::Unsat(r), stats);
+            }
+            SaturationOutcome::Interrupted(_) => {
+                span.note_str("outcome", "interrupted");
+                return (SizeElemAnswer::Interrupted, stats);
+            }
+            SaturationOutcome::Saturated(_) | SaturationOutcome::Budget(_) => {
+                span.note_str("outcome", "no_refutation");
+            }
+        }
     }
 
+    let answer = {
+        let mut span = rec.span("sizeelem.sweep");
+        let answer = size_elem_sweep(sys, cfg, guard, &mut stats);
+        span.note("assignments", stats.assignments as i64);
+        span.note("cube_queries", stats.cube_queries as i64);
+        span.note_str(
+            "outcome",
+            match &answer {
+                SizeElemAnswer::Sat(_) => "sat",
+                SizeElemAnswer::Unsat(_) => "unsat",
+                SizeElemAnswer::Unknown => "unknown",
+                SizeElemAnswer::Interrupted => "interrupted",
+            },
+        );
+        answer
+    };
+    (answer, stats)
+}
+
+/// The template sweep (phase 2 of [`solve_size_elem_guarded`]).
+fn size_elem_sweep(
+    sys: &ChcSystem,
+    cfg: &SizeElemConfig,
+    guard: &Guard,
+    stats: &mut SizeElemStats,
+) -> SizeElemAnswer {
     // A ∀∃ query (the §5 STLC shape) rejects every candidate outright;
     // report divergence immediately instead of sweeping the template
     // space (observationally identical, much cheaper).
     if sys.clauses.iter().any(|c| !c.exist_vars.is_empty()) {
-        return (SizeElemAnswer::Unknown, stats);
+        return SizeElemAnswer::Unknown;
     }
     let preds: Vec<PredId> = sys.rels.iter().collect();
     if preds.is_empty() {
-        return (
-            SizeElemAnswer::Sat(SizeElemInvariant {
-                formulas: BTreeMap::new(),
-            }),
-            stats,
-        );
+        return SizeElemAnswer::Sat(SizeElemInvariant {
+            formulas: BTreeMap::new(),
+        });
     }
     let pools: Vec<Vec<SizeElemFormula>> = preds
         .iter()
@@ -233,20 +268,20 @@ pub fn solve_size_elem_guarded(
                 .zip(pools.iter().zip(idx))
                 .map(|(&p, (pool, &i))| (p, &pool[i]))
                 .collect();
-            if is_inductive(sys, &assignment, cfg, &domains, &mut stats) {
+            if is_inductive(sys, &assignment, cfg, &domains, stats) {
                 let formulas = assignment.iter().map(|(&p, &f)| (p, f.clone())).collect();
                 return Some(Ok(SizeElemInvariant { formulas }));
             }
             None
         });
         match stop {
-            Some(Ok(inv)) => return (SizeElemAnswer::Sat(inv), stats),
-            Some(Err(Stop::Budget)) => return (SizeElemAnswer::Unknown, stats),
-            Some(Err(Stop::Interrupted)) => return (SizeElemAnswer::Interrupted, stats),
+            Some(Ok(inv)) => return SizeElemAnswer::Sat(inv),
+            Some(Err(Stop::Budget)) => return SizeElemAnswer::Unknown,
+            Some(Err(Stop::Interrupted)) => return SizeElemAnswer::Interrupted,
             None => {}
         }
     }
-    (SizeElemAnswer::Unknown, stats)
+    SizeElemAnswer::Unknown
 }
 
 /// Per-sort size-image domains, probed once.

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the observability layer (`ringen-obs`).
+#
+# Exercises every way a trace can leave the process and validates each
+# artifact with `trace_check` (which re-parses the JSON with the same
+# parser that wrote it):
+#
+#   1. `--report-json` on the default solver — span tree, counters,
+#      automaton-store stats;
+#   2. `--report-json` on the portfolio — all four entrants must appear
+#      as children of the `race` span, each with a verdict;
+#   3. `RINGEN_TRACE` (env, no flag) — same document, env-driven;
+#   4. `RINGEN_TRACE_FORMAT=chrome` — Chrome trace_event JSON for
+#      Perfetto: sanity-checked for the `traceEvents` array and at
+#      least one complete ("X") event;
+#   5. a recorder-off run must NOT create the trace file.
+#
+# Usage: scripts/trace_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q
+RINGEN=target/release/ringen
+CHECK=target/release/trace_check
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Example 1 of the paper (SAT for every engine; fast everywhere).
+cat > "$tmp/even.smt2" <<'EOF'
+(declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+(declare-fun even (Nat) Bool)
+(assert (even Z))
+(assert (forall ((x Nat)) (=> (even x) (even (S (S x))))))
+(assert (forall ((x Nat)) (=> (and (even x) (even (S x))) false)))
+EOF
+
+fail() {
+    echo "trace_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+run() { # run DESC TIMEOUT_S CMD...
+    local desc=$1 limit=$2
+    shift 2
+    echo "== $desc"
+    timeout "${limit}s" "$@" || fail "$desc (status $?)"
+}
+
+# 1. Default solver, explicit flag.
+run "ringen --report-json" 60 \
+    "$RINGEN" --quiet --report-json "$tmp/solve.json" "$tmp/even.smt2"
+run "validate solve report" 10 "$CHECK" "$tmp/solve.json"
+
+# 2. Portfolio race: the report must show every entrant.
+run "portfolio --report-json" 60 \
+    "$RINGEN" --quiet --solver portfolio --report-json "$tmp/race.json" \
+    "$tmp/even.smt2"
+run "validate race report" 10 "$CHECK" --portfolio "$tmp/race.json"
+
+# 3. Env-driven trace, no flag.
+run "RINGEN_TRACE" 60 \
+    env RINGEN_TRACE="$tmp/env.json" \
+    "$RINGEN" --quiet "$tmp/even.smt2"
+run "validate env report" 10 "$CHECK" "$tmp/env.json"
+
+# 4. Chrome trace_event export.
+run "RINGEN_TRACE_FORMAT=chrome" 60 \
+    env RINGEN_TRACE="$tmp/chrome.json" RINGEN_TRACE_FORMAT=chrome \
+    "$RINGEN" --quiet --solver portfolio "$tmp/even.smt2"
+grep -q '"traceEvents"' "$tmp/chrome.json" || fail "chrome trace lacks traceEvents"
+grep -q '"ph": *"X"' "$tmp/chrome.json" || fail "chrome trace has no complete events"
+
+# 5. Empty RINGEN_TRACE means "off": solve must still succeed and no
+#    stray artifact may appear in the scratch dir.
+before=$(ls "$tmp" | wc -l)
+run "recorder disabled (RINGEN_TRACE=)" 60 \
+    env RINGEN_TRACE= "$RINGEN" --quiet "$tmp/even.smt2"
+after=$(ls "$tmp" | wc -l)
+[ "$before" = "$after" ] || fail "trace file written with recorder off"
+
+echo "trace_smoke: OK"

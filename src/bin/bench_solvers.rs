@@ -7,17 +7,29 @@
 //! of the portfolio would feel, as opposed to the kernel ratios of
 //! `BENCH_automata.json`.
 //!
+//! After the timed repetitions, one extra *instrumented* run per
+//! program races under an enabled [`Recorder`]; its span tree is
+//! folded into a per-engine `"phases"` object (direct child spans of
+//! each entrant, microseconds summed by name), so the JSON shows not
+//! just how long each entrant ran but where the time went. The
+//! document is built with `ringen-obs`'s JSON writer — the same
+//! serializer behind `--report-json`.
+//!
 //! Output goes to `$BENCH_SOLVERS_JSON` (the script points it at
 //! `BENCH_solvers.json` in the repo root). `$BENCH_SOLVERS_REPS`
 //! overrides the repetition count (default 5). Seed version: recorded,
 //! not gated.
 
-use std::fmt::Write as _;
 use std::time::Duration;
 
 use ringen::benchgen::programs;
+use ringen::core::{Guard, Recorder};
+use ringen::obs::json::Json;
+use ringen::obs::SpanRec;
 use ringen::parallel::ParallelConfig;
-use ringen::portfolio::{solve_portfolio, PortfolioAnswer, PortfolioConfig};
+use ringen::portfolio::{
+    solve_portfolio, solve_portfolio_guarded, PortfolioAnswer, PortfolioConfig,
+};
 
 fn median_ms(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
@@ -36,6 +48,28 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Direct child spans of the entrant span named `engine` (under the
+/// `race` span), microseconds summed by span name, in first-appearance
+/// order.
+fn phase_breakdown(spans: &[SpanRec], engine: &str) -> Vec<(String, f64)> {
+    let race = spans.iter().find(|s| s.name == "race");
+    let entrant = spans
+        .iter()
+        .find(|s| s.name == engine && s.parent == race.map(|r| r.id));
+    let Some(entrant) = entrant else {
+        return Vec::new();
+    };
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for s in spans.iter().filter(|s| s.parent == Some(entrant.id)) {
+        let us = s.end_ns.saturating_sub(s.start_ns) as f64 / 1e3;
+        match out.iter_mut().find(|(n, _)| n == s.name) {
+            Some((_, total)) => *total += us,
+            None => out.push((s.name.to_string(), us)),
+        }
+    }
+    out
+}
+
 fn main() {
     let reps: usize = std::env::var("BENCH_SOLVERS_REPS")
         .ok()
@@ -50,9 +84,8 @@ fn main() {
     ];
     let engine_names = ["fmf", "elem", "sizeelem", "regelem"];
 
-    let mut json = String::from("{\n  \"reps\": ");
-    let _ = write!(json, "{reps},\n  \"programs\": {{\n");
-    for (ci, (name, sys)) in cases.iter().enumerate() {
+    let mut program_objs: Vec<(String, Json)> = Vec::new();
+    for (name, sys) in &cases {
         // One worker per entrant, regardless of the measuring host:
         // these are race latencies, not hardware benchmarks.
         let cfg = PortfolioConfig {
@@ -81,33 +114,56 @@ fn main() {
                 statuses[ei] = format!("{:?}", report.status);
             }
         }
+        // One extra instrumented race: the recorder's span tree gives
+        // the per-phase breakdown (it is kept out of the timed reps so
+        // the medians stay recorder-free).
+        let recorder = Recorder::new();
+        let guard = Guard::new().with_recorder(recorder.clone());
+        let _ = solve_portfolio_guarded(sys, &cfg, &guard);
+        let trace = recorder.snapshot();
+
         eprintln!(
             "{name:<10} {verdict:>8}  winner={winner:<8}  race {:.2}ms",
             median_ms(&mut race_ms)
         );
-        let _ = write!(
-            json,
-            "    \"{name}\": {{\n      \"verdict\": \"{verdict}\",\n      \
-             \"winner\": \"{winner}\",\n      \"race_median_ms\": {:.3},\n      \
-             \"engines\": {{\n",
-            median_ms(&mut race_ms)
-        );
-        for (ei, engine) in engine_names.iter().enumerate() {
-            let _ = writeln!(
-                json,
-                "        \"{engine}\": {{\"status\": \"{}\", \"median_ms\": {:.3}}}{}",
-                statuses[ei],
-                median_ms(&mut engine_ms[ei]),
-                if ei + 1 < engine_names.len() { "," } else { "" }
-            );
-        }
-        let _ = write!(
-            json,
-            "      }}\n    }}{}\n",
-            if ci + 1 < cases.len() { "," } else { "" }
-        );
+        let engines = Json::obj(engine_names.iter().enumerate().map(|(ei, engine)| {
+            let phases = phase_breakdown(&trace.spans, engine);
+            let mut fields = vec![
+                ("status".to_string(), Json::Str(statuses[ei].clone())),
+                (
+                    "median_ms".to_string(),
+                    Json::Num(median_ms(&mut engine_ms[ei])),
+                ),
+            ];
+            if !phases.is_empty() {
+                fields.push((
+                    "phases_us".to_string(),
+                    Json::Obj(
+                        phases
+                            .into_iter()
+                            .map(|(n, us)| (n, Json::Num(us)))
+                            .collect(),
+                    ),
+                ));
+            }
+            (*engine, Json::Obj(fields))
+        }));
+        program_objs.push((
+            (*name).to_string(),
+            Json::obj([
+                ("verdict", Json::Str(verdict.to_string())),
+                ("winner", Json::Str(winner.clone())),
+                ("race_median_ms", Json::Num(median_ms(&mut race_ms))),
+                ("engines", engines),
+            ]),
+        ));
     }
-    json.push_str("  }\n}\n");
+    let doc = Json::obj([
+        ("reps", Json::Int(reps as i64)),
+        ("programs", Json::Obj(program_objs)),
+    ]);
+    let mut json = doc.to_pretty();
+    json.push('\n');
 
     match std::env::var("BENCH_SOLVERS_JSON") {
         Ok(path) => {

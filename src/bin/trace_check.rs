@@ -1,0 +1,135 @@
+//! CI validator for `ringen-solve-report-v1` documents
+//! (`scripts/trace_smoke.sh`).
+//!
+//! Reads a report written by `ringen --report-json` (or
+//! `RINGEN_TRACE`), re-parses it with `ringen-obs`'s own JSON parser,
+//! and asserts the structural contract the observability layer
+//! promises: schema tag, a definitive verdict string, a non-empty span
+//! forest rooted at `solve`, and a populated counter registry. With
+//! `--portfolio` it additionally requires the `race` span to carry all
+//! four entrants as children, each annotated with its verdict — the
+//! "race renders as a timeline" acceptance shape.
+//!
+//! ```text
+//! trace_check [--portfolio] REPORT.json
+//! ```
+//!
+//! Exits 0 when every check passes, 1 with a diagnostic otherwise.
+
+use std::process::ExitCode;
+
+use ringen::obs::json::{parse, Json};
+use ringen::report::SCHEMA;
+
+const ENTRANTS: [&str; 4] = ["fmf", "elem", "sizeelem", "regelem"];
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check: {msg}");
+    ExitCode::FAILURE
+}
+
+fn span_count(span: &Json) -> usize {
+    1 + span
+        .get("children")
+        .and_then(Json::as_arr)
+        .map_or(0, |kids| kids.iter().map(span_count).sum())
+}
+
+fn main() -> ExitCode {
+    let mut portfolio = false;
+    let mut path = None;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--portfolio" => portfolio = true,
+            _ if path.is_none() => path = Some(a),
+            other => return fail(&format!("unexpected argument {other}")),
+        }
+    }
+    let Some(path) = path else {
+        return fail("usage: trace_check [--portfolio] REPORT.json");
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match parse(&src) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("{path} is not valid JSON: {e:?}")),
+    };
+
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return fail(&format!("schema key missing or not {SCHEMA:?}"));
+    }
+    match doc.get("verdict").and_then(Json::as_str) {
+        Some("sat" | "unsat" | "unknown" | "interrupted") => {}
+        other => return fail(&format!("bad verdict {other:?}")),
+    }
+    if doc.get("wall_ms").is_none() {
+        return fail("wall_ms missing");
+    }
+    for key in ["program", "solver", "stats", "counters", "gauges"] {
+        if doc.get(key).is_none() {
+            return fail(&format!("{key} missing"));
+        }
+    }
+
+    let Some(spans) = doc.get("spans").and_then(Json::as_arr) else {
+        return fail("spans missing or not an array");
+    };
+    if spans.is_empty() {
+        return fail("span forest is empty — was the recorder enabled?");
+    }
+    let root = &spans[0];
+    if root.get("name").and_then(Json::as_str) != Some("solve") {
+        return fail("first root span is not `solve`");
+    }
+    let total: usize = spans.iter().map(span_count).sum();
+    if total < 2 {
+        return fail("span tree has no phase spans under the root");
+    }
+    let counters = doc.get("counters").and_then(Json::as_obj);
+    if counters.is_none_or(|c| c.is_empty()) {
+        return fail("counter registry is empty");
+    }
+
+    if portfolio {
+        let Some(race) = root
+            .get("children")
+            .and_then(Json::as_arr)
+            .and_then(|kids| {
+                kids.iter()
+                    .find(|k| k.get("name").and_then(Json::as_str) == Some("race"))
+            })
+        else {
+            return fail("--portfolio: no `race` span under the root");
+        };
+        let entrants = race.get("children").and_then(Json::as_arr);
+        for name in ENTRANTS {
+            let Some(entrant) = entrants.and_then(|kids| {
+                kids.iter()
+                    .find(|k| k.get("name").and_then(Json::as_str) == Some(name))
+            }) else {
+                return fail(&format!("--portfolio: entrant `{name}` missing from race"));
+            };
+            if entrant
+                .get("args")
+                .and_then(|a| a.get("verdict"))
+                .and_then(Json::as_str)
+                .is_none()
+            {
+                return fail(&format!("--portfolio: entrant `{name}` has no verdict"));
+            }
+        }
+        for section in ENTRANTS.map(|n| format!("engine.{n}")) {
+            if doc.get("stats").and_then(|s| s.get(&section)).is_none() {
+                return fail(&format!("--portfolio: stats section `{section}` missing"));
+            }
+        }
+    }
+
+    println!(
+        "trace_check OK: {path} ({total} spans, {} counters)",
+        counters.map_or(0, <[_]>::len)
+    );
+    ExitCode::SUCCESS
+}

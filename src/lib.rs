@@ -29,7 +29,12 @@
 //!   bit-for-bit identical at any value);
 //! * [`portfolio`] — the four representation-class engines raced
 //!   concurrently with cooperative cancellation, wall-clock deadlines
-//!   (`RINGEN_DEADLINE_MS`), and per-engine panic isolation.
+//!   (`RINGEN_DEADLINE_MS`), and per-engine panic isolation;
+//! * [`obs`] — dependency-free structured spans and a counter/gauge
+//!   registry, threaded through every engine via its [`core::Guard`];
+//! * [`report`] — assembles the recorder's trace and the engines'
+//!   statistics into the machine-readable `SolveReport` behind the
+//!   CLI's `--report-json` flag and the `RINGEN_TRACE` knob.
 //!
 //! # Quickstart
 //!
@@ -53,6 +58,7 @@
 //! ```
 
 pub mod portfolio;
+pub mod report;
 
 pub use ringen_automata as automata;
 pub use ringen_benchgen as benchgen;
@@ -61,6 +67,7 @@ pub use ringen_core as core;
 pub use ringen_elem as elem;
 pub use ringen_fmf as fmf;
 pub use ringen_induction as induction;
+pub use ringen_obs as obs;
 pub use ringen_parallel as parallel;
 pub use ringen_regelem as regelem;
 pub use ringen_sat as sat;

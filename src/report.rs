@@ -1,0 +1,166 @@
+//! Assembling [`SolveReport`]s from the engines' `*Stats` structs.
+//!
+//! `ringen-obs` sits below every engine crate, so it cannot name
+//! `SolveStats`, `PortfolioStats`, or the store counters; this module
+//! is where those structs are flattened into [`Section`]s. Both the
+//! CLI (`--report-json` / `RINGEN_TRACE`) and `bench_solvers` build
+//! their documents through these helpers, so the two outputs stay
+//! field-for-field compatible.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ringen_automata::StoreStats;
+use ringen_core::portfolio::PortfolioStats;
+use ringen_core::SolveStats;
+use ringen_elem::ElemStats;
+use ringen_obs::report::Section;
+use ringen_regelem::RegElemStats;
+use ringen_sizeelem::SizeElemStats;
+
+pub use ringen_obs::report::{SolveReport, SCHEMA};
+
+/// Serialization selected by `RINGEN_TRACE_FORMAT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// The `ringen-solve-report-v1` JSON document (default).
+    #[default]
+    Report,
+    /// Chrome `trace_event` JSON, loadable in Perfetto.
+    Chrome,
+}
+
+/// The trace destination requested by the environment: `RINGEN_TRACE`
+/// names the output path, `RINGEN_TRACE_FORMAT` (`report` | `chrome`)
+/// picks the serialization. Unknown format values fall back to
+/// [`TraceFormat::Report`].
+pub fn trace_from_env() -> Option<(PathBuf, TraceFormat)> {
+    let path = std::env::var_os("RINGEN_TRACE")?;
+    if path.is_empty() {
+        return None;
+    }
+    let format = match std::env::var("RINGEN_TRACE_FORMAT") {
+        Ok(v) if v.eq_ignore_ascii_case("chrome") => TraceFormat::Chrome,
+        _ => TraceFormat::Report,
+    };
+    Some((PathBuf::from(path), format))
+}
+
+/// Serializes `report` in `format`.
+pub fn render(report: &SolveReport, format: TraceFormat) -> String {
+    match format {
+        TraceFormat::Report => report.to_json_string(),
+        TraceFormat::Chrome => report.to_chrome_trace(),
+    }
+}
+
+fn ms(d: Duration) -> i64 {
+    i64::try_from(d.as_millis()).unwrap_or(i64::MAX)
+}
+
+/// Flattens the regular pipeline's [`SolveStats`]: one section per
+/// phase that actually ran.
+pub fn solve_sections(stats: &SolveStats) -> Vec<Section> {
+    let mut out = Vec::new();
+    if let Some(s) = &stats.saturation {
+        out.push(
+            Section::new("saturation")
+                .entry("rounds", s.rounds as i64)
+                .entry("facts", s.facts as i64)
+                .entry("steps", s.steps as i64)
+                .entry("candidates", s.candidates as i64)
+                .entry("pooled_terms", s.pooled_terms as i64),
+        );
+    }
+    if let Some(p) = &stats.preprocess {
+        out.push(
+            Section::new("preprocess")
+                .entry("clauses_in", p.clauses_in as i64)
+                .entry("clauses_out", p.clauses_out as i64)
+                .entry("tester_preds", p.tester_preds as i64)
+                .entry("diseq_preds", p.diseq_preds as i64),
+        );
+    }
+    if let Some(f) = &stats.finder {
+        out.push(
+            Section::new("finder")
+                .entry("vectors_tried", f.vectors_tried as i64)
+                .entry("decisions", f.decisions as i64)
+                .entry("conflicts", f.conflicts as i64)
+                .entry("skipped_too_large", f.skipped_too_large as i64)
+                .entry("budget_exhausted", f.budget_exhausted as i64),
+        );
+    }
+    if let Some(size) = stats.model_size {
+        out.push(Section::new("model").entry("size", size as i64));
+    }
+    out
+}
+
+/// Flattens the automaton-store counters.
+pub fn store_section(st: &StoreStats) -> Section {
+    Section::new("aut_store")
+        .entry("interned_auts", st.interned_auts as i64)
+        .entry("interned_dftas", st.interned_dftas as i64)
+        .entry("dedup_hits", st.dedup_hits as i64)
+        .entry("memo_hits", st.memo_hits as i64)
+        .entry("memo_misses", st.memo_misses as i64)
+        .entry("seeded_products", st.seeded_products as i64)
+}
+
+/// Flattens the elementary solver's counters.
+pub fn elem_section(stats: &ElemStats) -> Section {
+    Section::new("elem")
+        .entry("assignments", stats.assignments as i64)
+        .entry("clause_checks", stats.clause_checks as i64)
+        .entry("cube_queries", stats.cube_queries as i64)
+}
+
+/// Flattens the size-elementary solver's counters.
+pub fn sizeelem_section(stats: &SizeElemStats) -> Section {
+    Section::new("sizeelem")
+        .entry("assignments", stats.assignments as i64)
+        .entry("cube_queries", stats.cube_queries as i64)
+}
+
+/// Flattens the hybrid solver's counters (plus its store traffic).
+pub fn regelem_sections(stats: &RegElemStats) -> Vec<Section> {
+    vec![
+        Section::new("regelem")
+            .entry("assignments", stats.assignments as i64)
+            .entry("pool_total", stats.pool_total as i64)
+            .entry("langs", stats.langs as i64),
+        store_section(&stats.store),
+    ]
+}
+
+/// Flattens a race: one `race` section plus one `engine.<name>` section
+/// per entrant. Per-entrant verdicts and phase timings live in the span
+/// tree (the `race` span's children); the sections carry the numeric
+/// summary.
+pub fn portfolio_sections(stats: &PortfolioStats) -> Vec<Section> {
+    let mut race = Section::new("race")
+        .entry("entrants", stats.engines.len() as i64)
+        .entry("elapsed_ms", ms(stats.elapsed))
+        .entry(
+            "winner",
+            stats.winner.map_or(-1, |i| i64::try_from(i).unwrap_or(-1)),
+        );
+    if let Some(d) = stats.deadline {
+        race = race.entry("deadline_ms", ms(d));
+    }
+    let mut out = vec![race];
+    for (i, e) in stats.engines.iter().enumerate() {
+        out.push(
+            Section::new(format!("engine.{}", e.name))
+                .entry("elapsed_ms", ms(e.elapsed))
+                .entry("won", i64::from(stats.winner == Some(i)))
+                .entry(
+                    "definitive",
+                    i64::from(e.verdict.as_ref().is_some_and(|v| v.is_definitive())),
+                )
+                .entry("panicked", i64::from(e.panic.is_some())),
+        );
+    }
+    out
+}
