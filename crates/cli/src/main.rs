@@ -30,7 +30,7 @@ use ringen::obs::report::Section;
 use ringen::report::{self, SolveReport, TraceFormat};
 use ringen_automata::AutStore;
 use ringen_chc::parse_str;
-use ringen_core::{solve_guarded, Answer, Guard, Recorder, RingenConfig};
+use ringen_core::{solve_guarded, Answer, Guard, Recorder, RecorderLimits, RingenConfig};
 
 fn main() -> ExitCode {
     let mut quick = false;
@@ -95,7 +95,9 @@ fn main() -> ExitCode {
         .map(|p| (p, TraceFormat::Report))
         .or_else(report::trace_from_env);
     let recorder = if trace.is_some() {
-        Recorder::new()
+        // Bounded sinks apply to CLI traces too: a capped ring or
+        // sampled recorder still reports exact dropped counts.
+        Recorder::with_limits(RecorderLimits::from_env())
     } else {
         Recorder::disabled()
     };

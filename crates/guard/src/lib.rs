@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-pub use ringen_obs::{Recorder, SharedRecorder, Span, SpanHandle};
+pub use ringen_obs::{Recorder, RecorderLimits, SharedRecorder, Span, SpanHandle};
 
 #[derive(Debug)]
 struct Inner {

@@ -1,0 +1,313 @@
+//! Log-bucketed latency histograms for the metrics registry.
+//!
+//! Every span close feeds the duration into a per-name [`Histogram`]
+//! (see [`Trace::histograms`](crate::Trace::histograms)), so the
+//! analytics tier gets p50/p90/p99/max per phase without retaining —
+//! or even flushing — the individual spans. That is what makes the
+//! bounded sinks honest: a ring-buffer cap or head sampling may drop
+//! span *records*, but the aggregate latency distribution per span
+//! name survives in full (sampling drops whole trees before they are
+//! timed, so sampled-out spans are the one exception — their counts
+//! live in [`DroppedSpans::sampled`](crate::DroppedSpans)).
+//!
+//! The representation is HDR-style log-linear bucketing: values below
+//! 16 get exact unit buckets, and every power-of-two octave above that
+//! is split into 8 sub-buckets, bounding the relative quantile error
+//! at one part in eight (12.5%) across the whole `u64` range. The
+//! bucket count is a compile-time constant and the bucket array is
+//! inline, so recording is one index computation plus an increment —
+//! no allocation ever, which is why the central store can update these
+//! under the same lock that absorbs span flushes.
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 3;
+
+/// Values below this get exact, width-1 buckets.
+const LINEAR_MAX: u64 = 1 << (SUB_BITS + 1);
+
+/// Total bucket count for the full `u64` range (compile-time fixed).
+pub const BUCKET_COUNT: usize =
+    LINEAR_MAX as usize + (64 - SUB_BITS as usize - 1) * (1 << SUB_BITS);
+
+/// Bucket index for `v`: identity below [`LINEAR_MAX`], log-linear
+/// above (top `SUB_BITS + 1` significant bits select the bucket).
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let group = (msb - SUB_BITS - 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as usize;
+    LINEAR_MAX as usize + (group << SUB_BITS) + sub
+}
+
+/// Inclusive `(low, high)` value range covered by bucket `idx`.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < LINEAR_MAX as usize {
+        return (idx as u64, idx as u64);
+    }
+    let group = (idx - LINEAR_MAX as usize) >> SUB_BITS;
+    let sub = (idx - LINEAR_MAX as usize) & ((1 << SUB_BITS) - 1);
+    let msb = group as u32 + SUB_BITS + 1;
+    let width = 1u64 << (msb - SUB_BITS);
+    let lo = (1u64 << msb) + sub as u64 * width;
+    // `width - 1` first: the top bucket's `lo + width` is 2^64.
+    (lo, lo + (width - 1))
+}
+
+/// A fixed-size log-linear histogram of `u64` samples (nanoseconds, in
+/// the recorder's use). Recording never allocates; quantiles carry at
+/// most 12.5% relative error from the bucketing.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The bucket array is noise; the summary is the point.
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. Constant-time, allocation-free.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): midpoint of the bucket where
+    /// the cumulative count crosses the rank, clamped to the observed
+    /// `[min, max]` so p99 of a single sample is that sample, not a
+    /// bucket bound. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            // The full quantile is the maximum, tracked exactly.
+            return self.max;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let (lo, hi) = bucket_bounds(i);
+                return (lo + (hi - lo) / 2).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The fixed-size summary exported into a [`Trace`](crate::Trace).
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Snapshot of a [`Histogram`]: counts and quantiles in the sample
+/// unit (nanoseconds for span durations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (≤ 12.5% bucketing error).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        let mut v = 0u64;
+        loop {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKET_COUNT, "index {idx} out of range for {v}");
+            assert!(idx >= last, "index not monotone at {v}");
+            last = idx;
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "{v} outside its bucket [{lo}, {hi}]");
+            if v > u64::MAX / 3 {
+                break;
+            }
+            v = v * 3 + 1;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKET_COUNT);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 28);
+    }
+
+    #[test]
+    fn quantiles_stay_within_relative_error() {
+        let mut h = Histogram::new();
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 17u64;
+        for _ in 0..1000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = x % 1_000_000;
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for (q, rank) in [(0.50, 499), (0.90, 899), (0.99, 989)] {
+            let exact = samples[rank] as f64;
+            let est = h.quantile(q) as f64;
+            let err = (est - exact).abs() / exact.max(1.0);
+            assert!(
+                err <= 0.13,
+                "q={q}: estimate {est} vs exact {exact} (err {err:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_that_sample() {
+        let mut h = Histogram::new();
+        h.record(123_456);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 123_456);
+        }
+        let s = h.summary();
+        assert_eq!(
+            (s.p50, s.p90, s.p99, s.max, s.min, s.count),
+            (123_456, 123_456, 123_456, 123_456, 123_456, 1)
+        );
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!(s, HistSummary::default());
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..500u64 {
+            let v = v * 977;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), all.summary());
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.sum(), u64::MAX); // saturating
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

@@ -63,6 +63,15 @@ impl Json {
         }
     }
 
+    /// The numeric payload as a float (integers widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(f) => Some(*f),
+            _ => None,
+        }
+    }
+
     /// The array payload, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {

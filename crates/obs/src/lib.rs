@@ -32,6 +32,17 @@
 //! [`json`] and [`report`]; both are hand-rolled (no serde), matching
 //! the workspace's vendored-stand-ins policy.
 //!
+//! On top of the raw spans sits an *analytics* tier:
+//!
+//! * every span close feeds a per-name log-bucketed [`Histogram`]
+//!   (p50/p90/p99/max via [`Trace::histograms`]), so phase latency
+//!   distributions survive even when individual span records do not;
+//! * [`RecorderLimits`] bounds the recorder for long-lived processes —
+//!   a ring-buffer span cap (`RINGEN_TRACE_RING`) and deterministic
+//!   head sampling of root-span trees (`RINGEN_TRACE_SAMPLE=1/N`) —
+//!   with exact dropped-span counts surfaced in [`Trace::dropped`] so
+//!   truncation is never silent.
+//!
 //! ```
 //! use ringen_obs::Recorder;
 //!
@@ -54,8 +65,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::time::Instant;
 
+mod hist;
 pub mod json;
 pub mod report;
+
+pub use hist::{HistSummary, Histogram, BUCKET_COUNT};
 
 /// A span argument: integers for metrics, static strings for verdicts
 /// and other enumerations.
@@ -88,6 +102,26 @@ pub struct SpanRec {
     pub args: Vec<(&'static str, ArgVal)>,
 }
 
+/// Spans that were *not* retained, by cause. Exact counts: every span
+/// that would have been recorded with no limits in force is tallied
+/// in exactly one of the two fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DroppedSpans {
+    /// Evicted from the ring-buffer span store (their durations still
+    /// reached the per-name histograms before eviction).
+    pub ring: u64,
+    /// Suppressed by head sampling (whole root trees, never timed —
+    /// these do *not* appear in the histograms).
+    pub sampled: u64,
+}
+
+impl DroppedSpans {
+    /// Total spans not retained.
+    pub fn total(&self) -> u64 {
+        self.ring + self.sampled
+    }
+}
+
 /// Everything a recorder captured: the flushed spans plus the final
 /// counter and gauge registries.
 #[derive(Debug, Clone, Default)]
@@ -98,6 +132,60 @@ pub struct Trace {
     pub counters: Vec<(&'static str, i64)>,
     /// Last-write-wins gauges, ordered by name.
     pub gauges: Vec<(&'static str, i64)>,
+    /// Per-span-name latency histograms (nanoseconds), ordered by
+    /// name, plus any explicit [`Recorder::observe`] series.
+    pub histograms: Vec<(&'static str, HistSummary)>,
+    /// Spans dropped by the bounded sinks (ring cap / sampling).
+    pub dropped: DroppedSpans,
+}
+
+/// Bounds on what a recorder retains — the long-lived-process story.
+/// Defaults to unbounded; [`RecorderLimits::from_env`] reads the
+/// `RINGEN_TRACE_RING` / `RINGEN_TRACE_SAMPLE` knobs (see
+/// `ENVIRONMENT.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderLimits {
+    /// Maximum retained span records: once full, the oldest flushed
+    /// span is evicted per new arrival (its duration already counted
+    /// in the histograms). `None` retains everything.
+    pub ring: Option<usize>,
+    /// Head sampling: keep 1 of every N root-span *trees* (children
+    /// inherit the root's fate, so the forest stays balanced). The
+    /// decision is `root_sequence % N == 0` — deterministic, so the
+    /// first root is always kept and tests reproduce. `None` (or
+    /// N ≤ 1) keeps everything.
+    pub sample: Option<u64>,
+}
+
+impl RecorderLimits {
+    /// Limits from the environment: `RINGEN_TRACE_RING` (a span
+    /// count) and `RINGEN_TRACE_SAMPLE` (`1/N` or plain `N`). Read
+    /// once per process.
+    pub fn from_env() -> Self {
+        static LIMITS: std::sync::OnceLock<RecorderLimits> = std::sync::OnceLock::new();
+        *LIMITS.get_or_init(|| RecorderLimits {
+            ring: std::env::var("RINGEN_TRACE_RING")
+                .ok()
+                .and_then(|v| v.trim().parse().ok()),
+            sample: std::env::var("RINGEN_TRACE_SAMPLE")
+                .ok()
+                .and_then(|v| parse_sample(&v)),
+        })
+    }
+}
+
+/// Parses a `RINGEN_TRACE_SAMPLE` value: `"1/N"` (the documented
+/// spelling) or a bare `"N"`, both meaning "keep 1 of every N root
+/// trees". `N ≤ 1`, garbage, or a numerator other than 1 disable
+/// sampling (`None`).
+pub fn parse_sample(v: &str) -> Option<u64> {
+    let v = v.trim();
+    let n = match v.split_once('/') {
+        Some((num, den)) if num.trim() == "1" => den.trim().parse::<u64>().ok()?,
+        Some(_) => return None,
+        None => v.parse::<u64>().ok()?,
+    };
+    (n > 1).then_some(n)
 }
 
 /// Central recording state shared by all clones of a recorder.
@@ -106,6 +194,38 @@ struct Central {
     spans: Vec<SpanRec>,
     counters: BTreeMap<&'static str, i64>,
     gauges: BTreeMap<&'static str, i64>,
+    /// Per-span-name duration histograms plus explicit `observe`
+    /// series. Boxed: the bucket array is ~4KB and names are few.
+    hist: BTreeMap<&'static str, Box<Histogram>>,
+    /// Next eviction slot once `spans` has reached the ring cap.
+    ring_next: usize,
+    dropped_ring: u64,
+}
+
+impl Central {
+    /// Absorbs one closed span: its duration always reaches the
+    /// histogram; the record itself lands in the (possibly ring-
+    /// bounded) span store.
+    fn note_span(&mut self, rec: SpanRec, ring: Option<usize>) {
+        let dur = rec.end_ns.saturating_sub(rec.start_ns);
+        self.hist
+            .entry(rec.name)
+            .or_insert_with(|| Box::new(Histogram::new()))
+            .record(dur);
+        match ring {
+            None => self.spans.push(rec),
+            Some(0) => self.dropped_ring += 1,
+            Some(cap) => {
+                if self.spans.len() < cap {
+                    self.spans.push(rec);
+                } else {
+                    self.spans[self.ring_next] = rec;
+                    self.ring_next = (self.ring_next + 1) % cap;
+                    self.dropped_ring += 1;
+                }
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -117,8 +237,14 @@ struct Inner {
     text: AtomicBool,
     /// Monotonic time zero for every timestamp this recorder emits.
     epoch: Instant,
+    /// Retention bounds, fixed at construction.
+    limits: RecorderLimits,
     next_id: AtomicU64,
     next_tid: AtomicU64,
+    /// Root-span sequence for the head-sampling decision.
+    root_seq: AtomicU64,
+    /// Spans suppressed by sampling (roots *and* their descendants).
+    dropped_sampled: AtomicU64,
     central: Mutex<Central>,
 }
 
@@ -147,6 +273,9 @@ pub type SharedRecorder = Recorder;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SpanHandle {
     id: Option<u64>,
+    /// The handle of a sampled-out span: children parented under it
+    /// inherit the suppression, keeping whole trees together.
+    suppressed: bool,
 }
 
 /// Per-thread, per-recorder recording state: the open-span stack that
@@ -161,6 +290,10 @@ struct Slot {
     tid: u64,
     stack: Vec<u64>,
     buf: Vec<SpanRec>,
+    /// Depth of open *suppressed* (sampled-out) spans on this thread:
+    /// while nonzero, every newly opened span is suppressed too, so a
+    /// dropped root drops its entire tree.
+    suppressed: u64,
 }
 
 thread_local! {
@@ -192,6 +325,7 @@ fn with_slot<R>(inner: &Arc<Inner>, f: impl FnOnce(&mut Slot) -> R) -> Option<R>
                         tid: inner.next_tid.fetch_add(1, Ordering::Relaxed),
                         stack: Vec::new(),
                         buf: Vec::new(),
+                        suppressed: 0,
                     });
                     slots.len() - 1
                 }
@@ -202,15 +336,28 @@ fn with_slot<R>(inner: &Arc<Inner>, f: impl FnOnce(&mut Slot) -> R) -> Option<R>
 }
 
 impl Recorder {
-    /// An enabled recorder with fresh central state.
+    /// An enabled, unbounded recorder with fresh central state.
     pub fn new() -> Self {
+        Recorder::with_limits(RecorderLimits::default())
+    }
+
+    /// An enabled recorder bounded by `limits` (a sampling divisor of
+    /// 1 or 0 is normalized to "keep everything").
+    pub fn with_limits(limits: RecorderLimits) -> Self {
+        let limits = RecorderLimits {
+            ring: limits.ring,
+            sample: limits.sample.filter(|&n| n > 1),
+        };
         Recorder {
             inner: Some(Arc::new(Inner {
                 enabled: AtomicBool::new(true),
                 text: AtomicBool::new(false),
                 epoch: Instant::now(),
+                limits,
                 next_id: AtomicU64::new(1),
                 next_tid: AtomicU64::new(0),
+                root_seq: AtomicU64::new(0),
+                dropped_sampled: AtomicU64::new(0),
                 central: Mutex::new(Central::default()),
             })),
         }
@@ -235,14 +382,15 @@ impl Recorder {
     }
 
     /// An enabled recorder when `RINGEN_TRACE` is set (to anything
-    /// non-empty), a disabled one otherwise. The environment is read
-    /// once per process.
+    /// non-empty), a disabled one otherwise. An enabled recorder picks
+    /// up [`RecorderLimits::from_env`]. The environment is read once
+    /// per process.
     pub fn from_env() -> Self {
         static TRACED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
         let on =
             *TRACED.get_or_init(|| std::env::var_os("RINGEN_TRACE").is_some_and(|v| !v.is_empty()));
         if on {
-            Recorder::new()
+            Recorder::with_limits(RecorderLimits::from_env())
         } else {
             Recorder::disabled()
         }
@@ -303,7 +451,7 @@ impl Recorder {
     #[inline]
     pub fn span(&self, name: &'static str) -> Span {
         if !self.is_recording() {
-            return Span { active: None };
+            return Span::default();
         }
         self.open(name, None)
     }
@@ -314,31 +462,63 @@ impl Recorder {
     #[inline]
     pub fn span_under(&self, name: &'static str, parent: SpanHandle) -> Span {
         if !self.is_recording() {
-            return Span { active: None };
+            return Span::default();
         }
-        self.open(name, Some(parent.id))
+        self.open(name, Some(parent))
     }
 
-    fn open(&self, name: &'static str, explicit_parent: Option<Option<u64>>) -> Span {
+    fn open(&self, name: &'static str, explicit: Option<SpanHandle>) -> Span {
         let Some(inner) = &self.inner else {
-            return Span { active: None };
+            return Span::default();
         };
         if !inner.enabled.load(Ordering::Relaxed) {
-            return Span { active: None };
+            return Span::default();
         }
-        let start_ns = inner.epoch.elapsed().as_nanos() as u64;
-        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        // Parenting and the sampling verdict both live in the slot;
+        // the clock and id are only read for spans that survive, so a
+        // sampled-out tree costs a slot lookup per span and nothing
+        // else.
         let opened = with_slot(inner, |slot| {
-            let parent = match explicit_parent {
-                Some(parent) => parent,
+            if slot.suppressed > 0 || explicit.is_some_and(|h| h.suppressed) {
+                slot.suppressed += 1;
+                return None;
+            }
+            let parent = match explicit {
+                Some(h) => h.id,
                 None => slot.stack.last().copied(),
             };
+            if parent.is_none() {
+                if let Some(n) = inner.limits.sample {
+                    let seq = inner.root_seq.fetch_add(1, Ordering::Relaxed);
+                    if seq % n != 0 {
+                        slot.suppressed = 1;
+                        return None;
+                    }
+                }
+            }
+            let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
             slot.stack.push(id);
-            (parent, slot.tid)
+            Some((id, parent, slot.tid))
         });
-        let (parent, tid) = opened.unwrap_or((explicit_parent.flatten(), u64::MAX));
+        let (id, parent, tid) = match opened {
+            Some(Some(opened)) => opened,
+            Some(None) => {
+                inner.dropped_sampled.fetch_add(1, Ordering::Relaxed);
+                return Span {
+                    state: SpanState::Suppressed(inner.clone()),
+                };
+            }
+            // Thread-local storage already torn down (thread exit):
+            // no stack, no sampling — record the span directly.
+            None => (
+                inner.next_id.fetch_add(1, Ordering::Relaxed),
+                explicit.and_then(|h| h.id),
+                u64::MAX,
+            ),
+        };
+        let start_ns = inner.epoch.elapsed().as_nanos() as u64;
         Span {
-            active: Some(Box::new(ActiveSpan {
+            state: SpanState::Active(Box::new(ActiveSpan {
                 inner: inner.clone(),
                 rec: SpanRec {
                     id,
@@ -381,10 +561,32 @@ impl Recorder {
         lock_central(inner).gauges.insert(name, value);
     }
 
-    /// The merged trace so far: every *flushed* span (all spans whose
-    /// thread has closed its outermost span — after a solve returns,
-    /// that is all of them) ordered by `(start_ns, id)`, plus the
-    /// counter and gauge registries. Non-destructive.
+    /// Records `value` into the named histogram — the explicit series
+    /// API for distributions that are not span durations (queue
+    /// depths, batch sizes). Span durations land in the same registry
+    /// automatically under their span name.
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: u64) {
+        if !self.is_recording() {
+            return;
+        }
+        self.observe_slow(name, value);
+    }
+
+    fn observe_slow(&self, name: &'static str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        lock_central(inner)
+            .hist
+            .entry(name)
+            .or_insert_with(|| Box::new(Histogram::new()))
+            .record(value);
+    }
+
+    /// The merged trace so far: every *retained, flushed* span (all
+    /// spans whose thread has closed its outermost span — after a
+    /// solve returns, that is all of them) ordered by `(start_ns,
+    /// id)`, plus the counter, gauge, and histogram registries and the
+    /// exact dropped-span counts. Non-destructive.
     pub fn snapshot(&self) -> Trace {
         let Some(inner) = &self.inner else {
             return Trace::default();
@@ -396,6 +598,15 @@ impl Recorder {
             spans,
             counters: central.counters.iter().map(|(&k, &v)| (k, v)).collect(),
             gauges: central.gauges.iter().map(|(&k, &v)| (k, v)).collect(),
+            histograms: central
+                .hist
+                .iter()
+                .map(|(&k, h)| (k, h.summary()))
+                .collect(),
+            dropped: DroppedSpans {
+                ring: central.dropped_ring,
+                sampled: inner.dropped_sampled.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -406,37 +617,60 @@ struct ActiveSpan {
     rec: SpanRec,
 }
 
+/// What a [`Span`] guard holds: nothing (disabled recorder), a live
+/// record, or the recorder whose suppression depth it must unwind
+/// (sampled-out span).
+#[derive(Debug, Default)]
+enum SpanState {
+    /// Guard from a disabled recorder: drop is a no-op.
+    #[default]
+    Noop,
+    // Boxed so the no-op guard is pointer-sized and the enabled path
+    // pays its one allocation at open, not per argument.
+    Active(Box<ActiveSpan>),
+    /// Sampled-out: notes are discarded; drop decrements the thread's
+    /// suppression depth so later roots get their own verdict.
+    Suppressed(Arc<Inner>),
+}
+
 /// An RAII span guard: records its close (and flushes the thread's
 /// buffer, if this was the outermost span) when dropped — on normal
 /// exit, on `?`/`Interrupted` early returns, and while unwinding from
 /// a panic. A guard from a disabled recorder holds nothing.
 #[derive(Debug, Default)]
 pub struct Span {
-    // Boxed so the no-op guard is pointer-sized and the enabled path
-    // pays its one allocation at open, not per argument.
-    active: Option<Box<ActiveSpan>>,
+    state: SpanState,
 }
 
 impl Span {
     /// Attaches a numeric argument (recorded at close).
     pub fn note(&mut self, key: &'static str, value: i64) {
-        if let Some(active) = &mut self.active {
+        if let SpanState::Active(active) = &mut self.state {
             active.rec.args.push((key, ArgVal::Int(value)));
         }
     }
 
     /// Attaches a symbolic argument (outcome tags and the like).
     pub fn note_str(&mut self, key: &'static str, value: &'static str) {
-        if let Some(active) = &mut self.active {
+        if let SpanState::Active(active) = &mut self.state {
             active.rec.args.push((key, ArgVal::Str(value)));
         }
     }
 
     /// A handle other threads can parent spans under. The handle of a
-    /// no-op span parents nothing (children become roots).
+    /// no-op span parents nothing (children become roots); the handle
+    /// of a sampled-out span suppresses its children too.
     pub fn handle(&self) -> SpanHandle {
-        SpanHandle {
-            id: self.active.as_ref().map(|a| a.rec.id),
+        match &self.state {
+            SpanState::Noop => SpanHandle::default(),
+            SpanState::Active(a) => SpanHandle {
+                id: Some(a.rec.id),
+                suppressed: false,
+            },
+            SpanState::Suppressed(_) => SpanHandle {
+                id: None,
+                suppressed: true,
+            },
         }
     }
 
@@ -447,16 +681,21 @@ impl Span {
 impl Drop for Span {
     #[inline]
     fn drop(&mut self) {
-        let Some(active) = self.active.take() else {
-            return;
-        };
-        close_span(*active);
+        match std::mem::take(&mut self.state) {
+            SpanState::Noop => {}
+            SpanState::Active(active) => close_span(*active),
+            SpanState::Suppressed(inner) => {
+                with_slot(&inner, |slot| {
+                    slot.suppressed = slot.suppressed.saturating_sub(1);
+                });
+            }
+        }
     }
 }
 
 /// The out-of-line close path: records the end timestamp, pops the
 /// thread's open-span stack, and flushes the buffer when this was the
-/// outermost span. Only `Span::drop`'s no-op check is inlined.
+/// outermost span. Only `Span::drop`'s state dispatch is inlined.
 fn close_span(active: ActiveSpan) {
     let ActiveSpan { inner, mut rec } = active;
     rec.end_ns = inner.epoch.elapsed().as_nanos() as u64;
@@ -474,15 +713,26 @@ fn close_span(active: ActiveSpan) {
         slot.buf.push(rec.take().expect("span closed once"));
         if slot.stack.is_empty() {
             let buf = std::mem::take(&mut slot.buf);
-            lock_central(&inner).spans.extend(buf);
+            flush(&inner, buf);
         }
     });
     if flushed.is_none() {
         if let Some(rec) = rec {
             // Thread-local storage already torn down (thread
             // exit): bypass the buffer so the span is not lost.
-            lock_central(&inner).spans.push(rec);
+            flush(&inner, vec![rec]);
         }
+    }
+}
+
+/// Absorbs a thread's buffer of closed spans into the central store:
+/// histograms first (they see every flushed span), then the possibly
+/// ring-bounded span store.
+fn flush(inner: &Inner, buf: Vec<SpanRec>) {
+    let ring = inner.limits.ring;
+    let mut central = lock_central(inner);
+    for rec in buf {
+        central.note_span(rec, ring);
     }
 }
 
@@ -500,12 +750,48 @@ mod tests {
         }
         rec.add("c", 5);
         rec.gauge("g", 7);
+        rec.observe("h", 9);
         let trace = rec.snapshot();
         assert!(trace.spans.is_empty());
         assert!(trace.counters.is_empty());
         assert!(trace.gauges.is_empty());
+        assert!(trace.histograms.is_empty());
+        assert_eq!(trace.dropped, DroppedSpans::default());
         assert!(!rec.is_enabled());
         assert!(!rec.text_enabled());
+    }
+
+    #[test]
+    fn span_durations_feed_per_name_histograms() {
+        let rec = Recorder::new();
+        for _ in 0..3 {
+            let _a = rec.span("phase.a");
+            let _b = rec.span("phase.b");
+        }
+        rec.observe("queue.depth", 4);
+        rec.observe("queue.depth", 8);
+        let t = rec.snapshot();
+        let names: Vec<_> = t.histograms.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["phase.a", "phase.b", "queue.depth"]);
+        let get = |n: &str| t.histograms.iter().find(|(m, _)| *m == n).unwrap().1;
+        assert_eq!(get("phase.a").count, 3);
+        assert_eq!(get("phase.b").count, 3);
+        let q = get("queue.depth");
+        assert_eq!((q.count, q.min, q.max, q.sum), (2, 4, 8, 12));
+        assert_eq!(t.dropped, DroppedSpans::default());
+    }
+
+    #[test]
+    fn parse_sample_accepts_both_spellings() {
+        assert_eq!(parse_sample("1/8"), Some(8));
+        assert_eq!(parse_sample(" 1 / 8 "), Some(8));
+        assert_eq!(parse_sample("8"), Some(8));
+        assert_eq!(parse_sample("1/1"), None);
+        assert_eq!(parse_sample("1"), None);
+        assert_eq!(parse_sample("0"), None);
+        assert_eq!(parse_sample("2/8"), None);
+        assert_eq!(parse_sample("nope"), None);
+        assert_eq!(parse_sample(""), None);
     }
 
     #[test]

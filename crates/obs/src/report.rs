@@ -12,6 +12,15 @@
 //!   (`"X"` complete events, microsecond timestamps), loadable
 //!   directly in `about:tracing` or <https://ui.perfetto.dev>; a
 //!   portfolio race renders as one timeline row per entrant.
+//! * [`SolveReport::to_collapsed_stacks`] — folded-stack lines
+//!   (`root;child;leaf weight`), the input format of inferno /
+//!   `flamegraph.pl` / speedscope, weighted by *self* time in
+//!   nanoseconds.
+//!
+//! The v1 JSON is **byte-stable**: sections, counters, gauges, and
+//! histograms all serialize in sorted name order, so two identical
+//! runs differ only in their measured numbers — the property
+//! `trace_diff` relies on.
 
 use crate::json::Json;
 use crate::{ArgVal, SpanRec, Trace};
@@ -128,14 +137,36 @@ fn registry_json(entries: &[(&'static str, i64)]) -> Json {
 }
 
 impl SolveReport {
-    /// The report as a [`Json`] document (see [`SCHEMA`]).
+    /// The report as a [`Json`] document (see [`SCHEMA`]). Sections
+    /// are emitted in sorted name order regardless of insertion order,
+    /// keeping the document byte-stable across runs.
     pub fn to_json(&self) -> Json {
-        let stats = Json::obj(self.sections.iter().map(|s| {
+        let mut sections: Vec<&Section> = self.sections.iter().collect();
+        sections.sort_by(|a, b| a.name.cmp(&b.name));
+        let stats = Json::obj(sections.iter().map(|s| {
             (
                 s.name.clone(),
                 Json::obj(s.entries.iter().map(|(k, v)| (k.clone(), Json::Int(*v)))),
             )
         }));
+        let histograms = Json::obj(self.trace.histograms.iter().map(|&(name, h)| {
+            (
+                name,
+                Json::obj([
+                    ("count", Json::Int(h.count as i64)),
+                    ("min_us", us(h.min)),
+                    ("max_us", us(h.max)),
+                    ("p50_us", us(h.p50)),
+                    ("p90_us", us(h.p90)),
+                    ("p99_us", us(h.p99)),
+                    ("sum_us", us(h.sum)),
+                ]),
+            )
+        }));
+        let dropped = Json::obj([
+            ("ring", Json::Int(self.trace.dropped.ring as i64)),
+            ("sampled", Json::Int(self.trace.dropped.sampled as i64)),
+        ]);
         Json::obj([
             ("schema", Json::Str(SCHEMA.to_string())),
             ("program", Json::Str(self.program.clone())),
@@ -145,6 +176,8 @@ impl SolveReport {
             ("stats", stats),
             ("counters", registry_json(&self.trace.counters)),
             ("gauges", registry_json(&self.trace.gauges)),
+            ("histograms", histograms),
+            ("dropped_spans", dropped),
             ("spans", span_forest(&self.trace.spans)),
         ])
     }
@@ -195,6 +228,58 @@ impl SolveReport {
         let mut doc = Json::obj([("traceEvents", Json::Arr(events))]).to_compact();
         doc.push('\n');
         doc
+    }
+
+    /// The span set as collapsed (folded) stack lines — the input of
+    /// inferno, `flamegraph.pl`, and speedscope: one line per distinct
+    /// root-to-leaf name path, weighted by the *self* time (span
+    /// duration minus the duration of its in-snapshot children) summed
+    /// over every span on that path, in nanoseconds. Lines are sorted
+    /// by path, so the export is byte-stable for a given trace. Spans
+    /// whose parent is missing from the snapshot root their own stack,
+    /// matching [`span_forest`].
+    pub fn to_collapsed_stacks(&self) -> String {
+        let spans = &self.trace.spans;
+        let present: std::collections::BTreeMap<u64, usize> =
+            spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        let dur = |s: &SpanRec| s.end_ns.saturating_sub(s.start_ns);
+        let mut child_ns: Vec<u64> = vec![0; spans.len()];
+        for s in spans {
+            if let Some(&p) = s.parent.and_then(|p| present.get(&p)) {
+                child_ns[p] = child_ns[p].saturating_add(dur(s));
+            }
+        }
+        let mut folded: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for (i, s) in spans.iter().enumerate() {
+            let self_ns = dur(s).saturating_sub(child_ns[i]);
+            if self_ns == 0 {
+                continue;
+            }
+            let mut names = vec![s.name];
+            let mut cur = s;
+            // Walk to the root; bounded so malformed parent links
+            // cannot loop.
+            for _ in 0..spans.len() {
+                match cur.parent.and_then(|p| present.get(&p)) {
+                    Some(&pi) => {
+                        cur = &spans[pi];
+                        names.push(cur.name);
+                    }
+                    None => break,
+                }
+            }
+            names.reverse();
+            let entry = folded.entry(names.join(";")).or_insert(0);
+            *entry = entry.saturating_add(self_ns);
+        }
+        let mut out = String::new();
+        for (path, ns) in folded {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&ns.to_string());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -261,6 +346,104 @@ mod tests {
             assert_eq!(e.get("pid").unwrap().as_i64(), Some(1));
             assert!(e.get("ts").is_some() && e.get("dur").is_some());
         }
+    }
+
+    #[test]
+    fn report_carries_histograms_and_dropped_counts() {
+        let report = sample_report();
+        let doc = parse(&report.to_json_string()).unwrap();
+        let hist = doc.get("histograms").unwrap();
+        let solve = hist.get("solve").unwrap();
+        assert_eq!(solve.get("count").unwrap().as_i64(), Some(1));
+        assert!(hist.get("sat.round").is_some());
+        let dropped = doc.get("dropped_spans").unwrap();
+        assert_eq!(dropped.get("ring").unwrap().as_i64(), Some(0));
+        assert_eq!(dropped.get("sampled").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn sections_serialize_in_sorted_order_regardless_of_insertion() {
+        let mut a = sample_report();
+        a.sections = vec![
+            Section::new("zeta").entry("x", 1),
+            Section::new("alpha").entry("y", 2),
+        ];
+        let mut b = a.clone();
+        b.sections.reverse();
+        // Timestamps are identical (same trace), so the whole document
+        // must match byte for byte.
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        let doc = parse(&a.to_json_string()).unwrap();
+        if let Json::Obj(stats) = doc.get("stats").unwrap() {
+            let keys: Vec<_> = stats.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, vec!["alpha", "zeta"]);
+        } else {
+            panic!("stats not an object");
+        }
+    }
+
+    #[test]
+    fn collapsed_stacks_weight_by_self_time() {
+        // Synthetic trace: root [0, 100] with child [10, 40] → root
+        // self 70, child self 30. A second root-path span shares the
+        // root's name to exercise folding.
+        let mk = |id, parent, name, start, end| SpanRec {
+            id,
+            parent,
+            name,
+            start_ns: start,
+            end_ns: end,
+            tid: 0,
+            args: Vec::new(),
+        };
+        let trace = Trace {
+            spans: vec![
+                mk(1, None, "solve", 0, 100),
+                mk(2, Some(1), "sat", 10, 40),
+                mk(3, None, "solve", 200, 210),
+            ],
+            ..Trace::default()
+        };
+        let report = SolveReport {
+            trace,
+            ..SolveReport::default()
+        };
+        let flame = report.to_collapsed_stacks();
+        assert_eq!(flame, "solve 80\nsolve;sat 30\n");
+        // Total self time equals total root duration.
+        let total: u64 = flame
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 110);
+    }
+
+    #[test]
+    fn collapsed_stacks_skip_zero_and_root_orphans() {
+        let mk = |id, parent, name, start, end| SpanRec {
+            id,
+            parent,
+            name,
+            start_ns: start,
+            end_ns: end,
+            tid: 0,
+            args: Vec::new(),
+        };
+        let trace = Trace {
+            spans: vec![
+                // Zero self time: child covers the parent exactly.
+                mk(1, None, "covered", 0, 50),
+                mk(2, Some(1), "leaf", 0, 50),
+                // Orphan (parent 99 absent): roots its own stack.
+                mk(3, Some(99), "orphan", 60, 70),
+            ],
+            ..Trace::default()
+        };
+        let report = SolveReport {
+            trace,
+            ..SolveReport::default()
+        };
+        assert_eq!(report.to_collapsed_stacks(), "covered;leaf 50\norphan 10\n");
     }
 
     #[test]

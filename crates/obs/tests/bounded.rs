@@ -1,0 +1,275 @@
+//! Recorder behavior at the bounded sinks: the ring-buffer span cap
+//! (`RecorderLimits::ring`) and deterministic head sampling
+//! (`RecorderLimits::sample`). The contracts under test:
+//!
+//! * dropped counts are exact — every span not retained is tallied in
+//!   exactly one of `DroppedSpans::{ring, sampled}`;
+//! * the histograms see every *flushed* span (ring eviction does not
+//!   erase a duration) but never a sampled-out one;
+//! * sampling drops whole root trees, so the retained span forest
+//!   stays balanced: parents resolve and contain their children.
+
+use std::collections::BTreeMap;
+
+use ringen_obs::{DroppedSpans, Recorder, RecorderLimits, SpanRec};
+
+/// The structural invariants every retained trace must keep, bounded
+/// or not: unique ids, ordered intervals, resolvable and containing
+/// parents.
+fn assert_forest_integrity(spans: &[SpanRec]) {
+    let by_id: BTreeMap<u64, &SpanRec> = spans.iter().map(|s| (s.id, s)).collect();
+    assert_eq!(by_id.len(), spans.len(), "duplicate span ids");
+    for s in spans {
+        assert!(s.end_ns >= s.start_ns, "span {} ends before start", s.id);
+        if let Some(p) = s.parent {
+            if let Some(parent) = by_id.get(&p) {
+                assert!(
+                    parent.start_ns <= s.start_ns && s.end_ns <= parent.end_ns,
+                    "span {} escapes parent {}",
+                    s.id,
+                    p
+                );
+            }
+        }
+    }
+}
+
+/// Runs `roots` root spans, each with `kids` children, and returns the
+/// recorder's final trace.
+fn run_forest(limits: RecorderLimits, roots: u64, kids: u64) -> ringen_obs::Trace {
+    let rec = Recorder::with_limits(limits);
+    for r in 0..roots {
+        let mut root = rec.span("root");
+        root.note("r", r as i64);
+        for _ in 0..kids {
+            let _k = rec.span("kid");
+        }
+    }
+    rec.snapshot()
+}
+
+#[test]
+fn ring_cap_keeps_newest_and_counts_drops_exactly() {
+    let limits = RecorderLimits {
+        ring: Some(10),
+        sample: None,
+    };
+    // 20 roots × (1 root + 2 kids) = 60 spans flushed.
+    let t = run_forest(limits, 20, 2);
+    assert_eq!(t.spans.len(), 10, "ring should cap retained spans");
+    assert_eq!(
+        t.dropped,
+        DroppedSpans {
+            ring: 50,
+            sampled: 0
+        }
+    );
+    assert_forest_integrity(&t.spans);
+
+    // The ring keeps the newest arrivals: everything retained comes
+    // from the last four trees of the 20 (ids 1..=60 were allocated,
+    // three per tree).
+    for s in &t.spans {
+        assert!(s.id > 48, "ring retained a stale span (id {})", s.id);
+    }
+
+    // Histograms saw every flushed span, evicted or not.
+    let get = |n: &str| t.histograms.iter().find(|(m, _)| *m == n).unwrap().1;
+    assert_eq!(get("root").count, 20);
+    assert_eq!(get("kid").count, 40);
+}
+
+#[test]
+fn ring_cap_zero_retains_nothing_but_still_measures() {
+    let t = run_forest(
+        RecorderLimits {
+            ring: Some(0),
+            sample: None,
+        },
+        5,
+        1,
+    );
+    assert!(t.spans.is_empty());
+    assert_eq!(t.dropped.ring, 10);
+    let get = |n: &str| t.histograms.iter().find(|(m, _)| *m == n).unwrap().1;
+    assert_eq!(get("root").count, 5);
+    assert_eq!(get("kid").count, 5);
+}
+
+#[test]
+fn ring_larger_than_trace_drops_nothing() {
+    let t = run_forest(
+        RecorderLimits {
+            ring: Some(1000),
+            sample: None,
+        },
+        4,
+        3,
+    );
+    assert_eq!(t.spans.len(), 16);
+    assert_eq!(t.dropped, DroppedSpans::default());
+}
+
+#[test]
+fn sampling_keeps_whole_trees_deterministically() {
+    let limits = RecorderLimits {
+        ring: None,
+        sample: Some(4),
+    };
+    // 10 roots, keep root_seq % 4 == 0 → roots 0, 4, 8 survive.
+    let t = run_forest(limits, 10, 3);
+    let roots: Vec<_> = t.spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 3, "expected exactly 1-in-4 roots kept");
+    // Deterministic: the *first* root is always kept, and the kept
+    // roots carry the expected note values.
+    let mut kept: Vec<i64> = roots
+        .iter()
+        .map(|s| match s.args[0] {
+            ("r", ringen_obs::ArgVal::Int(v)) => v,
+            _ => panic!("missing root note"),
+        })
+        .collect();
+    kept.sort_unstable();
+    assert_eq!(kept, vec![0, 4, 8]);
+
+    // Balanced forest: kept roots keep all 3 children; dropped roots
+    // drop all of theirs.
+    for root in &roots {
+        let kids = t.spans.iter().filter(|s| s.parent == Some(root.id)).count();
+        assert_eq!(kids, 3, "kept tree lost children");
+    }
+    assert_eq!(t.spans.len(), 3 * 4);
+    // 7 dropped roots × 4 spans each, counted exactly.
+    assert_eq!(
+        t.dropped,
+        DroppedSpans {
+            ring: 0,
+            sampled: 28
+        }
+    );
+    assert_forest_integrity(&t.spans);
+
+    // Sampled-out spans were never timed: histograms only saw kept
+    // trees.
+    let get = |n: &str| t.histograms.iter().find(|(m, _)| *m == n).unwrap().1;
+    assert_eq!(get("root").count, 3);
+    assert_eq!(get("kid").count, 9);
+}
+
+#[test]
+fn sampling_runs_are_reproducible() {
+    let limits = RecorderLimits {
+        ring: None,
+        sample: Some(3),
+    };
+    let a = run_forest(limits, 9, 2);
+    let b = run_forest(limits, 9, 2);
+    assert_eq!(a.spans.len(), b.spans.len());
+    assert_eq!(a.dropped, b.dropped);
+    let names =
+        |t: &ringen_obs::Trace| -> Vec<&'static str> { t.spans.iter().map(|s| s.name).collect() };
+    assert_eq!(names(&a), names(&b));
+}
+
+#[test]
+fn suppressed_handles_suppress_cross_thread_children() {
+    let rec = Recorder::with_limits(RecorderLimits {
+        ring: None,
+        sample: Some(2),
+    });
+    // Root 0 kept; a second root — forced to root rank with an empty
+    // explicit handle, the portfolio's cross-thread idiom — is sampled
+    // out as root_seq 1.
+    let kept = rec.span("kept_root");
+    let kept_handle = kept.handle();
+    let dropped = rec.span_under("dropped_root", ringen_obs::SpanHandle::default());
+    let dropped_handle = dropped.handle();
+
+    // A worker parenting under the dropped root inherits suppression;
+    // once that guard closes, the same thread records under the kept
+    // root's handle.
+    let rec2 = rec.clone();
+    std::thread::spawn(move || {
+        {
+            let _under_dropped = rec2.span_under("w1", dropped_handle);
+        }
+        let _under_kept = rec2.span_under("w2", kept_handle);
+    })
+    .join()
+    .unwrap();
+    drop(dropped);
+    drop(kept);
+
+    let t = rec.snapshot();
+    let names: Vec<_> = t.spans.iter().map(|s| s.name).collect();
+    assert!(names.contains(&"kept_root"));
+    assert!(names.contains(&"w2"));
+    assert!(!names.contains(&"dropped_root"));
+    assert!(!names.contains(&"w1"));
+    assert_eq!(t.dropped.sampled, 2);
+    assert_forest_integrity(&t.spans);
+}
+
+#[test]
+fn suppression_depth_unwinds_after_dropped_tree() {
+    let rec = Recorder::with_limits(RecorderLimits {
+        ring: None,
+        sample: Some(2),
+    });
+    {
+        let _kept = rec.span("r0"); // seq 0: kept
+    }
+    {
+        let _dropped = rec.span("r1"); // seq 1: suppressed
+        let _kid = rec.span("k1"); // suppressed under r1
+    }
+    {
+        let _kept = rec.span("r2"); // seq 2: kept again — depth unwound
+        let _kid = rec.span("k2");
+    }
+    let t = rec.snapshot();
+    let names: Vec<_> = t.spans.iter().map(|s| s.name).collect();
+    assert_eq!(names, vec!["r0", "r2", "k2"]);
+    assert_eq!(t.dropped.sampled, 2);
+}
+
+#[test]
+fn ring_and_sampling_compose() {
+    let t = run_forest(
+        RecorderLimits {
+            ring: Some(4),
+            sample: Some(2),
+        },
+        10,
+        1,
+    );
+    // 5 trees sampled out (10 spans), 5 kept (10 spans) of which the
+    // ring retains 4 and evicts 6.
+    assert_eq!(t.spans.len(), 4);
+    assert_eq!(
+        t.dropped,
+        DroppedSpans {
+            ring: 6,
+            sampled: 10
+        }
+    );
+    assert_eq!(t.dropped.total(), 16);
+    let get = |n: &str| t.histograms.iter().find(|(m, _)| *m == n).unwrap().1;
+    assert_eq!(get("root").count + get("kid").count, 10);
+}
+
+#[test]
+fn with_limits_normalizes_degenerate_sampling() {
+    for n in [0u64, 1] {
+        let t = run_forest(
+            RecorderLimits {
+                ring: None,
+                sample: Some(n),
+            },
+            4,
+            1,
+        );
+        assert_eq!(t.spans.len(), 8, "sample=1/{n} should keep everything");
+        assert_eq!(t.dropped, DroppedSpans::default());
+    }
+}

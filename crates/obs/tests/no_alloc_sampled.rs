@@ -1,0 +1,79 @@
+//! The sampled-out span path must stay cheap: opening and closing a
+//! suppressed span (or a whole suppressed tree) touches the thread's
+//! slot and two atomics, never the allocator or the central mutex.
+//!
+//! Mirrors `no_alloc.rs`: one test per file because the counting
+//! allocator is process-global.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ringen_obs::{Recorder, RecorderLimits};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One sampled-out tree: a root plus two children, with notes that
+/// must be discarded without buffering.
+fn suppressed_probe(rec: &Recorder) {
+    let mut root = rec.span("root");
+    root.note("n", 1);
+    let kid = rec.span("kid");
+    let _grandkid = rec.span_under("grandkid", kid.handle());
+}
+
+#[test]
+fn sampled_out_trees_allocate_nothing() {
+    // Keep 1 in a huge N: after the first (kept) root, every further
+    // root tree in this test is suppressed.
+    let rec = Recorder::with_limits(RecorderLimits {
+        ring: None,
+        sample: Some(1 << 40),
+    });
+    {
+        // Consume root_seq 0 (the kept root) and fault in this
+        // thread's slot, outside the counting window.
+        let _kept = rec.span("kept");
+    }
+    suppressed_probe(&rec); // warm-up, also outside the window
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10_000 {
+        suppressed_probe(&rec);
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    // Process-global counter: the libtest harness can contribute a few
+    // stray allocations; a real per-span allocation would show up
+    // 30_000+ times.
+    assert!(
+        allocs < 50,
+        "suppressed spans allocated {allocs} times over 10k trees"
+    );
+
+    let t = rec.snapshot();
+    assert_eq!(t.spans.len(), 1, "only the kept root should remain");
+    assert_eq!(t.spans[0].name, "kept");
+    // 10_001 suppressed trees × 3 spans each, counted exactly.
+    assert_eq!(t.dropped.sampled, 3 * 10_001);
+    assert_eq!(t.dropped.ring, 0);
+}

@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # Records the portfolio racer's end-to-end latencies — per program, the
-# race verdict, the winning engine, and each entrant's median wall-clock
-# over several repetitions — into BENCH_solvers.json at the repo root.
-# These are the numbers a user of `--solver portfolio` would feel, the
-# complement to BENCH_automata.json's kernel ratios. Seed version: the
-# file is recorded for trajectory tracking, not yet gated by CI
-# (medians are host-dependent; a future PR gates on per-engine win
-# rates instead).
+# race verdict, the winning engine, each entrant's median wall-clock,
+# and per-phase latency quantiles (p50/p90/p99 across reps) — into
+# BENCH_solvers.json at the repo root. These are the numbers a user of
+# `--solver portfolio` would feel, the complement to
+# BENCH_automata.json's kernel ratios.
+#
+# CI gating: the QUICK smoke compares its scratch measurement against
+# the committed BENCH_solvers.json with `trace_diff`, which fails only
+# on order-of-magnitude phase blowups (wide tolerance + absolute
+# floors), so host-to-host noise passes while a real regression in one
+# phase trips the gate.
 #
 # Usage:
 #   scripts/bench_solvers.sh           # full measurement (5 reps),
 #                                      # refreshes BENCH_solvers.json
 #   QUICK=1 scripts/bench_solvers.sh   # 1-rep smoke into a scratch file
-#                                      # (nothing committed is touched)
+#                                      # gated against the committed
+#                                      # baseline (nothing is touched)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,6 +31,14 @@ if [ "${QUICK:-}" = "1" ]; then
   echo
   echo "=== scratch BENCH_solvers.json (not committed) ==="
   cat "$out"
+  echo
+  # Gate the trajectory: CI hosts are slower and noisier than the
+  # machine that recorded the baseline, so the tolerance is wide — a
+  # 20x blowup on a phase that grew by >50ms is a real regression, not
+  # scheduling jitter.
+  TRACE_DIFF_TOLERANCE="${TRACE_DIFF_TOLERANCE:-20}" \
+  TRACE_DIFF_FLOOR_US="${TRACE_DIFF_FLOOR_US:-50000}" \
+    cargo run --release -q --bin trace_diff -- BENCH_solvers.json "$out"
 else
   export BENCH_SOLVERS_JSON="$PWD/BENCH_solvers.json"
   cargo run --release -q --bin bench_solvers

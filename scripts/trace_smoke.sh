@@ -6,14 +6,23 @@
 # parser that wrote it):
 #
 #   1. `--report-json` on the default solver — span tree, counters,
-#      automaton-store stats;
+#      histograms, automaton-store stats;
 #   2. `--report-json` on the portfolio — all four entrants must appear
 #      as children of the `race` span, each with a verdict;
 #   3. `RINGEN_TRACE` (env, no flag) — same document, env-driven;
 #   4. `RINGEN_TRACE_FORMAT=chrome` — Chrome trace_event JSON for
-#      Perfetto: sanity-checked for the `traceEvents` array and at
-#      least one complete ("X") event;
-#   5. a recorder-off run must NOT create the trace file.
+#      Perfetto, validated structurally (`trace_check --chrome`): one
+#      complete event per span, monotone timestamps, parent
+#      containment, exactly one event per portfolio entrant;
+#   5. `RINGEN_TRACE_FORMAT=flame` — collapsed stacks for
+#      inferno/speedscope: `name;name;... <self-ns>` lines rooted at
+#      `solve`;
+#   6. bounded sinks — `RINGEN_TRACE_RING` (ring-buffer span store) and
+#      `RINGEN_TRACE_SAMPLE` (head sampling) runs must still produce
+#      valid reports, with drops surfaced under `dropped_spans`;
+#   7. `trace_diff` — a report compared against itself passes, and a
+#      doctored copy with an inflated phase latency fails the gate;
+#   8. a recorder-off run must NOT create the trace file.
 #
 # Usage: scripts/trace_smoke.sh
 set -euo pipefail
@@ -22,6 +31,7 @@ cd "$(dirname "$0")/.."
 cargo build --release -q
 RINGEN=target/release/ringen
 CHECK=target/release/trace_check
+DIFF=target/release/trace_diff
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -64,14 +74,53 @@ run "RINGEN_TRACE" 60 \
     "$RINGEN" --quiet "$tmp/even.smt2"
 run "validate env report" 10 "$CHECK" "$tmp/env.json"
 
-# 4. Chrome trace_event export.
+# 4. Chrome trace_event export — `--portfolio` demands exactly one
+#    complete event per race entrant.
 run "RINGEN_TRACE_FORMAT=chrome" 60 \
     env RINGEN_TRACE="$tmp/chrome.json" RINGEN_TRACE_FORMAT=chrome \
     "$RINGEN" --quiet --solver portfolio "$tmp/even.smt2"
-grep -q '"traceEvents"' "$tmp/chrome.json" || fail "chrome trace lacks traceEvents"
-grep -q '"ph": *"X"' "$tmp/chrome.json" || fail "chrome trace has no complete events"
+run "validate chrome trace" 10 "$CHECK" --chrome --portfolio "$tmp/chrome.json"
 
-# 5. Empty RINGEN_TRACE means "off": solve must still succeed and no
+# 5. Collapsed-stack (flamegraph) export: every line is a
+#    `;`-separated path with an integer self-time weight, and the
+#    solve root must appear.
+run "RINGEN_TRACE_FORMAT=flame" 60 \
+    env RINGEN_TRACE="$tmp/flame.txt" RINGEN_TRACE_FORMAT=flame \
+    "$RINGEN" --quiet "$tmp/even.smt2"
+[ -s "$tmp/flame.txt" ] || fail "flame export is empty"
+grep -Eq '^solve[; ]' "$tmp/flame.txt" || fail "flame export has no solve root"
+if grep -Evq ' [0-9]+$' "$tmp/flame.txt"; then
+    fail "flame export has a line without an integer weight"
+fi
+
+# 6a. Ring-buffer sink: a tiny cap must still yield a valid report
+#     (root retained, histograms fed before eviction) and surface the
+#     evictions under dropped_spans.ring.
+run "RINGEN_TRACE_RING=4" 60 \
+    env RINGEN_TRACE="$tmp/ring.json" RINGEN_TRACE_RING=4 \
+    "$RINGEN" --quiet "$tmp/even.smt2"
+run "validate ring-capped report" 10 "$CHECK" "$tmp/ring.json"
+grep -Eq '"ring": [1-9]' "$tmp/ring.json" || fail "ring cap reported no drops"
+
+# 6b. Head sampling: a single-root trace is always kept (first root
+#     wins), so the report stays complete and the knob must not break
+#     anything.
+run "RINGEN_TRACE_SAMPLE=1/2" 60 \
+    env RINGEN_TRACE="$tmp/sample.json" RINGEN_TRACE_SAMPLE=1/2 \
+    "$RINGEN" --quiet "$tmp/even.smt2"
+run "validate sampled report" 10 "$CHECK" "$tmp/sample.json"
+
+# 7. trace_diff gate: identical inputs carry no regression; a doctored
+#    copy with one phase latency inflated to ~99 s must fail.
+run "trace_diff self-compare" 10 "$DIFF" "$tmp/solve.json" "$tmp/solve.json"
+sed -E 's/"p50_us": [0-9.]+/"p50_us": 99000000/' "$tmp/solve.json" \
+    > "$tmp/doctored.json"
+echo "== trace_diff detects a doctored slowdown"
+if timeout 10s "$DIFF" "$tmp/solve.json" "$tmp/doctored.json" >/dev/null; then
+    fail "trace_diff accepted a 99 s phase regression"
+fi
+
+# 8. Empty RINGEN_TRACE means "off": solve must still succeed and no
 #    stray artifact may appear in the scratch dir.
 before=$(ls "$tmp" | wc -l)
 run "recorder disabled (RINGEN_TRACE=)" 60 \

@@ -7,29 +7,28 @@
 //! of the portfolio would feel, as opposed to the kernel ratios of
 //! `BENCH_automata.json`.
 //!
-//! After the timed repetitions, one extra *instrumented* run per
-//! program races under an enabled [`Recorder`]; its span tree is
-//! folded into a per-engine `"phases"` object (direct child spans of
-//! each entrant, microseconds summed by name), so the JSON shows not
-//! just how long each entrant ran but where the time went. The
-//! document is built with `ringen-obs`'s JSON writer — the same
-//! serializer behind `--report-json`.
+//! Every rep runs under an enabled [`Recorder`], and each entrant's
+//! per-phase time (direct child spans of the entrant span, summed by
+//! name within a rep) is folded into a per-(engine, phase)
+//! [`Histogram`] across all reps. The JSON therefore shows not one
+//! anecdotal breakdown but the cross-rep `p50/p90/p99/max` of where
+//! the time went — the numbers `trace_diff` gates in CI. Recording
+//! overhead rides inside the measured latencies; it is kept honest by
+//! the `obs_overhead` bench group that `bench_diff` gates.
 //!
 //! Output goes to `$BENCH_SOLVERS_JSON` (the script points it at
 //! `BENCH_solvers.json` in the repo root). `$BENCH_SOLVERS_REPS`
-//! overrides the repetition count (default 5). Seed version: recorded,
-//! not gated.
+//! overrides the repetition count (default 5).
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use ringen::benchgen::programs;
 use ringen::core::{Guard, Recorder};
 use ringen::obs::json::Json;
-use ringen::obs::SpanRec;
+use ringen::obs::{Histogram, SpanRec};
 use ringen::parallel::ParallelConfig;
-use ringen::portfolio::{
-    solve_portfolio, solve_portfolio_guarded, PortfolioAnswer, PortfolioConfig,
-};
+use ringen::portfolio::{solve_portfolio_guarded, PortfolioAnswer, PortfolioConfig};
 
 fn median_ms(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
@@ -48,10 +47,14 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+fn us(ns: u64) -> Json {
+    Json::Num(ns as f64 / 1e3)
+}
+
 /// Direct child spans of the entrant span named `engine` (under the
-/// `race` span), microseconds summed by span name, in first-appearance
-/// order.
-fn phase_breakdown(spans: &[SpanRec], engine: &str) -> Vec<(String, f64)> {
+/// `race` span), nanoseconds summed by span name — one rep's phase
+/// breakdown.
+fn phase_breakdown(spans: &[SpanRec], engine: &str) -> Vec<(String, u64)> {
     let race = spans.iter().find(|s| s.name == "race");
     let entrant = spans
         .iter()
@@ -59,12 +62,12 @@ fn phase_breakdown(spans: &[SpanRec], engine: &str) -> Vec<(String, f64)> {
     let Some(entrant) = entrant else {
         return Vec::new();
     };
-    let mut out: Vec<(String, f64)> = Vec::new();
+    let mut out: Vec<(String, u64)> = Vec::new();
     for s in spans.iter().filter(|s| s.parent == Some(entrant.id)) {
-        let us = s.end_ns.saturating_sub(s.start_ns) as f64 / 1e3;
+        let ns = s.end_ns.saturating_sub(s.start_ns);
         match out.iter_mut().find(|(n, _)| n == s.name) {
-            Some((_, total)) => *total += us,
-            None => out.push((s.name.to_string(), us)),
+            Some((_, total)) => *total += ns,
+            None => out.push((s.name.to_string(), ns)),
         }
     }
     out
@@ -94,11 +97,17 @@ fn main() {
         };
         let mut race_ms: Vec<f64> = Vec::with_capacity(reps);
         let mut engine_ms: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); engine_names.len()];
+        // Per-engine, per-phase latency distribution across reps: one
+        // sample per rep (that rep's total time in the phase).
+        let mut phase_hists: Vec<BTreeMap<String, Histogram>> =
+            vec![BTreeMap::new(); engine_names.len()];
         let mut verdict = "unknown";
         let mut winner = String::from("none");
         let mut statuses: Vec<String> = vec![String::new(); engine_names.len()];
         for _ in 0..reps {
-            let (answer, stats) = solve_portfolio(sys, &cfg);
+            let recorder = Recorder::new();
+            let guard = Guard::new().with_recorder(recorder.clone());
+            let (answer, stats) = solve_portfolio_guarded(sys, &cfg, &guard);
             verdict = match answer {
                 PortfolioAnswer::Sat(_) => "sat",
                 PortfolioAnswer::Unsat(_) => "unsat",
@@ -113,21 +122,19 @@ fn main() {
                 engine_ms[ei].push(ms(report.elapsed));
                 statuses[ei] = format!("{:?}", report.status);
             }
+            let trace = recorder.snapshot();
+            for (ei, engine) in engine_names.iter().enumerate() {
+                for (phase, ns) in phase_breakdown(&trace.spans, engine) {
+                    phase_hists[ei].entry(phase).or_default().record(ns);
+                }
+            }
         }
-        // One extra instrumented race: the recorder's span tree gives
-        // the per-phase breakdown (it is kept out of the timed reps so
-        // the medians stay recorder-free).
-        let recorder = Recorder::new();
-        let guard = Guard::new().with_recorder(recorder.clone());
-        let _ = solve_portfolio_guarded(sys, &cfg, &guard);
-        let trace = recorder.snapshot();
 
         eprintln!(
             "{name:<10} {verdict:>8}  winner={winner:<8}  race {:.2}ms",
             median_ms(&mut race_ms)
         );
         let engines = Json::obj(engine_names.iter().enumerate().map(|(ei, engine)| {
-            let phases = phase_breakdown(&trace.spans, engine);
             let mut fields = vec![
                 ("status".to_string(), Json::Str(statuses[ei].clone())),
                 (
@@ -135,13 +142,25 @@ fn main() {
                     Json::Num(median_ms(&mut engine_ms[ei])),
                 ),
             ];
-            if !phases.is_empty() {
+            if !phase_hists[ei].is_empty() {
                 fields.push((
-                    "phases_us".to_string(),
+                    "phases".to_string(),
                     Json::Obj(
-                        phases
-                            .into_iter()
-                            .map(|(n, us)| (n, Json::Num(us)))
+                        phase_hists[ei]
+                            .iter()
+                            .map(|(phase, h)| {
+                                let s = h.summary();
+                                (
+                                    phase.clone(),
+                                    Json::obj([
+                                        ("reps", Json::Int(s.count as i64)),
+                                        ("p50_us", us(s.p50)),
+                                        ("p90_us", us(s.p90)),
+                                        ("p99_us", us(s.p99)),
+                                        ("max_us", us(s.max)),
+                                    ]),
+                                )
+                            })
                             .collect(),
                     ),
                 ));

@@ -1,17 +1,25 @@
-//! CI validator for `ringen-solve-report-v1` documents
-//! (`scripts/trace_smoke.sh`).
+//! CI validator for solve-trace exports (`scripts/trace_smoke.sh`).
 //!
 //! Reads a report written by `ringen --report-json` (or
 //! `RINGEN_TRACE`), re-parses it with `ringen-obs`'s own JSON parser,
 //! and asserts the structural contract the observability layer
 //! promises: schema tag, a definitive verdict string, a non-empty span
-//! forest rooted at `solve`, and a populated counter registry. With
-//! `--portfolio` it additionally requires the `race` span to carry all
-//! four entrants as children, each annotated with its verdict — the
-//! "race renders as a timeline" acceptance shape.
+//! forest rooted at `solve`, a populated counter registry, and the
+//! histogram/dropped-span analytics keys. With `--portfolio` it
+//! additionally requires the `race` span to carry all four entrants as
+//! children, each annotated with its verdict — the "race renders as a
+//! timeline" acceptance shape.
+//!
+//! With `--chrome` the input is instead validated as a Chrome
+//! `trace_event` document (`RINGEN_TRACE_FORMAT=chrome`): a metadata
+//! event first, then one complete (`"X"`) event per span on `pid` 1
+//! with monotone non-negative timestamps, unique span ids, and every
+//! child's interval inside its parent's. `--chrome --portfolio`
+//! requires exactly one complete event per entrant, each on a
+//! timeline row.
 //!
 //! ```text
-//! trace_check [--portfolio] REPORT.json
+//! trace_check [--portfolio] [--chrome] TRACE.json
 //! ```
 //!
 //! Exits 0 when every check passes, 1 with a diagnostic otherwise.
@@ -35,18 +43,124 @@ fn span_count(span: &Json) -> usize {
         .map_or(0, |kids| kids.iter().map(span_count).sum())
 }
 
+/// The `--chrome` leg: validates a `trace_event` export.
+fn check_chrome(doc: &Json, path: &str, portfolio: bool) -> ExitCode {
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        return fail("traceEvents missing or not an array");
+    };
+    let [meta, spans @ ..] = events else {
+        return fail("traceEvents is empty");
+    };
+    if meta.get("ph").and_then(Json::as_str) != Some("M") {
+        return fail("first event is not the process metadata record");
+    }
+    if spans.is_empty() {
+        return fail("no span events — was the recorder enabled?");
+    }
+
+    // Timestamps are µs floats; containment tolerates sub-nanosecond
+    // float slop, nothing more.
+    const EPS: f64 = 1e-3;
+    let mut intervals: Vec<(i64, f64, f64)> = Vec::with_capacity(spans.len());
+    let mut last_ts = f64::MIN;
+    for (i, e) in spans.iter().enumerate() {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            return fail(&format!("event {i}: ph is not \"X\""));
+        }
+        if e.get("pid").and_then(Json::as_i64) != Some(1) {
+            return fail(&format!("event {i}: pid is not 1"));
+        }
+        let (Some(ts), Some(dur)) = (
+            e.get("ts").and_then(Json::as_f64),
+            e.get("dur").and_then(Json::as_f64),
+        ) else {
+            return fail(&format!("event {i}: ts/dur missing"));
+        };
+        if ts < 0.0 || dur < 0.0 {
+            return fail(&format!("event {i}: negative ts or dur"));
+        }
+        if ts < last_ts {
+            return fail(&format!("event {i}: ts not monotone non-decreasing"));
+        }
+        last_ts = ts;
+        let Some(id) = e
+            .get("args")
+            .and_then(|a| a.get("id"))
+            .and_then(Json::as_i64)
+        else {
+            return fail(&format!("event {i}: args.id missing"));
+        };
+        if intervals.iter().any(|&(other, _, _)| other == id) {
+            return fail(&format!("event {i}: duplicate span id {id}"));
+        }
+        intervals.push((id, ts, dur));
+    }
+    for (i, e) in spans.iter().enumerate() {
+        let Some(parent) = e
+            .get("args")
+            .and_then(|a| a.get("parent"))
+            .and_then(Json::as_i64)
+        else {
+            continue;
+        };
+        // Parents can be absent from a bounded (ring/sampled) export;
+        // containment applies when both ends are present.
+        let Some(&(_, pts, pdur)) = intervals.iter().find(|&&(id, _, _)| id == parent) else {
+            continue;
+        };
+        let (_, ts, dur) = intervals[i];
+        if ts + EPS < pts || ts + dur > pts + pdur + EPS {
+            return fail(&format!(
+                "event {i}: interval [{ts}, {}] escapes parent {parent}'s [{pts}, {}]",
+                ts + dur,
+                pts + pdur
+            ));
+        }
+    }
+
+    if portfolio {
+        // Each entrant must be exactly one complete event with a
+        // timeline row. Distinct tids are NOT required: the race pool
+        // hands entrants to whichever worker is free, so a fast
+        // entrant's worker can legitimately pick up a second one.
+        for name in ENTRANTS {
+            let rows: Vec<&Json> = spans
+                .iter()
+                .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .collect();
+            let [row] = rows.as_slice() else {
+                return fail(&format!(
+                    "--portfolio: expected exactly one `{name}` event, found {}",
+                    rows.len()
+                ));
+            };
+            if row.get("tid").and_then(Json::as_i64).is_none() {
+                return fail(&format!("--portfolio: entrant `{name}` has no tid"));
+            }
+        }
+    }
+
+    println!(
+        "trace_check OK: {path} (chrome, {} span events)",
+        spans.len()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut portfolio = false;
+    let mut chrome = false;
     let mut path = None;
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--portfolio" => portfolio = true,
+            "--chrome" => chrome = true,
             _ if path.is_none() => path = Some(a),
             other => return fail(&format!("unexpected argument {other}")),
         }
     }
     let Some(path) = path else {
-        return fail("usage: trace_check [--portfolio] REPORT.json");
+        return fail("usage: trace_check [--portfolio] [--chrome] TRACE.json");
     };
     let src = match std::fs::read_to_string(&path) {
         Ok(s) => s,
@@ -56,6 +170,10 @@ fn main() -> ExitCode {
         Ok(d) => d,
         Err(e) => return fail(&format!("{path} is not valid JSON: {e:?}")),
     };
+
+    if chrome {
+        return check_chrome(&doc, &path, portfolio);
+    }
 
     if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
         return fail(&format!("schema key missing or not {SCHEMA:?}"));
@@ -67,7 +185,15 @@ fn main() -> ExitCode {
     if doc.get("wall_ms").is_none() {
         return fail("wall_ms missing");
     }
-    for key in ["program", "solver", "stats", "counters", "gauges"] {
+    for key in [
+        "program",
+        "solver",
+        "stats",
+        "counters",
+        "gauges",
+        "histograms",
+        "dropped_spans",
+    ] {
         if doc.get(key).is_none() {
             return fail(&format!("{key} missing"));
         }
@@ -90,6 +216,17 @@ fn main() -> ExitCode {
     let counters = doc.get("counters").and_then(Json::as_obj);
     if counters.is_none_or(|c| c.is_empty()) {
         return fail("counter registry is empty");
+    }
+    // Every span name must have fed the histogram registry; `solve`
+    // always ran.
+    if doc
+        .get("histograms")
+        .and_then(|h| h.get("solve"))
+        .and_then(|s| s.get("count"))
+        .and_then(Json::as_i64)
+        .is_none_or(|c| c < 1)
+    {
+        return fail("histograms carry no `solve` entry");
     }
 
     if portfolio {

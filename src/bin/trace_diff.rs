@@ -1,0 +1,291 @@
+//! Compares two solve-trace documents phase-by-phase and fails on
+//! end-to-end latency regressions — the `BENCH_solvers.json` CI gate,
+//! companion to `bench_diff` (which gates the kernel microbenches).
+//!
+//! ```text
+//! trace_diff <baseline.json> <current.json> [--tolerance R] [--floor-us U]
+//! ```
+//!
+//! Both inputs may be either a `ringen-solve-report-v1` document
+//! (`--report-json` / `RINGEN_TRACE` output — compared on its per-span
+//! histogram medians and wall clock) or a `bench_solvers` document
+//! (compared on every program's `race_median_ms` and every
+//! per-engine phase's `p50_us`).
+//!
+//! End-to-end latencies are far noisier than in-process kernel ratios
+//! — the committed baseline was measured on a different host than CI —
+//! so the gate is deliberately wide and **two-sided on failure only in
+//! the slow direction**: a metric fails only when the current value
+//! exceeds `baseline × tolerance` (default 5×, `TRACE_DIFF_TOLERANCE`
+//! or `--tolerance` overrides) **and** the absolute growth exceeds the
+//! floor (default 5000 µs, `TRACE_DIFF_FLOOR_US` / `--floor-us`), so
+//! microsecond-scale phases cannot trip the gate on scheduling jitter.
+//! Metrics present on only one side are reported as notes, never
+//! failures. Exit codes follow `bench_diff`: 0 clean, 1 regression,
+//! 2 usage/input error.
+
+use std::process::ExitCode;
+
+use ringen::obs::json::{parse, Json};
+
+/// The flat metric list extracted from either supported document kind:
+/// `(label, microseconds)` pairs in document order.
+fn metrics_from(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if doc.get("schema").and_then(|s| s.as_str()) == Some(ringen::report::SCHEMA) {
+        if let Some(wall) = doc.get("wall_ms").and_then(|v| v.as_f64()) {
+            out.push(("wall_ms".to_string(), wall * 1e3));
+        }
+        if let Some(Json::Obj(hists)) = doc.get("histograms") {
+            for (name, h) in hists {
+                if let Some(p50) = h.get("p50_us").and_then(|v| v.as_f64()) {
+                    out.push((format!("span.{name}.p50_us"), p50));
+                }
+            }
+        }
+        return out;
+    }
+    if let Some(Json::Obj(programs)) = doc.get("programs") {
+        for (prog, body) in programs {
+            if let Some(race) = body.get("race_median_ms").and_then(|v| v.as_f64()) {
+                out.push((format!("{prog}/race_median_ms"), race * 1e3));
+            }
+            if let Some(Json::Obj(engines)) = body.get("engines") {
+                for (engine, ebody) in engines {
+                    if let Some(Json::Obj(phases)) = ebody.get("phases") {
+                        for (phase, pbody) in phases {
+                            if let Some(p50) = pbody.get("p50_us").and_then(|v| v.as_f64()) {
+                                out.push((format!("{prog}/{engine}/{phase}.p50_us"), p50));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The gate itself, pure for testing: returns the failure count and
+/// the report lines in order.
+fn compare(
+    base: &[(String, f64)],
+    cur: &[(String, f64)],
+    tolerance: f64,
+    floor_us: f64,
+) -> (usize, Vec<String>) {
+    let mut failures = 0usize;
+    let mut lines = Vec::new();
+    for (label, b) in base {
+        match cur.iter().find(|(l, _)| l == label) {
+            None => lines.push(format!("note {label}: missing from current run")),
+            Some((_, c)) => {
+                let slow = *c > b * tolerance && (c - b) > floor_us;
+                if slow {
+                    lines.push(format!(
+                        "FAIL {label}: {c:.1}us vs baseline {b:.1}us \
+                         (>{tolerance:.1}x and +{floor_us:.0}us floor exceeded)"
+                    ));
+                    failures += 1;
+                } else {
+                    lines.push(format!("ok   {label}: {c:.1}us (baseline {b:.1}us)"));
+                }
+            }
+        }
+    }
+    for (label, c) in cur {
+        if !base.iter().any(|(l, _)| l == label) {
+            lines.push(format!(
+                "note {label}: new metric at {c:.1}us (no baseline)"
+            ));
+        }
+    }
+    (failures, lines)
+}
+
+fn main() -> ExitCode {
+    let mut tolerance: f64 = std::env::var("TRACE_DIFF_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5.0);
+    let mut floor_us: f64 = std::env::var("TRACE_DIFF_FLOOR_US")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5000.0);
+
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => tolerance = v,
+                None => {
+                    eprintln!("trace_diff: --tolerance needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--floor-us" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => floor_us = v,
+                None => {
+                    eprintln!("trace_diff: --floor-us needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: trace_diff <baseline.json> <current.json> [--tolerance R] [--floor-us U]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let load = |path: &str| -> Option<Json> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_diff: cannot read {path}: {e}");
+                return None;
+            }
+        };
+        match parse(&text) {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!("trace_diff: {path}: invalid JSON: {e}");
+                None
+            }
+        }
+    };
+    let (Some(base_doc), Some(cur_doc)) = (load(baseline_path), load(current_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let base = metrics_from(&base_doc);
+    let cur = metrics_from(&cur_doc);
+    if base.is_empty() || cur.is_empty() {
+        eprintln!(
+            "trace_diff: no comparable metrics ({} baseline, {} current) — \
+             inputs must be solve reports or bench_solvers documents",
+            base.len(),
+            cur.len()
+        );
+        return ExitCode::from(2);
+    }
+    if !base.iter().any(|(l, _)| cur.iter().any(|(c, _)| c == l)) {
+        eprintln!("trace_diff: baseline and current share no metric labels");
+        return ExitCode::from(2);
+    }
+
+    let (failures, lines) = compare(&base, &cur, tolerance, floor_us);
+    for line in lines {
+        println!("{line}");
+    }
+    if failures > 0 {
+        eprintln!(
+            "trace_diff: {failures} latency regression(s) vs {baseline_path} \
+             (tolerance {tolerance:.1}x, floor {floor_us:.0}us)"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("trace_diff: no latency regressions vs {baseline_path}");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BENCH: &str = r#"{
+  "reps": 5,
+  "programs": {
+    "Even": {
+      "verdict": "sat",
+      "winner": "fmf",
+      "race_median_ms": 2.5,
+      "engines": {
+        "fmf": {
+          "status": "Definitive",
+          "median_ms": 1.2,
+          "phases": {
+            "fmf.search": {"reps": 5, "p50_us": 800.0, "p90_us": 900.0, "p99_us": 950.0, "max_us": 1000.0}
+          }
+        }
+      }
+    }
+  }
+}"#;
+
+    const REPORT: &str = r#"{
+  "schema": "ringen-solve-report-v1",
+  "program": "even",
+  "solver": "ringen",
+  "verdict": "sat",
+  "wall_ms": 3.25,
+  "stats": {},
+  "counters": {},
+  "gauges": {},
+  "histograms": {
+    "saturate": {"count": 4, "min_us": 10.0, "max_us": 40.0, "p50_us": 20.0, "p90_us": 39.0, "p99_us": 40.0, "sum_us": 95.0}
+  },
+  "dropped_spans": {"ring": 0, "sampled": 0},
+  "spans": []
+}"#;
+
+    #[test]
+    fn extracts_bench_metrics() {
+        let doc = parse(BENCH).unwrap();
+        let m = metrics_from(&doc);
+        assert_eq!(
+            m,
+            vec![
+                ("Even/race_median_ms".to_string(), 2500.0),
+                ("Even/fmf/fmf.search.p50_us".to_string(), 800.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn extracts_report_metrics() {
+        let doc = parse(REPORT).unwrap();
+        let m = metrics_from(&doc);
+        assert_eq!(
+            m,
+            vec![
+                ("wall_ms".to_string(), 3250.0),
+                ("span.saturate.p50_us".to_string(), 20.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn gate_needs_both_ratio_and_floor() {
+        let base = vec![("m".to_string(), 1000.0)];
+        // 10x slower but only +9ms... wait, floor is 5000us: 10000-1000
+        // = 9000 > 5000 and ratio 10 > 5 → fails.
+        let (f, _) = compare(&base, &[("m".to_string(), 10_000.0)], 5.0, 5000.0);
+        assert_eq!(f, 1);
+        // Huge ratio, tiny absolute growth: passes (scheduling noise on
+        // a microsecond-scale phase).
+        let base_small = vec![("m".to_string(), 10.0)];
+        let (f, _) = compare(&base_small, &[("m".to_string(), 400.0)], 5.0, 5000.0);
+        assert_eq!(f, 0);
+        // Large absolute growth but under the ratio: passes.
+        let (f, _) = compare(&base, &[("m".to_string(), 4000.0)], 5.0, 1000.0);
+        assert_eq!(f, 0);
+        // Faster never fails.
+        let (f, _) = compare(&base, &[("m".to_string(), 1.0)], 5.0, 0.0);
+        assert_eq!(f, 0);
+    }
+
+    #[test]
+    fn one_sided_metrics_are_notes_not_failures() {
+        let base = vec![("gone".to_string(), 1000.0)];
+        let cur = vec![("new".to_string(), 9_999_999.0)];
+        let (f, lines) = compare(&base, &cur, 5.0, 5000.0);
+        assert_eq!(f, 0);
+        assert!(lines.iter().all(|l| l.starts_with("note ")));
+        assert_eq!(lines.len(), 2);
+    }
+}

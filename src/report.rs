@@ -28,12 +28,15 @@ pub enum TraceFormat {
     Report,
     /// Chrome `trace_event` JSON, loadable in Perfetto.
     Chrome,
+    /// Collapsed-stack lines (inferno / `flamegraph.pl` / speedscope
+    /// input), weighted by self-time in nanoseconds.
+    Flame,
 }
 
 /// The trace destination requested by the environment: `RINGEN_TRACE`
-/// names the output path, `RINGEN_TRACE_FORMAT` (`report` | `chrome`)
-/// picks the serialization. Unknown format values fall back to
-/// [`TraceFormat::Report`].
+/// names the output path, `RINGEN_TRACE_FORMAT` (`report` | `chrome` |
+/// `flame`) picks the serialization. Unknown format values fall back
+/// to [`TraceFormat::Report`].
 pub fn trace_from_env() -> Option<(PathBuf, TraceFormat)> {
     let path = std::env::var_os("RINGEN_TRACE")?;
     if path.is_empty() {
@@ -41,6 +44,7 @@ pub fn trace_from_env() -> Option<(PathBuf, TraceFormat)> {
     }
     let format = match std::env::var("RINGEN_TRACE_FORMAT") {
         Ok(v) if v.eq_ignore_ascii_case("chrome") => TraceFormat::Chrome,
+        Ok(v) if v.eq_ignore_ascii_case("flame") => TraceFormat::Flame,
         _ => TraceFormat::Report,
     };
     Some((PathBuf::from(path), format))
@@ -51,6 +55,7 @@ pub fn render(report: &SolveReport, format: TraceFormat) -> String {
     match format {
         TraceFormat::Report => report.to_json_string(),
         TraceFormat::Chrome => report.to_chrome_trace(),
+        TraceFormat::Flame => report.to_collapsed_stacks(),
     }
 }
 
