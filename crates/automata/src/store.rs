@@ -26,15 +26,18 @@
 //!   of a worklist fixpoint. Derived automata are interned too, so
 //!   chains like *minimize ∘ product* memoize at every level.
 //! * **Incremental products.** The pair-interning map of every product
-//!   is retained. When a product misses the memo but one of the last
-//!   few products used operands the new ones merely *grew from*
-//!   (states appended with unchanged sorts, rules a superset — the
-//!   shape of a CEGAR-style refinement), the worklist restarts from
-//!   the cached pair map via [`Dfta::product_seeded`] instead of from
-//!   the nullary rules. Grown operands keep old reachable pairs
-//!   reachable (runs of a deterministic automaton are unchanged by new
-//!   rules, which always carry fresh left-hand sides), so the seeded
-//!   restart computes the same pair set.
+//!   is retained, and every intern records which recent table the new
+//!   one merely *grew from* (states appended with unchanged sorts,
+//!   rules a superset — the shape of a CEGAR-style refinement). A
+//!   product miss walks the two operands' `grew_from` ancestor chains
+//!   and restarts the worklist from the first ancestor pair with a
+//!   cached map via [`Dfta::product_seeded`] instead of from the
+//!   nullary rules — an O(1) bounded probe of the memo table, with the
+//!   rule-subset check paid once per intern rather than once per miss.
+//!   Grown operands keep old reachable pairs reachable (runs of a
+//!   deterministic automaton are unchanged by new rules, which always
+//!   carry fresh left-hand sides), and `grew_from` is transitive, so
+//!   the seeded restart computes the same pair set.
 //! * **Derived-analysis caches.** [`AutStore::reachable`] and
 //!   [`AutStore::witnesses`] memoize the per-automaton fixpoints the
 //!   inductiveness check runs, and [`AutStore::joint_reachable`] /
@@ -141,9 +144,11 @@ pub struct StoreStats {
     pub seeded_products: u64,
 }
 
-/// How many recent products are scanned for a grown-operand seed. The
-/// scan costs one rule-subset check per candidate, so it is kept short;
-/// solver loops re-run the *same* handful of products anyway.
+/// How many recently interned tables are scanned for a `grew_from`
+/// ancestor at intern time, and the probe budget a product miss spends
+/// walking the two ancestor chains. The scan costs one rule-subset
+/// check per candidate, so it is kept short; solver loops refine the
+/// *same* handful of automata anyway.
 const SEED_CANDIDATES: usize = 8;
 
 /// The hash-consed automaton store. See the [module docs](self).
@@ -166,7 +171,13 @@ pub struct AutStore {
     binary: FxHashMap<(BinOp, u32, u32), u32>,
     unary: FxHashMap<(UnOp, u32), u32>,
     products: FxHashMap<(u32, u32), (DftaId, Arc<PairMap>)>,
-    recent_products: VecDeque<(u32, u32)>,
+    /// `lineage[i]`: an earlier interned table that table `i` grew from
+    /// (checked once, at intern time). Ancestor ids are strictly
+    /// smaller, so chains are acyclic.
+    lineage: Vec<Option<u32>>,
+    /// The tables most recently interned — the candidates scanned for a
+    /// `grew_from` ancestor when the next table arrives.
+    recent_interns: VecDeque<u32>,
     determinized: FxHashMap<u64, Vec<(Nfta, u32)>>,
     reach: FxHashMap<u32, Arc<BTreeSet<StateId>>>,
     wits: FxHashMap<u32, Arc<Vec<Option<GroundTerm>>>>,
@@ -280,7 +291,8 @@ impl AutStore {
             binary: FxHashMap::default(),
             unary: FxHashMap::default(),
             products: FxHashMap::default(),
-            recent_products: VecDeque::new(),
+            lineage: Vec::new(),
+            recent_interns: VecDeque::new(),
             determinized: FxHashMap::default(),
             reach: FxHashMap::default(),
             wits: FxHashMap::default(),
@@ -413,9 +425,45 @@ impl AutStore {
 
     fn push_dfta(&mut self, dfta: Arc<Dfta>) -> DftaId {
         let i = u32::try_from(self.dftas.len()).expect("table count fits u32");
+        // Lineage is recorded once, here: the newest recently interned
+        // table the new one grew from, if any. Pass-through mode skips
+        // the scan (its products never seed).
+        let ancestor = if self.enabled {
+            self.recent_interns
+                .iter()
+                .rev()
+                .copied()
+                .find(|&old| grew_from(&dfta, &self.dftas[old as usize]))
+        } else {
+            None
+        };
         self.dftas.push(dfta);
+        self.lineage.push(ancestor);
+        if self.enabled {
+            self.recent_interns.push_back(i);
+            if self.recent_interns.len() > SEED_CANDIDATES {
+                self.recent_interns.pop_front();
+            }
+        }
         self.stats.interned_dftas = self.dftas.len();
         DftaId(i)
+    }
+
+    /// The `grew_from` ancestor chain of a table, nearest first,
+    /// starting with the table itself. Ancestor ids strictly decrease,
+    /// so the walk terminates; it is also capped at [`SEED_CANDIDATES`]
+    /// links to bound the product-miss probe.
+    fn ancestor_chain(&self, d: u32) -> Vec<u32> {
+        let mut chain = vec![d];
+        let mut cur = d;
+        while let Some(prev) = self.lineage[cur as usize] {
+            if chain.len() > SEED_CANDIDATES {
+                break;
+            }
+            chain.push(prev);
+            cur = prev;
+        }
+        chain
     }
 
     /// Memoized [`Dfta::product`], with grown-operand seeding on a
@@ -431,24 +479,28 @@ impl AutStore {
             return (*id, map.clone());
         }
         self.stats.memo_misses += 1;
+        // Re-seed lookup: walk the operands' `grew_from` ancestor
+        // chains (recorded at intern time — no rule-subset check here)
+        // and take the first ancestor pair whose product is cached.
+        // `grew_from` is transitive along a chain, so any such pair's
+        // reachable set is a valid seed.
         let mut seed: Vec<(StateId, StateId)> = Vec::new();
-        for &(pa, pb) in self.recent_products.iter().rev() {
-            if grew_from(&self.dftas[a.index()], &self.dftas[pa as usize])
-                && grew_from(&self.dftas[b.index()], &self.dftas[pb as usize])
-            {
-                seed = self.products[&(pa, pb)].1.keys().copied().collect();
-                self.stats.seeded_products += 1;
-                break;
+        'chains: for &pa in &self.ancestor_chain(a.0) {
+            for &pb in &self.ancestor_chain(b.0) {
+                if (pa, pb) == (a.0, b.0) {
+                    continue;
+                }
+                if let Some((_, map)) = self.products.get(&(pa, pb)) {
+                    seed = map.keys().copied().collect();
+                    self.stats.seeded_products += 1;
+                    break 'chains;
+                }
             }
         }
         let (d, m) = self.dftas[a.index()].product_seeded(&self.dftas[b.index()], &seed);
         let id = self.intern_dfta(d);
         let map = Arc::new(m);
         self.products.insert((a.0, b.0), (id, map.clone()));
-        self.recent_products.push_back((a.0, b.0));
-        if self.recent_products.len() > SEED_CANDIDATES {
-            self.recent_products.pop_front();
-        }
         (id, map)
     }
 
@@ -707,11 +759,9 @@ impl AutStore {
         self.stats.memo_misses += 1;
         let id = self.intern_dfta(d);
         let map = Arc::new(m);
+        // The memoized map is discoverable as a re-seed for later
+        // unguarded products through the ancestor-chain lookup.
         self.products.insert((a.0, b.0), (id, map.clone()));
-        self.recent_products.push_back((a.0, b.0));
-        if self.recent_products.len() > SEED_CANDIDATES {
-            self.recent_products.pop_front();
-        }
         Some((id, map))
     }
 
@@ -1071,6 +1121,40 @@ mod tests {
         assert!(cold_map.keys().all(|k| warm_map.contains_key(k)));
         assert_eq!(store.dfta(pd).state_count(), cold_d.state_count());
         let _ = sig;
+    }
+
+    #[test]
+    fn lineage_chain_reaches_a_distant_ancestor_product() {
+        // Two refinement steps between products: the re-seed lookup
+        // walks the `grew_from` chain recorded at intern time, so the
+        // grand-ancestor's cached pair map still seeds the product.
+        let (_sig, nat, z, s) = nat_signature();
+        let mut d = Dfta::new();
+        let q0 = d.add_state(nat);
+        let q1 = d.add_state(nat);
+        d.add_transition(z, vec![], q0);
+        d.add_transition(s, vec![q0], q1);
+        d.add_transition(s, vec![q1], q0);
+        let mut store = AutStore::with_cache(true);
+        let a = store.intern_dfta(d.clone());
+        let _ = store.product(a, a);
+
+        let mut d2 = d.clone();
+        let q2 = d2.add_state(nat);
+        let a2 = store.intern_dfta(d2.clone());
+        let mut d3 = d2.clone();
+        let q3 = d3.add_state(nat);
+        d3.add_transition(s, vec![q2], q3);
+        let a3 = store.intern_dfta(d3.clone());
+        // No product was ever computed for a2; the seed comes from a's.
+        let (_, warm_map) = store.product(a3, a3);
+        assert_eq!(store.stats().seeded_products, 1);
+        let (_, cold_map) = d3.product(&d3);
+        assert_eq!(
+            warm_map.keys().collect::<Vec<_>>(),
+            cold_map.keys().collect::<Vec<_>>()
+        );
+        let _ = (a2, q3);
     }
 
     #[test]

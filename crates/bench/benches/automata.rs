@@ -437,6 +437,59 @@ fn bench_semi_naive_saturation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The incremental finite-model sweep against the one-shot reference:
+/// one live solver carried across the whole size sweep (selector
+/// assumptions + delta grounding + learnt-clause retention) vs a fresh
+/// solver per size vector. The workload is `dual_phase_ring(6, 5)`
+/// swept to a total-size budget of 9 < 6 + 5, so *every* one of the
+/// ~T²/2 two-sorted size vectors is tried and refuted — the reference
+/// rebuilds tables and re-refutes per vector, the incremental sweep
+/// pays each per-coordinate refutation once and dispatches the repeats
+/// by unit propagation.
+fn bench_fmf_incremental(c: &mut Criterion) {
+    use ringen_fmf::{find_model, FinderConfig, FmfOutcome};
+
+    let mut group = c.benchmark_group("fmf_incremental");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    let sys = ringen_benchgen::shapes::dual_phase_ring(6, 5);
+    let cfg = |incremental: bool| FinderConfig {
+        max_total_size: 9,
+        incremental,
+        minimize: false,
+        parallel: ParallelConfig::with_threads(1),
+        ..FinderConfig::default()
+    };
+    // The sweeps must agree before their timings are comparable.
+    let (inc, inc_stats) = find_model(&sys, &cfg(true)).expect("dual ring is supported");
+    let (one, one_stats) = find_model(&sys, &cfg(false)).expect("dual ring is supported");
+    assert!(
+        matches!(inc, FmfOutcome::Exhausted) && matches!(one, FmfOutcome::Exhausted),
+        "dual_phase_ring(6, 5) must exhaust a total budget of 9 in both sweep modes"
+    );
+    assert_eq!(
+        inc_stats.vectors_tried, one_stats.vectors_tried,
+        "the sweeps must walk the same size vectors"
+    );
+    assert_eq!(
+        inc_stats.solver_reuses,
+        inc_stats.vectors_tried - 1,
+        "the incremental sweep must keep one live solver across the sweep"
+    );
+    assert_eq!(one_stats.solver_reuses, 0, "the reference must not reuse");
+
+    group.bench_function(BenchmarkId::new("interned", "dual_ring/6+5/T9"), |b| {
+        let cfg = cfg(true);
+        b.iter(|| find_model(std::hint::black_box(&sys), &cfg))
+    });
+    group.bench_function(BenchmarkId::new("reference", "dual_ring/6+5/T9"), |b| {
+        let cfg = cfg(false);
+        b.iter(|| find_model(std::hint::black_box(&sys), &cfg))
+    });
+    group.finish();
+}
+
 /// The term-pool group: intern-heavy workloads where the hash-consed
 /// `TermId` representation competes against the boxed structural-hash
 /// baseline — enumeration, bulk cached runs, and the fact-dedup probe
@@ -624,6 +677,7 @@ fn main() {
     bench_saturation(&mut criterion);
     bench_parallel_saturation(&mut criterion);
     bench_semi_naive_saturation(&mut criterion);
+    bench_fmf_incremental(&mut criterion);
     bench_term_pool(&mut criterion);
     bench_obs_overhead(&mut criterion);
 

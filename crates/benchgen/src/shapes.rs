@@ -12,6 +12,9 @@
 //! * [`inc_dec_offset`] — `IncDec` variants: `Elem ∩ Reg ∩ SizeElem`;
 //! * [`diag_ctx`] — `Diag` variants: `Elem` only (Prop. 11);
 //! * [`lt_gt_offset`] — `LtGt` variants: `SizeElem` only (Prop. 12);
+//! * [`phase_ring`], [`dual_phase_ring`] — phase-counter rings whose
+//!   finite-model size sweeps stress the model finder (the
+//!   incremental-sweep benchmark workloads);
 //! * [`unsat_chain`] — refutable instances whose counterexample depth is
 //!   a knob (differentiates refuter budgets, as in Table 1's UNSAT rows);
 //! * [`plus_comm`], [`list_rel`] — the hard tail: safe systems whose
@@ -195,6 +198,107 @@ pub fn inc_dec_offset(d: usize) -> ChcSystem {
         c.body(inc, vec![c.v(x), c.v(y)]);
         c.body(dec, vec![c.v(x), c.v(y)]);
     });
+    b.finish()
+}
+
+/// A `k`-phase counter ring: `p_0(Z)`, `p_i(x) → p_{i+1 mod k}(S(x))`,
+/// and pairwise-disjointness queries `p_i(x) ∧ p_j(x) → ⊥` (`i < j`).
+/// Safe for every `k ≥ 2`; the minimal finite model is exactly the
+/// mod-`k` counter (`|ℳ| = k`, `p_i = {i}`), and every smaller domain
+/// is UNSAT: the `Z`-trajectory under the successor function is
+/// eventually periodic with period `ρ ≤ n < k`, which forces two
+/// phases onto one element. Every clause flattens to ≤ 2 variables, so
+/// the size sweep is SAT-search-dominated rather than
+/// grounding-dominated — the finite-model finder's incremental-sweep
+/// benchmark workload (learnt clauses from refuted sizes prune the
+/// next size).
+pub fn phase_ring(k: usize) -> ChcSystem {
+    assert!(k >= 2);
+    let mut b = SystemBuilder::new();
+    let nat = b.sort("Nat");
+    let z = b.ctor("Z", vec![], nat);
+    let s = b.ctor("S", vec![nat], nat);
+    let preds: Vec<_> = (0..k).map(|i| b.pred(format!("p{i}"), vec![nat])).collect();
+    b.clause(|c| {
+        c.head(preds[0], vec![c.app0(z)]);
+    });
+    for i in 0..k {
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(preds[i], vec![c.v(x)]);
+            c.head(preds[(i + 1) % k], vec![c.app(s, vec![c.v(x)])]);
+        });
+    }
+    for i in 0..k {
+        for j in i + 1..k {
+            b.clause(|c| {
+                let x = c.var("x", nat);
+                c.body(preds[i], vec![c.v(x)]);
+                c.body(preds[j], vec![c.v(x)]);
+            });
+        }
+    }
+    b.finish()
+}
+
+/// Two independent phase rings over two sorts: a [`phase_ring`]-style
+/// `k`-counter on `Nat` and an `m`-counter on a second `Tok` sort. The
+/// minimal finite model has the size *vector* `(k, m)`, so a sweep
+/// whose total-size budget stays below `k + m` exhausts every vector —
+/// and each vector is refuted through whichever coordinate is still
+/// too small. One solver instantiation serves ~`T²/2` queries whose
+/// refutations repeat per coordinate, which is exactly the shape the
+/// incremental sweep collapses: the finite-model finder's
+/// `fmf_incremental` benchmark workload.
+pub fn dual_phase_ring(k: usize, m: usize) -> ChcSystem {
+    assert!(k >= 2 && m >= 2);
+    let mut b = SystemBuilder::new();
+    let nat = b.sort("Nat");
+    let tok = b.sort("Tok");
+    let z = b.ctor("Z", vec![], nat);
+    let s = b.ctor("S", vec![nat], nat);
+    let z2 = b.ctor("T", vec![], tok);
+    let s2 = b.ctor("N", vec![tok], tok);
+    let ps: Vec<_> = (0..k).map(|i| b.pred(format!("p{i}"), vec![nat])).collect();
+    let qs: Vec<_> = (0..m).map(|i| b.pred(format!("q{i}"), vec![tok])).collect();
+    b.clause(|c| {
+        c.head(ps[0], vec![c.app0(z)]);
+    });
+    for i in 0..k {
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(ps[i], vec![c.v(x)]);
+            c.head(ps[(i + 1) % k], vec![c.app(s, vec![c.v(x)])]);
+        });
+    }
+    for i in 0..k {
+        for j in i + 1..k {
+            b.clause(|c| {
+                let x = c.var("x", nat);
+                c.body(ps[i], vec![c.v(x)]);
+                c.body(ps[j], vec![c.v(x)]);
+            });
+        }
+    }
+    b.clause(|c| {
+        c.head(qs[0], vec![c.app0(z2)]);
+    });
+    for i in 0..m {
+        b.clause(|c| {
+            let y = c.var("y", tok);
+            c.body(qs[i], vec![c.v(y)]);
+            c.head(qs[(i + 1) % m], vec![c.app(s2, vec![c.v(y)])]);
+        });
+    }
+    for i in 0..m {
+        for j in i + 1..m {
+            b.clause(|c| {
+                let y = c.var("y", tok);
+                c.body(qs[i], vec![c.v(y)]);
+                c.body(qs[j], vec![c.v(y)]);
+            });
+        }
+    }
     b.finish()
 }
 
@@ -545,6 +649,8 @@ mod tests {
             ("even_left", even_left_tree(2, 1)),
             ("bool_eval", bool_eval(3)),
             ("inc_dec", inc_dec_offset(2)),
+            ("phase_ring", phase_ring(4)),
+            ("dual_phase_ring", dual_phase_ring(3, 2)),
             ("diag", diag_ctx(1)),
             ("lt_gt", lt_gt_offset(1)),
             ("unsat", unsat_chain(5)),

@@ -125,6 +125,16 @@ fn main() -> ExitCode {
                     println!("sat");
                     if !quiet {
                         println!("; finite model size {:?}", stats.model_size);
+                        if let Some(f) = &stats.finder {
+                            println!(
+                                "; fmf sweep: {} vectors ({} solver reuses), {} delta clauses, \
+                                 {} atoms minimized away",
+                                f.vectors_tried,
+                                f.solver_reuses,
+                                f.delta_clauses,
+                                f.minimized_atoms
+                            );
+                        }
                         let st = store.stats();
                         println!(
                             "; automaton store: {} tables, {} memo hits / {} misses",

@@ -10,6 +10,29 @@
 //! identical at any `RINGEN_THREADS` value. The workers are spawned
 //! once per [`find_model`] call and parked between size vectors
 //! ([`Pool::persistent`]), not re-spawned per sweep.
+//!
+//! # Incremental sweeps
+//!
+//! By default the whole sweep shares **one live SAT solver**
+//! ([`FinderConfig::incremental`], `RINGEN_FMF_INCREMENTAL=0` restores
+//! the one-shot reference path). Cell variables are allocated once for
+//! the *maximum* domain sizes any attempted vector reaches; each size
+//! vector is selected by per-(sort, element) "element exists" literals
+//! passed to [`ringen_sat::Solver::solve_under_assumptions`]; every
+//! ground instance is guarded by the negated existence literals of the
+//! elements it mentions, so instances outside the current vector are
+//! vacuous. Only the *delta* of never-before-grounded assignments is
+//! pushed per vector, and learnt clauses from size *n* prune size
+//! *n + 1* instead of being thrown away.
+//!
+//! On SAT, the extracted model is optionally shrunk to a ⊆-minimal
+//! predicate extension ([`FinderConfig::minimize`],
+//! `RINGEN_FMF_MINIMIZE=0` disables): a dual-query loop pins the false
+//! atoms with assumptions, demands that at least one true atom be
+//! dropped via an activation literal, and stops when the solver's
+//! failed-assumption analysis proves no smaller extension exists.
+//! Smaller models mean smaller read-off invariant automata and smaller
+//! certificates downstream.
 
 use ringen_chc::ChcSystem;
 use ringen_parallel::{Guard, ParallelConfig, Pool, Recorder};
@@ -30,10 +53,24 @@ pub struct FinderConfig {
     pub max_ground_instances: u64,
     /// Enable constant-ordering symmetry breaking.
     pub symmetry_breaking: bool,
+    /// Keep one live solver across the sweep: max-size tables up front,
+    /// "element exists" selector assumptions per vector, delta-only
+    /// grounding, learnt clauses retained. The default honors
+    /// `RINGEN_FMF_INCREMENTAL` (`0` selects the one-shot reference
+    /// path); verdicts are identical either way.
+    pub incremental: bool,
+    /// Shrink each found model to a ⊆-minimal predicate extension with
+    /// the dual-query assumption loop. The default honors
+    /// `RINGEN_FMF_MINIMIZE` (`0` keeps the solver's first model).
+    pub minimize: bool,
     /// Worker threads for the ground-instance sweep. The default honors
     /// `RINGEN_THREADS` (1 forces the inline path); results are
     /// identical at any value.
     pub parallel: ParallelConfig,
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map_or(true, |v| v.trim() != "0")
 }
 
 impl Default for FinderConfig {
@@ -43,6 +80,8 @@ impl Default for FinderConfig {
             max_conflicts: 100_000,
             max_ground_instances: 4_000_000,
             symmetry_breaking: true,
+            incremental: env_flag("RINGEN_FMF_INCREMENTAL"),
+            minimize: env_flag("RINGEN_FMF_MINIMIZE"),
             parallel: ParallelConfig::default(),
         }
     }
@@ -57,10 +96,22 @@ pub struct FinderStats {
     pub conflicts: u64,
     /// Total SAT decisions over all attempts.
     pub decisions: u64,
+    /// Total SAT unit propagations over all attempts.
+    pub propagations: u64,
+    /// Total SAT restarts over all attempts.
+    pub restarts: u64,
     /// Size vectors skipped because grounding would be too large.
     pub skipped_too_large: usize,
     /// Size vectors abandoned on conflict budget.
     pub budget_exhausted: usize,
+    /// Size vectors answered by a reused (incremental) solver.
+    pub solver_reuses: usize,
+    /// Ground instances pushed into the solver. In incremental mode
+    /// this counts only the per-vector deltas; in one-shot mode, every
+    /// instance of every attempted vector.
+    pub delta_clauses: u64,
+    /// Predicate atoms dropped by minimal-model shrinking.
+    pub minimized_atoms: u64,
 }
 
 /// Outcome of the search.
@@ -132,23 +183,69 @@ fn find_model_inner(
     let rec = guard.map_or_else(Recorder::disabled, |g| g.recorder().clone());
     let mut span = rec.span("fmf.search");
     span.note("max_total_size", config.max_total_size as i64);
+    span.note("incremental", i64::from(config.incremental));
     let mut outcome = FmfOutcome::Exhausted;
-    'search: for total in num_sorts..=config.max_total_size {
-        for sizes in compositions(total, num_sorts) {
-            if guard.is_some_and(|g| g.is_cancelled()) {
-                outcome = FmfOutcome::Interrupted;
-                break 'search;
-            }
-            match try_sizes(sys, &flat, &sizes, config, &pool, guard, &rec, &mut stats) {
-                SizeOutcome::Model(m) => {
-                    outcome = FmfOutcome::Model(m);
-                    break 'search;
+    if config.incremental {
+        // Per-sort caps: the largest size each sort reaches over the
+        // vectors the sweep will actually attempt. The skip estimate is
+        // a function of the vector alone, so this is exact — tables are
+        // never allocated for sizes only skipped vectors would need.
+        let mut caps = vec![0usize; num_sorts];
+        for total in num_sorts..=config.max_total_size {
+            for sizes in compositions(total, num_sorts) {
+                if estimate_instances(&flat, &sizes) <= config.max_ground_instances {
+                    for (c, s) in caps.iter_mut().zip(&sizes) {
+                        *c = (*c).max(*s);
+                    }
                 }
-                SizeOutcome::Interrupted => {
+            }
+        }
+        let mut sweep: Option<IncrementalSweep> = None;
+        'inc: for total in num_sorts..=config.max_total_size {
+            for sizes in compositions(total, num_sorts) {
+                if guard.is_some_and(|g| g.is_cancelled()) {
+                    outcome = FmfOutcome::Interrupted;
+                    break 'inc;
+                }
+                let est = estimate_instances(&flat, &sizes);
+                if est > config.max_ground_instances {
+                    stats.skipped_too_large += 1;
+                    continue;
+                }
+                let sw = sweep.get_or_insert_with(|| IncrementalSweep::new(sys, &caps, config));
+                match sw.try_vector(
+                    sys, &flat, &sizes, est, config, &pool, guard, &rec, &mut stats,
+                ) {
+                    SizeOutcome::Model(m) => {
+                        outcome = FmfOutcome::Model(m);
+                        break 'inc;
+                    }
+                    SizeOutcome::Interrupted => {
+                        outcome = FmfOutcome::Interrupted;
+                        break 'inc;
+                    }
+                    SizeOutcome::Unsat | SizeOutcome::Skipped | SizeOutcome::Budget => {}
+                }
+            }
+        }
+    } else {
+        'search: for total in num_sorts..=config.max_total_size {
+            for sizes in compositions(total, num_sorts) {
+                if guard.is_some_and(|g| g.is_cancelled()) {
                     outcome = FmfOutcome::Interrupted;
                     break 'search;
                 }
-                SizeOutcome::Unsat | SizeOutcome::Skipped | SizeOutcome::Budget => {}
+                match try_sizes(sys, &flat, &sizes, config, &pool, guard, &rec, &mut stats) {
+                    SizeOutcome::Model(m) => {
+                        outcome = FmfOutcome::Model(m);
+                        break 'search;
+                    }
+                    SizeOutcome::Interrupted => {
+                        outcome = FmfOutcome::Interrupted;
+                        break 'search;
+                    }
+                    SizeOutcome::Unsat | SizeOutcome::Skipped | SizeOutcome::Budget => {}
+                }
             }
         }
     }
@@ -164,6 +261,8 @@ fn find_model_inner(
     drop(span);
     rec.add("sat.decisions", stats.decisions as i64);
     rec.add("sat.conflicts", stats.conflicts as i64);
+    rec.add("sat.propagations", stats.propagations as i64);
+    rec.add("sat.restarts", stats.restarts as i64);
     Ok((outcome, stats))
 }
 
@@ -197,6 +296,20 @@ fn compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
     out
 }
 
+/// Number of ground instances a size vector would produce (the skip
+/// estimate — identical in both sweep modes, so skip decisions agree).
+fn estimate_instances(flat: &[FlatClause], sizes: &[usize]) -> u64 {
+    let mut instances: u64 = 0;
+    for c in flat {
+        let mut rows: u64 = 1;
+        for s in &c.var_sorts {
+            rows = rows.saturating_mul(sizes[s.index()] as u64);
+        }
+        instances = instances.saturating_add(rows);
+    }
+    instances
+}
+
 #[allow(clippy::too_many_arguments)]
 fn try_sizes(
     sys: &ChcSystem,
@@ -209,14 +322,7 @@ fn try_sizes(
     stats: &mut FinderStats,
 ) -> SizeOutcome {
     // Estimate the grounding size first.
-    let mut instances: u64 = 0;
-    for c in flat {
-        let mut rows: u64 = 1;
-        for s in &c.var_sorts {
-            rows = rows.saturating_mul(sizes[s.index()] as u64);
-        }
-        instances = instances.saturating_add(rows);
-    }
+    let instances = estimate_instances(flat, sizes);
     if instances > config.max_ground_instances {
         stats.skipped_too_large += 1;
         return SizeOutcome::Skipped;
@@ -225,6 +331,7 @@ fn try_sizes(
     let mut span = rec.span("fmf.size");
     span.note("total", sizes.iter().sum::<usize>() as i64);
     span.note("instances", instances as i64);
+    span.note("reused", 0);
 
     let sig = &sys.sig;
     let mut solver = Solver::new();
@@ -299,6 +406,7 @@ fn try_sizes(
     // batch and keeps the old streaming behavior of stopping early on
     // a root-level conflict: at most one batch is generated in vain.
     let batch = (pool.threads() * 4).max(1);
+    let mut added: u64 = 0;
     for wave in flat.chunks(batch) {
         if guard.is_some_and(|g| g.is_cancelled()) {
             span.note_str("outcome", "interrupted");
@@ -316,59 +424,42 @@ fn try_sizes(
             .collect();
         for g in &grounded {
             for lits in g.iter() {
+                added += 1;
                 if !solver.add_clause(lits) {
+                    stats.delta_clauses += added;
                     stats.conflicts += solver.conflict_count();
                     stats.decisions += solver.decision_count();
+                    stats.propagations += solver.propagation_count();
+                    stats.restarts += solver.restart_count();
                     span.note_str("outcome", "unsat_grounding");
                     return SizeOutcome::Unsat;
                 }
             }
         }
     }
+    stats.delta_clauses += added;
+    span.note("delta_clauses", added as i64);
+    span.note("assumptions", 0);
 
     let result = match guard {
         Some(g) => solver.solve_guarded(config.max_conflicts, g),
         None => solver.solve_with_budget(config.max_conflicts),
     };
-    stats.conflicts += solver.conflict_count();
-    stats.decisions += solver.decision_count();
     span.note("decisions", solver.decision_count() as i64);
     span.note("conflicts", solver.conflict_count() as i64);
-    match result {
+    let out = match result {
         SatResult::Sat => {
-            let pred_domains: Vec<Vec<usize>> = sys
-                .rels
-                .iter()
-                .map(|p| {
-                    sys.rels
-                        .decl(p)
-                        .domain
-                        .iter()
-                        .map(|s| sizes[s.index()])
-                        .collect()
-                })
-                .collect();
-            let mut model = FiniteModel::new(sig, &pred_domains, sizes.to_vec());
-            for f in sig.funcs() {
-                let d = sig.func(f);
-                let dims: Vec<usize> = d.domain.iter().map(|s| sizes[s.index()]).collect();
-                for (row, cell) in func_vars[f.index()].iter().enumerate() {
-                    let value = cell
-                        .iter()
-                        .position(|&v| solver.value(v) == Some(true))
-                        .expect("exactly-one cell has a true value");
-                    let args = unrank(row, &dims);
-                    model.set_func(sig, f, &args, value);
-                }
-            }
-            for p in sys.rels.iter() {
-                let dims = &pred_domains[p.index()];
-                for (row, &v) in pred_vars[p.index()].iter().enumerate() {
-                    if solver.value(v) == Some(true) {
-                        model.add_pred(p, unrank(row, dims));
-                    }
-                }
-            }
+            let (values, dropped) = if config.minimize {
+                let active: Vec<Var> = pred_vars.iter().flatten().copied().collect();
+                shrink_true_preds(&mut solver, &[], &active, config.max_conflicts, guard)
+            } else {
+                (solver.model(), 0)
+            };
+            stats.minimized_atoms += dropped;
+            span.note("minimized", dropped as i64);
+            let model = extract_model(sys, sizes, sizes, &func_vars, &pred_vars, |v| {
+                values[v.index()] == Some(true)
+            });
             span.note_str("outcome", "model");
             SizeOutcome::Model(model)
         }
@@ -388,7 +479,444 @@ fn try_sizes(
                 SizeOutcome::Budget
             }
         }
+    };
+    stats.conflicts += solver.conflict_count();
+    stats.decisions += solver.decision_count();
+    stats.propagations += solver.propagation_count();
+    stats.restarts += solver.restart_count();
+    out
+}
+
+/// The shared-solver sweep state: max-size tables, existence selectors,
+/// and the set of size boxes whose ground instances are already in the
+/// solver.
+struct IncrementalSweep {
+    solver: Solver,
+    /// Largest size each sort reaches over the attempted vectors.
+    caps: Vec<usize>,
+    /// `ex[s][k-1]`: "element `k` of sort `s` exists". Element 0 always
+    /// exists (every vector gives every sort size ≥ 1) and has no
+    /// selector.
+    ex: Vec<Vec<Var>>,
+    /// Function-table variables e[f][row][result] at `caps` dimensions.
+    func_vars: Vec<Vec<Vec<Var>>>,
+    /// Predicate-table variables b[p][row] at `caps` dimensions.
+    pred_vars: Vec<Vec<Var>>,
+    /// Size boxes already grounded (an antichain: dominated boxes are
+    /// pruned). An assignment inside any of them is already a clause in
+    /// the solver.
+    covered: Vec<Vec<usize>>,
+    /// Whether a vector was tried before (for the `reused` span note).
+    used: bool,
+    /// A root-level conflict was derived: the guarded clause set is
+    /// unsatisfiable outright, so *every* remaining vector is UNSAT.
+    broken: bool,
+}
+
+impl IncrementalSweep {
+    fn new(sys: &ChcSystem, caps: &[usize], config: &FinderConfig) -> IncrementalSweep {
+        let sig = &sys.sig;
+        let mut solver = Solver::new();
+        // Existence selectors with a monotone chain: element k implies
+        // element k-1, so assumptions describe a prefix per sort.
+        let ex: Vec<Vec<Var>> = caps
+            .iter()
+            .map(|&c| (1..c).map(|_| solver.new_var()).collect())
+            .collect();
+        for col in &ex {
+            for w in col.windows(2) {
+                solver.add_clause(&[Lit::neg(w[1]), Lit::pos(w[0])]);
+            }
+        }
+        let func_vars: Vec<Vec<Vec<Var>>> = sig
+            .funcs()
+            .map(|f| {
+                let d = sig.func(f);
+                let rows: usize = d.domain.iter().map(|s| caps[s.index()]).product();
+                let range = caps[d.range.index()];
+                (0..rows)
+                    .map(|_| (0..range).map(|_| solver.new_var()).collect())
+                    .collect()
+            })
+            .collect();
+        let pred_vars: Vec<Vec<Var>> = sys
+            .rels
+            .iter()
+            .map(|p| {
+                let d = sys.rels.decl(p);
+                let rows: usize = d.domain.iter().map(|s| caps[s.index()]).product();
+                (0..rows).map(|_| solver.new_var()).collect()
+            })
+            .collect();
+        // Exactly one result per cell, and the result must exist: cells
+        // of phantom rows are unconstrained by instances (their guards
+        // are true), but still pick some existing value — value 0 always
+        // works, so these clauses can never make the sweep stricter than
+        // the one-shot encoding at the selected sizes.
+        for f in sig.funcs() {
+            let range_sort = sig.func(f).range.index();
+            for cell in &func_vars[f.index()] {
+                let at_least: Vec<Lit> = cell.iter().map(|&v| Lit::pos(v)).collect();
+                solver.add_clause(&at_least);
+                for i in 0..cell.len() {
+                    for j in i + 1..cell.len() {
+                        solver.add_clause(&[Lit::neg(cell[i]), Lit::neg(cell[j])]);
+                    }
+                }
+                for (k, &v) in cell.iter().enumerate().skip(1) {
+                    solver.add_clause(&[Lit::neg(v), Lit::pos(ex[range_sort][k - 1])]);
+                }
+            }
+        }
+        // Symmetry breaking over the full caps: values beyond the
+        // current vector are already excluded by the result-exists
+        // clauses, so per-vector this is exactly the one-shot constraint.
+        if config.symmetry_breaking {
+            let mut seen_constants = vec![0usize; caps.len()];
+            for f in sig.funcs() {
+                let d = sig.func(f);
+                if d.arity() != 0 {
+                    continue;
+                }
+                let k = seen_constants[d.range.index()];
+                seen_constants[d.range.index()] += 1;
+                for v in func_vars[f.index()][0]
+                    .iter()
+                    .take(caps[d.range.index()])
+                    .skip(k + 1)
+                {
+                    solver.add_clause(&[Lit::neg(*v)]);
+                }
+            }
+        }
+        IncrementalSweep {
+            solver,
+            caps: caps.to_vec(),
+            ex,
+            func_vars,
+            pred_vars,
+            covered: Vec::new(),
+            used: false,
+            broken: false,
+        }
     }
+
+    /// The selector assumptions describing `sizes`: element `k` of sort
+    /// `s` exists iff `k < sizes[s]`.
+    fn assumptions_for(&self, sizes: &[usize]) -> Vec<Lit> {
+        let mut out = Vec::new();
+        for (s, col) in self.ex.iter().enumerate() {
+            for (k, &v) in col.iter().enumerate() {
+                out.push(Lit::with_sign(v, k + 1 < sizes[s]));
+            }
+        }
+        out
+    }
+
+    /// Records `sizes` as grounded, pruning boxes it dominates.
+    fn cover(&mut self, sizes: &[usize]) {
+        self.covered
+            .retain(|b| !b.iter().zip(sizes).all(|(x, y)| x <= y));
+        self.covered.push(sizes.to_vec());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_vector(
+        &mut self,
+        sys: &ChcSystem,
+        flat: &[FlatClause],
+        sizes: &[usize],
+        est: u64,
+        config: &FinderConfig,
+        pool: &Pool,
+        guard: Option<&Guard>,
+        rec: &Recorder,
+        stats: &mut FinderStats,
+    ) -> SizeOutcome {
+        stats.vectors_tried += 1;
+        let reused = self.used;
+        self.used = true;
+        if reused {
+            stats.solver_reuses += 1;
+        }
+        let mut span = rec.span("fmf.size");
+        span.note("total", sizes.iter().sum::<usize>() as i64);
+        span.note("instances", est as i64);
+        span.note("reused", i64::from(reused));
+        let (c0, d0, p0, r0) = (
+            self.solver.conflict_count(),
+            self.solver.decision_count(),
+            self.solver.propagation_count(),
+            self.solver.restart_count(),
+        );
+        let out = self.run_vector(sys, flat, sizes, config, pool, guard, stats, &mut span);
+        let dc = self.solver.conflict_count() - c0;
+        let dd = self.solver.decision_count() - d0;
+        stats.conflicts += dc;
+        stats.decisions += dd;
+        stats.propagations += self.solver.propagation_count() - p0;
+        stats.restarts += self.solver.restart_count() - r0;
+        span.note("decisions", dd as i64);
+        span.note("conflicts", dc as i64);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_vector(
+        &mut self,
+        sys: &ChcSystem,
+        flat: &[FlatClause],
+        sizes: &[usize],
+        config: &FinderConfig,
+        pool: &Pool,
+        guard: Option<&Guard>,
+        stats: &mut FinderStats,
+        span: &mut ringen_parallel::Span,
+    ) -> SizeOutcome {
+        // Push the delta: assignments of this vector's box not inside
+        // any previously grounded box. Same batching/determinism
+        // contract as the one-shot path.
+        let mut delta: u64 = 0;
+        if !self.broken {
+            let batch = (pool.threads() * 4).max(1);
+            let (caps, covered) = (&self.caps, &self.covered);
+            let (func_vars, pred_vars, ex) = (&self.func_vars, &self.pred_vars, &self.ex);
+            'waves: for wave in flat.chunks(batch) {
+                if guard.is_some_and(|g| g.is_cancelled()) {
+                    span.note_str("outcome", "interrupted");
+                    return SizeOutcome::Interrupted;
+                }
+                let grounded: Vec<GroundInstances> = pool
+                    .map_chunks(wave, |_, chunk| {
+                        chunk
+                            .iter()
+                            .map(|c| {
+                                ground_clause_delta(
+                                    sys, c, sizes, caps, covered, func_vars, pred_vars, ex,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                for g in &grounded {
+                    for lits in g.iter() {
+                        delta += 1;
+                        if !self.solver.add_clause(lits) {
+                            self.broken = true;
+                            break 'waves;
+                        }
+                    }
+                }
+            }
+            if !self.broken {
+                self.cover(sizes);
+            }
+        }
+        stats.delta_clauses += delta;
+        span.note("delta_clauses", delta as i64);
+        let assumptions = self.assumptions_for(sizes);
+        span.note("assumptions", assumptions.len() as i64);
+        if self.broken {
+            // The clause set is unsatisfiable with the selectors still
+            // free, i.e. under every size vector at once.
+            span.note_str("outcome", "unsat");
+            return SizeOutcome::Unsat;
+        }
+        let result = match guard {
+            Some(g) => self
+                .solver
+                .solve_assuming_guarded(config.max_conflicts, g, &assumptions),
+            None => self
+                .solver
+                .solve_assuming_with_budget(config.max_conflicts, &assumptions),
+        };
+        match result {
+            SatResult::Sat => {
+                let (values, dropped) = if config.minimize {
+                    let active = self.active_pred_vars(sys, sizes);
+                    shrink_true_preds(
+                        &mut self.solver,
+                        &assumptions,
+                        &active,
+                        config.max_conflicts,
+                        guard,
+                    )
+                } else {
+                    (self.solver.model(), 0)
+                };
+                stats.minimized_atoms += dropped;
+                span.note("minimized", dropped as i64);
+                let model = extract_model(
+                    sys,
+                    sizes,
+                    &self.caps,
+                    &self.func_vars,
+                    &self.pred_vars,
+                    |v| values[v.index()] == Some(true),
+                );
+                span.note_str("outcome", "model");
+                SizeOutcome::Model(model)
+            }
+            SatResult::Unsat => {
+                span.note_str("outcome", "unsat");
+                SizeOutcome::Unsat
+            }
+            SatResult::Unknown => {
+                if guard.is_some_and(|g| g.is_cancelled()) {
+                    span.note_str("outcome", "interrupted");
+                    SizeOutcome::Interrupted
+                } else {
+                    stats.budget_exhausted += 1;
+                    span.note_str("outcome", "budget");
+                    SizeOutcome::Budget
+                }
+            }
+        }
+    }
+
+    /// The predicate-table variables whose rows lie inside `sizes` (the
+    /// atoms minimal-model shrinking ranges over; phantom rows float).
+    fn active_pred_vars(&self, sys: &ChcSystem, sizes: &[usize]) -> Vec<Var> {
+        let mut out = Vec::new();
+        for p in sys.rels.iter() {
+            let d = sys.rels.decl(p);
+            let dims: Vec<usize> = d.domain.iter().map(|s| sizes[s.index()]).collect();
+            let rows: usize = dims.iter().product();
+            for r in 0..rows {
+                let args = unrank(r, &dims);
+                let row = pred_row_index(sys, p, &args, &self.caps);
+                out.push(self.pred_vars[p.index()][row]);
+            }
+        }
+        out
+    }
+}
+
+/// The dual-query minimal-model shrink loop: starting from the model in
+/// the solver, repeatedly ask for a model whose true predicate atoms are
+/// a *proper subset* of the current ones — false atoms pinned by
+/// assumptions, "drop at least one" imposed through a fresh activation
+/// literal — until the query comes back UNSAT (the failed-assumption
+/// analysis then certifies that no strictly smaller extension exists, so
+/// the last model's predicate extension is ⊆-minimal). `Unknown`
+/// (budget or guard) keeps the best model found so far. Returns the
+/// final assignment snapshot and the number of atoms dropped.
+fn shrink_true_preds(
+    solver: &mut Solver,
+    base_assumptions: &[Lit],
+    active_preds: &[Var],
+    max_conflicts: u64,
+    guard: Option<&Guard>,
+) -> (Vec<Option<bool>>, u64) {
+    let mut best = solver.model();
+    let initial = active_preds
+        .iter()
+        .filter(|v| best[v.index()] == Some(true))
+        .count();
+    loop {
+        let true_set: Vec<Var> = active_preds
+            .iter()
+            .copied()
+            .filter(|v| best[v.index()] == Some(true))
+            .collect();
+        if true_set.is_empty() {
+            break;
+        }
+        let act = solver.new_var();
+        let mut drop_one: Vec<Lit> = Vec::with_capacity(true_set.len() + 1);
+        drop_one.push(Lit::neg(act));
+        drop_one.extend(true_set.iter().map(|&v| Lit::neg(v)));
+        if !solver.add_clause(&drop_one) {
+            break;
+        }
+        let mut assumptions: Vec<Lit> =
+            Vec::with_capacity(base_assumptions.len() + 1 + active_preds.len());
+        assumptions.extend_from_slice(base_assumptions);
+        assumptions.push(Lit::pos(act));
+        assumptions.extend(
+            active_preds
+                .iter()
+                .copied()
+                .filter(|v| best[v.index()] == Some(false))
+                .map(Lit::neg),
+        );
+        let result = match guard {
+            Some(g) => solver.solve_assuming_guarded(max_conflicts, g, &assumptions),
+            None => solver.solve_assuming_with_budget(max_conflicts, &assumptions),
+        };
+        let improved = match result {
+            SatResult::Sat => Some(solver.model()),
+            SatResult::Unsat | SatResult::Unknown => None,
+        };
+        // Retire this iteration's drop clause either way, so later
+        // queries on a shared solver never see it.
+        solver.add_clause(&[Lit::neg(act)]);
+        match improved {
+            Some(next) => best = next,
+            None => break,
+        }
+    }
+    let fin = active_preds
+        .iter()
+        .filter(|v| best[v.index()] == Some(true))
+        .count();
+    (best, (initial - fin) as u64)
+}
+
+/// Reads a [`FiniteModel`] at `sizes` out of a variable assignment. The
+/// tables may be allocated at larger dimensions (`index_sizes`, the
+/// incremental caps); only rows inside `sizes` are consulted.
+fn extract_model(
+    sys: &ChcSystem,
+    sizes: &[usize],
+    index_sizes: &[usize],
+    func_vars: &[Vec<Vec<Var>>],
+    pred_vars: &[Vec<Var>],
+    value: impl Fn(Var) -> bool,
+) -> FiniteModel {
+    let sig = &sys.sig;
+    let pred_domains: Vec<Vec<usize>> = sys
+        .rels
+        .iter()
+        .map(|p| {
+            sys.rels
+                .decl(p)
+                .domain
+                .iter()
+                .map(|s| sizes[s.index()])
+                .collect()
+        })
+        .collect();
+    let mut model = FiniteModel::new(sig, &pred_domains, sizes.to_vec());
+    for f in sig.funcs() {
+        let d = sig.func(f);
+        let dims: Vec<usize> = d.domain.iter().map(|s| sizes[s.index()]).collect();
+        let rows: usize = dims.iter().product();
+        for r in 0..rows {
+            let args = unrank(r, &dims);
+            let row = row_index(sig, f, &args, index_sizes);
+            let cell = &func_vars[f.index()][row];
+            let v = cell
+                .iter()
+                .position(|&v| value(v))
+                .expect("exactly-one cell has a true value");
+            model.set_func(sig, f, &args, v);
+        }
+    }
+    for p in sys.rels.iter() {
+        let dims = &pred_domains[p.index()];
+        let rows: usize = dims.iter().product();
+        for r in 0..rows {
+            let args = unrank(r, dims);
+            let row = pred_row_index(sys, p, &args, index_sizes);
+            if value(pred_vars[p.index()][row]) {
+                model.add_pred(p, args);
+            }
+        }
+    }
+    model
 }
 
 /// The ground SAT instances of one flattened clause: literal lists
@@ -450,6 +978,87 @@ fn ground_clause(
                 let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
                 let row = pred_row_index(sys, *p, &vals, sizes);
                 out.lits.push(Lit::pos(pred_vars[p.index()][row]));
+            }
+            out.ends.push(out.lits.len());
+        }
+        // Odometer.
+        let mut i = 0;
+        loop {
+            if i == assign.len() {
+                break 'assignments;
+            }
+            assign[i] += 1;
+            if assign[i] < dims[i] {
+                break;
+            }
+            assign[i] = 0;
+            i += 1;
+        }
+        if assign.iter().all(|&a| a == 0) {
+            break;
+        }
+    }
+    out
+}
+
+/// [`ground_clause`] for the incremental sweep: iterates the box of
+/// `sizes` but emits only assignments *not* inside any covered box, with
+/// tables indexed at `caps` dimensions, and guards every instance with
+/// the negated existence selectors of the elements it mentions — so the
+/// instance is vacuous whenever a later, smaller vector deselects one of
+/// them.
+#[allow(clippy::too_many_arguments)]
+fn ground_clause_delta(
+    sys: &ChcSystem,
+    c: &FlatClause,
+    sizes: &[usize],
+    caps: &[usize],
+    covered: &[Vec<usize>],
+    func_vars: &[Vec<Vec<Var>>],
+    pred_vars: &[Vec<Var>],
+    ex: &[Vec<Var>],
+) -> GroundInstances {
+    let sig = &sys.sig;
+    let mut out = GroundInstances {
+        lits: Vec::new(),
+        ends: Vec::new(),
+    };
+    let dims: Vec<usize> = c.var_sorts.iter().map(|s| sizes[s.index()]).collect();
+    if dims.contains(&0) {
+        return out;
+    }
+    let mut assign = vec![0usize; dims.len()];
+    'assignments: loop {
+        let already = covered.iter().any(|b| {
+            assign
+                .iter()
+                .zip(&c.var_sorts)
+                .all(|(&a, s)| a < b[s.index()])
+        });
+        let eq_ok = !already && c.eqs.iter().all(|&(a, b)| assign[a] == assign[b]);
+        if eq_ok {
+            for (f, args, res) in &c.defs {
+                let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
+                let row = row_index(sig, *f, &vals, caps);
+                out.lits
+                    .push(Lit::neg(func_vars[f.index()][row][assign[*res]]));
+            }
+            for (p, args) in &c.body {
+                let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
+                let row = pred_row_index(sys, *p, &vals, caps);
+                out.lits.push(Lit::neg(pred_vars[p.index()][row]));
+            }
+            if let Some((p, args)) = &c.head {
+                let vals: Vec<usize> = args.iter().map(|&v| assign[v]).collect();
+                let row = pred_row_index(sys, *p, &vals, caps);
+                out.lits.push(Lit::pos(pred_vars[p.index()][row]));
+            }
+            // Existence guards (duplicates are deduplicated by the
+            // solver's clause normalization).
+            for (&a, s) in assign.iter().zip(&c.var_sorts) {
+                if a >= 1 {
+                    out.lits.push(Lit::neg(ex[s.index()][a - 1]));
+                }
             }
             out.ends.push(out.lits.len());
         }
@@ -707,23 +1316,27 @@ mod tests {
     #[test]
     fn parallel_sweep_is_identical_at_any_thread_count() {
         // The sharded ground-instance sweep must reproduce the inline
-        // result bit for bit: same model, same statistics.
+        // result bit for bit: same model, same statistics — in both
+        // sweep modes.
         let sys = even_system();
-        let run = |threads: usize| {
-            let cfg = FinderConfig {
-                parallel: ParallelConfig::with_threads(threads),
-                ..FinderConfig::default()
+        for incremental in [true, false] {
+            let run = |threads: usize| {
+                let cfg = FinderConfig {
+                    incremental,
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..FinderConfig::default()
+                };
+                let (outcome, stats) = find_model(&sys, &cfg).unwrap();
+                (outcome.model(), stats)
             };
-            let (outcome, stats) = find_model(&sys, &cfg).unwrap();
-            (outcome.model(), stats)
-        };
-        let (m1, s1) = run(1);
-        for threads in [2usize, 4, 8] {
-            let (m, s) = run(threads);
-            assert_eq!(m, m1, "threads = {threads}");
-            assert_eq!(s, s1, "threads = {threads}");
+            let (m1, s1) = run(1);
+            for threads in [2usize, 4, 8] {
+                let (m, s) = run(threads);
+                assert_eq!(m, m1, "threads = {threads}, incremental = {incremental}");
+                assert_eq!(s, s1, "threads = {threads}, incremental = {incremental}");
+            }
+            assert!(m1.is_some());
         }
-        assert!(m1.is_some());
     }
 
     #[test]
@@ -792,5 +1405,150 @@ mod tests {
         let m2 = o2.model().unwrap();
         assert_eq!(m1.size(), m2.size());
         assert!(m1.satisfies(&sys) && m2.satisfies(&sys));
+    }
+
+    #[test]
+    fn incremental_and_one_shot_sweeps_agree() {
+        // Same verdict, same first-model size vector, same skip
+        // decisions — the differential contract behind
+        // `RINGEN_FMF_INCREMENTAL=0`.
+        let sys = even_system();
+        let inc = FinderConfig {
+            incremental: true,
+            ..FinderConfig::default()
+        };
+        let one = FinderConfig {
+            incremental: false,
+            ..FinderConfig::default()
+        };
+        let (oi, si) = find_model(&sys, &inc).unwrap();
+        let (oo, so) = find_model(&sys, &one).unwrap();
+        let (mi, mo) = (oi.model().unwrap(), oo.model().unwrap());
+        assert_eq!(mi.sizes(), mo.sizes());
+        assert!(mi.satisfies(&sys) && mo.satisfies(&sys));
+        assert_eq!(si.vectors_tried, so.vectors_tried);
+        assert_eq!(si.skipped_too_large, so.skipped_too_large);
+    }
+
+    #[test]
+    fn incremental_sweep_reuses_one_solver() {
+        // IncDec walks three size vectors; the shared solver answers all
+        // but the first from retained state, and only deltas are pushed.
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        let p = b.pred("p", vec![nat]);
+        b.clause(|c| {
+            c.head(p, vec![c.app0(z)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(p, vec![c.v(x)]);
+            c.head(p, vec![Term::iterate(s, c.v(x), 3)]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            c.body(p, vec![c.v(x)]);
+            c.body(p, vec![c.app(s, vec![c.v(x)])]);
+        });
+        let sys = b.finish();
+        let cfg = FinderConfig {
+            incremental: true,
+            ..FinderConfig::default()
+        };
+        let (outcome, stats) = find_model(&sys, &cfg).unwrap();
+        assert!(outcome.model().is_some());
+        assert!(stats.vectors_tried >= 3, "mod-3 needs the third vector");
+        assert_eq!(stats.solver_reuses, stats.vectors_tried - 1);
+        assert!(stats.delta_clauses > 0);
+
+        // The one-shot reference never reuses.
+        let one = FinderConfig {
+            incremental: false,
+            ..FinderConfig::default()
+        };
+        let (_, so) = find_model(&sys, &one).unwrap();
+        assert_eq!(so.solver_reuses, 0);
+    }
+
+    #[test]
+    fn minimized_model_has_no_satisfying_proper_submodel() {
+        // ⊆-minimality of the predicate extension: removing *any*
+        // non-empty subset of atoms (functions unchanged) breaks the
+        // system. This is exactly what the shrink loop's final UNSAT
+        // certifies.
+        let mut b = SystemBuilder::new();
+        let nat = b.sort("Nat");
+        let z = b.ctor("Z", vec![], nat);
+        let s = b.ctor("S", vec![nat], nat);
+        let inc = b.pred("inc", vec![nat, nat]);
+        b.clause(|c| {
+            c.head(inc, vec![c.app0(z), c.app(s, vec![c.app0(z)])]);
+        });
+        b.clause(|c| {
+            let x = c.var("x", nat);
+            let y = c.var("y", nat);
+            c.body(inc, vec![c.v(x), c.v(y)]);
+            c.head(inc, vec![c.app(s, vec![c.v(x)]), c.app(s, vec![c.v(y)])]);
+        });
+        let sys = b.finish();
+        for incremental in [true, false] {
+            let cfg = FinderConfig {
+                incremental,
+                minimize: true,
+                ..FinderConfig::default()
+            };
+            let (outcome, _) = find_model(&sys, &cfg).unwrap();
+            let model = outcome.model().expect("inc chains are satisfiable");
+            assert!(model.satisfies(&sys));
+            let atoms: Vec<(ringen_chc::PredId, Vec<usize>)> = sys
+                .rels
+                .iter()
+                .flat_map(|p| {
+                    model
+                        .pred_table(p)
+                        .map(|t| (p, t.to_vec()))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            assert!(atoms.len() <= 12, "test relies on exhaustive subsets");
+            for mask in 1u32..(1 << atoms.len()) {
+                let mut sub = model.clone();
+                for (i, (p, t)) in atoms.iter().enumerate() {
+                    if mask >> i & 1 == 1 {
+                        sub = sub.without_pred_tuple(*p, t);
+                    }
+                }
+                assert!(
+                    !sub.satisfies(&sys),
+                    "proper sub-model (mask {mask:#b}) still satisfies the system"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_knob_only_ever_shrinks() {
+        let sys = even_system();
+        let atoms =
+            |m: &FiniteModel| -> usize { sys.rels.iter().map(|p| m.pred_table(p).count()).sum() };
+        for incremental in [true, false] {
+            let min = FinderConfig {
+                incremental,
+                minimize: true,
+                ..FinderConfig::default()
+            };
+            let raw = FinderConfig {
+                incremental,
+                minimize: false,
+                ..FinderConfig::default()
+            };
+            let (om, _) = find_model(&sys, &min).unwrap();
+            let (or, _) = find_model(&sys, &raw).unwrap();
+            let (mm, mr) = (om.model().unwrap(), or.model().unwrap());
+            assert!(mm.satisfies(&sys) && mr.satisfies(&sys));
+            assert!(atoms(&mm) <= atoms(&mr));
+        }
     }
 }

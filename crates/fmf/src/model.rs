@@ -105,6 +105,15 @@ impl FiniteModel {
         self.preds[p.index()].iter().map(|row| row.as_slice())
     }
 
+    /// The same structure with one tuple removed from a predicate table
+    /// (functions and domains unchanged) — the "proper sub-model" probe
+    /// the minimal-model tests fold over subsets of atoms.
+    pub fn without_pred_tuple(&self, p: PredId, tuple: &[usize]) -> FiniteModel {
+        let mut m = self.clone();
+        m.preds[p.index()].remove(tuple);
+        m
+    }
+
     /// `ℳ⟦t⟧` for a ground term.
     pub fn eval_ground(&self, sig: &Signature, t: &GroundTerm) -> usize {
         let args: PredRow = t.args().iter().map(|a| self.eval_ground(sig, a)).collect();

@@ -1,4 +1,4 @@
-//! A CDCL SAT solver.
+//! An incremental CDCL SAT solver.
 //!
 //! Substrate for `ringen-fmf`, the MACE-style finite-model finder of §4 of
 //! *"Beyond the Elementary Representations of Program Invariants over
@@ -6,6 +6,13 @@
 //! learning with two-watched literals, first-UIP conflict analysis, VSIDS
 //! branching, phase saving and Luby restarts. Solving is budgeted by
 //! conflict count so that callers get deterministic "timeouts".
+//!
+//! The solver is *incremental*: clauses can be added between queries,
+//! queries can be posed under assumptions
+//! ([`Solver::solve_under_assumptions`]) with failed-literal unsat-core
+//! extraction ([`Solver::failed_assumptions`]), and learnt clauses plus
+//! branching heuristics persist across queries — the FMF size sweep
+//! leans on all three to reuse one solver for the whole sweep.
 //!
 //! # Example
 //!
@@ -24,6 +31,13 @@
 //!     }
 //!     other => panic!("expected SAT, got {other:?}"),
 //! }
+//!
+//! // The same solver can answer restricted follow-up queries without
+//! // rebuilding: assuming `b` is false forces the clause set UNSAT,
+//! // and the failed assumptions name the culprit.
+//! assert_eq!(s.solve_under_assumptions(&[Lit::neg(b)]), SatResult::Unsat);
+//! assert_eq!(s.failed_assumptions(), &[Lit::neg(b)]);
+//! assert_eq!(s.solve(), SatResult::Sat);
 //! ```
 
 mod solver;

@@ -1,4 +1,12 @@
 //! The CDCL solver implementation.
+//!
+//! The solver is *incremental*: clauses may be added between `solve`
+//! calls, queries may be posed under assumptions
+//! ([`Solver::solve_under_assumptions`]), and learnt clauses plus
+//! variable activity survive from one query to the next. When a query
+//! is unsatisfiable because of its assumptions,
+//! [`Solver::failed_assumptions`] returns the subset of assumption
+//! literals the refutation actually used (the assumption unsat core).
 
 use ringen_guard::Guard;
 use std::fmt;
@@ -79,7 +87,8 @@ impl fmt::Display for Lit {
 pub enum SatResult {
     /// A satisfying assignment was found; read it with [`Solver::value`].
     Sat,
-    /// The clause set is unsatisfiable.
+    /// The clause set is unsatisfiable (under the assumptions, if any
+    /// were passed; see [`Solver::failed_assumptions`]).
     Unsat,
     /// The conflict budget was exhausted first.
     Unknown,
@@ -94,7 +103,14 @@ struct Clause {
     learnt: bool,
 }
 
-/// A CDCL SAT solver; see the [crate docs](crate) for an example.
+/// An incremental CDCL SAT solver; see the [crate docs](crate) for an
+/// example.
+///
+/// Between queries the solver keeps its clause database (including
+/// learnt clauses), variable activity, and saved phases, so a sequence
+/// of related queries — the finite-model-finding size sweep is the
+/// motivating client — gets monotonically cheaper instead of starting
+/// from scratch each time.
 #[derive(Debug, Default)]
 pub struct Solver {
     clauses: Vec<Clause>,
@@ -119,8 +135,14 @@ pub struct Solver {
     act_inc: f64,
     /// Whether an empty clause was added.
     broken: bool,
+    /// Assumption unsat core of the most recent UNSAT answer: the
+    /// subset of the passed assumptions the refutation used. Empty when
+    /// the clause set is unsatisfiable outright.
+    failed: Vec<Lit>,
     conflicts: u64,
     decisions: u64,
+    propagations: u64,
+    restarts: u64,
 }
 
 impl Solver {
@@ -132,7 +154,8 @@ impl Solver {
         }
     }
 
-    /// Introduces a fresh variable.
+    /// Introduces a fresh variable. Variables may be added at any
+    /// point, including between queries.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assign.len() as u32);
         self.assign.push(None);
@@ -155,6 +178,11 @@ impl Solver {
         self.clauses.iter().filter(|c| !c.learnt).count()
     }
 
+    /// Number of learnt clauses currently retained.
+    pub fn num_learnts(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learnt).count()
+    }
+
     /// Conflicts encountered so far (budget bookkeeping).
     pub fn conflict_count(&self) -> u64 {
         self.conflicts
@@ -165,16 +193,37 @@ impl Solver {
         self.decisions
     }
 
+    /// Literals propagated so far.
+    pub fn propagation_count(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Restarts performed so far.
+    pub fn restart_count(&self) -> u64 {
+        self.restarts
+    }
+
+    /// After an [`SatResult::Unsat`] answer from an assumption query:
+    /// the subset of the assumption literals used to refute it (the
+    /// *failed literals*). The clause set conjoined with just these
+    /// assumptions is already unsatisfiable. Empty when the clause set
+    /// is unsatisfiable on its own.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
     /// Adds a clause. Returns `false` if the solver is already broken
     /// (an empty clause was added), in which case `solve` reports UNSAT.
     ///
+    /// May be called between queries: any assignment left over from a
+    /// previous query is undone (back to the root level) first, so only
+    /// permanent root-level facts are used to simplify the clause.
+    ///
     /// # Panics
     ///
-    /// Panics if called after a solve that assigned variables at level > 0
-    /// (incremental solving between calls is not supported) or on a stale
-    /// variable.
+    /// Panics on a literal over a variable the solver never allocated.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        assert!(self.trail_lim.is_empty(), "add_clause after decisions");
+        self.backjump(0);
         if self.broken {
             return false;
         }
@@ -228,6 +277,14 @@ impl Solver {
         self.assign[v.index()]
     }
 
+    /// A snapshot of the whole assignment, indexed by [`Var::index`]
+    /// (complete after a [`SatResult::Sat`] answer). Callers that keep
+    /// querying the solver — the minimal-model shrink loop — snapshot
+    /// the model before the next query erases it.
+    pub fn model(&self) -> Vec<Option<bool>> {
+        self.assign.clone()
+    }
+
     fn lit_value(&self, l: Lit) -> Option<bool> {
         self.assign[l.var().index()].map(|b| b == l.is_positive())
     }
@@ -247,6 +304,7 @@ impl Solver {
         while self.qhead < self.trail.len() {
             let l = self.trail[self.qhead];
             self.qhead += 1;
+            self.propagations += 1;
             // Clauses watching l (i.e. containing ¬l among watches).
             let mut watchers = std::mem::take(&mut self.watches[l.code()]);
             let mut i = 0;
@@ -361,6 +419,44 @@ impl Solver {
         }
     }
 
+    /// Computes the assumption unsat core for a failed assumption `p`:
+    /// the subset of earlier assumption decisions (plus `p` itself)
+    /// whose propagation forced `¬p`. Walks reasons backwards from the
+    /// assignment of `¬p`; reason-less trail literals above the root are
+    /// exactly the assumption decisions of this query.
+    fn analyze_final(&self, p: Lit) -> Vec<Lit> {
+        let mut out = vec![p];
+        if self.trail_lim.is_empty() {
+            // ¬p is a root-level fact: the formula alone refutes `p`.
+            return out;
+        }
+        let mut seen = vec![false; self.num_vars()];
+        seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let xv = x.var().index();
+            if !seen[xv] {
+                continue;
+            }
+            match self.reason[xv] {
+                None => {
+                    if x != p {
+                        out.push(x);
+                    }
+                }
+                Some(cref) => {
+                    for &q in &self.clauses[cref.0 as usize].lits {
+                        if self.level[q.var().index()] > 0 {
+                            seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            seen[xv] = false;
+        }
+        out
+    }
+
     fn backjump(&mut self, level: u32) {
         while self.trail_lim.len() as u32 > level {
             let start = self.trail_lim.pop().expect("level > 0");
@@ -396,7 +492,7 @@ impl Solver {
     /// Solves, giving up with [`SatResult::Unknown`] after `max_conflicts`
     /// conflicts. Restarts follow the Luby sequence.
     pub fn solve_with_budget(&mut self, max_conflicts: u64) -> SatResult {
-        self.solve_inner(max_conflicts, None)
+        self.solve_inner(max_conflicts, None, &[])
     }
 
     /// [`Solver::solve_with_budget`] under a cooperative [`Guard`]:
@@ -409,10 +505,47 @@ impl Solver {
     /// caller distinguishes "budget" from "cancelled" by checking the
     /// guard afterwards.
     pub fn solve_guarded(&mut self, max_conflicts: u64, guard: &Guard) -> SatResult {
-        self.solve_inner(max_conflicts, Some(guard))
+        self.solve_inner(max_conflicts, Some(guard), &[])
     }
 
-    fn solve_inner(&mut self, max_conflicts: u64, guard: Option<&Guard>) -> SatResult {
+    /// Solves under `assumptions`: each literal is forced for the
+    /// duration of this query only (installed as a pseudo-decision, so
+    /// nothing learnt from it outlives the call incorrectly — learnt
+    /// clauses never mention assumption polarity, only consequences of
+    /// the clause set). On [`SatResult::Unsat`],
+    /// [`Solver::failed_assumptions`] names the responsible subset.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_inner(u64::MAX, None, assumptions)
+    }
+
+    /// [`Solver::solve_under_assumptions`] with a conflict budget.
+    pub fn solve_assuming_with_budget(
+        &mut self,
+        max_conflicts: u64,
+        assumptions: &[Lit],
+    ) -> SatResult {
+        self.solve_inner(max_conflicts, None, assumptions)
+    }
+
+    /// [`Solver::solve_under_assumptions`] with a conflict budget and a
+    /// cooperative [`Guard`] (same polling contract as
+    /// [`Solver::solve_guarded`]).
+    pub fn solve_assuming_guarded(
+        &mut self,
+        max_conflicts: u64,
+        guard: &Guard,
+        assumptions: &[Lit],
+    ) -> SatResult {
+        self.solve_inner(max_conflicts, Some(guard), assumptions)
+    }
+
+    fn solve_inner(
+        &mut self,
+        max_conflicts: u64,
+        guard: Option<&Guard>,
+        assumptions: &[Lit],
+    ) -> SatResult {
+        self.failed.clear();
         if self.broken {
             return SatResult::Unsat;
         }
@@ -421,6 +554,11 @@ impl Solver {
                 return SatResult::Unknown;
             }
         }
+        for l in assumptions {
+            assert!(l.var().index() < self.num_vars(), "stale assumption {l}");
+        }
+        // Undo any assignment left over from the previous query.
+        self.backjump(0);
         if self.propagate().is_some() {
             self.broken = true;
             return SatResult::Unsat;
@@ -434,6 +572,7 @@ impl Solver {
                 Some(conflict) => {
                     self.conflicts += 1;
                     if self.trail_lim.is_empty() {
+                        self.broken = true;
                         return SatResult::Unsat;
                     }
                     if self.conflicts - start_conflicts >= max_conflicts {
@@ -471,8 +610,29 @@ impl Solver {
                     restart_budget = restart_budget.saturating_sub(1);
                     if restart_budget == 0 {
                         restart_count += 1;
+                        self.restarts += 1;
                         restart_budget = 64 * luby(restart_count);
                         self.backjump(0);
+                    }
+                }
+                None if self.trail_lim.len() < assumptions.len() => {
+                    // Install the next assumption as a pseudo-decision.
+                    let p = assumptions[self.trail_lim.len()];
+                    match self.lit_value(p) {
+                        Some(true) => {
+                            // Already implied: open an empty level so
+                            // assumption i stays the decision of level i+1.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Some(false) => {
+                            self.failed = self.analyze_final(p);
+                            self.backjump(0);
+                            return SatResult::Unsat;
+                        }
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(p, None);
+                        }
                     }
                 }
                 None => match self.decide() {
@@ -580,6 +740,7 @@ mod tests {
         }
         assert_eq!(s.solve(), SatResult::Sat);
         assert!(v.iter().all(|&x| s.value(x) == Some(true)));
+        assert!(s.propagation_count() >= 20);
     }
 
     #[test]
@@ -716,6 +877,225 @@ mod tests {
         assert_eq!(got, want);
     }
 
+    #[test]
+    fn clauses_can_be_added_between_solves() {
+        // Solve, constrain the model away, solve again — repeatedly.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        for _ in 0..(1 << 4) {
+            // Block the current total model.
+            let block: Vec<Lit> = v
+                .iter()
+                .map(|&x| Lit::with_sign(x, s.value(x) != Some(true)))
+                .collect();
+            s.add_clause(&block);
+            if s.solve() == SatResult::Unsat {
+                return; // all models enumerated
+            }
+        }
+        panic!("model enumeration did not terminate");
+    }
+
+    #[test]
+    fn model_enumeration_counts_models() {
+        // x0 ∨ x1 over 2 vars has exactly 3 models.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        let mut count = 0;
+        while s.solve() == SatResult::Sat {
+            count += 1;
+            assert!(count <= 4, "runaway enumeration");
+            let block: Vec<Lit> = v
+                .iter()
+                .map(|&x| Lit::with_sign(x, s.value(x) != Some(true)))
+                .collect();
+            s.add_clause(&block);
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn assumptions_restrict_a_single_query_only() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        // Under ¬x0 the clause forces x1.
+        assert_eq!(s.solve_under_assumptions(&[Lit::neg(v[0])]), SatResult::Sat);
+        assert_eq!(s.value(v[0]), Some(false));
+        assert_eq!(s.value(v[1]), Some(true));
+        // Under ¬x0 ∧ ¬x1 it is unsatisfiable...
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::neg(v[0]), Lit::neg(v[1])]),
+            SatResult::Unsat
+        );
+        // ...but the solver itself is not poisoned.
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn failed_assumptions_name_the_responsible_subset() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[Lit::neg(v[0]), Lit::neg(v[1])]); // ¬(x0 ∧ x1)
+        let assumptions = [
+            Lit::pos(v[2]),
+            Lit::pos(v[0]),
+            Lit::pos(v[3]),
+            Lit::pos(v[1]),
+        ];
+        assert_eq!(s.solve_under_assumptions(&assumptions), SatResult::Unsat);
+        let mut core = s.failed_assumptions().to_vec();
+        core.sort();
+        // The irrelevant assumptions x2, x3 are not in the core.
+        assert_eq!(core, vec![Lit::pos(v[0]), Lit::pos(v[1])]);
+        // The core alone is already unsatisfiable.
+        assert_eq!(s.solve_under_assumptions(&core), SatResult::Unsat);
+    }
+
+    #[test]
+    fn failed_assumption_core_is_just_p_when_root_implied() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::neg(v[0])]);
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(v[1]), Lit::pos(v[0])]),
+            SatResult::Unsat
+        );
+        assert_eq!(s.failed_assumptions(), &[Lit::pos(v[0])]);
+    }
+
+    #[test]
+    fn unsat_without_assumptions_leaves_an_empty_core() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0])]);
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(v[0])]),
+            SatResult::Unsat
+        );
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn learnt_clauses_survive_between_queries() {
+        // PHP(5,4) twice: the second solve reuses the learnt clauses and
+        // needs strictly fewer new conflicts.
+        let n = 5;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var()).collect())
+            .collect();
+        let sel = s.new_var(); // selector so UNSAT is assumption-relative
+        for row in &p {
+            let mut c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            c.push(Lit::neg(sel));
+            s.add_clause(&c);
+        }
+        #[allow(clippy::needless_range_loop)] // j indexes a fixed pigeon/hole grid
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(sel)]),
+            SatResult::Unsat
+        );
+        let first = s.conflict_count();
+        assert!(first > 0);
+        assert!(s.num_learnts() > 0);
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(sel)]),
+            SatResult::Unsat
+        );
+        let second = s.conflict_count() - first;
+        assert!(
+            second < first,
+            "retained learnt clauses should shorten the re-query: {second} vs {first}"
+        );
+    }
+
+    #[test]
+    fn restart_counter_advances_on_long_searches() {
+        // PHP(7,6) takes well over 64 conflicts, forcing restarts.
+        let n = 7;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&c);
+        }
+        #[allow(clippy::needless_range_loop)] // j indexes a fixed pigeon/hole grid
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in i1 + 1..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.restart_count() > 0);
+        assert!(s.propagation_count() > 0);
+    }
+
+    #[test]
+    fn minimal_true_set_shrinks_via_assumption_queries() {
+        // The dual-query shrink loop the FMF finder uses, in miniature:
+        // (a ∨ b) ∧ (b ∨ c) has minimal true-sets {b} and {a, c}; from
+        // any starting model the loop must reach one of them.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::pos(v[1]), Lit::pos(v[2])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        let mut acts = Vec::new();
+        loop {
+            let true_set: Vec<Var> = v
+                .iter()
+                .copied()
+                .filter(|&x| s.value(x) == Some(true))
+                .collect();
+            let false_set: Vec<Var> = v
+                .iter()
+                .copied()
+                .filter(|&x| s.value(x) == Some(false))
+                .collect();
+            if true_set.is_empty() {
+                break;
+            }
+            let act = s.new_var();
+            acts.push(act);
+            let mut drop_one: Vec<Lit> = vec![Lit::neg(act)];
+            drop_one.extend(true_set.iter().map(|&x| Lit::neg(x)));
+            s.add_clause(&drop_one);
+            let mut assumptions: Vec<Lit> = vec![Lit::pos(act)];
+            assumptions.extend(false_set.iter().map(|&x| Lit::neg(x)));
+            match s.solve_under_assumptions(&assumptions) {
+                SatResult::Sat => continue,
+                SatResult::Unsat => break,
+                SatResult::Unknown => panic!("tiny instance exhausted its budget"),
+            }
+        }
+        // Deactivate the shrink clauses and re-read the final model.
+        for a in &acts {
+            s.add_clause(&[Lit::neg(*a)]);
+        }
+        assert_eq!(s.solve_under_assumptions(&[]), SatResult::Sat);
+        let true_set: Vec<usize> = (0..3).filter(|&i| s.value(v[i]) == Some(true)).collect();
+        assert!(
+            true_set == vec![1] || true_set == vec![0, 2],
+            "expected a minimal true-set, got {true_set:?}"
+        );
+    }
+
     /// Brute-force evaluator for cross-checking.
     fn brute_force(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> Option<Vec<bool>> {
         for mask in 0..(1u32 << num_vars) {
@@ -768,6 +1148,75 @@ mod tests {
                         c.iter().any(|&(v, p)| s.value(vars[v]) == Some(p)),
                         "model violates {c:?}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_assumption_queries_agree_with_brute_force() {
+        // Random CNFs built up in two stages, queried under random
+        // assumptions after each stage; cross-checked against brute
+        // force with the assumptions added as unit clauses.
+        let mut state = 0x5EED5EEDu64;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for round in 0..200 {
+            let nv = 3 + rand() % 5; // 3..7 vars
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..nv).map(|_| s.new_var()).collect();
+            let mut cnf: Vec<Vec<(usize, bool)>> = Vec::new();
+            let mut broken = false;
+            for _stage in 0..2 {
+                let nc = 1 + rand() % 8;
+                for _ in 0..nc {
+                    let len = 1 + rand() % 3;
+                    let c: Vec<(usize, bool)> =
+                        (0..len).map(|_| (rand() % nv, rand() % 2 == 0)).collect();
+                    let ls: Vec<Lit> = c.iter().map(|&(v, p)| Lit::with_sign(vars[v], p)).collect();
+                    broken |= !s.add_clause(&ls);
+                    cnf.push(c);
+                }
+                // Random assumptions over distinct vars.
+                let na = rand() % 3;
+                let mut assumed: Vec<(usize, bool)> = Vec::new();
+                for _ in 0..na {
+                    let v = rand() % nv;
+                    if !assumed.iter().any(|&(w, _)| w == v) {
+                        assumed.push((v, rand() % 2 == 0));
+                    }
+                }
+                let assumptions: Vec<Lit> = assumed
+                    .iter()
+                    .map(|&(v, p)| Lit::with_sign(vars[v], p))
+                    .collect();
+                let mut full = cnf.clone();
+                full.extend(assumed.iter().map(|&(v, p)| vec![(v, p)]));
+                let expected = brute_force(nv, &full).is_some();
+                let got = s.solve_under_assumptions(&assumptions);
+                assert_eq!(
+                    got == SatResult::Sat,
+                    expected,
+                    "round {round}: cnf {cnf:?} assumed {assumed:?}"
+                );
+                if got == SatResult::Sat {
+                    for c in &full {
+                        assert!(
+                            c.iter().any(|&(v, p)| s.value(vars[v]) == Some(p)),
+                            "model violates {c:?}"
+                        );
+                    }
+                } else {
+                    // The failed assumptions alone must re-refute.
+                    let core = s.failed_assumptions().to_vec();
+                    assert!(core.iter().all(|l| assumptions.contains(l)));
+                    if !broken {
+                        assert_eq!(s.solve_under_assumptions(&core), SatResult::Unsat);
+                    }
                 }
             }
         }

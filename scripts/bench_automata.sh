@@ -6,7 +6,11 @@
 # sequential saturation on a multi-clause join system; for the
 # semi_naive_saturation group: the delta-driven engine vs the naive
 # full-rescan matcher on a deep recursive chain, gated by bench_diff
-# on an absolute >=2x floor; for the boolean_ops_memoized group: warm
+# on an absolute >=2x floor; for the fmf_incremental group: the
+# one-live-solver incremental size sweep vs the one-shot
+# solver-per-vector reference on an exhausting two-sorted dual phase
+# ring, gated on the same absolute >=2x floor; for the
+# boolean_ops_memoized group: warm
 # AutStore memo probes vs cold kernel reconstruction, gated on an
 # absolute >=10x floor) and the Dfta::step zero-allocation check — in
 # BENCH_automata.json at the repo root. Speedup ratios are measured

@@ -92,8 +92,13 @@ pub fn solve_sections(stats: &SolveStats) -> Vec<Section> {
                 .entry("vectors_tried", f.vectors_tried as i64)
                 .entry("decisions", f.decisions as i64)
                 .entry("conflicts", f.conflicts as i64)
+                .entry("propagations", f.propagations as i64)
+                .entry("restarts", f.restarts as i64)
                 .entry("skipped_too_large", f.skipped_too_large as i64)
-                .entry("budget_exhausted", f.budget_exhausted as i64),
+                .entry("budget_exhausted", f.budget_exhausted as i64)
+                .entry("solver_reuses", f.solver_reuses as i64)
+                .entry("delta_clauses", f.delta_clauses as i64)
+                .entry("minimized_atoms", f.minimized_atoms as i64),
         );
     }
     if let Some(size) = stats.model_size {

@@ -4,15 +4,17 @@
 //! It supports the subset of the proptest API this workspace's property
 //! tests use: the [`proptest!`] macro with an optional
 //! `#![proptest_config(...)]` attribute, `x in strategy` bindings,
-//! [`prop_assert!`]/[`prop_assert_eq!`], integer-range strategies,
-//! [`any::<bool>()`], strategy tuples, and `prop::collection::vec`.
+//! [`prop_assert!`]/[`prop_assert_eq!`], integer-range strategies
+//! (half-open and inclusive), [`any::<bool>()`], strategy tuples,
+//! `prop::collection::vec`, the [`Strategy::prop_map`] /
+//! [`Strategy::prop_flat_map`] combinators, and [`option::of`].
 //!
 //! Differences from real proptest: generation is a fixed-seed
 //! deterministic PRNG (xorshift64*), there is no shrinking, and a
 //! failing case reports the case number instead of a minimized input.
 //! Failures are still reproducible because the seed is fixed.
 
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 /// Deterministic xorshift64* PRNG driving all generation.
 #[derive(Debug, Clone)]
@@ -52,6 +54,53 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a second strategy from each generated value and draws
+    /// from it (proptest's `prop_flat_map`).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -77,6 +126,22 @@ macro_rules! int_range_strategy {
 }
 
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 /// Strategy for "any value of `T`" (implemented for the types the
 /// workspace's tests request).
@@ -178,6 +243,12 @@ pub mod collection {
         }
     }
 
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            super::Strategy::generate(self, rng)
+        }
+    }
+
     /// Strategy for `Vec`s of `elem`-generated values. Returned by
     /// [`vec`].
     #[derive(Debug, Clone)]
@@ -197,6 +268,35 @@ pub mod collection {
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.len.pick(rng);
             (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Optional-value strategies (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option`s of `inner`-generated values. Returned by
+    /// [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OfStrategy<S> {
+        inner: S,
+    }
+
+    /// `prop::option::of(strategy)`: `None` or `Some(value)`, evenly.
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
         }
     }
 }
@@ -340,7 +440,7 @@ pub mod prelude {
     /// Namespace alias so `prop::collection::vec` resolves, as with the
     /// real crate's prelude.
     pub mod prop {
-        pub use crate::collection;
+        pub use crate::{collection, option};
     }
 }
 
@@ -372,6 +472,22 @@ mod tests {
             prop_assert!(a < 10);
             prop_assert!(c == 1 || c == 2);
             let _ = b;
+        }
+
+        #[test]
+        fn inclusive_ranges_hit_both_ends(x in 0usize..=2) {
+            prop_assert!(x <= 2);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in (1usize..=3).prop_flat_map(|n| {
+                prop::collection::vec(0usize..10, n).prop_map(move |xs| (n, xs))
+            }),
+            o in prop::option::of(0u8..4),
+        ) {
+            prop_assert_eq!(v.0, v.1.len());
+            prop_assert!(o.is_none() || o.unwrap() < 4);
         }
     }
 
