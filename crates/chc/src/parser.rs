@@ -450,16 +450,19 @@ impl Parser {
         if let Some(items) = s.as_list() {
             match items.first().and_then(Sexp::as_atom) {
                 Some("forall") if positive => {
+                    let body = quantifier_body(items, s.line())?;
                     self.bind(items, vars, scope, s.line())?;
-                    return self.assertion(&items[2], vars, scope, positive, exist_vars);
+                    return self.assertion(body, vars, scope, positive, exist_vars);
                 }
                 Some("exists") if !positive => {
+                    let body = quantifier_body(items, s.line())?;
                     self.bind(items, vars, scope, s.line())?;
-                    return self.assertion(&items[2], vars, scope, positive, exist_vars);
+                    return self.assertion(body, vars, scope, positive, exist_vars);
                 }
                 Some("exists") if positive => {
                     // The §5 ∀∃ query shape: inner existentials become
                     // Clause::exist_vars (validated in `assert`).
+                    let body = quantifier_body(items, s.line())?;
                     let before: std::collections::BTreeSet<VarId> =
                         scope.values().copied().collect();
                     self.bind(items, vars, scope, s.line())?;
@@ -468,7 +471,7 @@ impl Parser {
                             exist_vars.push(*v);
                         }
                     }
-                    return self.assertion(&items[2], vars, scope, positive, exist_vars);
+                    return self.assertion(body, vars, scope, positive, exist_vars);
                 }
                 Some("forall" | "exists") => {
                     return Err(ParseError::new(
@@ -477,7 +480,8 @@ impl Parser {
                     ));
                 }
                 Some("not") => {
-                    let inner = self.assertion(&items[1], vars, scope, !positive, exist_vars)?;
+                    let arg = unary_arg(items, "not", s.line())?;
+                    let inner = self.assertion(arg, vars, scope, !positive, exist_vars)?;
                     return Ok(Formula::Not(Box::new(inner)));
                 }
                 _ => {}
@@ -552,9 +556,10 @@ impl Parser {
                             .map(|g| self.formula(g, vars, scope))
                             .collect::<Result<_, _>>()?,
                     )),
-                    Some("not") => Ok(Formula::Not(Box::new(
-                        self.formula(&items[1], vars, scope)?,
-                    ))),
+                    Some("not") => {
+                        let arg = unary_arg(items, "not", *line)?;
+                        Ok(Formula::Not(Box::new(self.formula(arg, vars, scope)?)))
+                    }
                     Some("=>") => {
                         // Right-associate chains: (=> a b c) = a → (b → c).
                         let parts: Vec<Formula> = items[1..]
@@ -571,13 +576,15 @@ impl Parser {
                         Ok(acc)
                     }
                     Some("=") => {
-                        let a = self.term(&items[1], vars, scope)?;
-                        let b = self.term(&items[2], vars, scope)?;
+                        let (l, r) = binary_args(items, "=", *line)?;
+                        let a = self.term(l, vars, scope)?;
+                        let b = self.term(r, vars, scope)?;
                         Ok(Formula::Atom(FAtom::Eq(a, b)))
                     }
                     Some("distinct") => {
-                        let a = self.term(&items[1], vars, scope)?;
-                        let b = self.term(&items[2], vars, scope)?;
+                        let (l, r) = binary_args(items, "distinct", *line)?;
+                        let a = self.term(l, vars, scope)?;
+                        let b = self.term(r, vars, scope)?;
                         Ok(Formula::Not(Box::new(Formula::Atom(FAtom::Eq(a, b)))))
                     }
                     Some(name) => {
@@ -612,7 +619,18 @@ impl Parser {
                                         format!("unknown constructor {ctor_name:?}"),
                                     )
                                 })?;
-                                let t = self.term(&items[1], vars, scope)?;
+                                let arg =
+                                    items.get(1).filter(|_| items.len() == 2).ok_or_else(|| {
+                                        ParseError::new(
+                                            *line,
+                                            format!(
+                                                "expected ((_ is {ctor_name}) term), \
+                                                 found {} arguments",
+                                                items.len() - 1
+                                            ),
+                                        )
+                                    })?;
+                                let t = self.term(arg, vars, scope)?;
                                 Ok(Formula::Atom(FAtom::Tester(ctor, t)))
                             }
                             None => Err(ParseError::new(*line, "unsupported formula head")),
@@ -665,6 +683,48 @@ impl Parser {
             }
         }
     }
+}
+
+/// `(quant (binders) body)` — exactly one body after the binder list.
+/// Checked *before* the binders are bound, so a malformed quantifier
+/// leaves no scope residue.
+fn quantifier_body(items: &[Sexp], line: usize) -> Result<&Sexp, ParseError> {
+    if items.len() != 3 {
+        return Err(ParseError::new(
+            line,
+            format!(
+                "expected (quantifier (binders) body), found {} items",
+                items.len()
+            ),
+        ));
+    }
+    Ok(&items[2])
+}
+
+/// `(op arg)` — exactly one argument.
+fn unary_arg<'s>(items: &'s [Sexp], op: &str, line: usize) -> Result<&'s Sexp, ParseError> {
+    if items.len() != 2 {
+        return Err(ParseError::new(
+            line,
+            format!("expected ({op} arg), found {} arguments", items.len() - 1),
+        ));
+    }
+    Ok(&items[1])
+}
+
+/// `(op a b)` — exactly two arguments.
+fn binary_args<'s>(
+    items: &'s [Sexp],
+    op: &str,
+    line: usize,
+) -> Result<(&'s Sexp, &'s Sexp), ParseError> {
+    if items.len() != 3 {
+        return Err(ParseError::new(
+            line,
+            format!("expected ({op} a b), found {} arguments", items.len() - 1),
+        ));
+    }
+    Ok((&items[1], &items[2]))
 }
 
 #[cfg(test)]
@@ -807,6 +867,51 @@ mod tests {
     fn rejects_unbalanced_parens() {
         assert!(parse_str("(assert").is_err());
         assert!(parse_str("(assert))").is_err());
+    }
+
+    #[test]
+    fn malformed_wire_input_errors_instead_of_panicking() {
+        const PRELUDE: &str = r#"
+            (declare-datatypes ((Nat 0)) (((Z) (S (pre Nat)))))
+            (declare-fun p (Nat) Bool)
+        "#;
+        // Every case used to be a raw-index panic site; each must now
+        // come back as a typed error naming the expected shape.
+        for (frag, expect) in [
+            ("(assert (forall ((x Nat))))", "body"),
+            ("(assert (forall ((x Nat)) (p x) (p x)))", "body"),
+            ("(assert (exists ((x Nat))))", "body"),
+            ("(assert (not))", "(not arg)"),
+            ("(assert (forall ((x Nat)) (=> (not) false)))", "(not arg)"),
+            ("(assert (forall ((x Nat)) (=> (= x) false)))", "(= a b)"),
+            (
+                "(assert (forall ((x Nat)) (=> (= x x x) false)))",
+                "(= a b)",
+            ),
+            (
+                "(assert (forall ((x Nat)) (=> (distinct x) false)))",
+                "(distinct a b)",
+            ),
+            (
+                "(assert (forall ((x Nat)) (=> ((_ is Z)) false)))",
+                "(_ is Z)",
+            ),
+            (
+                "(assert (forall ((x Nat)) (=> ((_ is Z) x x) false)))",
+                "(_ is Z)",
+            ),
+        ] {
+            let src = format!("{PRELUDE}{frag}");
+            let err = std::panic::catch_unwind(|| parse_str(&src))
+                .unwrap_or_else(|_| panic!("parser panicked on {frag}"))
+                .expect_err(frag);
+            assert!(
+                err.message.contains(expect),
+                "{frag}: error {:?} does not mention {expect:?}",
+                err.message
+            );
+            assert!(err.line > 0, "{frag}: no position");
+        }
     }
 
     #[test]

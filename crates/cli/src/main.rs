@@ -6,6 +6,7 @@
 //! ```text
 //! ringen [--quick] [--quiet] [--report-json PATH] FILE.smt2
 //! ringen --solver elem|sizeelem|regelem|induction|verimap|portfolio FILE.smt2
+//! ringen --serve [--health-json PATH] FILE.smt2 [FILE.smt2 ...]
 //! ```
 //!
 //! The `regelem` solver is the hybrid chain: regular invariants by
@@ -21,6 +22,15 @@
 //! solve. Without the flag, `RINGEN_TRACE=PATH` does the same (and
 //! `RINGEN_TRACE_FORMAT=chrome` switches the serialization to Chrome
 //! `trace_event` JSON for Perfetto). See `ENVIRONMENT.md`.
+//!
+//! `--serve` runs every positional file as one batch through the
+//! fault-tolerant solve service (`ringen-server`): bounded admission,
+//! per-query deadlines and retries, panic quarantine, and a shared
+//! verdict memo. One status line per file goes to stdout, and the
+//! service's health snapshot (`ringen-server-health-v1`) goes to
+//! `--health-json PATH` (validated by `trace_check --health`) or, by
+//! default, to stdout. The `RINGEN_SERVER_*`, `RINGEN_DEADLINE_MS`,
+//! and `RINGEN_FAULTS` knobs configure the service.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,14 +45,17 @@ use ringen_core::{solve_guarded, Answer, Guard, Recorder, RecorderLimits, Ringen
 fn main() -> ExitCode {
     let mut quick = false;
     let mut quiet = false;
+    let mut serve = false;
     let mut solver = String::from("ringen");
     let mut report_json: Option<PathBuf> = None;
-    let mut file = None;
+    let mut health_json: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--quiet" => quiet = true,
+            "--serve" => serve = true,
             "--solver" => match args.next() {
                 Some(s) => solver = s,
                 None => return usage("missing value for --solver"),
@@ -51,22 +64,36 @@ fn main() -> ExitCode {
                 Some(p) => report_json = Some(PathBuf::from(p)),
                 None => return usage("missing value for --report-json"),
             },
+            "--health-json" => match args.next() {
+                Some(p) => health_json = Some(PathBuf::from(p)),
+                None => return usage("missing value for --health-json"),
+            },
             "-h" | "--help" => {
                 eprintln!(
                     "usage: ringen [--quick] [--quiet] [--solver NAME] [--report-json PATH] \
                      FILE.smt2"
                 );
+                eprintln!("       ringen --serve [--health-json PATH] FILE.smt2 [FILE.smt2 ...]");
                 eprintln!(
                     "solvers: ringen (default), elem, sizeelem, regelem, induction, verimap, \
                      portfolio"
                 );
                 return ExitCode::SUCCESS;
             }
-            _ if file.is_none() => file = Some(a),
+            _ if !a.starts_with('-') => files.push(a),
             _ => return usage("unexpected argument"),
         }
     }
-    let Some(file) = file else {
+    if serve {
+        if files.is_empty() {
+            return usage("no input files");
+        }
+        return serve_batch(&files, health_json, quiet);
+    }
+    if files.len() > 1 {
+        return usage("multiple input files need --serve");
+    }
+    let Some(file) = files.pop() else {
         return usage("no input file");
     };
     let src = match std::fs::read_to_string(&file) {
@@ -291,6 +318,63 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `--serve`: every file is one query in a single batch against the
+/// resident solve service; the health snapshot is the batch's
+/// machine-readable summary.
+fn serve_batch(files: &[String], health_json: Option<PathBuf>, quiet: bool) -> ExitCode {
+    use ringen::server::{Query, QueryOutcome, ServerConfig, SolveServer};
+
+    let mut queries = Vec::with_capacity(files.len());
+    for file in files {
+        match std::fs::read_to_string(file) {
+            Ok(text) => queries.push(Query::new(file.clone(), text)),
+            Err(e) => {
+                eprintln!("ringen: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let server = SolveServer::new(ServerConfig::from_env());
+    let outcomes = server.submit_batch(&queries);
+    let mut failed = false;
+    for outcome in &outcomes {
+        println!("{}", outcome.describe());
+        if matches!(outcome, QueryOutcome::Invalid { .. }) {
+            failed = true;
+        }
+    }
+    let health = server.health();
+    if !quiet {
+        eprintln!(
+            "; served {} queries: {} completed, {} shed, {} retries, {} quarantined, \
+             {} cache hits",
+            outcomes.len(),
+            health.completed,
+            health.sheds,
+            health.retries,
+            health.quarantined,
+            health.cache_hits
+        );
+    }
+    match health_json {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, health.to_json_string()) {
+                eprintln!(
+                    "ringen: cannot write health snapshot {}: {e}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        None => println!("{}", health.to_json_string()),
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn print_plain(sat: bool, unsat: bool) {

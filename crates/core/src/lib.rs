@@ -53,7 +53,8 @@ pub use inductive::{
 pub use invariant::{DisplayInvariant, RegularInvariant};
 pub use preprocess::{preprocess, PreprocessStats, Preprocessed};
 pub use ringen_parallel::{
-    deadline_ms_from_env, Guard, Poller, Recorder, RecorderLimits, SharedRecorder, Span, SpanHandle,
+    deadline_ms_from_env, FaultPlan, FaultStats, Faults, Guard, Poller, Recorder, RecorderLimits,
+    SharedRecorder, Span, SpanHandle,
 };
 pub use saturation::{
     check_refutation, saturate, saturate_guarded, FactBase, Refutation, RefutationError,

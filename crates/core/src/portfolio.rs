@@ -25,6 +25,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use ringen_obs::report::Section;
 use ringen_parallel::{panic_message, Guard, ParallelConfig, Pool};
 
 /// How the racer classifies an engine's answer. `Sat`/`Unsat` are
@@ -159,6 +160,38 @@ impl PortfolioStats {
 
     fn count(&self, status: EngineStatus) -> usize {
         self.engines.iter().filter(|r| r.status == status).count()
+    }
+
+    /// Flattens the race into report [`Section`]s: one `race` section
+    /// plus one `engine.<name>` section per entrant. Shared by the CLI
+    /// report path and the server's per-query reports, so the two
+    /// documents stay field-for-field compatible.
+    pub fn sections(&self) -> Vec<Section> {
+        let ms = |d: Duration| i64::try_from(d.as_millis()).unwrap_or(i64::MAX);
+        let mut race = Section::new("race")
+            .entry("entrants", self.engines.len() as i64)
+            .entry("elapsed_ms", ms(self.elapsed))
+            .entry(
+                "winner",
+                self.winner.map_or(-1, |i| i64::try_from(i).unwrap_or(-1)),
+            );
+        if let Some(d) = self.deadline {
+            race = race.entry("deadline_ms", ms(d));
+        }
+        let mut out = vec![race];
+        for (i, e) in self.engines.iter().enumerate() {
+            out.push(
+                Section::new(format!("engine.{}", e.name))
+                    .entry("elapsed_ms", ms(e.elapsed))
+                    .entry("won", i64::from(self.winner == Some(i)))
+                    .entry(
+                        "definitive",
+                        i64::from(e.verdict.as_ref().is_some_and(|v| v.is_definitive())),
+                    )
+                    .entry("panicked", i64::from(e.panic.is_some())),
+            );
+        }
+        out
     }
 }
 
@@ -341,9 +374,17 @@ pub fn race<T: Send>(
                 value: rec.value.take().expect("winner has a payload"),
             }
         }
-        None if records
-            .iter()
-            .any(|r| r.verdict == Some(EngineVerdict::Interrupted)) =>
+        // `Interrupted` is reserved for *race-level* cancellation (the
+        // deadline or an outer cancel tripped the shared token) — the
+        // caller may retry those. An entrant whose own child token
+        // tripped (an injected fault, an engine-internal bail) without
+        // the race being cancelled is just another loser: with every
+        // entrant home and no decision, the race is definitively
+        // `Undecided`, never a winner-slot hang.
+        None if race_guard.is_cancelled()
+            && records
+                .iter()
+                .any(|r| r.verdict == Some(EngineVerdict::Interrupted)) =>
         {
             RaceOutcome::Interrupted
         }
@@ -488,6 +529,67 @@ mod tests {
             .engines
             .iter()
             .all(|r| r.status == EngineStatus::Unknown));
+    }
+
+    #[test]
+    fn all_entrants_panicking_is_a_definitive_undecided() {
+        use ringen_parallel::{FaultPlan, Faults};
+        // Each entrant opens an engine-internal span; the fault plan
+        // panics every one of them, so the whole field crashes.
+        let entrant = |name: &'static str, span: &'static str| {
+            Engine::new(name, move |g: &Guard| -> (EngineVerdict, u32) {
+                let _s = g.recorder().span(span);
+                (EngineVerdict::Unknown, 0)
+            })
+        };
+        for n in [1, 4] {
+            let faults = Faults::new(FaultPlan::parse("panic@a.work, panic@b.work").unwrap());
+            let guard = Guard::new().with_faults(&faults);
+            let engines = vec![entrant("a", "a.work"), entrant("b", "b.work")];
+            let (outcome, stats) = race(engines, &threads(n), &guard);
+            // No winner slot to hang on: the race comes home Undecided
+            // (a definitive Unknown), with every entrant's fate filed.
+            assert!(
+                matches!(outcome, RaceOutcome::Undecided),
+                "threads={n}: expected Undecided, got {outcome:?}"
+            );
+            assert_eq!(stats.winner, None, "threads={n}");
+            assert_eq!(stats.panicked(), 2, "threads={n}");
+            assert_eq!(faults.stats().panics, 2, "threads={n}");
+            for r in &stats.engines {
+                assert_eq!(r.status, EngineStatus::Panicked, "threads={n}");
+                assert!(r.panic.as_deref().unwrap_or("").contains("injected panic"));
+            }
+        }
+    }
+
+    #[test]
+    fn self_interrupted_entrants_without_race_cancel_are_undecided() {
+        use ringen_parallel::{FaultPlan, Faults};
+        // A `cancel@…` fault trips each entrant's own child token —
+        // NOT the race token — so every entrant comes home
+        // Interrupted, yet the race itself was never cancelled. That
+        // must read as a definitive Undecided, not Interrupted.
+        let entrant = |name: &'static str, span: &'static str| {
+            Engine::new(name, move |g: &Guard| -> (EngineVerdict, u32) {
+                let faults = Faults::new(FaultPlan::parse("cancel@*").unwrap());
+                let g = g.clone().with_faults(&faults);
+                let _s = g.recorder().span(span);
+                if g.is_cancelled() {
+                    (EngineVerdict::Interrupted, 0)
+                } else {
+                    (EngineVerdict::Unknown, 0)
+                }
+            })
+        };
+        let engines = vec![entrant("a", "a.work"), entrant("b", "b.work")];
+        let (outcome, stats) = race(engines, &threads(2), &Guard::new());
+        assert!(
+            matches!(outcome, RaceOutcome::Undecided),
+            "expected Undecided, got {outcome:?}"
+        );
+        assert_eq!(stats.winner, None);
+        assert_eq!(stats.cancelled(), 2);
     }
 
     #[test]

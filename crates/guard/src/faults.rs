@@ -1,0 +1,446 @@
+//! Deterministic fault injection for chaos testing the solver stack.
+//!
+//! Every engine opens [`Recorder`] spans through the guard it was
+//! handed, so span-open probe points already thread the whole stack —
+//! saturation rounds, FMF sweeps, cube queries, the portfolio race.
+//! This module turns those probe points into fault sites: a
+//! [`FaultPlan`] names which spans to sabotage and how (panic, delay,
+//! or cooperative cancel), and [`Faults::arm`] installs the plan on a
+//! guard as an `ringen-obs` [`ProbeHook`](ringen_obs::ProbeHook).
+//! Children derived from an armed guard inherit the hook with the
+//! recorder, so one `arm` covers every fixpoint a query runs.
+//!
+//! The plan grammar (also accepted from `RINGEN_FAULTS`, see
+//! `ENVIRONMENT.md`) is a comma-separated list of entries:
+//!
+//! ```text
+//! panic@NAME[#K]        panic at the K-th (default: every) open of NAME
+//! cancel@NAME[#K]       cancel the armed guard at that open
+//! delay@NAME[#K][:MS]   sleep MS milliseconds (default 1) at that open
+//! SEED:RATE             random mode: at every span open, with
+//!                       probability RATE, inject a panic/delay/cancel
+//!                       chosen by a SEED-keyed deterministic generator
+//! ```
+//!
+//! `NAME` is a span name as it appears in traces (`fmf`, `saturation`,
+//! `race`, ...) or `*` for every span. Occurrence counts are per
+//! [`Faults`] handle and global across threads, so targeted schedules
+//! are fully deterministic under `RINGEN_THREADS=1`; random mode is
+//! deterministic in the *sequence* of draws but thread interleaving
+//! decides which span sees which draw.
+//!
+//! Faults fire *before* the span opens (the probe runs ahead of any
+//! recorder bookkeeping), so an injected panic never leaves a span
+//! stack half-open — the invariant the chaos proptests lean on when
+//! they assert that a faulted query leaves shared state bit-identical.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ringen_obs::ProbeHook;
+
+use crate::Guard;
+
+/// What an injected fault does at its span-open site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `panic!` with a recognizable message — exercises panic
+    /// isolation/quarantine paths.
+    Panic,
+    /// Sleep for the given duration — exercises deadlines and races.
+    Delay(Duration),
+    /// Cancel the armed guard — exercises cooperative-interrupt paths.
+    Cancel,
+}
+
+/// One targeted entry of a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub kind: FaultKind,
+    /// Span name to match, or `*` for every span.
+    pub span: String,
+    /// Fire only on the K-th matching open (1-based); `None` fires on
+    /// every match.
+    pub nth: Option<u64>,
+}
+
+impl FaultSpec {
+    fn matches(&self, name: &str) -> bool {
+        self.span == "*" || self.span == name
+    }
+}
+
+/// A parsed fault schedule: targeted specs plus an optional random
+/// mode. The empty plan injects nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    pub specs: Vec<FaultSpec>,
+    /// `(seed, rate)`: at every span open, with probability `rate`,
+    /// inject a fault drawn from a `seed`-keyed generator.
+    pub random: Option<(u64, f64)>,
+}
+
+impl FaultPlan {
+    /// Parses the `RINGEN_FAULTS` grammar (see the module docs).
+    /// Errors name the offending entry and what was expected.
+    pub fn parse(src: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for raw in src.split(',') {
+            let entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            if let Some((kind, target)) = entry.split_once('@') {
+                plan.specs.push(parse_targeted(entry, kind, target)?);
+            } else {
+                let (seed, rate) = entry
+                    .split_once(':')
+                    .ok_or_else(|| format!("`{entry}`: expected `KIND@SPAN` or `SEED:RATE`"))?;
+                let seed = seed
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("`{entry}`: expected an integer seed"))?;
+                let rate = rate
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| format!("`{entry}`: expected a rate in [0, 1]"))?;
+                if plan.random.replace((seed, rate)).is_some() {
+                    return Err(format!("`{entry}`: second SEED:RATE entry"));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan named by `RINGEN_FAULTS`. Unset or empty means no
+    /// plan; a malformed value is reported to stderr and ignored
+    /// rather than silently arming the wrong schedule.
+    pub fn from_env() -> Option<FaultPlan> {
+        let raw = std::env::var("RINGEN_FAULTS").ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        match FaultPlan::parse(&raw) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("ringen: ignoring RINGEN_FAULTS: {e}");
+                None
+            }
+        }
+    }
+
+    /// Whether the plan can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty() && self.random.is_none()
+    }
+}
+
+fn parse_targeted(entry: &str, kind: &str, target: &str) -> Result<FaultSpec, String> {
+    let (kind, target) = match kind.trim() {
+        "panic" => (FaultKind::Panic, target.to_string()),
+        "cancel" => (FaultKind::Cancel, target.to_string()),
+        "delay" => {
+            // `delay@NAME[#K][:MS]` — the millisecond suffix comes off
+            // before the occurrence marker.
+            let (rest, ms) = match target.rsplit_once(':') {
+                Some((rest, ms)) => {
+                    let ms = ms
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("`{entry}`: expected integer milliseconds"))?;
+                    (rest.to_string(), ms)
+                }
+                None => (target.to_string(), 1),
+            };
+            (FaultKind::Delay(Duration::from_millis(ms)), rest)
+        }
+        other => {
+            return Err(format!(
+                "`{entry}`: unknown fault kind `{other}` (expected panic, delay, or cancel)"
+            ))
+        }
+    };
+    let (span, nth) = match target.split_once('#') {
+        Some((span, k)) => {
+            let k = k
+                .trim()
+                .parse::<u64>()
+                .ok()
+                .filter(|&k| k > 0)
+                .ok_or_else(|| format!("`{entry}`: expected a positive occurrence index"))?;
+            (span.trim().to_string(), Some(k))
+        }
+        None => (target.trim().to_string(), None),
+    };
+    if span.is_empty() {
+        return Err(format!("`{entry}`: expected a span name or `*`"));
+    }
+    Ok(FaultSpec { kind, span, nth })
+}
+
+/// Counts of faults actually injected by a [`Faults`] handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub panics: u64,
+    pub delays: u64,
+    pub cancels: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected.
+    pub fn injected(&self) -> u64 {
+        self.panics + self.delays + self.cancels
+    }
+}
+
+#[derive(Debug)]
+struct FaultsInner {
+    plan: FaultPlan,
+    /// Per-spec count of matching span opens (for `#K` scheduling).
+    seen: Vec<AtomicU64>,
+    /// Random-mode generator state (splitmix64 over a shared counter).
+    rng: AtomicU64,
+    panics: AtomicU64,
+    delays: AtomicU64,
+    cancels: AtomicU64,
+}
+
+/// A clonable fault injector: one plan plus the occurrence counters
+/// and injection stats shared by every guard it arms.
+#[derive(Debug, Clone)]
+pub struct Faults {
+    inner: Arc<FaultsInner>,
+}
+
+impl Faults {
+    /// An injector for `plan` with fresh counters.
+    pub fn new(plan: FaultPlan) -> Faults {
+        let seen = plan.specs.iter().map(|_| AtomicU64::new(0)).collect();
+        let rng = AtomicU64::new(plan.random.map_or(0, |(seed, _)| seed));
+        Faults {
+            inner: Arc::new(FaultsInner {
+                plan,
+                seen,
+                rng,
+                panics: AtomicU64::new(0),
+                delays: AtomicU64::new(0),
+                cancels: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// What has been injected so far, across all armed guards.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            panics: self.inner.panics.load(Ordering::Relaxed),
+            delays: self.inner.delays.load(Ordering::Relaxed),
+            cancels: self.inner.cancels.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `guard` with this plan installed at its span-open probe points.
+    ///
+    /// The returned guard shares `guard`'s cancellation flag and
+    /// recorder state; injected `Cancel` faults trip that shared flag
+    /// (so the armed guard and all its children see it), never any
+    /// ancestor. Children derived from the armed guard inherit the
+    /// hook, so the whole engine stack under it is fault-visible.
+    pub fn arm(&self, guard: &Guard) -> Guard {
+        if self.inner.plan.is_empty() {
+            return guard.clone();
+        }
+        // The capture is a pre-arm clone: its recorder has no probe,
+        // so there is no reference cycle through the hook.
+        let target = guard.clone();
+        let inner = self.inner.clone();
+        let hook = ProbeHook::new(move |name| inner.on_span(name, &target));
+        let recorder = guard.recorder().clone().with_probe(hook);
+        guard.clone().with_recorder(recorder)
+    }
+}
+
+impl FaultsInner {
+    fn on_span(&self, name: &str, target: &Guard) {
+        for (spec, seen) in self.plan.specs.iter().zip(&self.seen) {
+            if !spec.matches(name) {
+                continue;
+            }
+            let n = seen.fetch_add(1, Ordering::Relaxed) + 1;
+            if spec.nth.is_none_or(|k| k == n) {
+                self.fire(spec.kind, name, target);
+            }
+        }
+        if let Some((_, rate)) = self.plan.random {
+            // Draw once for the gate, once for the kind, so the kind
+            // sequence is independent of the hit rate.
+            if ((self.next_u64() >> 11) as f64) < rate * (1u64 << 53) as f64 {
+                let kind = match self.next_u64() % 3 {
+                    0 => FaultKind::Panic,
+                    1 => FaultKind::Delay(Duration::from_millis(1)),
+                    _ => FaultKind::Cancel,
+                };
+                self.fire(kind, name, target);
+            }
+        }
+    }
+
+    fn fire(&self, kind: FaultKind, name: &str, target: &Guard) {
+        match kind {
+            FaultKind::Panic => {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                panic!("ringen-faults: injected panic at span `{name}`");
+            }
+            FaultKind::Delay(d) => {
+                self.delays.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+            }
+            FaultKind::Cancel => {
+                self.cancels.fetch_add(1, Ordering::Relaxed);
+                target.cancel();
+            }
+        }
+    }
+
+    /// splitmix64 over an atomic counter: wait-free, and deterministic
+    /// in the sequence of values drawn.
+    fn next_u64(&self) -> u64 {
+        let x = self
+            .rng
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let z = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let plan = FaultPlan::parse("panic@fmf, delay@race#2:5, cancel@*, 42:0.25").unwrap();
+        assert_eq!(plan.random, Some((42, 0.25)));
+        assert_eq!(
+            plan.specs,
+            vec![
+                FaultSpec {
+                    kind: FaultKind::Panic,
+                    span: "fmf".into(),
+                    nth: None
+                },
+                FaultSpec {
+                    kind: FaultKind::Delay(Duration::from_millis(5)),
+                    span: "race".into(),
+                    nth: Some(2)
+                },
+                FaultSpec {
+                    kind: FaultKind::Cancel,
+                    span: "*".into(),
+                    nth: None
+                },
+            ]
+        );
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(
+            FaultPlan::parse("delay@solve").unwrap().specs[0].kind
+                == FaultKind::Delay(Duration::from_millis(1))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        for bad in [
+            "oops@fmf",
+            "panic@",
+            "panic@fmf#0",
+            "panic@fmf#x",
+            "delay@fmf:abc",
+            "justaname",
+            "1:2.0",
+            "x:0.5",
+            "1:0.5,2:0.5",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn targeted_panic_fires_on_the_scheduled_occurrence() {
+        let faults = Faults::new(FaultPlan::parse("panic@step#2").unwrap());
+        let guard = faults.arm(&Guard::new());
+        drop(guard.recorder().span("step"));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            drop(guard.recorder().span("step"));
+        }));
+        assert!(err.is_err());
+        // Third and later opens are quiet again.
+        drop(guard.recorder().span("step"));
+        assert_eq!(faults.stats().panics, 1);
+    }
+
+    #[test]
+    fn cancel_fault_trips_the_armed_guard_only() {
+        let root = Guard::new();
+        let faults = Faults::new(FaultPlan::parse("cancel@fixpoint").unwrap());
+        let armed = faults.arm(&root.child());
+        drop(armed.recorder().span("elsewhere"));
+        assert!(!armed.is_cancelled());
+        drop(armed.recorder().span("fixpoint"));
+        assert!(armed.is_cancelled());
+        assert!(!root.is_cancelled());
+        assert_eq!(faults.stats().cancels, 1);
+    }
+
+    #[test]
+    fn children_of_an_armed_guard_inherit_the_faults() {
+        let faults = Faults::new(FaultPlan::parse("cancel@deep").unwrap());
+        let armed = faults.arm(&Guard::new());
+        let grandchild = armed.child().child();
+        drop(grandchild.recorder().span("deep"));
+        // The cancel lands on the armed ancestor, so the whole subtree
+        // (including the grandchild that tripped it) sees it.
+        assert!(grandchild.is_cancelled());
+        assert!(armed.is_cancelled());
+    }
+
+    #[test]
+    fn random_mode_is_deterministic_and_rate_bounded() {
+        let run = |seed| {
+            let faults = Faults::new(FaultPlan {
+                specs: Vec::new(),
+                random: Some((seed, 0.5)),
+            });
+            let guard = faults.arm(&Guard::new());
+            for _ in 0..200 {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    drop(guard.recorder().span("work"));
+                }));
+            }
+            faults.stats()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same injections");
+        assert!(a.injected() > 0, "rate 0.5 over 200 spans fired nothing");
+        assert!(a.injected() < 200);
+        assert_ne!(a, run(8), "different seed, different schedule");
+    }
+
+    #[test]
+    fn rate_zero_and_empty_plan_never_fire() {
+        let faults = Faults::new(FaultPlan {
+            specs: Vec::new(),
+            random: Some((1, 0.0)),
+        });
+        let guard = faults.arm(&Guard::new());
+        for _ in 0..100 {
+            drop(guard.recorder().span("work"));
+        }
+        assert_eq!(faults.stats(), FaultStats::default());
+        assert_eq!(Faults::new(FaultPlan::default()).stats().injected(), 0);
+    }
+}

@@ -26,7 +26,10 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-pub use ringen_obs::{Recorder, RecorderLimits, SharedRecorder, Span, SpanHandle};
+pub mod faults;
+
+pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultStats, Faults};
+pub use ringen_obs::{ProbeHook, Recorder, RecorderLimits, SharedRecorder, Span, SpanHandle};
 
 #[derive(Debug)]
 struct Inner {
@@ -142,6 +145,12 @@ impl Guard {
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// This token with `faults` armed at its span-open probe points —
+    /// shorthand for [`Faults::arm`].
+    pub fn with_faults(self, faults: &Faults) -> Self {
+        faults.arm(&self)
     }
 
     /// The recorder every engine under this guard reports into. The

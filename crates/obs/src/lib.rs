@@ -61,6 +61,7 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::time::Instant;
@@ -257,6 +258,40 @@ struct Inner {
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    /// Fired at every span-open probe point, *before* the recording
+    /// decision — the seam `ringen_guard::faults` hooks its injected
+    /// panics/delays/cancellations into. `None` (the default) costs
+    /// one branch on the hot path; recording state is untouched when a
+    /// probe unwinds, because it runs before the span is opened.
+    probe: Option<ProbeHook>,
+}
+
+/// A span-open callback installed with [`Recorder::with_probe`].
+///
+/// Clones share the callback (it rides every `Recorder` clone, so
+/// child guards across threads inherit it). The callback receives the
+/// span name; it may panic — the probe fires before any recorder state
+/// is touched, so an unwinding probe leaves the span stack coherent.
+#[derive(Clone)]
+pub struct ProbeHook(Arc<dyn Fn(&'static str) + Send + Sync>);
+
+impl ProbeHook {
+    /// Wraps `f` as a span-open probe.
+    pub fn new(f: impl Fn(&'static str) + Send + Sync + 'static) -> Self {
+        ProbeHook(Arc::new(f))
+    }
+
+    /// Invokes the callback with the opening span's name.
+    #[inline]
+    pub fn fire(&self, name: &'static str) {
+        (self.0)(name)
+    }
+}
+
+impl fmt::Debug for ProbeHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ProbeHook(..)")
+    }
 }
 
 /// The thread-safe sharing story of [`Recorder`], under the name the
@@ -360,13 +395,27 @@ impl Recorder {
                 dropped_sampled: AtomicU64::new(0),
                 central: Mutex::new(Central::default()),
             })),
+            probe: None,
         }
     }
 
     /// A recorder that records nothing and allocates nothing: every
     /// method short-circuits on the missing state.
     pub fn disabled() -> Self {
-        Recorder { inner: None }
+        Recorder {
+            inner: None,
+            probe: None,
+        }
+    }
+
+    /// This recorder with `probe` installed at every span-open point.
+    ///
+    /// The probe fires even on a disabled recorder — fault injection
+    /// must reach engines whether or not tracing is on — so the
+    /// disabled path gains exactly one `Option` branch.
+    pub fn with_probe(mut self, probe: ProbeHook) -> Recorder {
+        self.probe = Some(probe);
+        self
     }
 
     /// A recorder whose *text sink* is live but whose span/counter
@@ -450,6 +499,9 @@ impl Recorder {
     /// thread. Closing is the guard's drop.
     #[inline]
     pub fn span(&self, name: &'static str) -> Span {
+        if let Some(probe) = &self.probe {
+            probe.fire(name);
+        }
         if !self.is_recording() {
             return Span::default();
         }
@@ -461,6 +513,9 @@ impl Recorder {
     /// under the race span owned by the coordinator.
     #[inline]
     pub fn span_under(&self, name: &'static str, parent: SpanHandle) -> Span {
+        if let Some(probe) = &self.probe {
+            probe.fire(name);
+        }
         if !self.is_recording() {
             return Span::default();
         }
@@ -759,6 +814,56 @@ mod tests {
         assert_eq!(trace.dropped, DroppedSpans::default());
         assert!(!rec.is_enabled());
         assert!(!rec.text_enabled());
+    }
+
+    #[test]
+    fn probe_fires_on_disabled_and_enabled_recorders() {
+        use std::sync::atomic::AtomicUsize;
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let probe = ProbeHook::new(move |name| {
+            assert!(matches!(name, "a" | "b"));
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+
+        let off = Recorder::disabled().with_probe(probe.clone());
+        drop(off.span("a"));
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert!(off.snapshot().spans.is_empty());
+
+        // Clones share the probe, and a probed span still records.
+        let on = Recorder::new().with_probe(probe);
+        let cloned = on.clone();
+        {
+            let a = cloned.span("a");
+            drop(on.span_under("b", a.handle()));
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        assert_eq!(on.snapshot().spans.len(), 2);
+    }
+
+    #[test]
+    fn unwinding_probe_leaves_the_span_stack_coherent() {
+        let rec = Recorder::new().with_probe(ProbeHook::new(|name| {
+            if name == "boom" {
+                panic!("injected");
+            }
+        }));
+        {
+            let _outer = rec.span("outer");
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _s = rec.span("boom");
+            }));
+            assert!(err.is_err());
+            drop(rec.span("inner"));
+        }
+        let t = rec.snapshot();
+        // `boom` never opened; `inner` nests under `outer` as usual.
+        let names: Vec<_> = t.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        let outer = t.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = t.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
     }
 
     #[test]

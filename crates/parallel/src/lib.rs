@@ -86,8 +86,8 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 pub use ringen_guard::{
-    deadline_ms_from_env, Guard, Poller, Recorder, RecorderLimits, SharedRecorder, Span,
-    SpanHandle, DEFAULT_POLL_PERIOD,
+    deadline_ms_from_env, FaultPlan, FaultStats, Faults, Guard, Poller, Recorder, RecorderLimits,
+    SharedRecorder, Span, SpanHandle, DEFAULT_POLL_PERIOD,
 };
 
 /// Worker-count policy for a [`Pool`].

@@ -18,8 +18,14 @@
 //! requires exactly one complete event per entrant, each on a
 //! timeline row.
 //!
+//! With `--health` the input is a `ringen-server-health-v1` snapshot
+//! (written by `ringen --serve --health-json`): schema tag, the
+//! queue/cache/fault sub-objects, non-negative counters, and the
+//! service-level accounting identities — a drained queue, everything
+//! admitted accounted for, and cache hits only out of cached entries.
+//!
 //! ```text
-//! trace_check [--portfolio] [--chrome] TRACE.json
+//! trace_check [--portfolio] [--chrome] [--health] TRACE.json
 //! ```
 //!
 //! Exits 0 when every check passes, 1 with a diagnostic otherwise.
@@ -147,20 +153,106 @@ fn check_chrome(doc: &Json, path: &str, portfolio: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--health` leg: validates a `ringen-server-health-v1` snapshot.
+fn check_health(doc: &Json, path: &str) -> ExitCode {
+    if doc.get("schema").and_then(Json::as_str) != Some(ringen::server::HEALTH_SCHEMA) {
+        return fail(&format!(
+            "schema key missing or not {:?}",
+            ringen::server::HEALTH_SCHEMA
+        ));
+    }
+    let field = |obj: &Json, key: &str| -> Result<i64, String> {
+        match obj.get(key).and_then(Json::as_i64) {
+            Some(v) if v >= 0 => Ok(v),
+            Some(v) => Err(format!("{key} is negative: {v}")),
+            None => Err(format!("{key} missing or not an integer")),
+        }
+    };
+    let (Some(queue), Some(cache), Some(faults)) =
+        (doc.get("queue"), doc.get("cache"), doc.get("faults"))
+    else {
+        return fail("queue/cache/faults sub-objects missing");
+    };
+    let get = |obj: &Json, key: &str| -> i64 {
+        match field(obj, key) {
+            Ok(v) => v,
+            Err(msg) => {
+                eprintln!("trace_check: {msg}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let capacity = get(queue, "capacity");
+    let depth = get(queue, "depth");
+    let in_flight = get(queue, "in_flight");
+    let sheds = get(queue, "sheds");
+    let admitted = get(doc, "admitted");
+    let completed = get(doc, "completed");
+    let retries = get(doc, "retries");
+    let quarantined = get(doc, "quarantined");
+    let hits = get(cache, "hits");
+    let entries = get(cache, "entries");
+    let invalid = get(doc, "invalid");
+    for key in ["panics", "delays", "cancels"] {
+        get(faults, key);
+    }
+    get(doc, "uptime_ms");
+    if capacity < 1 {
+        return fail("queue capacity is zero");
+    }
+    if depth > capacity {
+        return fail(&format!("queue depth {depth} exceeds capacity {capacity}"));
+    }
+    if in_flight > depth {
+        return fail(&format!(
+            "in_flight {in_flight} exceeds queue depth {depth}"
+        ));
+    }
+    // Accounting identities: admitted work is either done or still
+    // holding a slot, invalid queries are a subset of completions, and
+    // a hit needs a cached entry (or at least one eviction-free write).
+    if completed + depth < admitted {
+        return fail(&format!(
+            "admitted {admitted} exceeds completed {completed} + queued {depth}"
+        ));
+    }
+    if invalid > completed {
+        return fail(&format!("invalid {invalid} exceeds completed {completed}"));
+    }
+    if hits > 0 && entries == 0 {
+        return fail("cache hits reported with an empty memo");
+    }
+    if quarantined > 0 && retries + 1 < quarantined {
+        // Each quarantined rung past a query's last is preceded by a
+        // retry; wildly more quarantines than retries means the
+        // counters drifted.
+        return fail(&format!(
+            "quarantined {quarantined} not explained by retries {retries}"
+        ));
+    }
+    println!(
+        "trace_check OK: {path} (health: {admitted} admitted, {completed} completed, \
+         {sheds} shed, {retries} retries, {quarantined} quarantined)"
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut portfolio = false;
     let mut chrome = false;
+    let mut health = false;
     let mut path = None;
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--portfolio" => portfolio = true,
             "--chrome" => chrome = true,
+            "--health" => health = true,
             _ if path.is_none() => path = Some(a),
             other => return fail(&format!("unexpected argument {other}")),
         }
     }
     let Some(path) = path else {
-        return fail("usage: trace_check [--portfolio] [--chrome] TRACE.json");
+        return fail("usage: trace_check [--portfolio] [--chrome] [--health] TRACE.json");
     };
     let src = match std::fs::read_to_string(&path) {
         Ok(s) => s,
@@ -171,6 +263,9 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("{path} is not valid JSON: {e:?}")),
     };
 
+    if health {
+        return check_health(&doc, &path);
+    }
     if chrome {
         return check_chrome(&doc, &path, portfolio);
     }

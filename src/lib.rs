@@ -30,6 +30,11 @@
 //! * [`portfolio`] — the four representation-class engines raced
 //!   concurrently with cooperative cancellation, wall-clock deadlines
 //!   (`RINGEN_DEADLINE_MS`), and per-engine panic isolation;
+//! * [`server`] — a long-lived concurrent solve service over the
+//!   racer: bounded admission with typed shedding, per-query
+//!   deadlines, a retry ladder with panic quarantine, a shared
+//!   verdict memo, deterministic fault injection (`RINGEN_FAULTS`),
+//!   and a machine-readable health snapshot;
 //! * [`obs`] — dependency-free structured spans and a counter/gauge
 //!   registry, threaded through every engine via its [`core::Guard`];
 //! * [`report`] — assembles the recorder's trace and the engines'
@@ -71,6 +76,7 @@ pub use ringen_obs as obs;
 pub use ringen_parallel as parallel;
 pub use ringen_regelem as regelem;
 pub use ringen_sat as sat;
+pub use ringen_server as server;
 pub use ringen_sizeelem as sizeelem;
 pub use ringen_terms as terms;
 pub use ringen_verimap as verimap;

@@ -8,7 +8,6 @@
 //! field-for-field compatible.
 
 use std::path::PathBuf;
-use std::time::Duration;
 
 use ringen_automata::StoreStats;
 use ringen_core::portfolio::PortfolioStats;
@@ -57,10 +56,6 @@ pub fn render(report: &SolveReport, format: TraceFormat) -> String {
         TraceFormat::Chrome => report.to_chrome_trace(),
         TraceFormat::Flame => report.to_collapsed_stacks(),
     }
-}
-
-fn ms(d: Duration) -> i64 {
-    i64::try_from(d.as_millis()).unwrap_or(i64::MAX)
 }
 
 /// Flattens the regular pipeline's [`SolveStats`]: one section per
@@ -147,30 +142,8 @@ pub fn regelem_sections(stats: &RegElemStats) -> Vec<Section> {
 /// Flattens a race: one `race` section plus one `engine.<name>` section
 /// per entrant. Per-entrant verdicts and phase timings live in the span
 /// tree (the `race` span's children); the sections carry the numeric
-/// summary.
+/// summary. The builder itself lives on [`PortfolioStats::sections`] so
+/// the server's per-query reports share it.
 pub fn portfolio_sections(stats: &PortfolioStats) -> Vec<Section> {
-    let mut race = Section::new("race")
-        .entry("entrants", stats.engines.len() as i64)
-        .entry("elapsed_ms", ms(stats.elapsed))
-        .entry(
-            "winner",
-            stats.winner.map_or(-1, |i| i64::try_from(i).unwrap_or(-1)),
-        );
-    if let Some(d) = stats.deadline {
-        race = race.entry("deadline_ms", ms(d));
-    }
-    let mut out = vec![race];
-    for (i, e) in stats.engines.iter().enumerate() {
-        out.push(
-            Section::new(format!("engine.{}", e.name))
-                .entry("elapsed_ms", ms(e.elapsed))
-                .entry("won", i64::from(stats.winner == Some(i)))
-                .entry(
-                    "definitive",
-                    i64::from(e.verdict.as_ref().is_some_and(|v| v.is_definitive())),
-                )
-                .entry("panicked", i64::from(e.panic.is_some())),
-        );
-    }
-    out
+    stats.sections()
 }
